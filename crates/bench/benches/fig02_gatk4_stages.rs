@@ -1,0 +1,79 @@
+//! Figure 2: runtime of the GATK4 stages (500M read pairs) on a four-node
+//! cluster (3 slaves), P = 36 executor cores, under the four Table-III
+//! disk configurations — with five-run error bars like the paper's.
+
+use doppio_bench::{banner, error_bars, footer, simulate};
+use doppio_cluster::HybridConfig;
+use doppio_workloads::gatk4;
+
+fn main() {
+    banner("fig02", "Figure 2: GATK4 stage runtimes, 3 slaves, P=36, four disk configs");
+
+    let app = gatk4::app(&gatk4::Params::paper());
+
+    println!(
+        "  {:<24} {:>9} {:>9} {:>9} {:>11}",
+        "configuration", "MD (min)", "BR (min)", "SF (min)", "total"
+    );
+    let mut results = Vec::new();
+    for config in HybridConfig::ALL {
+        let run = simulate(&app, 3, 36, config);
+        let md = run.stage("MD").unwrap().duration.as_mins();
+        let br = run.stage("BR").unwrap().duration.as_mins();
+        let sf = run.stage("SF").unwrap().duration.as_mins();
+        println!(
+            "  {:<24} {:>9.1} {:>9.1} {:>9.1} {:>11.1}",
+            config.label(),
+            md,
+            br,
+            sf,
+            run.total_time().as_mins()
+        );
+        results.push((config, md, br, sf));
+    }
+
+    // Error bars for the two headline configurations (paper: 5 runs).
+    println!();
+    for config in [HybridConfig::SsdSsd, HybridConfig::HddHdd] {
+        let (mean, min, max) = error_bars(&app, 3, 36, config, 5);
+        println!(
+            "  {:<24} total over 5 noisy runs: {:.1} min [{:.1}, {:.1}]",
+            config.label(),
+            mean,
+            min,
+            max
+        );
+    }
+
+    // The paper's Section III-A observations:
+    let by = |c: HybridConfig| results.iter().find(|r| r.0 == c).unwrap();
+    let (_, md_ss, br_ss, sf_ss) = *by(HybridConfig::SsdSsd);
+    let (_, md_hs, br_hs, sf_hs) = *by(HybridConfig::HddSsd); // HDFS=HDD, local=SSD
+    let (_, _, br_sh, sf_sh) = *by(HybridConfig::SsdHdd); // local=HDD
+    let (_, _, br_hh, _) = *by(HybridConfig::HddHdd);
+
+    println!();
+    println!("  obs 1: HDFS HDD->SSD slowdown removed for MD/BR/SF (paper: ~0%, up to 30%, up to 90%):");
+    println!(
+        "    MD {:+.0}%  BR {:+.0}%  SF {:+.0}%",
+        (md_hs / md_ss - 1.0) * 100.0,
+        (br_hs / br_ss - 1.0) * 100.0,
+        (sf_hs / sf_ss - 1.0) * 100.0
+    );
+    println!("  obs 3: Spark-local is far more I/O-sensitive than HDFS:");
+    println!(
+        "    BR with HDD local: {:.1}x slower; BR with HDD HDFS: {:.2}x",
+        br_sh / br_ss,
+        br_hs / br_ss
+    );
+    println!(
+        "  Section III-C3: BR on 2HDD = {:.0} min (paper: ~126 min); SF on HDD local = {:.1}x SSD",
+        br_hh,
+        sf_sh / sf_ss
+    );
+
+    assert!(md_hs / md_ss < 1.1, "MD insensitive to HDFS device");
+    assert!(br_sh / br_ss > 3.0, "BR devastated by HDD local");
+    assert!((95.0..170.0).contains(&br_hh), "BR(2HDD) = {br_hh:.0} min, paper ~126");
+    footer("fig02");
+}

@@ -1,0 +1,88 @@
+//! Figure 6: the three execution phases of the model's worked example
+//! (T = 60 MB/s, λ = 4, BW = 120 MB/s ⇒ b = 2, B = 8), regenerated both
+//! from the closed-form piecewise model and from the discrete-event
+//! simulator.
+
+use doppio_bench::{banner, footer};
+use doppio_cluster::{ClusterSpec, DiskRole, HybridConfig};
+use doppio_events::{Bytes, Rate};
+use doppio_model::phases::{classify, piecewise_runtime};
+use doppio_sparksim::{AppBuilder, Cost, Simulation, SparkConf, StorageLevel};
+use doppio_storage::{BandwidthCurve, DeviceSpec};
+
+const M: u64 = 64;
+const TASK_MIB: u64 = 60;
+
+/// A stage of M tasks, each reading 60 MiB from a 120 MB/s local device at
+/// a 60 MB/s per-core cap while computing for 4 s.
+fn simulate_stage(p: u32) -> f64 {
+    let device = DeviceSpec::new(
+        "BW120",
+        BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
+        BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
+    );
+    let node = doppio_cluster::presets::paper_node(36, HybridConfig::SsdSsd).with_disk(DiskRole::Local, device);
+    let cluster = ClusterSpec::homogeneous(1, node);
+
+    let mut conf = SparkConf::paper().with_cores(p).without_noise();
+    conf.persist_cap = Rate::mib_per_sec(60.0); // the example's T
+    conf.persist_chunk = Bytes::from_mib(1);
+
+    let mut b = AppBuilder::new("fig6");
+    let src = b.parallelize("data", Bytes::from_mib(TASK_MIB * M), M as u32);
+    b.persist(src, StorageLevel::DiskOnly, 1.0);
+    b.count(src, "materialize", Cost::ZERO);
+    // λ = 4: 4 s compute against 1 s of capped I/O per task.
+    b.count(src, "run", Cost::per_mib(4.0 / TASK_MIB as f64));
+    let app = b.build().expect("app builds");
+
+    let run = Simulation::with_conf(cluster, conf).run(&app).expect("sim runs");
+    run.stage("run").expect("stage exists").duration.as_secs()
+}
+
+fn main() {
+    banner(
+        "fig06",
+        "Figure 6: execution phases for T=60 MB/s, λ=4, BW=120 MB/s (b=2, B=8)",
+    );
+
+    let bw = Rate::mib_per_sec(120.0);
+    let t_stream = Rate::mib_per_sec(60.0);
+    println!(
+        "  {:>4} {:>24} {:>12} {:>12} {:>8}",
+        "P", "phase", "model (s)", "sim (s)", "err %"
+    );
+    for p in [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+        let phase = classify(p as f64, 2.0, 4.0);
+        let model = piecewise_runtime(
+            M,
+            1,
+            p,
+            4.0,
+            1.0,
+            (M * TASK_MIB) as f64 * 1024.0 * 1024.0,
+            bw,
+            t_stream,
+        );
+        let sim = simulate_stage(p);
+        let err = (model - sim).abs() / sim * 100.0;
+        println!(
+            "  {:>4} {:>24} {:>12.1} {:>12.1} {:>8.1}",
+            p,
+            phase.to_string(),
+            model,
+            sim,
+            err
+        );
+    }
+    println!();
+    println!("  P <= 2: no contention — perfect scaling.");
+    println!("  2 < P <= 8: contention hidden under compute — still scales.");
+    println!("  P > 8: I/O-bound — the curve flattens at D/BW + t_avg; adding cores");
+    println!("  no longer helps (the paper's headline observation).");
+
+    let t16 = simulate_stage(16);
+    let t32 = simulate_stage(32);
+    assert!((t16 - t32).abs() / t16 < 0.08, "flat beyond B: {t16:.1} vs {t32:.1}");
+    footer("fig06");
+}

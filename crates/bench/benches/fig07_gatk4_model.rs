@@ -1,0 +1,55 @@
+//! Figure 7: measured ("exp") vs model-predicted runtime for GATK4 on ten
+//! slaves with P ∈ {6, 12, 24}, per stage, under SSD and HDD Spark-local
+//! configurations. The paper reports an average error rate below 6%.
+//!
+//! The model is calibrated once with the §VI.1 four-sample-run procedure on
+//! a 3-slave profiling cluster — predictions at N = 10 are genuine
+//! extrapolations.
+
+use doppio_bench::{banner, calibrate, err_pct, footer, simulate};
+use doppio_cluster::HybridConfig;
+use doppio_model::PredictEnv;
+use doppio_workloads::gatk4;
+
+fn main() {
+    banner("fig07", "Figure 7: GATK4 exp vs model, 10 slaves, P ∈ {6,12,24}");
+
+    let app = gatk4::app(&gatk4::Params::paper());
+    println!("calibrating on a 3-slave profiling cluster (4 sample runs)...");
+    let model = calibrate(&app, 3);
+
+    println!();
+    println!(
+        "  {:<26} {:>4} {:<6} {:>10} {:>11} {:>7}",
+        "configuration", "P", "stage", "exp (min)", "model (min)", "err %"
+    );
+    let mut errors = Vec::new();
+    for config in [HybridConfig::SsdSsd, HybridConfig::SsdHdd] {
+        for p in [6u32, 12, 24] {
+            let run = simulate(&app, 10, p, config);
+            let env = PredictEnv::hybrid(10, p, config);
+            for stage in ["MD", "BR", "SF"] {
+                let exp = run.stage(stage).unwrap().duration.as_secs();
+                let pred = model.stage(stage).unwrap().predict(&env);
+                let e = err_pct(exp, pred);
+                errors.push(e);
+                println!(
+                    "  {:<26} {:>4} {:<6} {:>10.1} {:>11.1} {:>7.1}",
+                    config.label(),
+                    p,
+                    stage,
+                    exp / 60.0,
+                    pred / 60.0,
+                    e
+                );
+            }
+        }
+    }
+
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    let max = errors.iter().copied().fold(0.0f64, f64::max);
+    println!();
+    println!("  average error {avg:.1}% (paper: < 6%), worst stage {max:.1}%");
+    assert!(avg < 10.0, "average model error {avg:.1}% exceeds the paper's 10% bound");
+    footer("fig07");
+}

@@ -1,0 +1,53 @@
+//! Figure 9: measured vs model runtime for SVM (12M samples × 1000
+//! features, 10 iterations over an 82 GB cached RDD, 170 GB shuffle in the
+//! subtract phase). Paper: 8.4% average error, 6.2× HDD/SSD gap on the
+//! subtract phase.
+
+use doppio_bench::{banner, calibrate, err_pct, footer, simulate};
+use doppio_cluster::HybridConfig;
+use doppio_model::PredictEnv;
+use doppio_workloads::svm;
+
+fn main() {
+    banner("fig09", "Figure 9: SVM exp vs model");
+
+    let params = svm::Params::paper();
+    let app = svm::app(&params);
+    let model = calibrate(&app, 3);
+
+    println!();
+    println!(
+        "  {:<8} {:<18} {:>10} {:>11} {:>7}",
+        "config", "phase", "exp (min)", "model (min)", "err %"
+    );
+    let mut errors = Vec::new();
+    let mut subtract = Vec::new();
+    for config in [HybridConfig::SsdSsd, HybridConfig::HddHdd] {
+        let run = simulate(&app, 10, 36, config);
+        let env = PredictEnv::hybrid(10, 36, config);
+        for phase in ["dataValidator", "iteration", "subtract", "subtract-result"] {
+            let exp = run.time_in(phase).as_secs();
+            let pred = model.predict_stage(phase, &env);
+            let e = err_pct(exp, pred);
+            errors.push(e);
+            println!(
+                "  {:<8} {:<18} {:>10.1} {:>11.1} {:>7.1}",
+                config.label(),
+                phase,
+                exp / 60.0,
+                pred / 60.0,
+                e
+            );
+        }
+        subtract.push(svm::subtract_time(&run).as_secs());
+    }
+
+    let ratio = subtract[1] / subtract[0];
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!();
+    println!("  subtract phase HDD/SSD = {ratio:.1}x (paper: 6.2x)");
+    println!("  average model error {avg:.1}% (paper: 8.4%)");
+    assert!(ratio > 3.0, "subtract must be shuffle-bound on HDD");
+    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    footer("fig09");
+}

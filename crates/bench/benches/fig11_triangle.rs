@@ -1,0 +1,52 @@
+//! Figure 11: measured vs model runtime for Triangle Count (1M vertices,
+//! 2400 partitions, 49 GB cached graph, 396 GB canonicalization shuffle).
+//! Paper: 3.6% average error, 6.5× HDD/SSD gap on computeTriangleCount.
+
+use doppio_bench::{banner, calibrate, err_pct, footer, simulate};
+use doppio_cluster::HybridConfig;
+use doppio_model::PredictEnv;
+use doppio_workloads::triangle;
+
+fn main() {
+    banner("fig11", "Figure 11: Triangle Count exp vs model");
+
+    let params = triangle::Params::paper();
+    let app = triangle::app(&params);
+    let model = calibrate(&app, 3);
+
+    println!();
+    println!(
+        "  {:<8} {:<22} {:>10} {:>11} {:>7}",
+        "config", "phase", "exp (min)", "model (min)", "err %"
+    );
+    let mut errors = Vec::new();
+    let mut compute = Vec::new();
+    for config in [HybridConfig::SsdSsd, HybridConfig::HddHdd] {
+        let run = simulate(&app, 10, 36, config);
+        let env = PredictEnv::hybrid(10, 36, config);
+        for phase in ["graphLoader", "computeTriangleCount", "triangleCount"] {
+            let exp = run.time_in(phase).as_secs();
+            let pred = model.predict_stage(phase, &env);
+            let e = err_pct(exp, pred);
+            errors.push(e);
+            println!(
+                "  {:<8} {:<22} {:>10.1} {:>11.1} {:>7.1}",
+                config.label(),
+                phase,
+                exp / 60.0,
+                pred / 60.0,
+                e
+            );
+        }
+        compute.push(triangle::compute_time(&run).as_secs());
+    }
+
+    let ratio = compute[1] / compute[0];
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!();
+    println!("  computeTriangleCount HDD/SSD = {ratio:.1}x (paper: 6.5x)");
+    println!("  average model error {avg:.1}% (paper: 3.6%)");
+    assert!(ratio > 3.0, "canonicalization shuffle must be HDD-bound");
+    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    footer("fig11");
+}

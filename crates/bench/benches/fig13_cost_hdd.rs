@@ -1,0 +1,77 @@
+//! Figure 13: genome-sequencing cost when using standard (HDD-class)
+//! persistent disks of different sizes — sweeping the Spark-local size
+//! with HDFS pinned at 1 TB (13a-style view) and the HDFS size with local
+//! pinned at 2 TB (13b-style view) — against the R1 (Spark website) and
+//! R2 (Cloudera) reference provisionings.
+//!
+//! Paper result: the model-found HDD optimum (P = 16, 1 TB HDFS, 2 TB
+//! local) costs $4.12 — 32% and 52% below R1 ($6.06) and R2 ($8.65).
+
+use doppio_bench::{banner, calibrate, footer};
+use doppio_cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice};
+use doppio_workloads::gatk4;
+
+fn main() {
+    banner("fig13", "Figure 13: cost with standard-PD (HDD) disks, GATK4, 10x16 vCPU");
+
+    let app = gatk4::app(&gatk4::Params::paper());
+    let model = calibrate(&app, 3);
+    let eval = CostEvaluator::new(model);
+
+    let base = CloudConfig {
+        nodes: 10,
+        vcpus: 16,
+        hdfs: DiskChoice::standard_gb(1000),
+        local: DiskChoice::standard_gb(2000),
+    };
+
+    println!();
+    println!("  (a) HDFS = 1 TB standard; sweep the Spark-local standard PD:");
+    println!("  {:>10} {:>12} {:>10}", "local", "runtime", "cost");
+    for gb in [200u64, 400, 800, 1000, 2000, 3200, 6400] {
+        let cfg = CloudConfig {
+            local: DiskChoice::standard_gb(gb),
+            ..base
+        };
+        let c = eval.evaluate(&cfg);
+        println!("  {:>8}GB {:>9.0} min {:>9.2}$", gb, c.runtime_mins(), c.total());
+    }
+
+    println!();
+    println!("  (b) local = 2 TB standard; sweep the HDFS standard PD:");
+    println!("  {:>10} {:>12} {:>10}", "hdfs", "runtime", "cost");
+    for gb in [200u64, 400, 800, 1000, 2000, 3200, 6400] {
+        let cfg = CloudConfig {
+            hdfs: DiskChoice::standard_gb(gb),
+            ..base
+        };
+        let c = eval.evaluate(&cfg);
+        println!("  {:>8}GB {:>9.0} min {:>9.2}$", gb, c.runtime_mins(), c.total());
+    }
+
+    // HDD-only optimum via the paper's descent, vs references.
+    let mut space = SearchSpace::paper();
+    space.hdfs.retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
+    space.local.retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
+    let best = multi_start_descent(&eval, &space);
+    let grid = grid_search(&eval, &space);
+    let r1 = eval.evaluate(&r1_reference(10, 16));
+    let r2 = eval.evaluate(&r2_reference(10, 16));
+
+    println!();
+    println!("  HDD-only optimum (descent): {} -> {}", best.config, best.cost);
+    println!("  HDD-only optimum (grid):    {} -> {}", grid.config, grid.cost);
+    println!("  R1 (Spark website, 8 TB):   {} -> {}", r1_reference(10, 16), r1);
+    println!("  R2 (Cloudera, 16 TB):       {} -> {}", r2_reference(10, 16), r2);
+    println!(
+        "  savings vs R1: {:.0}% (paper: 32%), vs R2: {:.0}% (paper: 52%)",
+        (1.0 - best.cost.total() / r1.total()) * 100.0,
+        (1.0 - best.cost.total() / r2.total()) * 100.0
+    );
+
+    assert!(best.cost.total() <= grid.cost.total() * 1.05, "descent lands near the grid optimum");
+    assert!(best.cost.total() < r1.total(), "optimum beats R1");
+    assert!(r1.total() < r2.total(), "R2 over-provisions more than R1");
+    footer("fig13");
+}

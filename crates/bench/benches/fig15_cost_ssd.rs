@@ -1,0 +1,88 @@
+//! Figure 15: cost and runtime when an SSD persistent disk backs the
+//! Spark-local directory (HDFS pinned at 1 TB standard PD), sweeping the
+//! SSD size from 20 GB to 3.2 TB.
+//!
+//! Paper result: 200 GB SSD local + 1 TB standard HDFS is cost-optimal at
+//! $3.75 — 38% and 57% below the R1/R2 references — and the measured
+//! runtime at 200 GB (43 min) matches the model (45 min, 4.6% error).
+
+use doppio_bench::{banner, calibrate, footer};
+use doppio_cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice};
+use doppio_workloads::gatk4;
+
+fn main() {
+    banner("fig15", "Figure 15: cost with an SSD-PD Spark-local directory");
+
+    let app = gatk4::app(&gatk4::Params::paper());
+    let model = calibrate(&app, 3);
+    let eval = CostEvaluator::new(model);
+
+    let base = CloudConfig {
+        nodes: 10,
+        vcpus: 16,
+        hdfs: DiskChoice::standard_gb(1000),
+        local: DiskChoice::ssd_gb(200),
+    };
+
+    println!();
+    println!("  HDFS = 1 TB standard PD; cost for different executor core counts P");
+    println!("  and SSD-PD local sizes (the paper's Fig. 15 axes):");
+    print!("  {:>10}", "SSD local");
+    let p_values = [4u32, 8, 16, 32];
+    for p in p_values {
+        print!(" {:>9}", format!("P={p}"));
+    }
+    println!("   runtime@16");
+    let mut best_sweep: Option<(u64, f64)> = None;
+    for gb in [20u64, 50, 100, 200, 400, 800, 1600, 3200] {
+        print!("  {:>8}GB", gb);
+        let mut runtime16 = 0.0;
+        for p in p_values {
+            let cfg = CloudConfig {
+                vcpus: p,
+                local: DiskChoice::ssd_gb(gb),
+                ..base
+            };
+            let c = eval.evaluate(&cfg);
+            print!(" {:>8.2}$", c.total());
+            if p == 16 {
+                runtime16 = c.runtime_mins();
+                if best_sweep.map(|(_, b)| c.total() < b).unwrap_or(true) {
+                    best_sweep = Some((gb, c.total()));
+                }
+            }
+        }
+        println!(" {:>7.0} min", runtime16);
+    }
+    let (best_gb, _) = best_sweep.expect("sweep non-empty");
+
+    // Full-space optimum and references.
+    let space = SearchSpace::paper();
+    let descent = multi_start_descent(&eval, &space);
+    let grid = grid_search(&eval, &space);
+    let r1 = eval.evaluate(&r1_reference(10, 16));
+    let r2 = eval.evaluate(&r2_reference(10, 16));
+
+    println!();
+    println!("  sweep optimum: {best_gb} GB SSD local (paper: 200 GB)");
+    println!("  full-space optimum (descent): {} -> {}", descent.config, descent.cost);
+    println!("  full-space optimum (grid):    {} -> {}", grid.config, grid.cost);
+    println!("  R1 reference: {}", r1);
+    println!("  R2 reference: {}", r2);
+    println!(
+        "  savings vs R1: {:.0}% (paper: 38%), vs R2: {:.0}% (paper: 57%)",
+        (1.0 - grid.cost.total() / r1.total()) * 100.0,
+        (1.0 - grid.cost.total() / r2.total()) * 100.0
+    );
+
+    assert!(descent.cost.total() <= grid.cost.total() * 1.05);
+    assert_eq!(
+        grid.config.local.disk_type,
+        doppio_cloud::CloudDiskType::SsdPd,
+        "the optimum uses an SSD Spark-local disk"
+    );
+    assert!(grid.cost.total() < r1.total() && grid.cost.total() < r2.total());
+    assert!((1.0 - grid.cost.total() / r2.total()) > 0.3, "large savings vs R2");
+    footer("fig15");
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the hot kernel paths: the event engine,
+//! the processor-sharing server, curve lookups and model evaluation.
+//! These bound how large a cluster/workload the simulator can handle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doppio_cluster::HybridConfig;
+use doppio_events::{Bytes, Engine, FlowSpec, PsServer, Rate, SimTime};
+use doppio_model::{ChannelModel, PredictEnv, StageModel};
+use doppio_sparksim::IoChannel;
+use doppio_storage::presets;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_schedule_fire_1k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            let mut w = 0u64;
+            for i in 0..1000u64 {
+                e.schedule_at(SimTime::from_secs(i as f64), move |w: &mut u64, _| *w += i);
+            }
+            e.run(&mut w);
+            black_box(w)
+        })
+    });
+}
+
+fn bench_psserver(c: &mut Criterion) {
+    c.bench_function("psserver_64_flows_drain", |b| {
+        b.iter(|| {
+            let mut s = PsServer::new(100.0);
+            for i in 0..64u64 {
+                s.add_flow(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        demand: 10.0 + i as f64,
+                        cap: 5.0,
+                        tag: i,
+                    },
+                );
+            }
+            let mut done = 0;
+            while let Some(t) = s.next_completion() {
+                s.advance(t);
+                done += s.take_completed().len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let spec = presets::hdd_wd4000();
+    c.bench_function("bandwidth_curve_lookup", |b| {
+        let mut rs = 1024u64;
+        b.iter(|| {
+            rs = (rs * 7 + 3) % (256 * 1024 * 1024) + 1;
+            black_box(spec.read_curve().bandwidth(Bytes::new(rs)))
+        })
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let stage = StageModel {
+        name: "BR".into(),
+        m: 12670,
+        t_avg: 9.0,
+        delta_scale: 12.0,
+        channels: vec![ChannelModel {
+            channel: IoChannel::ShuffleRead,
+            total_bytes: Bytes::from_gib_f64(334.0),
+            request_size: Bytes::from_kib(30),
+            stream_cap: Some(Rate::mib_per_sec(60.0)),
+            delta: 4.0,
+            derate: 1.0,
+        }],
+    };
+    let env = PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd);
+    c.bench_function("stage_model_predict", |b| {
+        b.iter(|| black_box(stage.predict(black_box(&env))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine, bench_psserver, bench_curve, bench_model
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Tables I–III: system configuration, Spark/HDFS configuration, and the
+//! four HDD/SSD hybrid configurations.
+
+use doppio_bench::{banner, footer};
+use doppio_cluster::{presets, DiskRole, HybridConfig};
+use doppio_dfs::DfsConfig;
+use doppio_events::Bytes;
+use doppio_sparksim::SparkConf;
+use doppio_storage::IoDir;
+
+fn main() {
+    banner("tab01", "Tables I-III: hardware, Spark/HDFS and hybrid disk configurations");
+
+    let node = presets::paper_node(36, HybridConfig::SsdSsd);
+    println!("Table I (per slave node):");
+    println!("  CPU cores                  {}", node.cores());
+    println!("  RAM                        {}", node.ram());
+    println!("  Network                    {}", node.nic());
+    let hdd = doppio_storage::presets::hdd_wd4000();
+    let ssd = doppio_storage::presets::ssd_mz7lm();
+    println!(
+        "  HDD    {} capacity {} peak read {}",
+        hdd.name(),
+        hdd.capacity().unwrap(),
+        hdd.read_curve().peak()
+    );
+    println!(
+        "  SSD    {} capacity {} peak read {}",
+        ssd.name(),
+        ssd.capacity().unwrap(),
+        ssd.read_curve().peak()
+    );
+
+    let conf = SparkConf::paper();
+    let dfs = DfsConfig::paper();
+    println!();
+    println!("Table II (Spark and HDFS configuration):");
+    println!("  SPARK_WORKER_CORES         {}", conf.executor_cores);
+    println!("  SPARK_WORKER_MEMORY        {}", conf.executor_memory);
+    println!("  storage fraction           {}", conf.storage_fraction);
+    println!("  dfs.blocksize              {}", dfs.block_size);
+    println!("  dfs.replication            {}", dfs.replication);
+
+    println!();
+    println!("Table III (hybrid configurations; device backing each directory):");
+    println!("  {:<6} {:<28} {:<28}", "cfg", "HDFS", "Spark-local");
+    for (i, c) in HybridConfig::ALL.iter().enumerate() {
+        println!(
+            "  {:<6} {:<28} {:<28}",
+            i + 1,
+            c.hdfs_device().name(),
+            c.local_device().name()
+        );
+    }
+
+    // Headline sanity line: the three bandwidth gaps the presets encode.
+    let gap = |rs: Bytes| {
+        ssd.bandwidth(IoDir::Read, rs).as_bytes_per_sec() / hdd.bandwidth(IoDir::Read, rs).as_bytes_per_sec()
+    };
+    println!();
+    println!("Device-model anchors (paper Section III-C1):");
+    println!("  SSD/HDD gap @ 4 KB   = {:>6.1}x   (paper: 181x)", gap(Bytes::from_kib(4)));
+    println!("  SSD/HDD gap @ 30 KB  = {:>6.1}x   (paper:  32x)", gap(Bytes::from_kib(30)));
+    println!("  SSD/HDD gap @ 128 MB = {:>6.1}x   (paper: 3.7x)", gap(Bytes::from_mib(128)));
+
+    footer("tab01");
+
+    // Guard: abort loudly if the anchors drift.
+    assert!((gap(Bytes::from_kib(30)) - 32.0).abs() < 0.5);
+    assert_eq!(DiskRole::Hdfs.to_string(), "HDFS");
+}

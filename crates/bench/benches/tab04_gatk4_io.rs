@@ -1,0 +1,62 @@
+//! Table IV: I/O data size (GB) in different GATK4 stages.
+//!
+//! Runs the full-scale GATK4 pipeline on the simulator and prints the
+//! per-stage I/O volumes next to the paper's rows. HDFS-write volumes are
+//! de-amplified by the replication factor, since Table IV counts logical
+//! bytes.
+
+use doppio_bench::{banner, footer, simulate};
+use doppio_cluster::HybridConfig;
+use doppio_sparksim::IoChannel;
+use doppio_workloads::gatk4;
+
+fn main() {
+    banner("tab04", "Table IV: I/O data size (GB) per GATK4 stage (500M read pairs)");
+
+    let params = gatk4::Params::paper();
+    let app = gatk4::app(&params);
+    let run = simulate(&app, 3, 36, HybridConfig::SsdSsd);
+
+    let paper = gatk4::table4_rows(&params.dataset);
+    println!(
+        "  {:<6} {:>12} {:>14} {:>13} {:>12}   (measured | paper)",
+        "stage", "HDFS read", "shuffle write", "shuffle read", "HDFS write"
+    );
+    let replication = 2.0;
+    for (stage_name, expect) in paper {
+        let s = run.stage(stage_name).expect("stage exists");
+        let measured = [
+            s.channel_bytes(IoChannel::HdfsRead).as_gib(),
+            s.channel_bytes(IoChannel::ShuffleWrite).as_gib(),
+            s.channel_bytes(IoChannel::ShuffleRead).as_gib(),
+            s.channel_bytes(IoChannel::HdfsWrite).as_gib() / replication,
+        ];
+        println!(
+            "  {:<6} {:>6.0}|{:<5.0} {:>7.0}|{:<6.0} {:>6.0}|{:<6.0} {:>6.0}|{:<5.0}",
+            stage_name,
+            measured[0],
+            expect[0].as_gib(),
+            measured[1],
+            expect[1].as_gib(),
+            measured[2],
+            expect[2].as_gib(),
+            measured[3],
+            expect[3].as_gib(),
+        );
+        for (m, e) in measured.iter().zip(expect.iter()) {
+            let e = e.as_gib();
+            assert!(
+                (m - e).abs() <= 0.05 * e.max(1.0),
+                "{stage_name}: measured {m:.1} GB vs paper {e:.1} GB"
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "  total shuffle read across BR+SF: {:.0} GB (paper: 668 GB — the uncacheable",
+        run.total_channel_bytes(IoChannel::ShuffleRead).as_gib()
+    );
+    println!("  markedReads RDD is re-read from shuffle files by both jobs)");
+    footer("tab04");
+}

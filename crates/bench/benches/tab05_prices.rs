@@ -1,0 +1,32 @@
+//! Table V: disk price in the Google Cloud platform.
+
+use doppio_bench::{banner, footer};
+use doppio_cloud::{pricing, CloudDiskType};
+use doppio_events::Bytes;
+
+fn main() {
+    banner("tab05", "Table V: disk price in Google Cloud");
+
+    println!("  {:<30} {:>18}", "type", "price (GB/month)");
+    for t in CloudDiskType::ALL {
+        println!("  {:<30} {:>17}$", t.label(), t.price_per_gb_month());
+    }
+    println!();
+    println!(
+        "  SSD / standard price ratio: {:.2}x (the paper quotes 4.2x)",
+        CloudDiskType::SsdPd.price_per_gb_month() / CloudDiskType::StandardPd.price_per_gb_month()
+    );
+    println!(
+        "  vCPU price: ${:.4}/vCPU-hour (sustained-use n1 rate; see pricing docs)",
+        pricing::PRICE_PER_VCPU_HOUR
+    );
+    println!(
+        "  example: 1 TB standard PD costs ${:.4}/h, 1 TB SSD PD ${:.4}/h",
+        pricing::disk_hourly(CloudDiskType::StandardPd, Bytes::new(1_000_000_000_000)),
+        pricing::disk_hourly(CloudDiskType::SsdPd, Bytes::new(1_000_000_000_000)),
+    );
+
+    assert_eq!(CloudDiskType::StandardPd.price_per_gb_month(), 0.040);
+    assert_eq!(CloudDiskType::SsdPd.price_per_gb_month(), 0.170);
+    footer("tab05");
+}

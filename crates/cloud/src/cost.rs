@@ -1,0 +1,244 @@
+//! The cost function: `Cost = f(P, DiskTypes, DiskSizes, Time)`.
+
+use std::fmt;
+
+use doppio_events::Bytes;
+use doppio_model::{AppModel, PredictEnv};
+
+use crate::{disks, pricing, CloudDiskType};
+
+/// A provisioned disk choice: family plus size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskChoice {
+    /// Disk family.
+    pub disk_type: CloudDiskType,
+    /// Provisioned size.
+    pub size: Bytes,
+}
+
+impl DiskChoice {
+    /// A standard PD of `gb` gigabytes (decimal, as clouds bill).
+    pub fn standard_gb(gb: u64) -> Self {
+        DiskChoice {
+            disk_type: CloudDiskType::StandardPd,
+            size: Bytes::new(gb * 1_000_000_000),
+        }
+    }
+
+    /// An SSD PD of `gb` gigabytes.
+    pub fn ssd_gb(gb: u64) -> Self {
+        DiskChoice {
+            disk_type: CloudDiskType::SsdPd,
+            size: Bytes::new(gb * 1_000_000_000),
+        }
+    }
+
+    /// Hourly price of this disk.
+    pub fn hourly(&self) -> f64 {
+        pricing::disk_hourly(self.disk_type, self.size)
+    }
+}
+
+impl fmt::Display for DiskChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:.0}GB", self.disk_type, self.size.as_f64() / 1e9)
+    }
+}
+
+/// One point of the configuration space the paper explores:
+/// `(CoreNum, DiskTypes, DiskSize_HDFS, DiskSize_SparkLocal)` per node,
+/// times `nodes` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CloudConfig {
+    /// Worker node count.
+    pub nodes: usize,
+    /// vCPUs per node (the paper fixes 16 per the HCloud guidance).
+    pub vcpus: u32,
+    /// Disk backing HDFS.
+    pub hdfs: DiskChoice,
+    /// Disk backing the Spark-local directory.
+    pub local: DiskChoice,
+}
+
+impl CloudConfig {
+    /// Cluster cost per hour (vCPUs + both disks, all nodes).
+    pub fn hourly(&self) -> f64 {
+        self.nodes as f64 * (pricing::vcpu_hourly(self.vcpus) + self.hdfs.hourly() + self.local.hourly())
+    }
+
+    /// The prediction environment this configuration induces.
+    pub fn env(&self) -> PredictEnv {
+        PredictEnv::new(
+            self.nodes,
+            self.vcpus,
+            disks::device(self.hdfs.disk_type, self.hdfs.size),
+            disks::device(self.local.disk_type, self.local.size),
+        )
+    }
+}
+
+impl fmt::Display for CloudConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} vCPU, hdfs {}, local {}",
+            self.nodes, self.vcpus, self.hdfs, self.local
+        )
+    }
+}
+
+/// A priced prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Predicted job runtime in seconds.
+    pub runtime_secs: f64,
+    /// vCPU dollars.
+    pub cpu_cost: f64,
+    /// Disk dollars.
+    pub disk_cost: f64,
+}
+
+impl CostBreakdown {
+    /// Total dollars for the job.
+    pub fn total(&self) -> f64 {
+        self.cpu_cost + self.disk_cost
+    }
+
+    /// Runtime in minutes (the unit of Figs. 14–15).
+    pub fn runtime_mins(&self) -> f64 {
+        self.runtime_secs / 60.0
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "${:.2} ({:.0} min; cpu ${:.2} + disk ${:.2})",
+            self.total(),
+            self.runtime_mins(),
+            self.cpu_cost,
+            self.disk_cost
+        )
+    }
+}
+
+/// Prices configurations by predicting their runtime with a calibrated
+/// Doppio model.
+///
+/// # Example
+///
+/// ```
+/// use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice};
+/// use doppio_model::{AppModel, StageModel};
+///
+/// let model = AppModel::new("toy", vec![StageModel {
+///     name: "s".into(), m: 1600, t_avg: 10.0, delta_scale: 0.0, channels: vec![],
+/// }]);
+/// let eval = CostEvaluator::new(model);
+/// let config = CloudConfig {
+///     nodes: 10,
+///     vcpus: 16,
+///     hdfs: DiskChoice::standard_gb(1000),
+///     local: DiskChoice::ssd_gb(200),
+/// };
+/// let cost = eval.evaluate(&config);
+/// assert!(cost.total() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    model: AppModel,
+}
+
+impl CostEvaluator {
+    /// Creates an evaluator over a calibrated application model.
+    pub fn new(model: AppModel) -> Self {
+        CostEvaluator { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+
+    /// Predicts runtime and prices the configuration.
+    pub fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        let runtime_secs = self.model.predict(&config.env());
+        let hours = runtime_secs / 3600.0;
+        let cpu_cost = config.nodes as f64 * pricing::vcpu_hourly(config.vcpus) * hours;
+        let disk_cost = config.nodes as f64 * (config.hdfs.hourly() + config.local.hourly()) * hours;
+        CostBreakdown {
+            runtime_secs,
+            cpu_cost,
+            disk_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_model::StageModel;
+
+    fn toy_model() -> AppModel {
+        AppModel::new(
+            "toy",
+            vec![StageModel {
+                name: "s".into(),
+                m: 3200,
+                t_avg: 18.0,
+                delta_scale: 0.0,
+                channels: vec![doppio_model::ChannelModel {
+                    channel: doppio_sparksim::IoChannel::ShuffleRead,
+                    total_bytes: Bytes::from_gib(300),
+                    request_size: Bytes::from_kib(30),
+                    stream_cap: Some(doppio_events::Rate::mib_per_sec(60.0)),
+                    delta: 0.0,
+                    derate: 1.0,
+                }],
+            }],
+        )
+    }
+
+    fn config(local: DiskChoice) -> CloudConfig {
+        CloudConfig {
+            nodes: 10,
+            vcpus: 16,
+            hdfs: DiskChoice::standard_gb(1000),
+            local,
+        }
+    }
+
+    #[test]
+    fn bigger_disks_cost_more_per_hour() {
+        let small = config(DiskChoice::standard_gb(200)).hourly();
+        let big = config(DiskChoice::standard_gb(2000)).hourly();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn faster_disk_shortens_runtime() {
+        let eval = CostEvaluator::new(toy_model());
+        let slow = eval.evaluate(&config(DiskChoice::standard_gb(200)));
+        let fast = eval.evaluate(&config(DiskChoice::ssd_gb(500)));
+        assert!(fast.runtime_secs < slow.runtime_secs / 3.0, "30 KB reads need IOPS");
+    }
+
+    #[test]
+    fn cost_balances_rate_and_runtime() {
+        // The cost trade-off of Section VI: a tiny standard PD is cheap per
+        // hour but so slow that total cost explodes.
+        let eval = CostEvaluator::new(toy_model());
+        let tiny = eval.evaluate(&config(DiskChoice::standard_gb(100)));
+        let right = eval.evaluate(&config(DiskChoice::ssd_gb(200)));
+        assert!(tiny.total() > right.total(), "tiny {} vs right {}", tiny, right);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let eval = CostEvaluator::new(toy_model());
+        let b = eval.evaluate(&config(DiskChoice::ssd_gb(200)));
+        assert!((b.total() - (b.cpu_cost + b.disk_cost)).abs() < 1e-12);
+        assert!((b.runtime_mins() - b.runtime_secs / 60.0).abs() < 1e-12);
+    }
+}

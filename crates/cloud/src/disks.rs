@@ -1,0 +1,205 @@
+//! Virtual persistent-disk models.
+//!
+//! Google Cloud persistent disks scale with provisioned size ("the virtual
+//! disk bandwidth is related to its configured size", paper §VI.1, citing
+//! the GCP storage datasheet). We reproduce the 2017 datasheet shape:
+//!
+//! | type | throughput | IOPS |
+//! |---|---|---|
+//! | standard PD | 0.12 MB/s per GB, capped at 240 MB/s | 0.75 read IOPS per GB, capped at 3,000 |
+//! | SSD PD      | 0.48 MB/s per GB, capped at 800 MB/s | 30 IOPS per GB, capped at 25,000 |
+//!
+//! Effective bandwidth at request size `rs` is
+//! `min(throughput limit, IOPS limit × rs)` — the small-request penalty
+//! that keeps the Doppio model's request-size awareness relevant in the
+//! cloud. The standard-PD throughput cap is calibrated so runtime flattens
+//! beyond a 2 TB local disk, matching the paper's Figure 14.
+
+use doppio_events::{Bytes, Rate};
+use doppio_storage::{BandwidthCurve, DeviceSpec};
+
+/// The two persistent-disk families of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloudDiskType {
+    /// "Standard provisioned space" — rotational-backed.
+    StandardPd,
+    /// "SSD provisioned space".
+    SsdPd,
+}
+
+impl CloudDiskType {
+    /// Both disk types.
+    pub const ALL: [CloudDiskType; 2] = [CloudDiskType::StandardPd, CloudDiskType::SsdPd];
+
+    /// Throughput per provisioned GB, in MB/s.
+    pub fn throughput_per_gb(self) -> f64 {
+        match self {
+            CloudDiskType::StandardPd => 0.12,
+            CloudDiskType::SsdPd => 0.48,
+        }
+    }
+
+    /// Per-instance throughput cap, in MB/s.
+    pub fn throughput_cap(self) -> f64 {
+        match self {
+            CloudDiskType::StandardPd => 240.0,
+            CloudDiskType::SsdPd => 800.0,
+        }
+    }
+
+    /// Read IOPS per provisioned GB.
+    pub fn iops_per_gb(self) -> f64 {
+        match self {
+            CloudDiskType::StandardPd => 0.75,
+            CloudDiskType::SsdPd => 30.0,
+        }
+    }
+
+    /// Per-instance IOPS cap. The standard-PD cap is the 2017-era small-
+    /// read ceiling; together with the 0.75 IOPS/GB scaling it puts the
+    /// knee of GATK4's runtime-vs-size curve at 2 TB, where the paper's
+    /// Figure 14 flattens.
+    pub fn iops_cap(self) -> f64 {
+        match self {
+            CloudDiskType::StandardPd => 1_500.0,
+            CloudDiskType::SsdPd => 25_000.0,
+        }
+    }
+
+    /// Table V price, in dollars per GB-month.
+    pub fn price_per_gb_month(self) -> f64 {
+        match self {
+            CloudDiskType::StandardPd => 0.040,
+            CloudDiskType::SsdPd => 0.170,
+        }
+    }
+
+    /// Datasheet label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CloudDiskType::StandardPd => "standard-pd",
+            CloudDiskType::SsdPd => "ssd-pd",
+        }
+    }
+
+    /// Sustained throughput limit for a disk of `size`.
+    pub fn throughput_limit(self, size: Bytes) -> Rate {
+        let gb = size.as_f64() / 1e9;
+        Rate::mib_per_sec((self.throughput_per_gb() * gb).min(self.throughput_cap()))
+    }
+
+    /// IOPS limit for a disk of `size`.
+    pub fn iops_limit(self, size: Bytes) -> f64 {
+        let gb = size.as_f64() / 1e9;
+        (self.iops_per_gb() * gb).min(self.iops_cap())
+    }
+
+    /// Effective bandwidth at a request size: `min(throughput, IOPS × rs)`.
+    pub fn bandwidth(self, size: Bytes, request_size: Bytes) -> Rate {
+        let tput = self.throughput_limit(size).as_bytes_per_sec();
+        let iops = self.iops_limit(size) * request_size.as_f64();
+        Rate::bytes_per_sec(tput.min(iops))
+    }
+}
+
+impl std::fmt::Display for CloudDiskType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Builds a [`DeviceSpec`] for a provisioned virtual disk, usable by both
+/// the simulator and the analytical model.
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+pub fn device(disk_type: CloudDiskType, size: Bytes) -> DeviceSpec {
+    assert!(!size.is_zero(), "a provisioned disk needs a size");
+    // Sample the min(throughput, IOPS×rs) formula over the fio block-size
+    // grid; the curve interpolates log-log between points.
+    let sizes: Vec<Bytes> = vec![
+        Bytes::from_kib(4),
+        Bytes::from_kib(16),
+        Bytes::from_kib(30),
+        Bytes::from_kib(64),
+        Bytes::from_kib(256),
+        Bytes::from_mib(1),
+        Bytes::from_mib(4),
+        Bytes::from_mib(16),
+        Bytes::from_mib(64),
+        Bytes::from_mib(128),
+        Bytes::from_mib(512),
+    ];
+    let pts: Vec<(Bytes, Rate)> = sizes
+        .into_iter()
+        .map(|rs| (rs, disk_type.bandwidth(size, rs)))
+        .collect();
+    let read = BandwidthCurve::from_points(&pts);
+    // Writes on PDs are throughput-symmetric at this abstraction level.
+    let write = read.clone();
+    DeviceSpec::new(
+        format!("{}-{:.0}GB", disk_type.label(), size.as_f64() / 1e9),
+        read,
+        write,
+    )
+    .with_capacity(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_size_then_caps() {
+        let t = CloudDiskType::StandardPd;
+        let b500 = t.throughput_limit(Bytes::new(500_000_000_000));
+        assert!((b500.as_mib_per_sec() - 60.0).abs() < 0.1, "500 GB -> 60 MB/s");
+        let b2t = t.throughput_limit(Bytes::new(2_000_000_000_000));
+        assert!((b2t.as_mib_per_sec() - 240.0).abs() < 0.1, "2 TB hits the cap");
+        let b4t = t.throughput_limit(Bytes::new(4_000_000_000_000));
+        assert_eq!(b2t, b4t, "no gain past the cap (Fig 14 flattens after 2 TB)");
+    }
+
+    #[test]
+    fn small_requests_are_iops_bound() {
+        // 200 GB standard PD: 150 IOPS; at 30 KB that is ~4.4 MB/s, far
+        // below the 24 MB/s throughput limit.
+        let t = CloudDiskType::StandardPd;
+        let size = Bytes::new(200_000_000_000);
+        let bw = t.bandwidth(size, Bytes::from_kib(30));
+        assert!(bw.as_mib_per_sec() < 5.0, "IOPS-bound: {bw}");
+        let big = t.bandwidth(size, Bytes::from_mib(128));
+        assert!((big.as_mib_per_sec() - 24.0).abs() < 0.5, "throughput-bound: {big}");
+    }
+
+    #[test]
+    fn ssd_pd_is_4x_throughput_and_40x_iops() {
+        let size = Bytes::new(500_000_000_000);
+        let s = CloudDiskType::SsdPd;
+        let h = CloudDiskType::StandardPd;
+        let ratio_tput = s.throughput_limit(size) / h.throughput_limit(size);
+        assert!((ratio_tput - 4.0).abs() < 0.01);
+        let ratio_iops = s.iops_limit(size) / h.iops_limit(size);
+        assert!((ratio_iops - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn device_curve_matches_formula() {
+        let size = Bytes::new(1_000_000_000_000); // 1 TB
+        let dev = device(CloudDiskType::SsdPd, size);
+        for rs_kib in [4u64, 30, 256, 4096, 131072] {
+            let rs = Bytes::from_kib(rs_kib);
+            let got = dev.bandwidth(doppio_storage::IoDir::Read, rs).as_bytes_per_sec();
+            let want = CloudDiskType::SsdPd.bandwidth(size, rs).as_bytes_per_sec();
+            assert!((got - want).abs() / want < 1e-6, "rs={rs}");
+        }
+        assert_eq!(dev.capacity(), Some(size));
+    }
+
+    #[test]
+    fn table5_prices() {
+        assert_eq!(CloudDiskType::StandardPd.price_per_gb_month(), 0.040);
+        assert_eq!(CloudDiskType::SsdPd.price_per_gb_month(), 0.170);
+    }
+}

@@ -1,0 +1,35 @@
+//! Model-driven cost optimization in a public cloud (paper Section VI).
+//!
+//! The paper's case study: given the calibrated Doppio model of GATK4,
+//! explore the Google-Cloud configuration space
+//! `(P, DiskTypes, DiskSize_HDFS, DiskSize_SparkLocal)` and minimize
+//! `Cost = f(config, Time)` where `Time` comes from the model. Against the
+//! Spark-website (R1) and Cloudera (R2) reference provisioning guides, the
+//! paper saves 38%–57%.
+//!
+//! This crate provides:
+//!
+//! * [`disks`] — virtual persistent disks whose throughput and IOPS scale
+//!   with provisioned size (the 2017 GCP datasheet shape), exposed as
+//!   ordinary [`doppio_storage::DeviceSpec`]s so both the simulator and the
+//!   model can run against them.
+//! * [`pricing`] — Table V disk prices plus vCPU pricing.
+//! * [`CostEvaluator`] — `Cost = (vCPU + disk rate) × Time(model)`.
+//! * [`optimize`] — exhaustive grid search (ground truth) and the paper's
+//!   coordinate-descent search over the discrete space.
+//! * [`CloudPlatform`] — a [`doppio_model::ProfilePlatform`] over cloud
+//!   disks, so the §VI.1 calibration (with its disk-resizing resample
+//!   rules) runs exactly as in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+pub mod disks;
+pub mod optimize;
+mod platform;
+pub mod pricing;
+
+pub use cost::{CloudConfig, CostBreakdown, CostEvaluator, DiskChoice};
+pub use disks::CloudDiskType;
+pub use platform::CloudPlatform;

@@ -1,0 +1,179 @@
+//! A calibration platform over cloud disks.
+//!
+//! Section VI.1 runs the four sample runs on small cloud clusters: 500 GB
+//! SSD PDs for the baseline runs and a 200 GB standard PD for the stress
+//! runs, with the resample rules "double the requested SSD size" / "shrink
+//! the requested HDD size by half" when the sanity checks fire.
+//! [`CloudPlatform`] implements [`ProfilePlatform`] with exactly those
+//! devices, so [`doppio_model::Calibrator`] works unchanged, and
+//! [`CloudPlatform::calibrate_with_resizing`] adds the resizing loop.
+
+use doppio_cluster::{ClusterSpec, DiskRole, NodeSpec};
+use doppio_events::Bytes;
+use doppio_model::{CalibrationReport, Calibrator, ModelError, ProfilePlatform};
+use doppio_sparksim::{App, AppRun, SimError, Simulation, SparkConf};
+use doppio_storage::DeviceSpec;
+
+use crate::disks;
+use crate::CloudDiskType;
+
+/// A profiling platform whose nodes carry provisioned virtual disks.
+#[derive(Debug, Clone)]
+pub struct CloudPlatform {
+    app: App,
+    nodes: usize,
+    vcpus: u32,
+    conf: SparkConf,
+    ssd_size: Bytes,
+    hdd_size: Bytes,
+}
+
+impl CloudPlatform {
+    /// Creates a platform profiling `app` on `nodes` workers of `vcpus`
+    /// vCPUs, with the paper's default sample-run disks (500 GB SSD PD,
+    /// 200 GB standard PD).
+    pub fn new(app: App, nodes: usize, vcpus: u32, conf: SparkConf) -> Self {
+        CloudPlatform {
+            app,
+            nodes,
+            vcpus,
+            conf: conf.without_noise(),
+            ssd_size: Bytes::new(500_000_000_000),
+            hdd_size: Bytes::new(200_000_000_000),
+        }
+    }
+
+    fn node_template(&self) -> NodeSpec {
+        NodeSpec::new(
+            self.vcpus,
+            Bytes::from_gib(60), // 3.75 GB per vCPU on n1-standard-16
+            disks::device(CloudDiskType::SsdPd, self.ssd_size),
+            disks::device(CloudDiskType::SsdPd, self.ssd_size),
+            doppio_events::Rate::gbit_per_sec(10.0),
+        )
+    }
+
+    /// The calibrator configured with this platform's current sample disks.
+    pub fn calibrator(&self) -> Calibrator {
+        Calibrator {
+            ssd: disks::device(CloudDiskType::SsdPd, self.ssd_size),
+            hdd: disks::device(CloudDiskType::StandardPd, self.hdd_size),
+            stress_cores: self.vcpus.min(16),
+        }
+    }
+
+    /// Calibrates with the paper's resample rules: on an "SSD is the
+    /// bottleneck at P=1" warning the SSD size doubles; on an "HDD is far
+    /// from the bottleneck" warning the HDD size halves; at most
+    /// `max_rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn calibrate_with_resizing(
+        &mut self,
+        app_name: &str,
+        max_rounds: usize,
+    ) -> Result<CalibrationReport, ModelError> {
+        let mut report = self.calibrator().calibrate(self, app_name)?;
+        for _ in 0..max_rounds {
+            let grow_ssd = report.warnings.iter().any(|w| w.contains("double the requested SSD"));
+            let shrink_hdd = report.warnings.iter().any(|w| w.contains("shrink the requested HDD"));
+            if !grow_ssd && !shrink_hdd {
+                break;
+            }
+            if grow_ssd {
+                self.ssd_size = self.ssd_size * 2;
+            }
+            if shrink_hdd {
+                self.hdd_size = Bytes::new((self.hdd_size.as_u64() / 2).max(50_000_000_000));
+            }
+            report = self.calibrator().calibrate(self, app_name)?;
+        }
+        Ok(report)
+    }
+
+    /// Current SSD sample-disk size.
+    pub fn ssd_size(&self) -> Bytes {
+        self.ssd_size
+    }
+
+    /// Current standard-PD sample-disk size.
+    pub fn hdd_size(&self) -> Bytes {
+        self.hdd_size
+    }
+}
+
+impl ProfilePlatform for CloudPlatform {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn conf(&self) -> &SparkConf {
+        &self.conf
+    }
+
+    fn run(&self, cores: u32, hdfs: DeviceSpec, local: DeviceSpec) -> Result<AppRun, SimError> {
+        let node = self
+            .node_template()
+            .with_disk(DiskRole::Hdfs, hdfs)
+            .with_disk(DiskRole::Local, local);
+        let cluster = ClusterSpec::homogeneous(self.nodes, node);
+        Simulation::with_conf(cluster, self.conf.clone().with_cores(cores)).run(&self.app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_model::PredictEnv;
+    use doppio_sparksim::{AppBuilder, Cost, ShuffleSpec};
+
+    fn small_app() -> App {
+        // Large enough that wave quantization (ceil(M / N·P)) stays small
+        // relative to the stage times the two-run algebra consumes.
+        let mut b = AppBuilder::new("cloud-test");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(8));
+        let sh = b.group_by_key(
+            src,
+            "group",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(16)),
+            Cost::for_lambda(4.0, doppio_events::Rate::mib_per_sec(60.0)),
+            1.0,
+        );
+        b.count(sh, "reduce", Cost::ZERO);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cloud_calibration_produces_a_model() {
+        let mut p = CloudPlatform::new(small_app(), 3, 16, SparkConf::paper());
+        let report = p.calibrate_with_resizing("cloud-test", 3).unwrap();
+        assert_eq!(report.model.stages().len(), 2);
+    }
+
+    #[test]
+    fn cloud_model_predicts_cloud_run() {
+        let mut p = CloudPlatform::new(small_app(), 3, 16, SparkConf::paper());
+        let report = p.calibrate_with_resizing("cloud-test", 3).unwrap();
+        // Predict a config with a 1 TB standard PD local dir.
+        let local = disks::device(CloudDiskType::StandardPd, Bytes::new(1_000_000_000_000));
+        let hdfs = disks::device(CloudDiskType::SsdPd, p.ssd_size());
+        let run = p.run(16, hdfs.clone(), local.clone()).unwrap();
+        let env = PredictEnv::new(3, 16, hdfs, local);
+        let predicted = report.model.predict(&env);
+        let measured = run.total_time().as_secs();
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.15, "cloud prediction error {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn resizing_rules_move_sizes_monotonically() {
+        let mut p = CloudPlatform::new(small_app(), 3, 16, SparkConf::paper());
+        let before_ssd = p.ssd_size();
+        let before_hdd = p.hdd_size();
+        let _ = p.calibrate_with_resizing("cloud-test", 3).unwrap();
+        assert!(p.ssd_size() >= before_ssd);
+        assert!(p.hdd_size() <= before_hdd);
+    }
+}

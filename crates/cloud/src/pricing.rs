@@ -1,0 +1,43 @@
+//! Cloud pricing constants (paper Table V + vCPU rates).
+
+use doppio_events::Bytes;
+
+use crate::CloudDiskType;
+
+/// Hours per billing month (GCP bills disks per GB-month; 730 h/month).
+pub const HOURS_PER_MONTH: f64 = 730.0;
+
+/// Dollars per vCPU-hour. Calibrated to the 2017 n1 custom vCPU rate with
+/// the sustained-use discount that a multi-hour genome pipeline earns —
+/// the regime in which the paper's $3.75-per-genome optimum lives.
+pub const PRICE_PER_VCPU_HOUR: f64 = 0.0305;
+
+/// Hourly price of one provisioned disk.
+pub fn disk_hourly(disk: CloudDiskType, size: Bytes) -> f64 {
+    let gb = size.as_f64() / 1e9;
+    disk.price_per_gb_month() * gb / HOURS_PER_MONTH
+}
+
+/// Hourly price of `vcpus` virtual CPUs.
+pub fn vcpu_hourly(vcpus: u32) -> f64 {
+    PRICE_PER_VCPU_HOUR * vcpus as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_pricing_follows_table5() {
+        let gb1000 = Bytes::new(1_000_000_000_000);
+        let std = disk_hourly(CloudDiskType::StandardPd, gb1000);
+        assert!((std - 0.040 * 1000.0 / 730.0).abs() < 1e-12);
+        let ssd = disk_hourly(CloudDiskType::SsdPd, gb1000);
+        assert!((ssd / std - 4.25).abs() < 1e-9, "SSD is 4.25x the standard price");
+    }
+
+    #[test]
+    fn vcpu_pricing_is_linear() {
+        assert!((vcpu_hourly(16) - 16.0 * PRICE_PER_VCPU_HOUR).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the cloud layer: pricing linearity, disk-model
+//! monotonicity, and optimizer soundness.
+
+use doppio_cloud::optimize::{coordinate_descent, grid_search, SearchSpace};
+use doppio_cloud::{disks, pricing, CloudConfig, CloudDiskType, CostEvaluator, DiskChoice};
+use doppio_events::{Bytes, Rate};
+use doppio_model::{AppModel, ChannelModel, StageModel};
+use doppio_sparksim::IoChannel;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = AppModel> {
+    (
+        100u64..20_000,  // m
+        0.5f64..30.0,    // t_avg
+        10u64..500,      // shuffle D GiB
+        8u64..4096,      // rs KiB
+    )
+        .prop_map(|(m, t_avg, d, rs)| {
+            AppModel::new(
+                "p",
+                vec![StageModel {
+                    name: "s".into(),
+                    m,
+                    t_avg,
+                    delta_scale: 0.0,
+                    channels: vec![ChannelModel::new(
+                        IoChannel::ShuffleRead,
+                        Bytes::from_gib(d),
+                        Bytes::from_kib(rs),
+                        Some(Rate::mib_per_sec(60.0)),
+                    )],
+                }],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Disk pricing is linear in size and the SSD premium is constant.
+    #[test]
+    fn pricing_linearity(gb in 10u64..10_000) {
+        let size = Bytes::new(gb * 1_000_000_000);
+        let double = Bytes::new(2 * gb * 1_000_000_000);
+        for t in CloudDiskType::ALL {
+            let one = pricing::disk_hourly(t, size);
+            let two = pricing::disk_hourly(t, double);
+            prop_assert!((two - 2.0 * one).abs() < 1e-12);
+        }
+        let ratio = pricing::disk_hourly(CloudDiskType::SsdPd, size)
+            / pricing::disk_hourly(CloudDiskType::StandardPd, size);
+        prop_assert!((ratio - 4.25).abs() < 1e-9);
+    }
+
+    /// Virtual-disk bandwidth is monotone in provisioned size and request
+    /// size, and never exceeds the per-instance caps.
+    #[test]
+    fn disk_bandwidth_monotone(
+        gb_small in 10u64..2_000,
+        extra in 1u64..4_000,
+        rs_kib in 4u64..262_144,
+    ) {
+        for t in CloudDiskType::ALL {
+            let small = Bytes::new(gb_small * 1_000_000_000);
+            let big = Bytes::new((gb_small + extra) * 1_000_000_000);
+            let rs = Bytes::from_kib(rs_kib);
+            let bw_small = t.bandwidth(small, rs);
+            let bw_big = t.bandwidth(big, rs);
+            prop_assert!(bw_big.as_bytes_per_sec() + 1e-6 >= bw_small.as_bytes_per_sec());
+            prop_assert!(bw_big.as_mib_per_sec() <= t.throughput_cap() + 1e-6);
+            // Device spec agrees with the closed form.
+            let dev = disks::device(t, big);
+            let via_curve = dev.bandwidth(doppio_storage::IoDir::Read, rs);
+            let rel = (via_curve.as_bytes_per_sec() - bw_big.as_bytes_per_sec()).abs()
+                / bw_big.as_bytes_per_sec();
+            prop_assert!(rel < 0.05, "curve vs formula: {rel}");
+        }
+    }
+
+    /// The grid optimum is a true lower bound over the space, and descent
+    /// never reports a value below it or above its own seed.
+    #[test]
+    fn optimizer_soundness(model in arb_model(), seed_idx in 0usize..64) {
+        let eval = CostEvaluator::new(model);
+        let mut space = SearchSpace::paper();
+        // Shrink the space to keep the property fast.
+        space.hdfs.truncate(6);
+        space.local.truncate(6);
+        space.vcpus = vec![8, 16];
+        let grid = grid_search(&eval, &space);
+        // Grid beats (or ties) an arbitrary configuration.
+        let configs: Vec<CloudConfig> = space.iter().collect();
+        let probe = configs[seed_idx % configs.len()];
+        prop_assert!(grid.cost.total() <= eval.evaluate(&probe).total() + 1e-9);
+        // Descent is bounded by seed above and grid below.
+        let descent = coordinate_descent(&eval, &space, probe);
+        prop_assert!(descent.cost.total() <= eval.evaluate(&probe).total() + 1e-9);
+        prop_assert!(descent.cost.total() + 1e-9 >= grid.cost.total());
+    }
+
+    /// Runtime is non-increasing in local-disk size at fixed type.
+    #[test]
+    fn runtime_monotone_in_disk_size(model in arb_model()) {
+        let eval = CostEvaluator::new(model);
+        for t in CloudDiskType::ALL {
+            let mut prev = f64::INFINITY;
+            for gb in [100u64, 200, 500, 1000, 2000, 5000] {
+                let cfg = CloudConfig {
+                    nodes: 10,
+                    vcpus: 16,
+                    hdfs: DiskChoice::standard_gb(1000),
+                    local: DiskChoice { disk_type: t, size: Bytes::new(gb * 1_000_000_000) },
+                };
+                let r = eval.evaluate(&cfg).runtime_secs;
+                prop_assert!(r <= prev + 1e-6, "{t}: {gb} GB runtime {r} > {prev}");
+                prev = r;
+            }
+        }
+    }
+}

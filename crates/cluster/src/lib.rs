@@ -1,0 +1,39 @@
+//! Cluster substrate for the Doppio simulator.
+//!
+//! A cluster is a set of worker nodes (the paper's "slave nodes"), each with
+//! CPU cores, RAM, two storage devices — one backing the HDFS data
+//! directory and one backing the Spark local directory
+//! (`spark.local.dir`) — and a NIC. The paper's experiments vary exactly
+//! these knobs: the number of executor cores `P`, the number of nodes `N`,
+//! and which device type (HDD or SSD) backs HDFS and Spark-local
+//! (Table III's four hybrid configurations).
+//!
+//! * [`NodeSpec`] / [`ClusterSpec`] — static descriptions.
+//! * [`presets`] — the paper's hardware (Tables I–III).
+//! * [`ClusterState`] — runtime resource state: devices as processor-sharing
+//!   servers, NIC flow servers, and free-core accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_cluster::{ClusterSpec, DiskRole, HybridConfig};
+//! use doppio_events::Bytes;
+//! use doppio_storage::IoDir;
+//!
+//! // The paper's motivation cluster: 3 slaves, 36 cores, 2-HDD config.
+//! let spec = ClusterSpec::paper_cluster(3, 36, HybridConfig::HddHdd);
+//! assert_eq!(spec.num_nodes(), 3);
+//! let bw = spec.node(0).disk(DiskRole::Local).bandwidth(IoDir::Read, Bytes::from_kib(30));
+//! assert!((bw.as_mib_per_sec() - 15.0).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+mod runtime;
+mod spec;
+
+pub use presets::HybridConfig;
+pub use runtime::{ClusterState, NodeState};
+pub use spec::{ClusterSpec, DiskRole, NodeId, NodeSpec};

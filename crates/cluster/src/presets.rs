@@ -1,0 +1,133 @@
+//! The paper's hardware presets (Tables I–III).
+
+use doppio_events::{Bytes, Rate};
+use doppio_storage::presets as dev;
+use doppio_storage::DeviceSpec;
+
+use crate::{ClusterSpec, NodeSpec};
+
+/// The four HDD/SSD hybrid configurations of Table III.
+///
+/// The first word names the HDFS device, the second the Spark-local device.
+/// `SsdSsd` is the paper's "2SSD" configuration, `HddHdd` its "2HDD".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HybridConfig {
+    /// Configuration 1: HDFS on SSD, Spark-local on SSD ("2SSD").
+    SsdSsd,
+    /// Configuration 2: HDFS on HDD, Spark-local on SSD.
+    HddSsd,
+    /// Configuration 3: HDFS on SSD, Spark-local on HDD.
+    SsdHdd,
+    /// Configuration 4: HDFS on HDD, Spark-local on HDD ("2HDD").
+    HddHdd,
+}
+
+impl HybridConfig {
+    /// All four configurations in Table III order.
+    pub const ALL: [HybridConfig; 4] = [
+        HybridConfig::SsdSsd,
+        HybridConfig::HddSsd,
+        HybridConfig::SsdHdd,
+        HybridConfig::HddHdd,
+    ];
+
+    /// Device backing HDFS in this configuration.
+    pub fn hdfs_device(self) -> DeviceSpec {
+        match self {
+            HybridConfig::SsdSsd | HybridConfig::SsdHdd => dev::ssd_mz7lm(),
+            HybridConfig::HddSsd | HybridConfig::HddHdd => dev::hdd_wd4000(),
+        }
+    }
+
+    /// Device backing the Spark local directory in this configuration.
+    pub fn local_device(self) -> DeviceSpec {
+        match self {
+            HybridConfig::SsdSsd | HybridConfig::HddSsd => dev::ssd_mz7lm(),
+            HybridConfig::SsdHdd | HybridConfig::HddHdd => dev::hdd_wd4000(),
+        }
+    }
+
+    /// The label the paper uses in its figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            HybridConfig::SsdSsd => "2SSD",
+            HybridConfig::HddSsd => "HDFS=HDD,Local=SSD",
+            HybridConfig::SsdHdd => "HDFS=SSD,Local=HDD",
+            HybridConfig::HddHdd => "2HDD",
+        }
+    }
+}
+
+impl std::fmt::Display for HybridConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One slave node per Table I: 2× Xeon E5-2699 v3 (36 cores), 128 GB RAM,
+/// 10 Gb/s network, disks per the chosen hybrid configuration.
+pub fn paper_node(cores: u32, config: HybridConfig) -> NodeSpec {
+    NodeSpec::new(
+        cores,
+        Bytes::from_gib(128),
+        config.hdfs_device(),
+        config.local_device(),
+        Rate::gbit_per_sec(10.0),
+    )
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of the paper's Table I nodes.
+    ///
+    /// The motivation study (Section III) uses `n_slaves = 3`, the model
+    /// evaluation (Section V) uses `n_slaves = 10`; `cores` is the number of
+    /// Spark executor cores per node (`P`).
+    pub fn paper_cluster(n_slaves: usize, cores: u32, config: HybridConfig) -> ClusterSpec {
+        ClusterSpec::homogeneous(n_slaves, paper_node(cores, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskRole;
+
+    #[test]
+    fn table3_device_assignment() {
+        // Table III: Config 2 puts HDFS on the HDD and Spark-local on the SSD.
+        let c = HybridConfig::HddSsd;
+        assert_eq!(c.hdfs_device().name(), "WD4000FYYZ-HDD");
+        assert_eq!(c.local_device().name(), "MZ7LM240-SSD");
+    }
+
+    #[test]
+    fn all_four_configs_distinct() {
+        let combos: Vec<(String, String)> = HybridConfig::ALL
+            .iter()
+            .map(|c| (c.hdfs_device().name().to_string(), c.local_device().name().to_string()))
+            .collect();
+        for i in 0..combos.len() {
+            for j in (i + 1)..combos.len() {
+                assert_ne!(combos[i], combos[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_cluster_matches_tables() {
+        let c = ClusterSpec::paper_cluster(10, 36, HybridConfig::SsdSsd);
+        assert_eq!(c.num_nodes(), 10);
+        let n = c.node(0);
+        assert_eq!(n.cores(), 36);
+        assert_eq!(n.ram(), Bytes::from_gib(128));
+        assert!((n.nic().as_bytes_per_sec() - 1.25e9).abs() < 1.0);
+        assert_eq!(n.disk(DiskRole::Hdfs).name(), "MZ7LM240-SSD");
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(HybridConfig::SsdSsd.label(), "2SSD");
+        assert_eq!(HybridConfig::HddHdd.label(), "2HDD");
+        assert_eq!(HybridConfig::HddHdd.to_string(), "2HDD");
+    }
+}

@@ -1,0 +1,330 @@
+//! Runtime cluster state: devices, NICs and core accounting.
+
+use doppio_events::{Bytes, FlowSpec, PsServer, SimTime};
+use doppio_storage::{Device, TransferSpec};
+
+use crate::{ClusterSpec, DiskRole, NodeId, NodeSpec};
+
+/// Runtime state of one worker node.
+#[derive(Debug)]
+pub struct NodeState {
+    spec: NodeSpec,
+    hdfs: Device,
+    local: Device,
+    nic: PsServer,
+    executor_cores: u32,
+    free_cores: u32,
+}
+
+impl NodeState {
+    fn new(spec: NodeSpec, executor_cores: u32) -> Self {
+        let cores = executor_cores.min(spec.cores());
+        NodeState {
+            hdfs: Device::new(spec.disk(DiskRole::Hdfs).clone()),
+            local: Device::new(spec.disk(DiskRole::Local).clone()),
+            nic: PsServer::new(spec.nic().as_bytes_per_sec()),
+            executor_cores: cores,
+            free_cores: cores,
+            spec,
+        }
+    }
+
+    /// The static node description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// The runtime device backing a storage role.
+    pub fn disk(&self, role: DiskRole) -> &Device {
+        match role {
+            DiskRole::Hdfs => &self.hdfs,
+            DiskRole::Local => &self.local,
+        }
+    }
+
+    /// Mutable access to the runtime device backing a storage role.
+    pub fn disk_mut(&mut self, role: DiskRole) -> &mut Device {
+        match role {
+            DiskRole::Hdfs => &mut self.hdfs,
+            DiskRole::Local => &mut self.local,
+        }
+    }
+
+    /// Submits a transfer on one of this node's disks.
+    pub fn submit_io(&mut self, now: SimTime, role: DiskRole, transfer: TransferSpec) {
+        self.disk_mut(role).submit(now, transfer);
+    }
+
+    /// Submits a network transfer of `bytes` terminating at this node's NIC.
+    pub fn submit_net(&mut self, now: SimTime, bytes: Bytes, tag: u64) {
+        self.nic.add_flow(
+            now,
+            FlowSpec {
+                demand: bytes.as_f64(),
+                cap: f64::INFINITY,
+                tag,
+            },
+        );
+    }
+
+    /// Number of executor cores configured on this node (the paper's `P`).
+    pub fn executor_cores(&self) -> u32 {
+        self.executor_cores
+    }
+
+    /// Cores currently free.
+    pub fn free_cores(&self) -> u32 {
+        self.free_cores
+    }
+
+    /// Claims one core; returns `false` when all are busy.
+    pub fn try_take_core(&mut self) -> bool {
+        if self.free_cores == 0 {
+            return false;
+        }
+        self.free_cores -= 1;
+        true
+    }
+
+    /// Releases a previously claimed core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more cores are released than were taken.
+    pub fn release_core(&mut self) {
+        assert!(
+            self.free_cores < self.executor_cores,
+            "released more cores than were taken"
+        );
+        self.free_cores += 1;
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.hdfs.advance(now);
+        self.local.advance(now);
+        self.nic.advance(now);
+    }
+
+    fn next_completion(&self) -> Option<SimTime> {
+        [
+            self.hdfs.next_completion(),
+            self.local.next_completion(),
+            self.nic.next_completion(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn drain_completed(&mut self, tags: &mut Vec<u64>) {
+        tags.extend(self.hdfs.take_completed().into_iter().map(|(_, t)| t));
+        tags.extend(self.local.take_completed().into_iter().map(|(_, t)| t));
+        tags.extend(self.nic.take_completed().into_iter().map(|(_, t)| t));
+    }
+}
+
+/// Runtime state of the whole cluster: per-node devices, NICs and cores.
+///
+/// The executor simulation drives this via three calls: submit I/O or
+/// network flows, ask [`ClusterState::next_io_completion`] when something
+/// will finish, then [`ClusterState::drain_io_completions`] to learn which
+/// flow groups completed.
+#[derive(Debug)]
+pub struct ClusterState {
+    nodes: Vec<NodeState>,
+}
+
+impl ClusterState {
+    /// Instantiates runtime state for a cluster, with `executor_cores`
+    /// usable Spark cores per node (clamped to the node's physical cores).
+    pub fn new(spec: &ClusterSpec, executor_cores: u32) -> Self {
+        ClusterState {
+            nodes: spec
+                .iter()
+                .map(|(_, n)| NodeState::new(n.clone(), executor_cores))
+                .collect(),
+        }
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shared access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterates over nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Earliest pending I/O or network completion across the cluster.
+    pub fn next_io_completion(&self) -> Option<SimTime> {
+        self.nodes.iter().filter_map(NodeState::next_completion).min()
+    }
+
+    /// Advances every resource to `now` and returns the owner tags of all
+    /// flows that completed.
+    pub fn drain_io_completions(&mut self, now: SimTime) -> Vec<u64> {
+        let mut tags = Vec::new();
+        for n in &mut self.nodes {
+            n.advance(now);
+            n.drain_completed(&mut tags);
+        }
+        tags
+    }
+
+    /// Total free cores across the cluster.
+    pub fn total_free_cores(&self) -> u32 {
+        self.nodes.iter().map(NodeState::free_cores).sum()
+    }
+
+    /// Merged iostat counters for a disk role across all nodes.
+    pub fn merged_stats(&self, role: DiskRole) -> doppio_storage::IoStat {
+        let mut acc = doppio_storage::IoStat::default();
+        for n in &self.nodes {
+            acc.merge(n.disk(role).stats());
+        }
+        acc
+    }
+
+    /// Clears iostat counters on every disk (between stages).
+    pub fn reset_stats(&mut self) {
+        for n in &mut self.nodes {
+            n.hdfs.reset_stats();
+            n.local.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HybridConfig;
+    use doppio_events::Rate;
+    use doppio_storage::IoDir;
+
+    fn cluster(n: usize, p: u32) -> ClusterState {
+        ClusterState::new(&ClusterSpec::paper_cluster(n, 36, HybridConfig::SsdHdd), p)
+    }
+
+    #[test]
+    fn core_accounting() {
+        let mut c = cluster(2, 4);
+        assert_eq!(c.total_free_cores(), 8);
+        let n0 = c.node_mut(NodeId(0));
+        assert!(n0.try_take_core());
+        assert!(n0.try_take_core());
+        assert_eq!(n0.free_cores(), 2);
+        n0.release_core();
+        assert_eq!(n0.free_cores(), 3);
+        assert_eq!(c.total_free_cores(), 7);
+    }
+
+    #[test]
+    fn executor_cores_clamped_to_physical() {
+        let c = cluster(1, 99);
+        assert_eq!(c.node(NodeId(0)).executor_cores(), 36);
+    }
+
+    #[test]
+    fn cores_exhaust_then_refuse() {
+        let mut c = cluster(1, 2);
+        let n = c.node_mut(NodeId(0));
+        assert!(n.try_take_core());
+        assert!(n.try_take_core());
+        assert!(!n.try_take_core());
+    }
+
+    #[test]
+    #[should_panic(expected = "more cores")]
+    fn over_release_panics() {
+        let mut c = cluster(1, 2);
+        c.node_mut(NodeId(0)).release_core();
+    }
+
+    #[test]
+    fn io_pump_returns_tags_in_time_order() {
+        let mut c = cluster(2, 4);
+        // Submit a fast SSD HDFS read on node 0 and a slow HDD local read on node 1.
+        c.node_mut(NodeId(0)).submit_io(
+            SimTime::ZERO,
+            DiskRole::Hdfs,
+            TransferSpec {
+                dir: IoDir::Read,
+                bytes: Bytes::from_mib(100),
+                request_size: Bytes::from_mib(100),
+                stream_cap: None,
+                tag: 1,
+            },
+        );
+        c.node_mut(NodeId(1)).submit_io(
+            SimTime::ZERO,
+            DiskRole::Local,
+            TransferSpec {
+                dir: IoDir::Read,
+                bytes: Bytes::from_mib(100),
+                request_size: Bytes::from_kib(30),
+                stream_cap: None,
+                tag: 2,
+            },
+        );
+        let t1 = c.next_io_completion().unwrap();
+        let tags = c.drain_io_completions(t1);
+        assert_eq!(tags, vec![1], "SSD read finishes first");
+        let t2 = c.next_io_completion().unwrap();
+        assert!(t2 > t1);
+        let tags = c.drain_io_completions(t2);
+        assert_eq!(tags, vec![2]);
+        assert!(c.next_io_completion().is_none());
+    }
+
+    #[test]
+    fn nic_transfers_complete_at_line_rate() {
+        let mut c = cluster(1, 1);
+        let rate = Rate::gbit_per_sec(10.0);
+        c.node_mut(NodeId(0)).submit_net(SimTime::ZERO, Bytes::from_gib(1), 7);
+        let t = c.next_io_completion().unwrap();
+        let expect = Bytes::from_gib(1).as_f64() / rate.as_bytes_per_sec();
+        assert!((t.as_secs() - expect).abs() < 1e-9);
+        assert_eq!(c.drain_io_completions(t), vec![7]);
+    }
+
+    #[test]
+    fn merged_stats_aggregate_across_nodes() {
+        let mut c = cluster(2, 1);
+        for i in 0..2 {
+            c.node_mut(NodeId(i)).submit_io(
+                SimTime::ZERO,
+                DiskRole::Local,
+                TransferSpec {
+                    dir: IoDir::Write,
+                    bytes: Bytes::from_mib(10),
+                    request_size: Bytes::from_mib(1),
+                    stream_cap: None,
+                    tag: 0,
+                },
+            );
+        }
+        let s = c.merged_stats(DiskRole::Local);
+        assert_eq!(s.bytes(IoDir::Write), Bytes::from_mib(20));
+        c.reset_stats();
+        assert_eq!(c.merged_stats(DiskRole::Local).requests(IoDir::Write), 0);
+    }
+}

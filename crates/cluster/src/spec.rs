@@ -1,0 +1,248 @@
+//! Static cluster and node descriptions.
+
+use std::fmt;
+
+use doppio_events::{Bytes, Rate};
+use doppio_storage::DeviceSpec;
+
+/// Index of a worker node within a cluster.
+///
+/// The paper's clusters dedicate one extra machine to the Spark master /
+/// HDFS namenode; as in the paper's `N`, only *worker* nodes are counted
+/// and indexed here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Which storage directory a device backs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskRole {
+    /// The HDFS data directory (input/output files).
+    Hdfs,
+    /// The Spark local directory (`spark.local.dir`): shuffle files and
+    /// disk-persisted RDD partitions.
+    Local,
+}
+
+impl fmt::Display for DiskRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskRole::Hdfs => write!(f, "HDFS"),
+            DiskRole::Local => write!(f, "Spark-local"),
+        }
+    }
+}
+
+/// Static description of one worker node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    cores: u32,
+    ram: Bytes,
+    hdfs_disk: DeviceSpec,
+    local_disk: DeviceSpec,
+    nic: Rate,
+}
+
+impl NodeSpec {
+    /// Creates a node description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the NIC rate is zero.
+    pub fn new(cores: u32, ram: Bytes, hdfs_disk: DeviceSpec, local_disk: DeviceSpec, nic: Rate) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        assert!(!nic.is_zero(), "NIC rate must be positive");
+        NodeSpec {
+            cores,
+            ram,
+            hdfs_disk,
+            local_disk,
+            nic,
+        }
+    }
+
+    /// Number of CPU cores (the maximum executor cores `P` this node can host).
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Installed RAM.
+    pub fn ram(&self) -> Bytes {
+        self.ram
+    }
+
+    /// The device backing a storage role.
+    pub fn disk(&self, role: DiskRole) -> &DeviceSpec {
+        match role {
+            DiskRole::Hdfs => &self.hdfs_disk,
+            DiskRole::Local => &self.local_disk,
+        }
+    }
+
+    /// NIC line rate.
+    pub fn nic(&self) -> Rate {
+        self.nic
+    }
+
+    /// Returns a copy with a different device in the given role (used by the
+    /// cloud study to sweep disk sizes/types).
+    pub fn with_disk(mut self, role: DiskRole, disk: DeviceSpec) -> Self {
+        match role {
+            DiskRole::Hdfs => self.hdfs_disk = disk,
+            DiskRole::Local => self.local_disk = disk,
+        }
+        self
+    }
+
+    /// Returns a copy with a different core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        self.cores = cores;
+        self
+    }
+}
+
+/// Static description of a whole worker cluster.
+///
+/// All the paper's clusters are homogeneous; the builder nevertheless
+/// accepts per-node specs so heterogeneous what-if studies are possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Builds a homogeneous cluster of `n` copies of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(n: usize, node: NodeSpec) -> Self {
+        assert!(n > 0, "a cluster needs at least one worker node");
+        ClusterSpec {
+            nodes: vec![node; n],
+        }
+    }
+
+    /// Builds a cluster from explicit per-node specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn from_nodes(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs at least one worker node");
+        ClusterSpec { nodes }
+    }
+
+    /// Number of worker nodes (the paper's `N`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Spec of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: usize) -> &NodeSpec {
+        &self.nodes[idx]
+    }
+
+    /// Iterates over node specs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeSpec)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Total cores across the cluster (`N × P` when homogeneous and fully
+    /// used).
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(NodeSpec::cores).sum()
+    }
+
+    /// Applies `f` to every node spec, returning the modified cluster.
+    pub fn map_nodes(mut self, mut f: impl FnMut(NodeSpec) -> NodeSpec) -> Self {
+        self.nodes = self.nodes.into_iter().map(&mut f).collect();
+        self
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.num_nodes();
+        let first = &self.nodes[0];
+        write!(
+            f,
+            "{n} nodes x {} cores, HDFS on {}, local on {}",
+            first.cores(),
+            first.disk(DiskRole::Hdfs).name(),
+            first.disk(DiskRole::Local).name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_storage::presets as dev;
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(
+            36,
+            Bytes::from_gib(128),
+            dev::ssd_mz7lm(),
+            dev::hdd_wd4000(),
+            Rate::gbit_per_sec(10.0),
+        )
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let n = node();
+        assert_eq!(n.cores(), 36);
+        assert_eq!(n.ram(), Bytes::from_gib(128));
+        assert_eq!(n.disk(DiskRole::Hdfs).name(), "MZ7LM240-SSD");
+        assert_eq!(n.disk(DiskRole::Local).name(), "WD4000FYYZ-HDD");
+    }
+
+    #[test]
+    fn with_disk_swaps_one_role() {
+        let n = node().with_disk(DiskRole::Local, dev::ssd_mz7lm());
+        assert_eq!(n.disk(DiskRole::Local).name(), "MZ7LM240-SSD");
+        assert_eq!(n.disk(DiskRole::Hdfs).name(), "MZ7LM240-SSD");
+    }
+
+    #[test]
+    fn cluster_math() {
+        let c = ClusterSpec::homogeneous(10, node());
+        assert_eq!(c.num_nodes(), 10);
+        assert_eq!(c.total_cores(), 360);
+        assert_eq!(c.iter().count(), 10);
+    }
+
+    #[test]
+    fn map_nodes_applies_everywhere() {
+        let c = ClusterSpec::homogeneous(4, node()).map_nodes(|n| n.with_cores(12));
+        assert_eq!(c.total_cores(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::from_nodes(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_node_rejected() {
+        let _ = node().with_cores(0);
+    }
+}

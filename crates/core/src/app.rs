@@ -1,0 +1,135 @@
+//! The application-level model: a sum of stage models.
+
+use std::fmt;
+
+use crate::{PredictEnv, StageModel};
+
+/// The model of a whole application: `t_app = Σ t_stage` (Section IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    name: String,
+    stages: Vec<StageModel>,
+}
+
+impl AppModel {
+    /// Builds an application model from per-stage models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(name: impl Into<String>, stages: Vec<StageModel>) -> Self {
+        assert!(!stages.is_empty(), "an application model needs at least one stage");
+        AppModel {
+            name: name.into(),
+            stages,
+        }
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-stage models, in execution order.
+    pub fn stages(&self) -> &[StageModel] {
+        &self.stages
+    }
+
+    /// First stage with the given name.
+    pub fn stage(&self, name: &str) -> Option<&StageModel> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Predicted total runtime in seconds.
+    pub fn predict(&self, env: &PredictEnv) -> f64 {
+        self.stages.iter().map(|s| s.predict(env)).sum()
+    }
+
+    /// Predicted runtime of all stages named `name` (iterative apps repeat
+    /// stage names).
+    pub fn predict_stage(&self, name: &str, env: &PredictEnv) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.predict(env))
+            .sum()
+    }
+
+    /// Per-stage predictions as `(name, seconds)` rows.
+    pub fn breakdown(&self, env: &PredictEnv) -> Vec<(&str, f64)> {
+        self.stages
+            .iter()
+            .map(|s| (s.name.as_str(), s.predict(env)))
+            .collect()
+    }
+}
+
+impl fmt::Display for AppModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model for {} ({} stages)", self.name, self.stages.len())?;
+        for s in &self.stages {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::HybridConfig;
+    use doppio_events::Bytes;
+    use doppio_sparksim::IoChannel;
+
+    fn stage(name: &str, m: u64, t_avg: f64) -> StageModel {
+        StageModel {
+            name: name.into(),
+            m,
+            t_avg,
+            delta_scale: 0.0,
+            channels: vec![crate::ChannelModel {
+                channel: IoChannel::HdfsRead,
+                total_bytes: Bytes::from_gib(1),
+                request_size: Bytes::from_mib(128),
+                stream_cap: None,
+                delta: 0.0,
+                derate: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_stages() {
+        let m = AppModel::new("app", vec![stage("a", 360, 1.0), stage("b", 360, 2.0)]);
+        let env = PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd);
+        let total = m.predict(&env);
+        let sum: f64 = m.breakdown(&env).iter().map(|(_, t)| t).sum();
+        assert!((total - sum).abs() < 1e-12);
+        assert!((total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_stage_names_accumulate() {
+        let m = AppModel::new(
+            "iterative",
+            vec![stage("iteration", 360, 1.0), stage("iteration", 360, 1.0)],
+        );
+        let env = PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd);
+        assert!((m.predict_stage("iteration", &env) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookups() {
+        let m = AppModel::new("app", vec![stage("a", 1, 1.0)]);
+        assert!(m.stage("a").is_some());
+        assert!(m.stage("z").is_none());
+        assert_eq!(m.name(), "app");
+        assert!(m.to_string().contains("app"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_model_rejected() {
+        let _ = AppModel::new("x", vec![]);
+    }
+}

@@ -1,0 +1,203 @@
+//! An Ernest-style baseline performance model.
+//!
+//! Ernest (Venkataraman et al., NSDI'16) predicts job runtime from a
+//! non-negative least-squares fit of
+//!
+//! ```text
+//! t(x) = θ₀ + θ₁·(1/x) + θ₂·log(x) + θ₃·x
+//! ```
+//!
+//! over the parallelism `x` (machines or total cores). The Doppio paper's
+//! related-work section points out that such models ignore the I/O impact
+//! of different data request sizes, so they cannot distinguish an HDD-
+//! backed Spark-local directory from an SSD one. This implementation exists
+//! to make that comparison concrete (ablation bench `abl01_ernest`).
+
+use crate::ModelError;
+
+/// Fitted Ernest model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErnestModel {
+    theta: [f64; 4],
+}
+
+fn features(x: f64) -> [f64; 4] {
+    [1.0, 1.0 / x, x.ln(), x]
+}
+
+impl ErnestModel {
+    /// Fits the model to `(parallelism, runtime-seconds)` samples with
+    /// non-negative least squares (projected active-set, as in the paper's
+    /// reference).
+    ///
+    /// # Errors
+    ///
+    /// Needs at least two samples; returns [`ModelError::SingularFit`] when
+    /// the sample matrix is degenerate (e.g. all identical).
+    pub fn fit(samples: &[(f64, f64)]) -> Result<ErnestModel, ModelError> {
+        if samples.len() < 2 {
+            return Err(ModelError::NotEnoughSamples {
+                got: samples.len(),
+                need: 2,
+            });
+        }
+        // With few samples, restrict the feature set to keep the system
+        // overdetermined: serial + parallel terms first, then log, then
+        // linear overhead.
+        let max_features = samples.len().min(4);
+        let mut active: Vec<usize> = (0..max_features).collect();
+        loop {
+            let theta_active = ols(samples, &active)?;
+            if let Some(worst) = theta_active
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v < -1e-9)
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+            {
+                active.remove(worst);
+                if active.is_empty() {
+                    return Err(ModelError::SingularFit);
+                }
+                continue;
+            }
+            let mut theta = [0.0; 4];
+            for (slot, value) in active.iter().zip(&theta_active) {
+                theta[*slot] = value.max(0.0);
+            }
+            return Ok(ErnestModel { theta });
+        }
+    }
+
+    /// Predicted runtime at parallelism `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not positive.
+    pub fn predict(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "parallelism must be positive");
+        features(x)
+            .iter()
+            .zip(&self.theta)
+            .map(|(f, t)| f * t)
+            .sum()
+    }
+
+    /// The fitted coefficients `[θ₀, θ₁, θ₂, θ₃]`.
+    pub fn coefficients(&self) -> [f64; 4] {
+        self.theta
+    }
+}
+
+/// Ordinary least squares over the selected feature subset via normal
+/// equations and Gaussian elimination with partial pivoting.
+fn ols(samples: &[(f64, f64)], active: &[usize]) -> Result<Vec<f64>, ModelError> {
+    let k = active.len();
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut atb = vec![0.0f64; k];
+    for &(x, t) in samples {
+        let f = features(x);
+        for (i, &fi) in active.iter().enumerate() {
+            atb[i] += f[fi] * t;
+            for (j, &fj) in active.iter().enumerate() {
+                ata[i][j] += f[fi] * f[fj];
+            }
+        }
+    }
+    // Tikhonov whisper to keep nearly-collinear systems solvable.
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += 1e-12;
+    }
+    solve(ata, atb)
+}
+
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, ModelError> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        if a[pivot][col].abs() < 1e-15 {
+            return Err(ModelError::SingularFit);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = a[col].clone();
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot_row[col];
+            a[row][col..n]
+                .iter_mut()
+                .zip(&pivot_row[col..n])
+                .for_each(|(cell, p)| *cell -= factor * p);
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_amdahl_curve() {
+        // t(x) = 10 + 100/x: a pure serial + parallel split.
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&x| (x, 10.0 + 100.0 / x))
+            .collect();
+        let m = ErnestModel::fit(&samples).unwrap();
+        for &(x, t) in &samples {
+            assert!((m.predict(x) - t).abs() < 1e-6, "x={x}");
+        }
+        // Extrapolation stays sane.
+        assert!((m.predict(32.0) - (10.0 + 100.0 / 32.0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn nonnegativity_is_enforced() {
+        // A decreasing-then-flat curve that OLS would fit with negative
+        // coefficients.
+        let samples = vec![(1.0, 100.0), (2.0, 50.0), (4.0, 25.0), (8.0, 25.0), (16.0, 25.0)];
+        let m = ErnestModel::fit(&samples).unwrap();
+        for c in m.coefficients() {
+            assert!(c >= 0.0, "coefficients must be non-negative: {:?}", m.coefficients());
+        }
+        // Still a decent fit at the sampled points.
+        assert!(m.predict(16.0) > 10.0 && m.predict(16.0) < 40.0);
+    }
+
+    #[test]
+    fn two_samples_fit_two_features() {
+        let m = ErnestModel::fit(&[(1.0, 110.0), (10.0, 20.0)]).unwrap();
+        assert!((m.predict(1.0) - 110.0).abs() < 1e-6);
+        assert!((m.predict(10.0) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn not_enough_samples_rejected() {
+        assert!(matches!(
+            ErnestModel::fit(&[(1.0, 1.0)]),
+            Err(ModelError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn cannot_see_devices() {
+        // The core point of the ablation: Ernest's input is parallelism
+        // only, so two runs differing only in disk type produce the same
+        // prediction by construction.
+        let m = ErnestModel::fit(&[(1.0, 100.0), (2.0, 52.0), (4.0, 28.0)]).unwrap();
+        let hdd_prediction = m.predict(8.0);
+        let ssd_prediction = m.predict(8.0);
+        assert_eq!(hdd_prediction, ssd_prediction);
+    }
+}

@@ -1,0 +1,436 @@
+//! The four-sample-run calibration procedure of Section VI.1.
+//!
+//! > "For each application, we can perform four profiling runs to get the
+//! > model variables usually under a small number of nodes N (e.g. N = 3)."
+//!
+//! 1. `P = 1`, SSD for HDFS and Spark-local — I/O is not the bottleneck;
+//!    log per-stage time, `M`, `D_read`, `D_write`, request sizes.
+//! 2. `P = 2`, same devices — together with run 1 this solves `t_avg` and
+//!    `δ_scale` from two instances of `t = M/(N·P)·t_avg + δ_scale`.
+//! 3. `P = 16`, HDD Spark-local + SSD HDFS — Spark-local I/O becomes the
+//!    bottleneck; fixes `δ` for the local-disk channels.
+//! 4. `P = 16`, HDD HDFS + SSD Spark-local — HDFS I/O becomes the
+//!    bottleneck; fixes `δ` for the HDFS channels.
+//!
+//! Each run carries the paper's sanity checks; violations surface as
+//! warnings quoting the paper's resample rule ("double the requested SSD
+//! size", "shrink the requested HDD size by half").
+
+use doppio_cluster::{ClusterSpec, DiskRole, NodeSpec};
+use doppio_events::Rate;
+use doppio_sparksim::{App, AppRun, IoChannel, SimError, Simulation, SparkConf, StageMetrics};
+use doppio_storage::DeviceSpec;
+
+use crate::{AppModel, ChannelModel, ModelError, PredictEnv, StageModel};
+
+/// Anything the calibrator can run profiling experiments on.
+///
+/// The on-prem implementation is [`SimPlatform`]; the cloud crate provides
+/// one whose devices are virtual disks with size-dependent bandwidth.
+pub trait ProfilePlatform {
+    /// Number of worker nodes used for profiling (the paper's small `N`).
+    fn nodes(&self) -> usize;
+
+    /// The Spark configuration (per-core stream caps `T` feed break-point
+    /// analysis).
+    fn conf(&self) -> &SparkConf;
+
+    /// Executes the application with `cores` executor cores per node and
+    /// the given devices backing HDFS and Spark-local.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator planning failures.
+    fn run(&self, cores: u32, hdfs: DeviceSpec, local: DeviceSpec) -> Result<AppRun, SimError>;
+}
+
+/// A profiling platform backed by the discrete-event Spark simulator.
+#[derive(Debug, Clone)]
+pub struct SimPlatform {
+    app: App,
+    template: NodeSpec,
+    nodes: usize,
+    conf: SparkConf,
+}
+
+impl SimPlatform {
+    /// Creates a platform running `app` on `nodes` copies of `template`
+    /// (whose disks are replaced per profiling run).
+    ///
+    /// Calibration disables compute noise so the derived constants are
+    /// exact; prediction targets may still be noisy runs.
+    pub fn new(app: App, template: NodeSpec, nodes: usize, conf: SparkConf) -> Self {
+        SimPlatform {
+            app,
+            template,
+            nodes,
+            conf: conf.without_noise(),
+        }
+    }
+
+    /// The application under calibration.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+}
+
+impl ProfilePlatform for SimPlatform {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn conf(&self) -> &SparkConf {
+        &self.conf
+    }
+
+    fn run(&self, cores: u32, hdfs: DeviceSpec, local: DeviceSpec) -> Result<AppRun, SimError> {
+        let node = self
+            .template
+            .clone()
+            .with_disk(DiskRole::Hdfs, hdfs)
+            .with_disk(DiskRole::Local, local);
+        let cluster = ClusterSpec::homogeneous(self.nodes, node);
+        Simulation::with_conf(cluster, self.conf.clone().with_cores(cores)).run(&self.app)
+    }
+}
+
+/// The §VI.1 calibrator.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    /// Fast device used for the baseline runs (paper: 500 GB SSD PD).
+    pub ssd: DeviceSpec,
+    /// Slow device used for the stress runs (paper: 200 GB HDD PD).
+    pub hdd: DeviceSpec,
+    /// Core count of the stress runs (paper: 16, per the HCloud guidance).
+    pub stress_cores: u32,
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Calibrator {
+            ssd: doppio_storage::presets::ssd_mz7lm(),
+            hdd: doppio_storage::presets::hdd_wd4000(),
+            stress_cores: 16,
+        }
+    }
+}
+
+/// The outcome of calibration: the model plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// The calibrated application model.
+    pub model: AppModel,
+    /// Sanity-check findings (empty when all checks passed).
+    pub warnings: Vec<String>,
+    /// Total runtimes of the four sample runs, in seconds.
+    pub sample_run_secs: [f64; 4],
+}
+
+impl Calibrator {
+    /// Runs the four sample runs on `platform` and derives the model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a profiling run fails or the runs disagree on the stage
+    /// list.
+    pub fn calibrate(&self, platform: &impl ProfilePlatform, app_name: &str) -> Result<CalibrationReport, ModelError> {
+        let run1 = platform.run(1, self.ssd.clone(), self.ssd.clone())?;
+        let run2 = platform.run(2, self.ssd.clone(), self.ssd.clone())?;
+        let run3 = platform.run(self.stress_cores, self.ssd.clone(), self.hdd.clone())?;
+        let run4 = platform.run(self.stress_cores, self.hdd.clone(), self.ssd.clone())?;
+
+        let s = run1.stages().len();
+        if s == 0 {
+            return Err(ModelError::NoStages);
+        }
+        for r in [&run2, &run3, &run4] {
+            if r.stages().len() != s {
+                return Err(ModelError::StageMismatch {
+                    expected: s,
+                    got: r.stages().len(),
+                });
+            }
+        }
+
+        let n = platform.nodes();
+        let conf = platform.conf();
+        let mut warnings = Vec::new();
+        let mut stages = Vec::with_capacity(s);
+        for i in 0..s {
+            stages.push(self.calibrate_stage(
+                n,
+                conf,
+                &run1.stages()[i],
+                &run2.stages()[i],
+                &run3.stages()[i],
+                &run4.stages()[i],
+                &mut warnings,
+            ));
+        }
+
+        Ok(CalibrationReport {
+            model: AppModel::new(app_name, stages),
+            warnings,
+            sample_run_secs: [
+                run1.total_time().as_secs(),
+                run2.total_time().as_secs(),
+                run3.total_time().as_secs(),
+                run4.total_time().as_secs(),
+            ],
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn calibrate_stage(
+        &self,
+        n: usize,
+        conf: &SparkConf,
+        s1: &StageMetrics,
+        s2: &StageMetrics,
+        s3: &StageMetrics,
+        s4: &StageMetrics,
+        warnings: &mut Vec<String>,
+    ) -> StageModel {
+        let m = s1.tasks.count as u64;
+        let t1 = s1.duration.as_secs();
+        let t2 = s2.duration.as_secs();
+
+        // Two-run algebra in wave units: t = ⌈M/(N·P)⌉·t_avg + δ. Solving in
+        // whole waves keeps short stages honest — the continuous form
+        // attributes wave-quantization residue to a phantom δ_scale that
+        // then pollutes predictions at other P.
+        let w1 = (m as f64 / n as f64).ceil();
+        let w2 = (m as f64 / (2.0 * n as f64)).ceil();
+        let mut t_avg = if w1 > w2 { (t1 - t2) / (w1 - w2) } else { 0.0 };
+        let mut delta_scale = t1 - w1 * t_avg;
+        if !(t_avg.is_finite() && t_avg > 0.0) {
+            warnings.push(format!(
+                "stage '{}': P=1/P=2 runs do not scale (t1={t1:.2}s, t2={t2:.2}s); \
+                 falling back to the measured mean task time — per the paper, double \
+                 the requested SSD size and re-sample",
+                s1.name
+            ));
+            t_avg = s1.tasks.avg_secs;
+            delta_scale = (t1 - w1 * t_avg).max(0.0);
+        }
+        delta_scale = delta_scale.max(0.0);
+
+        // Channels and request sizes from the P=1 run.
+        let mut channels = Vec::new();
+        for ch in IoChannel::DISK_CHANNELS {
+            let stats = s1.channel(ch);
+            if stats.bytes.is_zero() {
+                continue;
+            }
+            let rs = stats.avg_request_size().expect("non-zero channel has requests");
+            channels.push(ChannelModel {
+                channel: ch,
+                total_bytes: stats.bytes,
+                request_size: rs,
+                stream_cap: Some(stream_cap(conf, ch)),
+                delta: 0.0,
+                derate: 1.0,
+            });
+        }
+
+        // Sanity check of run 1: I/O must not be the bottleneck.
+        let env1 = PredictEnv::new(n, 1, self.ssd.clone(), self.ssd.clone());
+        for ch in &channels {
+            let limit = ch.limit_secs(&env1);
+            if limit > t1 {
+                warnings.push(format!(
+                    "stage '{}': {} is already a bottleneck at P=1 on SSD \
+                     (limit {limit:.1}s > stage {t1:.1}s) — per the paper, double the \
+                     requested SSD size and re-sample",
+                    s1.name, ch.channel
+                ));
+            }
+        }
+
+        // Runs 3 and 4: δ for local / HDFS channels respectively.
+        let scale16 =
+            (m as f64 / (n as f64 * self.stress_cores as f64)).ceil() * t_avg + delta_scale;
+        for (run_metrics, role, env) in [
+            (
+                s3,
+                DiskRole::Local,
+                PredictEnv::new(n, self.stress_cores, self.ssd.clone(), self.hdd.clone()),
+            ),
+            (
+                s4,
+                DiskRole::Hdfs,
+                PredictEnv::new(n, self.stress_cores, self.hdd.clone(), self.ssd.clone()),
+            ),
+        ] {
+            let t_obs = run_metrics.duration.as_secs();
+            // The stressed disk's combined limit is the sum over its
+            // channels (reads and writes share the spindle); the residual
+            // serial time goes to the largest contributor's δ.
+            let mut role_limit = 0.0;
+            let mut best: Option<(usize, f64)> = None;
+            for (idx, ch) in channels.iter().enumerate() {
+                if ch.channel.disk_role() != Some(role) {
+                    continue;
+                }
+                let limit = ch.limit_secs(&env);
+                role_limit += limit;
+                if best.map(|(_, l)| limit > l).unwrap_or(true) {
+                    best = Some((idx, limit));
+                }
+            }
+            if let Some((idx, _)) = best {
+                if role_limit > scale16 {
+                    // The disk is genuinely the bottleneck. The observed
+                    // excess over the lookup-table limit is sustained-
+                    // throughput loss (stragglers, placement imbalance): it
+                    // scales with how long the I/O takes, so calibrate it as
+                    // a multiplicative derate on the role's channels; only
+                    // an implausibly large excess (> 1.5x) spills into the
+                    // additive δ of the dominant channel.
+                    let ratio = (t_obs / role_limit).clamp(1.0, 1.5);
+                    for ch in channels.iter_mut() {
+                        if ch.channel.disk_role() == Some(role) {
+                            ch.derate = ratio;
+                        }
+                    }
+                    channels[idx].delta = (t_obs - role_limit * ratio).max(0.0);
+                } else if role_limit > 0.25 * scale16 {
+                    // Near-bottleneck: leave δ at zero silently.
+                } else {
+                    warnings.push(format!(
+                        "stage '{}': {} I/O is far from the bottleneck at P={} on HDD \
+                         (limit {role_limit:.1}s vs scale {scale16:.1}s) — per the paper, shrink \
+                         the requested HDD size by half and re-sample",
+                        run_metrics.name, role, self.stress_cores
+                    ));
+                }
+            }
+        }
+
+        StageModel {
+            name: s1.name.clone(),
+            m,
+            t_avg,
+            delta_scale,
+            channels,
+        }
+    }
+}
+
+/// The per-core throughput cap (`T`) the Spark configuration imposes on a
+/// channel.
+fn stream_cap(conf: &SparkConf, ch: IoChannel) -> Rate {
+    match ch {
+        IoChannel::HdfsRead => conf.hdfs_read_cap,
+        IoChannel::HdfsWrite => conf.hdfs_write_cap,
+        IoChannel::ShuffleRead => conf.shuffle_read_cap,
+        IoChannel::ShuffleWrite => conf.shuffle_write_cap,
+        IoChannel::PersistRead | IoChannel::PersistWrite => conf.persist_cap,
+        IoChannel::NetIn => Rate::gbit_per_sec(10.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::presets::paper_node;
+    use doppio_cluster::HybridConfig;
+    use doppio_events::Bytes;
+    use doppio_sparksim::{AppBuilder, Cost, ShuffleSpec};
+
+    fn platform(app: App) -> SimPlatform {
+        SimPlatform::new(
+            app,
+            paper_node(36, HybridConfig::SsdSsd),
+            3,
+            SparkConf::paper(),
+        )
+    }
+
+    fn shuffle_heavy_app() -> App {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(8));
+        let sh = b.group_by_key(
+            src,
+            "group",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27)),
+            Cost::for_lambda(5.0, doppio_events::Rate::mib_per_sec(60.0)),
+            1.0,
+        );
+        b.count(sh, "reduce", Cost::ZERO);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn calibration_recovers_stage_structure() {
+        let p = platform(shuffle_heavy_app());
+        let report = Calibrator::default().calibrate(&p, "t").unwrap();
+        let model = &report.model;
+        assert_eq!(model.stages().len(), 2);
+        let map = model.stage("group").unwrap();
+        assert_eq!(map.m, 64); // 8 GiB / 128 MiB
+        assert!(map
+            .channels
+            .iter()
+            .any(|c| c.channel == IoChannel::HdfsRead && c.total_bytes == Bytes::from_gib(8)));
+        assert!(map
+            .channels
+            .iter()
+            .any(|c| c.channel == IoChannel::ShuffleWrite && c.total_bytes == Bytes::from_gib(8)));
+        let reduce = model.stage("reduce").unwrap();
+        let sh = reduce
+            .channels
+            .iter()
+            .find(|c| c.channel == IoChannel::ShuffleRead)
+            .unwrap();
+        // Per-reducer integer division loses a few bytes of the 8 GiB total.
+        let diff = Bytes::from_gib(8).as_f64() - sh.total_bytes.as_f64();
+        assert!(diff.abs() < 1024.0 * 1024.0, "shuffle read total = {}", sh.total_bytes);
+        // Segment size D/(M·R): 8 GiB over 64 maps x ~304 reducers ≈ 430 KB.
+        assert!(sh.request_size < Bytes::from_mib(1));
+        assert!(report.sample_run_secs.iter().all(|t| *t > 0.0));
+    }
+
+    #[test]
+    fn calibrated_model_predicts_unseen_config() {
+        // Calibrate at N=3 and predict a 2SSD N=3 P=8 run within 15%.
+        let p = platform(shuffle_heavy_app());
+        let report = Calibrator::default().calibrate(&p, "t").unwrap();
+        let run = p
+            .run(8, doppio_storage::presets::ssd_mz7lm(), doppio_storage::presets::ssd_mz7lm())
+            .unwrap();
+        let env = PredictEnv::hybrid(3, 8, HybridConfig::SsdSsd);
+        let predicted = report.model.predict(&env);
+        let measured = run.total_time().as_secs();
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.15, "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)", err * 100.0);
+    }
+
+    #[test]
+    fn calibrated_model_predicts_hdd_local_config() {
+        let p = platform(shuffle_heavy_app());
+        let report = Calibrator::default().calibrate(&p, "t").unwrap();
+        let run = p
+            .run(16, doppio_storage::presets::ssd_mz7lm(), doppio_storage::presets::hdd_wd4000())
+            .unwrap();
+        let env = PredictEnv::hybrid(3, 16, HybridConfig::SsdHdd);
+        let predicted = report.model.predict(&env);
+        let measured = run.total_time().as_secs();
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.1, "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)", err * 100.0);
+    }
+
+    #[test]
+    fn compute_bound_app_has_no_io_warnings_and_scales() {
+        let mut b = AppBuilder::new("cpu");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(8));
+        b.count(src, "crunch", Cost::per_mib(0.5));
+        let app = b.build().unwrap();
+        let p = platform(app);
+        let report = Calibrator::default().calibrate(&p, "cpu").unwrap();
+        let st = report.model.stage("crunch").unwrap();
+        assert!(st.t_avg > 0.0);
+        // t_avg should be ~64 s (128 MiB x 0.5 s/MiB).
+        assert!((st.t_avg - 64.0).abs() < 5.0, "t_avg = {}", st.t_avg);
+    }
+}

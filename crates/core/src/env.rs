@@ -1,0 +1,116 @@
+//! The prediction environment: cluster shape and devices.
+
+use doppio_events::{Bytes, Rate};
+use doppio_sparksim::IoChannel;
+use doppio_storage::{DeviceSpec, IoDir};
+
+/// The configuration Equation 1 is evaluated against: node count `N`,
+/// executor cores per node `P`, and the devices backing HDFS and the
+/// Spark-local directory.
+///
+/// Environments are cheap to construct, so configuration-space exploration
+/// (the paper's Section VI cost study) simply evaluates the same
+/// [`crate::AppModel`] against many environments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictEnv {
+    /// Number of worker nodes (`N`).
+    pub nodes: usize,
+    /// Executor cores per node (`P`).
+    pub cores: u32,
+    /// Device backing HDFS.
+    pub hdfs: DeviceSpec,
+    /// Device backing the Spark-local directory.
+    pub local: DeviceSpec,
+}
+
+impl PredictEnv {
+    /// Creates an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `cores` is zero.
+    pub fn new(nodes: usize, cores: u32, hdfs: DeviceSpec, local: DeviceSpec) -> Self {
+        assert!(nodes > 0, "environment needs at least one node");
+        assert!(cores > 0, "environment needs at least one core per node");
+        PredictEnv {
+            nodes,
+            cores,
+            hdfs,
+            local,
+        }
+    }
+
+    /// An environment over one of the paper's Table III hybrid
+    /// configurations.
+    pub fn hybrid(nodes: usize, cores: u32, config: doppio_cluster::HybridConfig) -> Self {
+        Self::new(nodes, cores, config.hdfs_device(), config.local_device())
+    }
+
+    /// Effective bandwidth the environment offers a channel at a request
+    /// size — the `BW_read` / `BW_write` lookup of Equation 1. Returns
+    /// `None` for the network channel, which the model ignores (the paper
+    /// argues 10 Gb/s networking is not the bottleneck, Section III-B1).
+    pub fn bandwidth(&self, channel: IoChannel, request_size: Bytes) -> Option<Rate> {
+        let role = channel.disk_role()?;
+        let dev = match role {
+            doppio_cluster::DiskRole::Hdfs => &self.hdfs,
+            doppio_cluster::DiskRole::Local => &self.local,
+        };
+        let dir = if channel.is_read() { IoDir::Read } else { IoDir::Write };
+        Some(dev.bandwidth(dir, request_size))
+    }
+
+    /// Returns a copy with a different core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        assert!(cores > 0, "environment needs at least one core per node");
+        self.cores = cores;
+        self
+    }
+
+    /// Returns a copy with a different node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "environment needs at least one node");
+        self.nodes = nodes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::HybridConfig;
+    use doppio_storage::presets;
+
+    #[test]
+    fn channel_device_routing() {
+        let env = PredictEnv::new(3, 36, presets::ssd_mz7lm(), presets::hdd_wd4000());
+        let rs = Bytes::from_kib(30);
+        let shuffle = env.bandwidth(IoChannel::ShuffleRead, rs).unwrap();
+        let hdfs = env.bandwidth(IoChannel::HdfsRead, rs).unwrap();
+        assert!((shuffle.as_mib_per_sec() - 15.0).abs() < 0.1, "local = HDD");
+        assert!((hdfs.as_mib_per_sec() - 480.0).abs() < 1.0, "hdfs = SSD");
+        assert!(env.bandwidth(IoChannel::NetIn, rs).is_none());
+    }
+
+    #[test]
+    fn write_channels_use_write_curves() {
+        let env = PredictEnv::hybrid(3, 36, HybridConfig::HddHdd);
+        let rs = Bytes::from_mib(128);
+        let r = env.bandwidth(IoChannel::HdfsRead, rs).unwrap();
+        let w = env.bandwidth(IoChannel::HdfsWrite, rs).unwrap();
+        assert!(w < r);
+    }
+
+    #[test]
+    fn builders() {
+        let env = PredictEnv::hybrid(3, 36, HybridConfig::SsdSsd).with_cores(12).with_nodes(10);
+        assert_eq!(env.cores, 12);
+        assert_eq!(env.nodes, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = PredictEnv::hybrid(3, 36, HybridConfig::SsdSsd).with_nodes(0);
+    }
+}

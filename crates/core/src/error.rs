@@ -1,0 +1,74 @@
+//! Model-layer error type.
+
+use std::fmt;
+
+use doppio_sparksim::SimError;
+
+/// Errors surfaced while calibrating or fitting models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A profiling run failed in the simulator.
+    Sim(SimError),
+    /// Profiling runs disagreed on the stage list (they must execute the
+    /// same application).
+    StageMismatch {
+        /// Stage count of the first run.
+        expected: usize,
+        /// Stage count of the divergent run.
+        got: usize,
+    },
+    /// The application produced no stages to model.
+    NoStages,
+    /// A regression fit had too few samples.
+    NotEnoughSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// The regression system was singular (e.g. duplicated sample points).
+    SingularFit,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Sim(e) => write!(f, "profiling run failed: {e}"),
+            ModelError::StageMismatch { expected, got } => {
+                write!(f, "profiling runs disagree on stages: {expected} vs {got}")
+            }
+            ModelError::NoStages => write!(f, "application produced no stages"),
+            ModelError::NotEnoughSamples { got, need } => {
+                write!(f, "regression needs {need} samples, got {got}")
+            }
+            ModelError::SingularFit => write!(f, "regression system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ModelError {
+    fn from(e: SimError) -> Self {
+        ModelError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::StageMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(ModelError::SingularFit.to_string().contains("singular"));
+    }
+}

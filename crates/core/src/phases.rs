@@ -1,0 +1,134 @@
+//! The three execution phases of Section IV-B (Figure 6).
+//!
+//! As the per-node core count `P` grows, a stage passes through three
+//! regimes relative to an I/O channel with per-core throughput `T`,
+//! effective bandwidth `BW` and compute-to-I/O ratio `λ`:
+//!
+//! 1. `P ≤ b` where `b = BW/T` — no I/O contention; runtime
+//!    `M/(N·P) × t_avg`.
+//! 2. `b < P ≤ B` where `B = λ·b` — cores contend for bandwidth but the
+//!    CPU work of concurrent tasks hides the slower I/O; runtime still
+//!    `M/(N·P) × t_avg (+ t_lat)`.
+//! 3. `P > B` — I/O is the bottleneck; runtime `D/(N·BW) + t_avg`, and
+//!    *adding cores no longer helps*.
+
+use doppio_events::Rate;
+
+/// Which regime of Figure 6 a stage operates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecutionPhase {
+    /// `P ≤ b`: every stream runs at its full per-core rate `T`.
+    NoContention,
+    /// `b < P ≤ λ·b`: I/O contention exists but is hidden under CPU work.
+    HiddenContention,
+    /// `P > λ·b`: the device is saturated; the stage is I/O-bound.
+    IoBound,
+}
+
+impl std::fmt::Display for ExecutionPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPhase::NoContention => write!(f, "no-contention (P <= b)"),
+            ExecutionPhase::HiddenContention => write!(f, "hidden (b < P <= λ·b)"),
+            ExecutionPhase::IoBound => write!(f, "io-bound (P > λ·b)"),
+        }
+    }
+}
+
+/// The break point `b = BW / T` (Section IV-A, definition 5): the number of
+/// cores after which streams contend for the device.
+pub fn break_point(bw: Rate, t: Rate) -> f64 {
+    assert!(t.as_bytes_per_sec() > 0.0, "per-core rate T must be positive");
+    bw / t
+}
+
+/// The turning point `B = λ·b` (Section IV-B): the number of cores after
+/// which I/O becomes the stage bottleneck.
+pub fn turning_point(lambda: f64, b: f64) -> f64 {
+    assert!(lambda >= 1.0, "λ = t_task/t_io is at least 1");
+    lambda * b
+}
+
+/// Classifies `P` against the two thresholds.
+pub fn classify(p: f64, b: f64, lambda: f64) -> ExecutionPhase {
+    if p <= b {
+        ExecutionPhase::NoContention
+    } else if p <= turning_point(lambda, b) {
+        ExecutionPhase::HiddenContention
+    } else {
+        ExecutionPhase::IoBound
+    }
+}
+
+/// The piecewise stage-runtime formula of Section IV-B, for a single-channel
+/// stage. Inputs mirror the paper's variable list: `M` tasks over `N` nodes
+/// with `P` cores each, mean task time `t_avg` (of which `t_io` is I/O),
+/// total data `D`, effective bandwidth `BW`, and per-core rate `T`.
+///
+/// Used to regenerate Figure 6's example series (`T = 60 MB/s`, `λ = 4`,
+/// `BW = 120 MB/s`).
+#[allow(clippy::too_many_arguments)]
+pub fn piecewise_runtime(
+    m: u64,
+    n: usize,
+    p: u32,
+    t_avg: f64,
+    t_io: f64,
+    d_bytes: f64,
+    bw: Rate,
+    t: Rate,
+) -> f64 {
+    let b = break_point(bw, t);
+    let lambda = if t_io > 0.0 { (t_avg / t_io).max(1.0) } else { f64::INFINITY };
+    let scale = m as f64 / (n as f64 * p as f64) * t_avg;
+    match classify(p as f64, b, lambda) {
+        ExecutionPhase::NoContention | ExecutionPhase::HiddenContention => scale,
+        ExecutionPhase::IoBound => d_bytes / (n as f64 * bw.as_bytes_per_sec()) + t_avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_example_thresholds() {
+        // The worked example of Section IV-A: T = 60, BW = 120 => b = 2;
+        // λ = 4 => B = 8.
+        let b = break_point(Rate::mib_per_sec(120.0), Rate::mib_per_sec(60.0));
+        assert_eq!(b, 2.0);
+        assert_eq!(turning_point(4.0, b), 8.0);
+        assert_eq!(classify(2.0, b, 4.0), ExecutionPhase::NoContention);
+        assert_eq!(classify(5.0, b, 4.0), ExecutionPhase::HiddenContention);
+        assert_eq!(classify(9.0, b, 4.0), ExecutionPhase::IoBound);
+    }
+
+    #[test]
+    fn phases_are_ordered() {
+        assert!(ExecutionPhase::NoContention < ExecutionPhase::HiddenContention);
+        assert!(ExecutionPhase::HiddenContention < ExecutionPhase::IoBound);
+    }
+
+    #[test]
+    fn piecewise_scales_then_flattens() {
+        let bw = Rate::mib_per_sec(120.0);
+        let t = Rate::mib_per_sec(60.0);
+        // 60 MiB per task at 60 MiB/s = 1 s I/O; λ = 4 => t_avg = 4 s.
+        let d_task = 60.0 * 1024.0 * 1024.0;
+        let m = 64;
+        let d = d_task * m as f64;
+        let runtime = |p| piecewise_runtime(m, 1, p, 4.0, 1.0, d, bw, t);
+        // Scaling region: halving time when doubling cores.
+        assert!((runtime(2) / runtime(4) - 2.0).abs() < 1e-9);
+        assert!((runtime(4) / runtime(8) - 2.0).abs() < 1e-9);
+        // Beyond B = 8 the curve flattens at D/BW + t_avg.
+        let floor = d / bw.as_bytes_per_sec() + 4.0;
+        assert!((runtime(16) - floor).abs() < 1e-9);
+        assert!((runtime(32) - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert!(ExecutionPhase::IoBound.to_string().contains("io-bound"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Measured-vs-predicted comparison tables — the format of the paper's
+//! Figures 7–12 ("exp" vs "model") with error rates.
+
+use std::fmt;
+
+/// One comparison point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Row label (configuration / stage).
+    pub label: String,
+    /// Measured ("exp") seconds.
+    pub measured_secs: f64,
+    /// Model-predicted seconds.
+    pub predicted_secs: f64,
+}
+
+impl ComparisonRow {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, measured_secs: f64, predicted_secs: f64) -> Self {
+        ComparisonRow {
+            label: label.into(),
+            measured_secs,
+            predicted_secs,
+        }
+    }
+
+    /// Absolute relative error in percent (`|pred − exp| / exp × 100`).
+    pub fn error_pct(&self) -> f64 {
+        if self.measured_secs == 0.0 {
+            return 0.0;
+        }
+        (self.predicted_secs - self.measured_secs).abs() / self.measured_secs * 100.0
+    }
+}
+
+/// A titled set of comparison rows, printable as an aligned text table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonTable {
+    /// Table title (e.g. `"Fig 7: GATK4, 10 slaves"`).
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> Self {
+        ComparisonTable {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: ComparisonRow) {
+        self.rows.push(row);
+    }
+
+    /// Mean error across rows, in percent.
+    pub fn avg_error_pct(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(ComparisonRow::error_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Worst row error, in percent.
+    pub fn max_error_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(ComparisonRow::error_pct)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(
+            f,
+            "  {:<42} {:>12} {:>12} {:>8}",
+            "configuration", "exp (min)", "model (min)", "err %"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<42} {:>12.2} {:>12.2} {:>8.1}",
+                r.label,
+                r.measured_secs / 60.0,
+                r.predicted_secs / 60.0,
+                r.error_pct()
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<42} {:>12} {:>12} {:>8.1}",
+            "average error", "", "", self.avg_error_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_math() {
+        let r = ComparisonRow::new("a", 100.0, 110.0);
+        assert!((r.error_pct() - 10.0).abs() < 1e-12);
+        let r = ComparisonRow::new("b", 100.0, 95.0);
+        assert!((r.error_pct() - 5.0).abs() < 1e-12);
+        assert_eq!(ComparisonRow::new("z", 0.0, 5.0).error_pct(), 0.0);
+    }
+
+    #[test]
+    fn table_aggregates() {
+        let mut t = ComparisonTable::new("Fig X");
+        t.push(ComparisonRow::new("a", 100.0, 110.0));
+        t.push(ComparisonRow::new("b", 100.0, 98.0));
+        assert!((t.avg_error_pct() - 6.0).abs() < 1e-12);
+        assert!((t.max_error_pct() - 10.0).abs() < 1e-12);
+        let s = t.to_string();
+        assert!(s.contains("Fig X") && s.contains("err %") && s.contains("average error"));
+    }
+}

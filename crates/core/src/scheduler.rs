@@ -1,0 +1,314 @@
+//! Model-driven job scheduling — the paper's other application.
+//!
+//! Section I: "in a shared cluster environment with a job scheduler, our
+//! performance prediction model can allow the scheduler to know ahead the
+//! approximating job execution time and thus enable better job scheduling
+//! with less job waiting time."
+//!
+//! This module makes that concrete for a single shared cluster running one
+//! job at a time (Spark's classic FIFO cluster mode): given calibrated
+//! [`AppModel`]s for the queued jobs, a predicted-runtime-aware policy
+//! (shortest-predicted-job-first) provably reduces mean waiting time over
+//! submission-order FIFO, and the prediction error bounds how far from the
+//! clairvoyant optimum it can land.
+
+use std::fmt;
+
+use crate::{AppModel, PredictEnv};
+
+/// A job waiting in the queue.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Job name (for reports).
+    pub name: String,
+    /// Calibrated model used to predict the job's runtime.
+    pub model: AppModel,
+    /// Submission time, in seconds from the epoch of the schedule.
+    pub submit_secs: f64,
+}
+
+impl QueuedJob {
+    /// Creates a queued job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `submit_secs` is negative or not finite.
+    pub fn new(name: impl Into<String>, model: AppModel, submit_secs: f64) -> Self {
+        assert!(
+            submit_secs.is_finite() && submit_secs >= 0.0,
+            "submission time must be finite and non-negative"
+        );
+        QueuedJob {
+            name: name.into(),
+            model,
+            submit_secs,
+        }
+    }
+}
+
+/// Scheduling policy for the shared cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Run jobs in submission order.
+    Fifo,
+    /// Among the jobs that have arrived, run the one with the shortest
+    /// model-predicted runtime first (non-preemptive SPT).
+    ShortestPredictedFirst,
+}
+
+/// One job's outcome in a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job name.
+    pub name: String,
+    /// When the job started.
+    pub start_secs: f64,
+    /// Predicted runtime used by the scheduler.
+    pub runtime_secs: f64,
+    /// Waiting time (`start − submit`).
+    pub wait_secs: f64,
+}
+
+impl JobOutcome {
+    /// Turnaround time (`wait + runtime`).
+    pub fn turnaround_secs(&self) -> f64 {
+        self.wait_secs + self.runtime_secs
+    }
+}
+
+/// A complete schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Per-job outcomes in execution order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl Schedule {
+    /// Mean waiting time across jobs.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.wait_secs).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Mean turnaround time across jobs.
+    pub fn mean_turnaround_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.turnaround_secs()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Completion time of the last job.
+    pub fn makespan_secs(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.start_secs + j.runtime_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  {:<16} {:>10} {:>10} {:>10} {:>12}",
+            "job", "start", "run (s)", "wait (s)", "turnaround"
+        )?;
+        for j in &self.jobs {
+            writeln!(
+                f,
+                "  {:<16} {:>10.0} {:>10.0} {:>10.0} {:>12.0}",
+                j.name,
+                j.start_secs,
+                j.runtime_secs,
+                j.wait_secs,
+                j.turnaround_secs()
+            )?;
+        }
+        writeln!(
+            f,
+            "  mean wait {:.0}s, mean turnaround {:.0}s, makespan {:.0}s",
+            self.mean_wait_secs(),
+            self.mean_turnaround_secs(),
+            self.makespan_secs()
+        )
+    }
+}
+
+/// Schedules the queue non-preemptively on one cluster described by `env`.
+///
+/// Runtimes are the model predictions for `env`; the simulator (or the real
+/// cluster) provides the ground truth the predictions approximate.
+pub fn schedule(jobs: &[QueuedJob], env: &PredictEnv, policy: Policy) -> Schedule {
+    let mut pending: Vec<(usize, f64)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (i, j.model.predict(env)))
+        .collect();
+    // Stable order by submission for FIFO and for arrival tie-breaks.
+    pending.sort_by(|a, b| {
+        jobs[a.0]
+            .submit_secs
+            .total_cmp(&jobs[b.0].submit_secs)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut now = 0.0f64;
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut queue = pending;
+    while !queue.is_empty() {
+        // Jobs that have arrived by `now`; if none, jump to the next arrival.
+        let arrived_end = queue
+            .iter()
+            .position(|(i, _)| jobs[*i].submit_secs > now)
+            .unwrap_or(queue.len());
+        let pick_pos = if arrived_end == 0 {
+            now = jobs[queue[0].0].submit_secs;
+            0
+        } else {
+            match policy {
+                Policy::Fifo => 0,
+                Policy::ShortestPredictedFirst => queue[..arrived_end]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                    .map(|(pos, _)| pos)
+                    .expect("non-empty arrived set"),
+            }
+        };
+        let (idx, runtime) = queue.remove(pick_pos);
+        let job = &jobs[idx];
+        let start = now.max(job.submit_secs);
+        out.push(JobOutcome {
+            name: job.name.clone(),
+            start_secs: start,
+            runtime_secs: runtime,
+            wait_secs: start - job.submit_secs,
+        });
+        now = start + runtime;
+    }
+    Schedule { jobs: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageModel;
+    use doppio_cluster::HybridConfig;
+
+    fn job(name: &str, t_avg: f64, submit: f64) -> QueuedJob {
+        let model = AppModel::new(
+            name,
+            vec![StageModel {
+                name: "s".into(),
+                m: 3600,
+                t_avg,
+                delta_scale: 0.0,
+                channels: vec![],
+            }],
+        );
+        QueuedJob::new(name, model, submit)
+    }
+
+    fn env() -> PredictEnv {
+        PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd)
+    }
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let jobs = vec![job("slow", 100.0, 0.0), job("fast", 1.0, 1.0)];
+        let s = schedule(&jobs, &env(), Policy::Fifo);
+        assert_eq!(s.jobs[0].name, "slow");
+        assert_eq!(s.jobs[1].name, "fast");
+        assert!(s.jobs[1].wait_secs > 900.0, "fast job waits behind slow");
+    }
+
+    #[test]
+    fn spt_runs_short_jobs_first() {
+        let jobs = vec![job("slow", 100.0, 0.0), job("fast", 1.0, 0.0), job("mid", 10.0, 0.0)];
+        let s = schedule(&jobs, &env(), Policy::ShortestPredictedFirst);
+        let order: Vec<&str> = s.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(order, vec!["fast", "mid", "slow"]);
+    }
+
+    #[test]
+    fn spt_never_worse_than_fifo_on_mean_wait() {
+        // Exhaustive-ish: several synthetic queues.
+        let queues = [
+            vec![job("a", 50.0, 0.0), job("b", 5.0, 0.0), job("c", 20.0, 0.0)],
+            vec![job("a", 5.0, 0.0), job("b", 50.0, 0.0), job("c", 1.0, 10.0)],
+            vec![job("a", 10.0, 0.0), job("b", 10.0, 0.0)],
+        ];
+        for q in queues {
+            let fifo = schedule(&q, &env(), Policy::Fifo);
+            let spt = schedule(&q, &env(), Policy::ShortestPredictedFirst);
+            assert!(
+                spt.mean_wait_secs() <= fifo.mean_wait_secs() + 1e-9,
+                "SPT {:.1} vs FIFO {:.1}",
+                spt.mean_wait_secs(),
+                fifo.mean_wait_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn no_job_starts_before_submission() {
+        let jobs = vec![job("late", 1.0, 100.0), job("early", 50.0, 0.0)];
+        for policy in [Policy::Fifo, Policy::ShortestPredictedFirst] {
+            let s = schedule(&jobs, &env(), policy);
+            for j in &s.jobs {
+                let submit = jobs.iter().find(|q| q.name == j.name).unwrap().submit_secs;
+                assert!(j.start_secs >= submit - 1e-9);
+                assert!((j.wait_secs - (j.start_secs - submit)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_gap_jumps_to_next_arrival() {
+        let jobs = vec![job("a", 10.0, 0.0), job("b", 10.0, 1000.0)];
+        let s = schedule(&jobs, &env(), Policy::Fifo);
+        assert_eq!(s.jobs[1].start_secs, 1000.0);
+        assert_eq!(s.jobs[1].wait_secs, 0.0);
+    }
+
+    #[test]
+    fn predictions_drive_the_order_per_environment() {
+        // A job that is fast on SSD but I/O-bound on HDD can flip the order.
+        let io_heavy = {
+            let model = AppModel::new(
+                "io-heavy",
+                vec![StageModel {
+                    name: "s".into(),
+                    m: 3600,
+                    t_avg: 1.0,
+                    delta_scale: 0.0,
+                    channels: vec![crate::ChannelModel::new(
+                        doppio_sparksim::IoChannel::ShuffleRead,
+                        doppio_events::Bytes::from_gib(300),
+                        doppio_events::Bytes::from_kib(30),
+                        Some(doppio_events::Rate::mib_per_sec(60.0)),
+                    )],
+                }],
+            );
+            QueuedJob::new("io-heavy", model, 0.0)
+        };
+        let cpu_heavy = job("cpu-heavy", 30.0, 0.0);
+        let jobs = vec![io_heavy, cpu_heavy];
+        let ssd = schedule(&jobs, &PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd), Policy::ShortestPredictedFirst);
+        let hdd = schedule(&jobs, &PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd), Policy::ShortestPredictedFirst);
+        assert_eq!(ssd.jobs[0].name, "io-heavy", "cheap on SSD");
+        assert_eq!(hdd.jobs[0].name, "cpu-heavy", "io-heavy is the long job on HDD");
+    }
+
+    #[test]
+    fn schedule_display_and_aggregates() {
+        let jobs = vec![job("a", 10.0, 0.0), job("b", 20.0, 0.0)];
+        let s = schedule(&jobs, &env(), Policy::Fifo);
+        assert!(s.to_string().contains("mean wait"));
+        assert!(s.makespan_secs() > 0.0);
+        assert!(s.mean_turnaround_secs() >= s.mean_wait_secs());
+    }
+}

@@ -1,0 +1,208 @@
+//! Structured what-if sweeps over a calibrated model.
+//!
+//! Once Equation 1 is calibrated, answering "what if we double the cores /
+//! add nodes / buy SSDs?" is a function evaluation. This module packages
+//! the common sweeps as typed series with a text renderer, so tools and
+//! schedulers don't each reinvent the loop (the `whatif_scaling` example
+//! and the CLI sit on top of it).
+
+use std::fmt;
+
+use doppio_storage::DeviceSpec;
+
+use crate::{AppModel, PredictEnv};
+
+/// One point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Label of the swept value ("P=12", "N=8", "local=SSD"…).
+    pub label: String,
+    /// Predicted total runtime in seconds.
+    pub runtime_secs: f64,
+}
+
+/// A titled series of predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// What was swept.
+    pub title: String,
+    /// The points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// The point with the lowest runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn best(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.runtime_secs.total_cmp(&b.runtime_secs))
+            .expect("sweep has points")
+    }
+
+    /// The marginal speed-up of each step over its predecessor.
+    pub fn marginal_gains(&self) -> Vec<f64> {
+        self.points
+            .windows(2)
+            .map(|w| w[0].runtime_secs / w[1].runtime_secs)
+            .collect()
+    }
+
+    /// Index of the first step whose marginal gain drops below
+    /// `threshold` (e.g. 1.05 = "less than 5% better") — the knee where
+    /// buying more of this resource stops paying. `None` if every step
+    /// keeps paying.
+    pub fn knee(&self, threshold: f64) -> Option<usize> {
+        self.marginal_gains().iter().position(|g| *g < threshold)
+    }
+}
+
+impl fmt::Display for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.title)?;
+        let mut prev: Option<f64> = None;
+        for p in &self.points {
+            let gain = prev
+                .map(|x| format!("{:+.0}%", (x / p.runtime_secs - 1.0) * 100.0))
+                .unwrap_or_else(|| "-".into());
+            writeln!(f, "  {:<16} {:>9.1} min {:>8}", p.label, p.runtime_secs / 60.0, gain)?;
+            prev = Some(p.runtime_secs);
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps executor cores per node.
+pub fn cores_sweep(model: &AppModel, base: &PredictEnv, cores: &[u32]) -> Sweep {
+    Sweep {
+        title: format!("runtime vs cores per node (N={})", base.nodes),
+        points: cores
+            .iter()
+            .map(|&p| SweepPoint {
+                label: format!("P={p}"),
+                runtime_secs: model.predict(&base.clone().with_cores(p)),
+            })
+            .collect(),
+    }
+}
+
+/// Sweeps the worker count.
+pub fn nodes_sweep(model: &AppModel, base: &PredictEnv, nodes: &[usize]) -> Sweep {
+    Sweep {
+        title: format!("runtime vs worker count (P={})", base.cores),
+        points: nodes
+            .iter()
+            .map(|&n| SweepPoint {
+                label: format!("N={n}"),
+                runtime_secs: model.predict(&base.clone().with_nodes(n)),
+            })
+            .collect(),
+    }
+}
+
+/// Compares Spark-local device choices at a fixed cluster shape.
+pub fn local_device_sweep(model: &AppModel, base: &PredictEnv, devices: &[DeviceSpec]) -> Sweep {
+    Sweep {
+        title: format!("runtime vs Spark-local device (N={}, P={})", base.nodes, base.cores),
+        points: devices
+            .iter()
+            .map(|d| {
+                let mut env = base.clone();
+                env.local = d.clone();
+                SweepPoint {
+                    label: d.name().to_string(),
+                    runtime_secs: model.predict(&env),
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelModel, StageModel};
+    use doppio_cluster::HybridConfig;
+    use doppio_events::{Bytes, Rate};
+    use doppio_sparksim::IoChannel;
+    use doppio_storage::presets;
+
+    fn model() -> AppModel {
+        AppModel::new(
+            "m",
+            vec![StageModel {
+                name: "s".into(),
+                m: 14400,
+                t_avg: 8.0,
+                delta_scale: 0.0,
+                channels: vec![ChannelModel::new(
+                    IoChannel::ShuffleRead,
+                    Bytes::from_gib(300),
+                    Bytes::from_kib(30),
+                    Some(Rate::mib_per_sec(60.0)),
+                )],
+            }],
+        )
+    }
+
+    #[test]
+    fn cores_sweep_finds_the_turning_point() {
+        let m = model();
+        let base = PredictEnv::hybrid(10, 8, HybridConfig::SsdSsd);
+        let sweep = cores_sweep(&m, &base, &[8, 16, 32, 64, 128, 256, 512, 1024]);
+        // Scaling keeps paying until the shuffle-read limit term
+        // (300 GiB / (10 x 480 MiB/s) = 64 s) binds, past which extra cores
+        // buy nothing — the knee.
+        let knee = sweep.knee(1.10).expect("there is a knee");
+        assert!(knee >= 4, "still scaling at 128 cores: knee index = {knee}");
+        let best = sweep.best().runtime_secs;
+        assert!((best - 64.0).abs() < 2.0, "floor at the limit term: {best:.1}");
+        assert!(sweep.to_string().contains("P=128"));
+    }
+
+    #[test]
+    fn nodes_sweep_monotone() {
+        let m = model();
+        let base = PredictEnv::hybrid(2, 16, HybridConfig::SsdHdd);
+        let sweep = nodes_sweep(&m, &base, &[2, 4, 8, 16]);
+        let runtimes: Vec<f64> = sweep.points.iter().map(|p| p.runtime_secs).collect();
+        for w in runtimes.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "adding nodes helps an io-bound stage");
+        }
+    }
+
+    #[test]
+    fn device_sweep_prefers_faster_disks() {
+        let m = model();
+        // Enough cores that the device limit, not the core count, binds.
+        let base = PredictEnv::hybrid(10, 512, HybridConfig::SsdSsd);
+        let sweep = local_device_sweep(
+            &m,
+            &base,
+            &[presets::hdd_wd4000(), presets::ssd_mz7lm(), presets::nvme_p4510()],
+        );
+        assert_eq!(sweep.best().label, "P4510-NVMe");
+        let hdd = &sweep.points[0];
+        let nvme = &sweep.points[2];
+        assert!(hdd.runtime_secs > 3.0 * nvme.runtime_secs);
+    }
+
+    #[test]
+    fn marginal_gains_math() {
+        let s = Sweep {
+            title: "t".into(),
+            points: vec![
+                SweepPoint { label: "a".into(), runtime_secs: 100.0 },
+                SweepPoint { label: "b".into(), runtime_secs: 50.0 },
+                SweepPoint { label: "c".into(), runtime_secs: 49.0 },
+            ],
+        };
+        let g = s.marginal_gains();
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert_eq!(s.knee(1.05), Some(1));
+        assert_eq!(s.knee(1.001), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the analytical model's structural invariants.
+
+use doppio_cluster::HybridConfig;
+use doppio_events::{Bytes, Rate};
+use doppio_model::{phases, ChannelModel, ErnestModel, PredictEnv, StageModel};
+use doppio_sparksim::IoChannel;
+use proptest::prelude::*;
+
+fn arb_stage() -> impl Strategy<Value = StageModel> {
+    (
+        1u64..100_000,              // m
+        0.01f64..100.0,             // t_avg
+        0.0f64..60.0,               // delta_scale
+        1u64..1_000,                // D in GiB
+        4u64..262_144,              // rs in KiB
+        10.0f64..200.0,             // stream cap MiB/s
+        prop::sample::select(vec![
+            IoChannel::HdfsRead,
+            IoChannel::HdfsWrite,
+            IoChannel::ShuffleRead,
+            IoChannel::ShuffleWrite,
+            IoChannel::PersistRead,
+            IoChannel::PersistWrite,
+        ]),
+    )
+        .prop_map(|(m, t_avg, delta_scale, d_gib, rs_kib, cap, channel)| StageModel {
+            name: "s".into(),
+            m,
+            t_avg,
+            delta_scale,
+            channels: vec![ChannelModel::new(
+                channel,
+                Bytes::from_gib(d_gib),
+                Bytes::from_kib(rs_kib),
+                Some(Rate::mib_per_sec(cap)),
+            )],
+        })
+}
+
+proptest! {
+    /// More cores never hurt: predictions are non-increasing in P.
+    #[test]
+    fn prediction_monotone_in_cores(stage in arb_stage(), config in prop::sample::select(HybridConfig::ALL.to_vec())) {
+        let mut prev = f64::INFINITY;
+        for p in [1u32, 2, 4, 8, 16, 32, 64] {
+            let t = stage.predict(&PredictEnv::hybrid(5, p, config));
+            prop_assert!(t <= prev + 1e-9, "P={p}: {t} > {prev}");
+            prop_assert!(t.is_finite() && t >= 0.0);
+            prev = t;
+        }
+    }
+
+    /// More nodes never hurt either (both terms divide by N).
+    #[test]
+    fn prediction_monotone_in_nodes(stage in arb_stage(), config in prop::sample::select(HybridConfig::ALL.to_vec())) {
+        let mut prev = f64::INFINITY;
+        for n in [1usize, 2, 4, 8, 16] {
+            let t = stage.predict(&PredictEnv::hybrid(n, 16, config));
+            prop_assert!(t <= prev + 1e-9);
+            prev = t;
+        }
+    }
+
+    /// A faster device never makes a stage slower.
+    #[test]
+    fn prediction_monotone_in_device(stage in arb_stage()) {
+        // SsdSsd dominates HddHdd on both disks, at every request size.
+        let fast = stage.predict(&PredictEnv::hybrid(5, 16, HybridConfig::SsdSsd));
+        let slow = stage.predict(&PredictEnv::hybrid(5, 16, HybridConfig::HddHdd));
+        prop_assert!(fast <= slow + 1e-9, "fast {fast} vs slow {slow}");
+    }
+
+    /// The prediction is always at least the scaling term and at least each
+    /// disk's combined limit.
+    #[test]
+    fn prediction_is_the_binding_max(stage in arb_stage(), config in prop::sample::select(HybridConfig::ALL.to_vec())) {
+        let env = PredictEnv::hybrid(4, 12, config);
+        let t = stage.predict(&env);
+        prop_assert!(t + 1e-9 >= stage.t_scale(&env));
+        for role in [doppio_cluster::DiskRole::Hdfs, doppio_cluster::DiskRole::Local] {
+            prop_assert!(t + 1e-9 >= stage.role_limit(role, &env));
+        }
+        let max = stage
+            .t_scale(&env)
+            .max(stage.role_limit(doppio_cluster::DiskRole::Hdfs, &env))
+            .max(stage.role_limit(doppio_cluster::DiskRole::Local, &env));
+        prop_assert!((t - max).abs() < 1e-9);
+    }
+
+    /// Phase classification is monotone in P: adding cores never moves a
+    /// stage *back* toward NoContention.
+    #[test]
+    fn phases_monotone_in_cores(b in 0.5f64..64.0, lambda in 1.0f64..64.0) {
+        let mut prev = phases::classify(0.5, b, lambda);
+        for p in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            let ph = phases::classify(p, b, lambda);
+            prop_assert!(ph >= prev);
+            prev = ph;
+        }
+    }
+
+    /// b and B behave like the definitions say.
+    #[test]
+    fn break_points_scale(bw in 1.0f64..2000.0, t in 1.0f64..200.0, lambda in 1.0f64..50.0) {
+        let b = phases::break_point(Rate::mib_per_sec(bw), Rate::mib_per_sec(t));
+        prop_assert!((b - bw / t).abs() < 1e-9);
+        let big = phases::turning_point(lambda, b);
+        prop_assert!(big + 1e-9 >= b, "B >= b since λ >= 1");
+    }
+
+    /// Ernest fits pure Amdahl curves exactly and predicts positively.
+    #[test]
+    fn ernest_recovers_amdahl(serial in 0.0f64..100.0, parallel in 1.0f64..1000.0) {
+        let samples: Vec<(f64, f64)> = [1.0f64, 2.0, 4.0, 8.0, 16.0]
+            .iter()
+            .map(|&x| (x, serial + parallel / x))
+            .collect();
+        let m = ErnestModel::fit(&samples).unwrap();
+        for &(x, t) in &samples {
+            prop_assert!((m.predict(x) - t).abs() < 1e-4 * t.max(1.0), "x={x}");
+        }
+        prop_assert!(m.predict(32.0) >= 0.0);
+        for c in m.coefficients() {
+            prop_assert!(c >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! DFS configuration.
+
+use doppio_events::Bytes;
+
+/// Configuration of the distributed file system.
+///
+/// Mirrors the two `hdfs-site.xml` knobs the paper lists in Table II:
+/// `dfs.blocksize` and `dfs.replication`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Block size (`dfs.blocksize`); determines the map-task count of every
+    /// HDFS-input stage and the request size of HDFS I/O.
+    pub block_size: Bytes,
+    /// Replication factor (`dfs.replication`); determines write
+    /// amplification.
+    pub replication: u32,
+}
+
+impl DfsConfig {
+    /// The paper's configuration: 128 MB blocks, replication 2 (Table II).
+    pub fn paper() -> Self {
+        DfsConfig {
+            block_size: Bytes::from_mib(128),
+            replication: 2,
+        }
+    }
+
+    /// Returns a copy with a different block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn with_block_size(mut self, block_size: Bytes) -> Self {
+        assert!(!block_size.is_zero(), "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Returns a copy with a different replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn with_replication(mut self, replication: u32) -> Self {
+        assert!(replication > 0, "replication factor must be at least 1");
+        self.replication = replication;
+        self
+    }
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = DfsConfig::paper();
+        assert_eq!(c.block_size, Bytes::from_mib(128));
+        assert_eq!(c.replication, 2);
+        assert_eq!(DfsConfig::default(), c);
+    }
+
+    #[test]
+    fn builders() {
+        let c = DfsConfig::paper()
+            .with_block_size(Bytes::from_mib(64))
+            .with_replication(3);
+        assert_eq!(c.block_size, Bytes::from_mib(64));
+        assert_eq!(c.replication, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_replication_rejected() {
+        let _ = DfsConfig::paper().with_replication(0);
+    }
+}

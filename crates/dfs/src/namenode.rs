@@ -1,0 +1,293 @@
+//! File metadata and block placement.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use doppio_cluster::NodeId;
+use doppio_events::Bytes;
+
+use crate::DfsConfig;
+
+/// Errors returned by namenode operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The path already exists.
+    FileExists(String),
+    /// The path does not exist.
+    NotFound(String),
+    /// The requested file is empty (zero-length files carry no blocks).
+    EmptyFile(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::NotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::EmptyFile(p) => write!(f, "file is empty: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Metadata of one file block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Index of the block within its file.
+    pub index: u64,
+    /// Block length (the last block of a file may be short).
+    pub len: Bytes,
+    /// Nodes holding a replica, primary first.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Metadata of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    path: String,
+    len: Bytes,
+    blocks: Vec<BlockMeta>,
+}
+
+impl FileMeta {
+    /// File path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Total file length.
+    pub fn len(&self) -> Bytes {
+        self.len
+    }
+
+    /// True for zero-length files.
+    pub fn is_empty(&self) -> bool {
+        self.len.is_zero()
+    }
+
+    /// The file's blocks in order.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+}
+
+/// The DFS namenode: file table plus deterministic block placement.
+///
+/// Placement is round-robin with a per-file offset: block `i` of the `k`-th
+/// file created gets its primary replica on node `(i + k) % n` and its
+/// additional replicas on the following nodes. Determinism keeps simulations
+/// reproducible; round-robin gives the even spread a healthy HDFS balancer
+/// maintains.
+#[derive(Debug, Clone)]
+pub struct Namenode {
+    config: DfsConfig,
+    num_nodes: usize,
+    files: HashMap<String, FileMeta>,
+    files_created: usize,
+}
+
+impl Namenode {
+    /// Creates a namenode for a cluster of `num_nodes` datanodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(config: DfsConfig, num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "a DFS needs at least one datanode");
+        Namenode {
+            config,
+            num_nodes,
+            files: HashMap::new(),
+            files_created: 0,
+        }
+    }
+
+    /// The file system configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Number of datanodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Creates a file of `len` bytes and places its blocks.
+    ///
+    /// When `writer` is given, the primary replica of every block lands on
+    /// the writer's node (HDFS local-write affinity); otherwise primaries
+    /// rotate round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::FileExists`] if the path is taken.
+    pub fn create_file(
+        &mut self,
+        path: impl Into<String>,
+        len: Bytes,
+        writer: Option<NodeId>,
+    ) -> Result<&FileMeta, DfsError> {
+        let path = path.into();
+        if self.files.contains_key(&path) {
+            return Err(DfsError::FileExists(path));
+        }
+        let replication = (self.config.replication as usize).min(self.num_nodes);
+        let bs = self.config.block_size;
+        let n_blocks = if len.is_zero() { 0 } else { len.div_ceil_by(bs) };
+        let offset = self.files_created;
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        let mut remaining = len;
+        for i in 0..n_blocks {
+            let blen = remaining.min(bs);
+            remaining = remaining.saturating_sub(bs);
+            let primary = match writer {
+                Some(w) => w.0 % self.num_nodes,
+                None => (i as usize + offset) % self.num_nodes,
+            };
+            let replicas = (0..replication)
+                .map(|r| {
+                    if r == 0 {
+                        NodeId(primary)
+                    } else {
+                        // Secondary replicas spread relative to the block
+                        // index so a single writer does not pile replicas on
+                        // one neighbour.
+                        NodeId((primary + 1 + (i as usize + r - 1) % (self.num_nodes - 1).max(1)) % self.num_nodes)
+                    }
+                })
+                .collect();
+            blocks.push(BlockMeta {
+                index: i,
+                len: blen,
+                replicas,
+            });
+        }
+        self.files_created += 1;
+        let meta = FileMeta { path: path.clone(), len, blocks };
+        Ok(self.files.entry(path).or_insert(meta))
+    }
+
+    /// Looks up a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::NotFound`] for unknown paths.
+    pub fn file(&self, path: &str) -> Result<&FileMeta, DfsError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Removes a file; returns its metadata if it existed.
+    pub fn delete_file(&mut self, path: &str) -> Option<FileMeta> {
+        self.files.remove(path)
+    }
+
+    /// True when the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn(nodes: usize) -> Namenode {
+        Namenode::new(DfsConfig::paper(), nodes)
+    }
+
+    #[test]
+    fn block_count_is_ceiling_division() {
+        let mut n = nn(3);
+        let f = n.create_file("/a", Bytes::from_mib(300), None).unwrap();
+        assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.blocks()[0].len, Bytes::from_mib(128));
+        assert_eq!(f.blocks()[2].len, Bytes::from_mib(44));
+        let total: Bytes = f.blocks().iter().map(|b| b.len).sum();
+        assert_eq!(total, Bytes::from_mib(300));
+    }
+
+    #[test]
+    fn paper_input_file_block_count() {
+        // 122 GiB input / 128 MiB blocks = 976 map tasks.
+        let mut n = nn(10);
+        let f = n.create_file("/hcc1954.bam", Bytes::from_gib(122), None).unwrap();
+        assert_eq!(f.blocks().len(), 976);
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let mut n = nn(4);
+        let f = n.create_file("/a", Bytes::from_gib(1), None).unwrap();
+        for b in f.blocks() {
+            assert_eq!(b.replicas.len(), 2);
+            assert_ne!(b.replicas[0], b.replicas[1], "replicas must differ");
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let mut n = Namenode::new(DfsConfig::paper().with_replication(3), 2);
+        let f = n.create_file("/a", Bytes::from_mib(128), None).unwrap();
+        assert_eq!(f.blocks()[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn writer_affinity_places_primary_locally() {
+        let mut n = nn(4);
+        let f = n.create_file("/out", Bytes::from_gib(1), Some(NodeId(2))).unwrap();
+        for b in f.blocks() {
+            assert_eq!(b.replicas[0], NodeId(2));
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_primaries_evenly() {
+        let mut n = nn(4);
+        let f = n.create_file("/a", Bytes::from_gib(2), None).unwrap(); // 16 blocks
+        let mut counts = [0usize; 4];
+        for b in f.blocks() {
+            counts[b.replicas[0].0] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut n = nn(2);
+        n.create_file("/a", Bytes::from_mib(1), None).unwrap();
+        assert_eq!(
+            n.create_file("/a", Bytes::from_mib(1), None).unwrap_err(),
+            DfsError::FileExists("/a".into())
+        );
+    }
+
+    #[test]
+    fn lookup_and_delete() {
+        let mut n = nn(2);
+        n.create_file("/a", Bytes::from_mib(1), None).unwrap();
+        assert!(n.exists("/a"));
+        assert_eq!(n.file("/a").unwrap().len(), Bytes::from_mib(1));
+        assert!(n.delete_file("/a").is_some());
+        assert!(matches!(n.file("/a"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let mut n = nn(2);
+        let f = n.create_file("/e", Bytes::ZERO, None).unwrap();
+        assert!(f.is_empty());
+        assert!(f.blocks().is_empty());
+    }
+
+    #[test]
+    fn single_node_cluster_replicates_once() {
+        let mut n = Namenode::new(DfsConfig::paper(), 1);
+        let f = n.create_file("/a", Bytes::from_mib(256), None).unwrap();
+        for b in f.blocks() {
+            assert_eq!(b.replicas, vec![NodeId(0)]);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Read and write plans: the physical I/O a DFS access implies.
+
+use doppio_cluster::NodeId;
+use doppio_events::Bytes;
+
+use crate::{DfsError, Namenode};
+
+/// The physical I/O needed to read one block from a given node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRead {
+    /// Block index within the file.
+    pub index: u64,
+    /// Node whose HDFS disk serves the read.
+    pub source: NodeId,
+    /// Bytes read.
+    pub bytes: Bytes,
+    /// True when the chosen replica is on the reader's own node (no network
+    /// hop needed).
+    pub local: bool,
+}
+
+/// The physical I/O needed to write one block with replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockWrite {
+    /// Block index within the file.
+    pub index: u64,
+    /// Bytes written (per replica).
+    pub bytes: Bytes,
+    /// All nodes whose HDFS disk receives a copy, pipeline order (primary
+    /// first).
+    pub targets: Vec<NodeId>,
+    /// Nodes reached over the network (every target except a writer-local
+    /// primary).
+    pub remote_targets: Vec<NodeId>,
+}
+
+impl Namenode {
+    /// Plans a whole-file read from `reader`: for each block, the replica is
+    /// chosen local-first, falling back to the replica list deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::NotFound`] for unknown paths.
+    pub fn read_plan(&self, path: &str, reader: NodeId) -> Result<Vec<BlockRead>, DfsError> {
+        let file = self.file(path)?;
+        Ok(file
+            .blocks()
+            .iter()
+            .map(|b| {
+                let local = b.replicas.iter().find(|r| **r == reader);
+                let (source, is_local) = match local {
+                    Some(&r) => (r, true),
+                    None => (b.replicas[b.index as usize % b.replicas.len()], false),
+                };
+                BlockRead {
+                    index: b.index,
+                    source,
+                    bytes: b.len,
+                    local: is_local,
+                }
+            })
+            .collect())
+    }
+
+    /// Plans the read of a single block by `reader` (used when map tasks are
+    /// scheduled one-per-block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::NotFound`] for unknown paths and
+    /// [`DfsError::EmptyFile`] if the block index is out of range.
+    pub fn block_read_plan(&self, path: &str, index: u64, reader: NodeId) -> Result<BlockRead, DfsError> {
+        let file = self.file(path)?;
+        let b = file
+            .blocks()
+            .get(index as usize)
+            .ok_or_else(|| DfsError::EmptyFile(path.to_string()))?;
+        let local = b.replicas.contains(&reader);
+        let source = if local {
+            reader
+        } else {
+            b.replicas[b.index as usize % b.replicas.len()]
+        };
+        Ok(BlockRead {
+            index,
+            source,
+            bytes: b.len,
+            local,
+        })
+    }
+
+    /// Plans a file write of `len` bytes from `writer`: creates the file
+    /// (with writer affinity) and returns, per block, which disks receive a
+    /// copy and which copies cross the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::FileExists`] if the path is taken.
+    pub fn write_plan(
+        &mut self,
+        path: impl Into<String>,
+        len: Bytes,
+        writer: NodeId,
+    ) -> Result<Vec<BlockWrite>, DfsError> {
+        let path = path.into();
+        let file = self.create_file(path, len, Some(writer))?;
+        Ok(file
+            .blocks()
+            .iter()
+            .map(|b| {
+                let remote_targets = b
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|r| *r != writer)
+                    .collect();
+                BlockWrite {
+                    index: b.index,
+                    bytes: b.len,
+                    targets: b.replicas.clone(),
+                    remote_targets,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfsConfig;
+
+    fn nn(nodes: usize) -> Namenode {
+        Namenode::new(DfsConfig::paper(), nodes)
+    }
+
+    #[test]
+    fn read_plan_prefers_local_replica() {
+        let mut n = nn(4);
+        n.create_file("/a", Bytes::from_gib(2), None).unwrap();
+        let plan = n.read_plan("/a", NodeId(1)).unwrap();
+        for r in &plan {
+            if r.local {
+                assert_eq!(r.source, NodeId(1));
+            } else {
+                assert_ne!(r.source, NodeId(1));
+            }
+        }
+        // With 16 blocks round-robined over 4 nodes and replication 2, about
+        // half the blocks (16 * 2/4) have a replica on any given node.
+        let local = plan.iter().filter(|r| r.local).count();
+        assert!((6..=10).contains(&local), "local reads = {local}");
+    }
+
+    #[test]
+    fn read_plan_covers_whole_file() {
+        let mut n = nn(3);
+        n.create_file("/a", Bytes::from_mib(300), None).unwrap();
+        let plan = n.read_plan("/a", NodeId(0)).unwrap();
+        let total: Bytes = plan.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, Bytes::from_mib(300));
+    }
+
+    #[test]
+    fn block_read_plan_matches_file_plan() {
+        let mut n = nn(4);
+        n.create_file("/a", Bytes::from_gib(1), None).unwrap();
+        let whole = n.read_plan("/a", NodeId(2)).unwrap();
+        for (i, expect) in whole.iter().enumerate() {
+            let one = n.block_read_plan("/a", i as u64, NodeId(2)).unwrap();
+            assert_eq!(&one, expect);
+        }
+        assert!(n.block_read_plan("/a", 999, NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn write_plan_has_replication_amplification() {
+        let mut n = nn(4);
+        let plan = n.write_plan("/out", Bytes::from_gib(1), NodeId(0)).unwrap();
+        assert_eq!(plan.len(), 8);
+        for w in &plan {
+            assert_eq!(w.targets.len(), 2);
+            assert_eq!(w.targets[0], NodeId(0), "primary replica is writer-local");
+            assert_eq!(w.remote_targets.len(), 1, "one copy crosses the network");
+            assert_ne!(w.remote_targets[0], NodeId(0));
+        }
+        // Total disk bytes = 2x file size; network bytes = 1x file size.
+        let disk: u64 = plan.iter().map(|w| w.bytes.as_u64() * w.targets.len() as u64).sum();
+        assert_eq!(disk, 2 * Bytes::from_gib(1).as_u64());
+    }
+
+    #[test]
+    fn missing_file_read_errors() {
+        let n = nn(2);
+        assert!(matches!(n.read_plan("/nope", NodeId(0)), Err(DfsError::NotFound(_))));
+    }
+}

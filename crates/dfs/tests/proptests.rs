@@ -1,0 +1,106 @@
+//! Property tests for the DFS: placement balance, conservation, and plan
+//! consistency.
+
+use doppio_cluster::NodeId;
+use doppio_dfs::{DfsConfig, Namenode};
+use doppio_events::Bytes;
+use proptest::prelude::*;
+
+proptest! {
+    /// Block math: blocks cover the file exactly, only the last block may
+    /// be short, and every replica set has the configured size with
+    /// distinct nodes.
+    #[test]
+    fn blocks_cover_file(
+        len_mib in 1u64..10_000,
+        block_mib in prop::sample::select(vec![32u64, 64, 128, 256]),
+        nodes in 1usize..12,
+        replication in 1u32..4,
+    ) {
+        let cfg = DfsConfig::paper()
+            .with_block_size(Bytes::from_mib(block_mib))
+            .with_replication(replication);
+        let mut nn = Namenode::new(cfg, nodes);
+        let len = Bytes::from_mib(len_mib);
+        let f = nn.create_file("/f", len, None).unwrap();
+        let total: Bytes = f.blocks().iter().map(|b| b.len).sum();
+        prop_assert_eq!(total, len);
+        for (i, b) in f.blocks().iter().enumerate() {
+            if i + 1 < f.blocks().len() {
+                prop_assert_eq!(b.len, Bytes::from_mib(block_mib));
+            }
+            prop_assert_eq!(b.replicas.len(), (replication as usize).min(nodes));
+            let mut sorted = b.replicas.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), b.replicas.len(), "replicas distinct");
+            for r in &b.replicas {
+                prop_assert!(r.0 < nodes);
+            }
+        }
+    }
+
+    /// Placement balance: primary replicas spread within one block of even.
+    #[test]
+    fn primaries_are_balanced(
+        blocks in 4u64..200,
+        nodes in 2usize..10,
+    ) {
+        let mut nn = Namenode::new(DfsConfig::paper(), nodes);
+        let len = Bytes::from_mib(128) * blocks;
+        let f = nn.create_file("/f", len, None).unwrap();
+        let mut counts = vec![0i64; nodes];
+        for b in f.blocks() {
+            counts[b.replicas[0].0] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "counts = {counts:?}");
+    }
+
+    /// Read plans cover the file and choose only real replicas.
+    #[test]
+    fn read_plans_are_consistent(
+        blocks in 1u64..100,
+        nodes in 1usize..8,
+        reader in 0usize..8,
+    ) {
+        let reader = NodeId(reader % nodes);
+        let mut nn = Namenode::new(DfsConfig::paper(), nodes);
+        let len = Bytes::from_mib(128) * blocks;
+        nn.create_file("/f", len, None).unwrap();
+        let plan = nn.read_plan("/f", reader).unwrap();
+        prop_assert_eq!(plan.len() as u64, blocks);
+        let meta = nn.file("/f").unwrap();
+        for (r, b) in plan.iter().zip(meta.blocks()) {
+            prop_assert!(b.replicas.contains(&r.source));
+            prop_assert_eq!(r.local, r.source == reader);
+            if b.replicas.contains(&reader) {
+                prop_assert!(r.local, "local replica must be preferred");
+            }
+        }
+    }
+
+    /// Write plans: replication-many targets per block, writer-local
+    /// primary, and remote targets exactly the non-writer replicas.
+    #[test]
+    fn write_plans_account_replication(
+        blocks in 1u64..50,
+        nodes in 2usize..8,
+        writer in 0usize..8,
+    ) {
+        let writer = NodeId(writer % nodes);
+        let mut nn = Namenode::new(DfsConfig::paper(), nodes);
+        let len = Bytes::from_mib(128) * blocks;
+        let plan = nn.write_plan("/out", len, writer).unwrap();
+        prop_assert_eq!(plan.len() as u64, blocks);
+        for w in &plan {
+            prop_assert_eq!(w.targets[0], writer);
+            prop_assert_eq!(w.remote_targets.len(), w.targets.len() - 1);
+            for r in &w.remote_targets {
+                prop_assert!(*r != writer);
+                prop_assert!(w.targets.contains(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The event-calendar engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// A discrete-event engine generic over a user-defined world type `W`.
+///
+/// Events are closures receiving `&mut W` and `&mut Engine<W>`; handlers can
+/// therefore mutate simulation state and schedule or cancel further events.
+/// Events at equal times fire in scheduling (FIFO) order, which keeps
+/// simulations deterministic.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::{Engine, SimTime};
+/// let mut engine: Engine<Vec<u32>> = Engine::new();
+/// let mut log = Vec::new();
+/// engine.schedule_at(SimTime::from_secs(2.0), |w: &mut Vec<u32>, _| w.push(2));
+/// engine.schedule_at(SimTime::from_secs(1.0), |w: &mut Vec<u32>, _| w.push(1));
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![1, 2]);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<EntryKey>>,
+    // Actions are stored separately from the heap key so the heap ordering
+    // does not need to reason about the (non-Ord) closures.
+    actions: std::collections::HashMap<EventId, (SimTime, Action<W>)>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    fired: u64,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EntryKey {
+    at: SimTime,
+    id: EventId,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`] and an empty
+    /// calendar.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            actions: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            fired: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far (useful for bounding runaway sims and
+    /// for micro-benchmarks).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending (excluding cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Schedules `action` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at} now={}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Reverse(EntryKey { at, id }));
+        self.actions.insert(id, (at, Box::new(action)));
+        id
+    }
+
+    /// Schedules `action` to fire `delay_secs` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_secs` is negative or NaN.
+    pub fn schedule_in<F>(&mut self, delay_secs: f64, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + SimDuration::from_secs(delay_secs), action)
+    }
+
+    /// Schedules `action` to fire after `delay`.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event existed and had
+    /// not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.actions.remove(&id).is_some() {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fires the next pending event, advancing the clock to it. Returns
+    /// `false` when the calendar is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(Reverse(key)) = self.queue.pop() {
+            if self.cancelled.remove(&key.id) {
+                continue;
+            }
+            let Some((at, action)) = self.actions.remove(&key.id) else {
+                continue;
+            };
+            debug_assert_eq!(at, key.at);
+            self.now = key.at;
+            self.fired += 1;
+            action(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the calendar is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the calendar is empty or the clock would pass `until`;
+    /// events at exactly `until` do fire. Returns the number of events fired.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
+        let start = self.fired;
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.fired - start
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if self.cancelled.contains(&key.id) || !self.actions.contains_key(&key.id) {
+                let Reverse(key) = self.queue.pop().expect("peeked entry present");
+                self.cancelled.remove(&key.id);
+                continue;
+            }
+            return Some(key.at);
+        }
+        None
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.actions.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(SimTime::from_secs(3.0), |w: &mut Vec<u32>, _| w.push(3));
+        e.schedule_at(SimTime::from_secs(1.0), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_secs(2.0), |w: &mut Vec<u32>, _| w.push(2));
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_secs(3.0));
+        assert_eq!(e.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_fifo_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_secs(1.0), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        e.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        fn tick(w: &mut u32, e: &mut Engine<u32>) {
+            *w += 1;
+            if *w < 5 {
+                e.schedule_in(1.0, tick);
+            }
+        }
+        e.schedule_in(1.0, tick);
+        e.run(&mut w);
+        assert_eq!(w, 5);
+        assert_eq!(e.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        let id = e.schedule_in(1.0, |w: &mut u32, _| *w += 1);
+        e.schedule_in(2.0, |w: &mut u32, _| *w += 10);
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id), "double cancel reports false");
+        e.run(&mut w);
+        assert_eq!(w, 10);
+        assert_eq!(e.events_fired(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(SimTime::from_secs(1.0), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_secs(2.0), |w: &mut Vec<u32>, _| w.push(2));
+        e.schedule_at(SimTime::from_secs(3.0), |w: &mut Vec<u32>, _| w.push(3));
+        let fired = e.run_until(&mut w, SimTime::from_secs(2.0));
+        assert_eq!(fired, 2);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0;
+        e.schedule_in(5.0, |_, _| {});
+        e.run(&mut w);
+        e.schedule_at(SimTime::from_secs(1.0), |_, _| {});
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut e: Engine<u32> = Engine::new();
+        let id = e.schedule_in(1.0, |_, _| {});
+        e.schedule_in(2.0, |_, _| {});
+        e.cancel(id);
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+}

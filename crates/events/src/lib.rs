@@ -1,0 +1,51 @@
+//! Discrete-event simulation kernel for the Doppio toolset.
+//!
+//! This crate is the bottom layer of the Doppio reproduction stack. It provides
+//! three building blocks that every other simulation crate is written against:
+//!
+//! * [`SimTime`] / [`SimDuration`] — the simulation clock, a thin wrapper over
+//!   `f64` seconds with a total order so it can live in priority queues.
+//! * [`Engine`] — a classic event-calendar engine, generic over a user "world"
+//!   type `W`. Events are `FnOnce(&mut W, &mut Engine<W>)` closures, so event
+//!   handlers can mutate the world and schedule/cancel further events.
+//! * [`PsServer`] — a *processor-sharing* resource server with per-flow rate
+//!   caps and water-filling rate assignment. Disks, NICs and any other
+//!   capacity-shared resource in the simulator are instances of this server.
+//!
+//! The processor-sharing server is the piece that makes the paper's central
+//! quantity — the break point `b = BW / T` after which CPU cores contend for
+//! I/O bandwidth (Doppio, Section IV) — fall out of first principles instead
+//! of being special-cased: when `P` flows each capped at per-stream rate `T`
+//! share a server of capacity `BW`, every flow attains `T` while `P <= b` and
+//! `BW / P` afterwards.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_events::{Engine, SimTime};
+//!
+//! struct World { ticks: u32 }
+//!
+//! let mut engine: Engine<World> = Engine::new();
+//! let mut world = World { ticks: 0 };
+//! engine.schedule_at(SimTime::from_secs(1.0), |w: &mut World, e| {
+//!     w.ticks += 1;
+//!     e.schedule_in(SimTime::from_secs(2.0).as_secs(), |w: &mut World, _| w.ticks += 1);
+//! });
+//! engine.run(&mut world);
+//! assert_eq!(world.ticks, 2);
+//! assert_eq!(engine.now(), SimTime::from_secs(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod psserver;
+mod time;
+mod units;
+
+pub use engine::{Engine, EventId};
+pub use psserver::{FlowId, FlowSpec, PsServer};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bytes, Rate};

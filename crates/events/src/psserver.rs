@@ -1,0 +1,431 @@
+//! A processor-sharing resource server with per-flow rate caps.
+//!
+//! Disks and NICs in the Doppio simulator are capacity-shared resources: at
+//! any instant a set of *flows* (outstanding I/O streams) divides the
+//! resource's capacity. The division follows max–min fairness ("water
+//! filling"): every flow gets an equal share, except that a flow never
+//! receives more than its own cap, and capacity freed by capped flows is
+//! redistributed to the rest.
+//!
+//! Units are deliberately abstract ("service units per second"): a disk is a
+//! server of capacity 1.0 *device-second per second* where a flow with
+//! request size `rs` needs `bytes / BW(rs)` device-seconds, while a NIC is a
+//! server of capacity `link_bytes_per_second` where a flow needs plain bytes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{SimDuration, SimTime};
+
+/// Handle to a flow registered on a [`PsServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Parameters of a new flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// Total service demand, in the server's service units.
+    pub demand: f64,
+    /// Maximum service rate this flow can attain on its own, in service
+    /// units per second (`f64::INFINITY` for uncapped flows).
+    pub cap: f64,
+    /// Opaque owner tag returned on completion (e.g. a task or flow-group id).
+    pub tag: u64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    remaining: f64,
+    demand: f64,
+    cap: f64,
+    rate: f64,
+    tag: u64,
+}
+
+/// A processor-sharing server: capacity divided max–min fairly among active
+/// flows, each flow optionally rate-capped.
+///
+/// The server is *passive*: it never touches the event engine. The owning
+/// simulation advances it to the current time before mutating it, then asks
+/// [`PsServer::next_completion`] when to look again. Between mutations all
+/// rates are constant, so the next completion time is exact.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::{FlowSpec, PsServer, SimTime};
+///
+/// // A disk offering 1.0 device-second per second; two identical flows each
+/// // needing 2.0 device-seconds, uncapped: they share the capacity and both
+/// // finish at t = 4.
+/// let mut disk = PsServer::new(1.0);
+/// let t0 = SimTime::ZERO;
+/// disk.add_flow(t0, FlowSpec { demand: 2.0, cap: f64::INFINITY, tag: 7 });
+/// disk.add_flow(t0, FlowSpec { demand: 2.0, cap: f64::INFINITY, tag: 8 });
+/// let done = disk.next_completion().unwrap();
+/// assert_eq!(done, SimTime::from_secs(4.0));
+/// disk.advance(done);
+/// assert_eq!(disk.take_completed().len(), 2);
+/// ```
+pub struct PsServer {
+    capacity: f64,
+    flows: HashMap<FlowId, Flow>,
+    completed: Vec<(FlowId, u64)>,
+    next_id: u64,
+    last_advance: SimTime,
+    busy: SimDuration,
+    served: f64,
+}
+
+/// Relative tolerance used to declare a flow finished despite floating-point
+/// drift in rate integration.
+const COMPLETION_EPS: f64 = 1e-9;
+
+impl PsServer {
+    /// Creates a server with the given capacity in service units per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not finite and positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "server capacity must be finite and positive, got {capacity}"
+        );
+        PsServer {
+            capacity,
+            flows: HashMap::new(),
+            completed: Vec::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            served: 0.0,
+        }
+    }
+
+    /// The configured capacity, in service units per second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of in-flight (not yet completed) flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total time the server had at least one active flow.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Total service units delivered so far.
+    pub fn served_units(&self) -> f64 {
+        self.served
+    }
+
+    /// Integrates flow progress up to `now`, moving finished flows to the
+    /// completed list. Must be called (directly or via `add_flow` /
+    /// `remove_flow`) before reading state at a new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last advance (time cannot flow backwards).
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "PsServer time went backwards: {} -> {}",
+            self.last_advance,
+            now
+        );
+        let dt = (now - self.last_advance).as_secs();
+        self.last_advance = now;
+        if dt == 0.0 {
+            self.harvest_completed();
+            return;
+        }
+        if !self.flows.is_empty() {
+            self.busy += SimDuration::from_secs(dt);
+        }
+        for flow in self.flows.values_mut() {
+            let done = flow.rate * dt;
+            flow.remaining -= done;
+            self.served += done;
+        }
+        self.harvest_completed();
+    }
+
+    fn harvest_completed(&mut self) {
+        // A flow is done when its residual is negligible relative to its
+        // demand, or when draining it would take less time than the clock
+        // can represent at the current timestamp — without the latter, a
+        // rounding residual of a few ULPs would schedule completions at
+        // `now + 0` forever (zero-progress livelock).
+        let time_quantum = 4.0 * f64::EPSILON * self.last_advance.as_secs().max(1.0);
+        let mut finished: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| {
+                f.remaining <= COMPLETION_EPS * f.demand.max(1.0)
+                    || (f.rate > 0.0 && f.remaining / f.rate <= time_quantum)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if finished.is_empty() {
+            return;
+        }
+        // HashMap iteration order is randomized per process; completions
+        // feed the executor's scheduling decisions, so sort for
+        // reproducibility (FlowId order = submission order).
+        finished.sort_unstable();
+        for id in finished {
+            let f = self.flows.remove(&id).expect("flow present");
+            self.completed.push((id, f.tag));
+        }
+        self.reassign_rates();
+    }
+
+    /// Registers a new flow at time `now` and returns its id.
+    ///
+    /// A zero-demand flow completes immediately (it appears in the next
+    /// [`PsServer::take_completed`] call without consuming capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative/NaN or `cap` is not positive.
+    pub fn add_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        assert!(
+            spec.demand.is_finite() && spec.demand >= 0.0,
+            "flow demand must be finite and non-negative, got {}",
+            spec.demand
+        );
+        assert!(spec.cap > 0.0, "flow cap must be positive, got {}", spec.cap);
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        if spec.demand == 0.0 {
+            self.completed.push((id, spec.tag));
+            return id;
+        }
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: spec.demand,
+                demand: spec.demand,
+                cap: spec.cap,
+                rate: 0.0,
+                tag: spec.tag,
+            },
+        );
+        self.reassign_rates();
+        id
+    }
+
+    /// Removes a flow before completion (e.g. a cancelled transfer).
+    /// Returns the remaining demand, or `None` if the flow was unknown or
+    /// already complete.
+    pub fn remove_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.reassign_rates();
+        Some(flow.remaining)
+    }
+
+    /// Drains the list of flows that have finished since the last call,
+    /// returning `(flow id, owner tag)` pairs in completion order.
+    pub fn take_completed(&mut self) -> Vec<(FlowId, u64)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Absolute time at which the next flow will finish, assuming no further
+    /// mutations. `None` when idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| {
+                let dt = (f.remaining / f.rate).max(0.0);
+                self.last_advance + SimDuration::from_secs(dt)
+            })
+            .min()
+    }
+
+    /// Current service rate of a flow, in units per second.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Sum of the rates of all active flows (the server's instantaneous
+    /// delivered capacity).
+    pub fn total_rate(&self) -> f64 {
+        self.flows.values().map(|f| f.rate).sum()
+    }
+
+    /// Max–min fair ("water-filling") rate assignment with caps.
+    fn reassign_rates(&mut self) {
+        let n = self.flows.len();
+        if n == 0 {
+            return;
+        }
+        // Sort flow ids by cap ascending, then fill.
+        let mut order: Vec<FlowId> = self.flows.keys().copied().collect();
+        order.sort_by(|a, b| {
+            let ca = self.flows[a].cap;
+            let cb = self.flows[b].cap;
+            ca.total_cmp(&cb).then(a.cmp(b))
+        });
+        let mut remaining_capacity = self.capacity;
+        let mut remaining_flows = n;
+        for id in order {
+            let fair_share = remaining_capacity / remaining_flows as f64;
+            let flow = self.flows.get_mut(&id).expect("flow present");
+            let rate = flow.cap.min(fair_share);
+            flow.rate = rate;
+            remaining_capacity -= rate;
+            remaining_flows -= 1;
+        }
+    }
+}
+
+impl fmt::Debug for PsServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PsServer")
+            .field("capacity", &self.capacity)
+            .field("active_flows", &self.flows.len())
+            .field("last_advance", &self.last_advance)
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(demand: f64, cap: f64) -> FlowSpec {
+        FlowSpec { demand, cap, tag: 0 }
+    }
+
+    #[test]
+    fn single_uncapped_flow_gets_full_capacity() {
+        let mut s = PsServer::new(2.0);
+        s.add_flow(SimTime::ZERO, spec(4.0, f64::INFINITY));
+        assert_eq!(s.next_completion(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn capped_flow_limited_to_cap() {
+        let mut s = PsServer::new(10.0);
+        let id = s.add_flow(SimTime::ZERO, spec(4.0, 2.0));
+        assert_eq!(s.flow_rate(id), Some(2.0));
+        assert_eq!(s.next_completion(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn break_point_behaviour_matches_paper() {
+        // Paper Section IV-A: T = 60 MB/s per core, BW = 120 MB/s => b = 2.
+        // With P <= 2 flows each attains T; with P = 4 each gets BW / 4.
+        let bw = 120.0;
+        let t = 60.0;
+        let mut s = PsServer::new(bw);
+        let a = s.add_flow(SimTime::ZERO, spec(600.0, t));
+        let b = s.add_flow(SimTime::ZERO, spec(600.0, t));
+        assert_eq!(s.flow_rate(a), Some(60.0));
+        assert_eq!(s.flow_rate(b), Some(60.0));
+        let c = s.add_flow(SimTime::ZERO, spec(600.0, t));
+        let d = s.add_flow(SimTime::ZERO, spec(600.0, t));
+        for id in [a, b, c, d] {
+            assert_eq!(s.flow_rate(id), Some(30.0), "4 flows share BW equally");
+        }
+    }
+
+    #[test]
+    fn water_filling_redistributes_capped_slack() {
+        // capacity 10, caps [1, inf, inf]: capped flow gets 1, others 4.5 each.
+        let mut s = PsServer::new(10.0);
+        let a = s.add_flow(SimTime::ZERO, spec(100.0, 1.0));
+        let b = s.add_flow(SimTime::ZERO, spec(100.0, f64::INFINITY));
+        let c = s.add_flow(SimTime::ZERO, spec(100.0, f64::INFINITY));
+        assert_eq!(s.flow_rate(a), Some(1.0));
+        assert_eq!(s.flow_rate(b), Some(4.5));
+        assert_eq!(s.flow_rate(c), Some(4.5));
+        assert!((s.total_rate() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underloaded_server_is_not_work_conserving_beyond_caps() {
+        let mut s = PsServer::new(100.0);
+        s.add_flow(SimTime::ZERO, spec(10.0, 3.0));
+        s.add_flow(SimTime::ZERO, spec(10.0, 4.0));
+        assert!((s.total_rate() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_sequence_and_rate_rescaling() {
+        // Two flows, demands 1 and 3, capacity 2, uncapped.
+        // Phase 1: both at rate 1; flow A finishes at t=1.
+        // Phase 2: B alone at rate 2 with 2 remaining; finishes at t=2.
+        let mut s = PsServer::new(2.0);
+        s.add_flow(SimTime::ZERO, FlowSpec { demand: 1.0, cap: f64::INFINITY, tag: 1 });
+        s.add_flow(SimTime::ZERO, FlowSpec { demand: 3.0, cap: f64::INFINITY, tag: 2 });
+        let t1 = s.next_completion().unwrap();
+        assert_eq!(t1, SimTime::from_secs(1.0));
+        s.advance(t1);
+        let done = s.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 1);
+        let t2 = s.next_completion().unwrap();
+        assert_eq!(t2, SimTime::from_secs(2.0));
+        s.advance(t2);
+        assert_eq!(s.take_completed()[0].1, 2);
+        assert_eq!(s.active_flows(), 0);
+        assert_eq!(s.next_completion(), None);
+    }
+
+    #[test]
+    fn zero_demand_flow_completes_immediately() {
+        let mut s = PsServer::new(1.0);
+        s.add_flow(SimTime::ZERO, FlowSpec { demand: 0.0, cap: 1.0, tag: 42 });
+        assert_eq!(s.take_completed(), vec![(FlowId(0), 42)]);
+        assert_eq!(s.active_flows(), 0);
+    }
+
+    #[test]
+    fn remove_flow_returns_remaining() {
+        let mut s = PsServer::new(1.0);
+        let id = s.add_flow(SimTime::ZERO, spec(10.0, f64::INFINITY));
+        let left = s.remove_flow(SimTime::from_secs(4.0), id);
+        assert!((left.unwrap() - 6.0).abs() < 1e-9);
+        assert!(s.remove_flow(SimTime::from_secs(4.0), id).is_none());
+    }
+
+    #[test]
+    fn busy_time_and_served_units_accumulate() {
+        let mut s = PsServer::new(2.0);
+        s.add_flow(SimTime::ZERO, spec(4.0, f64::INFINITY));
+        s.advance(SimTime::from_secs(2.0));
+        s.take_completed();
+        s.advance(SimTime::from_secs(5.0)); // idle period
+        assert!((s.busy_time().as_secs() - 2.0).abs() < 1e-9);
+        assert!((s.served_units() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_go_backwards() {
+        let mut s = PsServer::new(1.0);
+        s.advance(SimTime::from_secs(2.0));
+        s.advance(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn late_join_shares_fairly() {
+        let mut s = PsServer::new(2.0);
+        s.add_flow(SimTime::ZERO, FlowSpec { demand: 4.0, cap: f64::INFINITY, tag: 1 });
+        // At t=1, 2 units remain for flow 1; flow 2 joins with demand 2.
+        s.add_flow(SimTime::from_secs(1.0), FlowSpec { demand: 2.0, cap: f64::INFINITY, tag: 2 });
+        // Both now at rate 1; both finish at t=3.
+        assert_eq!(s.next_completion(), Some(SimTime::from_secs(3.0)));
+        s.advance(SimTime::from_secs(3.0));
+        assert_eq!(s.take_completed().len(), 2);
+    }
+}

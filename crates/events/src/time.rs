@@ -1,0 +1,273 @@
+//! The simulation clock: totally ordered wrappers over `f64` seconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point on the simulation time line, in seconds since simulation start.
+///
+/// `SimTime` wraps an `f64` but provides a *total* order (via
+/// [`f64::total_cmp`]) so values can be stored in ordered containers such as
+/// the event calendar. Constructors reject NaN, so the total order coincides
+/// with the numeric order for every observable value.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::SimTime;
+/// let t = SimTime::from_secs(1.5) + SimTime::from_secs(0.5).as_duration();
+/// assert_eq!(t.as_secs(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+/// A span of simulation time, in seconds.
+///
+/// The distinction from [`SimTime`] mirrors `std::time::Instant` vs
+/// `std::time::Duration`: points subtract to spans, and spans add to points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The origin of the simulation time line.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point `secs` seconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be finite and non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Returns the number of seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns this time point as a duration since the origin.
+    pub fn as_duration(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Returns the later of two time points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two time points.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a span of `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration must be finite and non-negative, got {secs}"
+        );
+        SimDuration(secs)
+    }
+
+    /// Creates a span of `mins` minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins` is NaN or negative.
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Returns the span in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the span in minutes (the unit most Doppio figures report).
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Returns the span in hours (the unit cloud billing uses).
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Eq for SimDuration {}
+
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = (self.0 - rhs.0).max(0.0);
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60.0 {
+            write!(f, "{:.1}min", self.0 / 60.0)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 12.5);
+        assert_eq!(((t + d) - t).as_secs(), 2.5);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        assert_eq!((a - b).as_secs(), 0.0);
+        assert_eq!((SimDuration::from_secs(1.0) - SimDuration::from_secs(2.0)).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = vec![SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1.0), SimTime::from_secs(3.0)]);
+        assert_eq!(SimTime::from_secs(5.0).max(SimTime::from_secs(2.0)), SimTime::from_secs(5.0));
+        assert_eq!(SimTime::from_secs(5.0).min(SimTime::from_secs(2.0)), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let d = SimDuration::from_mins(2.0);
+        assert_eq!(d.as_secs(), 120.0);
+        assert_eq!(d.as_mins(), 2.0);
+        assert!((SimDuration::from_secs(7200.0).as_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_secs(90.0).to_string(), "1.5min");
+        assert_eq!(SimDuration::from_secs(1.5).to_string(), "1.500s");
+    }
+}

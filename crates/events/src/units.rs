@@ -1,0 +1,398 @@
+//! Data-size and throughput newtypes shared by every Doppio crate.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * KIB;
+const GIB: u64 = 1024 * MIB;
+const TIB: u64 = 1024 * GIB;
+
+/// A data size in bytes.
+///
+/// All data volumes in the toolset (HDFS files, shuffle traffic, cached RDD
+/// partitions, I/O request sizes) are expressed as `Bytes` so that sizes can
+/// never be confused with times or rates ([C-NEWTYPE]).
+///
+/// The binary-prefix constructors match how the paper quotes sizes
+/// ("128 MB HDFS block", "122 GB input BAM").
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::Bytes;
+/// let block = Bytes::from_mib(128);
+/// assert_eq!(block.as_u64(), 128 * 1024 * 1024);
+/// assert_eq!(Bytes::from_gib(1) / block, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a raw byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a size of `n` KiB.
+    pub const fn from_kib(n: u64) -> Self {
+        Bytes(n * KIB)
+    }
+
+    /// Creates a size of `n` MiB.
+    pub const fn from_mib(n: u64) -> Self {
+        Bytes(n * MIB)
+    }
+
+    /// Creates a size of `n` GiB.
+    pub const fn from_gib(n: u64) -> Self {
+        Bytes(n * GIB)
+    }
+
+    /// Creates a size of `n` TiB.
+    pub const fn from_tib(n: u64) -> Self {
+        Bytes(n * TIB)
+    }
+
+    /// Creates a size from a fractional GiB count (e.g. dataset sizes quoted
+    /// as "0.93 TB" in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gib` is negative or not finite.
+    pub fn from_gib_f64(gib: f64) -> Self {
+        assert!(gib.is_finite() && gib >= 0.0, "size must be finite and non-negative, got {gib}");
+        Bytes((gib * GIB as f64).round() as u64)
+    }
+
+    /// Creates a size from a fractional MiB count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mib` is negative or not finite.
+    pub fn from_mib_f64(mib: f64) -> Self {
+        assert!(mib.is_finite() && mib >= 0.0, "size must be finite and non-negative, got {mib}");
+        Bytes((mib * MIB as f64).round() as u64)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Byte count as `f64` for rate arithmetic.
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Size in KiB.
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / KIB as f64
+    }
+
+    /// Size in MiB.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Size in GiB.
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / GIB as f64
+    }
+
+    /// True when the size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the size by a non-negative factor, rounding to bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale(self, factor: f64) -> Bytes {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        Bytes((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Number of `chunk`-sized pieces needed to cover this size (ceiling
+    /// division) — e.g. the number of HDFS blocks of a file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn div_ceil_by(self, chunk: Bytes) -> u64 {
+        assert!(chunk.0 > 0, "chunk size must be non-zero");
+        self.0.div_ceil(chunk.0)
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_sub(rhs.0).expect("Bytes subtraction underflow"))
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Div<Bytes> for Bytes {
+    type Output = u64;
+    fn div(self, rhs: Bytes) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TIB {
+            write!(f, "{:.2} TiB", b as f64 / TIB as f64)
+        } else if b >= GIB {
+            write!(f, "{:.2} GiB", b as f64 / GIB as f64)
+        } else if b >= MIB {
+            write!(f, "{:.2} MiB", b as f64 / MIB as f64)
+        } else if b >= KIB {
+            write!(f, "{:.2} KiB", b as f64 / KIB as f64)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+/// A throughput in bytes per second.
+///
+/// Used for device effective bandwidths (`BW` in the paper's Equation 1),
+/// per-stream throughput caps (`T`), and network link speeds.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::{Bytes, Rate};
+/// let bw = Rate::mib_per_sec(480.0); // SSD shuffle read at 30 KB requests
+/// let t = bw.time_for(Bytes::from_gib(1));
+/// assert!((t.as_secs() - 1024.0 / 480.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Zero throughput.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Creates a rate from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or NaN.
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        assert!(!bps.is_nan() && bps >= 0.0, "rate must be non-negative, got {bps}");
+        Rate(bps)
+    }
+
+    /// Creates a rate from MiB per second (the unit the paper uses
+    /// throughout: "15 MB/s for HDD and 480 MB/s for SSD").
+    pub fn mib_per_sec(mibps: f64) -> Self {
+        Self::bytes_per_sec(mibps * MIB as f64)
+    }
+
+    /// Creates a rate from GiB per second.
+    pub fn gib_per_sec(gibps: f64) -> Self {
+        Self::bytes_per_sec(gibps * GIB as f64)
+    }
+
+    /// Creates a rate from gigabits per second (network link speeds).
+    pub fn gbit_per_sec(gbps: f64) -> Self {
+        Self::bytes_per_sec(gbps * 1e9 / 8.0)
+    }
+
+    /// Raw bytes per second.
+    pub const fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in MiB per second.
+    pub fn as_mib_per_sec(self) -> f64 {
+        self.0 / MIB as f64
+    }
+
+    /// Time needed to move `bytes` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero and `bytes` is non-zero.
+    pub fn time_for(self, bytes: Bytes) -> crate::SimDuration {
+        if bytes.is_zero() {
+            return crate::SimDuration::ZERO;
+        }
+        assert!(self.0 > 0.0, "cannot transfer {bytes} at zero rate");
+        crate::SimDuration::from_secs(bytes.as_f64() / self.0)
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, other: Rate) -> Rate {
+        Rate(self.0.min(other.0))
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Rate) -> Rate {
+        Rate(self.0.max(other.0))
+    }
+
+    /// True when the rate is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: f64) -> Rate {
+        Rate(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, rhs: f64) -> Rate {
+        Rate(self.0 / rhs)
+    }
+}
+
+impl Div<Rate> for Rate {
+    type Output = f64;
+    fn div(self, rhs: Rate) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MiB/s", self.as_mib_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::from_mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(Bytes::from_gib(1).as_mib(), 1024.0);
+        assert_eq!(Bytes::from_tib(2).as_gib(), 2048.0);
+        assert_eq!(Bytes::from_gib_f64(0.5), Bytes::from_mib(512));
+    }
+
+    #[test]
+    fn block_count_math_matches_paper() {
+        // Paper Section III-C2: M = 122 GB / 128 MB per HDFS block = 973 mappers.
+        let file = Bytes::from_gib(122);
+        let block = Bytes::from_mib(128);
+        assert_eq!(file.div_ceil_by(block), 976); // exact binary division
+        // The paper computes 122*1024/128 = 976 but quotes 973 after header
+        // blocks; we assert the arithmetic here, the workload crate encodes 973.
+    }
+
+    #[test]
+    fn scale_and_arith() {
+        let d = Bytes::from_gib(122);
+        assert_eq!(d.scale(2.0), Bytes::from_gib(244));
+        assert_eq!(d + d, Bytes::from_gib(244));
+        assert_eq!(d * 3, Bytes::from_gib(366));
+        assert_eq!(Bytes::from_gib(4) / 4, Bytes::from_gib(1));
+        assert_eq!(Bytes::from_mib(10).saturating_sub(Bytes::from_mib(20)), Bytes::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Bytes::from_mib(1) - Bytes::from_mib(2);
+    }
+
+    #[test]
+    fn rate_time_for() {
+        let r = Rate::mib_per_sec(100.0);
+        let t = r.time_for(Bytes::from_mib(250));
+        assert!((t.as_secs() - 2.5).abs() < 1e-12);
+        assert_eq!(Rate::ZERO.time_for(Bytes::ZERO).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn rate_units() {
+        assert!((Rate::gbit_per_sec(10.0).as_bytes_per_sec() - 1.25e9).abs() < 1.0);
+        assert!((Rate::gib_per_sec(1.0).as_mib_per_sec() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_scaled() {
+        assert_eq!(Bytes::from_mib(128).to_string(), "128.00 MiB");
+        assert_eq!(Bytes::new(100).to_string(), "100 B");
+        assert_eq!(Bytes::from_gib(122).to_string(), "122.00 GiB");
+        assert_eq!(Rate::mib_per_sec(15.0).to_string(), "15.0 MiB/s");
+    }
+
+    #[test]
+    fn sum_of_bytes() {
+        let total: Bytes = [Bytes::from_mib(1), Bytes::from_mib(2)].into_iter().sum();
+        assert_eq!(total, Bytes::from_mib(3));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the event kernel invariants.
+
+use doppio_events::{Engine, FlowSpec, PsServer, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Water-filling invariants: no flow exceeds its cap, total rate never
+    /// exceeds capacity, and the assignment is work-conserving (total rate
+    /// equals min(capacity, sum of caps)).
+    #[test]
+    fn water_filling_invariants(
+        capacity in 0.1f64..1000.0,
+        caps in prop::collection::vec(0.01f64..500.0, 1..40),
+    ) {
+        let mut s = PsServer::new(capacity);
+        let ids: Vec<_> = caps
+            .iter()
+            .map(|&c| s.add_flow(SimTime::ZERO, FlowSpec { demand: 1e9, cap: c, tag: 0 }))
+            .collect();
+        let total: f64 = s.total_rate();
+        let cap_sum: f64 = caps.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        prop_assert!((total - capacity.min(cap_sum)).abs() < 1e-6 * capacity.max(cap_sum));
+        for (id, &cap) in ids.iter().zip(&caps) {
+            let r = s.flow_rate(*id).unwrap();
+            prop_assert!(r <= cap + 1e-9);
+            prop_assert!(r >= 0.0);
+        }
+    }
+
+    /// Max–min fairness: uncapped flows all receive the same rate, and no
+    /// capped flow receives more than an uncapped one.
+    #[test]
+    fn max_min_fairness(
+        capacity in 1.0f64..100.0,
+        caps in prop::collection::vec(0.1f64..50.0, 1..20),
+        uncapped in 1usize..10,
+    ) {
+        let mut s = PsServer::new(capacity);
+        let capped_ids: Vec<_> = caps
+            .iter()
+            .map(|&c| s.add_flow(SimTime::ZERO, FlowSpec { demand: 1e9, cap: c, tag: 0 }))
+            .collect();
+        let free_ids: Vec<_> = (0..uncapped)
+            .map(|_| s.add_flow(SimTime::ZERO, FlowSpec { demand: 1e9, cap: f64::INFINITY, tag: 1 }))
+            .collect();
+        let free_rates: Vec<f64> = free_ids.iter().map(|id| s.flow_rate(*id).unwrap()).collect();
+        let r0 = free_rates[0];
+        for r in &free_rates {
+            prop_assert!((r - r0).abs() < 1e-9, "uncapped flows share equally");
+        }
+        for id in &capped_ids {
+            prop_assert!(s.flow_rate(*id).unwrap() <= r0 + 1e-9);
+        }
+    }
+
+    /// Total service delivered equals total demand once all flows complete,
+    /// and completion times are consistent with capacity (makespan >= total
+    /// demand / capacity).
+    #[test]
+    fn conservation_of_work(
+        capacity in 0.5f64..50.0,
+        demands in prop::collection::vec(0.1f64..20.0, 1..15),
+    ) {
+        let mut s = PsServer::new(capacity);
+        for &d in &demands {
+            s.add_flow(SimTime::ZERO, FlowSpec { demand: d, cap: f64::INFINITY, tag: 0 });
+        }
+        let mut completed = 0usize;
+        let mut last = SimTime::ZERO;
+        while let Some(t) = s.next_completion() {
+            prop_assert!(t >= last);
+            last = t;
+            s.advance(t);
+            completed += s.take_completed().len();
+        }
+        prop_assert_eq!(completed, demands.len());
+        let total: f64 = demands.iter().sum();
+        prop_assert!((s.served_units() - total).abs() < 1e-6 * total);
+        let lower_bound = total / capacity;
+        prop_assert!(last.as_secs() >= lower_bound - 1e-6);
+        // With uncapped identical-arrival flows the server is always busy, so
+        // the makespan is exactly the work divided by capacity.
+        prop_assert!((last.as_secs() - lower_bound).abs() < 1e-6 * lower_bound.max(1.0));
+    }
+
+    /// Engine: events fire in non-decreasing time order regardless of the
+    /// insertion order.
+    #[test]
+    fn engine_orders_events(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut e: Engine<Vec<f64>> = Engine::new();
+        let mut w: Vec<f64> = Vec::new();
+        for &t in &times {
+            e.schedule_at(SimTime::from_secs(t), move |w: &mut Vec<f64>, _| w.push(t));
+        }
+        e.run(&mut w);
+        prop_assert_eq!(w.len(), times.len());
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    /// PsServer progress is insensitive to how often `advance` is called
+    /// (integration is exact between mutations).
+    #[test]
+    fn advance_granularity_invariance(
+        demand in 1.0f64..100.0,
+        steps in 1usize..20,
+    ) {
+        let capacity = 2.0;
+        // Reference: single advance to completion.
+        let mut a = PsServer::new(capacity);
+        a.add_flow(SimTime::ZERO, FlowSpec { demand, cap: f64::INFINITY, tag: 0 });
+        let t_done = a.next_completion().unwrap();
+
+        // Chopped: advance in many small steps.
+        let mut b = PsServer::new(capacity);
+        b.add_flow(SimTime::ZERO, FlowSpec { demand, cap: f64::INFINITY, tag: 0 });
+        for i in 1..=steps {
+            let t = SimTime::from_secs(t_done.as_secs() * i as f64 / steps as f64);
+            b.advance(t);
+        }
+        prop_assert_eq!(b.take_completed().len(), 1);
+        prop_assert!((b.served_units() - demand).abs() < 1e-6 * demand);
+    }
+}

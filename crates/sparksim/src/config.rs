@@ -1,0 +1,150 @@
+//! Spark configuration knobs the simulator honours.
+
+use doppio_events::{Bytes, Rate};
+
+/// Configuration of the simulated Spark deployment.
+///
+/// Field defaults follow the paper's Table II (`SPARK_WORKER_CORES = 36`,
+/// `SPARK_WORKER_MEMORY = 90 GB`) and its Section III-B2 assumption that
+/// "around 40% of the entire Spark executor memory is used as storage
+/// memory".
+///
+/// The per-stream throughput caps are the paper's `T` — the rate one CPU
+/// core can drive each kind of I/O when the device itself is not the
+/// bottleneck (Section IV-A measures `T = 60 MB/s` for shuffle read on an
+/// uncontended SSD; the HDFS read caps follow from the break points the
+/// paper quotes for the MD stage: `b = BW/T` with `b = 4.3` on HDD and
+/// `b = 16` on SSD both give `T ≈ 32 MB/s`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparkConf {
+    /// Executor cores per node — the paper's `P`.
+    pub executor_cores: u32,
+    /// Executor memory per node (`SPARK_WORKER_MEMORY`).
+    pub executor_memory: Bytes,
+    /// Fraction of executor memory usable as RDD storage.
+    pub storage_fraction: f64,
+    /// Largest contiguous chunk a mapper writes per shuffle output file;
+    /// map outputs smaller than this are written in a single sorted chunk
+    /// (the paper observes ~365 MB shuffle-write requests in GATK4).
+    pub shuffle_write_chunk: Bytes,
+    /// Request size used when persisting / reading RDD partitions on the
+    /// Spark-local disk (bounded by the OS `max_sectors_kb`-style streaming
+    /// chunk; partitions smaller than this use their own size).
+    pub persist_chunk: Bytes,
+    /// Per-core HDFS read throughput cap (`T` for HDFS read).
+    pub hdfs_read_cap: Rate,
+    /// Per-core HDFS write throughput cap.
+    pub hdfs_write_cap: Rate,
+    /// Per-core shuffle read throughput cap (`T` for shuffle read).
+    pub shuffle_read_cap: Rate,
+    /// Per-core shuffle write throughput cap.
+    pub shuffle_write_cap: Rate,
+    /// Per-core persist read/write throughput cap.
+    pub persist_cap: Rate,
+    /// Effective memory bandwidth used when a task reads cached partitions.
+    pub memory_bandwidth: Rate,
+    /// Relative jitter applied to task compute times (the run-to-run
+    /// variance behind the paper's error bars); 0 disables noise.
+    pub compute_noise: f64,
+    /// RNG seed for the noise (simulations are deterministic per seed).
+    pub seed: u64,
+    /// Record per-task execution spans in [`crate::StageMetrics::spans`]
+    /// for timeline export ([`crate::trace`]). Off by default: a span per
+    /// task is real memory on million-task runs.
+    pub record_task_spans: bool,
+}
+
+impl SparkConf {
+    /// The paper's Table II configuration.
+    pub fn paper() -> Self {
+        SparkConf {
+            executor_cores: 36,
+            executor_memory: Bytes::from_gib(90),
+            storage_fraction: 0.4,
+            shuffle_write_chunk: Bytes::from_mib(512),
+            persist_chunk: Bytes::from_kib(256),
+            hdfs_read_cap: Rate::mib_per_sec(32.0),
+            hdfs_write_cap: Rate::mib_per_sec(60.0),
+            shuffle_read_cap: Rate::mib_per_sec(60.0),
+            shuffle_write_cap: Rate::mib_per_sec(150.0),
+            persist_cap: Rate::mib_per_sec(120.0),
+            memory_bandwidth: Rate::gib_per_sec(8.0),
+            compute_noise: 0.03,
+            seed: 0xD0_99_10,
+            record_task_spans: false,
+        }
+    }
+
+    /// Returns a copy with a different executor core count (`P`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    pub fn with_cores(mut self, p: u32) -> Self {
+        assert!(p > 0, "executor cores must be positive");
+        self.executor_cores = p;
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with compute-time noise disabled (exactly reproducible
+    /// task times; useful for calibration runs and tight test assertions).
+    pub fn without_noise(mut self) -> Self {
+        self.compute_noise = 0.0;
+        self
+    }
+
+    /// Storage-pool bytes per node (`executor_memory × storage_fraction`).
+    pub fn storage_pool(&self) -> Bytes {
+        self.executor_memory.scale(self.storage_fraction)
+    }
+}
+
+impl Default for SparkConf {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table2() {
+        let c = SparkConf::paper();
+        assert_eq!(c.executor_cores, 36);
+        assert_eq!(c.executor_memory, Bytes::from_gib(90));
+        assert!((c.storage_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(c.storage_pool(), Bytes::from_gib(36));
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let c = SparkConf::paper().with_cores(12).with_seed(7).without_noise();
+        assert_eq!(c.executor_cores, 12);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.compute_noise, 0.0);
+    }
+
+    #[test]
+    fn implied_break_points_match_paper() {
+        // Section V-A1: HDFS read break points b = 4.3 (HDD) and 16 (SSD).
+        let c = SparkConf::paper();
+        let hdd = doppio_storage::presets::hdd_wd4000();
+        let ssd = doppio_storage::presets::ssd_mz7lm();
+        let rs = Bytes::from_mib(128);
+        let b_hdd = hdd.read_curve().bandwidth(rs) / c.hdfs_read_cap;
+        let b_ssd = ssd.read_curve().bandwidth(rs) / c.hdfs_read_cap;
+        assert!((b_hdd - 4.3).abs() < 0.2, "b_hdd = {b_hdd}");
+        assert!((b_ssd - 16.0).abs() < 0.5, "b_ssd = {b_ssd}");
+        // Section V-A2: shuffle read on SSD, b = 480/60 = 8.
+        let b_sh = ssd.read_curve().bandwidth(Bytes::from_kib(30)) / c.shuffle_read_cap;
+        assert!((b_sh - 8.0).abs() < 0.1, "b_shuffle = {b_sh}");
+    }
+}

@@ -1,0 +1,728 @@
+//! The DAG scheduler: cuts jobs into stages at shuffle boundaries and
+//! lowers each stage to concrete per-task I/O and compute phases.
+//!
+//! Faithful to Spark 1.6's `DAGScheduler` in the respects the paper's
+//! analysis depends on:
+//!
+//! * Jobs are planned action-by-action; each job contributes the *map
+//!   stages* of any shuffle in its lineage whose output does not exist yet,
+//!   plus one *result stage*.
+//! * Map stages whose shuffle output is already registered are **skipped**:
+//!   GATK4's BR and SF jobs each re-read MD's 334 GB shuffle output without
+//!   re-running the map stage (Table IV).
+//! * `union` concatenates partitions, so a result stage over a union runs
+//!   heterogeneous tasks — the paper's "two kinds of tasks in the BR stage"
+//!   (Section V-A2): shuffle-read tasks and HDFS-read tasks in one stage.
+//! * Cached RDDs cut lineage: a task over a materialized RDD reads memory
+//!   and/or the Spark-local disk instead of recomputing; `MEMORY_ONLY`
+//!   overflow blends a recomputation of the missing fraction back in.
+
+use std::collections::HashSet;
+
+use doppio_cluster::NodeId;
+use doppio_dfs::Namenode;
+use doppio_events::Bytes;
+
+use crate::memory::MemoryManager;
+use crate::rdd::{ActionKind, App, Cost, Job, Op, RddId};
+use crate::shuffle::{RegisteredShuffle, ShuffleRegistry};
+use crate::task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, StageKind, TaskSpec};
+use crate::{SimError, SparkConf};
+
+/// Mutable planning state threaded through a whole application run.
+#[derive(Debug)]
+pub struct PlanContext<'a> {
+    /// The application being planned.
+    pub app: &'a App,
+    /// Spark configuration.
+    pub conf: &'a SparkConf,
+    /// Number of worker nodes (the paper's `N`).
+    pub num_nodes: usize,
+    /// The simulated DFS.
+    pub namenode: &'a mut Namenode,
+    /// Shuffle outputs materialized so far.
+    pub shuffles: &'a mut ShuffleRegistry,
+    /// Cached/persisted RDDs materialized so far.
+    pub memory: &'a mut MemoryManager,
+}
+
+/// Plans one job into an ordered list of executable stages (map stages for
+/// missing shuffles in dependency order, then the result stage).
+///
+/// # Errors
+///
+/// Propagates DFS errors (missing input files, duplicate output paths) and
+/// rejects empty stages.
+pub fn plan_job(ctx: &mut PlanContext<'_>, job: &Job) -> Result<Vec<PlannedStage>, SimError> {
+    let mut missing = Vec::new();
+    let mut seen = HashSet::new();
+    collect_missing_shuffles(ctx, job.target, &mut missing, &mut seen)?;
+
+    let mut stages = Vec::new();
+    for shuffle_rdd in missing {
+        stages.push(plan_map_stage(ctx, shuffle_rdd)?);
+    }
+    stages.push(plan_result_stage(ctx, job)?);
+    Ok(stages)
+}
+
+/// Depth-first walk collecting shuffles whose output is missing, parents
+/// before children.
+fn collect_missing_shuffles(
+    ctx: &mut PlanContext<'_>,
+    rdd: RddId,
+    out: &mut Vec<RddId>,
+    seen: &mut HashSet<RddId>,
+) -> Result<(), SimError> {
+    if !seen.insert(rdd) {
+        return Ok(());
+    }
+    // A fully usable cached RDD cuts the lineage: nothing above it needs to
+    // run. A MEMORY_ONLY overflow still needs its lineage for recomputation.
+    if let Some(c) = ctx.memory.get(rdd) {
+        if c.recompute_fraction() == 0.0 {
+            return Ok(());
+        }
+    }
+    let parents = ctx.app.node(rdd).parents.clone();
+    for p in parents {
+        collect_missing_shuffles(ctx, p, out, seen)?;
+    }
+    if matches!(ctx.app.node(rdd).op, Op::Shuffle { .. }) && !ctx.shuffles.contains(rdd) {
+        out.push(rdd);
+    }
+    Ok(())
+}
+
+/// Number of partitions of an RDD (HDFS blocks for sources, reducer count
+/// for shuffles, inherited through narrow ops, summed through unions).
+pub fn partitions(ctx: &mut PlanContext<'_>, rdd: RddId) -> Result<u64, SimError> {
+    let node = ctx.app.node(rdd).clone();
+    Ok(match &node.op {
+        Op::HdfsSource { path } => {
+            ensure_input_file(ctx, path, node.bytes)?;
+            ctx.namenode.file(path)?.blocks().len() as u64
+        }
+        Op::Parallelize { partitions } => *partitions as u64,
+        Op::Narrow { .. } => partitions(ctx, node.parents[0])?,
+        Op::Union => {
+            let mut total = 0;
+            for p in &node.parents {
+                total += partitions(ctx, *p)?;
+            }
+            total
+        }
+        Op::Shuffle { spec, shuffle_ratio, .. } => {
+            if let Some(reg) = ctx.shuffles.get(rdd) {
+                reg.reducers
+            } else {
+                let parent_bytes = ctx.app.node(node.parents[0]).bytes;
+                spec.resolve(parent_bytes.scale(*shuffle_ratio)) as u64
+            }
+        }
+    })
+}
+
+fn ensure_input_file(ctx: &mut PlanContext<'_>, path: &str, bytes: Bytes) -> Result<(), SimError> {
+    if !ctx.namenode.exists(path) {
+        ctx.namenode.create_file(path, bytes, None)?;
+    }
+    Ok(())
+}
+
+/// The lowered form of "compute partition `pidx` of RDD `rdd`".
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    /// Input I/O flows (first task phase).
+    flows: Vec<FlowTemplate>,
+    /// Transformation CPU seconds along the chain.
+    cpu: f64,
+    /// Serialized output bytes of the partition.
+    out_bytes: Bytes,
+    /// Locality preference (HDFS replica / cached partition home).
+    preferred: Option<NodeId>,
+    /// Persist spills to emit after the compute phase.
+    persist_writes: Vec<FlowTemplate>,
+}
+
+impl Chain {
+    fn scaled(mut self, w: f64) -> Chain {
+        for f in self.flows.iter_mut().chain(self.persist_writes.iter_mut()) {
+            f.bytes = f.bytes.scale(w);
+        }
+        self.cpu *= w;
+        self
+    }
+
+    fn absorb(&mut self, other: Chain) {
+        self.flows.extend(other.flows);
+        self.persist_writes.extend(other.persist_writes);
+        self.cpu += other.cpu;
+        if self.preferred.is_none() {
+            self.preferred = other.preferred;
+        }
+    }
+}
+
+/// Walks the lineage that a stage over `root` will execute and materializes
+/// every persisted-but-unmaterialized RDD on the way, recording them in
+/// `materializing` so [`resolve_chain`] computes them (with spill flows)
+/// rather than reading them from cache.
+fn prepare_materializations(
+    ctx: &mut PlanContext<'_>,
+    rdd: RddId,
+    materializing: &mut HashSet<RddId>,
+) -> Result<(), SimError> {
+    if materializing.contains(&rdd) {
+        return Ok(());
+    }
+    if let Some(c) = ctx.memory.get(rdd) {
+        if c.recompute_fraction() == 0.0 {
+            return Ok(());
+        }
+    }
+    let node = ctx.app.node(rdd).clone();
+    // Registered shuffles are read from shuffle files; their lineage does
+    // not execute within this stage.
+    let is_boundary = matches!(node.op, Op::Shuffle { .. }) && ctx.shuffles.contains(rdd);
+    if !is_boundary {
+        for p in &node.parents {
+            prepare_materializations(ctx, *p, materializing)?;
+        }
+    }
+    if let Some((level, expansion)) = node.storage {
+        if !ctx.memory.is_materialized(rdd) {
+            let parts = partitions(ctx, rdd)?;
+            ctx.memory.materialize(rdd, level, expansion, node.bytes, parts);
+            materializing.insert(rdd);
+        }
+    }
+    Ok(())
+}
+
+/// Lowers "compute partition `pidx` of `rdd`" to flows + CPU.
+fn resolve_chain(
+    ctx: &mut PlanContext<'_>,
+    rdd: RddId,
+    pidx: u64,
+    materializing: &HashSet<RddId>,
+) -> Result<Chain, SimError> {
+    // Cache hit from an earlier stage: read memory + persisted disk parts,
+    // and recompute the MEMORY_ONLY overflow fraction from lineage.
+    if !materializing.contains(&rdd) {
+        if let Some(c) = ctx.memory.get(rdd).copied() {
+            let mut chain = Chain {
+                preferred: Some(NodeId(pidx as usize % ctx.num_nodes)),
+                out_bytes: c.serialized / c.partitions,
+                ..Chain::default()
+            };
+            let mem_per_part = c.mem_bytes() / c.partitions;
+            chain.cpu += mem_per_part.as_f64() / ctx.conf.memory_bandwidth.as_bytes_per_sec();
+            let disk_per_part = c.disk_bytes() / c.partitions;
+            if !disk_per_part.is_zero() {
+                chain.flows.push(FlowTemplate {
+                    channel: IoChannel::PersistRead,
+                    loc: FlowLoc::SelfNode,
+                    bytes: disk_per_part,
+                    request_size: ctx.conf.persist_chunk.min(disk_per_part),
+                    cap: Some(ctx.conf.persist_cap),
+                });
+            }
+            let w = c.recompute_fraction();
+            if w > 0.0 {
+                let sub = resolve_op(ctx, rdd, pidx, materializing)?;
+                chain.absorb(sub.scaled(w));
+            }
+            return Ok(chain);
+        }
+    }
+
+    let mut chain = resolve_op(ctx, rdd, pidx, materializing)?;
+
+    // This stage materializes the RDD: spill the disk-bound fraction.
+    if materializing.contains(&rdd) {
+        let c = *ctx
+            .memory
+            .get(rdd)
+            .expect("materializing RDDs are registered during preparation");
+        let disk_per_part = c.disk_bytes() / c.partitions;
+        if !disk_per_part.is_zero() {
+            chain.persist_writes.push(FlowTemplate {
+                channel: IoChannel::PersistWrite,
+                loc: FlowLoc::SelfNode,
+                bytes: disk_per_part,
+                request_size: ctx.conf.persist_chunk.min(disk_per_part),
+                cap: Some(ctx.conf.persist_cap),
+            });
+        }
+    }
+    Ok(chain)
+}
+
+/// Lowers the RDD's own operator (ignoring its cache status).
+fn resolve_op(
+    ctx: &mut PlanContext<'_>,
+    rdd: RddId,
+    pidx: u64,
+    materializing: &HashSet<RddId>,
+) -> Result<Chain, SimError> {
+    let node = ctx.app.node(rdd).clone();
+    match &node.op {
+        Op::HdfsSource { path } => {
+            ensure_input_file(ctx, path, node.bytes)?;
+            let meta = ctx.namenode.file(path)?;
+            let block = meta
+                .blocks()
+                .get(pidx as usize)
+                .ok_or(SimError::UnknownRdd(rdd.0))?;
+            let bytes = block.len;
+            let preferred = Some(block.replicas[0]);
+            Ok(Chain {
+                flows: vec![FlowTemplate {
+                    channel: IoChannel::HdfsRead,
+                    loc: FlowLoc::SelfNode,
+                    bytes,
+                    request_size: ctx.namenode.config().block_size.min(bytes),
+                    cap: Some(ctx.conf.hdfs_read_cap),
+                }],
+                cpu: 0.0,
+                out_bytes: bytes,
+                preferred,
+                persist_writes: vec![],
+            })
+        }
+        Op::Parallelize { partitions } => Ok(Chain {
+            out_bytes: node.bytes / *partitions as u64,
+            ..Chain::default()
+        }),
+        Op::Narrow { cost, selectivity, .. } => {
+            let mut chain = resolve_chain(ctx, node.parents[0], pidx, materializing)?;
+            chain.cpu += cost.eval(chain.out_bytes);
+            chain.out_bytes = chain.out_bytes.scale(*selectivity);
+            Ok(chain)
+        }
+        Op::Union => {
+            // Partition index routes to the parent owning that slot.
+            let mut idx = pidx;
+            for p in &node.parents {
+                let parts = partitions(ctx, *p)?;
+                if idx < parts {
+                    return resolve_chain(ctx, *p, idx, materializing);
+                }
+                idx -= parts;
+            }
+            Err(SimError::UnknownRdd(rdd.0))
+        }
+        Op::Shuffle {
+            reduce_cost,
+            out_ratio,
+            ..
+        } => {
+            let reg = *ctx
+                .shuffles
+                .get(rdd)
+                .expect("map stage planned before its shuffle is read");
+            let per_reducer = reg.reducer_bytes(pidx);
+            // Segment size scales with this reducer's share: its byte range
+            // in every map output grows with its key's popularity.
+            let seg = Bytes::new((per_reducer.as_u64() / reg.maps).max(1));
+            let n = ctx.num_nodes as u64;
+            let local = per_reducer / n;
+            let remote = per_reducer.saturating_sub(local);
+            let mut flows = vec![FlowTemplate {
+                channel: IoChannel::ShuffleRead,
+                loc: FlowLoc::SelfNode,
+                bytes: local,
+                request_size: seg,
+                cap: Some(ctx.conf.shuffle_read_cap),
+            }];
+            if !remote.is_zero() {
+                flows.push(FlowTemplate {
+                    channel: IoChannel::ShuffleRead,
+                    loc: FlowLoc::RemoteRotating,
+                    bytes: remote,
+                    request_size: seg,
+                    cap: Some(ctx.conf.shuffle_read_cap),
+                });
+                flows.push(FlowTemplate {
+                    channel: IoChannel::NetIn,
+                    loc: FlowLoc::SelfNode,
+                    bytes: remote,
+                    request_size: seg,
+                    cap: None,
+                });
+            }
+            Ok(Chain {
+                flows,
+                cpu: reduce_cost.eval(per_reducer),
+                out_bytes: per_reducer.scale(*out_ratio),
+                preferred: None,
+                persist_writes: vec![],
+            })
+        }
+    }
+}
+
+/// Plans the shuffle-map stage producing `shuffle_rdd`'s output.
+fn plan_map_stage(ctx: &mut PlanContext<'_>, shuffle_rdd: RddId) -> Result<PlannedStage, SimError> {
+    let node = ctx.app.node(shuffle_rdd).clone();
+    let Op::Shuffle {
+        spec,
+        map_cost,
+        shuffle_ratio,
+        ..
+    } = &node.op
+    else {
+        unreachable!("plan_map_stage called on a non-shuffle RDD");
+    };
+    let parent = node.parents[0];
+    let m = partitions(ctx, parent)?;
+    if m == 0 {
+        return Err(SimError::EmptyStage(node.name.clone()));
+    }
+    let total_shuffle = ctx.app.node(parent).bytes.scale(*shuffle_ratio);
+    let reducers = spec.resolve(total_shuffle) as u64;
+
+    let mut materializing = HashSet::new();
+    prepare_materializations(ctx, parent, &mut materializing)?;
+
+    let mut tasks = Vec::with_capacity(m as usize);
+    for pidx in 0..m {
+        let chain = resolve_chain(ctx, parent, pidx, &materializing)?;
+        tasks.push(build_task(
+            ctx,
+            chain,
+            *map_cost,
+            MapOutput::Shuffle {
+                bytes: total_shuffle / m,
+            },
+        ));
+    }
+
+    ctx.shuffles.register(RegisteredShuffle {
+        rdd: shuffle_rdd,
+        maps: m,
+        reducers,
+        total_bytes: total_shuffle,
+        skew: spec.skew(),
+    });
+
+    Ok(PlannedStage {
+        name: node.name.clone(),
+        kind: StageKind::ShuffleMap,
+        tasks,
+    })
+}
+
+/// What a task emits at its end.
+enum MapOutput {
+    Shuffle { bytes: Bytes },
+    HdfsFile { bytes: Bytes, remote_replicas: u32 },
+    Nothing,
+}
+
+fn build_task(ctx: &PlanContext<'_>, chain: Chain, tail_cost: Cost, output: MapOutput) -> TaskSpec {
+    let cpu = chain.cpu + tail_cost.eval(chain.out_bytes);
+    let mut flows = chain.flows;
+    let mut out_flows = chain.persist_writes;
+    match output {
+        MapOutput::Shuffle { bytes } => {
+            if !bytes.is_zero() {
+                out_flows.push(FlowTemplate {
+                    channel: IoChannel::ShuffleWrite,
+                    loc: FlowLoc::SelfNode,
+                    bytes,
+                    request_size: ctx.conf.shuffle_write_chunk.min(bytes),
+                    cap: Some(ctx.conf.shuffle_write_cap),
+                });
+            }
+        }
+        MapOutput::HdfsFile { bytes, remote_replicas } => {
+            if !bytes.is_zero() {
+                let rs = ctx.namenode.config().block_size.min(bytes);
+                out_flows.push(FlowTemplate {
+                    channel: IoChannel::HdfsWrite,
+                    loc: FlowLoc::SelfNode,
+                    bytes,
+                    request_size: rs,
+                    cap: Some(ctx.conf.hdfs_write_cap),
+                });
+                for _ in 0..remote_replicas {
+                    out_flows.push(FlowTemplate {
+                        channel: IoChannel::HdfsWrite,
+                        loc: FlowLoc::RemoteRotating,
+                        bytes,
+                        request_size: rs,
+                        cap: Some(ctx.conf.hdfs_write_cap),
+                    });
+                    out_flows.push(FlowTemplate {
+                        channel: IoChannel::NetIn,
+                        loc: FlowLoc::RemoteRotating,
+                        bytes,
+                        request_size: rs,
+                        cap: None,
+                    });
+                }
+            }
+        }
+        MapOutput::Nothing => {}
+    }
+    flows.append(&mut out_flows);
+
+    TaskSpec {
+        preferred_node: chain.preferred,
+        flows,
+        compute_secs: cpu,
+    }
+}
+
+/// Plans the result stage of a job.
+fn plan_result_stage(ctx: &mut PlanContext<'_>, job: &Job) -> Result<PlannedStage, SimError> {
+    let m = partitions(ctx, job.target)?;
+    if m == 0 {
+        return Err(SimError::EmptyStage(job.name.clone()));
+    }
+
+    let mut materializing = HashSet::new();
+    prepare_materializations(ctx, job.target, &mut materializing)?;
+
+    // Create the output file up front so replication is known and duplicate
+    // paths fail fast.
+    let output = match &job.action {
+        ActionKind::SaveHdfs { path } => {
+            let bytes = ctx.app.node(job.target).bytes;
+            ctx.namenode.create_file(path, bytes, None)?;
+            let replicas = (ctx.namenode.config().replication as usize).min(ctx.num_nodes) as u32;
+            Some((replicas.saturating_sub(1), m))
+        }
+        ActionKind::Count { .. } => None,
+    };
+
+    let mut tasks = Vec::with_capacity(m as usize);
+    for pidx in 0..m {
+        let chain = resolve_chain(ctx, job.target, pidx, &materializing)?;
+        let (tail_cost, out) = match &job.action {
+            ActionKind::Count { cost } => (*cost, MapOutput::Nothing),
+            ActionKind::SaveHdfs { .. } => {
+                let (remote_replicas, _m) = output.expect("computed above");
+                (
+                    Cost::ZERO,
+                    MapOutput::HdfsFile {
+                        bytes: chain.out_bytes,
+                        remote_replicas,
+                    },
+                )
+            }
+        };
+        tasks.push(build_task(ctx, chain, tail_cost, out));
+    }
+
+    Ok(PlannedStage {
+        name: job.name.clone(),
+        kind: StageKind::Result,
+        tasks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::{AppBuilder, ShuffleSpec, StorageLevel};
+    use doppio_dfs::DfsConfig;
+    use doppio_events::Bytes;
+
+    struct Harness {
+        app: App,
+        conf: SparkConf,
+        namenode: Namenode,
+        shuffles: ShuffleRegistry,
+        memory: MemoryManager,
+        n: usize,
+    }
+
+    impl Harness {
+        fn new(app: App, n: usize) -> Self {
+            let conf = SparkConf::paper();
+            Harness {
+                app,
+                namenode: Namenode::new(DfsConfig::paper(), n),
+                shuffles: ShuffleRegistry::new(),
+                memory: MemoryManager::new(conf.storage_pool(), n),
+                conf,
+                n,
+            }
+        }
+
+        fn plan(&mut self, job_idx: usize) -> Vec<PlannedStage> {
+            let job = self.app.jobs()[job_idx].clone();
+            let mut ctx = PlanContext {
+                app: &self.app,
+                conf: &self.conf,
+                num_nodes: self.n,
+                namenode: &mut self.namenode,
+                shuffles: &mut self.shuffles,
+                memory: &mut self.memory,
+            };
+            plan_job(&mut ctx, &job).expect("planning succeeds")
+        }
+    }
+
+    fn shuffle_app() -> App {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let sh = b.group_by_key(src, "shuffled", ShuffleSpec::target_reducer_bytes(Bytes::from_mib(64)), Cost::ZERO, 1.0);
+        b.count(sh, "job0", Cost::ZERO);
+        b.count(sh, "job1", Cost::ZERO);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn job_with_shuffle_has_two_stages() {
+        let mut h = Harness::new(shuffle_app(), 4);
+        let stages = h.plan(0);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].kind, StageKind::ShuffleMap);
+        assert_eq!(stages[0].name, "shuffled");
+        assert_eq!(stages[0].tasks.len(), 32); // 4 GiB / 128 MiB blocks
+        assert_eq!(stages[1].kind, StageKind::Result);
+        assert_eq!(stages[1].tasks.len(), 64); // 4 GiB / 64 MiB reducers
+    }
+
+    #[test]
+    fn second_job_skips_registered_map_stage() {
+        let mut h = Harness::new(shuffle_app(), 4);
+        let first = h.plan(0);
+        assert_eq!(first.len(), 2);
+        let second = h.plan(1);
+        assert_eq!(second.len(), 1, "map stage skipped, shuffle files reused");
+        assert_eq!(second[0].kind, StageKind::Result);
+    }
+
+    #[test]
+    fn map_tasks_read_hdfs_and_write_shuffle() {
+        let mut h = Harness::new(shuffle_app(), 4);
+        let stages = h.plan(0);
+        let t = &stages[0].tasks[0];
+        assert_eq!(t.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(128));
+        assert_eq!(t.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4) / 32);
+        assert!(t.preferred_node.is_some(), "HDFS tasks have locality hints");
+    }
+
+    #[test]
+    fn reduce_tasks_split_local_remote_and_network() {
+        let mut h = Harness::new(shuffle_app(), 4);
+        let stages = h.plan(0);
+        let t = &stages[1].tasks[0];
+        let total_read = t.channel_bytes(IoChannel::ShuffleRead);
+        let net = t.channel_bytes(IoChannel::NetIn);
+        let per_reducer = Bytes::from_gib(4) / 64;
+        assert_eq!(total_read, per_reducer);
+        // 3/4 of the data is remote on a 4-node cluster.
+        assert_eq!(net, per_reducer.scale(0.75));
+    }
+
+    #[test]
+    fn union_result_stage_mixes_task_kinds() {
+        let mut b = AppBuilder::new("gatk-ish");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let primary = b.filter(src, "primary", Cost::ZERO, 0.9);
+        let grouped = b.group_by_key(primary, "group", ShuffleSpec::reducers(16), Cost::ZERO, 1.0);
+        let non_primary = b.filter(src, "nonPrimary", Cost::ZERO, 0.01);
+        let both = b.union(&[grouped, non_primary], "markedReads");
+        b.count(both, "BR", Cost::ZERO);
+        let app = b.build().unwrap();
+        let mut h = Harness::new(app, 4);
+        let stages = h.plan(0);
+        assert_eq!(stages.len(), 2);
+        let result = &stages[1];
+        assert_eq!(result.tasks.len(), 16 + 32, "reducer partitions + HDFS block partitions");
+        let shuffle_tasks = result
+            .tasks
+            .iter()
+            .filter(|t| !t.channel_bytes(IoChannel::ShuffleRead).is_zero())
+            .count();
+        let hdfs_tasks = result
+            .tasks
+            .iter()
+            .filter(|t| !t.channel_bytes(IoChannel::HdfsRead).is_zero())
+            .count();
+        assert_eq!(shuffle_tasks, 16);
+        assert_eq!(hdfs_tasks, 32);
+    }
+
+    #[test]
+    fn save_action_writes_with_replication() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.save_as_hadoop_file(src, "SF", "/out");
+        let app = b.build().unwrap();
+        let mut h = Harness::new(app, 4);
+        let stages = h.plan(0);
+        let t = &stages[0].tasks[0];
+        // Replication 2: every byte written twice, once remotely => NetIn.
+        assert_eq!(t.channel_bytes(IoChannel::HdfsWrite), Bytes::from_mib(256));
+        assert_eq!(t.channel_bytes(IoChannel::NetIn), Bytes::from_mib(128));
+        assert!(h.namenode.exists("/out"));
+    }
+
+    #[test]
+    fn persisted_rdd_spills_then_reads_cache() {
+        let mut b = AppBuilder::new("lr-ish");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let parsed = b.map(src, "parsed", Cost::ZERO, 1.0);
+        // Expansion so large it cannot fit the pool: most spills to disk.
+        b.persist(parsed, StorageLevel::MemoryAndDisk, 400.0);
+        b.count(parsed, "materialize", Cost::ZERO);
+        b.count(parsed, "iteration", Cost::ZERO);
+        let app = b.build().unwrap();
+        let mut h = Harness::new(app, 2);
+        let first = h.plan(0);
+        let t0 = &first[0].tasks[0];
+        assert!(!t0.channel_bytes(IoChannel::PersistWrite).is_zero(), "spill on materialization");
+        assert!(!t0.channel_bytes(IoChannel::HdfsRead).is_zero());
+        let second = h.plan(1);
+        let t1 = &second[0].tasks[0];
+        assert!(t1.channel_bytes(IoChannel::HdfsRead).is_zero(), "cache cuts lineage");
+        assert!(!t1.channel_bytes(IoChannel::PersistRead).is_zero(), "reads the spilled part");
+        assert!(t1.channel_bytes(IoChannel::PersistWrite).is_zero());
+    }
+
+    #[test]
+    fn memory_only_overflow_recomputes_lineage() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let parsed = b.map(src, "parsed", Cost::per_mib(0.01), 1.0);
+        b.persist(parsed, StorageLevel::MemoryOnly, 400.0);
+        b.count(parsed, "materialize", Cost::ZERO);
+        b.count(parsed, "use", Cost::ZERO);
+        let app = b.build().unwrap();
+        let mut h = Harness::new(app, 2);
+        let _ = h.plan(0);
+        let second = h.plan(1);
+        let t = &second[0].tasks[0];
+        assert!(t.channel_bytes(IoChannel::PersistRead).is_zero(), "MEMORY_ONLY never spills");
+        let re = t.channel_bytes(IoChannel::HdfsRead);
+        assert!(!re.is_zero() && re < Bytes::from_mib(128), "partial recompute re-reads a fraction of the block");
+    }
+
+    #[test]
+    fn duplicate_output_path_fails() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.save_as_hadoop_file(src, "a", "/out");
+        b.save_as_hadoop_file(src, "b", "/out");
+        let app = b.build().unwrap();
+        let mut h = Harness::new(app, 2);
+        let _ = h.plan(0);
+        let job = h.app.jobs()[1].clone();
+        let mut ctx = PlanContext {
+            app: &h.app,
+            conf: &h.conf,
+            num_nodes: h.n,
+            namenode: &mut h.namenode,
+            shuffles: &mut h.shuffles,
+            memory: &mut h.memory,
+        };
+        assert!(matches!(plan_job(&mut ctx, &job), Err(SimError::Dfs(_))));
+    }
+}

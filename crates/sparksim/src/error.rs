@@ -1,0 +1,58 @@
+//! Simulator error type.
+
+use std::fmt;
+
+use doppio_dfs::DfsError;
+
+/// Errors surfaced while planning or executing a simulated application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A DFS operation failed (missing input file, duplicate output path…).
+    Dfs(DfsError),
+    /// The application has no jobs (no action was ever invoked).
+    EmptyApp(String),
+    /// An RDD id referenced a node outside the application graph.
+    UnknownRdd(usize),
+    /// Planning produced a stage with no tasks (zero-sized input with no
+    /// partitions).
+    EmptyStage(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Dfs(e) => write!(f, "dfs error: {e}"),
+            SimError::EmptyApp(name) => write!(f, "application '{name}' defines no action"),
+            SimError::UnknownRdd(id) => write!(f, "unknown rdd id {id}"),
+            SimError::EmptyStage(name) => write!(f, "stage '{name}' has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Dfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfsError> for SimError {
+    fn from(e: DfsError) -> Self {
+        SimError::Dfs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::EmptyApp("x".into());
+        assert!(e.to_string().contains('x'));
+        let e: SimError = DfsError::NotFound("/a".into()).into();
+        assert!(e.to_string().contains("/a"));
+    }
+}

@@ -1,0 +1,607 @@
+//! The task executor: runs planned stages over the cluster's cores,
+//! disks and NICs via discrete-event simulation.
+//!
+//! Scheduling follows Spark's executor model: a stage's `M` tasks are
+//! dispatched onto `N × P` core slots with locality preference, and each
+//! task holds its core until all of its components finish. A task's I/O
+//! flows and its compute budget run **concurrently** (record-level
+//! pipelining — shuffle fetch prefetching and streaming output drains), so
+//! with processor-sharing devices the stage exhibits the paper's three
+//! execution phases (Figure 6): task times stay at `t_avg` while
+//! `P ≤ λ·b`, and the stage collapses to `D / (N · BW)` once I/O saturates.
+
+use std::collections::{HashMap, VecDeque};
+
+use doppio_cluster::{ClusterState, NodeId};
+use doppio_events::{Engine, SimDuration, SimTime};
+use doppio_storage::{IoDir, TransferSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::metrics::{ChannelStats, StageMetrics, TaskStats};
+use crate::task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, TaskSpec};
+use crate::SparkConf;
+
+/// Runtime state of one task.
+#[derive(Debug)]
+struct TaskRuntime {
+    spec: TaskSpec,
+    started: bool,
+    node: NodeId,
+    /// Components (flows + the compute timer) still outstanding.
+    remaining: usize,
+    /// Flows still outstanding (for the I/O-time metric).
+    remaining_flows: usize,
+    start: SimTime,
+    io_secs: f64,
+    cpu_secs: f64,
+}
+
+/// Per-stage executor state.
+#[derive(Debug, Default)]
+struct StageState {
+    tasks: Vec<TaskRuntime>,
+    node_queues: Vec<VecDeque<usize>>,
+    global_queue: VecDeque<usize>,
+    completed: usize,
+    channels: HashMap<IoChannel, ChannelStats>,
+    sum_dur: f64,
+    min_dur: f64,
+    max_dur: f64,
+    sum_io: f64,
+    sum_cpu: f64,
+    spans: Option<Vec<crate::trace::TaskSpan>>,
+}
+
+/// The simulation world the event engine mutates.
+#[derive(Debug)]
+pub(crate) struct ExecWorld {
+    cluster: ClusterState,
+    conf: SparkConf,
+    rng: StdRng,
+    pump_gen: u64,
+    st: StageState,
+}
+
+/// Drives planned stages to completion, one at a time, on a persistent
+/// cluster (device contention state and the simulation clock carry over
+/// between stages, as they do on real hardware).
+#[derive(Debug)]
+pub(crate) struct Executor {
+    engine: Engine<ExecWorld>,
+    world: ExecWorld,
+}
+
+impl Executor {
+    pub(crate) fn new(cluster: ClusterState, conf: SparkConf) -> Self {
+        let seed = conf.seed;
+        Executor {
+            engine: Engine::new(),
+            world: ExecWorld {
+                cluster,
+                conf,
+                rng: StdRng::seed_from_u64(seed),
+                pump_gen: 0,
+                st: StageState::default(),
+            },
+        }
+    }
+
+    /// Runs one stage to completion and returns its metrics.
+    pub(crate) fn run_stage(&mut self, stage: PlannedStage) -> StageMetrics {
+        let start = self.engine.now();
+        let name = stage.name.clone();
+        let kind = stage.kind;
+        let total = stage.tasks.len();
+        assert!(total > 0, "stage '{name}' has no tasks");
+
+        self.world.begin_stage(stage);
+        self.world.initial_dispatch(&mut self.engine);
+        self.world.pump(&mut self.engine);
+
+        while self.world.st.completed < total {
+            let progressed = self.engine.step(&mut self.world);
+            assert!(
+                progressed,
+                "executor deadlock in stage '{}': {}/{} tasks complete",
+                name, self.world.st.completed, total
+            );
+        }
+
+        let duration = self.engine.now() - start;
+        self.world.finish_stage(name, kind, duration)
+    }
+
+    /// Consumes the executor, returning the cluster for post-run
+    /// inspection (device stats, utilization).
+    pub(crate) fn into_cluster(self) -> ClusterState {
+        self.world.cluster
+    }
+}
+
+impl ExecWorld {
+    fn begin_stage(&mut self, stage: PlannedStage) {
+        let n = self.cluster.num_nodes();
+        let mut st = StageState {
+            node_queues: vec![VecDeque::new(); n],
+            min_dur: f64::INFINITY,
+            spans: self.conf.record_task_spans.then(Vec::new),
+            ..StageState::default()
+        };
+        for (idx, spec) in stage.tasks.into_iter().enumerate() {
+            match spec.preferred_node {
+                Some(node) if node.0 < n => st.node_queues[node.0].push_back(idx),
+                _ => st.global_queue.push_back(idx),
+            }
+            let remaining_flows = spec.flows.len();
+            st.tasks.push(TaskRuntime {
+                spec,
+                started: false,
+                node: NodeId(0),
+                remaining: remaining_flows + 1,
+                remaining_flows,
+                start: SimTime::ZERO,
+                io_secs: 0.0,
+                cpu_secs: 0.0,
+            });
+        }
+        self.st = st;
+    }
+
+    fn initial_dispatch(&mut self, engine: &mut Engine<ExecWorld>) {
+        let n = self.cluster.num_nodes();
+        // Fill cores round-robin so early tasks spread over nodes.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for node in 0..n {
+                let node = NodeId(node);
+                if self.cluster.node(node).free_cores() == 0 {
+                    continue;
+                }
+                if let Some(idx) = self.pick_task(node) {
+                    assert!(self.cluster.node_mut(node).try_take_core());
+                    self.start_task(idx, node, engine);
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    /// Chooses the next task for a node: locality queue first, then the
+    /// global queue, then work stealing from other nodes' locality queues.
+    ///
+    /// Stealing honours delay scheduling: a task is taken from another
+    /// node's locality queue only when that queue is longer than the victim
+    /// node can absorb within one task wave — otherwise the task waits for
+    /// a local core, as Spark's locality wait makes it do in practice.
+    fn pick_task(&mut self, node: NodeId) -> Option<usize> {
+        while let Some(idx) = self.st.node_queues[node.0].pop_front() {
+            if !self.st.tasks[idx].started {
+                return Some(idx);
+            }
+        }
+        while let Some(idx) = self.st.global_queue.pop_front() {
+            if !self.st.tasks[idx].started {
+                return Some(idx);
+            }
+        }
+        let n = self.st.node_queues.len();
+        for off in 1..n {
+            let victim = (node.0 + off) % n;
+            let absorbable = self.cluster.node(NodeId(victim)).executor_cores() as usize;
+            while self.st.node_queues[victim].len() > absorbable {
+                let idx = self.st.node_queues[victim]
+                    .pop_front()
+                    .expect("queue longer than threshold is non-empty");
+                if !self.st.tasks[idx].started {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Picks the remote peer for a task's rotating-remote flows. Uses the
+    /// seeded RNG rather than a round-robin counter: deterministic rotation
+    /// correlates with the (equally deterministic) completion-processing
+    /// order and can systematically overload one node; random selection
+    /// stays uniform under any completion pattern while remaining
+    /// reproducible per seed.
+    fn pick_remote(&mut self, own: NodeId) -> NodeId {
+        let n = self.cluster.num_nodes();
+        if n <= 1 {
+            return own;
+        }
+        let step = self.rng.random_range(0..n - 1);
+        NodeId((own.0 + 1 + step) % n)
+    }
+
+    fn start_task(&mut self, idx: usize, node: NodeId, engine: &mut Engine<ExecWorld>) {
+        let now = engine.now();
+        let remote = self.pick_remote(node);
+        let (flows, compute_secs) = {
+            let tr = &mut self.st.tasks[idx];
+            debug_assert!(!tr.started);
+            tr.started = true;
+            tr.node = node;
+            tr.start = now;
+            (tr.spec.flows.clone(), tr.spec.compute_secs)
+        };
+
+        // Compute component, with run-to-run jitter.
+        let jitter = if self.conf.compute_noise > 0.0 {
+            1.0 + self.conf.compute_noise * (self.rng.random::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        let secs = (compute_secs * jitter).max(0.0);
+        self.st.tasks[idx].cpu_secs = secs;
+        engine.schedule_in(secs, move |w: &mut ExecWorld, e| {
+            w.component_done(idx, false, e);
+            w.pump(e);
+        });
+
+        // I/O components.
+        for flow in flows {
+            self.submit_flow(now, node, remote, idx as u64, flow);
+        }
+        // Zero-byte flows complete on the caller's pump sweep.
+    }
+
+    fn submit_flow(&mut self, now: SimTime, node: NodeId, remote: NodeId, tag: u64, flow: FlowTemplate) {
+        let target = match flow.loc {
+            FlowLoc::SelfNode => node,
+            FlowLoc::RemoteRotating => remote,
+            FlowLoc::Node(n) => n,
+        };
+        // Metrics accounting at submission (planned request sizes).
+        let entry = self.st.channels.entry(flow.channel).or_default();
+        entry.bytes += flow.bytes;
+        if !flow.bytes.is_zero() {
+            entry.requests += flow.bytes.div_ceil_by(flow.request_size.max(doppio_events::Bytes::new(1)));
+        }
+        match flow.channel.disk_role() {
+            Some(role) => {
+                let dir = if flow.channel.is_read() {
+                    IoDir::Read
+                } else {
+                    IoDir::Write
+                };
+                self.cluster.node_mut(target).submit_io(
+                    now,
+                    role,
+                    TransferSpec {
+                        dir,
+                        bytes: flow.bytes,
+                        request_size: flow.request_size,
+                        stream_cap: flow.cap,
+                        tag,
+                    },
+                );
+            }
+            None => {
+                self.cluster.node_mut(target).submit_net(now, flow.bytes, tag);
+            }
+        }
+    }
+
+    /// One component (a flow when `is_flow`, else the compute timer) of a
+    /// task finished.
+    fn component_done(&mut self, idx: usize, is_flow: bool, engine: &mut Engine<ExecWorld>) {
+        let now = engine.now();
+        let finished = {
+            let tr = &mut self.st.tasks[idx];
+            if is_flow {
+                tr.remaining_flows -= 1;
+                if tr.remaining_flows == 0 {
+                    tr.io_secs = (now - tr.start).as_secs();
+                }
+            }
+            tr.remaining -= 1;
+            tr.remaining == 0
+        };
+        if finished {
+            self.complete_task(idx, engine);
+        }
+    }
+
+    fn complete_task(&mut self, idx: usize, engine: &mut Engine<ExecWorld>) {
+        let now = engine.now();
+        let (node, span) = {
+            let tr = &self.st.tasks[idx];
+            let dur = (now - tr.start).as_secs();
+            self.st.sum_dur += dur;
+            self.st.min_dur = self.st.min_dur.min(dur);
+            self.st.max_dur = self.st.max_dur.max(dur);
+            self.st.sum_io += tr.io_secs;
+            self.st.sum_cpu += tr.cpu_secs;
+            (
+                tr.node,
+                crate::trace::TaskSpan {
+                    node: tr.node.0,
+                    start_secs: tr.start.as_secs(),
+                    end_secs: now.as_secs(),
+                },
+            )
+        };
+        if let Some(spans) = &mut self.st.spans {
+            spans.push(span);
+        }
+        self.st.completed += 1;
+        // The freed core immediately picks up the next task (Spark's
+        // executor behaviour).
+        if let Some(next) = self.pick_task(node) {
+            self.start_task(next, node, engine);
+        } else {
+            self.cluster.node_mut(node).release_core();
+        }
+    }
+
+    /// Harvests I/O completions at the current time (repeating until the
+    /// cascade settles) and schedules the next wake-up.
+    pub(crate) fn pump(&mut self, engine: &mut Engine<ExecWorld>) {
+        loop {
+            let tags = self.cluster.drain_io_completions(engine.now());
+            if tags.is_empty() {
+                break;
+            }
+            for tag in tags {
+                self.component_done(tag as usize, true, engine);
+            }
+        }
+        self.pump_gen += 1;
+        let gen = self.pump_gen;
+        if let Some(t) = self.cluster.next_io_completion() {
+            engine.schedule_at(t, move |w: &mut ExecWorld, e| {
+                if w.pump_gen == gen {
+                    w.pump(e);
+                }
+            });
+        }
+    }
+
+    fn finish_stage(&mut self, name: String, kind: crate::task::StageKind, duration: SimDuration) -> StageMetrics {
+        let st = std::mem::take(&mut self.st);
+        let count = st.tasks.len();
+        let tasks = TaskStats {
+            count,
+            avg_secs: st.sum_dur / count as f64,
+            min_secs: if st.min_dur.is_finite() { st.min_dur } else { 0.0 },
+            max_secs: st.max_dur,
+            avg_io_secs: st.sum_io / count as f64,
+            avg_cpu_secs: st.sum_cpu / count as f64,
+        };
+        StageMetrics {
+            name,
+            kind,
+            duration,
+            channels: st.channels,
+            tasks,
+            spans: st.spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{PlannedStage, StageKind};
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_events::{Bytes, Rate};
+
+    fn exec(n: usize, p: u32) -> Executor {
+        let spec = ClusterSpec::paper_cluster(n, 36, HybridConfig::SsdSsd);
+        let conf = SparkConf::paper().with_cores(p).without_noise();
+        Executor::new(ClusterState::new(&spec, p), conf)
+    }
+
+    fn compute_task(secs: f64) -> TaskSpec {
+        TaskSpec {
+            preferred_node: None,
+            flows: vec![],
+            compute_secs: secs,
+        }
+    }
+
+    fn shuffle_read_task(mib: u64, cap_mibps: f64, compute: f64) -> TaskSpec {
+        TaskSpec {
+            preferred_node: None,
+            flows: vec![FlowTemplate {
+                channel: IoChannel::ShuffleRead,
+                loc: FlowLoc::SelfNode,
+                bytes: Bytes::from_mib(mib),
+                request_size: Bytes::from_kib(30),
+                cap: Some(Rate::mib_per_sec(cap_mibps)),
+            }],
+            compute_secs: compute,
+        }
+    }
+
+    fn stage(name: &str, tasks: Vec<TaskSpec>) -> PlannedStage {
+        PlannedStage {
+            name: name.into(),
+            kind: StageKind::Result,
+            tasks,
+        }
+    }
+
+    #[test]
+    fn compute_only_stage_is_wave_scheduled() {
+        // 8 tasks of 1 s on 1 node x 4 cores = 2 waves = 2 s.
+        let mut e = exec(1, 4);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8]));
+        assert!((m.duration.as_secs() - 2.0).abs() < 1e-9, "duration = {}", m.duration);
+        assert_eq!(m.tasks.count, 8);
+        assert!((m.tasks.avg_secs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_wave_rounds_up() {
+        // 5 tasks of 1 s on 4 cores: 2 waves.
+        let mut e = exec(1, 4);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 5]));
+        assert!((m.duration.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_spread_across_nodes() {
+        // 4 tasks of 1 s on 2 nodes x 2 cores: one wave.
+        let mut e = exec(2, 2);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 4]));
+        assert!((m.duration.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_overlaps_compute_within_task() {
+        let mut e = exec(1, 1);
+        // io: 60 MiB at 60 MiB/s cap = 1 s; compute 3 s, concurrent => 3 s.
+        let m = e.run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 3.0)]));
+        assert!((m.duration.as_secs() - 3.0).abs() < 1e-6, "duration = {}", m.duration);
+        assert!((m.tasks.avg_io_secs - 1.0).abs() < 1e-6);
+        assert!((m.tasks.lambda().unwrap() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_contention_saturates_device() {
+        // 8 concurrent 30 KiB-request readers on one HDD local disk:
+        // aggregate limited to BW(30K) = 15 MiB/s.
+        let spec = ClusterSpec::paper_cluster(1, 36, HybridConfig::HddHdd);
+        let conf = SparkConf::paper().with_cores(8).without_noise();
+        let mut e = Executor::new(ClusterState::new(&spec, 8), conf);
+        let m = e.run_stage(stage("s", vec![shuffle_read_task(15, 60.0, 0.0); 8]));
+        // 8 x 15 MiB / 15 MiB/s = 8 s.
+        assert!((m.duration.as_secs() - 8.0).abs() < 1e-6, "duration = {}", m.duration);
+    }
+
+    #[test]
+    fn three_regimes_of_figure6() {
+        // Paper Fig. 6: T = 60 MB/s, BW = 120 MB/s => b = 2; λ = 4.
+        // Tasks: 60 MiB I/O (1 s at cap) + 4 s compute => t_avg = 4 s.
+        let mk_exec = |p: u32| {
+            let node = doppio_cluster::presets::paper_node(36, HybridConfig::SsdSsd).with_disk(
+                doppio_cluster::DiskRole::Local,
+                doppio_storage::DeviceSpec::new(
+                    "BW120",
+                    doppio_storage::BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
+                    doppio_storage::BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
+                ),
+            );
+            let spec = ClusterSpec::homogeneous(1, node);
+            let conf = SparkConf::paper().with_cores(p).without_noise();
+            Executor::new(ClusterState::new(&spec, p), conf)
+        };
+        let run = |p: u32, m_tasks: usize| {
+            mk_exec(p)
+                .run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 4.0); m_tasks]))
+                .duration
+                .as_secs()
+        };
+        // P = 2 <= b: no contention; M/P x t_avg = 32/2 x 4 = 64 s.
+        let t2 = run(2, 32);
+        assert!((t2 - 64.0).abs() < 1e-6, "P=2: {t2}");
+        // P = 8 = λ·b: still compute-bound; 32/8 x 4 = 16 s.
+        let t8 = run(8, 32);
+        assert!(t8 < 17.5, "P=8 should scale: {t8}");
+        // P = 16 > λ·b: I/O-bound; D/BW = 32 x 60 MiB / 120 MiB/s = 16 s,
+        // and no faster than P = 8 despite twice the cores.
+        let t16 = run(16, 32);
+        assert!((t16 - 16.0).abs() < 1.5, "P=16 is I/O-bound: {t16}");
+        assert!(t16 > 15.9, "I/O floor: {t16}");
+    }
+
+    #[test]
+    fn locality_preference_is_honoured_when_possible() {
+        let mut e = exec(2, 1);
+        let mut tasks = Vec::new();
+        for i in 0..4 {
+            let mut t = compute_task(1.0);
+            t.preferred_node = Some(NodeId(i % 2));
+            tasks.push(t);
+        }
+        let m = e.run_stage(stage("s", tasks));
+        // 4 tasks, 2 nodes x 1 core, 1 s each = 2 waves.
+        assert!((m.duration.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_account_channels() {
+        let mut e = exec(2, 2);
+        let t = TaskSpec {
+            preferred_node: None,
+            flows: vec![
+                FlowTemplate {
+                    channel: IoChannel::HdfsRead,
+                    loc: FlowLoc::SelfNode,
+                    bytes: Bytes::from_mib(128),
+                    request_size: Bytes::from_mib(128),
+                    cap: None,
+                },
+                FlowTemplate {
+                    channel: IoChannel::ShuffleWrite,
+                    loc: FlowLoc::SelfNode,
+                    bytes: Bytes::from_mib(64),
+                    request_size: Bytes::from_mib(64),
+                    cap: None,
+                },
+                FlowTemplate {
+                    channel: IoChannel::NetIn,
+                    loc: FlowLoc::RemoteRotating,
+                    bytes: Bytes::from_mib(64),
+                    request_size: Bytes::from_mib(64),
+                    cap: None,
+                },
+            ],
+            compute_secs: 0.1,
+        };
+        let m = e.run_stage(stage("s", vec![t; 4]));
+        assert_eq!(m.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(512));
+        assert_eq!(m.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_mib(256));
+        assert_eq!(m.channel_bytes(IoChannel::NetIn), Bytes::from_mib(256));
+        assert_eq!(m.channel(IoChannel::HdfsRead).requests, 4);
+        assert_eq!(
+            m.channel(IoChannel::HdfsRead).avg_request_size(),
+            Some(Bytes::from_mib(128))
+        );
+    }
+
+    #[test]
+    fn consecutive_stages_share_the_clock() {
+        let mut e = exec(1, 1);
+        let m1 = e.run_stage(stage("a", vec![compute_task(1.0)]));
+        let m2 = e.run_stage(stage("b", vec![compute_task(2.0)]));
+        assert!((m1.duration.as_secs() - 1.0).abs() < 1e-9);
+        assert!((m2.duration.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let spec = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
+            let conf = SparkConf::paper().with_cores(4).with_seed(seed);
+            let mut e = Executor::new(ClusterState::new(&spec, 4), conf);
+            e.run_stage(stage("s", vec![compute_task(1.0); 32])).duration.as_secs()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds give different jitter");
+    }
+
+    #[test]
+    fn zero_work_task_completes() {
+        let mut e = exec(1, 1);
+        let t = TaskSpec {
+            preferred_node: None,
+            flows: vec![FlowTemplate {
+                channel: IoChannel::ShuffleRead,
+                loc: FlowLoc::SelfNode,
+                bytes: Bytes::ZERO,
+                request_size: Bytes::from_kib(30),
+                cap: None,
+            }],
+            compute_secs: 0.0,
+        };
+        let m = e.run_stage(stage("s", vec![t; 3]));
+        assert_eq!(m.tasks.count, 3);
+        assert!(m.duration.as_secs() < 1e-9);
+    }
+}

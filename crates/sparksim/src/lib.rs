@@ -1,0 +1,72 @@
+//! A Spark-like in-memory computing framework simulator.
+//!
+//! This crate is the substrate the Doppio paper's measurements ran on: an
+//! RDD-based cluster computing framework in the style of Apache Spark 1.6,
+//! rebuilt as a discrete-event simulator. It reproduces every mechanism the
+//! paper's analysis depends on:
+//!
+//! * **RDD lineage and lazy evaluation** ([`AppBuilder`]) — transformations
+//!   build a dependency graph; actions create jobs.
+//! * **DAG scheduling** ([`dag`]) — jobs are cut into stages at shuffle
+//!   boundaries; map stages whose shuffle output already exists are skipped
+//!   (which is why GATK4's BR *and* SF stages each re-read the same 334 GB
+//!   of shuffle data, Table IV).
+//! * **Sort-based shuffle** ([`shuffle`]) — mappers write large sorted
+//!   chunks; each reducer reads `D/(M·R)`-sized segments from every map
+//!   output, producing the small-request I/O that cripples HDDs
+//!   (Section III-C2).
+//! * **Unified memory management** ([`memory`]) — RDDs cached with a
+//!   deserialization expansion factor; partitions that do not fit the
+//!   storage pool spill to the Spark-local disk or are recomputed from
+//!   lineage (Section III-B2).
+//! * **Pipelined task execution** ([`Simulation`]) — `M` tasks run over
+//!   `N × P` core slots; a task holds its core through serial I/O and
+//!   compute phases, so CPU/I-O overlap *across* tasks emerges exactly as in
+//!   the paper's Figure 6 execution model.
+//!
+//! The simulator reports per-stage [`StageMetrics`] (durations, per-channel
+//! I/O volumes and request sizes, task-time statistics) — the same
+//! observables the paper collects with Spark's event log and `iostat`, and
+//! the inputs the `doppio-model` calibrator consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_cluster::{ClusterSpec, HybridConfig};
+//! use doppio_events::Bytes;
+//! use doppio_sparksim::{AppBuilder, Cost, ShuffleSpec, Simulation, SparkConf};
+//!
+//! let mut b = AppBuilder::new("wordcount");
+//! let lines = b.hdfs_source("lines", "/input.txt", Bytes::from_gib(4));
+//! let words = b.flat_map(lines, "tokenize", Cost::per_mib(0.002), 1.4);
+//! let counts = b.reduce_by_key(words, "count", ShuffleSpec::target_reducer_bytes(Bytes::from_mib(32)), Cost::per_mib(0.004), 0.1);
+//! b.save_as_hadoop_file(counts, "save", "/out.txt");
+//! let app = b.build().unwrap();
+//!
+//! let cluster = ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd);
+//! let run = Simulation::with_conf(cluster, SparkConf::default()).run(&app).unwrap();
+//! assert_eq!(run.stages().len(), 2); // shuffle map stage + result stage
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod dag;
+mod error;
+mod executor;
+pub mod memory;
+mod metrics;
+mod rdd;
+pub mod report;
+pub mod shuffle;
+mod sim;
+mod task;
+pub mod trace;
+
+pub use config::SparkConf;
+pub use error::SimError;
+pub use metrics::{AppRun, ChannelStats, StageMetrics, TaskStats};
+pub use rdd::{ActionKind, App, AppBuilder, Cost, Job, JobId, RddId, ShuffleSpec, StorageLevel};
+pub use sim::Simulation;
+pub use task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, StageKind, TaskSpec};

@@ -1,0 +1,251 @@
+//! The unified memory manager: RDD caching and spill accounting.
+//!
+//! Spark's storage memory is a bounded pool per executor; the paper assumes
+//! "around 40% of the entire Spark executor memory is used as storage
+//! memory" (Section III-B2). Cached RDDs live *deserialized* in memory — a
+//! large expansion over their serialized size (GATK4's 122 GB input expands
+//! to ~870 GB) — which is why production RDDs routinely fail to fit and
+//! either spill to the Spark-local disk (`MEMORY_AND_DISK`), persist fully
+//! on disk (`DISK_ONLY`), or get recomputed from lineage (`MEMORY_ONLY`
+//! overflow).
+//!
+//! The manager tracks a cluster-wide pool (partitions spread evenly over
+//! nodes in our simulator) and records, per materialized RDD, which
+//! fraction is memory-resident.
+
+use std::collections::HashMap;
+
+use doppio_events::Bytes;
+
+use crate::rdd::{RddId, StorageLevel};
+
+/// A materialized (cached/persisted) RDD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedRdd {
+    /// The RDD.
+    pub rdd: RddId,
+    /// Requested storage level.
+    pub level: StorageLevel,
+    /// Deserialized bytes per serialized byte.
+    pub expansion: f64,
+    /// Serialized size of the whole RDD.
+    pub serialized: Bytes,
+    /// Number of partitions.
+    pub partitions: u64,
+    /// Fraction of partitions resident in memory (by bytes).
+    pub mem_fraction: f64,
+}
+
+impl CachedRdd {
+    /// Deserialized size of the whole RDD (`serialized × expansion`).
+    pub fn deserialized(&self) -> Bytes {
+        self.serialized.scale(self.expansion)
+    }
+
+    /// Memory-resident deserialized bytes.
+    pub fn mem_bytes(&self) -> Bytes {
+        self.deserialized().scale(self.mem_fraction)
+    }
+
+    /// Serialized bytes persisted on the Spark-local disks (zero for
+    /// `MEMORY_ONLY`, whose overflow is recomputed instead).
+    pub fn disk_bytes(&self) -> Bytes {
+        match self.level {
+            StorageLevel::MemoryOnly => Bytes::ZERO,
+            StorageLevel::MemoryAndDisk | StorageLevel::DiskOnly => {
+                self.serialized.scale(1.0 - self.mem_fraction)
+            }
+        }
+    }
+
+    /// Fraction of this RDD's bytes that must be *recomputed from lineage*
+    /// on every use (only non-zero for `MEMORY_ONLY` overflow).
+    pub fn recompute_fraction(&self) -> f64 {
+        match self.level {
+            StorageLevel::MemoryOnly => 1.0 - self.mem_fraction,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Cluster-wide storage-memory manager.
+#[derive(Debug)]
+pub struct MemoryManager {
+    pool_total: Bytes,
+    used: Bytes,
+    cached: HashMap<RddId, CachedRdd>,
+}
+
+impl MemoryManager {
+    /// Creates a manager for `num_nodes` nodes each contributing
+    /// `pool_per_node` of storage memory.
+    pub fn new(pool_per_node: Bytes, num_nodes: usize) -> Self {
+        MemoryManager {
+            pool_total: pool_per_node * num_nodes as u64,
+            used: Bytes::ZERO,
+            cached: HashMap::new(),
+        }
+    }
+
+    /// Total storage-memory pool across the cluster.
+    pub fn pool_total(&self) -> Bytes {
+        self.pool_total
+    }
+
+    /// Bytes currently used by cached partitions.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Free pool bytes.
+    pub fn free(&self) -> Bytes {
+        self.pool_total.saturating_sub(self.used)
+    }
+
+    /// Materializes an RDD: admits as much of its deserialized form as fits
+    /// the free pool, records the rest as disk-persisted or to-recompute
+    /// depending on the level. Returns the resulting record.
+    ///
+    /// Idempotent: re-materializing returns the existing record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or `expansion < 1`.
+    pub fn materialize(
+        &mut self,
+        rdd: RddId,
+        level: StorageLevel,
+        expansion: f64,
+        serialized: Bytes,
+        partitions: u64,
+    ) -> CachedRdd {
+        assert!(partitions > 0, "an RDD needs at least one partition");
+        assert!(expansion >= 1.0, "expansion factor must be >= 1");
+        if let Some(existing) = self.cached.get(&rdd) {
+            return *existing;
+        }
+        let deserialized = serialized.scale(expansion);
+        let mem_fraction = match level {
+            StorageLevel::DiskOnly => 0.0,
+            StorageLevel::MemoryOnly | StorageLevel::MemoryAndDisk => {
+                if deserialized.is_zero() {
+                    1.0
+                } else {
+                    (self.free().as_f64() / deserialized.as_f64()).min(1.0)
+                }
+            }
+        };
+        let taken = deserialized.scale(mem_fraction);
+        self.used += taken;
+        let rec = CachedRdd {
+            rdd,
+            level,
+            expansion,
+            serialized,
+            partitions,
+            mem_fraction,
+        };
+        self.cached.insert(rdd, rec);
+        rec
+    }
+
+    /// The cache record of an RDD, if materialized.
+    pub fn get(&self, rdd: RddId) -> Option<&CachedRdd> {
+        self.cached.get(&rdd)
+    }
+
+    /// True when the RDD was materialized.
+    pub fn is_materialized(&self, rdd: RddId) -> bool {
+        self.cached.contains_key(&rdd)
+    }
+
+    /// Releases an RDD's memory (Spark's `unpersist`). Returns the record.
+    pub fn unpersist(&mut self, rdd: RddId) -> Option<CachedRdd> {
+        let rec = self.cached.remove(&rdd)?;
+        self.used = self.used.saturating_sub(rec.mem_bytes());
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(gib_per_node: u64, nodes: usize) -> MemoryManager {
+        MemoryManager::new(Bytes::from_gib(gib_per_node), nodes)
+    }
+
+    #[test]
+    fn fully_fitting_rdd_is_all_in_memory() {
+        let mut m = mgr(36, 10); // 360 GiB pool
+        let rec = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 3.0, Bytes::from_gib(100), 1000);
+        assert_eq!(rec.mem_fraction, 1.0);
+        assert_eq!(rec.disk_bytes(), Bytes::ZERO);
+        assert_eq!(m.used(), Bytes::from_gib(300));
+    }
+
+    #[test]
+    fn gatk4_marked_reads_cannot_fit() {
+        // Paper Section III-B2: caching markedReads needs ~870 GB of memory;
+        // 3 nodes x 36 GB of storage memory hold only 108 GB.
+        let mut m = mgr(36, 3);
+        let rec = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            7.13,
+            Bytes::from_gib(122),
+            973,
+        );
+        assert!((rec.deserialized().as_gib() - 870.0).abs() < 1.0);
+        assert!(rec.mem_fraction < 0.13, "mem fraction = {}", rec.mem_fraction);
+        assert!(rec.disk_bytes() > Bytes::from_gib(100));
+    }
+
+    #[test]
+    fn disk_only_takes_no_memory() {
+        let mut m = mgr(36, 10);
+        let rec = m.materialize(RddId(0), StorageLevel::DiskOnly, 3.0, Bytes::from_gib(10), 100);
+        assert_eq!(rec.mem_fraction, 0.0);
+        assert_eq!(rec.disk_bytes(), Bytes::from_gib(10));
+        assert_eq!(m.used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn memory_only_overflow_is_recomputed_not_spilled() {
+        let mut m = mgr(10, 1);
+        let rec = m.materialize(RddId(0), StorageLevel::MemoryOnly, 2.0, Bytes::from_gib(10), 100);
+        assert!((rec.mem_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(rec.disk_bytes(), Bytes::ZERO);
+        assert!((rec.recompute_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materialize_is_idempotent() {
+        let mut m = mgr(36, 2);
+        let a = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 2.0, Bytes::from_gib(10), 10);
+        let b = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 2.0, Bytes::from_gib(10), 10);
+        assert_eq!(a, b);
+        assert_eq!(m.used(), Bytes::from_gib(20));
+    }
+
+    #[test]
+    fn pool_fills_across_rdds_in_order() {
+        let mut m = mgr(10, 1); // 10 GiB
+        let a = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 1.0, Bytes::from_gib(8), 8);
+        assert_eq!(a.mem_fraction, 1.0);
+        let b = m.materialize(RddId(1), StorageLevel::MemoryAndDisk, 1.0, Bytes::from_gib(8), 8);
+        assert!((b.mem_fraction - 0.25).abs() < 1e-9, "only 2 GiB left");
+    }
+
+    #[test]
+    fn unpersist_frees_memory() {
+        let mut m = mgr(10, 1);
+        m.materialize(RddId(0), StorageLevel::MemoryOnly, 1.0, Bytes::from_gib(4), 4);
+        assert_eq!(m.used(), Bytes::from_gib(4));
+        let rec = m.unpersist(RddId(0)).unwrap();
+        assert_eq!(rec.rdd, RddId(0));
+        assert_eq!(m.used(), Bytes::ZERO);
+        assert!(m.unpersist(RddId(0)).is_none());
+        assert!(!m.is_materialized(RddId(0)));
+    }
+}

@@ -1,0 +1,235 @@
+//! Execution metrics: what the simulator measures, mirroring the
+//! observables the paper collects from Spark's event log and `iostat`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use doppio_events::{Bytes, SimDuration};
+
+use crate::task::{IoChannel, StageKind};
+
+/// Per-channel I/O accounting for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total bytes moved on the channel across all tasks.
+    pub bytes: Bytes,
+    /// Total I/O requests issued.
+    pub requests: u64,
+}
+
+impl ChannelStats {
+    /// Average request size (`iostat avgrq-sz`), `None` when the channel was
+    /// unused.
+    pub fn avg_request_size(&self) -> Option<Bytes> {
+        self.bytes.as_u64().checked_div(self.requests).map(Bytes::new)
+    }
+}
+
+/// Task-time statistics for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskStats {
+    /// Number of tasks (the paper's `M`).
+    pub count: usize,
+    /// Mean task duration in seconds (the paper's `t_avg`).
+    pub avg_secs: f64,
+    /// Fastest task.
+    pub min_secs: f64,
+    /// Slowest task.
+    pub max_secs: f64,
+    /// Mean time a task spent blocked on I/O phases.
+    pub avg_io_secs: f64,
+    /// Mean time a task spent computing.
+    pub avg_cpu_secs: f64,
+}
+
+impl TaskStats {
+    /// The paper's `λ`: ratio of whole-task time to I/O time. `None` when
+    /// tasks did no I/O.
+    pub fn lambda(&self) -> Option<f64> {
+        if self.avg_io_secs > 0.0 {
+            Some(self.avg_secs / self.avg_io_secs)
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything measured about one executed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// Stage name (workloads use the paper's names: "MD", "BR", "SF", …).
+    pub name: String,
+    /// Shuffle-map or result stage.
+    pub kind: StageKind,
+    /// Wall-clock stage duration.
+    pub duration: SimDuration,
+    /// Per-channel I/O totals.
+    pub channels: HashMap<IoChannel, ChannelStats>,
+    /// Task-time statistics.
+    pub tasks: TaskStats,
+    /// Per-task execution spans, recorded only when
+    /// [`crate::SparkConf::record_task_spans`] is set (see [`crate::trace`]).
+    pub spans: Option<Vec<crate::trace::TaskSpan>>,
+}
+
+impl StageMetrics {
+    /// Stats for one channel (zeros when unused).
+    pub fn channel(&self, ch: IoChannel) -> ChannelStats {
+        self.channels.get(&ch).copied().unwrap_or_default()
+    }
+
+    /// Bytes moved on one channel.
+    pub fn channel_bytes(&self, ch: IoChannel) -> Bytes {
+        self.channel(ch).bytes
+    }
+
+    /// Total disk bytes (all channels except network).
+    pub fn total_disk_bytes(&self) -> Bytes {
+        IoChannel::DISK_CHANNELS
+            .iter()
+            .map(|&c| self.channel_bytes(c))
+            .sum()
+    }
+}
+
+impl fmt::Display for StageMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>9} tasks={:<6} t_avg={:.2}s",
+            self.name,
+            self.duration.to_string(),
+            self.tasks.count,
+            self.tasks.avg_secs
+        )
+    }
+}
+
+/// The result of simulating a whole application: per-stage metrics in
+/// execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRun {
+    app_name: String,
+    stages: Vec<StageMetrics>,
+}
+
+impl AppRun {
+    pub(crate) fn new(app_name: impl Into<String>, stages: Vec<StageMetrics>) -> Self {
+        AppRun {
+            app_name: app_name.into(),
+            stages,
+        }
+    }
+
+    /// Application name.
+    pub fn app_name(&self) -> &str {
+        &self.app_name
+    }
+
+    /// Stages in execution order.
+    pub fn stages(&self) -> &[StageMetrics] {
+        &self.stages
+    }
+
+    /// Total runtime (`t_app = Σ t_stage`, since the simulator runs stages
+    /// back-to-back like Spark's jobs do).
+    pub fn total_time(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration)
+    }
+
+    /// First stage with the given name.
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// All stages with the given name (iterative apps repeat stage names).
+    pub fn stages_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a StageMetrics> + 'a {
+        self.stages.iter().filter(move |s| s.name == name)
+    }
+
+    /// Combined duration of all stages whose name matches `name`.
+    pub fn time_in(&self, name: &str) -> SimDuration {
+        self.stages_named(name)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration)
+    }
+
+    /// Sum of a channel over all stages (Table IV's per-application totals).
+    pub fn total_channel_bytes(&self, ch: IoChannel) -> Bytes {
+        self.stages.iter().map(|s| s.channel_bytes(ch)).sum()
+    }
+}
+
+impl fmt::Display for AppRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "application {} — total {}", self.app_name, self.total_time())?;
+        for s in &self.stages {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, secs: f64) -> StageMetrics {
+        let mut channels = HashMap::new();
+        channels.insert(
+            IoChannel::ShuffleRead,
+            ChannelStats {
+                bytes: Bytes::from_gib(1),
+                requests: 1000,
+            },
+        );
+        StageMetrics {
+            name: name.into(),
+            kind: StageKind::Result,
+            duration: SimDuration::from_secs(secs),
+            channels,
+            tasks: TaskStats {
+                count: 10,
+                avg_secs: 2.0,
+                min_secs: 1.0,
+                max_secs: 3.0,
+                avg_io_secs: 0.5,
+                avg_cpu_secs: 1.5,
+            },
+            spans: None,
+        }
+    }
+
+    #[test]
+    fn lambda_matches_definition() {
+        let s = stage("a", 10.0);
+        assert!((s.tasks.lambda().unwrap() - 4.0).abs() < 1e-12);
+        let t = TaskStats::default();
+        assert_eq!(t.lambda(), None);
+    }
+
+    #[test]
+    fn channel_defaults_to_zero() {
+        let s = stage("a", 10.0);
+        assert_eq!(s.channel_bytes(IoChannel::HdfsRead), Bytes::ZERO);
+        assert_eq!(s.channel(IoChannel::ShuffleRead).avg_request_size(), Some(Bytes::new(Bytes::from_gib(1).as_u64() / 1000)));
+    }
+
+    #[test]
+    fn app_run_totals() {
+        let run = AppRun::new("app", vec![stage("a", 10.0), stage("b", 20.0), stage("a", 5.0)]);
+        assert_eq!(run.total_time(), SimDuration::from_secs(35.0));
+        assert_eq!(run.time_in("a"), SimDuration::from_secs(15.0));
+        assert_eq!(run.stages_named("a").count(), 2);
+        assert_eq!(run.total_channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(3));
+        assert!(run.stage("missing").is_none());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let run = AppRun::new("app", vec![stage("a", 10.0)]);
+        let s = run.to_string();
+        assert!(s.contains("app") && s.contains('a'));
+    }
+}

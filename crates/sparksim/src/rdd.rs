@@ -1,0 +1,702 @@
+//! RDD lineage graphs and the application builder.
+//!
+//! Workloads describe themselves exactly the way a Spark driver program
+//! does: transformations build an RDD dependency graph lazily, actions
+//! create jobs. Because the simulator models performance rather than data
+//! values, each transformation carries a *cost hint* (CPU seconds per MiB
+//! processed) and a *selectivity* (output bytes over input bytes) instead
+//! of a closure.
+
+use std::fmt;
+
+use doppio_events::Bytes;
+
+/// Identifier of an RDD within one application graph.
+///
+/// Normally produced by [`AppBuilder`] methods; the index is public so
+/// standalone analyses (e.g. shuffle-geometry calculations) can label
+/// synthetic shuffles without building a whole application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RddId(pub usize);
+
+/// Identifier of a job (one action) within an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub(crate) usize);
+
+/// CPU cost hint of an operator: `fixed + per_mib × MiB processed` seconds
+/// per task.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Seconds of CPU per MiB of task input.
+    pub per_mib_secs: f64,
+    /// Fixed seconds of CPU per task (task launch, JIT, …).
+    pub fixed_secs: f64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost {
+        per_mib_secs: 0.0,
+        fixed_secs: 0.0,
+    };
+
+    /// A purely size-proportional cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs_per_mib` is negative or not finite.
+    pub fn per_mib(secs_per_mib: f64) -> Cost {
+        assert!(
+            secs_per_mib.is_finite() && secs_per_mib >= 0.0,
+            "cost must be finite and non-negative"
+        );
+        Cost {
+            per_mib_secs: secs_per_mib,
+            fixed_secs: 0.0,
+        }
+    }
+
+    /// A fixed per-task cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn fixed(secs: f64) -> Cost {
+        assert!(secs.is_finite() && secs >= 0.0, "cost must be finite and non-negative");
+        Cost {
+            per_mib_secs: 0.0,
+            fixed_secs: secs,
+        }
+    }
+
+    /// Adds a fixed component to this cost.
+    pub fn plus_fixed(mut self, secs: f64) -> Cost {
+        self.fixed_secs += secs;
+        self
+    }
+
+    /// Seconds of CPU for a task processing `bytes`.
+    pub fn eval(&self, bytes: Bytes) -> f64 {
+        self.fixed_secs + self.per_mib_secs * bytes.as_mib()
+    }
+
+    /// The cost that makes a task's time ratio `t_task / t_io` equal the
+    /// paper's `λ` when its I/O runs uncontended at per-stream rate
+    /// `t_stream`. Because tasks overlap I/O with compute (record-level
+    /// pipelining), `t_task = max(t_io, t_cpu)`; setting `t_cpu = λ × t_io`
+    /// gives `t_task = λ × t_io` exactly, matching the paper's definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 1` or `t_stream` is zero.
+    pub fn for_lambda(lambda: f64, t_stream: doppio_events::Rate) -> Cost {
+        assert!(lambda >= 1.0, "lambda must be >= 1 (task time includes its I/O)");
+        assert!(t_stream.as_bytes_per_sec() > 0.0, "stream rate must be positive");
+        let secs_per_mib_io = (1024.0 * 1024.0) / t_stream.as_bytes_per_sec();
+        Cost::per_mib(lambda * secs_per_mib_io)
+    }
+}
+
+/// RDD persistence level (the subset of Spark's `StorageLevel` the paper
+/// exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageLevel {
+    /// Cache deserialized in memory; partitions that do not fit are
+    /// recomputed from lineage on use.
+    MemoryOnly,
+    /// Cache in memory; overflow partitions spill to the Spark-local disk.
+    MemoryAndDisk,
+    /// Persist everything on the Spark-local disk.
+    DiskOnly,
+}
+
+/// How many reducers a shuffle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReducerCount {
+    Explicit(u32),
+    TargetBytes(Bytes),
+}
+
+/// Reducer-side sizing of a shuffle.
+///
+/// GATK4 tunes reducers so "each reducer task reads in 27 MB shuffle data"
+/// (Section III-C2); SparkBench workloads fix partition counts instead.
+/// Both styles are supported, optionally with key skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuffleSpec {
+    reducers: ReducerCount,
+    skew: f64,
+}
+
+impl ShuffleSpec {
+    /// Fixed reducer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn reducers(n: u32) -> Self {
+        assert!(n > 0, "a shuffle needs at least one reducer");
+        ShuffleSpec {
+            reducers: ReducerCount::Explicit(n),
+            skew: 0.0,
+        }
+    }
+
+    /// Size reducers so each reads about `bytes` of shuffle data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn target_reducer_bytes(bytes: Bytes) -> Self {
+        assert!(!bytes.is_zero(), "target reducer bytes must be positive");
+        ShuffleSpec {
+            reducers: ReducerCount::TargetBytes(bytes),
+            skew: 0.0,
+        }
+    }
+
+    /// Adds Zipf-like key skew: reducer `i` receives a share proportional
+    /// to `(i + 1)^-s`. `s = 0` is uniform (the default, and what the
+    /// Doppio model assumes); real groupBy keys are often skewed, and the
+    /// `abl05_skew` bench measures what that does to Equation 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn with_skew(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "skew exponent must be finite and non-negative");
+        self.skew = s;
+        self
+    }
+
+    /// The configured skew exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Resolves the reducer count for a given total shuffle size.
+    pub fn resolve(&self, shuffle_bytes: Bytes) -> u32 {
+        match self.reducers {
+            ReducerCount::Explicit(n) => n,
+            ReducerCount::TargetBytes(b) => shuffle_bytes.div_ceil_by(b).max(1) as u32,
+        }
+    }
+}
+
+/// The operator of an RDD node (crate-internal; the planner consumes it).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// A file in the DFS; one partition per block.
+    HdfsSource { path: String },
+    /// Synthetic in-memory source with an explicit partition count.
+    Parallelize { partitions: u32 },
+    /// A narrow (pipelined) transformation.
+    Narrow {
+        kind: &'static str,
+        cost: Cost,
+        selectivity: f64,
+    },
+    /// Partition-concatenating union of the parents.
+    Union,
+    /// A wide transformation introducing a shuffle boundary.
+    Shuffle {
+        kind: &'static str,
+        spec: ShuffleSpec,
+        map_cost: Cost,
+        reduce_cost: Cost,
+        /// Shuffle bytes written per input byte (map-side combine < 1).
+        shuffle_ratio: f64,
+        /// Output bytes per shuffle byte.
+        out_ratio: f64,
+    },
+}
+
+/// One node in the lineage graph.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RddNode {
+    pub name: String,
+    pub op: Op,
+    pub parents: Vec<RddId>,
+    /// Serialized (on-wire) size of this RDD.
+    pub bytes: Bytes,
+    /// Persistence requested via [`AppBuilder::persist`].
+    pub storage: Option<(StorageLevel, f64)>,
+}
+
+/// The action terminating a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionKind {
+    /// `count()`-style action: consumes partitions, returns a scalar.
+    Count {
+        /// Per-task CPU cost of the action itself.
+        cost: Cost,
+    },
+    /// `saveAsNewAPIHadoopFile`-style action: writes the RDD to the DFS.
+    SaveHdfs {
+        /// Output path.
+        path: String,
+    },
+}
+
+/// A job: an action applied to a target RDD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Job identifier in submission order.
+    pub id: JobId,
+    /// Name used for the result stage (the paper's stage labels).
+    pub name: String,
+    /// RDD the action runs on.
+    pub target: RddId,
+    /// The action.
+    pub action: ActionKind,
+}
+
+/// An immutable, validated application: lineage graph plus jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct App {
+    name: String,
+    pub(crate) nodes: Vec<RddNode>,
+    jobs: Vec<Job>,
+}
+
+impl App {
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Jobs in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of RDDs in the lineage graph.
+    pub fn num_rdds(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Name of an RDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this app.
+    pub fn rdd_name(&self, id: RddId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Serialized size of an RDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this app.
+    pub fn rdd_bytes(&self, id: RddId) -> Bytes {
+        self.nodes[id.0].bytes
+    }
+
+    pub(crate) fn node(&self, id: RddId) -> &RddNode {
+        &self.nodes[id.0]
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "app {} ({} rdds, {} jobs)", self.name, self.nodes.len(), self.jobs.len())?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let parents: Vec<String> = n.parents.iter().map(|p| p.0.to_string()).collect();
+            writeln!(
+                f,
+                "  [{i}] {:<20} {:<12} {} <- [{}]",
+                n.name,
+                op_label(&n.op),
+                n.bytes,
+                parents.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn op_label(op: &Op) -> &'static str {
+    match op {
+        Op::HdfsSource { .. } => "hdfs-source",
+        Op::Parallelize { .. } => "parallelize",
+        Op::Narrow { kind, .. } => kind,
+        Op::Union => "union",
+        Op::Shuffle { kind, .. } => kind,
+    }
+}
+
+/// Builder for [`App`]s — the simulated Spark driver program.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::Bytes;
+/// use doppio_sparksim::{AppBuilder, Cost, ShuffleSpec, StorageLevel};
+///
+/// let mut b = AppBuilder::new("pagerank-ish");
+/// let edges = b.hdfs_source("edges", "/edges", Bytes::from_gib(10));
+/// let parsed = b.map(edges, "parse", Cost::per_mib(0.01), 1.2);
+/// b.persist(parsed, StorageLevel::MemoryAndDisk, 3.0);
+/// let ranks = b.group_by_key(parsed, "ranks", ShuffleSpec::reducers(480), Cost::per_mib(0.02), 0.5);
+/// b.count(ranks, "iteration", Cost::ZERO);
+/// let app = b.build().unwrap();
+/// assert_eq!(app.jobs().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct AppBuilder {
+    name: String,
+    nodes: Vec<RddNode>,
+    jobs: Vec<Job>,
+}
+
+impl AppBuilder {
+    /// Starts an empty application.
+    pub fn new(name: impl Into<String>) -> Self {
+        AppBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, node: RddNode) -> RddId {
+        let id = RddId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    fn parent_bytes(&self, id: RddId) -> Bytes {
+        self.nodes[id.0].bytes
+    }
+
+    /// An RDD backed by a DFS file of `bytes` at `path` (the file is created
+    /// in the simulated DFS when the application is planned).
+    pub fn hdfs_source(&mut self, name: impl Into<String>, path: impl Into<String>, bytes: Bytes) -> RddId {
+        self.push(RddNode {
+            name: name.into(),
+            op: Op::HdfsSource { path: path.into() },
+            parents: vec![],
+            bytes,
+            storage: None,
+        })
+    }
+
+    /// A synthetic in-memory source (`sc.parallelize`) of `bytes` split into
+    /// `partitions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn parallelize(&mut self, name: impl Into<String>, bytes: Bytes, partitions: u32) -> RddId {
+        assert!(partitions > 0, "parallelize needs at least one partition");
+        self.push(RddNode {
+            name: name.into(),
+            op: Op::Parallelize { partitions },
+            parents: vec![],
+            bytes,
+            storage: None,
+        })
+    }
+
+    fn narrow(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        kind: &'static str,
+        cost: Cost,
+        selectivity: f64,
+    ) -> RddId {
+        assert!(
+            selectivity.is_finite() && selectivity >= 0.0,
+            "selectivity must be finite and non-negative"
+        );
+        let bytes = self.parent_bytes(parent).scale(selectivity);
+        self.push(RddNode {
+            name: name.into(),
+            op: Op::Narrow {
+                kind,
+                cost,
+                selectivity,
+            },
+            parents: vec![parent],
+            bytes,
+            storage: None,
+        })
+    }
+
+    /// `map`: narrow transformation with the given CPU cost and output/input
+    /// byte ratio.
+    pub fn map(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+        self.narrow(parent, name, "map", cost, selectivity)
+    }
+
+    /// `filter`: narrow transformation that keeps `selectivity` of its input.
+    pub fn filter(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+        self.narrow(parent, name, "filter", cost, selectivity)
+    }
+
+    /// `flatMap`: narrow transformation; selectivity may exceed 1.
+    pub fn flat_map(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+        self.narrow(parent, name, "flatMap", cost, selectivity)
+    }
+
+    /// `mapPartitions`: narrow transformation (cost hints identical to
+    /// `map`; provided for driver-program fidelity).
+    pub fn map_partitions(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+        self.narrow(parent, name, "mapPartitions", cost, selectivity)
+    }
+
+    /// `union`: concatenates the partitions of the parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two parents are given.
+    pub fn union(&mut self, parents: &[RddId], name: impl Into<String>) -> RddId {
+        assert!(parents.len() >= 2, "union needs at least two parents");
+        let bytes = parents.iter().map(|p| self.parent_bytes(*p)).sum();
+        self.push(RddNode {
+            name: name.into(),
+            op: Op::Union,
+            parents: parents.to_vec(),
+            bytes,
+            storage: None,
+        })
+    }
+
+    /// Generic wide (shuffling) transformation.
+    ///
+    /// `shuffle_ratio` is shuffle bytes written per input byte (1.0 for
+    /// `groupByKey`, < 1 with map-side combine); `out_ratio` is output bytes
+    /// per shuffle byte.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shuffle_op(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        kind: &'static str,
+        spec: ShuffleSpec,
+        map_cost: Cost,
+        reduce_cost: Cost,
+        shuffle_ratio: f64,
+        out_ratio: f64,
+    ) -> RddId {
+        assert!(shuffle_ratio.is_finite() && shuffle_ratio > 0.0, "shuffle ratio must be positive");
+        assert!(out_ratio.is_finite() && out_ratio > 0.0, "out ratio must be positive");
+        let shuffle_bytes = self.parent_bytes(parent).scale(shuffle_ratio);
+        let bytes = shuffle_bytes.scale(out_ratio);
+        self.push(RddNode {
+            name: name.into(),
+            op: Op::Shuffle {
+                kind,
+                spec,
+                map_cost,
+                reduce_cost,
+                shuffle_ratio,
+                out_ratio,
+            },
+            parents: vec![parent],
+            bytes,
+            storage: None,
+        })
+    }
+
+    /// `groupByKey`: shuffles all input bytes (no map-side combine).
+    pub fn group_by_key(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        spec: ShuffleSpec,
+        reduce_cost: Cost,
+        out_ratio: f64,
+    ) -> RddId {
+        self.shuffle_op(parent, name, "groupByKey", spec, Cost::ZERO, reduce_cost, 1.0, out_ratio)
+    }
+
+    /// `reduceByKey`: map-side combine shrinks shuffle data to `out_ratio`
+    /// of the input before it is written.
+    pub fn reduce_by_key(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        spec: ShuffleSpec,
+        reduce_cost: Cost,
+        out_ratio: f64,
+    ) -> RddId {
+        self.shuffle_op(parent, name, "reduceByKey", spec, Cost::ZERO, reduce_cost, out_ratio, 1.0)
+    }
+
+    /// `repartition`: pure data movement.
+    pub fn repartition(&mut self, parent: RddId, name: impl Into<String>, spec: ShuffleSpec) -> RddId {
+        self.shuffle_op(parent, name, "repartition", spec, Cost::ZERO, Cost::ZERO, 1.0, 1.0)
+    }
+
+    /// `sortByKey`: range-partitioning shuffle with map- and reduce-side
+    /// sort CPU.
+    pub fn sort_by_key(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        spec: ShuffleSpec,
+        map_cost: Cost,
+        reduce_cost: Cost,
+    ) -> RddId {
+        self.shuffle_op(parent, name, "sortByKey", spec, map_cost, reduce_cost, 1.0, 1.0)
+    }
+
+    /// Marks an RDD for persistence. `mem_expansion` is the deserialized
+    /// in-memory size per serialized byte — GATK4's `markedReads` expands
+    /// 122 GB of input to ~870 GB in memory, i.e. ≈ 7.1× (Section III-B2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_expansion < 1`.
+    pub fn persist(&mut self, rdd: RddId, level: StorageLevel, mem_expansion: f64) {
+        assert!(
+            mem_expansion.is_finite() && mem_expansion >= 1.0,
+            "deserialized data is at least as large as serialized"
+        );
+        self.nodes[rdd.0].storage = Some((level, mem_expansion));
+    }
+
+    /// `count()`-style action.
+    pub fn count(&mut self, rdd: RddId, job_name: impl Into<String>, cost: Cost) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            id,
+            name: job_name.into(),
+            target: rdd,
+            action: ActionKind::Count { cost },
+        });
+        id
+    }
+
+    /// `saveAsNewAPIHadoopFile`-style action writing the RDD to the DFS.
+    pub fn save_as_hadoop_file(
+        &mut self,
+        rdd: RddId,
+        job_name: impl Into<String>,
+        path: impl Into<String>,
+    ) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            id,
+            name: job_name.into(),
+            target: rdd,
+            action: ActionKind::SaveHdfs { path: path.into() },
+        });
+        id
+    }
+
+    /// Finalizes the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::EmptyApp`] when no action was registered.
+    pub fn build(self) -> Result<App, crate::SimError> {
+        if self.jobs.is_empty() {
+            return Err(crate::SimError::EmptyApp(self.name));
+        }
+        Ok(App {
+            name: self.name,
+            nodes: self.nodes,
+            jobs: self.jobs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_propagate_through_lineage() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(122));
+        let fm = b.flat_map(src, "expand", Cost::ZERO, 2.74);
+        let grouped = b.group_by_key(fm, "group", ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27)), Cost::ZERO, 1.0);
+        b.count(grouped, "job", Cost::ZERO);
+        let app = b.build().unwrap();
+        // 122 GiB * 2.74 ≈ 334 GiB — Table IV's shuffle volume.
+        let sh = app.rdd_bytes(fm);
+        assert!((sh.as_gib() - 334.28).abs() < 0.1, "shuffle bytes = {sh}");
+        assert_eq!(app.rdd_bytes(grouped), sh);
+    }
+
+    #[test]
+    fn union_sums_bytes() {
+        let mut b = AppBuilder::new("t");
+        let a = b.hdfs_source("a", "/a", Bytes::from_gib(1));
+        let c = b.hdfs_source("c", "/c", Bytes::from_gib(2));
+        let u = b.union(&[a, c], "u");
+        b.count(u, "job", Cost::ZERO);
+        let app = b.build().unwrap();
+        assert_eq!(app.rdd_bytes(u), Bytes::from_gib(3));
+    }
+
+    #[test]
+    fn reduce_by_key_shrinks_shuffle() {
+        let mut b = AppBuilder::new("t");
+        let a = b.hdfs_source("a", "/a", Bytes::from_gib(10));
+        let r = b.reduce_by_key(a, "r", ShuffleSpec::reducers(10), Cost::ZERO, 0.1);
+        b.count(r, "job", Cost::ZERO);
+        let app = b.build().unwrap();
+        assert_eq!(app.rdd_bytes(r), Bytes::from_gib(1));
+    }
+
+    #[test]
+    fn shuffle_spec_resolution() {
+        assert_eq!(ShuffleSpec::reducers(7).resolve(Bytes::from_gib(1)), 7);
+        let s = ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27));
+        // 334 GiB / 27 MiB ≈ 12670 reducers, the paper's GATK4 reducer count.
+        let r = s.resolve(Bytes::from_gib_f64(334.0));
+        assert!((12000..13000).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn cost_for_lambda_inverts_lambda() {
+        use doppio_events::Rate;
+        let t = Rate::mib_per_sec(60.0);
+        let cost = Cost::for_lambda(20.0, t);
+        // A task reading 27 MiB at 60 MiB/s spends 0.45 s on I/O; with
+        // overlapped execution, λ = 20 needs 20 × 0.45 s of compute so that
+        // t_task = max(io, cpu) = 9 s.
+        let cpu = cost.eval(Bytes::from_mib(27));
+        assert!((cpu - 9.0).abs() < 1e-9, "cpu = {cpu}");
+    }
+
+    #[test]
+    fn empty_app_rejected() {
+        let b = AppBuilder::new("nothing");
+        assert!(matches!(b.build(), Err(crate::SimError::EmptyApp(_))));
+    }
+
+    #[test]
+    fn persist_records_level() {
+        let mut b = AppBuilder::new("t");
+        let a = b.hdfs_source("a", "/a", Bytes::from_gib(1));
+        b.persist(a, StorageLevel::MemoryAndDisk, 7.1);
+        b.count(a, "job", Cost::ZERO);
+        let app = b.build().unwrap();
+        assert_eq!(app.node(a).storage, Some((StorageLevel::MemoryAndDisk, 7.1)));
+    }
+
+    #[test]
+    fn display_lists_lineage() {
+        let mut b = AppBuilder::new("t");
+        let a = b.hdfs_source("source", "/a", Bytes::from_gib(1));
+        let m = b.map(a, "mapped", Cost::ZERO, 1.0);
+        b.count(m, "job", Cost::ZERO);
+        let app = b.build().unwrap();
+        let s = app.to_string();
+        assert!(s.contains("source") && s.contains("mapped") && s.contains("hdfs-source"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two parents")]
+    fn union_of_one_rejected() {
+        let mut b = AppBuilder::new("t");
+        let a = b.hdfs_source("a", "/a", Bytes::from_gib(1));
+        b.union(&[a], "u");
+    }
+}

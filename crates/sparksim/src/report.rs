@@ -1,0 +1,196 @@
+//! Post-run utilization reporting: where did the time actually go?
+//!
+//! Built on [`crate::Simulation::run_detailed`], which returns the final
+//! cluster state with cumulative device busy-time and iostat counters.
+//! This is the summary an operator reads to decide whether a cluster is
+//! CPU- or disk-bound — the practical end of the paper's analysis.
+
+use std::fmt;
+
+use doppio_cluster::{ClusterState, DiskRole};
+use doppio_storage::IoDir;
+
+use crate::metrics::AppRun;
+
+/// Utilization of one node's resources over a whole run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeUtilization {
+    /// Node index.
+    pub node: usize,
+    /// Fraction of the run the HDFS disk was busy.
+    pub hdfs_util: f64,
+    /// Fraction of the run the Spark-local disk was busy.
+    pub local_util: f64,
+    /// GiB read + written on the HDFS disk.
+    pub hdfs_gib: f64,
+    /// GiB read + written on the Spark-local disk.
+    pub local_gib: f64,
+}
+
+/// Whole-run utilization summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Per-node rows.
+    pub nodes: Vec<NodeUtilization>,
+    /// Mean core occupancy: task-seconds over available core-seconds.
+    pub core_occupancy: f64,
+    /// Total runtime in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl UtilizationReport {
+    /// Busiest disk utilization anywhere in the cluster — the resource the
+    /// next dollar should buy if it is near 1.0.
+    pub fn hottest_disk(&self) -> (usize, DiskRole, f64) {
+        let mut best = (0, DiskRole::Hdfs, 0.0);
+        for n in &self.nodes {
+            if n.hdfs_util > best.2 {
+                best = (n.node, DiskRole::Hdfs, n.hdfs_util);
+            }
+            if n.local_util > best.2 {
+                best = (n.node, DiskRole::Local, n.local_util);
+            }
+        }
+        best
+    }
+
+    /// A one-word verdict: is the cluster compute- or I/O-dominated?
+    pub fn verdict(&self) -> &'static str {
+        let (_, _, disk) = self.hottest_disk();
+        if disk > self.core_occupancy && disk > 0.7 {
+            "io-bound"
+        } else if self.core_occupancy > 0.7 {
+            "cpu-bound"
+        } else {
+            "underutilized"
+        }
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "utilization over {:.1} min (core occupancy {:.0}%):",
+            self.elapsed_secs / 60.0,
+            self.core_occupancy * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>10} {:>10} {:>11} {:>11}",
+            "node", "hdfs util", "local util", "hdfs GiB", "local GiB"
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  {:>5} {:>9.0}% {:>9.0}% {:>11.1} {:>11.1}",
+                n.node,
+                n.hdfs_util * 100.0,
+                n.local_util * 100.0,
+                n.hdfs_gib,
+                n.local_gib
+            )?;
+        }
+        writeln!(f, "  verdict: {}", self.verdict())
+    }
+}
+
+/// Builds the utilization report for a finished run.
+pub fn utilization(run: &AppRun, cluster: &ClusterState) -> UtilizationReport {
+    let elapsed = run.total_time();
+    let elapsed_secs = elapsed.as_secs();
+    let nodes: Vec<NodeUtilization> = cluster
+        .iter()
+        .map(|(id, n)| {
+            let gib = |role: DiskRole| {
+                let s = n.disk(role).stats();
+                s.bytes(IoDir::Read).as_gib() + s.bytes(IoDir::Write).as_gib()
+            };
+            NodeUtilization {
+                node: id.0,
+                hdfs_util: n.disk(DiskRole::Hdfs).utilization(elapsed),
+                local_util: n.disk(DiskRole::Local).utilization(elapsed),
+                hdfs_gib: gib(DiskRole::Hdfs),
+                local_gib: gib(DiskRole::Local),
+            }
+        })
+        .collect();
+
+    let total_cores: f64 = cluster.iter().map(|(_, n)| n.executor_cores() as f64).sum();
+    let task_secs: f64 = run
+        .stages()
+        .iter()
+        .map(|s| s.tasks.count as f64 * s.tasks.avg_secs)
+        .sum();
+    let core_occupancy = if elapsed_secs > 0.0 {
+        (task_secs / (total_cores * elapsed_secs)).min(1.0)
+    } else {
+        0.0
+    };
+
+    UtilizationReport {
+        nodes,
+        core_occupancy,
+        elapsed_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::{AppBuilder, Cost, ShuffleSpec};
+    use crate::{Simulation, SparkConf};
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_events::Bytes;
+
+    fn run(config: HybridConfig) -> (AppRun, ClusterState) {
+        let mut b = AppBuilder::new("u");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let sh = b.group_by_key(
+            src,
+            "group",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(2)),
+            Cost::ZERO,
+            1.0,
+        );
+        b.count(sh, "reduce", Cost::ZERO);
+        let app = b.build().unwrap();
+        Simulation::with_conf(
+            ClusterSpec::paper_cluster(2, 36, config),
+            SparkConf::paper().with_cores(16).without_noise(),
+        )
+        .run_detailed(&app)
+        .unwrap()
+    }
+
+    #[test]
+    fn hdd_local_shuffle_is_io_bound() {
+        let (r, c) = run(HybridConfig::SsdHdd);
+        let rep = utilization(&r, &c);
+        let (_, role, util) = rep.hottest_disk();
+        assert_eq!(role, DiskRole::Local);
+        assert!(util > 0.7, "local disk nearly saturated: {util:.2}");
+        assert_eq!(rep.verdict(), "io-bound");
+        assert!(rep.to_string().contains("io-bound"));
+    }
+
+    #[test]
+    fn ssd_cluster_is_not_io_bound() {
+        let (r, c) = run(HybridConfig::SsdSsd);
+        let rep = utilization(&r, &c);
+        assert_ne!(rep.verdict(), "io-bound");
+        assert_eq!(rep.nodes.len(), 2);
+        for n in &rep.nodes {
+            assert!(n.hdfs_util >= 0.0 && n.hdfs_util <= 1.0);
+            assert!(n.local_gib > 0.0, "shuffle touched the local disk");
+        }
+    }
+
+    #[test]
+    fn occupancy_is_bounded() {
+        let (r, c) = run(HybridConfig::SsdSsd);
+        let rep = utilization(&r, &c);
+        assert!(rep.core_occupancy >= 0.0 && rep.core_occupancy <= 1.0);
+        assert!(rep.elapsed_secs > 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Sort-based shuffle bookkeeping.
+//!
+//! In Spark 1.6's sort shuffle (the version the paper profiles), every map
+//! task writes one sorted, index-addressed output file; every reduce task
+//! then fetches the byte range tagged with its reducer id from *each* of
+//! the `M` map outputs. With a fixed per-reducer data budget (GATK4 tunes
+//! 27 MB per reducer), each of those `M × R` segments is only
+//! `D / (M · R)` bytes — 30 KB in GATK4 — which is exactly why shuffle
+//! read devastates HDDs (paper Section III-C2).
+//!
+//! Shuffle outputs outlive the job that produced them: a later job whose
+//! lineage crosses the same shuffle skips the map stage and re-reads the
+//! files. The paper's Table IV shows this: BR *and* SF each read the full
+//! 334 GB shuffle output produced once during MD.
+
+use std::collections::HashMap;
+
+use doppio_events::Bytes;
+
+use crate::rdd::RddId;
+
+/// Geometry of one completed shuffle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisteredShuffle {
+    /// The shuffle RDD this output belongs to.
+    pub rdd: RddId,
+    /// Number of map tasks (`M`).
+    pub maps: u64,
+    /// Number of reduce tasks (`R`).
+    pub reducers: u64,
+    /// Total shuffle bytes (`D`).
+    pub total_bytes: Bytes,
+    /// Zipf-like key-skew exponent (0 = uniform; see
+    /// [`crate::ShuffleSpec::with_skew`]).
+    pub skew: f64,
+}
+
+impl RegisteredShuffle {
+    /// Mean bytes per reducer (`D / R`).
+    pub fn bytes_per_reducer(&self) -> Bytes {
+        self.total_bytes / self.reducers
+    }
+
+    /// Bytes fetched by reducer `idx` under the configured skew: share
+    /// `(idx+1)^-s / Σ_j (j+1)^-s` of the total. Uniform when `s = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= reducers`.
+    pub fn reducer_bytes(&self, idx: u64) -> Bytes {
+        assert!(idx < self.reducers, "reducer {idx} out of range");
+        if self.skew == 0.0 {
+            return self.bytes_per_reducer();
+        }
+        let share = (idx as f64 + 1.0).powf(-self.skew) / self.zipf_norm();
+        self.total_bytes.scale(share)
+    }
+
+    /// Normalization constant `Σ_{j=1..R} j^-s`.
+    fn zipf_norm(&self) -> f64 {
+        (1..=self.reducers).map(|j| (j as f64).powf(-self.skew)).sum()
+    }
+
+    /// The largest reducer's share over the mean — the straggler factor a
+    /// uniform model like Equation 1 cannot see.
+    pub fn straggler_factor(&self) -> f64 {
+        if self.skew == 0.0 {
+            return 1.0;
+        }
+        self.reducer_bytes(0).as_f64() / self.bytes_per_reducer().as_f64()
+    }
+
+    /// Bytes each map task writes (`D / M`).
+    pub fn bytes_per_map(&self) -> Bytes {
+        self.total_bytes / self.maps
+    }
+
+    /// The mean per-(mapper, reducer) segment size `D / (M · R)` — the
+    /// request size of shuffle read I/O. Clamped to at least one byte.
+    pub fn segment_size(&self) -> Bytes {
+        Bytes::new((self.total_bytes.as_u64() / (self.maps * self.reducers)).max(1))
+    }
+}
+
+/// Registry of shuffle outputs materialized in the Spark-local directories.
+#[derive(Debug, Default)]
+pub struct ShuffleRegistry {
+    outputs: HashMap<RddId, RegisteredShuffle>,
+}
+
+impl ShuffleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maps` or `reducers` is zero, or the shuffle was already
+    /// registered (map stages must not run twice).
+    pub fn register(&mut self, shuffle: RegisteredShuffle) {
+        assert!(shuffle.maps > 0 && shuffle.reducers > 0, "shuffle needs maps and reducers");
+        let prev = self.outputs.insert(shuffle.rdd, shuffle);
+        assert!(prev.is_none(), "shuffle for rdd {:?} registered twice", shuffle.rdd);
+    }
+
+    /// Looks up the output of a shuffle RDD, if its map stage already ran.
+    pub fn get(&self, rdd: RddId) -> Option<&RegisteredShuffle> {
+        self.outputs.get(&rdd)
+    }
+
+    /// True when the map stage for this shuffle already ran.
+    pub fn contains(&self, rdd: RddId) -> bool {
+        self.outputs.contains_key(&rdd)
+    }
+
+    /// Number of registered shuffles.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when no shuffle has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gatk4_segment_math() {
+        // Paper Section III-C2: 334 GB over M = 973 mappers and 27 MB per
+        // reducer gives ≈ 30 KB segments.
+        let total = Bytes::from_gib_f64(334.0);
+        let reducers = total.div_ceil_by(Bytes::from_mib(27));
+        let s = RegisteredShuffle {
+            rdd: RddId(0),
+            maps: 973,
+            reducers,
+            total_bytes: total,
+            skew: 0.0,
+        };
+        let seg = s.segment_size();
+        assert!(
+            (seg.as_kib() - 28.4).abs() < 2.0,
+            "segment = {} (paper: ~30 KB)",
+            seg
+        );
+        let per_r = s.bytes_per_reducer();
+        assert!((per_r.as_mib() - 27.0).abs() < 0.1, "per reducer = {per_r}");
+    }
+
+    #[test]
+    fn map_output_chunk_is_large() {
+        // 334 GB over 973 maps ≈ 350 MB per map output — the paper's
+        // "about 365 MB" sorted write chunks.
+        let s = RegisteredShuffle {
+            rdd: RddId(0),
+            maps: 973,
+            reducers: 12000,
+            total_bytes: Bytes::from_gib_f64(334.0),
+            skew: 0.0,
+        };
+        assert!((s.bytes_per_map().as_mib() - 351.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = ShuffleRegistry::new();
+        assert!(reg.is_empty());
+        let s = RegisteredShuffle {
+            rdd: RddId(3),
+            maps: 10,
+            reducers: 20,
+            total_bytes: Bytes::from_gib(1),
+            skew: 0.0,
+        };
+        reg.register(s);
+        assert!(reg.contains(RddId(3)));
+        assert!(!reg.contains(RddId(4)));
+        assert_eq!(reg.get(RddId(3)).unwrap().maps, 10);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_register_panics() {
+        let mut reg = ShuffleRegistry::new();
+        let s = RegisteredShuffle {
+            rdd: RddId(0),
+            maps: 1,
+            reducers: 1,
+            total_bytes: Bytes::from_mib(1),
+            skew: 0.0,
+        };
+        reg.register(s);
+        reg.register(s);
+    }
+
+    #[test]
+    fn skewed_reducers_conserve_total_and_order() {
+        let s = RegisteredShuffle {
+            rdd: RddId(0),
+            maps: 100,
+            reducers: 50,
+            total_bytes: Bytes::from_gib(10),
+            skew: 0.8,
+        };
+        let total: f64 = (0..50).map(|i| s.reducer_bytes(i).as_f64()).sum();
+        assert!((total - Bytes::from_gib(10).as_f64()).abs() / total < 1e-6);
+        for i in 1..50 {
+            assert!(s.reducer_bytes(i) <= s.reducer_bytes(i - 1), "monotone");
+        }
+        assert!(s.straggler_factor() > 3.0, "hot key dominates: {:.1}", s.straggler_factor());
+        let uniform = RegisteredShuffle { skew: 0.0, ..s };
+        assert_eq!(uniform.straggler_factor(), 1.0);
+        assert_eq!(uniform.reducer_bytes(0), uniform.bytes_per_reducer());
+    }
+
+    #[test]
+    fn segment_size_never_zero() {
+        let s = RegisteredShuffle {
+            rdd: RddId(0),
+            maps: 1000,
+            reducers: 1000,
+            total_bytes: Bytes::new(10),
+            skew: 0.0,
+        };
+        assert_eq!(s.segment_size(), Bytes::new(1));
+    }
+}

@@ -1,0 +1,298 @@
+//! The top-level simulation façade.
+
+use doppio_cluster::{ClusterSpec, ClusterState};
+use doppio_dfs::{DfsConfig, Namenode};
+
+use crate::dag::{plan_job, PlanContext};
+use crate::executor::Executor;
+use crate::memory::MemoryManager;
+use crate::metrics::AppRun;
+use crate::rdd::App;
+use crate::shuffle::ShuffleRegistry;
+use crate::{SimError, SparkConf};
+
+/// A configured simulator: cluster + Spark configuration + DFS
+/// configuration, ready to run applications.
+///
+/// Running an application plans its jobs one action at a time (as Spark's
+/// driver would), executes every stage through the discrete-event executor,
+/// and returns an [`AppRun`] with per-stage metrics.
+///
+/// # Example
+///
+/// ```
+/// use doppio_cluster::{ClusterSpec, HybridConfig};
+/// use doppio_events::Bytes;
+/// use doppio_sparksim::{AppBuilder, Cost, Simulation};
+///
+/// let mut b = AppBuilder::new("scan");
+/// let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+/// b.count(src, "scan", Cost::per_mib(0.001));
+/// let app = b.build()?;
+///
+/// let cluster = ClusterSpec::paper_cluster(2, 4, HybridConfig::SsdSsd);
+/// let run = Simulation::new(cluster).run(&app)?;
+/// assert_eq!(run.stages().len(), 1);
+/// # Ok::<(), doppio_sparksim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cluster: ClusterSpec,
+    conf: SparkConf,
+    dfs: DfsConfig,
+}
+
+impl Simulation {
+    /// A simulator with the paper's default Spark and HDFS configurations.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Simulation {
+            cluster,
+            conf: SparkConf::paper(),
+            dfs: DfsConfig::paper(),
+        }
+    }
+
+    /// A simulator with an explicit Spark configuration.
+    pub fn with_conf(cluster: ClusterSpec, conf: SparkConf) -> Self {
+        Simulation {
+            cluster,
+            conf,
+            dfs: DfsConfig::paper(),
+        }
+    }
+
+    /// Overrides the DFS configuration.
+    pub fn with_dfs(mut self, dfs: DfsConfig) -> Self {
+        self.dfs = dfs;
+        self
+    }
+
+    /// The Spark configuration in effect.
+    pub fn conf(&self) -> &SparkConf {
+        &self.conf
+    }
+
+    /// The cluster description.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Simulates the application and returns per-stage metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when planning fails (missing inputs, duplicate
+    /// output paths, empty stages).
+    pub fn run(&self, app: &App) -> Result<AppRun, SimError> {
+        self.run_detailed(app).map(|(run, _)| run)
+    }
+
+    /// Like [`Simulation::run`] but also returns the final cluster state,
+    /// whose devices carry cumulative iostat counters and busy-time
+    /// accounting (`Device::utilization`) for post-mortem analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_detailed(&self, app: &App) -> Result<(AppRun, ClusterState), SimError> {
+        let n = self.cluster.num_nodes();
+        let mut namenode = Namenode::new(self.dfs, n);
+        let mut shuffles = ShuffleRegistry::new();
+        let mut memory = MemoryManager::new(self.conf.storage_pool(), n);
+        let mut executor = Executor::new(
+            ClusterState::new(&self.cluster, self.conf.executor_cores),
+            self.conf.clone(),
+        );
+
+        let mut stages = Vec::new();
+        for job in app.jobs() {
+            let planned = {
+                let mut ctx = PlanContext {
+                    app,
+                    conf: &self.conf,
+                    num_nodes: n,
+                    namenode: &mut namenode,
+                    shuffles: &mut shuffles,
+                    memory: &mut memory,
+                };
+                plan_job(&mut ctx, job)?
+            };
+            for stage in planned {
+                stages.push(executor.run_stage(stage));
+            }
+        }
+        Ok((AppRun::new(app.name(), stages), executor.into_cluster()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::{AppBuilder, Cost, ShuffleSpec, StorageLevel};
+    use crate::task::IoChannel;
+    use doppio_cluster::HybridConfig;
+    use doppio_events::Bytes;
+
+    fn sim(n: usize, p: u32, hybrid: HybridConfig) -> Simulation {
+        Simulation::with_conf(
+            ClusterSpec::paper_cluster(n, 36, hybrid),
+            SparkConf::paper().with_cores(p).without_noise(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_shuffle_app() {
+        let mut b = AppBuilder::new("sortlike");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let sh = b.sort_by_key(
+            src,
+            "NF",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(64)),
+            Cost::per_mib(0.005),
+            Cost::per_mib(0.005),
+        );
+        b.save_as_hadoop_file(sh, "SF", "/out");
+        let app = b.build().unwrap();
+
+        let run = sim(4, 8, HybridConfig::SsdSsd).run(&app).unwrap();
+        assert_eq!(run.stages().len(), 2);
+        let nf = run.stage("NF").unwrap();
+        let sf = run.stage("SF").unwrap();
+        assert_eq!(nf.channel_bytes(IoChannel::HdfsRead), Bytes::from_gib(4));
+        assert_eq!(nf.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4));
+        assert_eq!(sf.channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(4));
+        // Replication 2 doubles the HDFS write volume.
+        assert_eq!(sf.channel_bytes(IoChannel::HdfsWrite), Bytes::from_gib(8));
+        assert!(run.total_time().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn hdd_local_is_slower_than_ssd_local_for_shuffle() {
+        let mk = || {
+            let mut b = AppBuilder::new("shuffleheavy");
+            let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+            let sh = b.group_by_key(
+                src,
+                "group",
+                ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27)),
+                Cost::ZERO,
+                1.0,
+            );
+            b.count(sh, "reduce", Cost::ZERO);
+            b.build().unwrap()
+        };
+        let app = mk();
+        let ssd = sim(2, 8, HybridConfig::SsdSsd).run(&app).unwrap();
+        let hdd = sim(2, 8, HybridConfig::SsdHdd).run(&app).unwrap();
+        let ratio = hdd.stage("reduce").unwrap().duration.as_secs()
+            / ssd.stage("reduce").unwrap().duration.as_secs();
+        assert!(
+            ratio > 5.0,
+            "small-segment shuffle read should crater on HDD local, ratio = {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn iterative_app_reuses_cache() {
+        let mut b = AppBuilder::new("lr-ish");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+        let parsed = b.map(src, "parsed", Cost::per_mib(0.01), 1.0);
+        b.persist(parsed, StorageLevel::MemoryAndDisk, 3.0);
+        b.count(parsed, "dataValidator", Cost::ZERO);
+        for _ in 0..3 {
+            b.count(parsed, "iteration", Cost::per_mib(0.02));
+        }
+        let app = b.build().unwrap();
+        let run = sim(2, 8, HybridConfig::SsdSsd).run(&app).unwrap();
+        assert_eq!(run.stages().len(), 4);
+        // Only the first stage touches HDFS.
+        assert_eq!(
+            run.stage("dataValidator").unwrap().channel_bytes(IoChannel::HdfsRead),
+            Bytes::from_gib(2)
+        );
+        for it in run.stages_named("iteration") {
+            assert_eq!(it.channel_bytes(IoChannel::HdfsRead), Bytes::ZERO);
+        }
+        // 2 GiB x 3.0 expansion fits 2 nodes x 36 GiB pool: all in memory.
+        for it in run.stages_named("iteration") {
+            assert_eq!(it.channel_bytes(IoChannel::PersistRead), Bytes::ZERO);
+        }
+    }
+
+    #[test]
+    fn oversized_cache_persists_to_disk_each_iteration() {
+        let mut b = AppBuilder::new("lr-large");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+        let parsed = b.map(src, "parsed", Cost::ZERO, 1.0);
+        b.persist(parsed, StorageLevel::MemoryAndDisk, 100.0);
+        b.count(parsed, "dataValidator", Cost::ZERO);
+        b.count(parsed, "iteration", Cost::ZERO);
+        let app = b.build().unwrap();
+        let run = sim(2, 8, HybridConfig::SsdSsd).run(&app).unwrap();
+        let dv = run.stage("dataValidator").unwrap();
+        let it = run.stage("iteration").unwrap();
+        assert!(dv.channel_bytes(IoChannel::PersistWrite) > Bytes::from_gib(3));
+        assert!(it.channel_bytes(IoChannel::PersistRead) > Bytes::from_gib(3));
+    }
+
+    #[test]
+    fn more_cores_help_compute_bound_stages() {
+        let mut b = AppBuilder::new("cpu");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(16)); // 128 tasks
+        b.count(src, "crunch", Cost::per_mib(0.2));
+        let app = b.build().unwrap();
+        let t4 = sim(2, 4, HybridConfig::SsdSsd).run(&app).unwrap().total_time();
+        let t12 = sim(2, 12, HybridConfig::SsdSsd).run(&app).unwrap().total_time();
+        let speedup = t4.as_secs() / t12.as_secs();
+        assert!(speedup > 2.0, "speedup 4->12 cores = {speedup:.2}");
+    }
+
+    #[test]
+    fn key_skew_stretches_the_stage_tail() {
+        let mk = |skew: f64| {
+            let mut b = AppBuilder::new("skew");
+            let src = b.hdfs_source("in", "/in", Bytes::from_gib(8));
+            let sh = b.group_by_key(
+                src,
+                "group",
+                ShuffleSpec::target_reducer_bytes(Bytes::from_mib(16)).with_skew(skew),
+                Cost::per_mib(0.02),
+                1.0,
+            );
+            b.count(sh, "reduce", Cost::ZERO);
+            b.build().unwrap()
+        };
+        let uniform = sim(2, 16, HybridConfig::SsdSsd).run(&mk(0.0)).unwrap();
+        let skewed = sim(2, 16, HybridConfig::SsdSsd).run(&mk(0.8)).unwrap();
+        // Same data volume either way…
+        assert_eq!(
+            uniform.total_channel_bytes(IoChannel::ShuffleRead).as_gib().round(),
+            skewed.total_channel_bytes(IoChannel::ShuffleRead).as_gib().round()
+        );
+        // …but the hot reducer stretches the stage.
+        let u = uniform.stage("reduce").unwrap();
+        let s = skewed.stage("reduce").unwrap();
+        assert!(
+            s.tasks.max_secs > 3.0 * u.tasks.max_secs,
+            "straggler: {:.1}s vs {:.1}s",
+            s.tasks.max_secs,
+            u.tasks.max_secs
+        );
+        assert!(s.duration > u.duration, "skew can only hurt");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = AppBuilder::new("det");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.count(src, "scan", Cost::per_mib(0.05));
+        let app = b.build().unwrap();
+        let s = Simulation::with_conf(
+            ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd),
+            SparkConf::paper().with_cores(8).with_seed(42),
+        );
+        let a = s.run(&app).unwrap();
+        let b2 = s.run(&app).unwrap();
+        assert_eq!(a.total_time(), b2.total_time());
+    }
+}

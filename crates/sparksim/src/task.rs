@@ -1,0 +1,250 @@
+//! The planned-task vocabulary: what the DAG planner emits and the executor
+//! consumes.
+//!
+//! A task is a set of I/O flows plus a compute budget that proceed
+//! **concurrently**; the task completes when all of them do. This models
+//! Spark's record-level pipelining (shuffle fetch prefetching, streaming
+//! output drains): within a task, I/O overlaps computation, so a task's
+//! duration is `max(io under contention, cpu)`. Combined with processor-
+//! sharing devices this yields the paper's execution phases exactly
+//! (Section IV-B): stages scale as `M/(N·P) × t_avg` while `P ≤ λ·b` and
+//! degenerate to `D/(N·BW)` once I/O saturates.
+
+use doppio_cluster::{DiskRole, NodeId};
+use doppio_events::{Bytes, Rate};
+
+/// Category of an I/O flow, used for metrics accounting and for selecting
+/// the per-stream throughput cap. These are exactly the paper's I/O
+/// channels (Table IV columns plus persist traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoChannel {
+    /// Reading input blocks from the HDFS disk.
+    HdfsRead,
+    /// Writing output blocks (with replication) to the HDFS disk.
+    HdfsWrite,
+    /// Reading shuffle segments from Spark-local disks.
+    ShuffleRead,
+    /// Writing sorted map outputs to the Spark-local disk.
+    ShuffleWrite,
+    /// Reading disk-persisted RDD partitions from the Spark-local disk.
+    PersistRead,
+    /// Spilling RDD partitions to the Spark-local disk.
+    PersistWrite,
+    /// Inbound network traffic on a NIC.
+    NetIn,
+}
+
+impl IoChannel {
+    /// All disk channels (excludes [`IoChannel::NetIn`]).
+    pub const DISK_CHANNELS: [IoChannel; 6] = [
+        IoChannel::HdfsRead,
+        IoChannel::HdfsWrite,
+        IoChannel::ShuffleRead,
+        IoChannel::ShuffleWrite,
+        IoChannel::PersistRead,
+        IoChannel::PersistWrite,
+    ];
+
+    /// Which disk a channel touches.
+    pub fn disk_role(self) -> Option<DiskRole> {
+        match self {
+            IoChannel::HdfsRead | IoChannel::HdfsWrite => Some(DiskRole::Hdfs),
+            IoChannel::ShuffleRead
+            | IoChannel::ShuffleWrite
+            | IoChannel::PersistRead
+            | IoChannel::PersistWrite => Some(DiskRole::Local),
+            IoChannel::NetIn => None,
+        }
+    }
+
+    /// True for read-direction disk channels.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            IoChannel::HdfsRead | IoChannel::ShuffleRead | IoChannel::PersistRead
+        )
+    }
+}
+
+impl std::fmt::Display for IoChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IoChannel::HdfsRead => "hdfs_read",
+            IoChannel::HdfsWrite => "hdfs_write",
+            IoChannel::ShuffleRead => "shuffle_read",
+            IoChannel::ShuffleWrite => "shuffle_write",
+            IoChannel::PersistRead => "persist_read",
+            IoChannel::PersistWrite => "persist_write",
+            IoChannel::NetIn => "net_in",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Where a flow's device lives relative to the executing task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowLoc {
+    /// The disk (or NIC) of the node the task runs on.
+    SelfNode,
+    /// A remote node chosen by the executor's rotating pointer — the
+    /// statistical stand-in for "spread evenly over all other nodes" used
+    /// for shuffle fetches and replica writes (DESIGN.md §3.3).
+    RemoteRotating,
+    /// A specific node (e.g. the HDFS replica holding a block).
+    Node(NodeId),
+}
+
+/// One I/O flow a task must complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTemplate {
+    /// Channel (determines disk role, direction and metrics bucket).
+    pub channel: IoChannel,
+    /// Device placement.
+    pub loc: FlowLoc,
+    /// Bytes to move.
+    pub bytes: Bytes,
+    /// Request size the stream issues.
+    pub request_size: Bytes,
+    /// Per-stream throughput cap (the paper's `T`); `None` = device-limited.
+    pub cap: Option<Rate>,
+}
+
+/// A fully planned task: its I/O flows and compute budget (all concurrent)
+/// plus an optional locality preference.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskSpec {
+    /// Node this task would prefer to run on (HDFS block or cached
+    /// partition locality).
+    pub preferred_node: Option<NodeId>,
+    /// I/O flows; the task holds its core until every flow completes.
+    pub flows: Vec<FlowTemplate>,
+    /// CPU seconds (pre-noise), overlapped with the flows.
+    pub compute_secs: f64,
+}
+
+impl TaskSpec {
+    /// Total bytes this task moves on a channel.
+    pub fn channel_bytes(&self, channel: IoChannel) -> Bytes {
+        self.flows
+            .iter()
+            .filter(|f| f.channel == channel)
+            .map(|f| f.bytes)
+            .sum()
+    }
+
+    /// Lower bound on the task's duration with uncontended devices: the
+    /// maximum of its compute budget and each flow at its cap.
+    pub fn uncontended_secs(&self, bw_of: impl Fn(&FlowTemplate) -> Rate) -> f64 {
+        let io = self
+            .flows
+            .iter()
+            .map(|f| {
+                let bw = match f.cap {
+                    Some(cap) => cap.min(bw_of(f)),
+                    None => bw_of(f),
+                };
+                bw.time_for(f.bytes).as_secs()
+            })
+            .fold(0.0f64, f64::max);
+        io.max(self.compute_secs)
+    }
+}
+
+/// What kind of stage a planned stage is (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// A shuffle map stage (writes shuffle output).
+    ShuffleMap,
+    /// A result stage (executes the job's action).
+    Result,
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageKind::ShuffleMap => write!(f, "shuffle-map"),
+            StageKind::Result => write!(f, "result"),
+        }
+    }
+}
+
+/// A stage ready for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStage {
+    /// Human-readable stage name (workloads use the paper's stage names:
+    /// "MD", "BR", "SF", …).
+    pub name: String,
+    /// Stage kind.
+    pub kind: StageKind,
+    /// The tasks; `tasks.len()` is the paper's `M`.
+    pub tasks: Vec<TaskSpec>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roles() {
+        assert_eq!(IoChannel::HdfsRead.disk_role(), Some(DiskRole::Hdfs));
+        assert_eq!(IoChannel::ShuffleRead.disk_role(), Some(DiskRole::Local));
+        assert_eq!(IoChannel::PersistWrite.disk_role(), Some(DiskRole::Local));
+        assert_eq!(IoChannel::NetIn.disk_role(), None);
+        assert!(IoChannel::ShuffleRead.is_read());
+        assert!(!IoChannel::HdfsWrite.is_read());
+    }
+
+    #[test]
+    fn task_spec_aggregations() {
+        let t = TaskSpec {
+            preferred_node: None,
+            flows: vec![
+                FlowTemplate {
+                    channel: IoChannel::HdfsRead,
+                    loc: FlowLoc::SelfNode,
+                    bytes: Bytes::from_mib(128),
+                    request_size: Bytes::from_mib(128),
+                    cap: None,
+                },
+                FlowTemplate {
+                    channel: IoChannel::ShuffleWrite,
+                    loc: FlowLoc::SelfNode,
+                    bytes: Bytes::from_mib(350),
+                    request_size: Bytes::from_mib(350),
+                    cap: None,
+                },
+            ],
+            compute_secs: 3.5,
+        };
+        assert_eq!(t.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(128));
+        assert_eq!(t.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_mib(350));
+        assert_eq!(t.channel_bytes(IoChannel::NetIn), Bytes::ZERO);
+    }
+
+    #[test]
+    fn uncontended_secs_is_max_of_components() {
+        let t = TaskSpec {
+            preferred_node: None,
+            flows: vec![FlowTemplate {
+                channel: IoChannel::ShuffleRead,
+                loc: FlowLoc::SelfNode,
+                bytes: Bytes::from_mib(120),
+                request_size: Bytes::from_kib(30),
+                cap: Some(Rate::mib_per_sec(60.0)),
+            }],
+            compute_secs: 1.0,
+        };
+        // Device faster than cap: io = 120/60 = 2 s > cpu 1 s.
+        let d = t.uncontended_secs(|_| Rate::mib_per_sec(480.0));
+        assert!((d - 2.0).abs() < 1e-12);
+        // Device slower than cap: io = 120/15 = 8 s.
+        let d = t.uncontended_secs(|_| Rate::mib_per_sec(15.0));
+        assert!((d - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(IoChannel::ShuffleRead.to_string(), "shuffle_read");
+        assert_eq!(StageKind::Result.to_string(), "result");
+    }
+}

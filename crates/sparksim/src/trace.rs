@@ -1,0 +1,174 @@
+//! Execution-trace export: Spark-event-log-style task spans rendered as
+//! Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+//!
+//! Enable span recording with [`crate::SparkConf::record_task_spans`]; the
+//! resulting [`AppRun`] carries per-task `(node, start, end)` spans that
+//! [`to_chrome_trace`] serializes — nodes become processes, core slots
+//! become threads, stages colour the spans by name. JSON is emitted by
+//! hand; the format is flat enough that pulling in a serializer would be
+//! all cost (DESIGN.md §5).
+
+use std::fmt::Write as _;
+
+use crate::metrics::AppRun;
+
+/// One executed task's span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Worker node index.
+    pub node: usize,
+    /// Start time, seconds.
+    pub start_secs: f64,
+    /// End time, seconds.
+    pub end_secs: f64,
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the run's recorded task spans as Chrome trace-event JSON.
+///
+/// Tasks on the same node are packed greedily onto "threads" (core slots)
+/// so overlapping tasks never share a lane. Returns `None` when the run was
+/// executed without span recording.
+pub fn to_chrome_trace(run: &AppRun) -> Option<String> {
+    let mut any = false;
+    for s in run.stages() {
+        if s.spans.is_some() {
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for stage in run.stages() {
+        let Some(spans) = &stage.spans else { continue };
+        // Greedy lane assignment per node: lane i is free when its last
+        // span ended at or before the new span's start.
+        let mut lanes: std::collections::HashMap<usize, Vec<f64>> = Default::default();
+        let mut ordered: Vec<&TaskSpan> = spans.iter().collect();
+        ordered.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs).then(a.node.cmp(&b.node)));
+        for span in ordered {
+            let node_lanes = lanes.entry(span.node).or_default();
+            let lane = node_lanes
+                .iter()
+                .position(|&busy_until| busy_until <= span.start_secs + 1e-12)
+                .unwrap_or_else(|| {
+                    node_lanes.push(0.0);
+                    node_lanes.len() - 1
+                });
+            node_lanes[lane] = span.end_secs;
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \
+                 \"ts\": {:.0}, \"dur\": {:.0}, \"pid\": {}, \"tid\": {}}}",
+                json_escape(&stage.name),
+                stage.kind,
+                span.start_secs * 1e6,
+                (span.end_secs - span.start_secs).max(0.0) * 1e6,
+                span.node,
+                lane
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::{AppBuilder, Cost};
+    use crate::{Simulation, SparkConf};
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_events::Bytes;
+
+    fn traced_run() -> AppRun {
+        let mut b = AppBuilder::new("traced");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.count(src, "scan", Cost::per_mib(0.01));
+        let app = b.build().unwrap();
+        let cluster = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
+        let mut conf = SparkConf::paper().with_cores(4).without_noise();
+        conf.record_task_spans = true;
+        Simulation::with_conf(cluster, conf).run(&app).unwrap()
+    }
+
+    #[test]
+    fn spans_recorded_when_enabled() {
+        let run = traced_run();
+        let spans = run.stages()[0].spans.as_ref().expect("spans recorded");
+        assert_eq!(spans.len(), 8, "one span per task");
+        for s in spans {
+            assert!(s.end_secs > s.start_secs);
+            assert!(s.node < 2);
+        }
+    }
+
+    #[test]
+    fn spans_absent_by_default() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.count(src, "scan", Cost::ZERO);
+        let app = b.build().unwrap();
+        let run = Simulation::with_conf(
+            ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd),
+            SparkConf::paper().with_cores(4),
+        )
+        .run(&app)
+        .unwrap();
+        assert!(run.stages()[0].spans.is_none());
+        assert!(to_chrome_trace(&run).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let run = traced_run();
+        let json = to_chrome_trace(&run).expect("trace produced");
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 8);
+        assert!(json.contains("\"name\": \"scan\""));
+        // Balanced braces, one object per span.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn lanes_do_not_overlap() {
+        let run = traced_run();
+        let json = to_chrome_trace(&run).unwrap();
+        // With 4 cores per node, no more than 4 lanes (tids 0..=3) appear.
+        for tid in 0..8 {
+            let occurs = json.contains(&format!("\"tid\": {tid}"));
+            assert_eq!(occurs, tid < 4, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests on the simulator: random applications must respect
+//! physics (capacity lower bounds), accounting identities, and
+//! configuration monotonicity.
+
+use doppio_cluster::{ClusterSpec, HybridConfig};
+use doppio_events::Bytes;
+use doppio_sparksim::{AppBuilder, Cost, IoChannel, ShuffleSpec, Simulation, SparkConf};
+use doppio_storage::IoDir;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandApp {
+    input_gib: u64,
+    selectivity: f64,
+    cpu_per_mib: f64,
+    reducer_mib: u64,
+    save: bool,
+}
+
+fn arb_app() -> impl Strategy<Value = RandApp> {
+    (1u64..6, 0.2f64..2.0, 0.0f64..0.05, 8u64..256, any::<bool>()).prop_map(
+        |(input_gib, selectivity, cpu_per_mib, reducer_mib, save)| RandApp {
+            input_gib,
+            selectivity,
+            cpu_per_mib,
+            reducer_mib,
+            save,
+        },
+    )
+}
+
+fn build(r: &RandApp) -> doppio_sparksim::App {
+    let mut b = AppBuilder::new("rand");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(r.input_gib));
+    let mapped = b.map(src, "mapped", Cost::per_mib(r.cpu_per_mib), r.selectivity);
+    let grouped = b.group_by_key(
+        mapped,
+        "group",
+        ShuffleSpec::target_reducer_bytes(Bytes::from_mib(r.reducer_mib)),
+        Cost::per_mib(r.cpu_per_mib),
+        1.0,
+    );
+    if r.save {
+        b.save_as_hadoop_file(grouped, "save", "/out");
+    } else {
+        b.count(grouped, "count", Cost::ZERO);
+    }
+    b.build().expect("random app builds")
+}
+
+fn simulate(r: &RandApp, nodes: usize, cores: u32, config: HybridConfig) -> doppio_sparksim::AppRun {
+    let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
+    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
+        .run(&build(r))
+        .expect("random app simulates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: the shuffle is written once and read once, with the
+    /// mapped volume; HDFS reads equal the input exactly.
+    #[test]
+    fn volume_accounting(r in arb_app()) {
+        let run = simulate(&r, 3, 8, HybridConfig::SsdSsd);
+        let input = Bytes::from_gib(r.input_gib);
+        prop_assert_eq!(run.total_channel_bytes(IoChannel::HdfsRead), input);
+        let shuffled = input.scale(r.selectivity);
+        let w = run.total_channel_bytes(IoChannel::ShuffleWrite);
+        let rd = run.total_channel_bytes(IoChannel::ShuffleRead);
+        let close = |a: Bytes, b: Bytes| {
+            (a.as_f64() - b.as_f64()).abs() <= 0.01 * b.as_f64().max(1e6)
+        };
+        prop_assert!(close(w, shuffled), "write {} vs {}", w, shuffled);
+        prop_assert!(close(rd, shuffled), "read {} vs {}", rd, shuffled);
+        if r.save {
+            prop_assert!(close(
+                run.total_channel_bytes(IoChannel::HdfsWrite),
+                shuffled.scale(2.0)
+            ));
+        }
+    }
+
+    /// Physics: a stage can never beat its devices. The stage duration is
+    /// at least each disk role's total work over its peak aggregate rate.
+    #[test]
+    fn duration_respects_device_capacity(r in arb_app()) {
+        let nodes = 2usize;
+        let config = HybridConfig::HddHdd;
+        let run = simulate(&r, nodes, 16, config);
+        let hdd = config.local_device();
+        for s in run.stages() {
+            // Lower bound using peak bandwidth (>= effective at any rs).
+            let mut local_work = 0.0;
+            for ch in [IoChannel::ShuffleRead, IoChannel::PersistRead] {
+                local_work += s.channel_bytes(ch).as_f64() / hdd.read_curve().peak().as_bytes_per_sec();
+            }
+            for ch in [IoChannel::ShuffleWrite, IoChannel::PersistWrite] {
+                local_work += s.channel_bytes(ch).as_f64() / hdd.write_curve().peak().as_bytes_per_sec();
+            }
+            let bound = local_work / nodes as f64;
+            prop_assert!(
+                s.duration.as_secs() >= bound - 1e-6,
+                "stage {} runs faster than its local disks allow: {} < {}",
+                s.name,
+                s.duration.as_secs(),
+                bound
+            );
+        }
+    }
+
+    /// Monotonicity: SSDs never lose to HDDs, and more cores never hurt.
+    #[test]
+    fn configuration_monotonicity(r in arb_app()) {
+        let ssd = simulate(&r, 2, 8, HybridConfig::SsdSsd).total_time().as_secs();
+        let hdd = simulate(&r, 2, 8, HybridConfig::HddHdd).total_time().as_secs();
+        prop_assert!(ssd <= hdd * 1.001, "ssd {ssd} vs hdd {hdd}");
+        let few = simulate(&r, 2, 4, HybridConfig::SsdSsd).total_time().as_secs();
+        let many = simulate(&r, 2, 16, HybridConfig::SsdSsd).total_time().as_secs();
+        prop_assert!(many <= few * 1.001, "16 cores {many} vs 4 cores {few}");
+    }
+
+    /// Task accounting: every stage runs all its tasks, and the stage wall
+    /// time is at least the longest task and at least the critical-path
+    /// core bound.
+    #[test]
+    fn task_accounting(r in arb_app()) {
+        let nodes = 3usize;
+        let cores = 8u32;
+        let run = simulate(&r, nodes, cores, HybridConfig::SsdSsd);
+        for s in run.stages() {
+            prop_assert!(s.tasks.count > 0);
+            prop_assert!(s.duration.as_secs() >= s.tasks.max_secs - 1e-9);
+            let core_bound = s.tasks.count as f64 * s.tasks.avg_secs / (nodes as f64 * cores as f64);
+            prop_assert!(
+                s.duration.as_secs() >= core_bound * 0.999,
+                "stage {}: {} < core bound {}",
+                s.name,
+                s.duration.as_secs(),
+                core_bound
+            );
+        }
+    }
+
+    /// The simulator's own iostat (device-side) agrees with the planner-side
+    /// channel accounting for total bytes.
+    #[test]
+    fn device_stats_match_channel_stats(r in arb_app()) {
+        let cluster = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
+        let (run, state) = Simulation::with_conf(
+            cluster,
+            SparkConf::paper().with_cores(8).without_noise(),
+        )
+        .run_detailed(&build(&r))
+        .expect("simulates");
+        let local_reads: f64 = state
+            .iter()
+            .map(|(_, n)| n.disk(doppio_cluster::DiskRole::Local).stats().bytes(IoDir::Read).as_f64())
+            .sum();
+        let channel_reads = (run.total_channel_bytes(IoChannel::ShuffleRead)
+            + run.total_channel_bytes(IoChannel::PersistRead))
+        .as_f64();
+        prop_assert!((local_reads - channel_reads).abs() <= 1.0, "{local_reads} vs {channel_reads}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Effective-bandwidth-vs-request-size curves.
+
+use std::fmt;
+
+use doppio_events::{Bytes, Rate};
+
+/// Effective I/O bandwidth as a function of request size.
+///
+/// This is the paper's "lookup table for HDD and SSD persistent disk"
+/// (Section VI.1): a monotone set of `(request size, bandwidth)` calibration
+/// points with log–log linear interpolation between them, clamped at both
+/// ends. Monotonicity in request size is validated at construction because
+/// every real rotational or flash device exhibits it — the per-request
+/// overhead (seek, rotation, FTL lookup) amortizes over larger requests.
+///
+/// Two constructors are provided:
+/// * [`BandwidthCurve::from_points`] — explicit calibration points, used by
+///   the presets anchored to the paper's fio measurements (Fig. 5).
+/// * [`BandwidthCurve::from_latency_model`] — the classic parametric form
+///   `BW(rs) = rs / (latency + rs / peak)`, useful for what-if devices.
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::{Bytes, Rate};
+/// use doppio_storage::BandwidthCurve;
+///
+/// let curve = BandwidthCurve::from_latency_model(Rate::mib_per_sec(138.0), 1.74e-3);
+/// let bw30k = curve.bandwidth(Bytes::from_kib(30));
+/// assert!((bw30k.as_mib_per_sec() - 15.0).abs() < 0.5); // paper: HDD 15 MB/s @ 30 KB
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthCurve {
+    /// Calibration points, strictly increasing in request size, with
+    /// non-decreasing bandwidth. Stored as (bytes, bytes/sec).
+    points: Vec<(f64, f64)>,
+}
+
+impl BandwidthCurve {
+    /// Builds a curve from explicit `(request size, bandwidth)` calibration
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one point is given, if request sizes are not
+    /// strictly increasing, if any bandwidth is non-positive, or if
+    /// bandwidth decreases as request size grows.
+    pub fn from_points(points: &[(Bytes, Rate)]) -> Self {
+        assert!(!points.is_empty(), "a bandwidth curve needs at least one point");
+        let mut v = Vec::with_capacity(points.len());
+        for &(rs, bw) in points {
+            assert!(rs.as_u64() > 0, "request size must be positive");
+            assert!(bw.as_bytes_per_sec() > 0.0, "bandwidth must be positive");
+            v.push((rs.as_f64(), bw.as_bytes_per_sec()));
+        }
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0, "request sizes must be strictly increasing");
+            assert!(
+                w[0].1 <= w[1].1,
+                "effective bandwidth must be non-decreasing in request size \
+                 ({} B/s at {} B vs {} B/s at {} B)",
+                w[0].1,
+                w[0].0,
+                w[1].1,
+                w[1].0
+            );
+        }
+        BandwidthCurve { points: v }
+    }
+
+    /// Builds a curve from the parametric per-request latency model
+    /// `BW(rs) = rs / (latency_secs + rs / peak)`, sampled at power-of-two
+    /// request sizes from 4 KiB to 512 MiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak` is zero or `latency_secs` is negative/NaN.
+    pub fn from_latency_model(peak: Rate, latency_secs: f64) -> Self {
+        assert!(peak.as_bytes_per_sec() > 0.0, "peak bandwidth must be positive");
+        assert!(
+            latency_secs.is_finite() && latency_secs >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        let peak_bps = peak.as_bytes_per_sec();
+        let mut points = Vec::new();
+        let mut rs = 4.0 * 1024.0;
+        while rs <= 512.0 * 1024.0 * 1024.0 {
+            let bw = rs / (latency_secs + rs / peak_bps);
+            points.push((rs, bw));
+            rs *= 2.0;
+        }
+        BandwidthCurve { points }
+    }
+
+    /// A flat curve: bandwidth independent of request size (e.g. RAM, or a
+    /// throughput-capped virtual disk whose IOPS limit never binds).
+    pub fn flat(bw: Rate) -> Self {
+        assert!(bw.as_bytes_per_sec() > 0.0, "bandwidth must be positive");
+        let bps = bw.as_bytes_per_sec();
+        BandwidthCurve {
+            points: vec![(1.0, bps), (1024.0 * 1024.0 * 1024.0 * 1024.0, bps)],
+        }
+    }
+
+    /// Effective bandwidth at the given request size.
+    ///
+    /// Below the first calibration point the bandwidth scales linearly with
+    /// request size (fixed per-request latency dominates); above the last it
+    /// is clamped to the peak.
+    pub fn bandwidth(&self, request_size: Bytes) -> Rate {
+        let rs = request_size.as_f64().max(1.0);
+        let pts = &self.points;
+        if rs <= pts[0].0 {
+            // Latency-dominated regime: IOPS is constant, bandwidth linear in rs.
+            return Rate::bytes_per_sec(pts[0].1 * rs / pts[0].0);
+        }
+        if rs >= pts[pts.len() - 1].0 {
+            return Rate::bytes_per_sec(pts[pts.len() - 1].1);
+        }
+        // Log–log linear interpolation between bracketing points.
+        let idx = pts.partition_point(|p| p.0 < rs);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        let t = (rs.ln() - x0.ln()) / (x1.ln() - x0.ln());
+        let y = (y0.ln() + t * (y1.ln() - y0.ln())).exp();
+        Rate::bytes_per_sec(y)
+    }
+
+    /// I/O operations per second sustainable at the given request size
+    /// (`bandwidth / request size`) — the other axis of Figure 5.
+    pub fn iops(&self, request_size: Bytes) -> f64 {
+        self.bandwidth(request_size).as_bytes_per_sec() / request_size.as_f64().max(1.0)
+    }
+
+    /// Peak (large-request) bandwidth of the device.
+    pub fn peak(&self) -> Rate {
+        Rate::bytes_per_sec(self.points[self.points.len() - 1].1)
+    }
+
+    /// The calibration points backing this curve.
+    pub fn points(&self) -> impl Iterator<Item = (Bytes, Rate)> + '_ {
+        self.points
+            .iter()
+            .map(|&(rs, bw)| (Bytes::new(rs as u64), Rate::bytes_per_sec(bw)))
+    }
+
+    /// Returns a copy of this curve with every bandwidth scaled by `factor`
+    /// and optionally capped at `cap`. This is how cloud virtual disks are
+    /// derived: per-GB throughput scaling with a per-instance ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(&self, factor: f64, cap: Option<Rate>) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        let cap_bps = cap.map(|c| c.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
+        let mut pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|&(rs, bw)| (rs, (bw * factor).min(cap_bps)))
+            .collect();
+        // Capping can create equal adjacent bandwidths, which is fine, but
+        // also keep sizes strictly increasing (they already are).
+        pts.dedup_by(|a, b| a.0 == b.0);
+        BandwidthCurve { points: pts }
+    }
+}
+
+impl fmt::Display for BandwidthCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BandwidthCurve[")?;
+        for (i, (rs, bw)) in self.points().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{rs}@{bw}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(points: &[(u64, f64)]) -> BandwidthCurve {
+        let pts: Vec<_> = points
+            .iter()
+            .map(|&(kib, mibps)| (Bytes::from_kib(kib), Rate::mib_per_sec(mibps)))
+            .collect();
+        BandwidthCurve::from_points(&pts)
+    }
+
+    #[test]
+    fn exact_at_calibration_points() {
+        let c = mk(&[(4, 2.0), (30, 15.0), (131072, 138.0)]);
+        assert!((c.bandwidth(Bytes::from_kib(30)).as_mib_per_sec() - 15.0).abs() < 1e-9);
+        assert!((c.bandwidth(Bytes::from_kib(4)).as_mib_per_sec() - 2.0).abs() < 1e-9);
+        assert!((c.peak().as_mib_per_sec() - 138.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_bracketed() {
+        let c = mk(&[(4, 2.0), (30, 15.0), (1024, 90.0)]);
+        let mid = c.bandwidth(Bytes::from_kib(100)).as_mib_per_sec();
+        assert!(mid > 15.0 && mid < 90.0);
+        let mut prev = 0.0;
+        for kib in [1u64, 2, 4, 8, 16, 30, 64, 100, 512, 1024, 4096] {
+            let bw = c.bandwidth(Bytes::from_kib(kib)).as_mib_per_sec();
+            assert!(bw >= prev, "bandwidth must be monotone in request size");
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn below_first_point_iops_is_constant() {
+        let c = mk(&[(4, 2.0), (30, 15.0)]);
+        let iops4k = c.iops(Bytes::from_kib(4));
+        let iops1k = c.iops(Bytes::from_kib(1));
+        assert!((iops4k - iops1k).abs() / iops4k < 1e-9);
+        // bandwidth halves with request size in the latency-dominated regime
+        let bw2k = c.bandwidth(Bytes::from_kib(2)).as_mib_per_sec();
+        assert!((bw2k - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn above_last_point_clamps_to_peak() {
+        let c = mk(&[(4, 2.0), (131072, 138.0)]);
+        assert_eq!(c.bandwidth(Bytes::from_mib(365)), c.peak());
+    }
+
+    #[test]
+    fn latency_model_matches_closed_form() {
+        let c = BandwidthCurve::from_latency_model(Rate::mib_per_sec(100.0), 0.001);
+        let rs = Bytes::from_kib(64);
+        let expect = rs.as_f64() / (0.001 + rs.as_f64() / (100.0 * 1024.0 * 1024.0));
+        let got = c.bandwidth(rs).as_bytes_per_sec();
+        assert!((got - expect).abs() / expect < 0.02, "within interpolation error");
+    }
+
+    #[test]
+    fn flat_curve_ignores_request_size() {
+        let c = BandwidthCurve::flat(Rate::gib_per_sec(8.0));
+        assert_eq!(c.bandwidth(Bytes::from_kib(1)), c.bandwidth(Bytes::from_gib(1)));
+    }
+
+    #[test]
+    fn scaled_applies_factor_and_cap() {
+        let c = mk(&[(4, 10.0), (1024, 100.0)]);
+        let s = c.scaled(2.0, Some(Rate::mib_per_sec(150.0)));
+        assert!((s.bandwidth(Bytes::from_kib(4)).as_mib_per_sec() - 20.0).abs() < 1e-9);
+        assert!((s.peak().as_mib_per_sec() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_points() {
+        mk(&[(30, 15.0), (4, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_bandwidth() {
+        mk(&[(4, 20.0), (30, 15.0)]);
+    }
+
+    #[test]
+    fn iops_times_rs_equals_bandwidth() {
+        let c = mk(&[(4, 2.0), (30, 15.0), (1024, 90.0)]);
+        for kib in [4u64, 10, 30, 200, 1024] {
+            let rs = Bytes::from_kib(kib);
+            let recomposed = c.iops(rs) * rs.as_f64();
+            assert!((recomposed - c.bandwidth(rs).as_bytes_per_sec()).abs() < 1e-6);
+        }
+    }
+}

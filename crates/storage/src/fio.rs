@@ -1,0 +1,191 @@
+//! A fio-like microbenchmark driver.
+//!
+//! The paper uses `fio` to measure IOPS and effective bandwidth across read
+//! block sizes for HDD and SSD (Figure 5, Section III-C1). This module
+//! reproduces that experiment against our device models, in two ways:
+//!
+//! * [`run_analytic`] reads the device's bandwidth curve directly (what a
+//!   lookup-table user sees), and
+//! * [`run_simulated`] actually drives a [`Device`] with concurrent request
+//!   streams through the processor-sharing server.
+//!
+//! The two must agree — a cross-validation of the runtime device model
+//! against its own spec (tested below and in the Figure 5 bench).
+
+use doppio_events::{Bytes, Rate, SimTime};
+
+use crate::{Device, DeviceSpec, IoDir, TransferSpec};
+
+/// A fio-style job description.
+#[derive(Debug, Clone)]
+pub struct FioJob {
+    /// Device under test.
+    pub device: DeviceSpec,
+    /// Transfer direction.
+    pub dir: IoDir,
+    /// Block sizes to sweep.
+    pub block_sizes: Vec<Bytes>,
+    /// Number of concurrent streams (fio `numjobs`).
+    pub numjobs: usize,
+    /// Bytes transferred per stream at each block size.
+    pub bytes_per_job: Bytes,
+}
+
+impl FioJob {
+    /// A read sweep over the paper's Figure 5 block-size range
+    /// (4 KB … 128 MB) with one job moving 256 MiB per point.
+    pub fn read_sweep(device: DeviceSpec) -> Self {
+        FioJob {
+            device,
+            dir: IoDir::Read,
+            block_sizes: default_block_sizes(),
+            numjobs: 1,
+            bytes_per_job: Bytes::from_mib(256),
+        }
+    }
+}
+
+/// The block sizes of Figure 5: 4 KB to 128 MB in powers of four, plus the
+/// 30 KB point the paper calls out for shuffle read.
+pub fn default_block_sizes() -> Vec<Bytes> {
+    let mut v = vec![
+        Bytes::from_kib(4),
+        Bytes::from_kib(16),
+        Bytes::from_kib(30),
+        Bytes::from_kib(64),
+        Bytes::from_kib(256),
+        Bytes::from_mib(1),
+        Bytes::from_mib(4),
+        Bytes::from_mib(16),
+        Bytes::from_mib(64),
+        Bytes::from_mib(128),
+    ];
+    v.sort();
+    v
+}
+
+/// One row of fio output: block size, aggregate IOPS, aggregate bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FioRow {
+    /// Request block size.
+    pub block_size: Bytes,
+    /// Aggregate I/O operations per second across all jobs.
+    pub iops: f64,
+    /// Aggregate effective bandwidth across all jobs.
+    pub bandwidth: Rate,
+}
+
+/// Evaluates the job against the device's bandwidth curve analytically.
+///
+/// With `numjobs >= 1` uncapped identical streams, the device saturates, so
+/// the aggregate equals the curve value at that block size.
+pub fn run_analytic(job: &FioJob) -> Vec<FioRow> {
+    job.block_sizes
+        .iter()
+        .map(|&bs| {
+            let bw = job.device.bandwidth(job.dir, bs);
+            FioRow {
+                block_size: bs,
+                iops: bw.as_bytes_per_sec() / bs.as_f64(),
+                bandwidth: bw,
+            }
+        })
+        .collect()
+}
+
+/// Runs the job through the discrete-event device model: `numjobs` streams
+/// each transferring `bytes_per_job`, aggregate bandwidth measured as total
+/// bytes over makespan.
+pub fn run_simulated(job: &FioJob) -> Vec<FioRow> {
+    assert!(job.numjobs >= 1, "fio needs at least one job");
+    job.block_sizes
+        .iter()
+        .map(|&bs| {
+            let mut dev = Device::new(job.device.clone());
+            for tag in 0..job.numjobs as u64 {
+                dev.submit(
+                    SimTime::ZERO,
+                    TransferSpec {
+                        dir: job.dir,
+                        bytes: job.bytes_per_job,
+                        request_size: bs,
+                        stream_cap: None,
+                        tag,
+                    },
+                );
+            }
+            let mut makespan = SimTime::ZERO;
+            while let Some(t) = dev.next_completion() {
+                dev.advance(t);
+                dev.take_completed();
+                makespan = t;
+            }
+            let total = job.bytes_per_job.as_f64() * job.numjobs as f64;
+            let bw = Rate::bytes_per_sec(total / makespan.as_secs());
+            FioRow {
+                block_size: bs,
+                iops: bw.as_bytes_per_sec() / bs.as_f64(),
+                bandwidth: bw,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn analytic_matches_simulated_single_job() {
+        let job = FioJob::read_sweep(presets::hdd_wd4000());
+        let a = run_analytic(&job);
+        let s = run_simulated(&job);
+        for (ra, rs) in a.iter().zip(&s) {
+            assert_eq!(ra.block_size, rs.block_size);
+            let rel = (ra.bandwidth.as_bytes_per_sec() - rs.bandwidth.as_bytes_per_sec()).abs()
+                / ra.bandwidth.as_bytes_per_sec();
+            assert!(rel < 1e-6, "bs {}: analytic {} vs sim {}", ra.block_size, ra.bandwidth, rs.bandwidth);
+        }
+    }
+
+    #[test]
+    fn concurrency_does_not_change_aggregate_bandwidth() {
+        // Uncapped streams saturate the device at any numjobs — aggregate
+        // bandwidth equals the curve value (fio behaves the same way once
+        // the device is the bottleneck).
+        let mut job = FioJob::read_sweep(presets::ssd_mz7lm());
+        job.block_sizes = vec![Bytes::from_kib(30)];
+        job.numjobs = 4;
+        job.bytes_per_job = Bytes::from_mib(64);
+        let s = run_simulated(&job);
+        let expect = presets::ssd_mz7lm().bandwidth(IoDir::Read, Bytes::from_kib(30));
+        let rel = (s[0].bandwidth.as_bytes_per_sec() - expect.as_bytes_per_sec()).abs()
+            / expect.as_bytes_per_sec();
+        assert!(rel < 1e-6);
+    }
+
+    #[test]
+    fn iops_declines_and_bandwidth_grows_with_block_size() {
+        let rows = run_analytic(&FioJob::read_sweep(presets::hdd_wd4000()));
+        for w in rows.windows(2) {
+            assert!(w[0].iops >= w[1].iops, "IOPS non-increasing in block size");
+            assert!(
+                w[0].bandwidth.as_bytes_per_sec() <= w[1].bandwidth.as_bytes_per_sec(),
+                "bandwidth non-decreasing in block size"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_figure5_headline_points() {
+        let hdd = run_analytic(&FioJob::read_sweep(presets::hdd_wd4000()));
+        let ssd = run_analytic(&FioJob::read_sweep(presets::ssd_mz7lm()));
+        let at = |rows: &[FioRow], bs: Bytes| {
+            rows.iter().find(|r| r.block_size == bs).unwrap().bandwidth.as_mib_per_sec()
+        };
+        let bs30 = Bytes::from_kib(30);
+        assert!((at(&hdd, bs30) - 15.0).abs() < 0.1);
+        assert!((at(&ssd, bs30) - 480.0).abs() < 1.0);
+    }
+}

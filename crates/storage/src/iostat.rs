@@ -1,0 +1,165 @@
+//! iostat-style per-device request accounting.
+
+use std::fmt;
+
+use doppio_events::Bytes;
+
+use crate::IoDir;
+
+/// Bytes in one disk sector, the unit `iostat` reports request sizes in.
+/// The paper (Section III-C2) observes "the average request size is 60
+/// [sectors], which corresponds to the 30 KB (≈ 512 B × 60) block size".
+pub const SECTOR: u64 = 512;
+
+/// Accumulated I/O request statistics for one device, mirroring the fields
+/// of `iostat -x` that the Doppio calibration procedure consumes
+/// (Section VI.1: "iostat is used to log the average I/O request sizes
+/// `RS_read`, `RS_write` to look up the effective bandwidths").
+///
+/// # Example
+///
+/// ```
+/// use doppio_events::Bytes;
+/// use doppio_storage::{IoDir, IoStat};
+///
+/// let mut s = IoStat::default();
+/// s.record(IoDir::Read, Bytes::from_kib(60), Bytes::from_kib(30));
+/// assert_eq!(s.avg_request_size(IoDir::Read), Some(Bytes::from_kib(30)));
+/// assert_eq!(s.avg_request_sectors(IoDir::Read), Some(60.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoStat {
+    read_bytes: Bytes,
+    write_bytes: Bytes,
+    read_requests: u64,
+    write_requests: u64,
+}
+
+impl IoStat {
+    /// Records a transfer of `bytes` issued as `request_size`-sized requests.
+    ///
+    /// The request count is the ceiling of `bytes / request_size`, matching
+    /// how a block layer would split the stream.
+    pub fn record(&mut self, dir: IoDir, bytes: Bytes, request_size: Bytes) {
+        if bytes.is_zero() {
+            return;
+        }
+        let requests = bytes.div_ceil_by(request_size.max(Bytes::new(1)));
+        match dir {
+            IoDir::Read => {
+                self.read_bytes += bytes;
+                self.read_requests += requests;
+            }
+            IoDir::Write => {
+                self.write_bytes += bytes;
+                self.write_requests += requests;
+            }
+        }
+    }
+
+    /// Total bytes moved in a direction.
+    pub fn bytes(&self, dir: IoDir) -> Bytes {
+        match dir {
+            IoDir::Read => self.read_bytes,
+            IoDir::Write => self.write_bytes,
+        }
+    }
+
+    /// Total requests issued in a direction.
+    pub fn requests(&self, dir: IoDir) -> u64 {
+        match dir {
+            IoDir::Read => self.read_requests,
+            IoDir::Write => self.write_requests,
+        }
+    }
+
+    /// Average request size in a direction; `None` if no requests occurred.
+    pub fn avg_request_size(&self, dir: IoDir) -> Option<Bytes> {
+        let reqs = self.requests(dir);
+        if reqs == 0 {
+            return None;
+        }
+        Some(Bytes::new(self.bytes(dir).as_u64() / reqs))
+    }
+
+    /// Average request size in 512-byte sectors (the `avgrq-sz` column of
+    /// `iostat -x`); `None` if no requests occurred.
+    pub fn avg_request_sectors(&self, dir: IoDir) -> Option<f64> {
+        self.avg_request_size(dir).map(|b| b.as_f64() / SECTOR as f64)
+    }
+
+    /// Merges another accumulator into this one (e.g. summing per-node
+    /// devices into a cluster view).
+    pub fn merge(&mut self, other: &IoStat) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.read_requests += other.read_requests;
+        self.write_requests += other.write_requests;
+    }
+}
+
+impl fmt::Display for IoStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {} in {} reqs, write {} in {} reqs",
+            self.read_bytes, self.read_requests, self.write_bytes, self.write_requests
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sector_arithmetic() {
+        // 512 B * 60 sectors = 30 KiB, the GATK4 shuffle read request size.
+        let mut s = IoStat::default();
+        s.record(IoDir::Read, Bytes::from_mib(27), Bytes::from_kib(30));
+        let sectors = s.avg_request_sectors(IoDir::Read).unwrap();
+        assert!((sectors - 60.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn request_count_is_ceiling() {
+        let mut s = IoStat::default();
+        s.record(IoDir::Write, Bytes::from_kib(100), Bytes::from_kib(30));
+        assert_eq!(s.requests(IoDir::Write), 4);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut s = IoStat::default();
+        s.record(IoDir::Read, Bytes::from_mib(1), Bytes::from_kib(128));
+        s.record(IoDir::Write, Bytes::from_mib(2), Bytes::from_mib(1));
+        assert_eq!(s.bytes(IoDir::Read), Bytes::from_mib(1));
+        assert_eq!(s.bytes(IoDir::Write), Bytes::from_mib(2));
+        assert_eq!(s.avg_request_size(IoDir::Write), Some(Bytes::from_mib(1)));
+    }
+
+    #[test]
+    fn empty_stat_has_no_avg() {
+        let s = IoStat::default();
+        assert_eq!(s.avg_request_size(IoDir::Read), None);
+        assert_eq!(s.avg_request_sectors(IoDir::Write), None);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = IoStat::default();
+        a.record(IoDir::Read, Bytes::from_mib(10), Bytes::from_mib(1));
+        let mut b = IoStat::default();
+        b.record(IoDir::Read, Bytes::from_mib(20), Bytes::from_mib(1));
+        a.merge(&b);
+        assert_eq!(a.bytes(IoDir::Read), Bytes::from_mib(30));
+        assert_eq!(a.requests(IoDir::Read), 30);
+    }
+
+    #[test]
+    fn zero_byte_record_is_a_noop() {
+        let mut s = IoStat::default();
+        s.record(IoDir::Read, Bytes::ZERO, Bytes::from_kib(4));
+        assert_eq!(s.requests(IoDir::Read), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Storage device models for the Doppio toolset.
+//!
+//! The Doppio paper's central observation (Section III-C) is that the
+//! *effective* I/O bandwidth of a device depends strongly on the request
+//! size of the access stream: at 30 KB requests the HDD/SSD gap is 32×, at
+//! 4 KB it is 181×, while at 128 MB (a full HDFS block) it is only 3.7×.
+//! This crate makes that relationship a first-class object:
+//!
+//! * [`BandwidthCurve`] — effective bandwidth as a function of request size,
+//!   with log–log interpolation between calibration points (the paper's
+//!   "one-time disk profiling lookup tables", Section VI.1).
+//! * [`DeviceSpec`] / [`presets`] — read/write curve pairs for the paper's
+//!   devices (WD 4000FYYZ HDD, Samsung MZ7LM SSD) and generic parametric
+//!   devices.
+//! * [`Device`] — a *runtime* device: a processor-sharing server in
+//!   device-time units, so concurrent streams with different request sizes
+//!   contend exactly the way the paper's break-point analysis assumes.
+//! * [`fio`] — a fio-like microbenchmark driver regenerating Figure 5.
+//! * [`IoStat`] — iostat-style request accounting (average request size in
+//!   512-byte sectors), used by the model calibrator.
+//!
+//! # Example
+//!
+//! ```
+//! use doppio_storage::{presets, Bytes};
+//!
+//! let hdd = presets::hdd_wd4000();
+//! let ssd = presets::ssd_mz7lm();
+//! let rs = Bytes::from_kib(30); // GATK4 shuffle read segments
+//! let gap = ssd.read_curve().bandwidth(rs) / hdd.read_curve().bandwidth(rs);
+//! assert!(gap > 25.0 && gap < 40.0, "paper reports a 32x gap at 30 KB");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod device;
+pub mod fio;
+mod iostat;
+pub mod presets;
+
+pub use curve::BandwidthCurve;
+pub use device::{Device, DeviceSpec, IoDir, TransferSpec};
+pub use iostat::IoStat;
+
+pub use doppio_events::{Bytes, Rate};

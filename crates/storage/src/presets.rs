@@ -1,0 +1,193 @@
+//! Device presets anchored to the paper's measurements.
+//!
+//! The read curves are calibrated so the three HDD/SSD bandwidth gaps the
+//! paper reports in Section III-C1 hold exactly:
+//!
+//! * **181×** at 4 KB requests,
+//! * **32×** at 30 KB requests (15 MB/s HDD vs 480 MB/s SSD — the GATK4
+//!   shuffle read segment size),
+//! * **3.7×** at 128 MB requests (a full HDFS block).
+//!
+//! The HDD write peak is 100 MB/s, the paper's measured `BW_write` for the
+//! large sorted chunks of shuffle write (Section V-A1).
+
+use doppio_events::{Bytes, Rate};
+
+use crate::{BandwidthCurve, DeviceSpec};
+
+fn pts(raw: &[(u64, f64)]) -> BandwidthCurve {
+    let v: Vec<(Bytes, Rate)> = raw
+        .iter()
+        .map(|&(kib, mibps)| (Bytes::from_kib(kib), Rate::mib_per_sec(mibps)))
+        .collect();
+    BandwidthCurve::from_points(&v)
+}
+
+/// The paper's HDD: Western Digital 4000FYYZ-01UL1B2, 7200 RPM, 4 TB
+/// (Table I). Read curve anchored to Fig. 5a; write peak 100 MB/s per
+/// Section V-A1.
+pub fn hdd_wd4000() -> DeviceSpec {
+    let read = pts(&[
+        (4, 2.1),
+        (30, 15.0),
+        (128, 42.0),
+        (512, 85.0),
+        (4096, 120.0),
+        (32768, 134.0),
+        (131072, 137.8),
+    ]);
+    let write = pts(&[
+        (4, 1.9),
+        (30, 13.0),
+        (128, 38.0),
+        (512, 70.0),
+        (4096, 88.0),
+        (32768, 97.0),
+        (131072, 100.0),
+    ]);
+    DeviceSpec::new("WD4000FYYZ-HDD", read, write).with_capacity(Bytes::from_tib(4))
+}
+
+/// The paper's SSD: Samsung MZ7LM240HCGR (PM863), 240 GB SATA (Table I).
+/// Read curve anchored to Fig. 5b.
+pub fn ssd_mz7lm() -> DeviceSpec {
+    let read = pts(&[
+        (4, 380.0),
+        (30, 480.0),
+        (128, 500.0),
+        (512, 505.0),
+        (4096, 508.0),
+        (131072, 510.0),
+    ]);
+    let write = pts(&[
+        (4, 180.0),
+        (30, 300.0),
+        (128, 380.0),
+        (512, 420.0),
+        (4096, 440.0),
+        (131072, 450.0),
+    ]);
+    DeviceSpec::new("MZ7LM240-SSD", read, write).with_capacity(Bytes::from_gib(240))
+}
+
+/// A contemporary NVMe flash device (what-if studies beyond the paper's
+/// SATA SSD): ~2.8 GB/s sequential reads and near-flat small-request
+/// behaviour. With NVMe as Spark-local, even the 30 KB shuffle-read regime
+/// stops being a bottleneck — the natural "what would the paper's Figure 2
+/// look like today" experiment.
+pub fn nvme_p4510() -> DeviceSpec {
+    let read = pts(&[
+        (4, 1200.0),
+        (30, 2200.0),
+        (128, 2600.0),
+        (512, 2750.0),
+        (4096, 2800.0),
+        (131072, 2850.0),
+    ]);
+    let write = pts(&[
+        (4, 800.0),
+        (30, 1400.0),
+        (128, 1800.0),
+        (512, 1950.0),
+        (4096, 2000.0),
+        (131072, 2050.0),
+    ]);
+    DeviceSpec::new("P4510-NVMe", read, write).with_capacity(Bytes::from_tib(2))
+}
+
+/// A generic rotational disk from the parametric latency model:
+/// `BW(rs) = rs / (latency + rs / peak)` for both directions, with the
+/// write peak derated to 75% of the read peak.
+pub fn parametric_hdd(name: impl Into<String>, read_peak: Rate, latency_secs: f64) -> DeviceSpec {
+    let read = BandwidthCurve::from_latency_model(read_peak, latency_secs);
+    let write = BandwidthCurve::from_latency_model(read_peak * 0.75, latency_secs);
+    DeviceSpec::new(name, read, write)
+}
+
+/// A generic flash device from the parametric latency model with a small
+/// fixed per-request latency.
+pub fn parametric_ssd(name: impl Into<String>, read_peak: Rate, latency_secs: f64) -> DeviceSpec {
+    let read = BandwidthCurve::from_latency_model(read_peak, latency_secs);
+    let write = BandwidthCurve::from_latency_model(read_peak * 0.88, latency_secs * 2.0);
+    DeviceSpec::new(name, read, write)
+}
+
+/// Main memory treated as a storage device (for cached-RDD reads): flat
+/// 8 GiB/s regardless of "request size".
+pub fn ram() -> DeviceSpec {
+    let c = BandwidthCurve::flat(Rate::gib_per_sec(8.0));
+    DeviceSpec::new("RAM", c.clone(), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IoDir;
+
+    #[test]
+    fn paper_gap_at_30k_is_32x() {
+        let rs = Bytes::from_kib(30);
+        let gap = ssd_mz7lm().bandwidth(IoDir::Read, rs) / hdd_wd4000().bandwidth(IoDir::Read, rs);
+        assert!((gap - 32.0).abs() < 0.01, "gap = {gap}");
+    }
+
+    #[test]
+    fn paper_gap_at_4k_is_181x() {
+        let rs = Bytes::from_kib(4);
+        let gap = ssd_mz7lm().bandwidth(IoDir::Read, rs) / hdd_wd4000().bandwidth(IoDir::Read, rs);
+        assert!((gap - 181.0).abs() < 1.0, "gap = {gap}");
+    }
+
+    #[test]
+    fn paper_gap_at_128m_is_3_7x() {
+        let rs = Bytes::from_mib(128);
+        let gap = ssd_mz7lm().bandwidth(IoDir::Read, rs) / hdd_wd4000().bandwidth(IoDir::Read, rs);
+        assert!((gap - 3.7).abs() < 0.01, "gap = {gap}");
+    }
+
+    #[test]
+    fn hdd_shuffle_read_bandwidth_is_15() {
+        let bw = hdd_wd4000().bandwidth(IoDir::Read, Bytes::from_kib(30));
+        assert!((bw.as_mib_per_sec() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdd_shuffle_write_peak_is_100() {
+        // Shuffle write chunks of ~365 MB clamp to the write peak.
+        let bw = hdd_wd4000().bandwidth(IoDir::Write, Bytes::from_mib(365));
+        assert!((bw.as_mib_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacities_match_table_1() {
+        assert_eq!(hdd_wd4000().capacity(), Some(Bytes::from_tib(4)));
+        assert_eq!(ssd_mz7lm().capacity(), Some(Bytes::from_gib(240)));
+    }
+
+    #[test]
+    fn parametric_devices_are_well_formed() {
+        let d = parametric_hdd("h", Rate::mib_per_sec(140.0), 2e-3);
+        assert!(d.bandwidth(IoDir::Read, Bytes::from_kib(4)).as_mib_per_sec() < 5.0);
+        assert!(d.bandwidth(IoDir::Write, Bytes::from_mib(128)) < d.bandwidth(IoDir::Read, Bytes::from_mib(128)));
+        let s = parametric_ssd("s", Rate::mib_per_sec(500.0), 5e-6);
+        assert!(s.bandwidth(IoDir::Read, Bytes::from_kib(4)).as_mib_per_sec() > 100.0);
+    }
+
+    #[test]
+    fn nvme_dwarfs_the_paper_devices() {
+        let rs = Bytes::from_kib(30);
+        let nvme = nvme_p4510().bandwidth(IoDir::Read, rs);
+        let ssd = ssd_mz7lm().bandwidth(IoDir::Read, rs);
+        assert!(nvme / ssd > 4.0, "NVMe {} vs SATA SSD {}", nvme, ssd);
+        assert!(nvme_p4510().bandwidth(IoDir::Write, rs) < nvme, "writes slower");
+    }
+
+    #[test]
+    fn ram_is_flat() {
+        let r = ram();
+        assert_eq!(
+            r.bandwidth(IoDir::Read, Bytes::from_kib(1)),
+            r.bandwidth(IoDir::Read, Bytes::from_gib(2))
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for bandwidth curves and the runtime device model.
+
+use doppio_events::{Bytes, Rate, SimTime};
+use doppio_storage::{presets, BandwidthCurve, Device, IoDir, TransferSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any valid curve is monotone non-decreasing in request size across its
+    /// whole domain, including the extrapolated ends.
+    #[test]
+    fn curve_is_monotone(
+        raw in prop::collection::vec((1u64..1_000_000, 1.0f64..1000.0), 2..8),
+        probes in prop::collection::vec(1u64..2_000_000_000, 1..20),
+    ) {
+        // Build a valid (sorted, monotone) point set from arbitrary input.
+        let mut sizes: Vec<u64> = raw.iter().map(|p| p.0).collect();
+        sizes.sort();
+        sizes.dedup();
+        let mut bws: Vec<f64> = raw.iter().take(sizes.len()).map(|p| p.1).collect();
+        bws.sort_by(f64::total_cmp);
+        let pts: Vec<(Bytes, Rate)> = sizes
+            .iter()
+            .zip(&bws)
+            .map(|(&s, &b)| (Bytes::from_kib(s), Rate::mib_per_sec(b)))
+            .collect();
+        let curve = BandwidthCurve::from_points(&pts);
+
+        let mut probes = probes;
+        probes.sort();
+        let mut prev = 0.0f64;
+        for p in probes {
+            let bw = curve.bandwidth(Bytes::new(p)).as_bytes_per_sec();
+            prop_assert!(bw >= prev - 1e-9 * prev.abs());
+            prev = bw;
+        }
+    }
+
+    /// Interpolated bandwidth always lies within the bracketing calibration
+    /// values.
+    #[test]
+    fn interpolation_bracketed(probe_kib in 4u64..131072) {
+        let spec = presets::hdd_wd4000();
+        let curve = spec.read_curve();
+        let bw = curve.bandwidth(Bytes::from_kib(probe_kib)).as_bytes_per_sec();
+        let lo = curve.bandwidth(Bytes::from_kib(4)).as_bytes_per_sec();
+        let hi = curve.peak().as_bytes_per_sec();
+        prop_assert!(bw >= lo - 1e-9 && bw <= hi + 1e-9);
+    }
+
+    /// Device makespan for k uncapped identical streams equals total bytes
+    /// over effective bandwidth (device saturation), for any k and block
+    /// size: the processor-sharing composition loses no capacity.
+    #[test]
+    fn device_saturation_conserves_capacity(
+        k in 1usize..12,
+        bs_kib in prop::sample::select(vec![4u64, 16, 30, 256, 1024, 131072]),
+        mib_per_stream in 1u64..64,
+    ) {
+        let spec = presets::ssd_mz7lm();
+        // The device clamps request size to the transfer size.
+        let rs = Bytes::from_kib(bs_kib).min(Bytes::from_mib(mib_per_stream));
+        let bw = spec.bandwidth(IoDir::Read, rs).as_bytes_per_sec();
+        let mut dev = Device::new(spec);
+        for tag in 0..k as u64 {
+            dev.submit(SimTime::ZERO, TransferSpec {
+                dir: IoDir::Read,
+                bytes: Bytes::from_mib(mib_per_stream),
+                request_size: rs,
+                stream_cap: None,
+                tag,
+            });
+        }
+        let mut makespan = SimTime::ZERO;
+        while let Some(t) = dev.next_completion() {
+            dev.advance(t);
+            dev.take_completed();
+            makespan = t;
+        }
+        let expect = k as f64 * Bytes::from_mib(mib_per_stream).as_f64() / bw;
+        let rel = (makespan.as_secs() - expect).abs() / expect;
+        prop_assert!(rel < 1e-6, "makespan {} expect {}", makespan.as_secs(), expect);
+    }
+
+    /// With per-stream caps, aggregate throughput is min(k*T, BW) — the
+    /// paper's break-point law b = BW / T.
+    #[test]
+    fn break_point_law(
+        k in 1usize..16,
+        t_mibps in 10.0f64..200.0,
+    ) {
+        let spec = presets::ssd_mz7lm();
+        let rs = Bytes::from_kib(30);
+        let bw = spec.bandwidth(IoDir::Read, rs).as_bytes_per_sec();
+        let t = Rate::mib_per_sec(t_mibps);
+        let mut dev = Device::new(spec);
+        let per = Bytes::from_mib(32);
+        for tag in 0..k as u64 {
+            dev.submit(SimTime::ZERO, TransferSpec {
+                dir: IoDir::Read,
+                bytes: per,
+                request_size: rs,
+                stream_cap: Some(t),
+                tag,
+            });
+        }
+        let mut makespan = SimTime::ZERO;
+        while let Some(tc) = dev.next_completion() {
+            dev.advance(tc);
+            dev.take_completed();
+            makespan = tc;
+        }
+        let aggregate = (k as f64 * t.as_bytes_per_sec()).min(bw);
+        let expect = k as f64 * per.as_f64() / aggregate;
+        let rel = (makespan.as_secs() - expect).abs() / expect;
+        prop_assert!(rel < 1e-6, "k={k}, makespan {} expect {}", makespan.as_secs(), expect);
+    }
+}

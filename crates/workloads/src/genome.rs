@@ -1,0 +1,137 @@
+//! Synthetic genome-dataset model.
+//!
+//! **Substitution note (DESIGN.md §1).** The paper processes a real
+//! whole-genome BAM file sampled from breast-cancer cell line HCC1954:
+//! 500 million read pairs, ~101 nucleotides per read, 122 GB compressed,
+//! producing a 166 GB analysis-ready output. We cannot ship patient genome
+//! data, and the performance model never looks at base calls — only at
+//! byte volumes, partition counts and compute/I-O ratios. This module
+//! therefore describes the dataset *geometrically*: sizes scale linearly
+//! with the number of read pairs, anchored to the paper's measurements.
+
+use doppio_events::Bytes;
+
+/// Paper-measured constants for the HCC1954 30× whole-genome run.
+pub mod paper_constants {
+    /// Read pairs in the full dataset.
+    pub const READ_PAIRS: u64 = 500_000_000;
+    /// Compressed input BAM bytes (122 GB).
+    pub const INPUT_GB: f64 = 122.0;
+    /// Compressed output BAM bytes (166 GB).
+    pub const OUTPUT_GB: f64 = 166.0;
+    /// Shuffle volume of the MarkDuplicate groupByKey (334 GB, Table IV).
+    pub const SHUFFLE_GB: f64 = 334.0;
+    /// Deserialized in-memory size of the `markedReads` UnionRDD (~870 GB,
+    /// Section III-B2).
+    pub const MARKED_READS_MEM_GB: f64 = 870.0;
+    /// Nucleotides per read.
+    pub const READ_LEN: u32 = 101;
+}
+
+/// A synthetic genome dataset: the paper's measurements scaled by read-pair
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use doppio_workloads::genome::GenomeDataset;
+///
+/// let full = GenomeDataset::hcc1954();
+/// assert_eq!(full.read_pairs, 500_000_000);
+/// assert!((full.bam_bytes().as_gib() - 122.0).abs() < 0.5);
+///
+/// let small = full.scaled(1.0 / 16.0);
+/// assert!((small.bam_bytes().as_gib() - 122.0 / 16.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenomeDataset {
+    /// Number of read pairs.
+    pub read_pairs: u64,
+    /// Nucleotides per read.
+    pub read_len: u32,
+}
+
+impl GenomeDataset {
+    /// The paper's full 30× whole-genome dataset (HCC1954).
+    pub fn hcc1954() -> Self {
+        GenomeDataset {
+            read_pairs: paper_constants::READ_PAIRS,
+            read_len: paper_constants::READ_LEN,
+        }
+    }
+
+    /// A dataset scaled to `factor` of the full size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        GenomeDataset {
+            read_pairs: ((self.read_pairs as f64 * factor).round() as u64).max(1),
+            read_len: self.read_len,
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.read_pairs as f64 / paper_constants::READ_PAIRS as f64
+    }
+
+    /// Compressed input BAM size.
+    pub fn bam_bytes(&self) -> Bytes {
+        Bytes::from_gib_f64(paper_constants::INPUT_GB * self.ratio())
+    }
+
+    /// Compressed analysis-ready output size.
+    pub fn output_bytes(&self) -> Bytes {
+        Bytes::from_gib_f64(paper_constants::OUTPUT_GB * self.ratio())
+    }
+
+    /// Shuffle volume of the MarkDuplicate stage.
+    pub fn shuffle_bytes(&self) -> Bytes {
+        Bytes::from_gib_f64(paper_constants::SHUFFLE_GB * self.ratio())
+    }
+
+    /// Deserialized expansion factor of `markedReads` (memory bytes per
+    /// serialized input byte): 870 GB / 122 GB ≈ 7.13.
+    pub fn mem_expansion() -> f64 {
+        paper_constants::MARKED_READS_MEM_GB / paper_constants::INPUT_GB
+    }
+
+    /// Total nucleotides (2 reads per pair).
+    pub fn nucleotides(&self) -> u64 {
+        self.read_pairs * 2 * self.read_len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_dataset_matches_paper() {
+        let g = GenomeDataset::hcc1954();
+        assert!((g.bam_bytes().as_gib() - 122.0).abs() < 0.5);
+        assert!((g.output_bytes().as_gib() - 166.0).abs() < 0.5);
+        assert!((g.shuffle_bytes().as_gib() - 334.0).abs() < 0.5);
+        assert_eq!(g.nucleotides(), 101_000_000_000);
+    }
+
+    #[test]
+    fn expansion_factor_is_about_7() {
+        assert!((GenomeDataset::mem_expansion() - 7.13).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let g = GenomeDataset::hcc1954().scaled(0.25);
+        assert_eq!(g.read_pairs, 125_000_000);
+        assert!((g.shuffle_bytes().as_gib() - 83.5).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = GenomeDataset::hcc1954().scaled(0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Support Vector Machine (paper Section V-B2).
+//!
+//! Three phases: `dataValidator` (parse + cache 82 GB), ten `iteration`s
+//! over the memory-cached RDD, and a shuffling `subtract` phase moving
+//! 170 GB through the Spark-local directory (6.2× HDD/SSD gap, Fig. 9).
+
+use doppio_events::{Bytes, Rate};
+use doppio_sparksim::{App, AppBuilder, Cost, ShuffleSpec, StorageLevel};
+
+/// SVM parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Millions of samples (paper: 12M × 1000 features).
+    pub samples_m: u64,
+    /// Cached RDD size read by each iteration.
+    pub cached_bytes: Bytes,
+    /// Total shuffle volume of the subtract phase.
+    pub shuffle_bytes: Bytes,
+    /// Reducer partitions (paper: 1200).
+    pub partitions: u32,
+    /// Gradient iterations (paper: 10).
+    pub iterations: u32,
+}
+
+impl Params {
+    /// The paper's dataset: 12M samples, 82 GB cached, 170 GB shuffle,
+    /// 1200 partitions, 10 iterations.
+    pub fn paper() -> Self {
+        Params {
+            samples_m: 12,
+            cached_bytes: Bytes::from_gib(82),
+            shuffle_bytes: Bytes::from_gib(170),
+            partitions: 1200,
+            iterations: 10,
+        }
+    }
+
+    /// A 1/8-scale version for tests.
+    pub fn scaled_down() -> Self {
+        Params {
+            samples_m: 2,
+            cached_bytes: Bytes::from_gib(10),
+            shuffle_bytes: Bytes::from_gib(21),
+            partitions: 150,
+            iterations: 3,
+        }
+    }
+}
+
+/// Builds the SVM application.
+pub fn app(params: &Params) -> App {
+    let shuffle_ratio = params.shuffle_bytes.as_f64() / params.cached_bytes.as_f64();
+    let mut b = AppBuilder::new("SVM");
+    let src = b.hdfs_source("samples", "/svm/input", params.cached_bytes);
+    let parsed = b.map(src, "parsedData", Cost::per_mib(0.001), 1.0);
+    b.persist(parsed, StorageLevel::MemoryAndDisk, 1.0);
+    b.count(parsed, "dataValidator", Cost::ZERO);
+    for _ in 0..params.iterations {
+        b.count(parsed, "iteration", Cost::per_mib(0.02));
+    }
+    // The subtract phase: a wide dependency through Spark-local.
+    let sub = b.shuffle_op(
+        parsed,
+        "subtract",
+        "subtract",
+        ShuffleSpec::reducers(params.partitions),
+        Cost::ZERO,
+        Cost::for_lambda(2.0, Rate::mib_per_sec(60.0)),
+        shuffle_ratio,
+        0.1,
+    );
+    b.count(sub, "subtract-result", Cost::ZERO);
+    b.build().expect("SVM defines jobs")
+}
+
+/// Total time of the subtract phase (map stage + result stage), matching
+/// the paper's Fig. 9 "subtract" bar.
+pub fn subtract_time(run: &doppio_sparksim::AppRun) -> doppio_events::SimDuration {
+    run.time_in("subtract") + run.time_in("subtract-result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_sparksim::{AppRun, IoChannel, Simulation, SparkConf};
+
+    fn run(config: HybridConfig) -> AppRun {
+        let cluster = ClusterSpec::paper_cluster(2, 36, config);
+        Simulation::with_conf(cluster, SparkConf::paper().with_cores(16).without_noise())
+            .run(&app(&Params::scaled_down()))
+            .expect("SVM simulates")
+    }
+
+    #[test]
+    fn phase_structure() {
+        let r = run(HybridConfig::SsdSsd);
+        assert!(r.stage("dataValidator").is_some());
+        assert_eq!(r.stages_named("iteration").count(), 3);
+        assert!(r.stage("subtract").is_some());
+        assert!(r.stage("subtract-result").is_some());
+    }
+
+    #[test]
+    fn shuffle_volume_matches_params() {
+        let r = run(HybridConfig::SsdSsd);
+        let p = Params::scaled_down();
+        let w = r.stage("subtract").unwrap().channel_bytes(IoChannel::ShuffleWrite);
+        assert!((w.as_f64() - p.shuffle_bytes.as_f64()).abs() / p.shuffle_bytes.as_f64() < 0.01);
+        let rd = r.stage("subtract-result").unwrap().channel_bytes(IoChannel::ShuffleRead);
+        assert!((rd.as_f64() - p.shuffle_bytes.as_f64()).abs() / p.shuffle_bytes.as_f64() < 0.01);
+    }
+
+    #[test]
+    fn iterations_are_memory_resident() {
+        let r = run(HybridConfig::SsdSsd);
+        for it in r.stages_named("iteration") {
+            assert!(it.channel_bytes(IoChannel::PersistRead).is_zero());
+        }
+    }
+
+    #[test]
+    fn subtract_is_much_slower_on_hdd_local() {
+        // Paper Fig 9: 6.2x on the subtract phase.
+        let ssd = run(HybridConfig::SsdSsd);
+        let hdd = run(HybridConfig::SsdHdd);
+        let ratio = subtract_time(&hdd).as_secs() / subtract_time(&ssd).as_secs();
+        assert!(ratio > 3.0, "subtract HDD/SSD = {ratio:.1}x (paper: 6.2x)");
+        // Iterations are unaffected by the local device.
+        let it_ratio = hdd.time_in("iteration").as_secs() / ssd.time_in("iteration").as_secs();
+        assert!((it_ratio - 1.0).abs() < 0.05);
+    }
+}

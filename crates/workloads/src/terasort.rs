@@ -1,0 +1,114 @@
+//! Terasort (paper Section V-B5).
+//!
+//! The canonical shuffle-heavy benchmark: stage `NF` (`newAPIHadoopFile`)
+//! reads records from HDFS, range-partitions them and writes 930 GB of
+//! shuffle data to Spark-local; stage `SF` (`saveAsNewAPIHadoopFile`) reads
+//! the shuffle, sorts within ranges and writes the output back to HDFS.
+//! The paper measures a 2.6× end-to-end HDD/SSD gap for the Spark-local
+//! device (Fig. 12).
+
+use doppio_events::{Bytes, Rate};
+use doppio_sparksim::{App, AppBuilder, Cost, ShuffleSpec};
+
+/// Terasort parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Billions of 93-byte records (paper: 10).
+    pub records_b: u64,
+    /// Total dataset bytes (paper: 930 GB).
+    pub data_bytes: Bytes,
+    /// Shuffle data per reduce range.
+    pub reducer_bytes: Bytes,
+}
+
+impl Params {
+    /// The paper's dataset: 10B records, 930 GB.
+    pub fn paper() -> Self {
+        Params {
+            records_b: 10,
+            data_bytes: Bytes::from_gib(930),
+            reducer_bytes: Bytes::from_gib(1),
+        }
+    }
+
+    /// A 1/16-scale version for tests.
+    pub fn scaled_down() -> Self {
+        Params {
+            records_b: 1,
+            data_bytes: Bytes::from_gib(58),
+            reducer_bytes: Bytes::from_gib(1),
+        }
+    }
+}
+
+/// Builds the Terasort application.
+pub fn app(params: &Params) -> App {
+    let mut b = AppBuilder::new("Terasort");
+    let src = b.hdfs_source("records", "/ts/input", params.data_bytes);
+    let sorted = b.sort_by_key(
+        src,
+        "NF",
+        ShuffleSpec::target_reducer_bytes(params.reducer_bytes),
+        // Range partitioning over the 128 MB input splits: λ ≈ 1.5 against
+        // the 32 MB/s per-core HDFS read rate.
+        Cost::for_lambda(1.5, Rate::mib_per_sec(32.0)),
+        // In-range sort on the reduce side: λ ≈ 2 against shuffle read.
+        Cost::for_lambda(2.0, Rate::mib_per_sec(60.0)),
+    );
+    b.save_as_hadoop_file(sorted, "SF", "/ts/output");
+    b.build().expect("Terasort defines jobs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_sparksim::{AppRun, IoChannel, Simulation, SparkConf};
+
+    fn run(config: HybridConfig) -> AppRun {
+        let cluster = ClusterSpec::paper_cluster(2, 36, config);
+        Simulation::with_conf(cluster, SparkConf::paper().with_cores(16).without_noise())
+            .run(&app(&Params::scaled_down()))
+            .expect("Terasort simulates")
+    }
+
+    #[test]
+    fn two_stage_structure() {
+        let r = run(HybridConfig::SsdSsd);
+        let names: Vec<&str> = r.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["NF", "SF"]);
+    }
+
+    #[test]
+    fn data_is_conserved_through_the_sort() {
+        let r = run(HybridConfig::SsdSsd);
+        let p = Params::scaled_down();
+        let nf = r.stage("NF").unwrap();
+        let sf = r.stage("SF").unwrap();
+        let close = |a: Bytes, b: Bytes| (a.as_f64() - b.as_f64()).abs() / b.as_f64() < 0.02;
+        assert!(close(nf.channel_bytes(IoChannel::HdfsRead), p.data_bytes));
+        assert!(close(nf.channel_bytes(IoChannel::ShuffleWrite), p.data_bytes));
+        assert!(close(sf.channel_bytes(IoChannel::ShuffleRead), p.data_bytes));
+        assert!(close(sf.channel_bytes(IoChannel::HdfsWrite), p.data_bytes * 2), "replicated output");
+    }
+
+    #[test]
+    fn hdd_local_slows_both_stages() {
+        // Paper Fig 12: 2.6x end to end when Spark-local moves to HDD.
+        let ssd = run(HybridConfig::SsdSsd);
+        let hdd = run(HybridConfig::SsdHdd);
+        let total = hdd.total_time().as_secs() / ssd.total_time().as_secs();
+        assert!(total > 1.8, "end-to-end HDD/SSD = {total:.1}x (paper: 2.6x)");
+        let nf = hdd.stage("NF").unwrap().duration.as_secs() / ssd.stage("NF").unwrap().duration.as_secs();
+        assert!(nf > 1.2, "NF shuffle-write bound on HDD: {nf:.1}x");
+    }
+
+    #[test]
+    fn reduce_side_request_sizes_are_segments() {
+        let r = run(HybridConfig::SsdSsd);
+        let sf = r.stage("SF").unwrap();
+        let rs = sf.channel(IoChannel::ShuffleRead).avg_request_size().unwrap();
+        // 58 GiB over (464 maps × 58 reducers) ≈ 2.2 MiB segments.
+        assert!(rs > Bytes::from_kib(256) && rs < Bytes::from_mib(8), "rs = {rs}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a small Spark-like cluster, run a shuffle-heavy job on
+//! the simulator, and inspect per-stage metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::events::Bytes;
+use doppio::sparksim::{AppBuilder, Cost, IoChannel, ShuffleSpec, Simulation, SparkConf};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A word-count-shaped application: read 16 GiB from HDFS, tokenize,
+    // reduce by key, write the counts back.
+    let mut b = AppBuilder::new("wordcount");
+    let lines = b.hdfs_source("lines", "/corpus.txt", Bytes::from_gib(16));
+    let words = b.flat_map(lines, "tokenize", Cost::per_mib(0.004), 1.4);
+    let counts = b.reduce_by_key(
+        words,
+        "count",
+        ShuffleSpec::target_reducer_bytes(Bytes::from_mib(32)),
+        Cost::per_mib(0.008),
+        0.1,
+    );
+    b.save_as_hadoop_file(counts, "save", "/counts.txt");
+    let app = b.build()?;
+
+    // Four worker nodes in the paper's "2SSD" configuration, 8 executor
+    // cores each.
+    let cluster = ClusterSpec::paper_cluster(4, 8, HybridConfig::SsdSsd);
+    let conf = SparkConf::paper().with_cores(8);
+    let run = Simulation::with_conf(cluster, conf).run(&app)?;
+
+    println!("{run}");
+    println!("per-stage I/O:");
+    for stage in run.stages() {
+        println!("  {}:", stage.name);
+        for ch in IoChannel::DISK_CHANNELS {
+            let stats = stage.channel(ch);
+            if !stats.bytes.is_zero() {
+                println!(
+                    "    {:<14} {:>12}  avg request {}",
+                    ch.to_string(),
+                    stats.bytes.to_string(),
+                    stats
+                        .avg_request_size()
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "-".into())
+                );
+            }
+        }
+        if let Some(lambda) = stage.tasks.lambda() {
+            println!("    λ = t_task / t_io = {lambda:.1}");
+        }
+    }
+
+    // The same job on HDDs: the shuffle read hurts.
+    let hdd = Simulation::with_conf(
+        ClusterSpec::paper_cluster(4, 8, HybridConfig::HddHdd),
+        SparkConf::paper().with_cores(8),
+    )
+    .run(&app)?;
+    println!(
+        "total runtime: 2SSD {:.1} min vs 2HDD {:.1} min ({:.1}x)",
+        run.total_time().as_mins(),
+        hdd.total_time().as_mins(),
+        hdd.total_time().as_secs() / run.total_time().as_secs()
+    );
+    Ok(())
+}

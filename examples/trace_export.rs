@@ -1,0 +1,35 @@
+//! Export a simulated run as a Chrome trace (`chrome://tracing`, Perfetto):
+//! nodes become processes, core slots become lanes, stages colour the
+//! spans. Useful for *seeing* the paper's waves, stragglers and I/O-bound
+//! tails.
+//!
+//! ```sh
+//! cargo run --release --example trace_export > gatk4.trace.json
+//! ```
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::sparksim::{trace, Simulation, SparkConf};
+use doppio::workloads::gatk4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = gatk4::Params {
+        dataset: doppio::workloads::genome::GenomeDataset::hcc1954().scaled(1.0 / 64.0),
+        ..gatk4::Params::scaled_down()
+    };
+    let app = gatk4::app(&params);
+
+    let mut conf = SparkConf::paper().with_cores(8);
+    conf.record_task_spans = true;
+    let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdHdd);
+    let run = Simulation::with_conf(cluster, conf).run(&app)?;
+
+    let json = trace::to_chrome_trace(&run).expect("spans were recorded");
+    println!("{json}");
+    eprintln!(
+        "wrote {} trace events across {} stages ({} total); open in chrome://tracing",
+        json.matches("\"ph\"").count(),
+        run.stages().len(),
+        run.total_time()
+    );
+    Ok(())
+}

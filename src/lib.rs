@@ -1,0 +1,52 @@
+//! # Doppio — I/O-aware performance analysis, modeling and optimization for
+//! in-memory computing frameworks
+//!
+//! A from-scratch Rust reproduction of *"Doppio: I/O-Aware Performance
+//! Analysis, Modeling and Optimization for In-Memory Computing Framework"*
+//! (Zhou et al., ISPASS 2018).
+//!
+//! This facade crate re-exports every layer of the stack:
+//!
+//! * [`events`] — discrete-event kernel and the processor-sharing resource
+//!   server that models I/O bandwidth contention.
+//! * [`storage`] — HDD/SSD device models with effective-bandwidth-vs-request-
+//!   size curves, a fio-like profiler, and iostat-style accounting.
+//! * [`cluster`] — node and cluster descriptions, including the paper's
+//!   hardware presets (Tables I–III).
+//! * [`dfs`] — an HDFS-like block-based distributed file system simulation.
+//! * [`sparksim`] — the Spark-like in-memory computing framework simulator:
+//!   RDD lineage, DAG scheduler, sort-based shuffle, memory manager and
+//!   pipelined task executor.
+//! * [`model`] — **the paper's contribution**: the I/O-aware analytical stage
+//!   model (Equation 1), the three-phase execution analysis, the four-sample-
+//!   run calibrator, and an Ernest-style baseline.
+//! * [`workloads`] — GATK4, Logistic Regression, SVM, PageRank, Triangle
+//!   Count and Terasort workload definitions with the paper's parameters.
+//! * [`cloud`] — Google-Cloud-style pricing and size-dependent virtual-disk
+//!   bandwidth, plus the model-driven cost optimizer (Section VI).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use doppio::cluster::{ClusterSpec, HybridConfig};
+//! use doppio::sparksim::Simulation;
+//! use doppio::workloads::terasort;
+//!
+//! // 3 worker nodes in the paper's 2-SSD configuration, 8 cores each.
+//! let cluster = ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd);
+//! let app = terasort::app(&terasort::Params::scaled_down());
+//! let run = Simulation::new(cluster).run(&app).expect("simulation runs");
+//! assert!(run.total_time().as_secs() > 0.0);
+//! for stage in run.stages() {
+//!     println!("{:28} {:>10}", stage.name, stage.duration.to_string());
+//! }
+//! ```
+
+pub use doppio_cloud as cloud;
+pub use doppio_cluster as cluster;
+pub use doppio_dfs as dfs;
+pub use doppio_events as events;
+pub use doppio_model as model;
+pub use doppio_sparksim as sparksim;
+pub use doppio_storage as storage;
+pub use doppio_workloads as workloads;

@@ -1,0 +1,361 @@
+//! `doppio` — command-line front end for the toolset.
+//!
+//! ```text
+//! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
+//! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
+//! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
+//! doppio optimize [--paper]
+//! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ>
+//! doppio list
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency set at the
+//! approved list (DESIGN.md §5).
+
+use std::process::ExitCode;
+
+use doppio::cloud::optimize::{grid_search, r1_reference, r2_reference, SearchSpace};
+use doppio::cloud::{disks, CloudDiskType, CostEvaluator};
+use doppio::cluster::{presets, ClusterSpec, HybridConfig};
+use doppio::events::Bytes;
+use doppio::model::phases::{break_point, classify, turning_point};
+use doppio::model::{Calibrator, PredictEnv, SimPlatform};
+use doppio::sparksim::{IoChannel, Simulation, SparkConf};
+use doppio::storage::fio::{run_analytic, FioJob};
+use doppio::workloads::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "fio" => cmd_fio(rest),
+        "simulate" => cmd_simulate(rest),
+        "predict" => cmd_predict(rest),
+        "optimize" => cmd_optimize(rest),
+        "phases" => cmd_phases(rest),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "doppio — I/O-aware Spark performance analysis, modeling and optimization
+
+USAGE:
+  doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
+      print effective-bandwidth/IOPS lookup tables
+  doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
+      run a workload on the discrete-event simulator
+  doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
+      calibrate the Doppio model (4 sample runs) and compare exp vs model
+  doppio optimize [--paper]
+      find the cheapest cloud configuration for GATK4 (Section VI)
+  doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P]
+      break-point analysis: b = BW/T, B = λ·b, phase classification
+  doppio list
+      list workloads and disk configurations
+
+configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=HDD)
+workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort";
+
+/// Fetches `--key value` from the argument list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn parse_config(s: &str) -> Result<HybridConfig, String> {
+    match s {
+        "2ssd" | "ssd" => Ok(HybridConfig::SsdSsd),
+        "2hdd" | "hdd" => Ok(HybridConfig::HddHdd),
+        "hdd-ssd" => Ok(HybridConfig::HddSsd),
+        "ssd-hdd" => Ok(HybridConfig::SsdHdd),
+        other => Err(format!("unknown config '{other}' (2ssd|2hdd|hdd-ssd|ssd-hdd)")),
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    Ok(match s {
+        "gatk4" => Workload::Gatk4,
+        "lr-small" => Workload::LrSmall,
+        "lr-large" => Workload::LrLarge,
+        "svm" => Workload::Svm,
+        "pagerank" | "pr" => Workload::PageRank,
+        "triangle" | "tc" => Workload::TriangleCount,
+        "terasort" | "ts" => Workload::Terasort,
+        other => return Err(format!("unknown workload '{other}' (try `doppio list`)")),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match opt(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{key} expects a number, got '{v}'")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("workloads:");
+    for w in Workload::ALL {
+        println!("  {:<14} ({} scaled / paper-scale apps available)", w.name(), w);
+    }
+    println!();
+    println!("disk configurations (Table III):");
+    for c in HybridConfig::ALL {
+        println!("  {:<26} HDFS={}, local={}", c.label(), c.hdfs_device().name(), c.local_device().name());
+    }
+    Ok(())
+}
+
+fn cmd_fio(args: &[String]) -> Result<(), String> {
+    let specs: Vec<doppio::storage::DeviceSpec> = if args.is_empty() {
+        vec![doppio::storage::presets::hdd_wd4000(), doppio::storage::presets::ssd_mz7lm()]
+    } else {
+        args.iter()
+            .map(|a| -> Result<_, String> {
+                if a == "hdd" {
+                    Ok(doppio::storage::presets::hdd_wd4000())
+                } else if a == "ssd" {
+                    Ok(doppio::storage::presets::ssd_mz7lm())
+                } else if let Some(gb) = a.strip_prefix("std-pd:") {
+                    let gb: u64 = gb.parse().map_err(|_| format!("bad size in '{a}'"))?;
+                    Ok(disks::device(CloudDiskType::StandardPd, Bytes::new(gb * 1_000_000_000)))
+                } else if let Some(gb) = a.strip_prefix("ssd-pd:") {
+                    let gb: u64 = gb.parse().map_err(|_| format!("bad size in '{a}'"))?;
+                    Ok(disks::device(CloudDiskType::SsdPd, Bytes::new(gb * 1_000_000_000)))
+                } else {
+                    Err(format!("unknown device '{a}'"))
+                }
+            })
+            .collect::<Result<_, _>>()?
+    };
+    for spec in specs {
+        println!();
+        println!("{spec}:");
+        println!("  {:>10} {:>14} {:>12}", "block", "BW (MiB/s)", "IOPS");
+        for r in run_analytic(&FioJob::read_sweep(spec)) {
+            println!(
+                "  {:>10} {:>14.1} {:>12.0}",
+                r.block_size.to_string(),
+                r.bandwidth.as_mib_per_sec(),
+                r.iops
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let workload = parse_workload(opt(args, "--workload").ok_or("missing --workload")?)?;
+    let nodes: usize = parse_num(args, "--nodes", 3)?;
+    let cores: u32 = parse_num(args, "--cores", 36)?;
+    let seed: u64 = parse_num(args, "--seed", 0xD0_99_10)?;
+    let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
+    let app = if flag(args, "--paper") {
+        workload.paper_app()
+    } else {
+        workload.scaled_app()
+    };
+
+    let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
+    let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).with_seed(seed))
+        .run(&app)
+        .map_err(|e| e.to_string())?;
+    println!("{run}");
+    println!("per-stage I/O:");
+    for s in run.stages() {
+        print!("  {:<24}", s.name);
+        for ch in IoChannel::DISK_CHANNELS {
+            let c = s.channel(ch);
+            if !c.bytes.is_zero() {
+                print!(" {}={:.1}GB", ch, c.bytes.as_gib());
+            }
+        }
+        if let Some(l) = s.tasks.lambda() {
+            print!("  λ={l:.1}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let workload = parse_workload(opt(args, "--workload").ok_or("missing --workload")?)?;
+    let nodes: usize = parse_num(args, "--nodes", 5)?;
+    let cores: u32 = parse_num(args, "--cores", 36)?;
+    let profile_nodes: usize = parse_num(args, "--profile-nodes", 3)?;
+    let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
+    let app = if flag(args, "--paper") {
+        workload.paper_app()
+    } else {
+        workload.scaled_app()
+    };
+
+    eprintln!("calibrating on {profile_nodes} nodes (4 sample runs)...");
+    let platform = SimPlatform::new(
+        app.clone(),
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        profile_nodes,
+        SparkConf::paper(),
+    );
+    let report = Calibrator::default()
+        .calibrate(&platform, app.name())
+        .map_err(|e| e.to_string())?;
+    for w in &report.warnings {
+        eprintln!("note: {w}");
+    }
+
+    let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
+    let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
+        .run(&app)
+        .map_err(|e| e.to_string())?;
+    let env = PredictEnv::hybrid(nodes, cores, config);
+
+    println!(
+        "target: {} nodes x {} cores, {}",
+        nodes,
+        cores,
+        config.label()
+    );
+    println!("  {:<24} {:>10} {:>12} {:>8}", "stage", "exp (min)", "model (min)", "err %");
+    let mut errs = Vec::new();
+    for s in run.stages() {
+        let exp = s.duration.as_secs();
+        let pred = report
+            .model
+            .stages()
+            .iter()
+            .zip(run.stages())
+            .filter(|(_, rs)| rs.name == s.name)
+            .map(|(ms, _)| ms.predict(&env))
+            .next()
+            .unwrap_or(0.0);
+        let err = if exp > 0.0 { (pred - exp).abs() / exp * 100.0 } else { 0.0 };
+        errs.push(err);
+        println!("  {:<24} {:>10.1} {:>12.1} {:>8.1}", s.name, exp / 60.0, pred / 60.0, err);
+    }
+    let total_exp = run.total_time().as_secs();
+    let total_pred = report.model.predict(&env);
+    println!(
+        "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
+        "TOTAL",
+        total_exp / 60.0,
+        total_pred / 60.0,
+        (total_pred - total_exp).abs() / total_exp * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let app = if flag(args, "--paper") {
+        Workload::Gatk4.paper_app()
+    } else {
+        Workload::Gatk4.scaled_app()
+    };
+    eprintln!("calibrating GATK4 on 3 nodes...");
+    let platform = SimPlatform::new(
+        app,
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        3,
+        SparkConf::paper(),
+    );
+    let model = Calibrator::default()
+        .calibrate(&platform, "GATK4")
+        .map_err(|e| e.to_string())?
+        .model;
+    let eval = CostEvaluator::new(model);
+    let best = grid_search(&eval, &SearchSpace::paper());
+    let r1 = eval.evaluate(&r1_reference(10, 16));
+    let r2 = eval.evaluate(&r2_reference(10, 16));
+    println!("optimum: {} -> {}", best.config, best.cost);
+    println!("R1 (Spark website): {r1}");
+    println!("R2 (Cloudera):      {r2}");
+    println!(
+        "savings: {:.0}% vs R1, {:.0}% vs R2 (paper: 38% / 57% at full scale)",
+        (1.0 - best.cost.total() / r1.total()) * 100.0,
+        (1.0 - best.cost.total() / r2.total()) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_phases(args: &[String]) -> Result<(), String> {
+    let bw: f64 = parse_num(args, "--bw", 480.0)?;
+    let t: f64 = parse_num(args, "--t", 60.0)?;
+    let lambda: f64 = parse_num(args, "--lambda", 20.0)?;
+    let cores: f64 = parse_num(args, "--cores", 36.0)?;
+    let b = break_point(
+        doppio::events::Rate::mib_per_sec(bw),
+        doppio::events::Rate::mib_per_sec(t),
+    );
+    let big_b = turning_point(lambda, b);
+    println!("BW = {bw} MiB/s, T = {t} MiB/s, λ = {lambda}");
+    println!("break point   b = BW/T  = {b:.1} cores");
+    println!("turning point B = λ·b   = {big_b:.1} cores");
+    println!("P = {cores}: {}", classify(cores, b, lambda));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn option_parsing() {
+        let a = argv("--nodes 5 --config 2hdd --paper");
+        assert_eq!(opt(&a, "--nodes"), Some("5"));
+        assert_eq!(opt(&a, "--missing"), None);
+        assert!(flag(&a, "--paper"));
+        assert!(!flag(&a, "--quiet"));
+        assert_eq!(parse_num::<usize>(&a, "--nodes", 3).unwrap(), 5);
+        assert_eq!(parse_num::<usize>(&a, "--cores", 36).unwrap(), 36);
+        assert!(parse_num::<usize>(&a, "--config", 0).is_err());
+    }
+
+    #[test]
+    fn config_names() {
+        assert_eq!(parse_config("2ssd").unwrap(), HybridConfig::SsdSsd);
+        assert_eq!(parse_config("2hdd").unwrap(), HybridConfig::HddHdd);
+        assert_eq!(parse_config("hdd-ssd").unwrap(), HybridConfig::HddSsd);
+        assert_eq!(parse_config("ssd-hdd").unwrap(), HybridConfig::SsdHdd);
+        assert!(parse_config("floppy").is_err());
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(parse_workload("gatk4").unwrap(), Workload::Gatk4);
+        assert_eq!(parse_workload("pr").unwrap(), Workload::PageRank);
+        assert_eq!(parse_workload("ts").unwrap(), Workload::Terasort);
+        assert!(parse_workload("spark").is_err());
+    }
+
+    #[test]
+    fn phases_command_runs() {
+        assert!(cmd_phases(&argv("--bw 120 --t 60 --lambda 4")).is_ok());
+        assert!(cmd_list().is_ok());
+    }
+}
+

@@ -1,0 +1,102 @@
+//! Cross-crate integration for the Section-VI cost study: calibrate on
+//! simulated cloud disks, optimize, and check the paper's qualitative
+//! findings (optimum beats the reference guides, small-SSD local wins,
+//! descent agrees with exhaustive search).
+
+use doppio::cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio::cloud::{CloudConfig, CloudDiskType, CloudPlatform, CostEvaluator, DiskChoice};
+use doppio::sparksim::SparkConf;
+use doppio::workloads::gatk4;
+use doppio::workloads::genome::GenomeDataset;
+
+fn evaluator() -> CostEvaluator {
+    let params = gatk4::Params {
+        dataset: GenomeDataset::hcc1954().scaled(1.0 / 8.0),
+        ..gatk4::Params::paper()
+    };
+    let app = gatk4::app(&params);
+    let mut platform = CloudPlatform::new(app, 3, 16, SparkConf::paper());
+    let report = platform
+        .calibrate_with_resizing("GATK4", 3)
+        .expect("cloud calibration succeeds");
+    CostEvaluator::new(report.model)
+}
+
+#[test]
+fn optimum_beats_both_reference_guides() {
+    let eval = evaluator();
+    let best = grid_search(&eval, &SearchSpace::paper());
+    let r1 = eval.evaluate(&r1_reference(10, 16));
+    let r2 = eval.evaluate(&r2_reference(10, 16));
+    let s1 = 1.0 - best.cost.total() / r1.total();
+    let s2 = 1.0 - best.cost.total() / r2.total();
+    assert!(s1 > 0.10, "savings vs R1 = {:.0}%", s1 * 100.0);
+    assert!(s2 > s1, "R2 over-provisions more");
+    assert!(s2 > 0.30, "savings vs R2 = {:.0}%", s2 * 100.0);
+}
+
+#[test]
+fn descent_finds_the_grid_optimum() {
+    let eval = evaluator();
+    let space = SearchSpace::paper();
+    let descent = multi_start_descent(&eval, &space);
+    let grid = grid_search(&eval, &space);
+    // Multi-start coordinate descent is a heuristic on a coupled
+    // discrete space; it must land within a few percent of the grid.
+    assert!(
+        descent.cost.total() <= grid.cost.total() * 1.05,
+        "descent ${:.2} vs grid ${:.2}",
+        descent.cost.total(),
+        grid.cost.total()
+    );
+    assert!(descent.evaluations < grid.evaluations * 2);
+}
+
+#[test]
+fn optimal_local_disk_is_a_small_ssd() {
+    // Paper §VI.4: a modest SSD Spark-local directory plus a standard-PD
+    // HDFS disk is cost-optimal — the 30 KB shuffle reads need IOPS, not
+    // provisioned terabytes.
+    let eval = evaluator();
+    let best = grid_search(&eval, &SearchSpace::paper());
+    assert_eq!(best.config.local.disk_type, CloudDiskType::SsdPd);
+    assert!(best.config.local.size.as_f64() <= 1.0e12, "local = {}", best.config.local);
+    assert_eq!(best.config.hdfs.disk_type, CloudDiskType::StandardPd, "SSD HDFS buys nothing");
+}
+
+#[test]
+fn runtime_monotone_and_cost_u_shaped_in_local_size() {
+    let eval = evaluator();
+    let base = CloudConfig {
+        nodes: 10,
+        vcpus: 16,
+        hdfs: DiskChoice::standard_gb(1000),
+        local: DiskChoice::ssd_gb(200),
+    };
+    let sweep = doppio::cloud::optimize::sweep_local_sizes(
+        &eval,
+        base,
+        CloudDiskType::SsdPd,
+        &[20, 50, 100, 200, 400, 800, 1600, 3200],
+    );
+    for w in sweep.windows(2) {
+        assert!(w[1].1.runtime_secs <= w[0].1.runtime_secs + 1e-6, "runtime monotone");
+    }
+    let costs: Vec<f64> = sweep.iter().map(|(_, c)| c.total()).collect();
+    let min_idx = costs.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+    assert!(min_idx > 0 && min_idx < costs.len() - 1, "U-shape: optimum interior, idx={min_idx}");
+}
+
+#[test]
+fn cloud_calibration_resizing_rules_apply() {
+    let params = gatk4::Params {
+        dataset: GenomeDataset::hcc1954().scaled(1.0 / 8.0),
+        ..gatk4::Params::paper()
+    };
+    let mut platform = CloudPlatform::new(gatk4::app(&params), 3, 16, SparkConf::paper());
+    let before = (platform.ssd_size(), platform.hdd_size());
+    let report = platform.calibrate_with_resizing("GATK4", 3).expect("calibrates");
+    assert!(platform.ssd_size() >= before.0);
+    assert!(platform.hdd_size() <= before.1);
+    assert!(!report.model.stages().is_empty());
+}

@@ -1,0 +1,126 @@
+//! Cross-crate invariants of the Spark-like substrate itself: stage
+//! cutting, shuffle reuse, cache lifecycles, and conservation of data
+//! through the DFS and the shuffle.
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::events::Bytes;
+use doppio::sparksim::{
+    AppBuilder, Cost, IoChannel, ShuffleSpec, Simulation, SparkConf, StageKind, StorageLevel,
+};
+
+fn sim() -> Simulation {
+    Simulation::with_conf(
+        ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd),
+        SparkConf::paper().with_cores(8).without_noise(),
+    )
+}
+
+#[test]
+fn chained_shuffles_produce_chained_stages() {
+    let mut b = AppBuilder::new("two-hop");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
+    let s1 = b.group_by_key(src, "hop1", ShuffleSpec::reducers(64), Cost::ZERO, 1.0);
+    let s2 = b.group_by_key(s1, "hop2", ShuffleSpec::reducers(32), Cost::ZERO, 1.0);
+    b.count(s2, "result", Cost::ZERO);
+    let run = sim().run(&b.build().unwrap()).unwrap();
+    let kinds: Vec<(String, StageKind)> = run
+        .stages()
+        .iter()
+        .map(|s| (s.name.clone(), s.kind))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("hop1".into(), StageKind::ShuffleMap),
+            ("hop2".into(), StageKind::ShuffleMap),
+            ("result".into(), StageKind::Result),
+        ]
+    );
+    // hop2's map tasks read hop1's shuffle output.
+    let hop2 = run.stage("hop2").unwrap();
+    assert_eq!(hop2.tasks.count, 64, "one map task per hop1 reducer");
+    assert_eq!(hop2.channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(4));
+    assert_eq!(hop2.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4));
+}
+
+#[test]
+fn shuffle_output_is_reused_across_jobs() {
+    let mut b = AppBuilder::new("reuse");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+    let sh = b.group_by_key(src, "shuffle", ShuffleSpec::reducers(32), Cost::ZERO, 1.0);
+    for i in 0..3 {
+        b.count(sh, format!("job{i}"), Cost::ZERO);
+    }
+    let run = sim().run(&b.build().unwrap()).unwrap();
+    // One map stage total, three result stages.
+    let maps = run.stages().iter().filter(|s| s.kind == StageKind::ShuffleMap).count();
+    assert_eq!(maps, 1, "map stage runs once, later jobs skip it");
+    assert_eq!(run.stages().len(), 4);
+    // Each result stage re-reads the full shuffle output.
+    assert_eq!(
+        run.total_channel_bytes(IoChannel::ShuffleRead),
+        Bytes::from_gib(6)
+    );
+}
+
+#[test]
+fn cache_cuts_lineage_after_first_materialization() {
+    let mut b = AppBuilder::new("cache");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+    let parsed = b.map(src, "parsed", Cost::per_mib(0.01), 1.0);
+    b.persist(parsed, StorageLevel::MemoryAndDisk, 2.0);
+    b.count(parsed, "first", Cost::ZERO);
+    b.count(parsed, "second", Cost::ZERO);
+    b.count(parsed, "third", Cost::ZERO);
+    let run = sim().run(&b.build().unwrap()).unwrap();
+    assert_eq!(
+        run.stage("first").unwrap().channel_bytes(IoChannel::HdfsRead),
+        Bytes::from_gib(2)
+    );
+    for later in ["second", "third"] {
+        assert_eq!(
+            run.stage(later).unwrap().channel_bytes(IoChannel::HdfsRead),
+            Bytes::ZERO,
+            "{later} reads from cache"
+        );
+    }
+}
+
+#[test]
+fn replication_amplifies_writes_not_reads() {
+    let mut b = AppBuilder::new("repl");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+    b.save_as_hadoop_file(src, "copy", "/out");
+    let run = sim().run(&b.build().unwrap()).unwrap();
+    let s = run.stage("copy").unwrap();
+    assert_eq!(s.channel_bytes(IoChannel::HdfsRead), Bytes::from_gib(2));
+    assert_eq!(s.channel_bytes(IoChannel::HdfsWrite), Bytes::from_gib(4), "x2 replication");
+    // Exactly one replica crosses the network.
+    assert_eq!(s.channel_bytes(IoChannel::NetIn), Bytes::from_gib(2));
+}
+
+#[test]
+fn union_concatenates_partitions() {
+    let mut b = AppBuilder::new("union");
+    let a = b.hdfs_source("a", "/a", Bytes::from_gib(1)); // 8 blocks
+    let c = b.hdfs_source("c", "/c", Bytes::from_gib(2)); // 16 blocks
+    let u = b.union(&[a, c], "u");
+    b.count(u, "scan", Cost::ZERO);
+    let run = sim().run(&b.build().unwrap()).unwrap();
+    assert_eq!(run.stage("scan").unwrap().tasks.count, 24);
+    assert_eq!(
+        run.stage("scan").unwrap().channel_bytes(IoChannel::HdfsRead),
+        Bytes::from_gib(3)
+    );
+}
+
+#[test]
+fn missing_input_is_a_planning_error() {
+    // Two writes to the same output path must fail on the second job.
+    let mut b = AppBuilder::new("dup");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+    b.save_as_hadoop_file(src, "w1", "/same");
+    b.save_as_hadoop_file(src, "w2", "/same");
+    let err = sim().run(&b.build().unwrap()).unwrap_err();
+    assert!(err.to_string().contains("/same"), "error: {err}");
+}

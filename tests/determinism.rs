@@ -1,0 +1,70 @@
+//! Reproducibility: the whole stack is deterministic per seed — identical
+//! metrics, identical calibrated models — and seeds genuinely matter.
+
+use doppio::cluster::{presets, ClusterSpec, HybridConfig};
+use doppio::model::{Calibrator, SimPlatform};
+use doppio::sparksim::{AppRun, Simulation, SparkConf};
+use doppio::workloads::Workload;
+
+fn run_with_seed(w: Workload, seed: u64) -> AppRun {
+    let app = w.scaled_app();
+    let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdHdd);
+    Simulation::with_conf(cluster, SparkConf::paper().with_cores(12).with_seed(seed))
+        .run(&app)
+        .expect("simulates")
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    for w in [Workload::Gatk4, Workload::Terasort, Workload::PageRank] {
+        let a = run_with_seed(w, 7);
+        let b = run_with_seed(w, 7);
+        assert_eq!(a, b, "{w} must be bit-identical per seed");
+    }
+}
+
+#[test]
+fn different_seeds_change_timing_but_not_volumes() {
+    let a = run_with_seed(Workload::Terasort, 1);
+    let b = run_with_seed(Workload::Terasort, 2);
+    assert_ne!(
+        a.total_time(),
+        b.total_time(),
+        "compute jitter must respond to the seed"
+    );
+    for ch in doppio::sparksim::IoChannel::DISK_CHANNELS {
+        assert_eq!(a.total_channel_bytes(ch), b.total_channel_bytes(ch));
+    }
+    // Jitter is small (3% noise): totals agree within a few percent.
+    let rel = (a.total_time().as_secs() - b.total_time().as_secs()).abs() / a.total_time().as_secs();
+    assert!(rel < 0.05, "seeds perturb, not upend: {rel:.3}");
+}
+
+#[test]
+fn calibration_is_deterministic() {
+    let mk = || {
+        let platform = SimPlatform::new(
+            Workload::Svm.scaled_app(),
+            presets::paper_node(36, HybridConfig::SsdSsd),
+            3,
+            SparkConf::paper(),
+        );
+        Calibrator::default().calibrate(&platform, "svm").expect("calibrates").model
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn noiseless_runs_ignore_the_seed() {
+    let app = Workload::Svm.scaled_app();
+    let mk = |seed: u64| {
+        let cluster = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
+        Simulation::with_conf(
+            cluster,
+            SparkConf::paper().with_cores(8).with_seed(seed).without_noise(),
+        )
+        .run(&app)
+        .expect("simulates")
+    };
+    assert_eq!(mk(1), mk(2), "without noise the seed is irrelevant");
+}

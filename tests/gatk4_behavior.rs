@@ -1,0 +1,116 @@
+//! Cross-crate integration: the GATK4 pipeline reproduces the paper's
+//! Section-III observations end to end (scaled dataset, full stack:
+//! workloads → sparksim → cluster → storage → events).
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::events::Bytes;
+use doppio::sparksim::{AppRun, IoChannel, Simulation, SparkConf};
+use doppio::workloads::gatk4;
+
+fn run(config: HybridConfig, cores: u32) -> AppRun {
+    let app = gatk4::app(&gatk4::Params::scaled_down());
+    let cluster = ClusterSpec::paper_cluster(3, 36, config);
+    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
+        .run(&app)
+        .expect("GATK4 simulates")
+}
+
+/// Paper observation 1: switching the HDFS folder from HDD to SSD brings
+/// no gain for MD, some for BR, most for SF.
+#[test]
+fn observation1_hdfs_device_sensitivity_ordering() {
+    let ssd = run(HybridConfig::SsdSsd, 36);
+    let hdd_hdfs = run(HybridConfig::HddSsd, 36);
+    let slowdown = |name: &str| {
+        hdd_hdfs.stage(name).unwrap().duration.as_secs() / ssd.stage(name).unwrap().duration.as_secs()
+    };
+    let md = slowdown("MD");
+    let br = slowdown("BR");
+    let sf = slowdown("SF");
+    assert!(md < 1.10, "MD insensitive: {md:.2}x");
+    assert!(sf > br, "SF (which also writes to HDFS) suffers most: sf={sf:.2} br={br:.2}");
+    assert!(sf > 1.5, "SF heavily HDFS-bound: {sf:.2}x");
+}
+
+/// Paper observation 2: switching Spark-local from SSD to HDD moves the
+/// dominant cost into BR and SF.
+#[test]
+fn observation2_local_device_dominates() {
+    let ssd = run(HybridConfig::SsdSsd, 36);
+    let hdd_local = run(HybridConfig::SsdHdd, 36);
+    let ratio = |r: &AppRun, name: &str| r.stage(name).unwrap().duration.as_secs();
+    // On HDD local, BR and SF take roughly equally long (both re-read the
+    // same shuffle at the same crippled bandwidth).
+    let br = ratio(&hdd_local, "BR");
+    let sf = ratio(&hdd_local, "SF");
+    assert!((br - sf).abs() / br < 0.15, "BR {br:.0}s vs SF {sf:.0}s");
+    // And each is several times its SSD-local time.
+    assert!(br / ratio(&ssd, "BR") > 3.0);
+    assert!(sf / ratio(&ssd, "SF") > 3.0);
+}
+
+/// Paper observation 3: Spark-local is much more I/O-sensitive than HDFS.
+#[test]
+fn observation3_local_more_sensitive_than_hdfs() {
+    let ssd = run(HybridConfig::SsdSsd, 36);
+    let hdd_local = run(HybridConfig::SsdHdd, 36);
+    let hdd_hdfs = run(HybridConfig::HddSsd, 36);
+    let total = |r: &AppRun| r.total_time().as_secs();
+    let local_penalty = total(&hdd_local) / total(&ssd);
+    let hdfs_penalty = total(&hdd_hdfs) / total(&ssd);
+    assert!(
+        local_penalty > 2.0 * hdfs_penalty,
+        "local penalty {local_penalty:.1}x vs hdfs penalty {hdfs_penalty:.1}x"
+    );
+}
+
+/// Figure 3: on 2SSD, BR/SF scale with the core count; on 2HDD they don't.
+#[test]
+fn core_scaling_depends_on_device() {
+    let ssd12 = run(HybridConfig::SsdSsd, 12);
+    let ssd36 = run(HybridConfig::SsdSsd, 36);
+    let hdd12 = run(HybridConfig::HddHdd, 12);
+    let hdd36 = run(HybridConfig::HddHdd, 36);
+    let br = |r: &AppRun| r.stage("BR").unwrap().duration.as_secs();
+    assert!(br(&ssd12) / br(&ssd36) > 2.0, "BR scales on SSD");
+    let hdd_change = (br(&hdd36) / br(&hdd12) - 1.0).abs();
+    assert!(hdd_change < 0.12, "BR flat on HDD: {:.0}%", hdd_change * 100.0);
+}
+
+/// Table IV: the uncacheable markedReads RDD forces BR and SF to re-read
+/// both the shuffle output and the input file.
+#[test]
+fn table4_io_accounting() {
+    let params = gatk4::Params::scaled_down();
+    let r = run(HybridConfig::SsdSsd, 8);
+    let shuffle = params.dataset.shuffle_bytes();
+    let close = |a: Bytes, b: Bytes| (a.as_f64() - b.as_f64()).abs() / b.as_f64() < 0.03;
+    assert!(close(r.stage("MD").unwrap().channel_bytes(IoChannel::ShuffleWrite), shuffle));
+    assert!(close(r.stage("BR").unwrap().channel_bytes(IoChannel::ShuffleRead), shuffle));
+    assert!(close(r.stage("SF").unwrap().channel_bytes(IoChannel::ShuffleRead), shuffle));
+    // Shuffle is written once but read twice across the app.
+    let total_read = r.total_channel_bytes(IoChannel::ShuffleRead);
+    assert!(close(total_read, shuffle * 2));
+}
+
+/// The shuffle-read request size stays in the tens-of-KB regime that
+/// separates HDD from SSD behaviour.
+#[test]
+fn shuffle_read_requests_are_small() {
+    let r = run(HybridConfig::SsdSsd, 8);
+    let rs = r
+        .stage("BR")
+        .unwrap()
+        .channel(IoChannel::ShuffleRead)
+        .avg_request_size()
+        .expect("BR reads shuffle data");
+    assert!(rs < Bytes::from_kib(64), "segment = {rs}");
+    // While shuffle write stays in the hundreds-of-MB regime.
+    let ws = r
+        .stage("MD")
+        .unwrap()
+        .channel(IoChannel::ShuffleWrite)
+        .avg_request_size()
+        .expect("MD writes shuffle data");
+    assert!(ws > Bytes::from_mib(64), "write chunk = {ws}");
+}

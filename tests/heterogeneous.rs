@@ -1,0 +1,90 @@
+//! Heterogeneous clusters: the spec layer allows per-node devices and core
+//! counts even though the paper's clusters are uniform — these tests pin
+//! down that the whole stack behaves sanely when nodes differ.
+
+use doppio::cluster::{presets, ClusterSpec, DiskRole, HybridConfig};
+use doppio::events::Bytes;
+use doppio::sparksim::{AppBuilder, Cost, ShuffleSpec, Simulation, SparkConf};
+
+fn shuffle_app() -> doppio::sparksim::App {
+    let mut b = AppBuilder::new("mix");
+    let src = b.hdfs_source("in", "/in", Bytes::from_gib(6));
+    let sh = b.group_by_key(
+        src,
+        "group",
+        ShuffleSpec::target_reducer_bytes(Bytes::from_mib(2)),
+        Cost::ZERO,
+        1.0,
+    );
+    b.count(sh, "reduce", Cost::ZERO);
+    b.build().unwrap()
+}
+
+fn run(cluster: ClusterSpec) -> f64 {
+    Simulation::with_conf(cluster, SparkConf::paper().with_cores(16).without_noise())
+        .run(&shuffle_app())
+        .expect("simulates")
+        .total_time()
+        .as_secs()
+}
+
+/// A cluster with one HDD-local node lands strictly between all-SSD and
+/// all-HDD: the slow disk throttles only its share of the shuffle.
+#[test]
+fn mixed_local_devices_interpolate() {
+    let ssd_node = presets::paper_node(36, HybridConfig::SsdSsd);
+    let hdd_local_node = ssd_node
+        .clone()
+        .with_disk(DiskRole::Local, doppio::storage::presets::hdd_wd4000());
+
+    let all_ssd = run(ClusterSpec::homogeneous(3, ssd_node.clone()));
+    let all_hdd = run(ClusterSpec::from_nodes(vec![
+        hdd_local_node.clone(),
+        hdd_local_node.clone(),
+        hdd_local_node.clone(),
+    ]));
+    let mixed = run(ClusterSpec::from_nodes(vec![
+        ssd_node.clone(),
+        ssd_node,
+        hdd_local_node,
+    ]));
+
+    assert!(
+        all_ssd < mixed && mixed < all_hdd,
+        "ssd {all_ssd:.0}s < mixed {mixed:.0}s < hdd {all_hdd:.0}s"
+    );
+    // The straggling node carries 1/3 of the shuffle at HDD speed, so the
+    // mixed cluster sits much closer to the HDD end than the SSD end.
+    assert!(mixed > all_hdd * 0.25, "one slow disk throttles its whole share");
+}
+
+/// An NVMe Spark-local directory makes even the 30 KB shuffle regime a
+/// non-event — the "what would Figure 2 look like today" experiment.
+#[test]
+fn nvme_erases_the_shuffle_penalty() {
+    let ssd_node = presets::paper_node(36, HybridConfig::SsdSsd);
+    let nvme_node = ssd_node
+        .clone()
+        .with_disk(DiskRole::Local, doppio::storage::presets::nvme_p4510());
+    let sata = run(ClusterSpec::homogeneous(3, ssd_node));
+    let nvme = run(ClusterSpec::homogeneous(3, nvme_node));
+    assert!(nvme <= sata, "NVMe can only help");
+}
+
+/// Nodes with different core counts: the executor respects each node's own
+/// capacity rather than assuming uniformity.
+#[test]
+fn mixed_core_counts_respected() {
+    let big = presets::paper_node(36, HybridConfig::SsdSsd);
+    let small = big.clone().with_cores(4);
+
+    // Executor cores are clamped per node: with conf 16, "small" runs 4.
+    let mixed = ClusterSpec::from_nodes(vec![big.clone(), small]);
+    let t_mixed = run(mixed);
+    let t_two_big = run(ClusterSpec::homogeneous(2, big.clone()));
+    let t_one_big = run(ClusterSpec::homogeneous(1, big));
+    assert!(
+        t_two_big <= t_mixed && t_mixed <= t_one_big * 1.05,
+        "two-big {t_two_big:.0}s <= mixed {t_mixed:.0}s <= one-big {t_one_big:.0}s"
+    );
+}

@@ -1,0 +1,94 @@
+//! Every workload runs end to end through the full stack, on SSD and HDD
+//! configurations, with sane invariants: positive stage times, HDD never
+//! faster than SSD, and data volumes independent of the device.
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::sparksim::{AppRun, IoChannel, Simulation, SparkConf};
+use doppio::workloads::Workload;
+
+fn run(w: Workload, config: HybridConfig) -> AppRun {
+    let app = w.scaled_app();
+    let cluster = ClusterSpec::paper_cluster(2, 36, config);
+    Simulation::with_conf(cluster, SparkConf::paper().with_cores(16).without_noise())
+        .run(&app)
+        .unwrap_or_else(|e| panic!("{w} failed to simulate: {e}"))
+}
+
+#[test]
+fn all_workloads_run_on_both_device_configs() {
+    for w in Workload::ALL {
+        let ssd = run(w, HybridConfig::SsdSsd);
+        let hdd = run(w, HybridConfig::HddHdd);
+        assert!(!ssd.stages().is_empty(), "{w} produced stages");
+        for s in ssd.stages() {
+            assert!(s.duration.as_secs() > 0.0, "{w}/{} has positive duration", s.name);
+            assert!(s.tasks.count > 0);
+            let eps = 1e-9 * s.tasks.max_secs.max(1.0);
+            assert!(
+                s.tasks.min_secs <= s.tasks.avg_secs + eps && s.tasks.avg_secs <= s.tasks.max_secs + eps,
+                "{w}/{}: min {} avg {} max {}",
+                s.name,
+                s.tasks.min_secs,
+                s.tasks.avg_secs,
+                s.tasks.max_secs
+            );
+        }
+        let ratio = hdd.total_time().as_secs() / ssd.total_time().as_secs();
+        assert!(
+            ratio >= 0.999,
+            "{w}: HDD must not beat SSD (ratio {ratio:.3})"
+        );
+    }
+}
+
+#[test]
+fn data_volumes_are_device_independent() {
+    for w in Workload::ALL {
+        let ssd = run(w, HybridConfig::SsdSsd);
+        let hdd = run(w, HybridConfig::HddHdd);
+        for ch in IoChannel::DISK_CHANNELS {
+            assert_eq!(
+                ssd.total_channel_bytes(ch),
+                hdd.total_channel_bytes(ch),
+                "{w}: {ch} volume must not depend on the device"
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_names_follow_the_paper() {
+    let expectations: [(Workload, &[&str]); 7] = [
+        (Workload::Gatk4, &["MD", "BR", "SF"]),
+        (Workload::LrSmall, &["dataValidator", "iteration"]),
+        (Workload::LrLarge, &["dataValidator", "iteration"]),
+        (Workload::Svm, &["dataValidator", "iteration", "subtract"]),
+        (Workload::PageRank, &["graphLoader", "iteration", "saveAsTextFile"]),
+        (Workload::TriangleCount, &["graphLoader", "computeTriangleCount"]),
+        (Workload::Terasort, &["NF", "SF"]),
+    ];
+    for (w, names) in expectations {
+        let r = run(w, HybridConfig::SsdSsd);
+        for name in names {
+            assert!(r.stage(name).is_some(), "{w} must have stage '{name}'");
+        }
+    }
+}
+
+#[test]
+fn io_sensitivity_ordering_matches_the_paper_summary() {
+    // Section V-B summary: shuffle-heavy phases see the largest HDD/SSD
+    // gaps; memory-cached iterative phases see none.
+    let tc_ssd = run(Workload::TriangleCount, HybridConfig::SsdSsd);
+    let tc_hdd = run(Workload::TriangleCount, HybridConfig::HddHdd);
+    let tc_gap = doppio::workloads::triangle::compute_time(&tc_hdd).as_secs()
+        / doppio::workloads::triangle::compute_time(&tc_ssd).as_secs();
+
+    let lr_ssd = run(Workload::LrSmall, HybridConfig::SsdSsd);
+    let lr_hdd = run(Workload::LrSmall, HybridConfig::HddHdd);
+    let lr_iter_gap = lr_hdd.time_in("iteration").as_secs() / lr_ssd.time_in("iteration").as_secs();
+
+    assert!(tc_gap > 3.0, "triangle-count shuffle gap = {tc_gap:.1}x");
+    assert!((lr_iter_gap - 1.0).abs() < 0.05, "cached LR iterations gap = {lr_iter_gap:.2}x");
+    assert!(tc_gap > lr_iter_gap * 2.0);
+}
