@@ -17,7 +17,10 @@ use doppio_model::{ErnestModel, PredictEnv};
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("abl01", "Ablation: Doppio vs Ernest-style baseline (device blindness)");
+    banner(
+        "abl01",
+        "Ablation: Doppio vs Ernest-style baseline (device blindness)",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     let doppio = calibrate(&app, 3);
@@ -28,7 +31,9 @@ fn main() {
     println!();
     println!("  Ernest training samples (2SSD, 10 slaves):");
     for p in train_p {
-        let t = simulate(&app, 10, p, HybridConfig::SsdSsd).total_time().as_secs();
+        let t = simulate(&app, 10, p, HybridConfig::SsdSsd)
+            .total_time()
+            .as_secs();
         println!("    P = {p:>2}: {:.1} min", t / 60.0);
         samples.push((p as f64, t));
     }
@@ -61,15 +66,23 @@ fn main() {
         rows.push((config, exp, dop, ern));
     }
 
-    let hdd_rows: Vec<_> = rows.iter().filter(|r| r.0 == HybridConfig::SsdHdd).collect();
-    let dop_err: f64 = hdd_rows.iter().map(|r| err_pct(r.1, r.2)).sum::<f64>() / hdd_rows.len() as f64;
-    let ern_err: f64 = hdd_rows.iter().map(|r| err_pct(r.1, r.3)).sum::<f64>() / hdd_rows.len() as f64;
+    let hdd_rows: Vec<_> = rows
+        .iter()
+        .filter(|r| r.0 == HybridConfig::SsdHdd)
+        .collect();
+    let dop_err: f64 =
+        hdd_rows.iter().map(|r| err_pct(r.1, r.2)).sum::<f64>() / hdd_rows.len() as f64;
+    let ern_err: f64 =
+        hdd_rows.iter().map(|r| err_pct(r.1, r.3)).sum::<f64>() / hdd_rows.len() as f64;
     println!();
     println!("  on HDD-local targets: Doppio avg error {dop_err:.1}%, Ernest {ern_err:.0}%");
     println!("  Ernest cannot express the device change at all — its prediction is a");
     println!("  function of parallelism only.");
 
-    assert!(dop_err < 10.0, "Doppio stays inside the paper's error bound");
+    assert!(
+        dop_err < 10.0,
+        "Doppio stays inside the paper's error bound"
+    );
     assert!(ern_err > 50.0, "device-blind baseline collapses on HDD");
     footer("abl01");
 }

@@ -18,7 +18,14 @@ use doppio_storage::presets;
 
 /// Builds a stage whose disk pressure is `mb_per_node_sec` MB/s per node if
 /// it ran for `base_secs`, on a cluster with the given core count.
-fn profile(name: &str, mb_per_node_sec: f64, base_secs: f64, nodes: usize, cores: u32, t_avg: f64) -> (StageModel, PredictEnv) {
+fn profile(
+    name: &str,
+    mb_per_node_sec: f64,
+    base_secs: f64,
+    nodes: usize,
+    cores: u32,
+    t_avg: f64,
+) -> (StageModel, PredictEnv) {
     let total = Bytes::from_mib_f64(mb_per_node_sec * base_secs * nodes as f64);
     let m = (nodes as f64 * cores as f64 * base_secs / t_avg).round() as u64;
     let stage = StageModel {
@@ -82,7 +89,13 @@ fn main() {
     println!("  'at most 19% median'); GATK4-like: {gatk_speedup:.1}x — both setups obey the");
     println!("  same Equation 1, just on opposite sides of the break point.");
 
-    assert!(sql_speedup < 1.25, "low-I/O profile gains little: {sql_speedup:.2}");
-    assert!(gatk_speedup > 2.0, "high-I/O profile is disk-bound: {gatk_speedup:.1}");
+    assert!(
+        sql_speedup < 1.25,
+        "low-I/O profile gains little: {sql_speedup:.2}"
+    );
+    assert!(
+        gatk_speedup > 2.0,
+        "high-I/O profile is disk-bound: {gatk_speedup:.1}"
+    );
     footer("abl02");
 }

@@ -26,18 +26,18 @@ fn run_stage(p: u32) -> (f64, f64, f64) {
     b.count(sh, "reduce", Cost::ZERO);
     let app = b.build().unwrap();
     let cluster = ClusterSpec::paper_cluster(1, 48, HybridConfig::SsdSsd);
-    let run = Simulation::with_conf(
-        cluster,
-        SparkConf::paper().with_cores(p).without_noise(),
-    )
-    .run(&app)
-    .unwrap();
+    let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(p).without_noise())
+        .run(&app)
+        .unwrap();
     let s = run.stage("reduce").unwrap();
     (s.duration.as_secs(), s.tasks.avg_secs, s.tasks.avg_io_secs)
 }
 
 fn main() {
-    banner("abl03", "Ablation: empirical break point b and turning point B = λ·b");
+    banner(
+        "abl03",
+        "Ablation: empirical break point b and turning point B = λ·b",
+    );
 
     println!("  stage: shuffle read at 30 KB segments on SSD, T = 60 MB/s, λ = 5");
     println!("  theory: b = 480/60 = 8, B = 5 x 8 = 40");
@@ -63,13 +63,21 @@ fn main() {
     // Scaling holds until B, then flattens.
     let at = |p: u32| *rows.iter().find(|r| r.0 == p).unwrap();
     let scale_8_16 = at(8).1 / at(16).1;
-    assert!(scale_8_16 > 1.8, "still scaling between b and B: {scale_8_16:.2}");
+    assert!(
+        scale_8_16 > 1.8,
+        "still scaling between b and B: {scale_8_16:.2}"
+    );
     let flat = (at(44).1 - at(48).1).abs() / at(44).1;
     assert!(flat < 0.05, "flat beyond B: {flat:.3}");
     // Past b the per-task I/O time inflates (contention is real) while the
     // task time — and hence the stage — stays put: the compute budget hides
     // it. That IS the hidden-contention phase.
-    assert!(at(24).3 > at(4).3 * 1.5, "I/O time inflates past b: {} vs {}", at(24).3, at(4).3);
+    assert!(
+        at(24).3 > at(4).3 * 1.5,
+        "I/O time inflates past b: {} vs {}",
+        at(24).3,
+        at(4).3
+    );
     assert!(
         (at(24).2 / at(4).2 - 1.0).abs() < 0.1,
         "task time unchanged while hidden: {} vs {}",

@@ -30,7 +30,10 @@ fn peak_only(model: &AppModel) -> AppModel {
 }
 
 fn main() {
-    banner("abl04", "Ablation: request-size-aware vs peak-bandwidth model");
+    banner(
+        "abl04",
+        "Ablation: request-size-aware vs peak-bandwidth model",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     let aware = calibrate(&app, 3);
@@ -73,6 +76,9 @@ fn main() {
     println!("  delivers 138 MB/s to 30 KB shuffle reads that actually get 15 MB/s.");
 
     assert!(aware_avg < 10.0);
-    assert!(peak_avg > 40.0, "peak-only model must underestimate badly: {peak_avg:.0}%");
+    assert!(
+        peak_avg > 40.0,
+        "peak-only model must underestimate badly: {peak_avg:.0}%"
+    );
     footer("abl04");
 }

@@ -29,7 +29,10 @@ fn app(skew: f64) -> App {
 }
 
 fn main() {
-    banner("abl05", "Ablation: Equation 1 under Zipf key skew (uniform-task assumption)");
+    banner(
+        "abl05",
+        "Ablation: Equation 1 under Zipf key skew (uniform-task assumption)",
+    );
 
     println!(
         "  {:>5} {:>12} {:>10} {:>11} {:>8} {:>14}",
@@ -48,7 +51,11 @@ fn main() {
         // Straggler factor: slowest over mean task time in the reduce stage.
         let reduce = run.stage("reduce").expect("reduce stage");
         let straggler = reduce.tasks.max_secs / reduce.tasks.avg_secs;
-        let note = if e < 10.0 { "within the paper's bound" } else { "outside" };
+        let note = if e < 10.0 {
+            "within the paper's bound"
+        } else {
+            "outside"
+        };
         println!(
             "  {:>5.1} {:>11.1}x {:>10.1} {:>11.1} {:>8.1} {:>14}",
             skew,
@@ -68,7 +75,10 @@ fn main() {
     println!("  stage tail and the uniform-task model under-predicts ({worst_err:.0}% at s=1.0):");
     println!("  a quantified boundary of Equation 1's validity.");
 
-    assert!(uniform_err < 10.0, "uniform case must satisfy the paper's claim");
+    assert!(
+        uniform_err < 10.0,
+        "uniform case must satisfy the paper's claim"
+    );
     assert!(
         worst_err > uniform_err,
         "skew must hurt the uniform-task model: {worst_err:.1}% vs {uniform_err:.1}%"

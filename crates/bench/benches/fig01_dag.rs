@@ -16,13 +16,20 @@ fn main() {
 
     println!("jobs:");
     for job in app.jobs() {
-        println!("  {:?} -> action on rdd {}", job.name, app.rdd_name(job.target));
+        println!(
+            "  {:?} -> action on rdd {}",
+            job.name,
+            app.rdd_name(job.target)
+        );
     }
 
     let run = simulate(&app, 3, 8, HybridConfig::SsdSsd);
     println!();
     println!("executed stages (1/16-scale input):");
-    println!("  {:<18} {:<12} {:>8} {:>12}", "stage", "kind", "tasks", "duration");
+    println!(
+        "  {:<18} {:<12} {:>8} {:>12}",
+        "stage", "kind", "tasks", "duration"
+    );
     for s in run.stages() {
         println!(
             "  {:<18} {:<12} {:>8} {:>12}",

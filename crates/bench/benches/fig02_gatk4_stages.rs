@@ -7,7 +7,10 @@ use doppio_cluster::HybridConfig;
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig02", "Figure 2: GATK4 stage runtimes, 3 slaves, P=36, four disk configs");
+    banner(
+        "fig02",
+        "Figure 2: GATK4 stage runtimes, 3 slaves, P=36, four disk configs",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
 
@@ -53,7 +56,9 @@ fn main() {
     let (_, _, br_hh, _) = *by(HybridConfig::HddHdd);
 
     println!();
-    println!("  obs 1: HDFS HDD->SSD slowdown removed for MD/BR/SF (paper: ~0%, up to 30%, up to 90%):");
+    println!(
+        "  obs 1: HDFS HDD->SSD slowdown removed for MD/BR/SF (paper: ~0%, up to 30%, up to 90%):"
+    );
     println!(
         "    MD {:+.0}%  BR {:+.0}%  SF {:+.0}%",
         (md_hs / md_ss - 1.0) * 100.0,
@@ -74,6 +79,9 @@ fn main() {
 
     assert!(md_hs / md_ss < 1.1, "MD insensitive to HDFS device");
     assert!(br_sh / br_ss > 3.0, "BR devastated by HDD local");
-    assert!((95.0..170.0).contains(&br_hh), "BR(2HDD) = {br_hh:.0} min, paper ~126");
+    assert!(
+        (95.0..170.0).contains(&br_hh),
+        "BR(2HDD) = {br_hh:.0} min, paper ~126"
+    );
     footer("fig02");
 }

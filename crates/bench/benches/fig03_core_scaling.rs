@@ -8,7 +8,10 @@ use doppio_cluster::HybridConfig;
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig03", "Figure 3: GATK4 runtime vs P ∈ {12,24,36} for 2SSD and 2HDD (3 slaves)");
+    banner(
+        "fig03",
+        "Figure 3: GATK4 runtime vs P ∈ {12,24,36} for 2SSD and 2HDD (3 slaves)",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     println!(
@@ -22,7 +25,14 @@ fn main() {
             let md = run.stage("MD").unwrap().duration.as_mins();
             let br = run.stage("BR").unwrap().duration.as_mins();
             let sf = run.stage("SF").unwrap().duration.as_mins();
-            println!("  {:<8} {:>4} {:>10.1} {:>10.1} {:>10.1}", config.label(), p, md, br, sf);
+            println!(
+                "  {:<8} {:>4} {:>10.1} {:>10.1} {:>10.1}",
+                config.label(),
+                p,
+                md,
+                br,
+                sf
+            );
             table.push((config, p, md, br, sf));
         }
     }
@@ -55,6 +65,9 @@ fn main() {
 
     assert!(br_ssd_12 / br_ssd_36 > 2.0, "BR scales with P on SSD");
     assert!((br_hdd_36 / br_hdd_12 - 1.0).abs() < 0.1, "BR flat on HDD");
-    assert!((md_hdd_36 / md_hdd_12 - 1.0).abs() < 0.15, "MD near-flat on HDD");
+    assert!(
+        (md_hdd_36 / md_hdd_12 - 1.0).abs() < 0.15,
+        "MD near-flat on HDD"
+    );
     footer("fig03");
 }

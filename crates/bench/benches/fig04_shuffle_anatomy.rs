@@ -28,11 +28,26 @@ fn main() {
     };
 
     println!("  mappers (M)                  {}   (paper: 973)", s.maps);
-    println!("  reducers (R)                 {}   (27 MB per reducer)", s.reducers);
-    println!("  total shuffle data (D)       {:.0} GB", s.total_bytes.as_gib());
-    println!("  map output chunk (D/M)       {:.0} MB  (paper: ~365 MB sorted chunks)", s.bytes_per_map().as_mib());
-    println!("  reducer input (D/R)          {:.0} MB  (paper: 27 MB)", s.bytes_per_reducer().as_mib());
-    println!("  segment size (D/(M*R))       {:.1} KB (paper: ~30 KB = 60 sectors)", s.segment_size().as_kib());
+    println!(
+        "  reducers (R)                 {}   (27 MB per reducer)",
+        s.reducers
+    );
+    println!(
+        "  total shuffle data (D)       {:.0} GB",
+        s.total_bytes.as_gib()
+    );
+    println!(
+        "  map output chunk (D/M)       {:.0} MB  (paper: ~365 MB sorted chunks)",
+        s.bytes_per_map().as_mib()
+    );
+    println!(
+        "  reducer input (D/R)          {:.0} MB  (paper: 27 MB)",
+        s.bytes_per_reducer().as_mib()
+    );
+    println!(
+        "  segment size (D/(M*R))       {:.1} KB (paper: ~30 KB = 60 sectors)",
+        s.segment_size().as_kib()
+    );
 
     let hdd = presets::hdd_wd4000();
     let ssd = presets::ssd_mz7lm();

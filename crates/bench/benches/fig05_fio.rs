@@ -7,9 +7,15 @@ use doppio_storage::fio::{run_analytic, run_simulated, FioJob};
 use doppio_storage::presets;
 
 fn main() {
-    banner("fig05", "Figure 5: effective bandwidth and IOPS vs block size (fio)");
+    banner(
+        "fig05",
+        "Figure 5: effective bandwidth and IOPS vs block size (fio)",
+    );
 
-    for (label, spec) in [("HDD (Fig 5a)", presets::hdd_wd4000()), ("SSD (Fig 5b)", presets::ssd_mz7lm())] {
+    for (label, spec) in [
+        ("HDD (Fig 5a)", presets::hdd_wd4000()),
+        ("SSD (Fig 5b)", presets::ssd_mz7lm()),
+    ] {
         let job = FioJob::read_sweep(spec);
         let analytic = run_analytic(&job);
         let simulated = run_simulated(&job);

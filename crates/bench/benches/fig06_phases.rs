@@ -21,7 +21,8 @@ fn simulate_stage(p: u32) -> f64 {
         BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
         BandwidthCurve::flat(Rate::mib_per_sec(120.0)),
     );
-    let node = doppio_cluster::presets::paper_node(36, HybridConfig::SsdSsd).with_disk(DiskRole::Local, device);
+    let node = doppio_cluster::presets::paper_node(36, HybridConfig::SsdSsd)
+        .with_disk(DiskRole::Local, device);
     let cluster = ClusterSpec::homogeneous(1, node);
 
     let mut conf = SparkConf::paper().with_cores(p).without_noise();
@@ -36,7 +37,9 @@ fn simulate_stage(p: u32) -> f64 {
     b.count(src, "run", Cost::per_mib(4.0 / TASK_MIB as f64));
     let app = b.build().expect("app builds");
 
-    let run = Simulation::with_conf(cluster, conf).run(&app).expect("sim runs");
+    let run = Simulation::with_conf(cluster, conf)
+        .run(&app)
+        .expect("sim runs");
     run.stage("run").expect("stage exists").duration.as_secs()
 }
 
@@ -83,6 +86,9 @@ fn main() {
 
     let t16 = simulate_stage(16);
     let t32 = simulate_stage(32);
-    assert!((t16 - t32).abs() / t16 < 0.08, "flat beyond B: {t16:.1} vs {t32:.1}");
+    assert!(
+        (t16 - t32).abs() / t16 < 0.08,
+        "flat beyond B: {t16:.1} vs {t32:.1}"
+    );
     footer("fig06");
 }

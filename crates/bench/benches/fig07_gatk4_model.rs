@@ -12,7 +12,10 @@ use doppio_model::PredictEnv;
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig07", "Figure 7: GATK4 exp vs model, 10 slaves, P ∈ {6,12,24}");
+    banner(
+        "fig07",
+        "Figure 7: GATK4 exp vs model, 10 slaves, P ∈ {6,12,24}",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     println!("calibrating on a 3-slave profiling cluster (4 sample runs)...");
@@ -50,6 +53,9 @@ fn main() {
     let max = errors.iter().copied().fold(0.0f64, f64::max);
     println!();
     println!("  average error {avg:.1}% (paper: < 6%), worst stage {max:.1}%");
-    assert!(avg < 10.0, "average model error {avg:.1}% exceeds the paper's 10% bound");
+    assert!(
+        avg < 10.0,
+        "average model error {avg:.1}% exceeds the paper's 10% bound"
+    );
     footer("fig07");
 }

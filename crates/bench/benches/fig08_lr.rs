@@ -11,14 +11,23 @@ use doppio_model::PredictEnv;
 use doppio_workloads::lr;
 
 fn main() {
-    banner("fig08", "Figure 8: Logistic Regression exp vs model (small & large)");
+    banner(
+        "fig08",
+        "Figure 8: Logistic Regression exp vs model (small & large)",
+    );
 
     let mut errors = Vec::new();
     let mut ratios = Vec::new();
     for params in [lr::Params::paper_small(), lr::Params::paper_large()] {
         let app = lr::app(&params);
         println!();
-        println!("{} ({} examples x{} features, {} iterations):", params.label, params.examples_m * 1_000_000, params.features, params.iterations);
+        println!(
+            "{} ({} examples x{} features, {} iterations):",
+            params.label,
+            params.examples_m * 1_000_000,
+            params.features,
+            params.iterations
+        );
         // Profile on the evaluation cluster: the spill volume depends on the
         // cluster memory pool, as in the paper's own Section-V methodology.
         let model = calibrate(&app, 10);
@@ -54,7 +63,8 @@ fn main() {
                 .2
         };
         let it_ratio = t(HybridConfig::HddHdd, "iteration") / t(HybridConfig::SsdSsd, "iteration");
-        let dv_ratio = t(HybridConfig::HddHdd, "dataValidator") / t(HybridConfig::SsdSsd, "dataValidator");
+        let dv_ratio =
+            t(HybridConfig::HddHdd, "dataValidator") / t(HybridConfig::SsdSsd, "dataValidator");
         println!(
             "  HDD/SSD: dataValidator {:.1}x, iteration {:.1}x  (paper: small ~2x total from HDFS, large 7.0x on iteration)",
             dv_ratio, it_ratio
@@ -65,10 +75,19 @@ fn main() {
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
     println!();
     println!("  average model error {avg:.1}% (paper: 5.3%)");
-    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    assert!(
+        avg < 10.0,
+        "average error {avg:.1}% exceeds the paper's bound"
+    );
     let small_it = ratios.iter().find(|r| r.0 == "LR-small").unwrap().1;
     let large_it = ratios.iter().find(|r| r.0 == "LR-large").unwrap().1;
-    assert!(small_it < 1.2, "cached iterations device-insensitive: {small_it:.2}");
-    assert!(large_it > 3.0, "persisted iterations HDD-bound: {large_it:.1}x");
+    assert!(
+        small_it < 1.2,
+        "cached iterations device-insensitive: {small_it:.2}"
+    );
+    assert!(
+        large_it > 3.0,
+        "persisted iterations HDD-bound: {large_it:.1}x"
+    );
     footer("fig08");
 }

@@ -48,6 +48,9 @@ fn main() {
     println!("  subtract phase HDD/SSD = {ratio:.1}x (paper: 6.2x)");
     println!("  average model error {avg:.1}% (paper: 8.4%)");
     assert!(ratio > 3.0, "subtract must be shuffle-bound on HDD");
-    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    assert!(
+        avg < 10.0,
+        "average error {avg:.1}% exceeds the paper's bound"
+    );
     footer("fig09");
 }

@@ -27,7 +27,12 @@ fn main() {
     for config in [HybridConfig::SsdSsd, HybridConfig::HddHdd] {
         let run = simulate(&app, 10, 36, config);
         let env = PredictEnv::hybrid(10, 36, config);
-        for phase in ["graphLoader", "graphLoader-cache", "iteration", "saveAsTextFile"] {
+        for phase in [
+            "graphLoader",
+            "graphLoader-cache",
+            "iteration",
+            "saveAsTextFile",
+        ] {
             let exp = run.time_in(phase).as_secs();
             let pred = model.predict_stage(phase, &env);
             let e = err_pct(exp, pred);
@@ -50,7 +55,13 @@ fn main() {
     println!("  iteration phase HDD/SSD = {ratio:.1}x (paper: 2.2x — only the overflow");
     println!("  slice of the 420 GB working set hits the disk)");
     println!("  average model error {avg:.1}% (paper: 5.2%)");
-    assert!(ratio > 1.2 && ratio < 6.0, "moderate gap expected, got {ratio:.1}x");
-    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    assert!(
+        ratio > 1.2 && ratio < 6.0,
+        "moderate gap expected, got {ratio:.1}x"
+    );
+    assert!(
+        avg < 10.0,
+        "average error {avg:.1}% exceeds the paper's bound"
+    );
     footer("fig10");
 }

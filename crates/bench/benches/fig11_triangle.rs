@@ -47,6 +47,9 @@ fn main() {
     println!("  computeTriangleCount HDD/SSD = {ratio:.1}x (paper: 6.5x)");
     println!("  average model error {avg:.1}% (paper: 3.6%)");
     assert!(ratio > 3.0, "canonicalization shuffle must be HDD-bound");
-    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    assert!(
+        avg < 10.0,
+        "average error {avg:.1}% exceeds the paper's bound"
+    );
     footer("fig11");
 }

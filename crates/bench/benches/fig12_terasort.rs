@@ -48,6 +48,9 @@ fn main() {
     println!("  why our synthetic segment geometry lands somewhat higher)");
     println!("  average model error {avg:.1}% (paper: 3.9%)");
     assert!(ratio > 1.8, "Terasort must be slower end-to-end on 2HDD");
-    assert!(avg < 10.0, "average error {avg:.1}% exceeds the paper's bound");
+    assert!(
+        avg < 10.0,
+        "average error {avg:.1}% exceeds the paper's bound"
+    );
     footer("fig12");
 }

@@ -7,17 +7,23 @@
 //! Paper result: the model-found HDD optimum (P = 16, 1 TB HDFS, 2 TB
 //! local) costs $4.12 — 32% and 52% below R1 ($6.06) and R2 ($8.65).
 
-use doppio_bench::{banner, calibrate, footer};
-use doppio_cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
-use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice};
+use doppio_bench::{banner, calibrate, engine, footer};
+use doppio_cloud::optimize::{
+    grid_search_with, multi_start_descent_with, r1_reference, r2_reference, SearchSpace,
+};
+use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice, EvaluateCost, MemoizedEvaluator};
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig13", "Figure 13: cost with standard-PD (HDD) disks, GATK4, 10x16 vCPU");
+    banner(
+        "fig13",
+        "Figure 13: cost with standard-PD (HDD) disks, GATK4, 10x16 vCPU",
+    );
 
+    let engine = engine();
     let app = gatk4::app(&gatk4::Params::paper());
     let model = calibrate(&app, 3);
-    let eval = CostEvaluator::new(model);
+    let eval = MemoizedEvaluator::new(CostEvaluator::new(model));
 
     let base = CloudConfig {
         nodes: 10,
@@ -35,7 +41,12 @@ fn main() {
             ..base
         };
         let c = eval.evaluate(&cfg);
-        println!("  {:>8}GB {:>9.0} min {:>9.2}$", gb, c.runtime_mins(), c.total());
+        println!(
+            "  {:>8}GB {:>9.0} min {:>9.2}$",
+            gb,
+            c.runtime_mins(),
+            c.total()
+        );
     }
 
     println!();
@@ -47,30 +58,63 @@ fn main() {
             ..base
         };
         let c = eval.evaluate(&cfg);
-        println!("  {:>8}GB {:>9.0} min {:>9.2}$", gb, c.runtime_mins(), c.total());
+        println!(
+            "  {:>8}GB {:>9.0} min {:>9.2}$",
+            gb,
+            c.runtime_mins(),
+            c.total()
+        );
     }
 
     // HDD-only optimum via the paper's descent, vs references.
     let mut space = SearchSpace::paper();
-    space.hdfs.retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
-    space.local.retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
-    let best = multi_start_descent(&eval, &space);
-    let grid = grid_search(&eval, &space);
+    space
+        .hdfs
+        .retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
+    space
+        .local
+        .retain(|d| d.disk_type == doppio_cloud::CloudDiskType::StandardPd);
+    let best = multi_start_descent_with(&eval, &space, &engine);
+    let grid = grid_search_with(&eval, &space, &engine);
     let r1 = eval.evaluate(&r1_reference(10, 16));
     let r2 = eval.evaluate(&r2_reference(10, 16));
 
     println!();
-    println!("  HDD-only optimum (descent): {} -> {}", best.config, best.cost);
-    println!("  HDD-only optimum (grid):    {} -> {}", grid.config, grid.cost);
-    println!("  R1 (Spark website, 8 TB):   {} -> {}", r1_reference(10, 16), r1);
-    println!("  R2 (Cloudera, 16 TB):       {} -> {}", r2_reference(10, 16), r2);
+    println!(
+        "  HDD-only optimum (descent): {} -> {}",
+        best.config, best.cost
+    );
+    println!(
+        "  HDD-only optimum (grid):    {} -> {}",
+        grid.config, grid.cost
+    );
+    println!(
+        "  R1 (Spark website, 8 TB):   {} -> {}",
+        r1_reference(10, 16),
+        r1
+    );
+    println!(
+        "  R2 (Cloudera, 16 TB):       {} -> {}",
+        r2_reference(10, 16),
+        r2
+    );
     println!(
         "  savings vs R1: {:.0}% (paper: 32%), vs R2: {:.0}% (paper: 52%)",
         (1.0 - best.cost.total() / r1.total()) * 100.0,
         (1.0 - best.cost.total() / r2.total()) * 100.0
     );
 
-    assert!(best.cost.total() <= grid.cost.total() * 1.05, "descent lands near the grid optimum");
+    println!(
+        "  engine: {} jobs; evaluations: {} distinct, {} served from cache",
+        engine.jobs(),
+        eval.misses(),
+        eval.hits()
+    );
+
+    assert!(
+        best.cost.total() <= grid.cost.total() * 1.05,
+        "descent lands near the grid optimum"
+    );
     assert!(best.cost.total() < r1.total(), "optimum beats R1");
     assert!(r1.total() < r2.total(), "R2 over-provisions more than R1");
     footer("fig13");

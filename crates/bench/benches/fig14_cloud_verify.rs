@@ -12,7 +12,10 @@ use doppio_sparksim::SparkConf;
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig14", "Figure 14: cloud verification — runtime vs standard-PD local size");
+    banner(
+        "fig14",
+        "Figure 14: cloud verification — runtime vs standard-PD local size",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     println!("calibrating on cloud sample disks (500 GB SSD PD / 200 GB standard PD)...");
@@ -32,14 +35,22 @@ fn main() {
     let mut times = Vec::new();
     for gb in [200u64, 400, 800, 1000, 2000, 3200] {
         let local = disks::device(CloudDiskType::StandardPd, Bytes::new(gb * 1_000_000_000));
-        let run = platform.run(16, hdfs.clone(), local.clone()).expect("cloud run");
+        let run = platform
+            .run(16, hdfs.clone(), local.clone())
+            .expect("cloud run");
         let exp = run.total_time().as_secs();
         let env = PredictEnv::new(10, 16, hdfs.clone(), local);
         let pred = model.predict(&env);
         let e = err_pct(exp, pred);
         errors.push(e);
         times.push((gb, exp));
-        println!("  {:>8}GB {:>10.0} {:>12.0} {:>7.1}", gb, exp / 60.0, pred / 60.0, e);
+        println!(
+            "  {:>8}GB {:>10.0} {:>12.0} {:>7.1}",
+            gb,
+            exp / 60.0,
+            pred / 60.0,
+            e
+        );
     }
 
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
@@ -50,7 +61,10 @@ fn main() {
 
     // Monotone then flat.
     for w in times.windows(2) {
-        assert!(w[1].1 <= w[0].1 * 1.01, "runtime non-increasing in disk size");
+        assert!(
+            w[1].1 <= w[0].1 * 1.01,
+            "runtime non-increasing in disk size"
+        );
     }
     let t2000 = times.iter().find(|t| t.0 == 2000).unwrap().1;
     let t3200 = times.iter().find(|t| t.0 == 3200).unwrap().1;

@@ -7,12 +7,17 @@
 //! runtime at 200 GB (43 min) matches the model (45 min, 4.6% error).
 
 use doppio_bench::{banner, calibrate, footer};
-use doppio_cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio_cloud::optimize::{
+    grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace,
+};
 use doppio_cloud::{CloudConfig, CostEvaluator, DiskChoice};
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("fig15", "Figure 15: cost with an SSD-PD Spark-local directory");
+    banner(
+        "fig15",
+        "Figure 15: cost with an SSD-PD Spark-local directory",
+    );
 
     let app = gatk4::app(&gatk4::Params::paper());
     let model = calibrate(&app, 3);
@@ -66,8 +71,14 @@ fn main() {
 
     println!();
     println!("  sweep optimum: {best_gb} GB SSD local (paper: 200 GB)");
-    println!("  full-space optimum (descent): {} -> {}", descent.config, descent.cost);
-    println!("  full-space optimum (grid):    {} -> {}", grid.config, grid.cost);
+    println!(
+        "  full-space optimum (descent): {} -> {}",
+        descent.config, descent.cost
+    );
+    println!(
+        "  full-space optimum (grid):    {} -> {}",
+        grid.config, grid.cost
+    );
     println!("  R1 reference: {}", r1);
     println!("  R2 reference: {}", r2);
     println!(
@@ -83,6 +94,9 @@ fn main() {
         "the optimum uses an SSD Spark-local disk"
     );
     assert!(grid.cost.total() < r1.total() && grid.cost.total() < r2.total());
-    assert!((1.0 - grid.cost.total() / r2.total()) > 0.3, "large savings vs R2");
+    assert!(
+        (1.0 - grid.cost.total() / r2.total()) > 0.3,
+        "large savings vs R2"
+    );
     footer("fig15");
 }

@@ -9,7 +9,10 @@ use doppio_sparksim::SparkConf;
 use doppio_storage::IoDir;
 
 fn main() {
-    banner("tab01", "Tables I-III: hardware, Spark/HDFS and hybrid disk configurations");
+    banner(
+        "tab01",
+        "Tables I-III: hardware, Spark/HDFS and hybrid disk configurations",
+    );
 
     let node = presets::paper_node(36, HybridConfig::SsdSsd);
     println!("Table I (per slave node):");
@@ -55,13 +58,23 @@ fn main() {
 
     // Headline sanity line: the three bandwidth gaps the presets encode.
     let gap = |rs: Bytes| {
-        ssd.bandwidth(IoDir::Read, rs).as_bytes_per_sec() / hdd.bandwidth(IoDir::Read, rs).as_bytes_per_sec()
+        ssd.bandwidth(IoDir::Read, rs).as_bytes_per_sec()
+            / hdd.bandwidth(IoDir::Read, rs).as_bytes_per_sec()
     };
     println!();
     println!("Device-model anchors (paper Section III-C1):");
-    println!("  SSD/HDD gap @ 4 KB   = {:>6.1}x   (paper: 181x)", gap(Bytes::from_kib(4)));
-    println!("  SSD/HDD gap @ 30 KB  = {:>6.1}x   (paper:  32x)", gap(Bytes::from_kib(30)));
-    println!("  SSD/HDD gap @ 128 MB = {:>6.1}x   (paper: 3.7x)", gap(Bytes::from_mib(128)));
+    println!(
+        "  SSD/HDD gap @ 4 KB   = {:>6.1}x   (paper: 181x)",
+        gap(Bytes::from_kib(4))
+    );
+    println!(
+        "  SSD/HDD gap @ 30 KB  = {:>6.1}x   (paper:  32x)",
+        gap(Bytes::from_kib(30))
+    );
+    println!(
+        "  SSD/HDD gap @ 128 MB = {:>6.1}x   (paper: 3.7x)",
+        gap(Bytes::from_mib(128))
+    );
 
     footer("tab01");
 

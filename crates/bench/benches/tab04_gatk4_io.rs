@@ -11,7 +11,10 @@ use doppio_sparksim::IoChannel;
 use doppio_workloads::gatk4;
 
 fn main() {
-    banner("tab04", "Table IV: I/O data size (GB) per GATK4 stage (500M read pairs)");
+    banner(
+        "tab04",
+        "Table IV: I/O data size (GB) per GATK4 stage (500M read pairs)",
+    );
 
     let params = gatk4::Params::paper();
     let app = gatk4::app(&params);

@@ -10,8 +10,23 @@
 #![warn(missing_docs)]
 
 use doppio_cluster::{ClusterSpec, HybridConfig};
+use doppio_engine::Engine;
 use doppio_model::{AppModel, Calibrator, SimPlatform};
 use doppio_sparksim::{App, AppRun, Simulation, SparkConf};
+
+/// The scenario engine the bench targets share, sized by the `DOPPIO_JOBS`
+/// environment variable: unset or `0` = one worker per core, `1` = serial,
+/// `N` = that many workers. Results are deterministic at any setting — the
+/// engine only changes wall-clock time.
+pub fn engine() -> Engine {
+    match std::env::var("DOPPIO_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        None | Some(0) => Engine::auto(),
+        Some(n) => Engine::with_jobs(n),
+    }
+}
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, title: &str) {
@@ -31,29 +46,49 @@ pub fn footer(id: &str) {
 /// error bars are wanted.
 pub fn simulate(app: &App, slaves: usize, cores: u32, config: HybridConfig) -> AppRun {
     let cluster = ClusterSpec::paper_cluster(slaves, 36, config);
-    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-        .run(app)
-        .expect("simulation succeeds")
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).without_noise(),
+    )
+    .run(app)
+    .expect("simulation succeeds")
 }
 
 /// Like [`simulate`] but with compute noise, for error bars.
-pub fn simulate_noisy(app: &App, slaves: usize, cores: u32, config: HybridConfig, seed: u64) -> AppRun {
+pub fn simulate_noisy(
+    app: &App,
+    slaves: usize,
+    cores: u32,
+    config: HybridConfig,
+    seed: u64,
+) -> AppRun {
     let cluster = ClusterSpec::paper_cluster(slaves, 36, config);
-    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).with_seed(seed))
-        .run(app)
-        .expect("simulation succeeds")
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).with_seed(seed),
+    )
+    .run(app)
+    .expect("simulation succeeds")
 }
 
 /// Runs `runs` noisy simulations and returns (mean, min, max) of the total
-/// time in minutes — the paper's five-run error bars.
-pub fn error_bars(app: &App, slaves: usize, cores: u32, config: HybridConfig, runs: u64) -> (f64, f64, f64) {
-    let mut times = Vec::new();
-    for seed in 0..runs {
-        let t = simulate_noisy(app, slaves, cores, config, 0xBEEF + seed)
+/// time in minutes — the paper's five-run error bars. The seeded replicas
+/// are independent, so they fan out over the [`engine`]; each replica's
+/// jitter comes only from its own seed, so the statistics are identical at
+/// any `DOPPIO_JOBS` setting.
+pub fn error_bars(
+    app: &App,
+    slaves: usize,
+    cores: u32,
+    config: HybridConfig,
+    runs: u64,
+) -> (f64, f64, f64) {
+    let seeds: Vec<u64> = (0..runs).collect();
+    let times = engine().par_map(&seeds, |&seed| {
+        simulate_noisy(app, slaves, cores, config, 0xBEEF + seed)
             .total_time()
-            .as_mins();
-        times.push(t);
-    }
+            .as_mins()
+    });
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let min = times.iter().copied().fold(f64::INFINITY, f64::min);
     let max = times.iter().copied().fold(0.0f64, f64::max);
@@ -70,7 +105,7 @@ pub fn calibrate(app: &App, profile_slaves: usize) -> AppModel {
         SparkConf::paper(),
     );
     let report = Calibrator::default()
-        .calibrate(&platform, app.name())
+        .calibrate_with(&platform, app.name(), &engine())
         .expect("calibration succeeds");
     for w in &report.warnings {
         println!("  [calibration note] {w}");

@@ -63,7 +63,8 @@ pub struct CloudConfig {
 impl CloudConfig {
     /// Cluster cost per hour (vCPUs + both disks, all nodes).
     pub fn hourly(&self) -> f64 {
-        self.nodes as f64 * (pricing::vcpu_hourly(self.vcpus) + self.hdfs.hourly() + self.local.hourly())
+        self.nodes as f64
+            * (pricing::vcpu_hourly(self.vcpus) + self.hdfs.hourly() + self.local.hourly())
     }
 
     /// The prediction environment this configuration induces.
@@ -166,12 +167,138 @@ impl CostEvaluator {
         let runtime_secs = self.model.predict(&config.env());
         let hours = runtime_secs / 3600.0;
         let cpu_cost = config.nodes as f64 * pricing::vcpu_hourly(config.vcpus) * hours;
-        let disk_cost = config.nodes as f64 * (config.hdfs.hourly() + config.local.hourly()) * hours;
+        let disk_cost =
+            config.nodes as f64 * (config.hdfs.hourly() + config.local.hourly()) * hours;
         CostBreakdown {
             runtime_secs,
             cpu_cost,
             disk_cost,
         }
+    }
+}
+
+/// Anything that can price a [`CloudConfig`] — the plain [`CostEvaluator`]
+/// or a memoizing wrapper. The search routines in [`crate::optimize`] are
+/// generic over this so a single cache can back grid search, coordinate
+/// descent and the sweep helpers.
+pub trait EvaluateCost {
+    /// Predicts runtime and prices the configuration.
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown;
+}
+
+impl EvaluateCost for CostEvaluator {
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        CostEvaluator::evaluate(self, config)
+    }
+}
+
+impl<E: EvaluateCost + ?Sized> EvaluateCost for &E {
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        (*self).evaluate(config)
+    }
+}
+
+/// A [`CostEvaluator`] with a scenario-fingerprint memoization cache.
+///
+/// Grid search and coordinate descent revisit configurations constantly —
+/// every descent pass re-prices the incumbent per axis value, and
+/// multi-start descent re-walks shared valleys from each seed. Keying the
+/// cache on the canonical fingerprint of (model, configuration) makes
+/// those revisits free while staying sound: any field that can change the
+/// prediction changes the key.
+///
+/// The wrapper is `Send + Sync`; one instance can back a whole parallel
+/// grid search.
+#[derive(Debug)]
+pub struct MemoizedEvaluator {
+    inner: CostEvaluator,
+    model_fp: doppio_engine::Fingerprint,
+    cache: doppio_engine::MemoCache<doppio_engine::Fingerprint, CostBreakdown>,
+}
+
+impl MemoizedEvaluator {
+    /// Wraps an evaluator with an unbounded cache.
+    pub fn new(inner: CostEvaluator) -> Self {
+        Self::with_capacity_opt(inner, None)
+    }
+
+    /// Wraps an evaluator with a cache bounded to `capacity` entries
+    /// (FIFO eviction).
+    pub fn with_capacity(inner: CostEvaluator, capacity: usize) -> Self {
+        Self::with_capacity_opt(inner, Some(capacity))
+    }
+
+    fn with_capacity_opt(inner: CostEvaluator, capacity: Option<usize>) -> Self {
+        use doppio_engine::Fingerprintable;
+        let model_fp = inner.model().fingerprint();
+        let cache = match capacity {
+            Some(cap) => doppio_engine::MemoCache::with_capacity(cap),
+            None => doppio_engine::MemoCache::unbounded(),
+        };
+        MemoizedEvaluator {
+            inner,
+            model_fp,
+            cache,
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &CostEvaluator {
+        &self.inner
+    }
+
+    /// The canonical cache key of a configuration under this evaluator's
+    /// model.
+    pub fn key(&self, config: &CloudConfig) -> doppio_engine::Fingerprint {
+        use doppio_engine::Fingerprintable;
+        let mut fp = doppio_engine::FingerprintBuilder::new();
+        fp.write_u64(self.model_fp.as_u128() as u64);
+        fp.write_u64((self.model_fp.as_u128() >> 64) as u64);
+        config.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+impl EvaluateCost for MemoizedEvaluator {
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        self.cache
+            .get_or_insert_with(&self.key(config), || self.inner.evaluate(config))
+    }
+}
+
+impl doppio_engine::Fingerprintable for DiskChoice {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        self.disk_type.fingerprint_into(fp);
+        self.size.fingerprint_into(fp);
+    }
+}
+
+impl doppio_engine::Fingerprintable for CloudConfig {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_usize(self.nodes);
+        fp.write_u32(self.vcpus);
+        self.hdfs.fingerprint_into(fp);
+        self.local.fingerprint_into(fp);
     }
 }
 
@@ -221,7 +348,10 @@ mod tests {
         let eval = CostEvaluator::new(toy_model());
         let slow = eval.evaluate(&config(DiskChoice::standard_gb(200)));
         let fast = eval.evaluate(&config(DiskChoice::ssd_gb(500)));
-        assert!(fast.runtime_secs < slow.runtime_secs / 3.0, "30 KB reads need IOPS");
+        assert!(
+            fast.runtime_secs < slow.runtime_secs / 3.0,
+            "30 KB reads need IOPS"
+        );
     }
 
     #[test]
@@ -231,7 +361,12 @@ mod tests {
         let eval = CostEvaluator::new(toy_model());
         let tiny = eval.evaluate(&config(DiskChoice::standard_gb(100)));
         let right = eval.evaluate(&config(DiskChoice::ssd_gb(200)));
-        assert!(tiny.total() > right.total(), "tiny {} vs right {}", tiny, right);
+        assert!(
+            tiny.total() > right.total(),
+            "tiny {} vs right {}",
+            tiny,
+            right
+        );
     }
 
     #[test]

@@ -146,6 +146,15 @@ pub fn device(disk_type: CloudDiskType, size: Bytes) -> DeviceSpec {
     .with_capacity(size)
 }
 
+impl doppio_engine::Fingerprintable for CloudDiskType {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u32(match self {
+            CloudDiskType::StandardPd => 0,
+            CloudDiskType::SsdPd => 1,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,11 +163,20 @@ mod tests {
     fn throughput_scales_with_size_then_caps() {
         let t = CloudDiskType::StandardPd;
         let b500 = t.throughput_limit(Bytes::new(500_000_000_000));
-        assert!((b500.as_mib_per_sec() - 60.0).abs() < 0.1, "500 GB -> 60 MB/s");
+        assert!(
+            (b500.as_mib_per_sec() - 60.0).abs() < 0.1,
+            "500 GB -> 60 MB/s"
+        );
         let b2t = t.throughput_limit(Bytes::new(2_000_000_000_000));
-        assert!((b2t.as_mib_per_sec() - 240.0).abs() < 0.1, "2 TB hits the cap");
+        assert!(
+            (b2t.as_mib_per_sec() - 240.0).abs() < 0.1,
+            "2 TB hits the cap"
+        );
         let b4t = t.throughput_limit(Bytes::new(4_000_000_000_000));
-        assert_eq!(b2t, b4t, "no gain past the cap (Fig 14 flattens after 2 TB)");
+        assert_eq!(
+            b2t, b4t,
+            "no gain past the cap (Fig 14 flattens after 2 TB)"
+        );
     }
 
     #[test]
@@ -170,7 +188,10 @@ mod tests {
         let bw = t.bandwidth(size, Bytes::from_kib(30));
         assert!(bw.as_mib_per_sec() < 5.0, "IOPS-bound: {bw}");
         let big = t.bandwidth(size, Bytes::from_mib(128));
-        assert!((big.as_mib_per_sec() - 24.0).abs() < 0.5, "throughput-bound: {big}");
+        assert!(
+            (big.as_mib_per_sec() - 24.0).abs() < 0.5,
+            "throughput-bound: {big}"
+        );
     }
 
     #[test]
@@ -190,7 +211,9 @@ mod tests {
         let dev = device(CloudDiskType::SsdPd, size);
         for rs_kib in [4u64, 30, 256, 4096, 131072] {
             let rs = Bytes::from_kib(rs_kib);
-            let got = dev.bandwidth(doppio_storage::IoDir::Read, rs).as_bytes_per_sec();
+            let got = dev
+                .bandwidth(doppio_storage::IoDir::Read, rs)
+                .as_bytes_per_sec();
             let want = CloudDiskType::SsdPd.bandwidth(size, rs).as_bytes_per_sec();
             assert!((got - want).abs() / want < 1e-6, "rs={rs}");
         }

@@ -30,6 +30,8 @@ pub mod optimize;
 mod platform;
 pub mod pricing;
 
-pub use cost::{CloudConfig, CostBreakdown, CostEvaluator, DiskChoice};
+pub use cost::{
+    CloudConfig, CostBreakdown, CostEvaluator, DiskChoice, EvaluateCost, MemoizedEvaluator,
+};
 pub use disks::CloudDiskType;
 pub use platform::CloudPlatform;

@@ -9,10 +9,18 @@
 //! sorted axis grids. [`grid_search`] provides the exhaustive ground truth;
 //! the test suite asserts the descent never loses to the grid by more than
 //! a local-minimum tolerance, and the benches report both.
+//!
+//! Every configuration evaluation is independent, so the grid and the
+//! descent starts fan out over a [`doppio_engine::Engine`]: the `_with`
+//! variants take an explicit engine, the classic entry points run on the
+//! serial engine and stay bit-identical to the original loops. The
+//! parallel results are also bit-identical — the engine preserves input
+//! order and the winning-argmin scan stays serial and first-wins.
 
+use doppio_engine::Engine;
 use doppio_events::Bytes;
 
-use crate::{CloudConfig, CostBreakdown, CostEvaluator, DiskChoice};
+use crate::{CloudConfig, CostBreakdown, DiskChoice, EvaluateCost};
 
 /// The discrete search space.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,16 +98,36 @@ pub struct SearchResult {
 
 /// Exhaustive search: the ground-truth optimum of the space.
 ///
+/// Runs on the serial engine; see [`grid_search_with`] to fan the
+/// evaluations out over worker threads.
+///
 /// # Panics
 ///
 /// Panics if the space is empty.
-pub fn grid_search(eval: &CostEvaluator, space: &SearchSpace) -> SearchResult {
+pub fn grid_search(eval: &(impl EvaluateCost + Sync), space: &SearchSpace) -> SearchResult {
+    grid_search_with(eval, space, &Engine::serial())
+}
+
+/// Exhaustive search with the evaluations fanned out over `engine`.
+///
+/// The argmin itself stays serial and first-wins over the engine's
+/// order-preserving results, so the winning configuration (ties included)
+/// is identical to [`grid_search`]'s at any thread count.
+///
+/// # Panics
+///
+/// Panics if the space is empty.
+pub fn grid_search_with(
+    eval: &(impl EvaluateCost + Sync),
+    space: &SearchSpace,
+    engine: &Engine,
+) -> SearchResult {
     assert!(!space.is_empty(), "search space must be non-empty");
+    let configs: Vec<CloudConfig> = space.iter().collect();
+    let costs = engine.par_map(&configs, |config| eval.evaluate(config));
+    let evaluations = costs.len();
     let mut best: Option<(CloudConfig, CostBreakdown)> = None;
-    let mut evaluations = 0;
-    for config in space.iter() {
-        let cost = eval.evaluate(&config);
-        evaluations += 1;
+    for (config, cost) in configs.into_iter().zip(costs) {
         let better = match &best {
             Some((_, b)) => cost.total() < b.total(),
             None => true,
@@ -123,7 +151,11 @@ pub fn grid_search(eval: &CostEvaluator, space: &SearchSpace) -> SearchResult {
 /// # Panics
 ///
 /// Panics if the space is empty.
-pub fn coordinate_descent(eval: &CostEvaluator, space: &SearchSpace, start: CloudConfig) -> SearchResult {
+pub fn coordinate_descent(
+    eval: &impl EvaluateCost,
+    space: &SearchSpace,
+    start: CloudConfig,
+) -> SearchResult {
     assert!(!space.is_empty(), "search space must be non-empty");
     let mut current = start;
     let mut current_cost = eval.evaluate(&current);
@@ -193,7 +225,25 @@ pub fn coordinate_descent(eval: &CostEvaluator, space: &SearchSpace, start: Clou
 /// # Panics
 ///
 /// Panics if the space is empty.
-pub fn multi_start_descent(eval: &CostEvaluator, space: &SearchSpace) -> SearchResult {
+pub fn multi_start_descent(eval: &(impl EvaluateCost + Sync), space: &SearchSpace) -> SearchResult {
+    multi_start_descent_with(eval, space, &Engine::serial())
+}
+
+/// [`multi_start_descent`] with the independent descents fanned out over
+/// `engine`. Each descent is inherently sequential (every step conditions
+/// on the incumbent), but the starts never communicate, so they
+/// parallelize freely; the final best-of scan is serial and first-wins
+/// over the engine's order-preserving results, keeping the outcome
+/// bit-identical to the serial version.
+///
+/// # Panics
+///
+/// Panics if the space is empty.
+pub fn multi_start_descent_with(
+    eval: &(impl EvaluateCost + Sync),
+    space: &SearchSpace,
+    engine: &Engine,
+) -> SearchResult {
     assert!(!space.is_empty(), "search space must be non-empty");
     let mid = |choices: &[DiskChoice]| choices[choices.len() / 2];
     let vcpu_seeds = [
@@ -203,7 +253,11 @@ pub fn multi_start_descent(eval: &CostEvaluator, space: &SearchSpace) -> SearchR
     ];
     let mut starts = Vec::new();
     for &vcpus in &vcpu_seeds {
-        for &local in &[space.local[0], mid(&space.local), *space.local.last().expect("local")] {
+        for &local in &[
+            space.local[0],
+            mid(&space.local),
+            *space.local.last().expect("local"),
+        ] {
             starts.push(CloudConfig {
                 nodes: space.nodes[0],
                 vcpus,
@@ -213,12 +267,16 @@ pub fn multi_start_descent(eval: &CostEvaluator, space: &SearchSpace) -> SearchR
         }
     }
     starts.dedup();
+    let results = engine.par_map(&starts, |start| coordinate_descent(eval, space, *start));
     let mut best: Option<SearchResult> = None;
     let mut evaluations = 0;
-    for start in starts {
-        let r = coordinate_descent(eval, space, start);
+    for r in results {
         evaluations += r.evaluations;
-        if best.as_ref().map(|b| r.cost.total() < b.cost.total()).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| r.cost.total() < b.cost.total())
+            .unwrap_or(true)
+        {
             best = Some(r);
         }
     }
@@ -256,27 +314,36 @@ pub fn r2_reference(nodes: usize, vcpus: u32) -> CloudConfig {
 /// Convenience: sweep one disk axis while pinning everything else — the
 /// raw series behind Figs. 13 and 15.
 pub fn sweep_local_sizes(
-    eval: &CostEvaluator,
+    eval: &(impl EvaluateCost + Sync),
     base: CloudConfig,
     disk_type: crate::CloudDiskType,
     sizes_gb: &[u64],
 ) -> Vec<(Bytes, CostBreakdown)> {
-    sizes_gb
-        .iter()
-        .map(|&gb| {
-            let local = DiskChoice {
-                disk_type,
-                size: Bytes::new(gb * 1_000_000_000),
-            };
-            let cfg = CloudConfig { local, ..base };
-            (local.size, eval.evaluate(&cfg))
-        })
-        .collect()
+    sweep_local_sizes_with(eval, base, disk_type, sizes_gb, &Engine::serial())
+}
+
+/// [`sweep_local_sizes`] with the points fanned out over `engine`.
+pub fn sweep_local_sizes_with(
+    eval: &(impl EvaluateCost + Sync),
+    base: CloudConfig,
+    disk_type: crate::CloudDiskType,
+    sizes_gb: &[u64],
+    engine: &Engine,
+) -> Vec<(Bytes, CostBreakdown)> {
+    engine.par_map(sizes_gb, |&gb| {
+        let local = DiskChoice {
+            disk_type,
+            size: Bytes::new(gb * 1_000_000_000),
+        };
+        let cfg = CloudConfig { local, ..base };
+        (local.size, eval.evaluate(&cfg))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CostEvaluator;
     use doppio_events::Rate;
     use doppio_model::{AppModel, ChannelModel, StageModel};
     use doppio_sparksim::IoChannel;
@@ -337,7 +404,10 @@ mod tests {
         // On this small 4-axis space the exhaustive grid is already cheap;
         // descent's evaluation count just needs to stay the same order of
         // magnitude (it wins asymptotically as axes grow).
-        assert!(descent.evaluations < grid.evaluations * 2, "descent stays cheap to run");
+        assert!(
+            descent.evaluations < grid.evaluations * 2,
+            "descent stays cheap to run"
+        );
     }
 
     #[test]
@@ -403,8 +473,14 @@ mod tests {
             .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        assert!(min_idx > 0, "tiniest disk is not optimal (runtime explodes)");
-        assert!(min_idx < costs.len() - 1, "biggest disk is not optimal (price explodes)");
+        assert!(
+            min_idx > 0,
+            "tiniest disk is not optimal (runtime explodes)"
+        );
+        assert!(
+            min_idx < costs.len() - 1,
+            "biggest disk is not optimal (price explodes)"
+        );
         // Runtime is non-increasing in size.
         for w in sweep.windows(2) {
             assert!(w[1].1.runtime_secs <= w[0].1.runtime_secs + 1e-6);
@@ -414,8 +490,16 @@ mod tests {
     #[test]
     fn references_match_the_guides() {
         let r1 = r1_reference(10, 16);
-        assert_eq!(r1.hdfs.size.as_f64() + r1.local.size.as_f64(), 8e12, "R1: 8 TB per node");
+        assert_eq!(
+            r1.hdfs.size.as_f64() + r1.local.size.as_f64(),
+            8e12,
+            "R1: 8 TB per node"
+        );
         let r2 = r2_reference(10, 16);
-        assert_eq!(r2.hdfs.size.as_f64() + r2.local.size.as_f64(), 16e12, "R2: 16 TB per node");
+        assert_eq!(
+            r2.hdfs.size.as_f64() + r2.local.size.as_f64(),
+            16e12,
+            "R2: 16 TB per node"
+        );
     }
 }

@@ -77,8 +77,14 @@ impl CloudPlatform {
     ) -> Result<CalibrationReport, ModelError> {
         let mut report = self.calibrator().calibrate(self, app_name)?;
         for _ in 0..max_rounds {
-            let grow_ssd = report.warnings.iter().any(|w| w.contains("double the requested SSD"));
-            let shrink_hdd = report.warnings.iter().any(|w| w.contains("shrink the requested HDD"));
+            let grow_ssd = report
+                .warnings
+                .iter()
+                .any(|w| w.contains("double the requested SSD"));
+            let shrink_hdd = report
+                .warnings
+                .iter()
+                .any(|w| w.contains("shrink the requested HDD"));
             if !grow_ssd && !shrink_hdd {
                 break;
             }

@@ -33,7 +33,10 @@ mod tests {
         let std = disk_hourly(CloudDiskType::StandardPd, gb1000);
         assert!((std - 0.040 * 1000.0 / 730.0).abs() < 1e-12);
         let ssd = disk_hourly(CloudDiskType::SsdPd, gb1000);
-        assert!((ssd / std - 4.25).abs() < 1e-9, "SSD is 4.25x the standard price");
+        assert!(
+            (ssd / std - 4.25).abs() < 1e-9,
+            "SSD is 4.25x the standard price"
+        );
     }
 
     #[test]

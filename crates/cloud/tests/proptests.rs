@@ -10,10 +10,10 @@ use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = AppModel> {
     (
-        100u64..20_000,  // m
-        0.5f64..30.0,    // t_avg
-        10u64..500,      // shuffle D GiB
-        8u64..4096,      // rs KiB
+        100u64..20_000, // m
+        0.5f64..30.0,   // t_avg
+        10u64..500,     // shuffle D GiB
+        8u64..4096,     // rs KiB
     )
         .prop_map(|(m, t_avg, d, rs)| {
             AppModel::new(

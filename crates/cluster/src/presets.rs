@@ -87,6 +87,17 @@ impl ClusterSpec {
     }
 }
 
+impl doppio_engine::Fingerprintable for HybridConfig {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u32(match self {
+            HybridConfig::SsdSsd => 0,
+            HybridConfig::HddSsd => 1,
+            HybridConfig::SsdHdd => 2,
+            HybridConfig::HddHdd => 3,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,7 +115,12 @@ mod tests {
     fn all_four_configs_distinct() {
         let combos: Vec<(String, String)> = HybridConfig::ALL
             .iter()
-            .map(|c| (c.hdfs_device().name().to_string(), c.local_device().name().to_string()))
+            .map(|c| {
+                (
+                    c.hdfs_device().name().to_string(),
+                    c.local_device().name().to_string(),
+                )
+            })
             .collect();
         for i in 0..combos.len() {
             for j in (i + 1)..combos.len() {

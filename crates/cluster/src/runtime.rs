@@ -176,7 +176,10 @@ impl ClusterState {
 
     /// Earliest pending I/O or network completion across the cluster.
     pub fn next_io_completion(&self) -> Option<SimTime> {
-        self.nodes.iter().filter_map(NodeState::next_completion).min()
+        self.nodes
+            .iter()
+            .filter_map(NodeState::next_completion)
+            .min()
     }
 
     /// Advances every resource to `now` and returns the owner tags of all
@@ -299,7 +302,8 @@ mod tests {
     fn nic_transfers_complete_at_line_rate() {
         let mut c = cluster(1, 1);
         let rate = Rate::gbit_per_sec(10.0);
-        c.node_mut(NodeId(0)).submit_net(SimTime::ZERO, Bytes::from_gib(1), 7);
+        c.node_mut(NodeId(0))
+            .submit_net(SimTime::ZERO, Bytes::from_gib(1), 7);
         let t = c.next_io_completion().unwrap();
         let expect = Bytes::from_gib(1).as_f64() / rate.as_bytes_per_sec();
         assert!((t.as_secs() - expect).abs() < 1e-9);

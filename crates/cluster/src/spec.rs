@@ -54,7 +54,13 @@ impl NodeSpec {
     /// # Panics
     ///
     /// Panics if `cores` is zero or the NIC rate is zero.
-    pub fn new(cores: u32, ram: Bytes, hdfs_disk: DeviceSpec, local_disk: DeviceSpec, nic: Rate) -> Self {
+    pub fn new(
+        cores: u32,
+        ram: Bytes,
+        hdfs_disk: DeviceSpec,
+        local_disk: DeviceSpec,
+        nic: Rate,
+    ) -> Self {
         assert!(cores > 0, "a node needs at least one core");
         assert!(!nic.is_zero(), "NIC rate must be positive");
         NodeSpec {
@@ -139,7 +145,10 @@ impl ClusterSpec {
     ///
     /// Panics if `nodes` is empty.
     pub fn from_nodes(nodes: Vec<NodeSpec>) -> Self {
-        assert!(!nodes.is_empty(), "a cluster needs at least one worker node");
+        assert!(
+            !nodes.is_empty(),
+            "a cluster needs at least one worker node"
+        );
         ClusterSpec { nodes }
     }
 
@@ -186,6 +195,22 @@ impl fmt::Display for ClusterSpec {
             first.disk(DiskRole::Hdfs).name(),
             first.disk(DiskRole::Local).name()
         )
+    }
+}
+
+impl doppio_engine::Fingerprintable for NodeSpec {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u32(self.cores);
+        self.ram.fingerprint_into(fp);
+        self.hdfs_disk.fingerprint_into(fp);
+        self.local_disk.fingerprint_into(fp);
+        self.nic.fingerprint_into(fp);
+    }
+}
+
+impl doppio_engine::Fingerprintable for ClusterSpec {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        self.nodes.fingerprint_into(fp);
     }
 }
 

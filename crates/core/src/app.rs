@@ -18,7 +18,10 @@ impl AppModel {
     ///
     /// Panics if `stages` is empty.
     pub fn new(name: impl Into<String>, stages: Vec<StageModel>) -> Self {
-        assert!(!stages.is_empty(), "an application model needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "an application model needs at least one stage"
+        );
         AppModel {
             name: name.into(),
             stages,
@@ -71,6 +74,13 @@ impl fmt::Display for AppModel {
             writeln!(f, "  {s}")?;
         }
         Ok(())
+    }
+}
+
+impl doppio_engine::Fingerprintable for AppModel {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_str(&self.name);
+        self.stages.fingerprint_into(fp);
     }
 }
 

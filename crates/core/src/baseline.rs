@@ -166,10 +166,20 @@ mod tests {
     fn nonnegativity_is_enforced() {
         // A decreasing-then-flat curve that OLS would fit with negative
         // coefficients.
-        let samples = vec![(1.0, 100.0), (2.0, 50.0), (4.0, 25.0), (8.0, 25.0), (16.0, 25.0)];
+        let samples = vec![
+            (1.0, 100.0),
+            (2.0, 50.0),
+            (4.0, 25.0),
+            (8.0, 25.0),
+            (16.0, 25.0),
+        ];
         let m = ErnestModel::fit(&samples).unwrap();
         for c in m.coefficients() {
-            assert!(c >= 0.0, "coefficients must be non-negative: {:?}", m.coefficients());
+            assert!(
+                c >= 0.0,
+                "coefficients must be non-negative: {:?}",
+                m.coefficients()
+            );
         }
         // Still a decent fit at the sampled points.
         assert!(m.predict(16.0) > 10.0 && m.predict(16.0) < 40.0);

@@ -17,6 +17,7 @@
 //! size", "shrink the requested HDD size by half").
 
 use doppio_cluster::{ClusterSpec, DiskRole, NodeSpec};
+use doppio_engine::Engine;
 use doppio_events::Rate;
 use doppio_sparksim::{App, AppRun, IoChannel, SimError, Simulation, SparkConf, StageMetrics};
 use doppio_storage::DeviceSpec;
@@ -129,15 +130,53 @@ pub struct CalibrationReport {
 impl Calibrator {
     /// Runs the four sample runs on `platform` and derives the model.
     ///
+    /// Runs serially; see [`Calibrator::calibrate_with`] to execute the
+    /// four profiling runs on worker threads.
+    ///
     /// # Errors
     ///
     /// Fails if a profiling run fails or the runs disagree on the stage
     /// list.
-    pub fn calibrate(&self, platform: &impl ProfilePlatform, app_name: &str) -> Result<CalibrationReport, ModelError> {
-        let run1 = platform.run(1, self.ssd.clone(), self.ssd.clone())?;
-        let run2 = platform.run(2, self.ssd.clone(), self.ssd.clone())?;
-        let run3 = platform.run(self.stress_cores, self.ssd.clone(), self.hdd.clone())?;
-        let run4 = platform.run(self.stress_cores, self.hdd.clone(), self.ssd.clone())?;
+    pub fn calibrate(
+        &self,
+        platform: &(impl ProfilePlatform + Sync),
+        app_name: &str,
+    ) -> Result<CalibrationReport, ModelError> {
+        self.calibrate_with(platform, app_name, &Engine::serial())
+    }
+
+    /// [`Calibrator::calibrate`] with the four sample runs fanned out over
+    /// `engine`. The runs are mutually independent (each builds its own
+    /// cluster and simulation), and each is internally deterministic, so
+    /// the derived model is identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a profiling run fails or the runs disagree on the stage
+    /// list.
+    pub fn calibrate_with(
+        &self,
+        platform: &(impl ProfilePlatform + Sync),
+        app_name: &str,
+        engine: &Engine,
+    ) -> Result<CalibrationReport, ModelError> {
+        let specs = [
+            (1, &self.ssd, &self.ssd),
+            (2, &self.ssd, &self.ssd),
+            (self.stress_cores, &self.ssd, &self.hdd),
+            (self.stress_cores, &self.hdd, &self.ssd),
+        ];
+        let mut runs = engine
+            .par_map(&specs, |&(cores, hdfs, local)| {
+                platform.run(cores, hdfs.clone(), local.clone())
+            })
+            .into_iter();
+        // Surface failures in the paper's run order regardless of which
+        // worker hit one first.
+        let run1 = runs.next().expect("four runs")?;
+        let run2 = runs.next().expect("four runs")?;
+        let run3 = runs.next().expect("four runs")?;
+        let run4 = runs.next().expect("four runs")?;
 
         let s = run1.stages().len();
         if s == 0 {
@@ -222,7 +261,9 @@ impl Calibrator {
             if stats.bytes.is_zero() {
                 continue;
             }
-            let rs = stats.avg_request_size().expect("non-zero channel has requests");
+            let rs = stats
+                .avg_request_size()
+                .expect("non-zero channel has requests");
             channels.push(ChannelModel {
                 channel: ch,
                 total_bytes: stats.bytes,
@@ -385,7 +426,11 @@ mod tests {
             .unwrap();
         // Per-reducer integer division loses a few bytes of the 8 GiB total.
         let diff = Bytes::from_gib(8).as_f64() - sh.total_bytes.as_f64();
-        assert!(diff.abs() < 1024.0 * 1024.0, "shuffle read total = {}", sh.total_bytes);
+        assert!(
+            diff.abs() < 1024.0 * 1024.0,
+            "shuffle read total = {}",
+            sh.total_bytes
+        );
         // Segment size D/(M·R): 8 GiB over 64 maps x ~304 reducers ≈ 430 KB.
         assert!(sh.request_size < Bytes::from_mib(1));
         assert!(report.sample_run_secs.iter().all(|t| *t > 0.0));
@@ -397,13 +442,21 @@ mod tests {
         let p = platform(shuffle_heavy_app());
         let report = Calibrator::default().calibrate(&p, "t").unwrap();
         let run = p
-            .run(8, doppio_storage::presets::ssd_mz7lm(), doppio_storage::presets::ssd_mz7lm())
+            .run(
+                8,
+                doppio_storage::presets::ssd_mz7lm(),
+                doppio_storage::presets::ssd_mz7lm(),
+            )
             .unwrap();
         let env = PredictEnv::hybrid(3, 8, HybridConfig::SsdSsd);
         let predicted = report.model.predict(&env);
         let measured = run.total_time().as_secs();
         let err = (predicted - measured).abs() / measured;
-        assert!(err < 0.15, "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)", err * 100.0);
+        assert!(
+            err < 0.15,
+            "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -411,13 +464,21 @@ mod tests {
         let p = platform(shuffle_heavy_app());
         let report = Calibrator::default().calibrate(&p, "t").unwrap();
         let run = p
-            .run(16, doppio_storage::presets::ssd_mz7lm(), doppio_storage::presets::hdd_wd4000())
+            .run(
+                16,
+                doppio_storage::presets::ssd_mz7lm(),
+                doppio_storage::presets::hdd_wd4000(),
+            )
             .unwrap();
         let env = PredictEnv::hybrid(3, 16, HybridConfig::SsdHdd);
         let predicted = report.model.predict(&env);
         let measured = run.total_time().as_secs();
         let err = (predicted - measured).abs() / measured;
-        assert!(err < 0.1, "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)", err * 100.0);
+        assert!(
+            err < 0.1,
+            "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)",
+            err * 100.0
+        );
     }
 
     #[test]

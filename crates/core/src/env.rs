@@ -56,7 +56,11 @@ impl PredictEnv {
             doppio_cluster::DiskRole::Hdfs => &self.hdfs,
             doppio_cluster::DiskRole::Local => &self.local,
         };
-        let dir = if channel.is_read() { IoDir::Read } else { IoDir::Write };
+        let dir = if channel.is_read() {
+            IoDir::Read
+        } else {
+            IoDir::Write
+        };
         Some(dev.bandwidth(dir, request_size))
     }
 
@@ -72,6 +76,15 @@ impl PredictEnv {
         assert!(nodes > 0, "environment needs at least one node");
         self.nodes = nodes;
         self
+    }
+}
+
+impl doppio_engine::Fingerprintable for PredictEnv {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_usize(self.nodes);
+        fp.write_u32(self.cores);
+        self.hdfs.fingerprint_into(fp);
+        self.local.fingerprint_into(fp);
     }
 }
 
@@ -103,7 +116,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let env = PredictEnv::hybrid(3, 36, HybridConfig::SsdSsd).with_cores(12).with_nodes(10);
+        let env = PredictEnv::hybrid(3, 36, HybridConfig::SsdSsd)
+            .with_cores(12)
+            .with_nodes(10);
         assert_eq!(env.cores, 12);
         assert_eq!(env.nodes, 10);
     }

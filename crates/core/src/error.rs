@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::StageMismatch { expected: 3, got: 2 };
+        let e = ModelError::StageMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         assert!(ModelError::SingularFit.to_string().contains("singular"));
     }

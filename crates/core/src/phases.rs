@@ -38,7 +38,10 @@ impl std::fmt::Display for ExecutionPhase {
 /// The break point `b = BW / T` (Section IV-A, definition 5): the number of
 /// cores after which streams contend for the device.
 pub fn break_point(bw: Rate, t: Rate) -> f64 {
-    assert!(t.as_bytes_per_sec() > 0.0, "per-core rate T must be positive");
+    assert!(
+        t.as_bytes_per_sec() > 0.0,
+        "per-core rate T must be positive"
+    );
     bw / t
 }
 
@@ -79,7 +82,11 @@ pub fn piecewise_runtime(
     t: Rate,
 ) -> f64 {
     let b = break_point(bw, t);
-    let lambda = if t_io > 0.0 { (t_avg / t_io).max(1.0) } else { f64::INFINITY };
+    let lambda = if t_io > 0.0 {
+        (t_avg / t_io).max(1.0)
+    } else {
+        f64::INFINITY
+    };
     let scale = m as f64 / (n as f64 * p as f64) * t_avg;
     match classify(p as f64, b, lambda) {
         ExecutionPhase::NoContention | ExecutionPhase::HiddenContention => scale,

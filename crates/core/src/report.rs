@@ -94,7 +94,10 @@ impl fmt::Display for ComparisonTable {
         writeln!(
             f,
             "  {:<42} {:>12} {:>12} {:>8.1}",
-            "average error", "", "", self.avg_error_pct()
+            "average error",
+            "",
+            "",
+            self.avg_error_pct()
         )
     }
 }

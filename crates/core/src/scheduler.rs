@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn spt_runs_short_jobs_first() {
-        let jobs = vec![job("slow", 100.0, 0.0), job("fast", 1.0, 0.0), job("mid", 10.0, 0.0)];
+        let jobs = vec![
+            job("slow", 100.0, 0.0),
+            job("fast", 1.0, 0.0),
+            job("mid", 10.0, 0.0),
+        ];
         let s = schedule(&jobs, &env(), Policy::ShortestPredictedFirst);
         let order: Vec<&str> = s.jobs.iter().map(|j| j.name.as_str()).collect();
         assert_eq!(order, vec!["fast", "mid", "slow"]);
@@ -297,10 +301,21 @@ mod tests {
         };
         let cpu_heavy = job("cpu-heavy", 30.0, 0.0);
         let jobs = vec![io_heavy, cpu_heavy];
-        let ssd = schedule(&jobs, &PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd), Policy::ShortestPredictedFirst);
-        let hdd = schedule(&jobs, &PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd), Policy::ShortestPredictedFirst);
+        let ssd = schedule(
+            &jobs,
+            &PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd),
+            Policy::ShortestPredictedFirst,
+        );
+        let hdd = schedule(
+            &jobs,
+            &PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd),
+            Policy::ShortestPredictedFirst,
+        );
         assert_eq!(ssd.jobs[0].name, "io-heavy", "cheap on SSD");
-        assert_eq!(hdd.jobs[0].name, "cpu-heavy", "io-heavy is the long job on HDD");
+        assert_eq!(
+            hdd.jobs[0].name, "cpu-heavy",
+            "io-heavy is the long job on HDD"
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct ChannelModel {
 
 impl ChannelModel {
     /// A channel with no serial constant and no derate.
-    pub fn new(channel: IoChannel, total_bytes: Bytes, request_size: Bytes, stream_cap: Option<Rate>) -> Self {
+    pub fn new(
+        channel: IoChannel,
+        total_bytes: Bytes,
+        request_size: Bytes,
+        stream_cap: Option<Rate>,
+    ) -> Self {
         ChannelModel {
             channel,
             total_bytes,
@@ -52,7 +57,8 @@ impl ChannelModel {
         let Some(bw) = env.bandwidth(self.channel, self.request_size) else {
             return 0.0; // network is not modelled (paper Section III-B1)
         };
-        self.total_bytes.as_f64() / (env.nodes as f64 * bw.as_bytes_per_sec()) * self.derate + self.delta
+        self.total_bytes.as_f64() / (env.nodes as f64 * bw.as_bytes_per_sec()) * self.derate
+            + self.delta
     }
 
     /// The contention break point `b = BW / T` for this channel in the
@@ -198,6 +204,27 @@ impl fmt::Display for StageModel {
     }
 }
 
+impl doppio_engine::Fingerprintable for ChannelModel {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        self.channel.fingerprint_into(fp);
+        self.total_bytes.fingerprint_into(fp);
+        self.request_size.fingerprint_into(fp);
+        self.stream_cap.fingerprint_into(fp);
+        fp.write_f64(self.delta);
+        fp.write_f64(self.derate);
+    }
+}
+
+impl doppio_engine::Fingerprintable for StageModel {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_str(&self.name);
+        fp.write_u64(self.m);
+        fp.write_f64(self.t_avg);
+        fp.write_f64(self.delta_scale);
+        self.channels.fingerprint_into(fp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,7 +234,9 @@ mod tests {
         // GATK4 BR per the paper: 334 GB shuffle read in 30 KB segments,
         // T = 60 MB/s, λ = 20.
         let m = 12670u64;
-        let t_io = Bytes::from_gib_f64(334.0).as_f64() / m as f64 / Rate::mib_per_sec(60.0).as_bytes_per_sec();
+        let t_io = Bytes::from_gib_f64(334.0).as_f64()
+            / m as f64
+            / Rate::mib_per_sec(60.0).as_bytes_per_sec();
         StageModel {
             name: "BR".into(),
             m,
@@ -253,14 +282,19 @@ mod tests {
         let t12 = s.predict(&env12);
         let t36 = s.predict(&env36);
         // Wave-discretized: 106 waves at P=12 vs 36 waves at P=36 ≈ 2.94x.
-        assert!((t12 / t36 - 3.0).abs() < 0.1, "BR scales with P on SSD (B = 160): {:.2}", t12 / t36);
+        assert!(
+            (t12 / t36 - 3.0).abs() < 0.1,
+            "BR scales with P on SSD (B = 160): {:.2}",
+            t12 / t36
+        );
 
         // On HDD local the stage is I/O-bound: P does not matter.
         let h12 = s.predict(&PredictEnv::hybrid(10, 12, HybridConfig::SsdHdd));
         let h36 = s.predict(&PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd));
         assert!((h12 - h36).abs() < 1e-9);
         // And equals D / (N × BW(30 KB)).
-        let expect = Bytes::from_gib_f64(334.0).as_f64() / (10.0 * Rate::mib_per_sec(15.0).as_bytes_per_sec());
+        let expect = Bytes::from_gib_f64(334.0).as_f64()
+            / (10.0 * Rate::mib_per_sec(15.0).as_bytes_per_sec());
         assert!((h36 - expect).abs() / expect < 1e-9);
     }
 
@@ -271,7 +305,10 @@ mod tests {
         let env = PredictEnv::hybrid(3, 36, HybridConfig::HddHdd);
         let t = s.predict(&env);
         let mins = t / 60.0;
-        assert!((mins - 126.0).abs() < 8.0, "BR on 3-node 2HDD = {mins:.0} min");
+        assert!(
+            (mins - 126.0).abs() < 8.0,
+            "BR on 3-node 2HDD = {mins:.0} min"
+        );
     }
 
     #[test]
@@ -280,16 +317,28 @@ mod tests {
         let hdd = PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd);
         assert_eq!(s.bottleneck(&hdd).unwrap().channel, IoChannel::ShuffleRead);
         let ssd = PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd);
-        assert!(s.bottleneck(&ssd).is_none(), "scaling term dominates on SSD");
+        assert!(
+            s.bottleneck(&ssd).is_none(),
+            "scaling term dominates on SSD"
+        );
     }
 
     #[test]
     fn phase_classification() {
         use crate::phases::ExecutionPhase::*;
         let s = br_stage();
-        assert_eq!(s.phase(&PredictEnv::hybrid(10, 6, HybridConfig::SsdSsd)), NoContention);
-        assert_eq!(s.phase(&PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd)), HiddenContention);
-        assert_eq!(s.phase(&PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd)), IoBound);
+        assert_eq!(
+            s.phase(&PredictEnv::hybrid(10, 6, HybridConfig::SsdSsd)),
+            NoContention
+        );
+        assert_eq!(
+            s.phase(&PredictEnv::hybrid(10, 36, HybridConfig::SsdSsd)),
+            HiddenContention
+        );
+        assert_eq!(
+            s.phase(&PredictEnv::hybrid(10, 36, HybridConfig::SsdHdd)),
+            IoBound
+        );
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //! the common sweeps as typed series with a text renderer, so tools and
 //! schedulers don't each reinvent the loop (the `whatif_scaling` example
 //! and the CLI sit on top of it).
+//!
+//! Each sweep point is an independent model evaluation, so the `_with`
+//! variants fan the points out over a [`doppio_engine::Engine`]; the
+//! plain entry points run serially and produce identical series.
 
 use std::fmt;
 
+use doppio_engine::Engine;
 use doppio_storage::DeviceSpec;
 
 use crate::{AppModel, PredictEnv};
@@ -68,7 +73,13 @@ impl fmt::Display for Sweep {
             let gain = prev
                 .map(|x| format!("{:+.0}%", (x / p.runtime_secs - 1.0) * 100.0))
                 .unwrap_or_else(|| "-".into());
-            writeln!(f, "  {:<16} {:>9.1} min {:>8}", p.label, p.runtime_secs / 60.0, gain)?;
+            writeln!(
+                f,
+                "  {:<16} {:>9.1} min {:>8}",
+                p.label,
+                p.runtime_secs / 60.0,
+                gain
+            )?;
             prev = Some(p.runtime_secs);
         }
         Ok(())
@@ -77,47 +88,71 @@ impl fmt::Display for Sweep {
 
 /// Sweeps executor cores per node.
 pub fn cores_sweep(model: &AppModel, base: &PredictEnv, cores: &[u32]) -> Sweep {
+    cores_sweep_with(model, base, cores, &Engine::serial())
+}
+
+/// [`cores_sweep`] with the points fanned out over `engine`.
+pub fn cores_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    cores: &[u32],
+    engine: &Engine,
+) -> Sweep {
     Sweep {
         title: format!("runtime vs cores per node (N={})", base.nodes),
-        points: cores
-            .iter()
-            .map(|&p| SweepPoint {
-                label: format!("P={p}"),
-                runtime_secs: model.predict(&base.clone().with_cores(p)),
-            })
-            .collect(),
+        points: engine.par_map(cores, |&p| SweepPoint {
+            label: format!("P={p}"),
+            runtime_secs: model.predict(&base.clone().with_cores(p)),
+        }),
     }
 }
 
 /// Sweeps the worker count.
 pub fn nodes_sweep(model: &AppModel, base: &PredictEnv, nodes: &[usize]) -> Sweep {
+    nodes_sweep_with(model, base, nodes, &Engine::serial())
+}
+
+/// [`nodes_sweep`] with the points fanned out over `engine`.
+pub fn nodes_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    nodes: &[usize],
+    engine: &Engine,
+) -> Sweep {
     Sweep {
         title: format!("runtime vs worker count (P={})", base.cores),
-        points: nodes
-            .iter()
-            .map(|&n| SweepPoint {
-                label: format!("N={n}"),
-                runtime_secs: model.predict(&base.clone().with_nodes(n)),
-            })
-            .collect(),
+        points: engine.par_map(nodes, |&n| SweepPoint {
+            label: format!("N={n}"),
+            runtime_secs: model.predict(&base.clone().with_nodes(n)),
+        }),
     }
 }
 
 /// Compares Spark-local device choices at a fixed cluster shape.
 pub fn local_device_sweep(model: &AppModel, base: &PredictEnv, devices: &[DeviceSpec]) -> Sweep {
+    local_device_sweep_with(model, base, devices, &Engine::serial())
+}
+
+/// [`local_device_sweep`] with the points fanned out over `engine`.
+pub fn local_device_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    devices: &[DeviceSpec],
+    engine: &Engine,
+) -> Sweep {
     Sweep {
-        title: format!("runtime vs Spark-local device (N={}, P={})", base.nodes, base.cores),
-        points: devices
-            .iter()
-            .map(|d| {
-                let mut env = base.clone();
-                env.local = d.clone();
-                SweepPoint {
-                    label: d.name().to_string(),
-                    runtime_secs: model.predict(&env),
-                }
-            })
-            .collect(),
+        title: format!(
+            "runtime vs Spark-local device (N={}, P={})",
+            base.nodes, base.cores
+        ),
+        points: engine.par_map(devices, |d| {
+            let mut env = base.clone();
+            env.local = d.clone();
+            SweepPoint {
+                label: d.name().to_string(),
+                runtime_secs: model.predict(&env),
+            }
+        }),
     }
 }
 
@@ -159,7 +194,10 @@ mod tests {
         let knee = sweep.knee(1.10).expect("there is a knee");
         assert!(knee >= 4, "still scaling at 128 cores: knee index = {knee}");
         let best = sweep.best().runtime_secs;
-        assert!((best - 64.0).abs() < 2.0, "floor at the limit term: {best:.1}");
+        assert!(
+            (best - 64.0).abs() < 2.0,
+            "floor at the limit term: {best:.1}"
+        );
         assert!(sweep.to_string().contains("P=128"));
     }
 
@@ -182,7 +220,11 @@ mod tests {
         let sweep = local_device_sweep(
             &m,
             &base,
-            &[presets::hdd_wd4000(), presets::ssd_mz7lm(), presets::nvme_p4510()],
+            &[
+                presets::hdd_wd4000(),
+                presets::ssd_mz7lm(),
+                presets::nvme_p4510(),
+            ],
         );
         assert_eq!(sweep.best().label, "P4510-NVMe");
         let hdd = &sweep.points[0];
@@ -195,9 +237,18 @@ mod tests {
         let s = Sweep {
             title: "t".into(),
             points: vec![
-                SweepPoint { label: "a".into(), runtime_secs: 100.0 },
-                SweepPoint { label: "b".into(), runtime_secs: 50.0 },
-                SweepPoint { label: "c".into(), runtime_secs: 49.0 },
+                SweepPoint {
+                    label: "a".into(),
+                    runtime_secs: 100.0,
+                },
+                SweepPoint {
+                    label: "b".into(),
+                    runtime_secs: 50.0,
+                },
+                SweepPoint {
+                    label: "c".into(),
+                    runtime_secs: 49.0,
+                },
             ],
         };
         let g = s.marginal_gains();

@@ -8,12 +8,12 @@ use proptest::prelude::*;
 
 fn arb_stage() -> impl Strategy<Value = StageModel> {
     (
-        1u64..100_000,              // m
-        0.01f64..100.0,             // t_avg
-        0.0f64..60.0,               // delta_scale
-        1u64..1_000,                // D in GiB
-        4u64..262_144,              // rs in KiB
-        10.0f64..200.0,             // stream cap MiB/s
+        1u64..100_000,  // m
+        0.01f64..100.0, // t_avg
+        0.0f64..60.0,   // delta_scale
+        1u64..1_000,    // D in GiB
+        4u64..262_144,  // rs in KiB
+        10.0f64..200.0, // stream cap MiB/s
         prop::sample::select(vec![
             IoChannel::HdfsRead,
             IoChannel::HdfsWrite,
@@ -23,18 +23,20 @@ fn arb_stage() -> impl Strategy<Value = StageModel> {
             IoChannel::PersistWrite,
         ]),
     )
-        .prop_map(|(m, t_avg, delta_scale, d_gib, rs_kib, cap, channel)| StageModel {
-            name: "s".into(),
-            m,
-            t_avg,
-            delta_scale,
-            channels: vec![ChannelModel::new(
-                channel,
-                Bytes::from_gib(d_gib),
-                Bytes::from_kib(rs_kib),
-                Some(Rate::mib_per_sec(cap)),
-            )],
-        })
+        .prop_map(
+            |(m, t_avg, delta_scale, d_gib, rs_kib, cap, channel)| StageModel {
+                name: "s".into(),
+                m,
+                t_avg,
+                delta_scale,
+                channels: vec![ChannelModel::new(
+                    channel,
+                    Bytes::from_gib(d_gib),
+                    Bytes::from_kib(rs_kib),
+                    Some(Rate::mib_per_sec(cap)),
+                )],
+            },
+        )
 }
 
 proptest! {

@@ -134,7 +134,11 @@ impl Namenode {
         }
         let replication = (self.config.replication as usize).min(self.num_nodes);
         let bs = self.config.block_size;
-        let n_blocks = if len.is_zero() { 0 } else { len.div_ceil_by(bs) };
+        let n_blocks = if len.is_zero() {
+            0
+        } else {
+            len.div_ceil_by(bs)
+        };
         let offset = self.files_created;
         let mut blocks = Vec::with_capacity(n_blocks as usize);
         let mut remaining = len;
@@ -153,7 +157,10 @@ impl Namenode {
                         // Secondary replicas spread relative to the block
                         // index so a single writer does not pile replicas on
                         // one neighbour.
-                        NodeId((primary + 1 + (i as usize + r - 1) % (self.num_nodes - 1).max(1)) % self.num_nodes)
+                        NodeId(
+                            (primary + 1 + (i as usize + r - 1) % (self.num_nodes - 1).max(1))
+                                % self.num_nodes,
+                        )
                     }
                 })
                 .collect();
@@ -164,7 +171,11 @@ impl Namenode {
             });
         }
         self.files_created += 1;
-        let meta = FileMeta { path: path.clone(), len, blocks };
+        let meta = FileMeta {
+            path: path.clone(),
+            len,
+            blocks,
+        };
         Ok(self.files.entry(path).or_insert(meta))
     }
 
@@ -213,7 +224,9 @@ mod tests {
     fn paper_input_file_block_count() {
         // 122 GiB input / 128 MiB blocks = 976 map tasks.
         let mut n = nn(10);
-        let f = n.create_file("/hcc1954.bam", Bytes::from_gib(122), None).unwrap();
+        let f = n
+            .create_file("/hcc1954.bam", Bytes::from_gib(122), None)
+            .unwrap();
         assert_eq!(f.blocks().len(), 976);
     }
 
@@ -237,7 +250,9 @@ mod tests {
     #[test]
     fn writer_affinity_places_primary_locally() {
         let mut n = nn(4);
-        let f = n.create_file("/out", Bytes::from_gib(1), Some(NodeId(2))).unwrap();
+        let f = n
+            .create_file("/out", Bytes::from_gib(1), Some(NodeId(2)))
+            .unwrap();
         for b in f.blocks() {
             assert_eq!(b.replicas[0], NodeId(2));
         }

@@ -69,7 +69,12 @@ impl Namenode {
     ///
     /// Returns [`DfsError::NotFound`] for unknown paths and
     /// [`DfsError::EmptyFile`] if the block index is out of range.
-    pub fn block_read_plan(&self, path: &str, index: u64, reader: NodeId) -> Result<BlockRead, DfsError> {
+    pub fn block_read_plan(
+        &self,
+        path: &str,
+        index: u64,
+        reader: NodeId,
+    ) -> Result<BlockRead, DfsError> {
         let file = self.file(path)?;
         let b = file
             .blocks()
@@ -185,13 +190,19 @@ mod tests {
             assert_ne!(w.remote_targets[0], NodeId(0));
         }
         // Total disk bytes = 2x file size; network bytes = 1x file size.
-        let disk: u64 = plan.iter().map(|w| w.bytes.as_u64() * w.targets.len() as u64).sum();
+        let disk: u64 = plan
+            .iter()
+            .map(|w| w.bytes.as_u64() * w.targets.len() as u64)
+            .sum();
         assert_eq!(disk, 2 * Bytes::from_gib(1).as_u64());
     }
 
     #[test]
     fn missing_file_read_errors() {
         let n = nn(2);
-        assert!(matches!(n.read_plan("/nope", NodeId(0)), Err(DfsError::NotFound(_))));
+        assert!(matches!(
+            n.read_plan("/nope", NodeId(0)),
+            Err(DfsError::NotFound(_))
+        ));
     }
 }

@@ -1,0 +1,292 @@
+//! Canonical scenario fingerprints.
+//!
+//! A scenario — workload id, cluster preset, Spark configuration, device
+//! bandwidth curves, RNG seed — must hash to the same value on every run
+//! and on every platform, and two scenarios differing in *any*
+//! model-relevant field must (with overwhelming probability) hash
+//! differently. [`FingerprintBuilder`] therefore hashes a canonical
+//! field-by-field encoding into two independent 64-bit streams, giving a
+//! 128-bit [`Fingerprint`]: collisions are a 2⁻⁶⁴-per-pair event even
+//! across billions of cached scenarios. Floats are encoded by bit
+//! pattern after canonicalizing `-0.0` and NaN, so equal values always
+//! agree and unequal values always differ.
+
+use std::fmt;
+
+/// A 128-bit canonical scenario fingerprint, usable as a memoization key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incrementally hashes a canonical field encoding into a
+/// [`Fingerprint`].
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    /// FNV-1a stream.
+    h1: u64,
+    /// Independent multiply-xorshift stream.
+    h2: u64,
+}
+
+impl FingerprintBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        FingerprintBuilder {
+            h1: FNV_OFFSET,
+            h2: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Hashes one 64-bit word into both streams.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.h1 = (self.h1 ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+        let mut z = self.h2 ^ v;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.h2 = z ^ (z >> 31);
+    }
+
+    /// Hashes a `usize` (as 64 bits, platform-independently).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes an `f64` by canonical bit pattern (`-0.0` folds onto `0.0`,
+    /// every NaN onto one canonical NaN).
+    pub fn write_f64(&mut self, v: f64) {
+        let canonical = if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v == 0.0 {
+            0u64
+        } else {
+            v.to_bits()
+        };
+        self.write_u64(canonical);
+    }
+
+    /// Hashes raw bytes, length-prefixed so concatenations can't collide.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.h1 = (self.h1 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        // Fold the bytes into the second stream word-at-a-time.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let v = u64::from_le_bytes(word);
+            let mut z = self.h2 ^ v.wrapping_add(0xA076_1D64_78BD_642F);
+            z = (z ^ (z >> 32)).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+            self.h2 = z ^ (z >> 29);
+        }
+    }
+
+    /// Hashes a string (length-prefixed UTF-8).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finishes and returns the fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(((self.h1 as u128) << 64) | self.h2 as u128)
+    }
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Types with a canonical fingerprint encoding.
+///
+/// Implementations must feed **every field that can affect an
+/// evaluation** into the builder — that is the memoization-soundness
+/// contract. In particular the RNG seed is a field like any other: two
+/// configurations differing only in seed get different fingerprints.
+pub trait Fingerprintable {
+    /// Feeds this value's canonical encoding into `fp`.
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder);
+
+    /// This value's standalone fingerprint.
+    fn fingerprint(&self) -> Fingerprint {
+        let mut fp = FingerprintBuilder::new();
+        self.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+}
+
+impl Fingerprintable for u64 {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_u64(*self);
+    }
+}
+
+impl Fingerprintable for u32 {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_u32(*self);
+    }
+}
+
+impl Fingerprintable for usize {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_usize(*self);
+    }
+}
+
+impl Fingerprintable for bool {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_bool(*self);
+    }
+}
+
+impl Fingerprintable for f64 {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_f64(*self);
+    }
+}
+
+impl Fingerprintable for str {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(self);
+    }
+}
+
+impl Fingerprintable for String {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(self);
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Option<T> {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        match self {
+            None => fp.write_bool(false),
+            Some(v) => {
+                fp.write_bool(true);
+                v.fingerprint_into(fp);
+            }
+        }
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for [T] {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_u64(self.len() as u64);
+        for v in self {
+            v.fingerprint_into(fp);
+        }
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Vec<T> {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        self.as_slice().fingerprint_into(fp);
+    }
+}
+
+impl<T: Fingerprintable + ?Sized> Fingerprintable for &T {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        (*self).fingerprint_into(fp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_builders() {
+        let fp = |s: &str| {
+            let mut b = FingerprintBuilder::new();
+            b.write_str(s);
+            b.write_u64(7);
+            b.finish()
+        };
+        assert_eq!(fp("gatk4"), fp("gatk4"));
+        assert_ne!(fp("gatk4"), fp("terasort"));
+    }
+
+    #[test]
+    fn field_order_and_boundaries_matter() {
+        let ab = {
+            let mut b = FingerprintBuilder::new();
+            b.write_str("ab");
+            b.write_str("c");
+            b.finish()
+        };
+        let a_bc = {
+            let mut b = FingerprintBuilder::new();
+            b.write_str("a");
+            b.write_str("bc");
+            b.finish()
+        };
+        assert_ne!(ab, a_bc, "length prefixes separate fields");
+    }
+
+    #[test]
+    fn float_canonicalization() {
+        let fp = |v: f64| {
+            let mut b = FingerprintBuilder::new();
+            b.write_f64(v);
+            b.finish()
+        };
+        assert_eq!(fp(0.0), fp(-0.0));
+        assert_eq!(fp(f64::NAN), fp(-f64::NAN));
+        assert_ne!(fp(1.0), fp(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn single_bit_differences_separate() {
+        let base = {
+            let mut b = FingerprintBuilder::new();
+            b.write_u64(0xD0_99_10);
+            b.finish()
+        };
+        for bit in 0..64 {
+            let mut b = FingerprintBuilder::new();
+            b.write_u64(0xD0_99_10 ^ (1 << bit));
+            assert_ne!(b.finish(), base, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn derived_impls_compose() {
+        let v = vec![1u64, 2, 3];
+        let w = vec![1u64, 2, 4];
+        assert_ne!(v.fingerprint(), w.fingerprint());
+        assert_ne!(Some(1u64).fingerprint(), None::<u64>.fingerprint());
+        assert_ne!(
+            Vec::<u64>::new().fingerprint(),
+            vec![0u64].fingerprint(),
+            "empty vs zero-element"
+        );
+    }
+}

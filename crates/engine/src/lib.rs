@@ -1,0 +1,37 @@
+//! # The parallel scenario engine
+//!
+//! Everything the Doppio stack's headline use cases do — the §VI cloud
+//! cost optimizer, what-if capacity planning, four-sample-run calibration,
+//! and every per-figure bench — reduces to evaluating many *independent*
+//! `(cluster, workload, configuration)` scenarios. This crate provides the
+//! shared machinery to fan those evaluations out across cores without
+//! giving up the stack's per-seed determinism contract:
+//!
+//! * [`Engine`] — a self-scheduling `std::thread` pool whose
+//!   [`Engine::par_map`] preserves input order, so **parallel results are
+//!   bit-identical to serial results** whenever the mapped function is a
+//!   pure function of its item (each worker owns its own simulator state;
+//!   scenario RNGs are seeded per scenario, never shared).
+//! * [`MemoCache`] — a thread-safe memoization cache with hit/miss
+//!   accounting and an optional size bound, so repeated points in grid
+//!   searches, coordinate descent and nested sweeps are computed once.
+//! * [`Fingerprint`] / [`Fingerprintable`] — a canonical 128-bit scenario
+//!   fingerprint (workload id, cluster preset, SparkConf, device curves,
+//!   seed) used as the memoization key. Floats are hashed by canonical
+//!   bit pattern, so two configurations differing in *any* model-relevant
+//!   field (including only the seed) never share a cache entry.
+//!
+//! The crate has no dependencies and performs no I/O; higher layers
+//! (`doppio-model`, `doppio-cloud`, the CLI and the bench harness) plug
+//! their scenario types into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod memo;
+mod pool;
+
+pub use fingerprint::{Fingerprint, FingerprintBuilder, Fingerprintable};
+pub use memo::MemoCache;
+pub use pool::Engine;

@@ -1,0 +1,207 @@
+//! Thread-safe memoization with accounting and an optional size bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A memoization cache for scenario evaluations.
+///
+/// Keys are typically [`Fingerprint`](crate::Fingerprint)s; values are
+/// whatever an evaluation produces (a predicted runtime, a
+/// `CostBreakdown`, a full `AppRun`). The cache is safe to share across
+/// the [`Engine`](crate::Engine) pool's workers.
+///
+/// Bounded caches evict in insertion order (FIFO). That keeps every
+/// operation O(1) — recency reordering is pointless for grid sweeps,
+/// which touch each point a handful of times in a stable pattern.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    state: Mutex<CacheState<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheState<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+    /// A cache that never evicts.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// A cache holding at most `capacity` entries (clamped to ≥ 1),
+    /// evicting the oldest insertion beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemoCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let state = self.state.lock().expect("memo cache poisoned");
+        match state.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the oldest entry if the bound is
+    /// exceeded. Re-inserting an existing key replaces its value without
+    /// consuming extra capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let mut state = self.state.lock().expect("memo cache poisoned");
+        if state.map.insert(key.clone(), value).is_none() {
+            state.order.push_back(key);
+            while state.order.len() > self.capacity {
+                if let Some(old) = state.order.pop_front() {
+                    state.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and caching it via
+    /// `compute` on a miss.
+    ///
+    /// `compute` runs *outside* the cache lock so concurrent misses on
+    /// different keys evaluate in parallel. Two workers racing on the
+    /// *same* key may both compute it; the first insertion wins and the
+    /// values are identical anyway (evaluations are pure — that is the
+    /// whole determinism contract).
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = compute();
+        let mut state = self.state.lock().expect("memo cache poisoned");
+        if let Some(existing) = state.map.get(key) {
+            return existing.clone();
+        }
+        state.map.insert(key.clone(), v.clone());
+        state.order.push_back(key.clone());
+        while state.order.len() > self.capacity {
+            if let Some(old) = state.order.pop_front() {
+                state.map.remove(&old);
+            }
+        }
+        v
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("memo cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to be computed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The entry bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c: MemoCache<u64, u64> = MemoCache::unbounded();
+        assert_eq!(c.get(&1), None);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        let v = c.get_or_insert_with(&2, || 20);
+        assert_eq!(v, 20);
+        let v = c.get_or_insert_with(&2, || unreachable!("must be cached"));
+        assert_eq!(v, 20);
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_the_bound() {
+        let c: MemoCache<u64, u64> = MemoCache::with_capacity(3);
+        for k in 0..5 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.len(), 3);
+        // 0 and 1 were evicted; 2..5 remain.
+        assert_eq!(c.get(&0), None);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&4), Some(40));
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count_capacity() {
+        let c: MemoCache<u64, u64> = MemoCache::with_capacity(2);
+        c.insert(1, 1);
+        c.insert(1, 2);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(2), "reinsert replaced the value");
+        assert_eq!(c.get(&2), Some(2));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let c: MemoCache<u64, u64> = MemoCache::with_capacity(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c: MemoCache<u64, u64> = MemoCache::unbounded();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for pass in 0..2 {
+                        for k in 0..100 {
+                            let v = c.get_or_insert_with(&k, || k * 2);
+                            assert_eq!(v, k * 2, "pass {pass}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.hits() + c.misses(), 800, "every lookup was counted");
+    }
+}

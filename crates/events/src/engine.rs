@@ -220,7 +220,9 @@ mod tests {
         let mut e: Engine<Vec<u32>> = Engine::new();
         let mut w = Vec::new();
         for i in 0..10 {
-            e.schedule_at(SimTime::from_secs(1.0), move |w: &mut Vec<u32>, _| w.push(i));
+            e.schedule_at(SimTime::from_secs(1.0), move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
         }
         e.run(&mut w);
         assert_eq!(w, (0..10).collect::<Vec<_>>());

@@ -198,7 +198,11 @@ impl PsServer {
             "flow demand must be finite and non-negative, got {}",
             spec.demand
         );
-        assert!(spec.cap > 0.0, "flow cap must be positive, got {}", spec.cap);
+        assert!(
+            spec.cap > 0.0,
+            "flow cap must be positive, got {}",
+            spec.cap
+        );
         self.advance(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
@@ -302,7 +306,11 @@ mod tests {
     use super::*;
 
     fn spec(demand: f64, cap: f64) -> FlowSpec {
-        FlowSpec { demand, cap, tag: 0 }
+        FlowSpec {
+            demand,
+            cap,
+            tag: 0,
+        }
     }
 
     #[test]
@@ -365,8 +373,22 @@ mod tests {
         // Phase 1: both at rate 1; flow A finishes at t=1.
         // Phase 2: B alone at rate 2 with 2 remaining; finishes at t=2.
         let mut s = PsServer::new(2.0);
-        s.add_flow(SimTime::ZERO, FlowSpec { demand: 1.0, cap: f64::INFINITY, tag: 1 });
-        s.add_flow(SimTime::ZERO, FlowSpec { demand: 3.0, cap: f64::INFINITY, tag: 2 });
+        s.add_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand: 1.0,
+                cap: f64::INFINITY,
+                tag: 1,
+            },
+        );
+        s.add_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand: 3.0,
+                cap: f64::INFINITY,
+                tag: 2,
+            },
+        );
         let t1 = s.next_completion().unwrap();
         assert_eq!(t1, SimTime::from_secs(1.0));
         s.advance(t1);
@@ -384,7 +406,14 @@ mod tests {
     #[test]
     fn zero_demand_flow_completes_immediately() {
         let mut s = PsServer::new(1.0);
-        s.add_flow(SimTime::ZERO, FlowSpec { demand: 0.0, cap: 1.0, tag: 42 });
+        s.add_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand: 0.0,
+                cap: 1.0,
+                tag: 42,
+            },
+        );
         assert_eq!(s.take_completed(), vec![(FlowId(0), 42)]);
         assert_eq!(s.active_flows(), 0);
     }
@@ -420,9 +449,23 @@ mod tests {
     #[test]
     fn late_join_shares_fairly() {
         let mut s = PsServer::new(2.0);
-        s.add_flow(SimTime::ZERO, FlowSpec { demand: 4.0, cap: f64::INFINITY, tag: 1 });
+        s.add_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand: 4.0,
+                cap: f64::INFINITY,
+                tag: 1,
+            },
+        );
         // At t=1, 2 units remain for flow 1; flow 2 joins with demand 2.
-        s.add_flow(SimTime::from_secs(1.0), FlowSpec { demand: 2.0, cap: f64::INFINITY, tag: 2 });
+        s.add_flow(
+            SimTime::from_secs(1.0),
+            FlowSpec {
+                demand: 2.0,
+                cap: f64::INFINITY,
+                tag: 2,
+            },
+        );
         // Both now at rate 1; both finish at t=3.
         assert_eq!(s.next_completion(), Some(SimTime::from_secs(3.0)));
         s.advance(SimTime::from_secs(3.0));

@@ -37,7 +37,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is NaN or negative.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be finite and non-negative, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
         SimTime(secs)
     }
 
@@ -239,16 +242,36 @@ mod tests {
         let a = SimTime::from_secs(1.0);
         let b = SimTime::from_secs(3.0);
         assert_eq!((a - b).as_secs(), 0.0);
-        assert_eq!((SimDuration::from_secs(1.0) - SimDuration::from_secs(2.0)).as_secs(), 0.0);
+        assert_eq!(
+            (SimDuration::from_secs(1.0) - SimDuration::from_secs(2.0)).as_secs(),
+            0.0
+        );
     }
 
     #[test]
     fn ordering_is_total_and_numeric() {
-        let mut v = vec![SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        let mut v = vec![
+            SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1.0), SimTime::from_secs(3.0)]);
-        assert_eq!(SimTime::from_secs(5.0).max(SimTime::from_secs(2.0)), SimTime::from_secs(5.0));
-        assert_eq!(SimTime::from_secs(5.0).min(SimTime::from_secs(2.0)), SimTime::from_secs(2.0));
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1.0),
+                SimTime::from_secs(3.0)
+            ]
+        );
+        assert_eq!(
+            SimTime::from_secs(5.0).max(SimTime::from_secs(2.0)),
+            SimTime::from_secs(5.0)
+        );
+        assert_eq!(
+            SimTime::from_secs(5.0).min(SimTime::from_secs(2.0)),
+            SimTime::from_secs(2.0)
+        );
     }
 
     #[test]

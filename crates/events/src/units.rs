@@ -65,7 +65,10 @@ impl Bytes {
     ///
     /// Panics if `gib` is negative or not finite.
     pub fn from_gib_f64(gib: f64) -> Self {
-        assert!(gib.is_finite() && gib >= 0.0, "size must be finite and non-negative, got {gib}");
+        assert!(
+            gib.is_finite() && gib >= 0.0,
+            "size must be finite and non-negative, got {gib}"
+        );
         Bytes((gib * GIB as f64).round() as u64)
     }
 
@@ -75,7 +78,10 @@ impl Bytes {
     ///
     /// Panics if `mib` is negative or not finite.
     pub fn from_mib_f64(mib: f64) -> Self {
-        assert!(mib.is_finite() && mib >= 0.0, "size must be finite and non-negative, got {mib}");
+        assert!(
+            mib.is_finite() && mib >= 0.0,
+            "size must be finite and non-negative, got {mib}"
+        );
         Bytes((mib * MIB as f64).round() as u64)
     }
 
@@ -115,7 +121,10 @@ impl Bytes {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale(self, factor: f64) -> Bytes {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         Bytes((self.0 as f64 * factor).round() as u64)
     }
 
@@ -162,7 +171,11 @@ impl AddAssign for Bytes {
 impl Sub for Bytes {
     type Output = Bytes;
     fn sub(self, rhs: Bytes) -> Bytes {
-        Bytes(self.0.checked_sub(rhs.0).expect("Bytes subtraction underflow"))
+        Bytes(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bytes subtraction underflow"),
+        )
     }
 }
 
@@ -236,7 +249,10 @@ impl Rate {
     ///
     /// Panics if `bps` is negative or NaN.
     pub fn bytes_per_sec(bps: f64) -> Self {
-        assert!(!bps.is_nan() && bps >= 0.0, "rate must be non-negative, got {bps}");
+        assert!(
+            !bps.is_nan() && bps >= 0.0,
+            "rate must be non-negative, got {bps}"
+        );
         Rate(bps)
     }
 
@@ -329,6 +345,18 @@ impl fmt::Display for Rate {
     }
 }
 
+impl doppio_engine::Fingerprintable for Bytes {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u64(self.0);
+    }
+}
+
+impl doppio_engine::Fingerprintable for Rate {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_f64(self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,8 +376,8 @@ mod tests {
         let file = Bytes::from_gib(122);
         let block = Bytes::from_mib(128);
         assert_eq!(file.div_ceil_by(block), 976); // exact binary division
-        // The paper computes 122*1024/128 = 976 but quotes 973 after header
-        // blocks; we assert the arithmetic here, the workload crate encodes 973.
+                                                  // The paper computes 122*1024/128 = 976 but quotes 973 after header
+                                                  // blocks; we assert the arithmetic here, the workload crate encodes 973.
     }
 
     #[test]
@@ -359,7 +387,10 @@ mod tests {
         assert_eq!(d + d, Bytes::from_gib(244));
         assert_eq!(d * 3, Bytes::from_gib(366));
         assert_eq!(Bytes::from_gib(4) / 4, Bytes::from_gib(1));
-        assert_eq!(Bytes::from_mib(10).saturating_sub(Bytes::from_mib(20)), Bytes::ZERO);
+        assert_eq!(
+            Bytes::from_mib(10).saturating_sub(Bytes::from_mib(20)),
+            Bytes::ZERO
+        );
     }
 
     #[test]

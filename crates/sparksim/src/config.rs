@@ -111,6 +111,25 @@ impl Default for SparkConf {
     }
 }
 
+impl doppio_engine::Fingerprintable for SparkConf {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u32(self.executor_cores);
+        self.executor_memory.fingerprint_into(fp);
+        fp.write_f64(self.storage_fraction);
+        self.shuffle_write_chunk.fingerprint_into(fp);
+        self.persist_chunk.fingerprint_into(fp);
+        self.hdfs_read_cap.fingerprint_into(fp);
+        self.hdfs_write_cap.fingerprint_into(fp);
+        self.shuffle_read_cap.fingerprint_into(fp);
+        self.shuffle_write_cap.fingerprint_into(fp);
+        self.persist_cap.fingerprint_into(fp);
+        self.memory_bandwidth.fingerprint_into(fp);
+        fp.write_f64(self.compute_noise);
+        fp.write_u64(self.seed);
+        fp.write_bool(self.record_task_spans);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +145,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_fields() {
-        let c = SparkConf::paper().with_cores(12).with_seed(7).without_noise();
+        let c = SparkConf::paper()
+            .with_cores(12)
+            .with_seed(7)
+            .without_noise();
         assert_eq!(c.executor_cores, 12);
         assert_eq!(c.seed, 7);
         assert_eq!(c.compute_noise, 0.0);

@@ -112,7 +112,11 @@ pub fn partitions(ctx: &mut PlanContext<'_>, rdd: RddId) -> Result<u64, SimError
             }
             total
         }
-        Op::Shuffle { spec, shuffle_ratio, .. } => {
+        Op::Shuffle {
+            spec,
+            shuffle_ratio,
+            ..
+        } => {
             if let Some(reg) = ctx.shuffles.get(rdd) {
                 reg.reducers
             } else {
@@ -193,7 +197,8 @@ fn prepare_materializations(
     if let Some((level, expansion)) = node.storage {
         if !ctx.memory.is_materialized(rdd) {
             let parts = partitions(ctx, rdd)?;
-            ctx.memory.materialize(rdd, level, expansion, node.bytes, parts);
+            ctx.memory
+                .materialize(rdd, level, expansion, node.bytes, parts);
             materializing.insert(rdd);
         }
     }
@@ -295,7 +300,9 @@ fn resolve_op(
             out_bytes: node.bytes / *partitions as u64,
             ..Chain::default()
         }),
-        Op::Narrow { cost, selectivity, .. } => {
+        Op::Narrow {
+            cost, selectivity, ..
+        } => {
             let mut chain = resolve_chain(ctx, node.parents[0], pidx, materializing)?;
             chain.cpu += cost.eval(chain.out_bytes);
             chain.out_bytes = chain.out_bytes.scale(*selectivity);
@@ -437,7 +444,10 @@ fn build_task(ctx: &PlanContext<'_>, chain: Chain, tail_cost: Cost, output: MapO
                 });
             }
         }
-        MapOutput::HdfsFile { bytes, remote_replicas } => {
+        MapOutput::HdfsFile {
+            bytes,
+            remote_replicas,
+        } => {
             if !bytes.is_zero() {
                 let rs = ctx.namenode.config().block_size.min(bytes);
                 out_flows.push(FlowTemplate {
@@ -570,7 +580,13 @@ mod tests {
     fn shuffle_app() -> App {
         let mut b = AppBuilder::new("t");
         let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
-        let sh = b.group_by_key(src, "shuffled", ShuffleSpec::target_reducer_bytes(Bytes::from_mib(64)), Cost::ZERO, 1.0);
+        let sh = b.group_by_key(
+            src,
+            "shuffled",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(64)),
+            Cost::ZERO,
+            1.0,
+        );
         b.count(sh, "job0", Cost::ZERO);
         b.count(sh, "job1", Cost::ZERO);
         b.build().unwrap()
@@ -604,7 +620,10 @@ mod tests {
         let stages = h.plan(0);
         let t = &stages[0].tasks[0];
         assert_eq!(t.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(128));
-        assert_eq!(t.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4) / 32);
+        assert_eq!(
+            t.channel_bytes(IoChannel::ShuffleWrite),
+            Bytes::from_gib(4) / 32
+        );
         assert!(t.preferred_node.is_some(), "HDFS tasks have locality hints");
     }
 
@@ -635,7 +654,11 @@ mod tests {
         let stages = h.plan(0);
         assert_eq!(stages.len(), 2);
         let result = &stages[1];
-        assert_eq!(result.tasks.len(), 16 + 32, "reducer partitions + HDFS block partitions");
+        assert_eq!(
+            result.tasks.len(),
+            16 + 32,
+            "reducer partitions + HDFS block partitions"
+        );
         let shuffle_tasks = result
             .tasks
             .iter()
@@ -678,12 +701,21 @@ mod tests {
         let mut h = Harness::new(app, 2);
         let first = h.plan(0);
         let t0 = &first[0].tasks[0];
-        assert!(!t0.channel_bytes(IoChannel::PersistWrite).is_zero(), "spill on materialization");
+        assert!(
+            !t0.channel_bytes(IoChannel::PersistWrite).is_zero(),
+            "spill on materialization"
+        );
         assert!(!t0.channel_bytes(IoChannel::HdfsRead).is_zero());
         let second = h.plan(1);
         let t1 = &second[0].tasks[0];
-        assert!(t1.channel_bytes(IoChannel::HdfsRead).is_zero(), "cache cuts lineage");
-        assert!(!t1.channel_bytes(IoChannel::PersistRead).is_zero(), "reads the spilled part");
+        assert!(
+            t1.channel_bytes(IoChannel::HdfsRead).is_zero(),
+            "cache cuts lineage"
+        );
+        assert!(
+            !t1.channel_bytes(IoChannel::PersistRead).is_zero(),
+            "reads the spilled part"
+        );
         assert!(t1.channel_bytes(IoChannel::PersistWrite).is_zero());
     }
 
@@ -700,9 +732,15 @@ mod tests {
         let _ = h.plan(0);
         let second = h.plan(1);
         let t = &second[0].tasks[0];
-        assert!(t.channel_bytes(IoChannel::PersistRead).is_zero(), "MEMORY_ONLY never spills");
+        assert!(
+            t.channel_bytes(IoChannel::PersistRead).is_zero(),
+            "MEMORY_ONLY never spills"
+        );
         let re = t.channel_bytes(IoChannel::HdfsRead);
-        assert!(!re.is_zero() && re < Bytes::from_mib(128), "partial recompute re-reads a fraction of the block");
+        assert!(
+            !re.is_zero() && re < Bytes::from_mib(128),
+            "partial recompute re-reads a fraction of the block"
+        );
     }
 
     #[test]

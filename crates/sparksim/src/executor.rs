@@ -249,7 +249,14 @@ impl ExecWorld {
         // Zero-byte flows complete on the caller's pump sweep.
     }
 
-    fn submit_flow(&mut self, now: SimTime, node: NodeId, remote: NodeId, tag: u64, flow: FlowTemplate) {
+    fn submit_flow(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        remote: NodeId,
+        tag: u64,
+        flow: FlowTemplate,
+    ) {
         let target = match flow.loc {
             FlowLoc::SelfNode => node,
             FlowLoc::RemoteRotating => remote,
@@ -259,7 +266,9 @@ impl ExecWorld {
         let entry = self.st.channels.entry(flow.channel).or_default();
         entry.bytes += flow.bytes;
         if !flow.bytes.is_zero() {
-            entry.requests += flow.bytes.div_ceil_by(flow.request_size.max(doppio_events::Bytes::new(1)));
+            entry.requests += flow
+                .bytes
+                .div_ceil_by(flow.request_size.max(doppio_events::Bytes::new(1)));
         }
         match flow.channel.disk_role() {
             Some(role) => {
@@ -281,7 +290,9 @@ impl ExecWorld {
                 );
             }
             None => {
-                self.cluster.node_mut(target).submit_net(now, flow.bytes, tag);
+                self.cluster
+                    .node_mut(target)
+                    .submit_net(now, flow.bytes, tag);
             }
         }
     }
@@ -361,13 +372,22 @@ impl ExecWorld {
         }
     }
 
-    fn finish_stage(&mut self, name: String, kind: crate::task::StageKind, duration: SimDuration) -> StageMetrics {
+    fn finish_stage(
+        &mut self,
+        name: String,
+        kind: crate::task::StageKind,
+        duration: SimDuration,
+    ) -> StageMetrics {
         let st = std::mem::take(&mut self.st);
         let count = st.tasks.len();
         let tasks = TaskStats {
             count,
             avg_secs: st.sum_dur / count as f64,
-            min_secs: if st.min_dur.is_finite() { st.min_dur } else { 0.0 },
+            min_secs: if st.min_dur.is_finite() {
+                st.min_dur
+            } else {
+                0.0
+            },
             max_secs: st.max_dur,
             avg_io_secs: st.sum_io / count as f64,
             avg_cpu_secs: st.sum_cpu / count as f64,
@@ -431,7 +451,11 @@ mod tests {
         // 8 tasks of 1 s on 1 node x 4 cores = 2 waves = 2 s.
         let mut e = exec(1, 4);
         let m = e.run_stage(stage("s", vec![compute_task(1.0); 8]));
-        assert!((m.duration.as_secs() - 2.0).abs() < 1e-9, "duration = {}", m.duration);
+        assert!(
+            (m.duration.as_secs() - 2.0).abs() < 1e-9,
+            "duration = {}",
+            m.duration
+        );
         assert_eq!(m.tasks.count, 8);
         assert!((m.tasks.avg_secs - 1.0).abs() < 1e-9);
     }
@@ -457,7 +481,11 @@ mod tests {
         let mut e = exec(1, 1);
         // io: 60 MiB at 60 MiB/s cap = 1 s; compute 3 s, concurrent => 3 s.
         let m = e.run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 3.0)]));
-        assert!((m.duration.as_secs() - 3.0).abs() < 1e-6, "duration = {}", m.duration);
+        assert!(
+            (m.duration.as_secs() - 3.0).abs() < 1e-6,
+            "duration = {}",
+            m.duration
+        );
         assert!((m.tasks.avg_io_secs - 1.0).abs() < 1e-6);
         assert!((m.tasks.lambda().unwrap() - 3.0).abs() < 1e-6);
     }
@@ -471,7 +499,11 @@ mod tests {
         let mut e = Executor::new(ClusterState::new(&spec, 8), conf);
         let m = e.run_stage(stage("s", vec![shuffle_read_task(15, 60.0, 0.0); 8]));
         // 8 x 15 MiB / 15 MiB/s = 8 s.
-        assert!((m.duration.as_secs() - 8.0).abs() < 1e-6, "duration = {}", m.duration);
+        assert!(
+            (m.duration.as_secs() - 8.0).abs() < 1e-6,
+            "duration = {}",
+            m.duration
+        );
     }
 
     #[test]
@@ -556,7 +588,10 @@ mod tests {
         };
         let m = e.run_stage(stage("s", vec![t; 4]));
         assert_eq!(m.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(512));
-        assert_eq!(m.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_mib(256));
+        assert_eq!(
+            m.channel_bytes(IoChannel::ShuffleWrite),
+            Bytes::from_mib(256)
+        );
         assert_eq!(m.channel_bytes(IoChannel::NetIn), Bytes::from_mib(256));
         assert_eq!(m.channel(IoChannel::HdfsRead).requests, 4);
         assert_eq!(
@@ -580,7 +615,9 @@ mod tests {
             let spec = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
             let conf = SparkConf::paper().with_cores(4).with_seed(seed);
             let mut e = Executor::new(ClusterState::new(&spec, 4), conf);
-            e.run_stage(stage("s", vec![compute_task(1.0); 32])).duration.as_secs()
+            e.run_stage(stage("s", vec![compute_task(1.0); 32]))
+                .duration
+                .as_secs()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2), "different seeds give different jitter");

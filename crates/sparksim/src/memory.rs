@@ -178,7 +178,13 @@ mod tests {
     #[test]
     fn fully_fitting_rdd_is_all_in_memory() {
         let mut m = mgr(36, 10); // 360 GiB pool
-        let rec = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 3.0, Bytes::from_gib(100), 1000);
+        let rec = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            3.0,
+            Bytes::from_gib(100),
+            1000,
+        );
         assert_eq!(rec.mem_fraction, 1.0);
         assert_eq!(rec.disk_bytes(), Bytes::ZERO);
         assert_eq!(m.used(), Bytes::from_gib(300));
@@ -197,14 +203,24 @@ mod tests {
             973,
         );
         assert!((rec.deserialized().as_gib() - 870.0).abs() < 1.0);
-        assert!(rec.mem_fraction < 0.13, "mem fraction = {}", rec.mem_fraction);
+        assert!(
+            rec.mem_fraction < 0.13,
+            "mem fraction = {}",
+            rec.mem_fraction
+        );
         assert!(rec.disk_bytes() > Bytes::from_gib(100));
     }
 
     #[test]
     fn disk_only_takes_no_memory() {
         let mut m = mgr(36, 10);
-        let rec = m.materialize(RddId(0), StorageLevel::DiskOnly, 3.0, Bytes::from_gib(10), 100);
+        let rec = m.materialize(
+            RddId(0),
+            StorageLevel::DiskOnly,
+            3.0,
+            Bytes::from_gib(10),
+            100,
+        );
         assert_eq!(rec.mem_fraction, 0.0);
         assert_eq!(rec.disk_bytes(), Bytes::from_gib(10));
         assert_eq!(m.used(), Bytes::ZERO);
@@ -213,7 +229,13 @@ mod tests {
     #[test]
     fn memory_only_overflow_is_recomputed_not_spilled() {
         let mut m = mgr(10, 1);
-        let rec = m.materialize(RddId(0), StorageLevel::MemoryOnly, 2.0, Bytes::from_gib(10), 100);
+        let rec = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryOnly,
+            2.0,
+            Bytes::from_gib(10),
+            100,
+        );
         assert!((rec.mem_fraction - 0.5).abs() < 1e-9);
         assert_eq!(rec.disk_bytes(), Bytes::ZERO);
         assert!((rec.recompute_fraction() - 0.5).abs() < 1e-9);
@@ -222,8 +244,20 @@ mod tests {
     #[test]
     fn materialize_is_idempotent() {
         let mut m = mgr(36, 2);
-        let a = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 2.0, Bytes::from_gib(10), 10);
-        let b = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 2.0, Bytes::from_gib(10), 10);
+        let a = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            2.0,
+            Bytes::from_gib(10),
+            10,
+        );
+        let b = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            2.0,
+            Bytes::from_gib(10),
+            10,
+        );
         assert_eq!(a, b);
         assert_eq!(m.used(), Bytes::from_gib(20));
     }
@@ -231,16 +265,34 @@ mod tests {
     #[test]
     fn pool_fills_across_rdds_in_order() {
         let mut m = mgr(10, 1); // 10 GiB
-        let a = m.materialize(RddId(0), StorageLevel::MemoryAndDisk, 1.0, Bytes::from_gib(8), 8);
+        let a = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            1.0,
+            Bytes::from_gib(8),
+            8,
+        );
         assert_eq!(a.mem_fraction, 1.0);
-        let b = m.materialize(RddId(1), StorageLevel::MemoryAndDisk, 1.0, Bytes::from_gib(8), 8);
+        let b = m.materialize(
+            RddId(1),
+            StorageLevel::MemoryAndDisk,
+            1.0,
+            Bytes::from_gib(8),
+            8,
+        );
         assert!((b.mem_fraction - 0.25).abs() < 1e-9, "only 2 GiB left");
     }
 
     #[test]
     fn unpersist_frees_memory() {
         let mut m = mgr(10, 1);
-        m.materialize(RddId(0), StorageLevel::MemoryOnly, 1.0, Bytes::from_gib(4), 4);
+        m.materialize(
+            RddId(0),
+            StorageLevel::MemoryOnly,
+            1.0,
+            Bytes::from_gib(4),
+            4,
+        );
         assert_eq!(m.used(), Bytes::from_gib(4));
         let rec = m.unpersist(RddId(0)).unwrap();
         assert_eq!(rec.rdd, RddId(0));

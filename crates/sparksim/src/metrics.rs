@@ -21,7 +21,10 @@ impl ChannelStats {
     /// Average request size (`iostat avgrq-sz`), `None` when the channel was
     /// unused.
     pub fn avg_request_size(&self) -> Option<Bytes> {
-        self.bytes.as_u64().checked_div(self.requests).map(Bytes::new)
+        self.bytes
+            .as_u64()
+            .checked_div(self.requests)
+            .map(Bytes::new)
     }
 }
 
@@ -145,7 +148,10 @@ impl AppRun {
     }
 
     /// All stages with the given name (iterative apps repeat stage names).
-    pub fn stages_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a StageMetrics> + 'a {
+    pub fn stages_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a StageMetrics> + 'a {
         self.stages.iter().filter(move |s| s.name == name)
     }
 
@@ -163,7 +169,12 @@ impl AppRun {
 
 impl fmt::Display for AppRun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "application {} — total {}", self.app_name, self.total_time())?;
+        writeln!(
+            f,
+            "application {} — total {}",
+            self.app_name,
+            self.total_time()
+        )?;
         for s in &self.stages {
             writeln!(f, "  {s}")?;
         }
@@ -213,16 +224,25 @@ mod tests {
     fn channel_defaults_to_zero() {
         let s = stage("a", 10.0);
         assert_eq!(s.channel_bytes(IoChannel::HdfsRead), Bytes::ZERO);
-        assert_eq!(s.channel(IoChannel::ShuffleRead).avg_request_size(), Some(Bytes::new(Bytes::from_gib(1).as_u64() / 1000)));
+        assert_eq!(
+            s.channel(IoChannel::ShuffleRead).avg_request_size(),
+            Some(Bytes::new(Bytes::from_gib(1).as_u64() / 1000))
+        );
     }
 
     #[test]
     fn app_run_totals() {
-        let run = AppRun::new("app", vec![stage("a", 10.0), stage("b", 20.0), stage("a", 5.0)]);
+        let run = AppRun::new(
+            "app",
+            vec![stage("a", 10.0), stage("b", 20.0), stage("a", 5.0)],
+        );
         assert_eq!(run.total_time(), SimDuration::from_secs(35.0));
         assert_eq!(run.time_in("a"), SimDuration::from_secs(15.0));
         assert_eq!(run.stages_named("a").count(), 2);
-        assert_eq!(run.total_channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(3));
+        assert_eq!(
+            run.total_channel_bytes(IoChannel::ShuffleRead),
+            Bytes::from_gib(3)
+        );
         assert!(run.stage("missing").is_none());
     }
 

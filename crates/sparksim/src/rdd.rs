@@ -62,7 +62,10 @@ impl Cost {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn fixed(secs: f64) -> Cost {
-        assert!(secs.is_finite() && secs >= 0.0, "cost must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "cost must be finite and non-negative"
+        );
         Cost {
             per_mib_secs: 0.0,
             fixed_secs: secs,
@@ -90,8 +93,14 @@ impl Cost {
     ///
     /// Panics if `lambda < 1` or `t_stream` is zero.
     pub fn for_lambda(lambda: f64, t_stream: doppio_events::Rate) -> Cost {
-        assert!(lambda >= 1.0, "lambda must be >= 1 (task time includes its I/O)");
-        assert!(t_stream.as_bytes_per_sec() > 0.0, "stream rate must be positive");
+        assert!(
+            lambda >= 1.0,
+            "lambda must be >= 1 (task time includes its I/O)"
+        );
+        assert!(
+            t_stream.as_bytes_per_sec() > 0.0,
+            "stream rate must be positive"
+        );
         let secs_per_mib_io = (1024.0 * 1024.0) / t_stream.as_bytes_per_sec();
         Cost::per_mib(lambda * secs_per_mib_io)
     }
@@ -164,7 +173,10 @@ impl ShuffleSpec {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn with_skew(mut self, s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "skew exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "skew exponent must be finite and non-negative"
+        );
         self.skew = s;
         self
     }
@@ -300,7 +312,13 @@ impl App {
 
 impl fmt::Display for App {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "app {} ({} rdds, {} jobs)", self.name, self.nodes.len(), self.jobs.len())?;
+        writeln!(
+            f,
+            "app {} ({} rdds, {} jobs)",
+            self.name,
+            self.nodes.len(),
+            self.jobs.len()
+        )?;
         for (i, n) in self.nodes.iter().enumerate() {
             let parents: Vec<String> = n.parents.iter().map(|p| p.0.to_string()).collect();
             writeln!(
@@ -372,7 +390,12 @@ impl AppBuilder {
 
     /// An RDD backed by a DFS file of `bytes` at `path` (the file is created
     /// in the simulated DFS when the application is planned).
-    pub fn hdfs_source(&mut self, name: impl Into<String>, path: impl Into<String>, bytes: Bytes) -> RddId {
+    pub fn hdfs_source(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        bytes: Bytes,
+    ) -> RddId {
         self.push(RddNode {
             name: name.into(),
             op: Op::HdfsSource { path: path.into() },
@@ -427,23 +450,47 @@ impl AppBuilder {
 
     /// `map`: narrow transformation with the given CPU cost and output/input
     /// byte ratio.
-    pub fn map(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+    pub fn map(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        cost: Cost,
+        selectivity: f64,
+    ) -> RddId {
         self.narrow(parent, name, "map", cost, selectivity)
     }
 
     /// `filter`: narrow transformation that keeps `selectivity` of its input.
-    pub fn filter(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+    pub fn filter(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        cost: Cost,
+        selectivity: f64,
+    ) -> RddId {
         self.narrow(parent, name, "filter", cost, selectivity)
     }
 
     /// `flatMap`: narrow transformation; selectivity may exceed 1.
-    pub fn flat_map(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+    pub fn flat_map(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        cost: Cost,
+        selectivity: f64,
+    ) -> RddId {
         self.narrow(parent, name, "flatMap", cost, selectivity)
     }
 
     /// `mapPartitions`: narrow transformation (cost hints identical to
     /// `map`; provided for driver-program fidelity).
-    pub fn map_partitions(&mut self, parent: RddId, name: impl Into<String>, cost: Cost, selectivity: f64) -> RddId {
+    pub fn map_partitions(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        cost: Cost,
+        selectivity: f64,
+    ) -> RddId {
         self.narrow(parent, name, "mapPartitions", cost, selectivity)
     }
 
@@ -481,8 +528,14 @@ impl AppBuilder {
         shuffle_ratio: f64,
         out_ratio: f64,
     ) -> RddId {
-        assert!(shuffle_ratio.is_finite() && shuffle_ratio > 0.0, "shuffle ratio must be positive");
-        assert!(out_ratio.is_finite() && out_ratio > 0.0, "out ratio must be positive");
+        assert!(
+            shuffle_ratio.is_finite() && shuffle_ratio > 0.0,
+            "shuffle ratio must be positive"
+        );
+        assert!(
+            out_ratio.is_finite() && out_ratio > 0.0,
+            "out ratio must be positive"
+        );
         let shuffle_bytes = self.parent_bytes(parent).scale(shuffle_ratio);
         let bytes = shuffle_bytes.scale(out_ratio);
         self.push(RddNode {
@@ -510,7 +563,16 @@ impl AppBuilder {
         reduce_cost: Cost,
         out_ratio: f64,
     ) -> RddId {
-        self.shuffle_op(parent, name, "groupByKey", spec, Cost::ZERO, reduce_cost, 1.0, out_ratio)
+        self.shuffle_op(
+            parent,
+            name,
+            "groupByKey",
+            spec,
+            Cost::ZERO,
+            reduce_cost,
+            1.0,
+            out_ratio,
+        )
     }
 
     /// `reduceByKey`: map-side combine shrinks shuffle data to `out_ratio`
@@ -523,12 +585,35 @@ impl AppBuilder {
         reduce_cost: Cost,
         out_ratio: f64,
     ) -> RddId {
-        self.shuffle_op(parent, name, "reduceByKey", spec, Cost::ZERO, reduce_cost, out_ratio, 1.0)
+        self.shuffle_op(
+            parent,
+            name,
+            "reduceByKey",
+            spec,
+            Cost::ZERO,
+            reduce_cost,
+            out_ratio,
+            1.0,
+        )
     }
 
     /// `repartition`: pure data movement.
-    pub fn repartition(&mut self, parent: RddId, name: impl Into<String>, spec: ShuffleSpec) -> RddId {
-        self.shuffle_op(parent, name, "repartition", spec, Cost::ZERO, Cost::ZERO, 1.0, 1.0)
+    pub fn repartition(
+        &mut self,
+        parent: RddId,
+        name: impl Into<String>,
+        spec: ShuffleSpec,
+    ) -> RddId {
+        self.shuffle_op(
+            parent,
+            name,
+            "repartition",
+            spec,
+            Cost::ZERO,
+            Cost::ZERO,
+            1.0,
+            1.0,
+        )
     }
 
     /// `sortByKey`: range-partitioning shuffle with map- and reduce-side
@@ -541,7 +626,16 @@ impl AppBuilder {
         map_cost: Cost,
         reduce_cost: Cost,
     ) -> RddId {
-        self.shuffle_op(parent, name, "sortByKey", spec, map_cost, reduce_cost, 1.0, 1.0)
+        self.shuffle_op(
+            parent,
+            name,
+            "sortByKey",
+            spec,
+            map_cost,
+            reduce_cost,
+            1.0,
+            1.0,
+        )
     }
 
     /// Marks an RDD for persistence. `mem_expansion` is the deserialized
@@ -605,6 +699,142 @@ impl AppBuilder {
     }
 }
 
+// Fingerprint implementations live in this module because several of the
+// fields they must cover (ShuffleSpec::reducers, the Op/RddNode internals)
+// are module-private. The memoization-soundness contract requires every
+// simulation-relevant field to be hashed, including lineage structure.
+mod fingerprints {
+    use super::*;
+    use doppio_engine::{FingerprintBuilder, Fingerprintable};
+
+    impl Fingerprintable for Cost {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            fp.write_f64(self.per_mib_secs);
+            fp.write_f64(self.fixed_secs);
+        }
+    }
+
+    impl Fingerprintable for StorageLevel {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            fp.write_u32(match self {
+                StorageLevel::MemoryOnly => 0,
+                StorageLevel::MemoryAndDisk => 1,
+                StorageLevel::DiskOnly => 2,
+            });
+        }
+    }
+
+    impl Fingerprintable for ShuffleSpec {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            match self.reducers {
+                ReducerCount::Explicit(n) => {
+                    fp.write_u32(0);
+                    fp.write_u32(n);
+                }
+                ReducerCount::TargetBytes(b) => {
+                    fp.write_u32(1);
+                    b.fingerprint_into(fp);
+                }
+            }
+            fp.write_f64(self.skew);
+        }
+    }
+
+    impl Fingerprintable for Op {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            match self {
+                Op::HdfsSource { path } => {
+                    fp.write_u32(0);
+                    fp.write_str(path);
+                }
+                Op::Parallelize { partitions } => {
+                    fp.write_u32(1);
+                    fp.write_u32(*partitions);
+                }
+                Op::Narrow {
+                    kind,
+                    cost,
+                    selectivity,
+                } => {
+                    fp.write_u32(2);
+                    fp.write_str(kind);
+                    cost.fingerprint_into(fp);
+                    fp.write_f64(*selectivity);
+                }
+                Op::Union => fp.write_u32(3),
+                Op::Shuffle {
+                    kind,
+                    spec,
+                    map_cost,
+                    reduce_cost,
+                    shuffle_ratio,
+                    out_ratio,
+                } => {
+                    fp.write_u32(4);
+                    fp.write_str(kind);
+                    spec.fingerprint_into(fp);
+                    map_cost.fingerprint_into(fp);
+                    reduce_cost.fingerprint_into(fp);
+                    fp.write_f64(*shuffle_ratio);
+                    fp.write_f64(*out_ratio);
+                }
+            }
+        }
+    }
+
+    impl Fingerprintable for RddNode {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            fp.write_str(&self.name);
+            self.op.fingerprint_into(fp);
+            fp.write_u64(self.parents.len() as u64);
+            for p in &self.parents {
+                fp.write_usize(p.0);
+            }
+            self.bytes.fingerprint_into(fp);
+            match &self.storage {
+                None => fp.write_bool(false),
+                Some((level, expansion)) => {
+                    fp.write_bool(true);
+                    level.fingerprint_into(fp);
+                    fp.write_f64(*expansion);
+                }
+            }
+        }
+    }
+
+    impl Fingerprintable for ActionKind {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            match self {
+                ActionKind::Count { cost } => {
+                    fp.write_u32(0);
+                    cost.fingerprint_into(fp);
+                }
+                ActionKind::SaveHdfs { path } => {
+                    fp.write_u32(1);
+                    fp.write_str(path);
+                }
+            }
+        }
+    }
+
+    impl Fingerprintable for Job {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            fp.write_usize(self.id.0);
+            fp.write_str(&self.name);
+            fp.write_usize(self.target.0);
+            self.action.fingerprint_into(fp);
+        }
+    }
+
+    impl Fingerprintable for App {
+        fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+            fp.write_str(&self.name);
+            self.nodes.fingerprint_into(fp);
+            self.jobs.fingerprint_into(fp);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,7 +844,13 @@ mod tests {
         let mut b = AppBuilder::new("t");
         let src = b.hdfs_source("in", "/in", Bytes::from_gib(122));
         let fm = b.flat_map(src, "expand", Cost::ZERO, 2.74);
-        let grouped = b.group_by_key(fm, "group", ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27)), Cost::ZERO, 1.0);
+        let grouped = b.group_by_key(
+            fm,
+            "group",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(27)),
+            Cost::ZERO,
+            1.0,
+        );
         b.count(grouped, "job", Cost::ZERO);
         let app = b.build().unwrap();
         // 122 GiB * 2.74 ≈ 334 GiB — Table IV's shuffle volume.
@@ -678,7 +914,10 @@ mod tests {
         b.persist(a, StorageLevel::MemoryAndDisk, 7.1);
         b.count(a, "job", Cost::ZERO);
         let app = b.build().unwrap();
-        assert_eq!(app.node(a).storage, Some((StorageLevel::MemoryAndDisk, 7.1)));
+        assert_eq!(
+            app.node(a).storage,
+            Some((StorageLevel::MemoryAndDisk, 7.1))
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl RegisteredShuffle {
 
     /// Normalization constant `Σ_{j=1..R} j^-s`.
     fn zipf_norm(&self) -> f64 {
-        (1..=self.reducers).map(|j| (j as f64).powf(-self.skew)).sum()
+        (1..=self.reducers)
+            .map(|j| (j as f64).powf(-self.skew))
+            .sum()
     }
 
     /// The largest reducer's share over the mean — the straggler factor a
@@ -101,9 +103,16 @@ impl ShuffleRegistry {
     /// Panics if `maps` or `reducers` is zero, or the shuffle was already
     /// registered (map stages must not run twice).
     pub fn register(&mut self, shuffle: RegisteredShuffle) {
-        assert!(shuffle.maps > 0 && shuffle.reducers > 0, "shuffle needs maps and reducers");
+        assert!(
+            shuffle.maps > 0 && shuffle.reducers > 0,
+            "shuffle needs maps and reducers"
+        );
         let prev = self.outputs.insert(shuffle.rdd, shuffle);
-        assert!(prev.is_none(), "shuffle for rdd {:?} registered twice", shuffle.rdd);
+        assert!(
+            prev.is_none(),
+            "shuffle for rdd {:?} registered twice",
+            shuffle.rdd
+        );
     }
 
     /// Looks up the output of a shuffle RDD, if its map stage already ran.
@@ -215,7 +224,11 @@ mod tests {
         for i in 1..50 {
             assert!(s.reducer_bytes(i) <= s.reducer_bytes(i - 1), "monotone");
         }
-        assert!(s.straggler_factor() > 3.0, "hot key dominates: {:.1}", s.straggler_factor());
+        assert!(
+            s.straggler_factor() > 3.0,
+            "hot key dominates: {:.1}",
+            s.straggler_factor()
+        );
         let uniform = RegisteredShuffle { skew: 0.0, ..s };
         assert_eq!(uniform.straggler_factor(), 1.0);
         assert_eq!(uniform.reducer_bytes(0), uniform.bytes_per_reducer());

@@ -159,7 +159,10 @@ mod tests {
         let nf = run.stage("NF").unwrap();
         let sf = run.stage("SF").unwrap();
         assert_eq!(nf.channel_bytes(IoChannel::HdfsRead), Bytes::from_gib(4));
-        assert_eq!(nf.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4));
+        assert_eq!(
+            nf.channel_bytes(IoChannel::ShuffleWrite),
+            Bytes::from_gib(4)
+        );
         assert_eq!(sf.channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(4));
         // Replication 2 doubles the HDFS write volume.
         assert_eq!(sf.channel_bytes(IoChannel::HdfsWrite), Bytes::from_gib(8));
@@ -207,7 +210,9 @@ mod tests {
         assert_eq!(run.stages().len(), 4);
         // Only the first stage touches HDFS.
         assert_eq!(
-            run.stage("dataValidator").unwrap().channel_bytes(IoChannel::HdfsRead),
+            run.stage("dataValidator")
+                .unwrap()
+                .channel_bytes(IoChannel::HdfsRead),
             Bytes::from_gib(2)
         );
         for it in run.stages_named("iteration") {
@@ -241,8 +246,14 @@ mod tests {
         let src = b.hdfs_source("in", "/in", Bytes::from_gib(16)); // 128 tasks
         b.count(src, "crunch", Cost::per_mib(0.2));
         let app = b.build().unwrap();
-        let t4 = sim(2, 4, HybridConfig::SsdSsd).run(&app).unwrap().total_time();
-        let t12 = sim(2, 12, HybridConfig::SsdSsd).run(&app).unwrap().total_time();
+        let t4 = sim(2, 4, HybridConfig::SsdSsd)
+            .run(&app)
+            .unwrap()
+            .total_time();
+        let t12 = sim(2, 12, HybridConfig::SsdSsd)
+            .run(&app)
+            .unwrap()
+            .total_time();
         let speedup = t4.as_secs() / t12.as_secs();
         assert!(speedup > 2.0, "speedup 4->12 cores = {speedup:.2}");
     }
@@ -266,8 +277,14 @@ mod tests {
         let skewed = sim(2, 16, HybridConfig::SsdSsd).run(&mk(0.8)).unwrap();
         // Same data volume either way…
         assert_eq!(
-            uniform.total_channel_bytes(IoChannel::ShuffleRead).as_gib().round(),
-            skewed.total_channel_bytes(IoChannel::ShuffleRead).as_gib().round()
+            uniform
+                .total_channel_bytes(IoChannel::ShuffleRead)
+                .as_gib()
+                .round(),
+            skewed
+                .total_channel_bytes(IoChannel::ShuffleRead)
+                .as_gib()
+                .round()
         );
         // …but the hot reducer stretches the stage.
         let u = uniform.stage("reduce").unwrap();

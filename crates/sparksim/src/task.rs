@@ -180,6 +180,20 @@ pub struct PlannedStage {
     pub tasks: Vec<TaskSpec>,
 }
 
+impl doppio_engine::Fingerprintable for IoChannel {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u32(match self {
+            IoChannel::HdfsRead => 0,
+            IoChannel::HdfsWrite => 1,
+            IoChannel::ShuffleRead => 2,
+            IoChannel::ShuffleWrite => 3,
+            IoChannel::PersistRead => 4,
+            IoChannel::PersistWrite => 5,
+            IoChannel::NetIn => 6,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,7 +231,10 @@ mod tests {
             compute_secs: 3.5,
         };
         assert_eq!(t.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(128));
-        assert_eq!(t.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_mib(350));
+        assert_eq!(
+            t.channel_bytes(IoChannel::ShuffleWrite),
+            Bytes::from_mib(350)
+        );
         assert_eq!(t.channel_bytes(IoChannel::NetIn), Bytes::ZERO);
     }
 

@@ -65,7 +65,11 @@ pub fn to_chrome_trace(run: &AppRun) -> Option<String> {
         // span ended at or before the new span's start.
         let mut lanes: std::collections::HashMap<usize, Vec<f64>> = Default::default();
         let mut ordered: Vec<&TaskSpan> = spans.iter().collect();
-        ordered.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs).then(a.node.cmp(&b.node)));
+        ordered.sort_by(|a, b| {
+            a.start_secs
+                .total_cmp(&b.start_secs)
+                .then(a.node.cmp(&b.node))
+        });
         for span in ordered {
             let node_lanes = lanes.entry(span.node).or_default();
             let lane = node_lanes

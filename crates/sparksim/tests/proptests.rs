@@ -48,11 +48,19 @@ fn build(r: &RandApp) -> doppio_sparksim::App {
     b.build().expect("random app builds")
 }
 
-fn simulate(r: &RandApp, nodes: usize, cores: u32, config: HybridConfig) -> doppio_sparksim::AppRun {
+fn simulate(
+    r: &RandApp,
+    nodes: usize,
+    cores: u32,
+    config: HybridConfig,
+) -> doppio_sparksim::AppRun {
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
-    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-        .run(&build(r))
-        .expect("random app simulates")
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).without_noise(),
+    )
+    .run(&build(r))
+    .expect("random app simulates")
 }
 
 proptest! {

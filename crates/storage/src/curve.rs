@@ -46,7 +46,10 @@ impl BandwidthCurve {
     /// strictly increasing, if any bandwidth is non-positive, or if
     /// bandwidth decreases as request size grows.
     pub fn from_points(points: &[(Bytes, Rate)]) -> Self {
-        assert!(!points.is_empty(), "a bandwidth curve needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a bandwidth curve needs at least one point"
+        );
         let mut v = Vec::with_capacity(points.len());
         for &(rs, bw) in points {
             assert!(rs.as_u64() > 0, "request size must be positive");
@@ -76,7 +79,10 @@ impl BandwidthCurve {
     ///
     /// Panics if `peak` is zero or `latency_secs` is negative/NaN.
     pub fn from_latency_model(peak: Rate, latency_secs: f64) -> Self {
-        assert!(peak.as_bytes_per_sec() > 0.0, "peak bandwidth must be positive");
+        assert!(
+            peak.as_bytes_per_sec() > 0.0,
+            "peak bandwidth must be positive"
+        );
         assert!(
             latency_secs.is_finite() && latency_secs >= 0.0,
             "latency must be finite and non-negative"
@@ -152,7 +158,10 @@ impl BandwidthCurve {
     ///
     /// Panics if `factor` is not positive.
     pub fn scaled(&self, factor: f64, cap: Option<Rate>) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         let cap_bps = cap.map(|c| c.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
         let mut pts: Vec<(f64, f64)> = self
             .points
@@ -176,6 +185,16 @@ impl fmt::Display for BandwidthCurve {
             write!(f, "{rs}@{bw}")?;
         }
         write!(f, "]")
+    }
+}
+
+impl doppio_engine::Fingerprintable for BandwidthCurve {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_u64(self.points.len() as u64);
+        for &(rs, bw) in &self.points {
+            fp.write_f64(rs);
+            fp.write_f64(bw);
+        }
     }
 }
 
@@ -235,13 +254,19 @@ mod tests {
         let rs = Bytes::from_kib(64);
         let expect = rs.as_f64() / (0.001 + rs.as_f64() / (100.0 * 1024.0 * 1024.0));
         let got = c.bandwidth(rs).as_bytes_per_sec();
-        assert!((got - expect).abs() / expect < 0.02, "within interpolation error");
+        assert!(
+            (got - expect).abs() / expect < 0.02,
+            "within interpolation error"
+        );
     }
 
     #[test]
     fn flat_curve_ignores_request_size() {
         let c = BandwidthCurve::flat(Rate::gib_per_sec(8.0));
-        assert_eq!(c.bandwidth(Bytes::from_kib(1)), c.bandwidth(Bytes::from_gib(1)));
+        assert_eq!(
+            c.bandwidth(Bytes::from_kib(1)),
+            c.bandwidth(Bytes::from_gib(1))
+        );
     }
 
     #[test]

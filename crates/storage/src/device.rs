@@ -238,7 +238,9 @@ impl Device {
     pub fn flow_byte_rate(&self, id: FlowId, dir: IoDir, request_size: Bytes) -> Option<Rate> {
         let device_time_rate = self.server.flow_rate(id)?;
         let bw = self.spec.bandwidth(dir, request_size);
-        Some(Rate::bytes_per_sec(device_time_rate * bw.as_bytes_per_sec()))
+        Some(Rate::bytes_per_sec(
+            device_time_rate * bw.as_bytes_per_sec(),
+        ))
     }
 
     /// Cancels an in-flight transfer.
@@ -253,6 +255,15 @@ impl Device {
         } else {
             (self.server.busy_time().as_secs() / elapsed.as_secs()).min(1.0)
         }
+    }
+}
+
+impl doppio_engine::Fingerprintable for DeviceSpec {
+    fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
+        fp.write_str(&self.name);
+        self.read.fingerprint_into(fp);
+        self.write.fingerprint_into(fp);
+        self.capacity.fingerprint_into(fp);
     }
 }
 
@@ -343,7 +354,10 @@ mod tests {
             );
         }
         let done = drive_to_completion(&mut ssd);
-        assert!((done.as_secs() - 1.0).abs() < 1e-6, "each stream runs at its cap");
+        assert!(
+            (done.as_secs() - 1.0).abs() < 1e-6,
+            "each stream runs at its cap"
+        );
     }
 
     #[test]
@@ -372,8 +386,12 @@ mod tests {
             },
         );
         // Each gets half the device time; byte rates differ by curve.
-        let r_small = hdd.flow_byte_rate(small, IoDir::Read, Bytes::from_kib(30)).unwrap();
-        let r_big = hdd.flow_byte_rate(big, IoDir::Read, Bytes::from_mib(128)).unwrap();
+        let r_small = hdd
+            .flow_byte_rate(small, IoDir::Read, Bytes::from_kib(30))
+            .unwrap();
+        let r_big = hdd
+            .flow_byte_rate(big, IoDir::Read, Bytes::from_mib(128))
+            .unwrap();
         let bw_small = hdd.spec().bandwidth(IoDir::Read, Bytes::from_kib(30));
         let bw_big = hdd.spec().bandwidth(IoDir::Read, Bytes::from_mib(128));
         assert!((r_small.as_bytes_per_sec() - bw_small.as_bytes_per_sec() / 2.0).abs() < 1.0);
@@ -440,7 +458,10 @@ mod tests {
             },
         );
         let done = drive_to_completion(&mut d);
-        let bw_1m = d.spec().bandwidth(IoDir::Read, Bytes::from_mib(1)).as_bytes_per_sec();
+        let bw_1m = d
+            .spec()
+            .bandwidth(IoDir::Read, Bytes::from_mib(1))
+            .as_bytes_per_sec();
         let expect = Bytes::from_mib(1).as_f64() / bw_1m;
         assert!((done.as_secs() - expect).abs() / expect < 1e-9);
     }

@@ -145,7 +145,13 @@ mod tests {
             assert_eq!(ra.block_size, rs.block_size);
             let rel = (ra.bandwidth.as_bytes_per_sec() - rs.bandwidth.as_bytes_per_sec()).abs()
                 / ra.bandwidth.as_bytes_per_sec();
-            assert!(rel < 1e-6, "bs {}: analytic {} vs sim {}", ra.block_size, ra.bandwidth, rs.bandwidth);
+            assert!(
+                rel < 1e-6,
+                "bs {}: analytic {} vs sim {}",
+                ra.block_size,
+                ra.bandwidth,
+                rs.bandwidth
+            );
         }
     }
 
@@ -182,7 +188,11 @@ mod tests {
         let hdd = run_analytic(&FioJob::read_sweep(presets::hdd_wd4000()));
         let ssd = run_analytic(&FioJob::read_sweep(presets::ssd_mz7lm()));
         let at = |rows: &[FioRow], bs: Bytes| {
-            rows.iter().find(|r| r.block_size == bs).unwrap().bandwidth.as_mib_per_sec()
+            rows.iter()
+                .find(|r| r.block_size == bs)
+                .unwrap()
+                .bandwidth
+                .as_mib_per_sec()
         };
         let bs30 = Bytes::from_kib(30);
         assert!((at(&hdd, bs30) - 15.0).abs() < 0.1);

@@ -85,7 +85,8 @@ impl IoStat {
     /// Average request size in 512-byte sectors (the `avgrq-sz` column of
     /// `iostat -x`); `None` if no requests occurred.
     pub fn avg_request_sectors(&self, dir: IoDir) -> Option<f64> {
-        self.avg_request_size(dir).map(|b| b.as_f64() / SECTOR as f64)
+        self.avg_request_size(dir)
+            .map(|b| b.as_f64() / SECTOR as f64)
     }
 
     /// Merges another accumulator into this one (e.g. summing per-node

@@ -167,10 +167,21 @@ mod tests {
     #[test]
     fn parametric_devices_are_well_formed() {
         let d = parametric_hdd("h", Rate::mib_per_sec(140.0), 2e-3);
-        assert!(d.bandwidth(IoDir::Read, Bytes::from_kib(4)).as_mib_per_sec() < 5.0);
-        assert!(d.bandwidth(IoDir::Write, Bytes::from_mib(128)) < d.bandwidth(IoDir::Read, Bytes::from_mib(128)));
+        assert!(
+            d.bandwidth(IoDir::Read, Bytes::from_kib(4))
+                .as_mib_per_sec()
+                < 5.0
+        );
+        assert!(
+            d.bandwidth(IoDir::Write, Bytes::from_mib(128))
+                < d.bandwidth(IoDir::Read, Bytes::from_mib(128))
+        );
         let s = parametric_ssd("s", Rate::mib_per_sec(500.0), 5e-6);
-        assert!(s.bandwidth(IoDir::Read, Bytes::from_kib(4)).as_mib_per_sec() > 100.0);
+        assert!(
+            s.bandwidth(IoDir::Read, Bytes::from_kib(4))
+                .as_mib_per_sec()
+                > 100.0
+        );
     }
 
     #[test]
@@ -179,7 +190,10 @@ mod tests {
         let nvme = nvme_p4510().bandwidth(IoDir::Read, rs);
         let ssd = ssd_mz7lm().bandwidth(IoDir::Read, rs);
         assert!(nvme / ssd > 4.0, "NVMe {} vs SATA SSD {}", nvme, ssd);
-        assert!(nvme_p4510().bandwidth(IoDir::Write, rs) < nvme, "writes slower");
+        assert!(
+            nvme_p4510().bandwidth(IoDir::Write, rs) < nvme,
+            "writes slower"
+        );
     }
 
     #[test]

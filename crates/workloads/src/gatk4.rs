@@ -281,16 +281,23 @@ mod tests {
     fn run(config: HybridConfig, cores: u32) -> doppio_sparksim::AppRun {
         let app = app(&Params::scaled_down());
         let cluster = ClusterSpec::paper_cluster(3, 36, config);
-        Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-            .run(&app)
-            .expect("GATK4 simulates")
+        Simulation::with_conf(
+            cluster,
+            SparkConf::paper().with_cores(cores).without_noise(),
+        )
+        .run(&app)
+        .expect("GATK4 simulates")
     }
 
     #[test]
     fn stage_structure_matches_figure1() {
         let run = run(HybridConfig::SsdSsd, 8);
         let names: Vec<&str> = run.stages().iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["MD", "BR", "SF"], "map stage + two result stages");
+        assert_eq!(
+            names,
+            vec!["MD", "BR", "SF"],
+            "map stage + two result stages"
+        );
     }
 
     #[test]
@@ -308,13 +315,22 @@ mod tests {
         assert!(md.channel_bytes(IoChannel::ShuffleRead).is_zero());
 
         let br = r.stage("BR").unwrap();
-        assert!(close(br.channel_bytes(IoChannel::HdfsRead), input), "BR re-reads the input");
+        assert!(
+            close(br.channel_bytes(IoChannel::HdfsRead), input),
+            "BR re-reads the input"
+        );
         assert!(close(br.channel_bytes(IoChannel::ShuffleRead), shuffle));
         assert!(br.channel_bytes(IoChannel::HdfsWrite).is_zero());
 
         let sf = r.stage("SF").unwrap();
-        assert!(close(sf.channel_bytes(IoChannel::HdfsRead), input), "SF re-reads the input");
-        assert!(close(sf.channel_bytes(IoChannel::ShuffleRead), shuffle), "shuffle read twice in total");
+        assert!(
+            close(sf.channel_bytes(IoChannel::HdfsRead), input),
+            "SF re-reads the input"
+        );
+        assert!(
+            close(sf.channel_bytes(IoChannel::ShuffleRead), shuffle),
+            "shuffle read twice in total"
+        );
         // HdfsWrite counts replication (×2).
         assert!(close(sf.channel_bytes(IoChannel::HdfsWrite), 2.0 * output));
     }
@@ -326,7 +342,10 @@ mod tests {
         // params keep the segment within the same few-tens-of-KB regime.
         let r = run(HybridConfig::SsdSsd, 8);
         let br = r.stage("BR").unwrap();
-        let rs = br.channel(IoChannel::ShuffleRead).avg_request_size().unwrap();
+        let rs = br
+            .channel(IoChannel::ShuffleRead)
+            .avg_request_size()
+            .unwrap();
         assert!(
             (20..=64).contains(&(rs.as_kib() as u64)),
             "segment size = {rs} (paper: ~30 KB)"
@@ -341,7 +360,11 @@ mod tests {
             hdd_local.stage(name).unwrap().duration.as_secs()
                 / ssd.stage(name).unwrap().duration.as_secs()
         };
-        assert!(ratio("BR") > 3.0, "BR is shuffle-read bound on HDD: {:.1}x", ratio("BR"));
+        assert!(
+            ratio("BR") > 3.0,
+            "BR is shuffle-read bound on HDD: {:.1}x",
+            ratio("BR")
+        );
         assert!(ratio("SF") > 3.0, "SF too: {:.1}x", ratio("SF"));
         assert!(
             ratio("MD") < ratio("BR"),
@@ -357,15 +380,21 @@ mod tests {
         let hdd_hdfs = run(HybridConfig::HddSsd, 36);
         let md_ratio = hdd_hdfs.stage("MD").unwrap().duration.as_secs()
             / ssd.stage("MD").unwrap().duration.as_secs();
-        assert!(md_ratio < 1.15, "MD insensitive to HDFS device: {md_ratio:.2}x");
+        assert!(
+            md_ratio < 1.15,
+            "MD insensitive to HDFS device: {md_ratio:.2}x"
+        );
     }
 
     fn run_extended(config: HybridConfig, cores: u32) -> doppio_sparksim::AppRun {
         let app = extended_app(&ExtendedParams::scaled_down());
         let cluster = ClusterSpec::paper_cluster(3, 36, config);
-        Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-            .run(&app)
-            .expect("extended GATK4 simulates")
+        Simulation::with_conf(
+            cluster,
+            SparkConf::paper().with_cores(cores).without_noise(),
+        )
+        .run(&app)
+        .expect("extended GATK4 simulates")
     }
 
     #[test]
@@ -390,7 +419,10 @@ mod tests {
         for stage in ["MD", "BR", "SF"] {
             let a = ext.stage(stage).unwrap();
             let b = classic.stage(stage).unwrap();
-            assert_eq!(a.channel_bytes(IoChannel::ShuffleRead), b.channel_bytes(IoChannel::ShuffleRead));
+            assert_eq!(
+                a.channel_bytes(IoChannel::ShuffleRead),
+                b.channel_bytes(IoChannel::ShuffleRead)
+            );
             let rel = (a.duration.as_secs() - b.duration.as_secs()).abs() / b.duration.as_secs();
             assert!(rel < 0.05, "{stage}: {rel:.3}");
         }
@@ -408,8 +440,8 @@ mod tests {
             assert!(ratio < 1.35, "{stage} device ratio = {ratio:.2}");
         }
         // …while the shuffle-bound middle still collapses on HDDs.
-        let br_ratio =
-            hdd.stage("BR").unwrap().duration.as_secs() / ssd.stage("BR").unwrap().duration.as_secs();
+        let br_ratio = hdd.stage("BR").unwrap().duration.as_secs()
+            / ssd.stage("BR").unwrap().duration.as_secs();
         assert!(br_ratio > 3.0);
     }
 
@@ -420,20 +452,27 @@ mod tests {
         let r = run_extended(HybridConfig::SsdSsd, 8);
         let p = ExtendedParams::scaled_down();
         let bwa_written = r.stage("BWA").unwrap().channel_bytes(IoChannel::HdfsWrite);
-        assert!((bwa_written.as_f64() / 2.0 - p.base.dataset.bam_bytes().as_f64()).abs()
-            / p.base.dataset.bam_bytes().as_f64()
-            < 0.02);
+        assert!(
+            (bwa_written.as_f64() / 2.0 - p.base.dataset.bam_bytes().as_f64()).abs()
+                / p.base.dataset.bam_bytes().as_f64()
+                < 0.02
+        );
         let hc_read = r.stage("HC").unwrap().channel_bytes(IoChannel::HdfsRead);
-        assert!((hc_read.as_f64() - p.base.dataset.output_bytes().as_f64()).abs()
-            / p.base.dataset.output_bytes().as_f64()
-            < 0.02);
+        assert!(
+            (hc_read.as_f64() - p.base.dataset.output_bytes().as_f64()).abs()
+                / p.base.dataset.output_bytes().as_f64()
+                < 0.02
+        );
     }
 
     #[test]
     fn table4_rows_scale_with_dataset() {
         let rows = table4_rows(&GenomeDataset::hcc1954());
         assert_eq!(rows[0].0, "MD");
-        assert!((rows[1].1[2].as_gib() - 334.0).abs() < 0.5, "BR shuffle read");
+        assert!(
+            (rows[1].1[2].as_gib() - 334.0).abs() < 0.5,
+            "BR shuffle read"
+        );
         assert!((rows[2].1[3].as_gib() - 166.0).abs() < 0.5, "SF hdfs write");
     }
 }

@@ -66,7 +66,10 @@ impl GenomeDataset {
     ///
     /// Panics if `factor` is not positive.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         GenomeDataset {
             read_pairs: ((self.read_pairs as f64 * factor).round() as u64).max(1),
             read_len: self.read_len,

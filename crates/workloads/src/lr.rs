@@ -86,7 +86,11 @@ const GRADIENT_SECS_PER_MIB: f64 = 0.0023;
 /// Builds the Logistic Regression application.
 pub fn app(params: &Params) -> App {
     let mut b = AppBuilder::new(params.label);
-    let src = b.hdfs_source("examples", format!("/lr/{}/input", params.label), params.parsed_bytes);
+    let src = b.hdfs_source(
+        "examples",
+        format!("/lr/{}/input", params.label),
+        params.parsed_bytes,
+    );
     let parsed = b.map(src, "parsedData", Cost::per_mib(0.001), 1.0);
     b.persist(parsed, StorageLevel::MemoryAndDisk, 1.0);
     b.count(parsed, "dataValidator", Cost::ZERO);
@@ -131,11 +135,18 @@ mod tests {
     fn large_dataset_iterations_hit_spark_local() {
         let r = run(&Params::scaled_large(), HybridConfig::SsdSsd);
         // 120 GiB cached vs 2 x 36 GiB pool: most of it spills.
-        let spilled: f64 = r.stage("dataValidator").unwrap().channel_bytes(IoChannel::PersistWrite).as_gib();
+        let spilled: f64 = r
+            .stage("dataValidator")
+            .unwrap()
+            .channel_bytes(IoChannel::PersistWrite)
+            .as_gib();
         assert!(spilled > 40.0, "spill = {spilled:.0} GiB");
         for it in r.stages_named("iteration") {
             let read = it.channel_bytes(IoChannel::PersistRead).as_gib();
-            assert!((read - spilled).abs() / spilled < 0.02, "each iteration re-reads the spill");
+            assert!(
+                (read - spilled).abs() / spilled < 0.02,
+                "each iteration re-reads the spill"
+            );
         }
     }
 
@@ -145,8 +156,12 @@ mod tests {
         let ssd = run(&Params::scaled_small(), HybridConfig::SsdSsd);
         let hdd = run(&Params::scaled_small(), HybridConfig::HddHdd);
         let it_ratio = hdd.time_in("iteration").as_secs() / ssd.time_in("iteration").as_secs();
-        assert!((it_ratio - 1.0).abs() < 0.05, "iterations identical: {it_ratio:.2}");
-        let dv_ratio = hdd.time_in("dataValidator").as_secs() / ssd.time_in("dataValidator").as_secs();
+        assert!(
+            (it_ratio - 1.0).abs() < 0.05,
+            "iterations identical: {it_ratio:.2}"
+        );
+        let dv_ratio =
+            hdd.time_in("dataValidator").as_secs() / ssd.time_in("dataValidator").as_secs();
         assert!(dv_ratio > 1.5, "dataValidator slower on HDD: {dv_ratio:.2}");
     }
 

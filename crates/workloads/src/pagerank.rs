@@ -148,6 +148,9 @@ mod tests {
         let r = run(HybridConfig::SsdSsd);
         let save = r.stage("saveAsTextFile").unwrap();
         let w = save.channel_bytes(IoChannel::HdfsWrite);
-        assert!((w.as_gib() - 2.0).abs() < 0.1, "1 GiB x replication 2 = {w}");
+        assert!(
+            (w.as_gib() - 2.0).abs() < 0.1,
+            "1 GiB x replication 2 = {w}"
+        );
     }
 }

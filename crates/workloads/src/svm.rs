@@ -105,9 +105,15 @@ mod tests {
     fn shuffle_volume_matches_params() {
         let r = run(HybridConfig::SsdSsd);
         let p = Params::scaled_down();
-        let w = r.stage("subtract").unwrap().channel_bytes(IoChannel::ShuffleWrite);
+        let w = r
+            .stage("subtract")
+            .unwrap()
+            .channel_bytes(IoChannel::ShuffleWrite);
         assert!((w.as_f64() - p.shuffle_bytes.as_f64()).abs() / p.shuffle_bytes.as_f64() < 0.01);
-        let rd = r.stage("subtract-result").unwrap().channel_bytes(IoChannel::ShuffleRead);
+        let rd = r
+            .stage("subtract-result")
+            .unwrap()
+            .channel_bytes(IoChannel::ShuffleRead);
         assert!((rd.as_f64() - p.shuffle_bytes.as_f64()).abs() / p.shuffle_bytes.as_f64() < 0.01);
     }
 

@@ -87,9 +87,18 @@ mod tests {
         let sf = r.stage("SF").unwrap();
         let close = |a: Bytes, b: Bytes| (a.as_f64() - b.as_f64()).abs() / b.as_f64() < 0.02;
         assert!(close(nf.channel_bytes(IoChannel::HdfsRead), p.data_bytes));
-        assert!(close(nf.channel_bytes(IoChannel::ShuffleWrite), p.data_bytes));
-        assert!(close(sf.channel_bytes(IoChannel::ShuffleRead), p.data_bytes));
-        assert!(close(sf.channel_bytes(IoChannel::HdfsWrite), p.data_bytes * 2), "replicated output");
+        assert!(close(
+            nf.channel_bytes(IoChannel::ShuffleWrite),
+            p.data_bytes
+        ));
+        assert!(close(
+            sf.channel_bytes(IoChannel::ShuffleRead),
+            p.data_bytes
+        ));
+        assert!(
+            close(sf.channel_bytes(IoChannel::HdfsWrite), p.data_bytes * 2),
+            "replicated output"
+        );
     }
 
     #[test]
@@ -98,8 +107,12 @@ mod tests {
         let ssd = run(HybridConfig::SsdSsd);
         let hdd = run(HybridConfig::SsdHdd);
         let total = hdd.total_time().as_secs() / ssd.total_time().as_secs();
-        assert!(total > 1.8, "end-to-end HDD/SSD = {total:.1}x (paper: 2.6x)");
-        let nf = hdd.stage("NF").unwrap().duration.as_secs() / ssd.stage("NF").unwrap().duration.as_secs();
+        assert!(
+            total > 1.8,
+            "end-to-end HDD/SSD = {total:.1}x (paper: 2.6x)"
+        );
+        let nf = hdd.stage("NF").unwrap().duration.as_secs()
+            / ssd.stage("NF").unwrap().duration.as_secs();
         assert!(nf > 1.2, "NF shuffle-write bound on HDD: {nf:.1}x");
     }
 
@@ -107,8 +120,14 @@ mod tests {
     fn reduce_side_request_sizes_are_segments() {
         let r = run(HybridConfig::SsdSsd);
         let sf = r.stage("SF").unwrap();
-        let rs = sf.channel(IoChannel::ShuffleRead).avg_request_size().unwrap();
+        let rs = sf
+            .channel(IoChannel::ShuffleRead)
+            .avg_request_size()
+            .unwrap();
         // 58 GiB over (464 maps × 58 reducers) ≈ 2.2 MiB segments.
-        assert!(rs > Bytes::from_kib(256) && rs < Bytes::from_mib(8), "rs = {rs}");
+        assert!(
+            rs > Bytes::from_kib(256) && rs < Bytes::from_mib(8),
+            "rs = {rs}"
+        );
     }
 }

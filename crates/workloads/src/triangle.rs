@@ -95,7 +95,11 @@ mod tests {
             .stage("computeTriangleCount")
             .unwrap()
             .channel_bytes(IoChannel::ShuffleWrite);
-        assert!((w.as_f64() / p.graph_bytes.as_f64() - 8.0).abs() < 0.2, "blowup = {:.1}x", w.as_f64() / p.graph_bytes.as_f64());
+        assert!(
+            (w.as_f64() / p.graph_bytes.as_f64() - 8.0).abs() < 0.2,
+            "blowup = {:.1}x",
+            w.as_f64() / p.graph_bytes.as_f64()
+        );
     }
 
     #[test]
@@ -126,6 +130,10 @@ mod tests {
         let full = Params::paper();
         let maps = full.graph_bytes.div_ceil_by(Bytes::from_mib(128));
         let seg = full.shuffle_bytes.as_f64() / (maps as f64 * full.partitions as f64);
-        assert!((seg / 1024.0 - 430.0).abs() < 40.0, "segment = {:.0} KiB", seg / 1024.0);
+        assert!(
+            (seg / 1024.0 - 430.0).abs() < 40.0,
+            "segment = {:.0} KiB",
+            seg / 1024.0
+        );
     }
 }

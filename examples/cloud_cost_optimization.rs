@@ -8,7 +8,9 @@
 //! cargo run --release --example cloud_cost_optimization
 //! ```
 
-use doppio::cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio::cloud::optimize::{
+    grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace,
+};
 use doppio::cloud::{CloudPlatform, CostEvaluator};
 use doppio::sparksim::SparkConf;
 use doppio::workloads::gatk4;

@@ -10,8 +10,8 @@
 //! `--extended` runs the five-stage BWA → MD → BR → SF → HC pipeline the
 //! paper lists as future work.
 
-use doppio::cluster::HybridConfig;
 use doppio::cluster::ClusterSpec;
+use doppio::cluster::HybridConfig;
 use doppio::sparksim::{IoChannel, Simulation, SparkConf};
 use doppio::workloads::gatk4;
 use doppio::workloads::genome::GenomeDataset;
@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("note how BR and SF each re-read the full shuffle output: the markedReads");
-    println!("union cannot be cached ({}x memory expansion) and is rebuilt from", GenomeDataset::mem_expansion().round());
+    println!(
+        "union cannot be cached ({}x memory expansion) and is rebuilt from",
+        GenomeDataset::mem_expansion().round()
+    );
     println!("shuffle files on every use — the paper's Section III-B2 observation.");
     Ok(())
 }

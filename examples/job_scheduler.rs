@@ -33,9 +33,21 @@ fn calibrated(app: App) -> doppio::model::AppModel {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("calibrating three jobs with the four-sample-run procedure...");
     let jobs = vec![
-        QueuedJob::new("terasort", calibrated(terasort::app(&terasort::Params::scaled_down())), 0.0),
-        QueuedJob::new("svm", calibrated(svm::app(&svm::Params::scaled_down())), 0.0),
-        QueuedJob::new("triangle", calibrated(triangle::app(&triangle::Params::scaled_down())), 0.0),
+        QueuedJob::new(
+            "terasort",
+            calibrated(terasort::app(&terasort::Params::scaled_down())),
+            0.0,
+        ),
+        QueuedJob::new(
+            "svm",
+            calibrated(svm::app(&svm::Params::scaled_down())),
+            0.0,
+        ),
+        QueuedJob::new(
+            "triangle",
+            calibrated(triangle::app(&triangle::Params::scaled_down())),
+            0.0,
+        ),
     ];
 
     let env = PredictEnv::hybrid(5, 36, HybridConfig::SsdSsd);
@@ -73,7 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run(&app)?
             .total_time()
             .as_secs();
-        let pred = jobs.iter().find(|j| j.name == job).unwrap().model.predict(&env);
+        let pred = jobs
+            .iter()
+            .find(|j| j.name == job)
+            .unwrap()
+            .model
+            .predict(&env);
         println!(
             "  {:<10} exp {:>6.1} min, model {:>6.1} min ({:+.1}%)",
             job,

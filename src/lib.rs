@@ -7,6 +7,10 @@
 //!
 //! This facade crate re-exports every layer of the stack:
 //!
+//! * [`engine`] — the parallel scenario engine: a deterministic
+//!   order-preserving thread pool plus fingerprint-keyed memoization,
+//!   shared by the optimizer, the what-if sweeps, the calibrator and the
+//!   [`scenario`] batches.
 //! * [`events`] — discrete-event kernel and the processor-sharing resource
 //!   server that models I/O bandwidth contention.
 //! * [`storage`] — HDD/SSD device models with effective-bandwidth-vs-request-
@@ -45,8 +49,11 @@
 pub use doppio_cloud as cloud;
 pub use doppio_cluster as cluster;
 pub use doppio_dfs as dfs;
+pub use doppio_engine as engine;
 pub use doppio_events as events;
 pub use doppio_model as model;
 pub use doppio_sparksim as sparksim;
 pub use doppio_storage as storage;
 pub use doppio_workloads as workloads;
+
+pub mod scenario;

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
-//! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
-//! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
-//! doppio optimize [--paper]
-//! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ>
+//! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--runs R] [--jobs J]
+//! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
+//! doppio optimize [--paper] [--jobs J]
+//! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--sweep] [--jobs J]
 //! doppio list
 //! ```
 //!
@@ -14,12 +14,14 @@
 
 use std::process::ExitCode;
 
-use doppio::cloud::optimize::{grid_search, r1_reference, r2_reference, SearchSpace};
-use doppio::cloud::{disks, CloudDiskType, CostEvaluator};
+use doppio::cloud::optimize::{grid_search_with, r1_reference, r2_reference, SearchSpace};
+use doppio::cloud::{disks, CloudDiskType, CostEvaluator, EvaluateCost, MemoizedEvaluator};
 use doppio::cluster::{presets, ClusterSpec, HybridConfig};
+use doppio::engine::Engine;
 use doppio::events::Bytes;
 use doppio::model::phases::{break_point, classify, turning_point};
 use doppio::model::{Calibrator, PredictEnv, SimPlatform};
+use doppio::scenario::ScenarioSet;
 use doppio::sparksim::{IoChannel, Simulation, SparkConf};
 use doppio::storage::fio::{run_analytic, FioJob};
 use doppio::workloads::Workload;
@@ -59,16 +61,22 @@ USAGE:
   doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
       print effective-bandwidth/IOPS lookup tables
   doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
-      run a workload on the discrete-event simulator
-  doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper]
+                  [--runs R] [--jobs J]
+      run a workload on the discrete-event simulator; --runs R fans R seeded
+      replicas (seeds S..S+R) out over the scenario engine
+  doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
       calibrate the Doppio model (4 sample runs) and compare exp vs model
-  doppio optimize [--paper]
-      find the cheapest cloud configuration for GATK4 (Section VI)
-  doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P]
+  doppio optimize [--paper] [--jobs J]
+      find the cheapest cloud configuration for GATK4 (Section VI); the grid
+      search fans out over J workers with memoized cost evaluations
+  doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
       break-point analysis: b = BW/T, B = λ·b, phase classification
+      (--sweep classifies every core count 1..=P)
   doppio list
       list workloads and disk configurations
 
+--jobs J sets the scenario-engine worker count (0 or absent = one per core);
+results are identical at any J — the engine preserves input order.
 configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=HDD)
 workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort";
 
@@ -90,7 +98,9 @@ fn parse_config(s: &str) -> Result<HybridConfig, String> {
         "2hdd" | "hdd" => Ok(HybridConfig::HddHdd),
         "hdd-ssd" => Ok(HybridConfig::HddSsd),
         "ssd-hdd" => Ok(HybridConfig::SsdHdd),
-        other => Err(format!("unknown config '{other}' (2ssd|2hdd|hdd-ssd|ssd-hdd)")),
+        other => Err(format!(
+            "unknown config '{other}' (2ssd|2hdd|hdd-ssd|ssd-hdd)"
+        )),
     }
 }
 
@@ -110,26 +120,59 @@ fn parse_workload(s: &str) -> Result<Workload, String> {
 fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
     match opt(args, key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{key} expects a number, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{key} expects a number, got '{v}'")),
+    }
+}
+
+/// Builds the scenario engine from `--jobs N` (0 = one worker per core;
+/// absent defaults to all cores). Results are identical at any setting —
+/// the engine preserves input order — so parallel is the safe default.
+fn parse_engine(args: &[String]) -> Result<Engine, String> {
+    match opt(args, "--jobs") {
+        None => Ok(Engine::auto()),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a number, got '{v}'"))?;
+            Ok(if n == 0 {
+                Engine::auto()
+            } else {
+                Engine::with_jobs(n)
+            })
+        }
     }
 }
 
 fn cmd_list() -> Result<(), String> {
     println!("workloads:");
     for w in Workload::ALL {
-        println!("  {:<14} ({} scaled / paper-scale apps available)", w.name(), w);
+        println!(
+            "  {:<14} ({} scaled / paper-scale apps available)",
+            w.name(),
+            w
+        );
     }
     println!();
     println!("disk configurations (Table III):");
     for c in HybridConfig::ALL {
-        println!("  {:<26} HDFS={}, local={}", c.label(), c.hdfs_device().name(), c.local_device().name());
+        println!(
+            "  {:<26} HDFS={}, local={}",
+            c.label(),
+            c.hdfs_device().name(),
+            c.local_device().name()
+        );
     }
     Ok(())
 }
 
 fn cmd_fio(args: &[String]) -> Result<(), String> {
     let specs: Vec<doppio::storage::DeviceSpec> = if args.is_empty() {
-        vec![doppio::storage::presets::hdd_wd4000(), doppio::storage::presets::ssd_mz7lm()]
+        vec![
+            doppio::storage::presets::hdd_wd4000(),
+            doppio::storage::presets::ssd_mz7lm(),
+        ]
     } else {
         args.iter()
             .map(|a| -> Result<_, String> {
@@ -139,10 +182,16 @@ fn cmd_fio(args: &[String]) -> Result<(), String> {
                     Ok(doppio::storage::presets::ssd_mz7lm())
                 } else if let Some(gb) = a.strip_prefix("std-pd:") {
                     let gb: u64 = gb.parse().map_err(|_| format!("bad size in '{a}'"))?;
-                    Ok(disks::device(CloudDiskType::StandardPd, Bytes::new(gb * 1_000_000_000)))
+                    Ok(disks::device(
+                        CloudDiskType::StandardPd,
+                        Bytes::new(gb * 1_000_000_000),
+                    ))
                 } else if let Some(gb) = a.strip_prefix("ssd-pd:") {
                     let gb: u64 = gb.parse().map_err(|_| format!("bad size in '{a}'"))?;
-                    Ok(disks::device(CloudDiskType::SsdPd, Bytes::new(gb * 1_000_000_000)))
+                    Ok(disks::device(
+                        CloudDiskType::SsdPd,
+                        Bytes::new(gb * 1_000_000_000),
+                    ))
                 } else {
                     Err(format!("unknown device '{a}'"))
                 }
@@ -170,6 +219,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let nodes: usize = parse_num(args, "--nodes", 3)?;
     let cores: u32 = parse_num(args, "--cores", 36)?;
     let seed: u64 = parse_num(args, "--seed", 0xD0_99_10)?;
+    let runs: u64 = parse_num(args, "--runs", 1)?;
+    let engine = parse_engine(args)?;
     let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
     let app = if flag(args, "--paper") {
         workload.paper_app()
@@ -178,9 +229,41 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     };
 
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
-    let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).with_seed(seed))
-        .run(&app)
-        .map_err(|e| e.to_string())?;
+    if runs > 1 {
+        let seeds: Vec<u64> = (0..runs).map(|i| seed.wrapping_add(i)).collect();
+        let set = ScenarioSet::seeded_replicas(
+            workload.name(),
+            app,
+            cluster,
+            SparkConf::paper().with_cores(cores),
+            &seeds,
+        );
+        let results = set.run_all(&engine).map_err(|e| e.to_string())?;
+        let mins: Vec<f64> = results
+            .iter()
+            .map(|r| r.total_time().as_secs() / 60.0)
+            .collect();
+        let mean = mins.iter().sum::<f64>() / mins.len() as f64;
+        let spread = mins.iter().fold(0.0f64, |m, &v| m.max((v - mean).abs()));
+        println!(
+            "{} x{} seeded runs ({} jobs): mean {:.1} min, max dev {:.1} min",
+            workload.name(),
+            runs,
+            engine.jobs(),
+            mean,
+            spread
+        );
+        for (s, m) in seeds.iter().zip(&mins) {
+            println!("  seed {s:>8}: {m:>7.1} min");
+        }
+        return Ok(());
+    }
+    let run = Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).with_seed(seed),
+    )
+    .run(&app)
+    .map_err(|e| e.to_string())?;
     println!("{run}");
     println!("per-stage I/O:");
     for s in run.stages() {
@@ -211,7 +294,11 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         workload.scaled_app()
     };
 
-    eprintln!("calibrating on {profile_nodes} nodes (4 sample runs)...");
+    let engine = parse_engine(args)?;
+    eprintln!(
+        "calibrating on {profile_nodes} nodes (4 sample runs, {} jobs)...",
+        engine.jobs()
+    );
     let platform = SimPlatform::new(
         app.clone(),
         presets::paper_node(36, HybridConfig::SsdSsd),
@@ -219,16 +306,19 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         SparkConf::paper(),
     );
     let report = Calibrator::default()
-        .calibrate(&platform, app.name())
+        .calibrate_with(&platform, app.name(), &engine)
         .map_err(|e| e.to_string())?;
     for w in &report.warnings {
         eprintln!("note: {w}");
     }
 
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
-    let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-        .run(&app)
-        .map_err(|e| e.to_string())?;
+    let run = Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).without_noise(),
+    )
+    .run(&app)
+    .map_err(|e| e.to_string())?;
     let env = PredictEnv::hybrid(nodes, cores, config);
 
     println!(
@@ -237,7 +327,10 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         cores,
         config.label()
     );
-    println!("  {:<24} {:>10} {:>12} {:>8}", "stage", "exp (min)", "model (min)", "err %");
+    println!(
+        "  {:<24} {:>10} {:>12} {:>8}",
+        "stage", "exp (min)", "model (min)", "err %"
+    );
     let mut errs = Vec::new();
     for s in run.stages() {
         let exp = s.duration.as_secs();
@@ -250,9 +343,19 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
             .map(|(ms, _)| ms.predict(&env))
             .next()
             .unwrap_or(0.0);
-        let err = if exp > 0.0 { (pred - exp).abs() / exp * 100.0 } else { 0.0 };
+        let err = if exp > 0.0 {
+            (pred - exp).abs() / exp * 100.0
+        } else {
+            0.0
+        };
         errs.push(err);
-        println!("  {:<24} {:>10.1} {:>12.1} {:>8.1}", s.name, exp / 60.0, pred / 60.0, err);
+        println!(
+            "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
+            s.name,
+            exp / 60.0,
+            pred / 60.0,
+            err
+        );
     }
     let total_exp = run.total_time().as_secs();
     let total_pred = report.model.predict(&env);
@@ -272,7 +375,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     } else {
         Workload::Gatk4.scaled_app()
     };
-    eprintln!("calibrating GATK4 on 3 nodes...");
+    let engine = parse_engine(args)?;
+    eprintln!("calibrating GATK4 on 3 nodes ({} jobs)...", engine.jobs());
     let platform = SimPlatform::new(
         app,
         presets::paper_node(36, HybridConfig::SsdSsd),
@@ -280,14 +384,19 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         SparkConf::paper(),
     );
     let model = Calibrator::default()
-        .calibrate(&platform, "GATK4")
+        .calibrate_with(&platform, "GATK4", &engine)
         .map_err(|e| e.to_string())?
         .model;
-    let eval = CostEvaluator::new(model);
-    let best = grid_search(&eval, &SearchSpace::paper());
+    let eval = MemoizedEvaluator::new(CostEvaluator::new(model));
+    let best = grid_search_with(&eval, &SearchSpace::paper(), &engine);
     let r1 = eval.evaluate(&r1_reference(10, 16));
     let r2 = eval.evaluate(&r2_reference(10, 16));
     println!("optimum: {} -> {}", best.config, best.cost);
+    eprintln!(
+        "evaluations: {} distinct, {} served from cache",
+        eval.misses(),
+        eval.hits()
+    );
     println!("R1 (Spark website): {r1}");
     println!("R2 (Cloudera):      {r2}");
     println!(
@@ -311,7 +420,16 @@ fn cmd_phases(args: &[String]) -> Result<(), String> {
     println!("BW = {bw} MiB/s, T = {t} MiB/s, λ = {lambda}");
     println!("break point   b = BW/T  = {b:.1} cores");
     println!("turning point B = λ·b   = {big_b:.1} cores");
-    println!("P = {cores}: {}", classify(cores, b, lambda));
+    if flag(args, "--sweep") {
+        let engine = parse_engine(args)?;
+        let ps: Vec<f64> = (1..=cores.max(1.0) as u32).map(f64::from).collect();
+        let phases = engine.par_map(&ps, |&p| classify(p, b, lambda));
+        for (p, phase) in ps.iter().zip(&phases) {
+            println!("  P = {p:>4}: {phase}");
+        }
+    } else {
+        println!("P = {cores}: {}", classify(cores, b, lambda));
+    }
     Ok(())
 }
 
@@ -355,7 +473,20 @@ mod tests {
     #[test]
     fn phases_command_runs() {
         assert!(cmd_phases(&argv("--bw 120 --t 60 --lambda 4")).is_ok());
+        assert!(cmd_phases(&argv(
+            "--bw 120 --t 60 --lambda 4 --cores 8 --sweep --jobs 2"
+        ))
+        .is_ok());
         assert!(cmd_list().is_ok());
     }
-}
 
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_engine(&argv("--jobs 3")).unwrap().jobs(), 3);
+        assert_eq!(parse_engine(&argv("--jobs 1")).unwrap().jobs(), 1);
+        assert!(parse_engine(&argv("--jobs many")).is_err());
+        let auto = Engine::auto().jobs();
+        assert_eq!(parse_engine(&argv("--jobs 0")).unwrap().jobs(), auto);
+        assert_eq!(parse_engine(&argv("")).unwrap().jobs(), auto);
+    }
+}

@@ -1,0 +1,193 @@
+//! Seeded scenario sets over a shared memoization cache.
+//!
+//! A *scenario* is one fully specified simulator evaluation: workload id,
+//! application, cluster, and Spark configuration (whose `seed` field makes
+//! replicas distinct). Batch studies — error bars, configuration sweeps,
+//! regression suites — build a [`ScenarioSet`] and fan it out over a
+//! [`doppio_engine::Engine`]; results are memoized under each scenario's
+//! canonical fingerprint, so a scenario revisited by a later batch (or
+//! repeated within one) is served from cache instead of re-simulated.
+//!
+//! Determinism contract: each scenario's result depends only on its own
+//! fields (the simulator is deterministic per seed), the engine preserves
+//! input order, and the fingerprint covers every simulation-relevant field
+//! including the seed. Hence `run_all` returns byte-identical results at
+//! any thread count, and two scenarios differing only in seed never share
+//! a cache entry.
+
+use doppio_cluster::ClusterSpec;
+use doppio_engine::{Engine, Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache};
+use doppio_sparksim::{App, AppRun, SimError, Simulation, SparkConf};
+
+/// One fully specified simulator evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Workload identifier (e.g. `"gatk4"`); part of the cache key so two
+    /// workloads that happen to build equal apps still key separately.
+    pub workload: String,
+    /// The application to run.
+    pub app: App,
+    /// The cluster to run it on.
+    pub cluster: ClusterSpec,
+    /// Spark configuration, including the RNG seed.
+    pub conf: SparkConf,
+}
+
+impl Scenario {
+    /// Runs this scenario on the discrete-event simulator (no caching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator planning failures.
+    pub fn run(&self) -> Result<AppRun, SimError> {
+        Simulation::with_conf(self.cluster.clone(), self.conf.clone()).run(&self.app)
+    }
+}
+
+impl Fingerprintable for Scenario {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(&self.workload);
+        self.app.fingerprint_into(fp);
+        self.cluster.fingerprint_into(fp);
+        self.conf.fingerprint_into(fp);
+    }
+}
+
+/// A batch of scenarios sharing one fingerprint-keyed result cache.
+#[derive(Debug)]
+pub struct ScenarioSet {
+    scenarios: Vec<Scenario>,
+    cache: MemoCache<Fingerprint, AppRun>,
+}
+
+impl ScenarioSet {
+    /// A set with an unbounded cache.
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        ScenarioSet {
+            scenarios,
+            cache: MemoCache::unbounded(),
+        }
+    }
+
+    /// A set whose cache keeps at most `capacity` results (FIFO eviction).
+    pub fn with_cache_capacity(scenarios: Vec<Scenario>, capacity: usize) -> Self {
+        ScenarioSet {
+            scenarios,
+            cache: MemoCache::with_capacity(capacity),
+        }
+    }
+
+    /// One scenario per seed, sharing everything else — the paper's
+    /// five-run error-bar batches.
+    pub fn seeded_replicas(
+        workload: impl Into<String>,
+        app: App,
+        cluster: ClusterSpec,
+        conf: SparkConf,
+        seeds: &[u64],
+    ) -> Self {
+        let workload = workload.into();
+        Self::new(
+            seeds
+                .iter()
+                .map(|&seed| Scenario {
+                    workload: workload.clone(),
+                    app: app.clone(),
+                    cluster: cluster.clone(),
+                    conf: conf.clone().with_seed(seed),
+                })
+                .collect(),
+        )
+    }
+
+    /// The scenarios, in run order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Appends further scenarios to the batch (they share the cache).
+    pub fn push(&mut self, scenario: Scenario) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Runs every scenario, fanning out over `engine`, returning results
+    /// in scenario order. Cached results are returned without
+    /// re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in scenario order.
+    pub fn run_all(&self, engine: &Engine) -> Result<Vec<AppRun>, SimError> {
+        engine
+            .par_map(&self.scenarios, |s| {
+                let key = s.fingerprint();
+                if let Some(hit) = self.cache.get(&key) {
+                    return Ok(hit);
+                }
+                let run = s.run()?;
+                self.cache.insert(key, run.clone());
+                Ok(run)
+            })
+            .into_iter()
+            .collect()
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Distinct results currently cached.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_cluster::HybridConfig;
+    use doppio_workloads::terasort;
+
+    fn set(seeds: &[u64]) -> ScenarioSet {
+        ScenarioSet::seeded_replicas(
+            "terasort",
+            terasort::app(&terasort::Params::scaled_down()),
+            ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd),
+            SparkConf::paper().with_cores(8),
+            seeds,
+        )
+    }
+
+    #[test]
+    fn replicas_differ_only_in_seed_and_key_separately() {
+        let s = set(&[1, 2]);
+        let fps: Vec<Fingerprint> = s.scenarios().iter().map(|x| x.fingerprint()).collect();
+        assert_ne!(fps[0], fps[1], "seed is part of the fingerprint");
+    }
+
+    #[test]
+    fn second_pass_is_all_hits() {
+        let s = set(&[1, 2, 3]);
+        let engine = Engine::serial();
+        let first = s.run_all(&engine).unwrap();
+        assert_eq!(s.cache_misses(), 3);
+        let second = s.run_all(&engine).unwrap();
+        assert_eq!(s.cache_hits(), 3, "second pass served from cache");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let s1 = set(&[7, 8, 9]);
+        let s2 = set(&[7, 8, 9]);
+        let serial = s1.run_all(&Engine::serial()).unwrap();
+        let parallel = s2.run_all(&Engine::with_jobs(3)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

@@ -3,7 +3,9 @@
 //! findings (optimum beats the reference guides, small-SSD local wins,
 //! descent agrees with exhaustive search).
 
-use doppio::cloud::optimize::{grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace};
+use doppio::cloud::optimize::{
+    grid_search, multi_start_descent, r1_reference, r2_reference, SearchSpace,
+};
 use doppio::cloud::{CloudConfig, CloudDiskType, CloudPlatform, CostEvaluator, DiskChoice};
 use doppio::sparksim::SparkConf;
 use doppio::workloads::gatk4;
@@ -60,8 +62,16 @@ fn optimal_local_disk_is_a_small_ssd() {
     let eval = evaluator();
     let best = grid_search(&eval, &SearchSpace::paper());
     assert_eq!(best.config.local.disk_type, CloudDiskType::SsdPd);
-    assert!(best.config.local.size.as_f64() <= 1.0e12, "local = {}", best.config.local);
-    assert_eq!(best.config.hdfs.disk_type, CloudDiskType::StandardPd, "SSD HDFS buys nothing");
+    assert!(
+        best.config.local.size.as_f64() <= 1.0e12,
+        "local = {}",
+        best.config.local
+    );
+    assert_eq!(
+        best.config.hdfs.disk_type,
+        CloudDiskType::StandardPd,
+        "SSD HDFS buys nothing"
+    );
 }
 
 #[test]
@@ -80,11 +90,22 @@ fn runtime_monotone_and_cost_u_shaped_in_local_size() {
         &[20, 50, 100, 200, 400, 800, 1600, 3200],
     );
     for w in sweep.windows(2) {
-        assert!(w[1].1.runtime_secs <= w[0].1.runtime_secs + 1e-6, "runtime monotone");
+        assert!(
+            w[1].1.runtime_secs <= w[0].1.runtime_secs + 1e-6,
+            "runtime monotone"
+        );
     }
     let costs: Vec<f64> = sweep.iter().map(|(_, c)| c.total()).collect();
-    let min_idx = costs.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-    assert!(min_idx > 0 && min_idx < costs.len() - 1, "U-shape: optimum interior, idx={min_idx}");
+    let min_idx = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert!(
+        min_idx > 0 && min_idx < costs.len() - 1,
+        "U-shape: optimum interior, idx={min_idx}"
+    );
 }
 
 #[test]
@@ -95,7 +116,9 @@ fn cloud_calibration_resizing_rules_apply() {
     };
     let mut platform = CloudPlatform::new(gatk4::app(&params), 3, 16, SparkConf::paper());
     let before = (platform.ssd_size(), platform.hdd_size());
-    let report = platform.calibrate_with_resizing("GATK4", 3).expect("calibrates");
+    let report = platform
+        .calibrate_with_resizing("GATK4", 3)
+        .expect("calibrates");
     assert!(platform.ssd_size() >= before.0);
     assert!(platform.hdd_size() <= before.1);
     assert!(!report.model.stages().is_empty());

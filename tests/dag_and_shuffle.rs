@@ -39,8 +39,14 @@ fn chained_shuffles_produce_chained_stages() {
     // hop2's map tasks read hop1's shuffle output.
     let hop2 = run.stage("hop2").unwrap();
     assert_eq!(hop2.tasks.count, 64, "one map task per hop1 reducer");
-    assert_eq!(hop2.channel_bytes(IoChannel::ShuffleRead), Bytes::from_gib(4));
-    assert_eq!(hop2.channel_bytes(IoChannel::ShuffleWrite), Bytes::from_gib(4));
+    assert_eq!(
+        hop2.channel_bytes(IoChannel::ShuffleRead),
+        Bytes::from_gib(4)
+    );
+    assert_eq!(
+        hop2.channel_bytes(IoChannel::ShuffleWrite),
+        Bytes::from_gib(4)
+    );
 }
 
 #[test]
@@ -53,7 +59,11 @@ fn shuffle_output_is_reused_across_jobs() {
     }
     let run = sim().run(&b.build().unwrap()).unwrap();
     // One map stage total, three result stages.
-    let maps = run.stages().iter().filter(|s| s.kind == StageKind::ShuffleMap).count();
+    let maps = run
+        .stages()
+        .iter()
+        .filter(|s| s.kind == StageKind::ShuffleMap)
+        .count();
     assert_eq!(maps, 1, "map stage runs once, later jobs skip it");
     assert_eq!(run.stages().len(), 4);
     // Each result stage re-reads the full shuffle output.
@@ -74,7 +84,9 @@ fn cache_cuts_lineage_after_first_materialization() {
     b.count(parsed, "third", Cost::ZERO);
     let run = sim().run(&b.build().unwrap()).unwrap();
     assert_eq!(
-        run.stage("first").unwrap().channel_bytes(IoChannel::HdfsRead),
+        run.stage("first")
+            .unwrap()
+            .channel_bytes(IoChannel::HdfsRead),
         Bytes::from_gib(2)
     );
     for later in ["second", "third"] {
@@ -94,7 +106,11 @@ fn replication_amplifies_writes_not_reads() {
     let run = sim().run(&b.build().unwrap()).unwrap();
     let s = run.stage("copy").unwrap();
     assert_eq!(s.channel_bytes(IoChannel::HdfsRead), Bytes::from_gib(2));
-    assert_eq!(s.channel_bytes(IoChannel::HdfsWrite), Bytes::from_gib(4), "x2 replication");
+    assert_eq!(
+        s.channel_bytes(IoChannel::HdfsWrite),
+        Bytes::from_gib(4),
+        "x2 replication"
+    );
     // Exactly one replica crosses the network.
     assert_eq!(s.channel_bytes(IoChannel::NetIn), Bytes::from_gib(2));
 }
@@ -109,7 +125,9 @@ fn union_concatenates_partitions() {
     let run = sim().run(&b.build().unwrap()).unwrap();
     assert_eq!(run.stage("scan").unwrap().tasks.count, 24);
     assert_eq!(
-        run.stage("scan").unwrap().channel_bytes(IoChannel::HdfsRead),
+        run.stage("scan")
+            .unwrap()
+            .channel_bytes(IoChannel::HdfsRead),
         Bytes::from_gib(3)
     );
 }

@@ -36,7 +36,8 @@ fn different_seeds_change_timing_but_not_volumes() {
         assert_eq!(a.total_channel_bytes(ch), b.total_channel_bytes(ch));
     }
     // Jitter is small (3% noise): totals agree within a few percent.
-    let rel = (a.total_time().as_secs() - b.total_time().as_secs()).abs() / a.total_time().as_secs();
+    let rel =
+        (a.total_time().as_secs() - b.total_time().as_secs()).abs() / a.total_time().as_secs();
     assert!(rel < 0.05, "seeds perturb, not upend: {rel:.3}");
 }
 
@@ -49,7 +50,10 @@ fn calibration_is_deterministic() {
             3,
             SparkConf::paper(),
         );
-        Calibrator::default().calibrate(&platform, "svm").expect("calibrates").model
+        Calibrator::default()
+            .calibrate(&platform, "svm")
+            .expect("calibrates")
+            .model
     };
     assert_eq!(mk(), mk());
 }
@@ -61,7 +65,10 @@ fn noiseless_runs_ignore_the_seed() {
         let cluster = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd);
         Simulation::with_conf(
             cluster,
-            SparkConf::paper().with_cores(8).with_seed(seed).without_noise(),
+            SparkConf::paper()
+                .with_cores(8)
+                .with_seed(seed)
+                .without_noise(),
         )
         .run(&app)
         .expect("simulates")

@@ -10,9 +10,12 @@ use doppio::workloads::gatk4;
 fn run(config: HybridConfig, cores: u32) -> AppRun {
     let app = gatk4::app(&gatk4::Params::scaled_down());
     let cluster = ClusterSpec::paper_cluster(3, 36, config);
-    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-        .run(&app)
-        .expect("GATK4 simulates")
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).without_noise(),
+    )
+    .run(&app)
+    .expect("GATK4 simulates")
 }
 
 /// Paper observation 1: switching the HDFS folder from HDD to SSD brings
@@ -22,13 +25,17 @@ fn observation1_hdfs_device_sensitivity_ordering() {
     let ssd = run(HybridConfig::SsdSsd, 36);
     let hdd_hdfs = run(HybridConfig::HddSsd, 36);
     let slowdown = |name: &str| {
-        hdd_hdfs.stage(name).unwrap().duration.as_secs() / ssd.stage(name).unwrap().duration.as_secs()
+        hdd_hdfs.stage(name).unwrap().duration.as_secs()
+            / ssd.stage(name).unwrap().duration.as_secs()
     };
     let md = slowdown("MD");
     let br = slowdown("BR");
     let sf = slowdown("SF");
     assert!(md < 1.10, "MD insensitive: {md:.2}x");
-    assert!(sf > br, "SF (which also writes to HDFS) suffers most: sf={sf:.2} br={br:.2}");
+    assert!(
+        sf > br,
+        "SF (which also writes to HDFS) suffers most: sf={sf:.2} br={br:.2}"
+    );
     assert!(sf > 1.5, "SF heavily HDFS-bound: {sf:.2}x");
 }
 
@@ -74,7 +81,11 @@ fn core_scaling_depends_on_device() {
     let br = |r: &AppRun| r.stage("BR").unwrap().duration.as_secs();
     assert!(br(&ssd12) / br(&ssd36) > 2.0, "BR scales on SSD");
     let hdd_change = (br(&hdd36) / br(&hdd12) - 1.0).abs();
-    assert!(hdd_change < 0.12, "BR flat on HDD: {:.0}%", hdd_change * 100.0);
+    assert!(
+        hdd_change < 0.12,
+        "BR flat on HDD: {:.0}%",
+        hdd_change * 100.0
+    );
 }
 
 /// Table IV: the uncacheable markedReads RDD forces BR and SF to re-read
@@ -85,9 +96,20 @@ fn table4_io_accounting() {
     let r = run(HybridConfig::SsdSsd, 8);
     let shuffle = params.dataset.shuffle_bytes();
     let close = |a: Bytes, b: Bytes| (a.as_f64() - b.as_f64()).abs() / b.as_f64() < 0.03;
-    assert!(close(r.stage("MD").unwrap().channel_bytes(IoChannel::ShuffleWrite), shuffle));
-    assert!(close(r.stage("BR").unwrap().channel_bytes(IoChannel::ShuffleRead), shuffle));
-    assert!(close(r.stage("SF").unwrap().channel_bytes(IoChannel::ShuffleRead), shuffle));
+    assert!(close(
+        r.stage("MD")
+            .unwrap()
+            .channel_bytes(IoChannel::ShuffleWrite),
+        shuffle
+    ));
+    assert!(close(
+        r.stage("BR").unwrap().channel_bytes(IoChannel::ShuffleRead),
+        shuffle
+    ));
+    assert!(close(
+        r.stage("SF").unwrap().channel_bytes(IoChannel::ShuffleRead),
+        shuffle
+    ));
     // Shuffle is written once but read twice across the app.
     let total_read = r.total_channel_bytes(IoChannel::ShuffleRead);
     assert!(close(total_read, shuffle * 2));

@@ -1,0 +1,143 @@
+//! Golden-trace regression suite: per-stage simulator metrics for GATK4 and
+//! Terasort under a fixed seed, snapshotted into a checked-in fixture.
+//!
+//! Any change to the discrete-event kernel, the shuffle path, the memory
+//! manager or the RNG stream shows up here as a field-level diff instead of
+//! a mysterious downstream accuracy shift. Timing fields are stored as f64
+//! *bit patterns*, so the comparison is exact — a last-ulp drift fails.
+//!
+//! To re-bless after an intentional simulator change:
+//!
+//! ```text
+//! DOPPIO_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::sparksim::{IoChannel, Simulation, SparkConf};
+use doppio::workloads::Workload;
+
+const SEED: u64 = 42;
+const FIXTURE: &str = "tests/fixtures/golden_trace.tsv";
+
+const READ_CHANNELS: [IoChannel; 3] = [
+    IoChannel::HdfsRead,
+    IoChannel::ShuffleRead,
+    IoChannel::PersistRead,
+];
+const WRITE_CHANNELS: [IoChannel; 3] = [
+    IoChannel::HdfsWrite,
+    IoChannel::ShuffleWrite,
+    IoChannel::PersistWrite,
+];
+
+/// Renders the trace: one tab-separated line per stage with
+/// `(M, t_avg, bytes_read, bytes_written, request_size)`, plus the total.
+fn snapshot() -> String {
+    let mut out = String::new();
+    out.push_str("# workload\tstage\tM\tt_avg_bits\tbytes_read\tbytes_written\trequest_size\n");
+    for workload in [Workload::Gatk4, Workload::Terasort] {
+        let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
+        let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(12).with_seed(SEED))
+            .run(&workload.scaled_app())
+            .expect("golden workload simulates");
+        for s in run.stages() {
+            let read: u64 = READ_CHANNELS
+                .iter()
+                .map(|&ch| s.channel(ch).bytes.as_u64())
+                .sum();
+            let written: u64 = WRITE_CHANNELS
+                .iter()
+                .map(|&ch| s.channel(ch).bytes.as_u64())
+                .sum();
+            let (bytes, requests) =
+                IoChannel::DISK_CHANNELS
+                    .iter()
+                    .fold((0u64, 0u64), |(b, r), &ch| {
+                        let c = s.channel(ch);
+                        (b + c.bytes.as_u64(), r + c.requests)
+                    });
+            let request_size = bytes.checked_div(requests).unwrap_or(0);
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{:016x}\t{}\t{}\t{}",
+                workload.name(),
+                s.name,
+                s.tasks.count,
+                s.tasks.avg_secs.to_bits(),
+                read,
+                written,
+                request_size,
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "{}\tTOTAL\t-\t{:016x}\t-\t-\t-",
+            workload.name(),
+            run.total_time().as_secs().to_bits(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+#[test]
+fn per_stage_metrics_match_the_checked_in_fixture() {
+    let current = snapshot();
+    if std::env::var_os("DOPPIO_BLESS").is_some() {
+        std::fs::write(fixture_path(), &current).expect("fixture is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(fixture_path())
+        .expect("fixture exists — run with DOPPIO_BLESS=1 to create it");
+    if current != golden {
+        let diffs: Vec<String> = golden
+            .lines()
+            .zip(current.lines())
+            .filter(|(g, c)| g != c)
+            .map(|(g, c)| format!("  - {g}\n  + {c}"))
+            .collect();
+        panic!(
+            "golden trace drifted ({} line(s) differ, {} vs {} lines):\n{}\n\
+             If the simulator change is intentional, re-bless with \
+             DOPPIO_BLESS=1 and review the fixture diff.",
+            diffs.len(),
+            golden.lines().count(),
+            current.lines().count(),
+            diffs.join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_trace_is_seed_sensitive() {
+    // The fixture pins one seed; make sure it is actually pinning
+    // something — a different seed must change at least one timing bit.
+    let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
+    let app = Workload::Terasort.scaled_app();
+    let a = Simulation::with_conf(
+        cluster.clone(),
+        SparkConf::paper().with_cores(12).with_seed(SEED),
+    )
+    .run(&app)
+    .unwrap();
+    let b = Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(12).with_seed(SEED + 1),
+    )
+    .run(&app)
+    .unwrap();
+    assert_ne!(
+        a.total_time().as_secs().to_bits(),
+        b.total_time().as_secs().to_bits()
+    );
+}

@@ -55,7 +55,10 @@ fn mixed_local_devices_interpolate() {
     );
     // The straggling node carries 1/3 of the shuffle at HDD speed, so the
     // mixed cluster sits much closer to the HDD end than the SSD end.
-    assert!(mixed > all_hdd * 0.25, "one slow disk throttles its whole share");
+    assert!(
+        mixed > all_hdd * 0.25,
+        "one slow disk throttles its whole share"
+    );
 }
 
 /// An NVMe Spark-local directory makes even the 30 KB shuffle regime a

@@ -25,11 +25,14 @@ fn calibrate_at(app: &App, nodes: usize) -> doppio::model::AppModel {
 
 fn measure(app: &App, nodes: usize, cores: u32, config: HybridConfig) -> f64 {
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
-    Simulation::with_conf(cluster, SparkConf::paper().with_cores(cores).without_noise())
-        .run(app)
-        .expect("simulation succeeds")
-        .total_time()
-        .as_secs()
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).without_noise(),
+    )
+    .run(app)
+    .expect("simulation succeeds")
+    .total_time()
+    .as_secs()
 }
 
 fn check_workload(w: Workload, tolerance_pct: f64) {
@@ -43,7 +46,11 @@ fn check_workload(w: Workload, tolerance_pct: f64) {
     };
     let model = calibrate_at(&app, profile_nodes);
     let mut errors = Vec::new();
-    for config in [HybridConfig::SsdSsd, HybridConfig::SsdHdd, HybridConfig::HddHdd] {
+    for config in [
+        HybridConfig::SsdSsd,
+        HybridConfig::SsdHdd,
+        HybridConfig::HddHdd,
+    ] {
         for cores in [8u32, 24] {
             let exp = measure(&app, 5, cores, config);
             let pred = model.predict(&PredictEnv::hybrid(5, cores, config));

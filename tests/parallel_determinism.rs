@@ -1,0 +1,218 @@
+//! The tentpole guarantee of the scenario engine: fanning work out over
+//! threads changes wall-clock time, never results. Every test here runs
+//! the same computation serially and at several worker counts and demands
+//! byte-identical output — full simulator metrics, calibrated models, and
+//! optimizer decisions alike.
+
+use doppio::cloud::optimize::{
+    grid_search, grid_search_with, multi_start_descent, multi_start_descent_with, SearchSpace,
+};
+use doppio::cloud::{CostEvaluator, DiskChoice, MemoizedEvaluator};
+use doppio::cluster::{presets, ClusterSpec, HybridConfig};
+use doppio::engine::Engine;
+use doppio::events::{Bytes, Rate};
+use doppio::model::{AppModel, Calibrator, ChannelModel, SimPlatform, StageModel};
+use doppio::scenario::ScenarioSet;
+use doppio::sparksim::{AppRun, IoChannel, SparkConf};
+use doppio::workloads::terasort;
+use proptest::prelude::*;
+
+fn scenario_set(seeds: &[u64]) -> ScenarioSet {
+    ScenarioSet::seeded_replicas(
+        "terasort",
+        terasort::app(&terasort::Params::scaled_down()),
+        ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd),
+        SparkConf::paper().with_cores(8),
+        seeds,
+    )
+}
+
+/// Compares two batches stage by stage at f64 bit granularity, so even a
+/// last-ulp reduction-order difference would fail loudly.
+fn assert_bit_identical(a: &[AppRun], b: &[AppRun]) {
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(
+            ra.total_time().as_secs().to_bits(),
+            rb.total_time().as_secs().to_bits()
+        );
+        for (sa, sb) in ra.stages().iter().zip(rb.stages()) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(
+                sa.duration.as_secs().to_bits(),
+                sb.duration.as_secs().to_bits()
+            );
+            assert_eq!(sa.tasks.count, sb.tasks.count);
+            assert_eq!(sa.tasks.avg_secs.to_bits(), sb.tasks.avg_secs.to_bits());
+            for ch in IoChannel::DISK_CHANNELS {
+                assert_eq!(sa.channel(ch), sb.channel(ch), "{} {ch}", sa.name);
+            }
+        }
+        assert_eq!(ra, rb, "full metric structs must also agree");
+    }
+}
+
+#[test]
+fn seeded_scenarios_identical_at_every_thread_count() {
+    let seeds = [11u64, 12, 13, 14, 15];
+    let baseline = scenario_set(&seeds)
+        .run_all(&Engine::serial())
+        .expect("serial batch runs");
+    for jobs in [2usize, 4, 8] {
+        let parallel = scenario_set(&seeds)
+            .run_all(&Engine::with_jobs(jobs))
+            .expect("parallel batch runs");
+        assert_bit_identical(&baseline, &parallel);
+    }
+}
+
+#[test]
+fn memo_cache_replays_are_bit_identical_too() {
+    let seeds = [21u64, 22, 23];
+    let set = scenario_set(&seeds);
+    let cold = set.run_all(&Engine::with_jobs(4)).expect("cold batch");
+    assert_eq!(set.cache_misses(), seeds.len() as u64);
+    let warm = set.run_all(&Engine::with_jobs(4)).expect("warm batch");
+    assert_eq!(set.cache_hits(), seeds.len() as u64);
+    assert_bit_identical(&cold, &warm);
+}
+
+#[test]
+fn calibration_identical_serial_vs_parallel() {
+    let mk = |engine: &Engine| {
+        let platform = SimPlatform::new(
+            terasort::app(&terasort::Params::scaled_down()),
+            presets::paper_node(36, HybridConfig::SsdSsd),
+            3,
+            SparkConf::paper(),
+        );
+        Calibrator::default()
+            .calibrate_with(&platform, "terasort", engine)
+            .expect("calibrates")
+            .model
+    };
+    let serial = mk(&Engine::serial());
+    assert_eq!(serial, mk(&Engine::with_jobs(2)));
+    assert_eq!(serial, mk(&Engine::with_jobs(4)));
+}
+
+fn toy_model(m: u64, t_avg: f64, shuffle_gib: u64, rs_kib: u64) -> AppModel {
+    AppModel::new(
+        "toy",
+        vec![StageModel {
+            name: "s".into(),
+            m,
+            t_avg,
+            delta_scale: 0.0,
+            channels: vec![ChannelModel::new(
+                IoChannel::ShuffleRead,
+                Bytes::from_gib(shuffle_gib),
+                Bytes::from_kib(rs_kib),
+                Some(Rate::mib_per_sec(60.0)),
+            )],
+        }],
+    )
+}
+
+#[test]
+fn grid_search_identical_serial_vs_parallel() {
+    let eval = CostEvaluator::new(toy_model(3200, 18.0, 300, 30));
+    let space = SearchSpace::paper();
+    let serial = grid_search(&eval, &space);
+    for jobs in [2usize, 4, 7] {
+        let parallel = grid_search_with(&eval, &space, &Engine::with_jobs(jobs));
+        assert_eq!(serial, parallel, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn multi_start_descent_identical_serial_vs_parallel() {
+    let eval = CostEvaluator::new(toy_model(3200, 18.0, 300, 30));
+    let space = SearchSpace::paper();
+    let serial = multi_start_descent(&eval, &space);
+    let parallel = multi_start_descent_with(&eval, &space, &Engine::with_jobs(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn memoized_evaluator_changes_counters_not_results() {
+    let plain = CostEvaluator::new(toy_model(3200, 18.0, 300, 30));
+    let memo = MemoizedEvaluator::new(CostEvaluator::new(toy_model(3200, 18.0, 300, 30)));
+    let space = SearchSpace::paper();
+    let a = grid_search_with(&plain, &space, &Engine::with_jobs(4));
+    let b = grid_search_with(&memo, &space, &Engine::with_jobs(4));
+    assert_eq!(a, b);
+    assert_eq!(
+        memo.misses() as usize,
+        space.len(),
+        "grid points are distinct"
+    );
+    // A second pass over the same space is answered entirely from cache.
+    let c = grid_search_with(&memo, &space, &Engine::with_jobs(4));
+    assert_eq!(a, c);
+    assert_eq!(memo.hits() as usize, space.len());
+}
+
+fn arb_space() -> impl Strategy<Value = SearchSpace> {
+    let sizes = || {
+        prop::collection::vec(
+            prop::sample::select(vec![50u64, 100, 200, 500, 1000, 2000, 4000]),
+            1..5,
+        )
+    };
+    (
+        prop::collection::vec(prop::sample::select(vec![3usize, 5, 10, 20]), 1..4),
+        prop::collection::vec(prop::sample::select(vec![2u32, 4, 8, 16, 32]), 1..4),
+        sizes(),
+        sizes(),
+        any::<bool>(),
+    )
+        .prop_map(|(nodes, vcpus, hdfs_gb, local_gb, mix_ssd)| {
+            let choices = |gbs: &[u64]| {
+                gbs.iter()
+                    .flat_map(|&gb| {
+                        let mut v = vec![DiskChoice::standard_gb(gb)];
+                        if mix_ssd {
+                            v.push(DiskChoice::ssd_gb(gb));
+                        }
+                        v
+                    })
+                    .collect::<Vec<_>>()
+            };
+            SearchSpace {
+                nodes,
+                vcpus,
+                hdfs: choices(&hdfs_gb),
+                local: choices(&local_gb),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary discrete spaces and models, the parallel grid search
+    /// returns exactly the serial grid optimum — same winning config, same
+    /// cost bits, same evaluation count — with and without memoization.
+    #[test]
+    fn parallel_grid_matches_serial_optimum(
+        space in arb_space(),
+        m in 100u64..20_000,
+        t_avg in 0.5f64..30.0,
+        shuffle_gib in 10u64..500,
+        rs_kib in 8u64..4096,
+        jobs in 2usize..6,
+    ) {
+        let eval = CostEvaluator::new(toy_model(m, t_avg, shuffle_gib, rs_kib));
+        let serial = grid_search(&eval, &space);
+        let parallel = grid_search_with(&eval, &space, &Engine::with_jobs(jobs));
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(
+            serial.cost.total().to_bits(),
+            parallel.cost.total().to_bits()
+        );
+        let memo = MemoizedEvaluator::new(CostEvaluator::new(toy_model(m, t_avg, shuffle_gib, rs_kib)));
+        let memoized = grid_search_with(&memo, &space, &Engine::with_jobs(jobs));
+        prop_assert_eq!(&serial, &memoized);
+    }
+}

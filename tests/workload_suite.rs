@@ -21,11 +21,16 @@ fn all_workloads_run_on_both_device_configs() {
         let hdd = run(w, HybridConfig::HddHdd);
         assert!(!ssd.stages().is_empty(), "{w} produced stages");
         for s in ssd.stages() {
-            assert!(s.duration.as_secs() > 0.0, "{w}/{} has positive duration", s.name);
+            assert!(
+                s.duration.as_secs() > 0.0,
+                "{w}/{} has positive duration",
+                s.name
+            );
             assert!(s.tasks.count > 0);
             let eps = 1e-9 * s.tasks.max_secs.max(1.0);
             assert!(
-                s.tasks.min_secs <= s.tasks.avg_secs + eps && s.tasks.avg_secs <= s.tasks.max_secs + eps,
+                s.tasks.min_secs <= s.tasks.avg_secs + eps
+                    && s.tasks.avg_secs <= s.tasks.max_secs + eps,
                 "{w}/{}: min {} avg {} max {}",
                 s.name,
                 s.tasks.min_secs,
@@ -63,8 +68,14 @@ fn stage_names_follow_the_paper() {
         (Workload::LrSmall, &["dataValidator", "iteration"]),
         (Workload::LrLarge, &["dataValidator", "iteration"]),
         (Workload::Svm, &["dataValidator", "iteration", "subtract"]),
-        (Workload::PageRank, &["graphLoader", "iteration", "saveAsTextFile"]),
-        (Workload::TriangleCount, &["graphLoader", "computeTriangleCount"]),
+        (
+            Workload::PageRank,
+            &["graphLoader", "iteration", "saveAsTextFile"],
+        ),
+        (
+            Workload::TriangleCount,
+            &["graphLoader", "computeTriangleCount"],
+        ),
         (Workload::Terasort, &["NF", "SF"]),
     ];
     for (w, names) in expectations {
@@ -89,6 +100,9 @@ fn io_sensitivity_ordering_matches_the_paper_summary() {
     let lr_iter_gap = lr_hdd.time_in("iteration").as_secs() / lr_ssd.time_in("iteration").as_secs();
 
     assert!(tc_gap > 3.0, "triangle-count shuffle gap = {tc_gap:.1}x");
-    assert!((lr_iter_gap - 1.0).abs() < 0.05, "cached LR iterations gap = {lr_iter_gap:.2}x");
+    assert!(
+        (lr_iter_gap - 1.0).abs() < 0.05,
+        "cached LR iterations gap = {lr_iter_gap:.2}x"
+    );
     assert!(tc_gap > lr_iter_gap * 2.0);
 }

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest it uses: the [`Strategy`] trait over ranges,
+//! tuples, `prop::sample::select`, `prop::collection::vec`, `prop_map`,
+//! `any`, the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports its inputs and panics; it is
+//!   not minimized.
+//! * **Deterministic by default.** Cases derive from a fixed seed and the
+//!   test name, so every run (and CI) explores the same inputs. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange};
+
+/// The per-case random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Draws from a range (uniform).
+    pub fn draw<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.random_range(range)
+    }
+
+    /// Draws a full-distribution value.
+    pub fn draw_std<T: rand::Standard>(&mut self) -> T {
+        self.0.random::<T>()
+    }
+}
+
+/// Runner configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps simulation-heavy properties
+        // affordable while still exploring the space. Heavy suites override
+        // with `with_cases` anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generation strategy: how to produce random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.draw(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.draw(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.draw(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: fmt::Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.draw_std::<bool>()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.draw_std::<u32>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.draw_std::<u64>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.draw_std::<f64>()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// `prop::sample` — drawing from explicit value lists.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + fmt::Debug>(Vec<T>);
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.draw(0..self.0.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) if `options` is empty.
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.draw(self.size.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::{ProptestConfig, TestRng};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs `body` against `config.cases` deterministic random cases.
+    ///
+    /// `body` receives the per-case RNG and returns a rendering of the
+    /// drawn inputs (shown if the case panics).
+    pub fn run(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+        let seed = base_seed(test_name);
+        for case in 0..config.cases {
+            let mut rng = TestRng(StdRng::seed_from_u64(seed.wrapping_add(case as u64)));
+            body(&mut rng);
+        }
+    }
+
+    fn base_seed(test_name: &str) -> u64 {
+        let user: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xD0_99_10);
+        // FNV-1a over the test name decorrelates sibling properties.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ user;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// The `prop::` namespace (`prop::sample::select`,
+    /// `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Checks a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run(&__config, concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), __rng);)+
+                    let __case = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
+                    if let Err(panic) = __result {
+                        eprintln!("proptest: property '{}' failed for case: {}", stringify!($name), __case);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and tuples/maps compose.
+        fn composed_strategies(
+            ab in (1u64..10, 0.5f64..2.0).prop_map(|(x, y)| (x * 2, y)),
+            v in prop::collection::vec(0u32..5, 1..4),
+            pick in prop::sample::select(vec!["x", "y"]),
+            flag in any::<bool>(),
+        ) {
+            let (a, b) = ab;
+            prop_assert!((2..20).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(pick == "x" || pick == "y");
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (1u64..100, 0.0f64..1.0);
+        let run = || {
+            let mut out = Vec::new();
+            crate::test_runner::run(&ProptestConfig::with_cases(10), "det", |rng| {
+                out.push(s.new_value(rng));
+            });
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}
