@@ -1,6 +1,6 @@
 //! Runtime cluster state: devices, NICs and core accounting.
 
-use doppio_events::{Bytes, FlowSpec, PsServer, SimTime};
+use doppio_events::{Bytes, FlowId, FlowSpec, PsServer, SimTime};
 use doppio_storage::{Device, TransferSpec};
 
 use crate::{ClusterSpec, DiskRole, NodeId, NodeSpec};
@@ -50,13 +50,15 @@ impl NodeState {
         }
     }
 
-    /// Submits a transfer on one of this node's disks.
-    pub fn submit_io(&mut self, now: SimTime, role: DiskRole, transfer: TransferSpec) {
-        self.disk_mut(role).submit(now, transfer);
+    /// Submits a transfer on one of this node's disks; returns the flow id
+    /// (usable with [`NodeState::cancel_io`]).
+    pub fn submit_io(&mut self, now: SimTime, role: DiskRole, transfer: TransferSpec) -> FlowId {
+        self.disk_mut(role).submit(now, transfer)
     }
 
-    /// Submits a network transfer of `bytes` terminating at this node's NIC.
-    pub fn submit_net(&mut self, now: SimTime, bytes: Bytes, tag: u64) {
+    /// Submits a network transfer of `bytes` terminating at this node's
+    /// NIC; returns the flow id (usable with [`NodeState::cancel_net`]).
+    pub fn submit_net(&mut self, now: SimTime, bytes: Bytes, tag: u64) -> FlowId {
         self.nic.add_flow(
             now,
             FlowSpec {
@@ -64,7 +66,19 @@ impl NodeState {
                 cap: f64::INFINITY,
                 tag,
             },
-        );
+        )
+    }
+
+    /// Cancels an in-flight disk transfer (a killed task attempt walking
+    /// away from its I/O). Returns `false` if the flow already finished.
+    pub fn cancel_io(&mut self, now: SimTime, role: DiskRole, id: FlowId) -> bool {
+        self.disk_mut(role).cancel(now, id)
+    }
+
+    /// Cancels an in-flight network transfer. Returns `false` if the flow
+    /// already finished.
+    pub fn cancel_net(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.nic.remove_flow(now, id).is_some()
     }
 
     /// Number of executor cores configured on this node (the paper's `P`).
@@ -308,6 +322,31 @@ mod tests {
         let expect = Bytes::from_gib(1).as_f64() / rate.as_bytes_per_sec();
         assert!((t.as_secs() - expect).abs() < 1e-9);
         assert_eq!(c.drain_io_completions(t), vec![7]);
+    }
+
+    #[test]
+    fn cancelled_transfers_never_complete() {
+        let mut c = cluster(1, 1);
+        let id = c.node_mut(NodeId(0)).submit_io(
+            SimTime::ZERO,
+            DiskRole::Local,
+            TransferSpec {
+                dir: IoDir::Read,
+                bytes: Bytes::from_mib(100),
+                request_size: Bytes::from_kib(30),
+                stream_cap: None,
+                tag: 3,
+            },
+        );
+        let mid = SimTime::ZERO + doppio_events::SimDuration::from_secs(0.01);
+        assert!(c.node_mut(NodeId(0)).cancel_io(mid, DiskRole::Local, id));
+        assert!(c.next_io_completion().is_none());
+        // Double cancel reports the flow as gone.
+        assert!(!c.node_mut(NodeId(0)).cancel_io(mid, DiskRole::Local, id));
+
+        let nid = c.node_mut(NodeId(0)).submit_net(mid, Bytes::from_gib(1), 4);
+        assert!(c.node_mut(NodeId(0)).cancel_net(mid, nid));
+        assert!(c.next_io_completion().is_none());
     }
 
     #[test]

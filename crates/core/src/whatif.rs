@@ -156,6 +156,76 @@ pub fn local_device_sweep_with(
     }
 }
 
+/// Expected runtime inflation factor under a per-task failure probability.
+///
+/// Models Spark's retry mechanism analytically: a task that fails with
+/// probability `rate` is re-attempted up to `max_failures` times, and each
+/// failed attempt wastes `at_fraction` of a task duration before the retry
+/// starts (the point in its life where the fault fires). The expected extra
+/// task-time per task is then a truncated geometric series, so the whole
+/// run inflates by
+///
+/// ```text
+/// 1 + at_fraction * (rate + rate^2 + ... + rate^(max_failures - 1))
+/// ```
+///
+/// This is a lower bound on the simulated inflation — it prices the wasted
+/// attempt-time but not the scheduling gaps retries create at stage tails —
+/// so expect the simulator to come in slightly above it. `rate` is clamped
+/// to `[0, 0.99]` and `at_fraction` to `[0, 1]`.
+pub fn failure_inflation(rate: f64, at_fraction: f64, max_failures: u32) -> f64 {
+    let r = rate.clamp(0.0, 0.99);
+    let a = at_fraction.clamp(0.0, 1.0);
+    let mut wasted = 0.0;
+    let mut rk = 1.0;
+    for _ in 1..max_failures {
+        rk *= r;
+        wasted += rk;
+    }
+    1.0 + a * wasted
+}
+
+/// Sweeps the per-task failure rate, scaling the model's fault-free
+/// prediction by [`failure_inflation`].
+pub fn failure_sweep(
+    model: &AppModel,
+    base: &PredictEnv,
+    rates: &[f64],
+    at_fraction: f64,
+    max_failures: u32,
+) -> Sweep {
+    failure_sweep_with(
+        model,
+        base,
+        rates,
+        at_fraction,
+        max_failures,
+        &Engine::serial(),
+    )
+}
+
+/// [`failure_sweep`] with the points fanned out over `engine`.
+pub fn failure_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    rates: &[f64],
+    at_fraction: f64,
+    max_failures: u32,
+    engine: &Engine,
+) -> Sweep {
+    let clean = model.predict(base);
+    Sweep {
+        title: format!(
+            "runtime vs task failure rate (N={}, P={}, maxFailures={})",
+            base.nodes, base.cores, max_failures
+        ),
+        points: engine.par_map(rates, |&r| SweepPoint {
+            label: format!("f={:.0}%", r * 100.0),
+            runtime_secs: clean * failure_inflation(r, at_fraction, max_failures),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +300,36 @@ mod tests {
         let hdd = &sweep.points[0];
         let nvme = &sweep.points[2];
         assert!(hdd.runtime_secs > 3.0 * nvme.runtime_secs);
+    }
+
+    #[test]
+    fn failure_inflation_is_a_truncated_geometric_series() {
+        // No failures, no inflation; fraction zero, no inflation.
+        assert_eq!(failure_inflation(0.0, 0.5, 4), 1.0);
+        assert_eq!(failure_inflation(0.2, 0.0, 4), 1.0);
+        // maxFailures = 1 means the first failure aborts: nothing retried.
+        assert_eq!(failure_inflation(0.2, 0.5, 1), 1.0);
+        // Spark default maxFailures = 4: r + r^2 + r^3, half a task wasted each.
+        let r: f64 = 0.1;
+        let expect = 1.0 + 0.5 * (r + r * r + r * r * r);
+        assert!((failure_inflation(0.1, 0.5, 4) - expect).abs() < 1e-12);
+        // Clamps keep pathological inputs finite and ordered.
+        assert!(failure_inflation(2.0, 5.0, 4) < 4.0);
+        assert!(failure_inflation(0.3, 0.5, 4) > failure_inflation(0.1, 0.5, 4));
+    }
+
+    #[test]
+    fn failure_sweep_scales_the_clean_prediction() {
+        let m = model();
+        let base = PredictEnv::hybrid(10, 8, HybridConfig::SsdSsd);
+        let clean = m.predict(&base);
+        let sweep = failure_sweep(&m, &base, &[0.0, 0.02, 0.10], 0.5, 4);
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points[0].label, "f=0%");
+        assert_eq!(sweep.points[1].label, "f=2%");
+        assert!((sweep.points[0].runtime_secs - clean).abs() < 1e-9);
+        assert!(sweep.points[2].runtime_secs > sweep.points[1].runtime_secs);
+        assert!(sweep.points[1].runtime_secs > clean);
     }
 
     #[test]

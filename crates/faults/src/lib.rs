@@ -1,0 +1,429 @@
+//! Deterministic fault injection for the Doppio simulator.
+//!
+//! Real Spark 1.6 deployments survive failures through lineage: failed
+//! tasks are retried (`spark.task.maxFailures`), lost map outputs are
+//! recomputed by resubmitting partial map stages, evicted cached RDDs are
+//! rebuilt from their parents, and stragglers are raced by speculative
+//! copies (`spark.speculation`). The simulator models those mechanisms;
+//! this crate provides the *inputs* — a [`FaultPlan`] describing which
+//! faults strike where and when.
+//!
+//! Everything is seed-driven. A plan is either assembled event by event
+//! ([`FaultPlan::with_event`]) or generated from a named [`FaultProfile`]
+//! plus a seed, and the same `(profile, seed, cluster, horizon)` tuple
+//! always yields the same plan. Within the simulator, injected failures
+//! draw from a dedicated RNG seeded by [`FaultPlan::seed`], so fault
+//! placement never perturbs the simulation's own noise stream and a fixed
+//! fault seed replays identically at any worker-thread count.
+//!
+//! Plans are [`Fingerprintable`]: a faulty run of a scenario hashes
+//! differently from a clean run of the same scenario, so memoization
+//! layers never alias the two.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use doppio_cluster::DiskRole;
+use doppio_engine::{FingerprintBuilder, Fingerprintable};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One injectable fault.
+///
+/// Times are simulation seconds; fractions are in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Transient task failures: `tasks` distinct task picks (drawn from the
+    /// plan's RNG per matching stage) each fail `attempts` times, at
+    /// `at_fraction` of the attempt's expected duration, before succeeding.
+    ///
+    /// `stage: None` applies to every stage the scheduler runs;
+    /// `Some(name)` only to the first occurrence of that stage name.
+    /// Models Spark's `TaskEndReason::ExceptionFailure` + retry.
+    TaskFailures {
+        /// Stage name filter (`None` = all stages).
+        stage: Option<String>,
+        /// Number of task picks per matching stage.
+        tasks: u64,
+        /// Failed attempts per picked task before it may succeed.
+        attempts: u32,
+        /// Fraction of the attempt's expected duration at which it dies.
+        at_fraction: f64,
+    },
+    /// A worker node dies at `at_secs`: its running tasks fail, its queued
+    /// tasks migrate, and the shuffle outputs and cached partitions it
+    /// held are lost (triggering lineage recomputation downstream).
+    /// Models Spark's `ExecutorLostFailure` / `FetchFailed` path.
+    ExecutorLoss {
+        /// Which worker node dies.
+        node: usize,
+        /// When it dies, in simulation seconds.
+        at_secs: f64,
+    },
+    /// One device on one node runs at `factor` of its normal bandwidth
+    /// for the window `[from_secs, until_secs)`. Only transfers submitted
+    /// inside the window are affected.
+    DiskSlowdown {
+        /// Which worker node owns the slow device.
+        node: usize,
+        /// Which of the node's devices degrades.
+        role: DiskRole,
+        /// Bandwidth multiplier in `(0, 1)` — e.g. `0.3` = 30 % speed.
+        factor: f64,
+        /// Window start, simulation seconds.
+        from_secs: f64,
+        /// Window end, simulation seconds.
+        until_secs: f64,
+    },
+    /// Task attempts started on `node` during `[from_secs, until_secs)`
+    /// run their compute phase `factor`× slower, on up to `slots`
+    /// concurrent core slots (`None` = every core). The slow tasks are
+    /// exactly what `spark.speculation` exists to race.
+    Straggler {
+        /// Which worker node straggles.
+        node: usize,
+        /// Max concurrently-slowed core slots (`None` = unlimited).
+        slots: Option<u32>,
+        /// Compute-time multiplier, `> 1`.
+        factor: f64,
+        /// Window start, simulation seconds.
+        from_secs: f64,
+        /// Window end, simulation seconds.
+        until_secs: f64,
+    },
+}
+
+/// A replayable set of faults plus the seed that drives in-simulator
+/// randomness (which task a [`FaultEvent::TaskFailures`] strikes).
+///
+/// The empty plan is the identity: simulating with it is bit-identical to
+/// simulating without any fault support at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// An empty plan carrying `seed` for in-simulator fault randomness.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds an event (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds an event in place.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// The seed driving in-simulator fault randomness.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injected events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn write_role(b: &mut FingerprintBuilder, role: DiskRole) {
+    b.write_u64(match role {
+        DiskRole::Hdfs => 0,
+        DiskRole::Local => 1,
+    });
+}
+
+impl Fingerprintable for FaultPlan {
+    fn fingerprint_into(&self, b: &mut FingerprintBuilder) {
+        b.write_str("fault-plan");
+        b.write_u64(self.seed);
+        b.write_usize(self.events.len());
+        for event in &self.events {
+            match event {
+                FaultEvent::TaskFailures {
+                    stage,
+                    tasks,
+                    attempts,
+                    at_fraction,
+                } => {
+                    b.write_u64(1);
+                    match stage {
+                        None => b.write_bool(false),
+                        Some(s) => {
+                            b.write_bool(true);
+                            b.write_str(s);
+                        }
+                    }
+                    b.write_u64(*tasks);
+                    b.write_u32(*attempts);
+                    b.write_f64(*at_fraction);
+                }
+                FaultEvent::ExecutorLoss { node, at_secs } => {
+                    b.write_u64(2);
+                    b.write_usize(*node);
+                    b.write_f64(*at_secs);
+                }
+                FaultEvent::DiskSlowdown {
+                    node,
+                    role,
+                    factor,
+                    from_secs,
+                    until_secs,
+                } => {
+                    b.write_u64(3);
+                    b.write_usize(*node);
+                    write_role(b, *role);
+                    b.write_f64(*factor);
+                    b.write_f64(*from_secs);
+                    b.write_f64(*until_secs);
+                }
+                FaultEvent::Straggler {
+                    node,
+                    slots,
+                    factor,
+                    from_secs,
+                    until_secs,
+                } => {
+                    b.write_u64(4);
+                    b.write_usize(*node);
+                    match slots {
+                        None => b.write_bool(false),
+                        Some(s) => {
+                            b.write_bool(true);
+                            b.write_u32(*s);
+                        }
+                    }
+                    b.write_f64(*factor);
+                    b.write_f64(*from_secs);
+                    b.write_f64(*until_secs);
+                }
+            }
+        }
+    }
+}
+
+/// Named fault scenarios the CLI exposes via `simulate --inject`.
+///
+/// A profile is a recipe: [`FaultProfile::plan`] expands it into a
+/// concrete [`FaultPlan`] for a given seed, cluster size and time horizon
+/// (typically the clean run's total time), deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// A couple of transient task failures per stage — the background
+    /// noise of any large cluster.
+    FlakyTasks,
+    /// One worker dies partway through the run, taking its shuffle
+    /// outputs and cached partitions with it.
+    ExecutorLoss,
+    /// One node's Spark-local disk degrades to a fraction of its
+    /// bandwidth for a window — Awan et al.'s slow-disk tail.
+    SlowDisk,
+    /// One node computes slowly on a couple of core slots for most of the
+    /// run — the classic speculative-execution target.
+    Stragglers,
+    /// All of the above at once.
+    Chaos,
+}
+
+impl FaultProfile {
+    /// Every profile, in CLI listing order.
+    pub const ALL: [FaultProfile; 5] = [
+        FaultProfile::FlakyTasks,
+        FaultProfile::ExecutorLoss,
+        FaultProfile::SlowDisk,
+        FaultProfile::Stragglers,
+        FaultProfile::Chaos,
+    ];
+
+    /// The CLI name of the profile.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultProfile::FlakyTasks => "flaky-tasks",
+            FaultProfile::ExecutorLoss => "executor-loss",
+            FaultProfile::SlowDisk => "slow-disk",
+            FaultProfile::Stragglers => "stragglers",
+            FaultProfile::Chaos => "chaos",
+        }
+    }
+
+    /// One-line description for `doppio list`.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FaultProfile::FlakyTasks => {
+                "transient task failures, retried up to spark.task.maxFailures"
+            }
+            FaultProfile::ExecutorLoss => {
+                "a worker dies mid-run; lost shuffle output is recomputed via lineage"
+            }
+            FaultProfile::SlowDisk => "one Spark-local disk runs degraded for a window of the run",
+            FaultProfile::Stragglers => "slow core slots on one node; pair with spark.speculation",
+            FaultProfile::Chaos => "all of the above in one run",
+        }
+    }
+
+    /// Parses a CLI profile name.
+    pub fn parse(name: &str) -> Option<FaultProfile> {
+        FaultProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Expands the profile into a concrete plan for a cluster of `nodes`
+    /// workers and a run expected to last about `horizon_secs`.
+    /// Deterministic in all three arguments.
+    pub fn plan(&self, seed: u64, nodes: usize, horizon_secs: f64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_FA_17);
+        let nodes = nodes.max(1);
+        let horizon = if horizon_secs.is_finite() && horizon_secs > 1.0 {
+            horizon_secs
+        } else {
+            1.0
+        };
+        let mut plan = FaultPlan::new(seed);
+        let flaky = |rng: &mut StdRng, plan: &mut FaultPlan| {
+            plan.push(FaultEvent::TaskFailures {
+                stage: None,
+                tasks: 2,
+                attempts: rng.random_range(1..=2u32),
+                at_fraction: rng.random_range(0.1..0.9),
+            });
+        };
+        let loss = |rng: &mut StdRng, plan: &mut FaultPlan| {
+            plan.push(FaultEvent::ExecutorLoss {
+                node: rng.random_range(0..nodes),
+                at_secs: rng.random_range(0.2..0.6) * horizon,
+            });
+        };
+        let slow_disk = |rng: &mut StdRng, plan: &mut FaultPlan| {
+            let from = rng.random_range(0.05..0.3) * horizon;
+            plan.push(FaultEvent::DiskSlowdown {
+                node: rng.random_range(0..nodes),
+                role: DiskRole::Local,
+                factor: rng.random_range(0.2..0.5),
+                from_secs: from,
+                until_secs: from + rng.random_range(0.3..0.6) * horizon,
+            });
+        };
+        let straggler = |rng: &mut StdRng, plan: &mut FaultPlan| {
+            plan.push(FaultEvent::Straggler {
+                node: rng.random_range(0..nodes),
+                slots: Some(2),
+                factor: rng.random_range(1.5..3.0),
+                from_secs: 0.0,
+                until_secs: horizon * 2.0,
+            });
+        };
+        match self {
+            FaultProfile::FlakyTasks => flaky(&mut rng, &mut plan),
+            FaultProfile::ExecutorLoss => loss(&mut rng, &mut plan),
+            FaultProfile::SlowDisk => slow_disk(&mut rng, &mut plan),
+            FaultProfile::Stragglers => straggler(&mut rng, &mut plan),
+            FaultProfile::Chaos => {
+                flaky(&mut rng, &mut plan);
+                slow_disk(&mut rng, &mut plan);
+                straggler(&mut rng, &mut plan);
+                // Losing a node out of one or two leaves too little
+                // cluster to be interesting; keep chaos survivable.
+                if nodes > 2 {
+                    loss(&mut rng, &mut plan);
+                }
+            }
+        }
+        plan
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_expansion_is_deterministic() {
+        for profile in FaultProfile::ALL {
+            let a = profile.plan(7, 3, 120.0);
+            let b = profile.plan(7, 3, 120.0);
+            assert_eq!(a, b, "{profile} must expand deterministically");
+            assert!(!a.is_empty());
+            assert_eq!(a.seed(), 7);
+        }
+    }
+
+    #[test]
+    fn profile_expansion_depends_on_the_seed() {
+        let a = FaultProfile::Chaos.plan(1, 3, 120.0);
+        let b = FaultProfile::Chaos.plan(2, 3, 120.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_profile_name_round_trips() {
+        for profile in FaultProfile::ALL {
+            assert_eq!(FaultProfile::parse(profile.name()), Some(profile));
+        }
+        assert_eq!(FaultProfile::parse("no-such-profile"), None);
+    }
+
+    #[test]
+    fn chaos_on_a_small_cluster_never_kills_a_node() {
+        let plan = FaultProfile::Chaos.plan(3, 2, 60.0);
+        assert!(!plan
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ExecutorLoss { .. })));
+    }
+
+    #[test]
+    fn distinct_plans_fingerprint_differently() {
+        let clean = FaultPlan::empty().fingerprint();
+        let faulty = FaultProfile::FlakyTasks.plan(1, 3, 60.0).fingerprint();
+        let faulty2 = FaultProfile::FlakyTasks.plan(2, 3, 60.0).fingerprint();
+        assert_ne!(clean, faulty);
+        assert_ne!(faulty, faulty2);
+        // Same plan, same print.
+        assert_eq!(
+            FaultProfile::Chaos.plan(9, 3, 60.0).fingerprint(),
+            FaultProfile::Chaos.plan(9, 3, 60.0).fingerprint(),
+        );
+    }
+
+    #[test]
+    fn seed_alone_distinguishes_otherwise_equal_plans() {
+        let a = FaultPlan::new(1).fingerprint();
+        let b = FaultPlan::new(2).fingerprint();
+        assert_ne!(a, b);
+    }
+}

@@ -52,6 +52,18 @@ pub struct SparkConf {
     /// for timeline export ([`crate::trace`]). Off by default: a span per
     /// task is real memory on million-task runs.
     pub record_task_spans: bool,
+    /// `spark.task.maxFailures`: a task that fails this many times aborts
+    /// the stage (Spark 1.6 default 4).
+    pub task_max_failures: u32,
+    /// `spark.speculation`: launch backup copies of slow tasks (Spark 1.6
+    /// default false).
+    pub speculation: bool,
+    /// `spark.speculation.quantile`: fraction of tasks that must finish
+    /// before speculation is considered.
+    pub speculation_quantile: f64,
+    /// `spark.speculation.multiplier`: how many times slower than the
+    /// median a running task must be to be speculatable.
+    pub speculation_multiplier: f64,
 }
 
 impl SparkConf {
@@ -72,6 +84,10 @@ impl SparkConf {
             compute_noise: 0.03,
             seed: 0xD0_99_10,
             record_task_spans: false,
+            task_max_failures: 4,
+            speculation: false,
+            speculation_quantile: 0.75,
+            speculation_multiplier: 1.5,
         }
     }
 
@@ -96,6 +112,24 @@ impl SparkConf {
     /// task times; useful for calibration runs and tight test assertions).
     pub fn without_noise(mut self) -> Self {
         self.compute_noise = 0.0;
+        self
+    }
+
+    /// Returns a copy with speculative execution enabled
+    /// (`spark.speculation = true`).
+    pub fn with_speculation(mut self) -> Self {
+        self.speculation = true;
+        self
+    }
+
+    /// Returns a copy with a different `spark.task.maxFailures`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (Spark requires at least one attempt).
+    pub fn with_max_failures(mut self, n: u32) -> Self {
+        assert!(n > 0, "spark.task.maxFailures must be positive");
+        self.task_max_failures = n;
         self
     }
 
@@ -127,6 +161,10 @@ impl doppio_engine::Fingerprintable for SparkConf {
         fp.write_f64(self.compute_noise);
         fp.write_u64(self.seed);
         fp.write_bool(self.record_task_spans);
+        fp.write_u32(self.task_max_failures);
+        fp.write_bool(self.speculation);
+        fp.write_f64(self.speculation_quantile);
+        fp.write_f64(self.speculation_multiplier);
     }
 }
 
@@ -148,10 +186,23 @@ mod tests {
         let c = SparkConf::paper()
             .with_cores(12)
             .with_seed(7)
-            .without_noise();
+            .without_noise()
+            .with_speculation()
+            .with_max_failures(2);
         assert_eq!(c.executor_cores, 12);
         assert_eq!(c.seed, 7);
         assert_eq!(c.compute_noise, 0.0);
+        assert!(c.speculation);
+        assert_eq!(c.task_max_failures, 2);
+    }
+
+    #[test]
+    fn recovery_defaults_match_spark_16() {
+        let c = SparkConf::paper();
+        assert_eq!(c.task_max_failures, 4);
+        assert!(!c.speculation);
+        assert!((c.speculation_quantile - 0.75).abs() < 1e-12);
+        assert!((c.speculation_multiplier - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -54,11 +54,27 @@ pub struct PlanContext<'a> {
 /// Propagates DFS errors (missing input files, duplicate output paths) and
 /// rejects empty stages.
 pub fn plan_job(ctx: &mut PlanContext<'_>, job: &Job) -> Result<Vec<PlannedStage>, SimError> {
+    let mut stages = Vec::new();
+
+    // Lineage-based recovery (Spark's `DAGScheduler` resubmission): when a
+    // shuffle this job reads lost map outputs with a dead executor, a
+    // partial map stage re-produces just the missing files before the job's
+    // own stages run.
+    if !ctx.shuffles.damaged().is_empty() {
+        let mut damaged = Vec::new();
+        let mut seen = HashSet::new();
+        collect_damaged_shuffles(ctx, job.target, &mut damaged, &mut seen);
+        for rdd in damaged {
+            let frac = ctx.shuffles.lost_fraction(rdd);
+            stages.push(plan_recovery_stage(ctx, rdd, frac)?);
+            ctx.shuffles.clear_loss(rdd);
+        }
+    }
+
     let mut missing = Vec::new();
     let mut seen = HashSet::new();
     collect_missing_shuffles(ctx, job.target, &mut missing, &mut seen)?;
 
-    let mut stages = Vec::new();
     for shuffle_rdd in missing {
         stages.push(plan_map_stage(ctx, shuffle_rdd)?);
     }
@@ -92,6 +108,83 @@ fn collect_missing_shuffles(
         out.push(rdd);
     }
     Ok(())
+}
+
+/// Depth-first walk collecting registered shuffles with lost map outputs,
+/// parents before children. Mirrors [`collect_missing_shuffles`]' cuts:
+/// fully usable caches and *intact* registered shuffles end the descent
+/// (their data is read as-is, so nothing deeper needs recovering).
+fn collect_damaged_shuffles(
+    ctx: &PlanContext<'_>,
+    rdd: RddId,
+    out: &mut Vec<RddId>,
+    seen: &mut HashSet<RddId>,
+) {
+    if !seen.insert(rdd) {
+        return;
+    }
+    if let Some(c) = ctx.memory.get(rdd) {
+        if c.recompute_fraction() == 0.0 {
+            return;
+        }
+    }
+    let registered = ctx.shuffles.contains(rdd);
+    let damaged = registered && ctx.shuffles.lost_fraction(rdd) > 0.0;
+    if registered && !damaged {
+        return;
+    }
+    for p in &ctx.app.node(rdd).parents {
+        collect_damaged_shuffles(ctx, *p, out, seen);
+    }
+    if damaged {
+        out.push(rdd);
+    }
+}
+
+/// Plans a partial map stage re-producing the lost fraction of a shuffle's
+/// map outputs from lineage (Spark's stage resubmission after a
+/// `FetchFailed`). Only `⌈maps × frac⌉` of the original map tasks run.
+fn plan_recovery_stage(
+    ctx: &mut PlanContext<'_>,
+    shuffle_rdd: RddId,
+    frac: f64,
+) -> Result<PlannedStage, SimError> {
+    let reg = *ctx
+        .shuffles
+        .get(shuffle_rdd)
+        .expect("recovery targets registered shuffles");
+    let node = ctx.app.node(shuffle_rdd).clone();
+    let Op::Shuffle { map_cost, .. } = &node.op else {
+        unreachable!("registered shuffles are shuffle RDDs");
+    };
+    let parent = node.parents[0];
+    let lost_maps = ((reg.maps as f64 * frac).ceil() as u64).clamp(1, reg.maps);
+
+    let mut materializing = HashSet::new();
+    prepare_materializations(ctx, parent, &mut materializing)?;
+
+    // Re-run an evenly spread subset of the original map partitions (the
+    // dead node held every N-th partition under round-robin placement).
+    let mut tasks = Vec::with_capacity(lost_maps as usize);
+    for k in 0..lost_maps {
+        let pidx = k * reg.maps / lost_maps;
+        let chain = resolve_chain(ctx, parent, pidx, &materializing)?;
+        tasks.push(build_task(
+            ctx,
+            chain,
+            *map_cost,
+            MapOutput::Shuffle {
+                bytes: reg.bytes_per_map(),
+            },
+        ));
+    }
+
+    Ok(PlannedStage {
+        name: format!("{} (recompute)", node.name),
+        kind: StageKind::ShuffleMap,
+        tasks,
+        recovered_bytes: reg.bytes_per_map() * lost_maps,
+    })
 }
 
 /// Number of partitions of an RDD (HDFS blocks for sources, reducer count
@@ -418,6 +511,7 @@ fn plan_map_stage(ctx: &mut PlanContext<'_>, shuffle_rdd: RddId) -> Result<Plann
         name: node.name.clone(),
         kind: StageKind::ShuffleMap,
         tasks,
+        recovered_bytes: Bytes::ZERO,
     })
 }
 
@@ -531,6 +625,7 @@ fn plan_result_stage(ctx: &mut PlanContext<'_>, job: &Job) -> Result<PlannedStag
         name: job.name.clone(),
         kind: StageKind::Result,
         tasks,
+        recovered_bytes: Bytes::ZERO,
     })
 }
 
@@ -612,6 +707,29 @@ mod tests {
         let second = h.plan(1);
         assert_eq!(second.len(), 1, "map stage skipped, shuffle files reused");
         assert_eq!(second[0].kind, StageKind::Result);
+    }
+
+    #[test]
+    fn lost_shuffle_output_is_recomputed_partially() {
+        let mut h = Harness::new(shuffle_app(), 4);
+        let first = h.plan(0); // registers the 32-map shuffle
+        assert_eq!(first.len(), 2);
+        h.shuffles.mark_loss(0.25);
+        let stages = h.plan(1);
+        assert_eq!(stages.len(), 2, "recovery stage + result stage");
+        assert_eq!(stages[0].name, "shuffled (recompute)");
+        assert_eq!(stages[0].kind, StageKind::ShuffleMap);
+        assert_eq!(stages[0].tasks.len(), 8, "ceil(32 x 0.25) map tasks");
+        assert_eq!(stages[0].recovered_bytes, Bytes::from_gib(1));
+        let t = &stages[0].tasks[0];
+        assert!(
+            !t.channel_bytes(IoChannel::HdfsRead).is_zero(),
+            "recomputation re-reads the lineage input"
+        );
+        assert!(!t.channel_bytes(IoChannel::ShuffleWrite).is_zero());
+        // The loss is healed: the next job plans clean.
+        let again = h.plan(1);
+        assert_eq!(again.len(), 1);
     }
 
     #[test]

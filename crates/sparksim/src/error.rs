@@ -16,6 +16,13 @@ pub enum SimError {
     /// Planning produced a stage with no tasks (zero-sized input with no
     /// partitions).
     EmptyStage(String),
+    /// A task failed `spark.task.maxFailures` times; Spark aborts the job.
+    TaskAborted {
+        /// Stage the exhausted task belonged to.
+        stage: String,
+        /// Failure count that hit the limit.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +32,11 @@ impl fmt::Display for SimError {
             SimError::EmptyApp(name) => write!(f, "application '{name}' defines no action"),
             SimError::UnknownRdd(id) => write!(f, "unknown rdd id {id}"),
             SimError::EmptyStage(name) => write!(f, "stage '{name}' has no tasks"),
+            SimError::TaskAborted { stage, failures } => write!(
+                f,
+                "task in stage '{stage}' failed {failures} times; aborting job \
+                 (spark.task.maxFailures)"
+            ),
         }
     }
 }

@@ -9,42 +9,104 @@
 //! with processor-sharing devices the stage exhibits the paper's three
 //! execution phases (Figure 6): task times stay at `t_avg` while
 //! `P ≤ λ·b`, and the stage collapses to `D / (N · BW)` once I/O saturates.
+//!
+//! # Faults and recovery
+//!
+//! Execution is attempt-based, as in Spark's `TaskSetManager`: a task may
+//! run several times (retries after injected failures or executor loss,
+//! speculative copies under `spark.speculation`), and exactly one attempt
+//! — the first finisher — produces the task's output. Fault placement
+//! draws from a dedicated RNG seeded by the [`FaultPlan`], so injection
+//! never perturbs the compute-noise stream: with an empty plan the
+//! executor is bit-identical to a fault-free build, and with a fixed
+//! fault seed a run replays identically anywhere.
 
 use std::collections::{HashMap, VecDeque};
 
-use doppio_cluster::{ClusterState, NodeId};
-use doppio_events::{Engine, SimDuration, SimTime};
+use doppio_cluster::{ClusterState, DiskRole, NodeId};
+use doppio_events::{Engine, FlowId, SimDuration, SimTime};
+use doppio_faults::{FaultEvent, FaultPlan};
 use doppio_storage::{IoDir, TransferSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::metrics::{ChannelStats, StageMetrics, TaskStats};
+use crate::error::SimError;
+use crate::metrics::{ChannelStats, FaultStats, StageMetrics, TaskStats};
 use crate::task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, TaskSpec};
 use crate::SparkConf;
 
-/// Runtime state of one task.
+/// Scheduling state of one task (which may run as several attempts).
 #[derive(Debug)]
-struct TaskRuntime {
+struct TaskState {
     spec: TaskSpec,
-    started: bool,
+    /// Waiting in a queue (eligible for pickup).
+    pending: bool,
+    /// An attempt finished successfully.
+    done: bool,
+    /// Failed attempts so far (counts toward `spark.task.maxFailures`).
+    fail_count: u32,
+    /// Injected failure fractions still to be consumed by future attempts.
+    injected: Vec<f64>,
+    /// Indices of live attempts in [`StageState::attempts`].
+    running: Vec<usize>,
+    /// A speculative copy has been launched (at most one per task).
+    speculated: bool,
+}
+
+/// One execution attempt of a task, pinned to a core on `node`.
+#[derive(Debug)]
+struct Attempt {
+    task: usize,
     node: NodeId,
+    speculative: bool,
+    start: SimTime,
     /// Components (flows + the compute timer) still outstanding.
     remaining: usize,
     /// Flows still outstanding (for the I/O-time metric).
     remaining_flows: usize,
-    start: SimTime,
     io_secs: f64,
     cpu_secs: f64,
+    /// Killed (failed, superseded by another attempt, or executor lost).
+    dead: bool,
+    /// Live flow handles, for cancellation on kill.
+    flows: Vec<(NodeId, Option<DiskRole>, FlowId)>,
+    /// Straggler windows whose slot budget this attempt occupies.
+    slow_windows: Vec<usize>,
+}
+
+/// An injected transient-failure order from the fault plan.
+#[derive(Debug, Clone)]
+struct InjectedFailures {
+    stage: Option<String>,
+    tasks: u64,
+    attempts: u32,
+    at_fraction: f64,
+}
+
+/// A resolved straggler window.
+#[derive(Debug)]
+struct SlowWindow {
+    node: usize,
+    slots: Option<u32>,
+    factor: f64,
+    from: f64,
+    until: f64,
+    active: u32,
 }
 
 /// Per-stage executor state.
 #[derive(Debug, Default)]
 struct StageState {
-    tasks: Vec<TaskRuntime>,
+    name: String,
+    tasks: Vec<TaskState>,
+    attempts: Vec<Attempt>,
     node_queues: Vec<VecDeque<usize>>,
     global_queue: VecDeque<usize>,
     completed: usize,
+    completed_durs: Vec<f64>,
     channels: HashMap<IoChannel, ChannelStats>,
+    faults: FaultStats,
+    aborted: Option<SimError>,
     sum_dur: f64,
     min_dur: f64,
     max_dur: f64,
@@ -59,6 +121,17 @@ pub(crate) struct ExecWorld {
     cluster: ClusterState,
     conf: SparkConf,
     rng: StdRng,
+    /// Fault-placement RNG, seeded from the plan — kept apart from `rng`
+    /// so injection never shifts the compute-noise stream.
+    frng: StdRng,
+    injected: Vec<InjectedFailures>,
+    slow: Vec<SlowWindow>,
+    dead: Vec<bool>,
+    /// Nodes lost since the simulation layer last drained them.
+    lost_log: Vec<NodeId>,
+    /// How often each stage name has started (for `stage`-filtered faults).
+    stage_seen: HashMap<String, u64>,
+    stage_epoch: u64,
     pump_gen: u64,
     st: StageState,
 }
@@ -73,14 +146,107 @@ pub(crate) struct Executor {
 }
 
 impl Executor {
+    /// A fault-free executor (an empty plan injects nothing).
+    #[cfg(test)]
     pub(crate) fn new(cluster: ClusterState, conf: SparkConf) -> Self {
+        Self::with_faults(cluster, conf, FaultPlan::empty())
+    }
+
+    /// Creates an executor with a fault plan. Time-triggered events
+    /// (executor loss, disk-degradation windows) are scheduled on the
+    /// event calendar up front; task-failure orders and straggler windows
+    /// are consulted as stages begin and attempts start.
+    pub(crate) fn with_faults(cluster: ClusterState, conf: SparkConf, plan: FaultPlan) -> Self {
         let seed = conf.seed;
+        let n = cluster.num_nodes();
+        let mut engine = Engine::new();
+        let mut injected = Vec::new();
+        let mut slow = Vec::new();
+        for event in plan.events() {
+            match event {
+                FaultEvent::TaskFailures {
+                    stage,
+                    tasks,
+                    attempts,
+                    at_fraction,
+                } => injected.push(InjectedFailures {
+                    stage: stage.clone(),
+                    tasks: *tasks,
+                    attempts: *attempts,
+                    at_fraction: at_fraction.clamp(0.0, 0.99),
+                }),
+                FaultEvent::ExecutorLoss { node, at_secs } => {
+                    let node = *node;
+                    if at_secs.is_finite() && *at_secs >= 0.0 {
+                        let at = SimTime::ZERO + SimDuration::from_secs(*at_secs);
+                        engine.schedule_at(at, move |w: &mut ExecWorld, e| {
+                            w.lose_node(node, e);
+                        });
+                    }
+                }
+                FaultEvent::DiskSlowdown {
+                    node,
+                    role,
+                    factor,
+                    from_secs,
+                    until_secs,
+                } => {
+                    let valid = factor.is_finite()
+                        && *factor > 0.0
+                        && from_secs.is_finite()
+                        && *from_secs >= 0.0
+                        && *until_secs > *from_secs
+                        && node < &n;
+                    if valid {
+                        let (node, role, factor) = (NodeId(*node), *role, *factor);
+                        let from = SimTime::ZERO + SimDuration::from_secs(*from_secs);
+                        engine.schedule_at(from, move |w: &mut ExecWorld, _| {
+                            w.cluster.node_mut(node).disk_mut(role).scale_speed(factor);
+                        });
+                        if until_secs.is_finite() {
+                            let until = SimTime::ZERO + SimDuration::from_secs(*until_secs);
+                            engine.schedule_at(until, move |w: &mut ExecWorld, _| {
+                                w.cluster
+                                    .node_mut(node)
+                                    .disk_mut(role)
+                                    .scale_speed(1.0 / factor);
+                            });
+                        }
+                    }
+                }
+                FaultEvent::Straggler {
+                    node,
+                    slots,
+                    factor,
+                    from_secs,
+                    until_secs,
+                } => {
+                    if factor.is_finite() && *factor > 0.0 && *until_secs > *from_secs {
+                        slow.push(SlowWindow {
+                            node: *node,
+                            slots: *slots,
+                            factor: *factor,
+                            from: from_secs.max(0.0),
+                            until: *until_secs,
+                            active: 0,
+                        });
+                    }
+                }
+            }
+        }
         Executor {
-            engine: Engine::new(),
+            engine,
             world: ExecWorld {
                 cluster,
                 conf,
                 rng: StdRng::seed_from_u64(seed),
+                frng: StdRng::seed_from_u64(plan.seed()),
+                injected,
+                slow,
+                dead: vec![false; n],
+                lost_log: Vec::new(),
+                stage_seen: HashMap::new(),
+                stage_epoch: 0,
                 pump_gen: 0,
                 st: StageState::default(),
             },
@@ -88,7 +254,10 @@ impl Executor {
     }
 
     /// Runs one stage to completion and returns its metrics.
-    pub(crate) fn run_stage(&mut self, stage: PlannedStage) -> StageMetrics {
+    ///
+    /// Fails with [`SimError::TaskAborted`] when a task exhausts
+    /// `spark.task.maxFailures`, mirroring Spark's job abort.
+    pub(crate) fn run_stage(&mut self, stage: PlannedStage) -> Result<StageMetrics, SimError> {
         let start = self.engine.now();
         let name = stage.name.clone();
         let kind = stage.kind;
@@ -96,10 +265,13 @@ impl Executor {
         assert!(total > 0, "stage '{name}' has no tasks");
 
         self.world.begin_stage(stage);
-        self.world.initial_dispatch(&mut self.engine);
+        self.world.dispatch_free_cores(&mut self.engine);
         self.world.pump(&mut self.engine);
 
         while self.world.st.completed < total {
+            if let Some(err) = self.world.st.aborted.take() {
+                return Err(err);
+            }
             let progressed = self.engine.step(&mut self.world);
             assert!(
                 progressed,
@@ -109,7 +281,7 @@ impl Executor {
         }
 
         let duration = self.engine.now() - start;
-        self.world.finish_stage(name, kind, duration)
+        Ok(self.world.finish_stage(name, kind, duration))
     }
 
     /// Consumes the executor, returning the cluster for post-run
@@ -117,51 +289,100 @@ impl Executor {
     pub(crate) fn into_cluster(self) -> ClusterState {
         self.world.cluster
     }
+
+    /// Drains the nodes lost since the last call, so the simulation layer
+    /// can drop their shuffle outputs and cached partitions.
+    pub(crate) fn take_lost_nodes(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.world.lost_log)
+    }
 }
 
 impl ExecWorld {
     fn begin_stage(&mut self, stage: PlannedStage) {
         let n = self.cluster.num_nodes();
+        self.stage_epoch += 1;
         let mut st = StageState {
+            name: stage.name,
             node_queues: vec![VecDeque::new(); n],
             min_dur: f64::INFINITY,
             spans: self.conf.record_task_spans.then(Vec::new),
             ..StageState::default()
         };
+        st.faults.recomputed_bytes = stage.recovered_bytes;
         for (idx, spec) in stage.tasks.into_iter().enumerate() {
             match spec.preferred_node {
-                Some(node) if node.0 < n => st.node_queues[node.0].push_back(idx),
+                Some(node) if node.0 < n && !self.dead[node.0] => {
+                    st.node_queues[node.0].push_back(idx)
+                }
                 _ => st.global_queue.push_back(idx),
             }
-            let remaining_flows = spec.flows.len();
-            st.tasks.push(TaskRuntime {
+            st.tasks.push(TaskState {
                 spec,
-                started: false,
-                node: NodeId(0),
-                remaining: remaining_flows + 1,
-                remaining_flows,
-                start: SimTime::ZERO,
-                io_secs: 0.0,
-                cpu_secs: 0.0,
+                pending: true,
+                done: false,
+                fail_count: 0,
+                injected: Vec::new(),
+                running: Vec::new(),
+                speculated: false,
             });
         }
         self.st = st;
+        self.inject_stage_failures();
     }
 
-    fn initial_dispatch(&mut self, engine: &mut Engine<ExecWorld>) {
+    /// Applies the plan's task-failure orders to the fresh stage,
+    /// drawing victims from the fault RNG. Draw counts are independent of
+    /// execution, so a fixed fault seed hits the same tasks at any
+    /// parallelism. A plan stacking `spark.task.maxFailures` or more
+    /// attempts on one task aborts the job, exactly as on real Spark.
+    fn inject_stage_failures(&mut self) {
+        let occurrence = {
+            let seen = self.stage_seen.entry(self.st.name.clone()).or_insert(0);
+            let occ = *seen;
+            *seen += 1;
+            occ
+        };
+        if self.injected.is_empty() {
+            return;
+        }
+        let total = self.st.tasks.len();
+        let orders = self.injected.clone();
+        for order in &orders {
+            let applies = match &order.stage {
+                None => true,
+                Some(name) => *name == self.st.name && occurrence == 0,
+            };
+            if !applies {
+                continue;
+            }
+            for _ in 0..order.tasks {
+                let idx = self.frng.random_range(0..total);
+                for _ in 0..order.attempts {
+                    self.st.tasks[idx].injected.push(order.at_fraction);
+                }
+            }
+        }
+    }
+
+    /// Fills every free core on every live node with queued work,
+    /// round-robin so early tasks spread over nodes. Used for the initial
+    /// dispatch and again after requeues free up schedulable work.
+    fn dispatch_free_cores(&mut self, engine: &mut Engine<ExecWorld>) {
         let n = self.cluster.num_nodes();
-        // Fill cores round-robin so early tasks spread over nodes.
         let mut progress = true;
         while progress {
             progress = false;
             for node in 0..n {
+                if self.dead[node] {
+                    continue;
+                }
                 let node = NodeId(node);
                 if self.cluster.node(node).free_cores() == 0 {
                     continue;
                 }
                 if let Some(idx) = self.pick_task(node) {
                     assert!(self.cluster.node_mut(node).try_take_core());
-                    self.start_task(idx, node, engine);
+                    self.start_attempt(idx, node, false, engine);
                     progress = true;
                 }
             }
@@ -177,12 +398,14 @@ impl ExecWorld {
     /// a local core, as Spark's locality wait makes it do in practice.
     fn pick_task(&mut self, node: NodeId) -> Option<usize> {
         while let Some(idx) = self.st.node_queues[node.0].pop_front() {
-            if !self.st.tasks[idx].started {
+            if self.st.tasks[idx].pending {
+                self.st.tasks[idx].pending = false;
                 return Some(idx);
             }
         }
         while let Some(idx) = self.st.global_queue.pop_front() {
-            if !self.st.tasks[idx].started {
+            if self.st.tasks[idx].pending {
+                self.st.tasks[idx].pending = false;
                 return Some(idx);
             }
         }
@@ -194,7 +417,8 @@ impl ExecWorld {
                 let idx = self.st.node_queues[victim]
                     .pop_front()
                     .expect("queue longer than threshold is non-empty");
-                if !self.st.tasks[idx].started {
+                if self.st.tasks[idx].pending {
+                    self.st.tasks[idx].pending = false;
                     return Some(idx);
                 }
             }
@@ -208,25 +432,41 @@ impl ExecWorld {
     /// order and can systematically overload one node; random selection
     /// stays uniform under any completion pattern while remaining
     /// reproducible per seed.
+    ///
+    /// Exactly one draw happens regardless of faults; if the drawn peer is
+    /// dead, the next live node takes its place (a fetch rerouted to a
+    /// surviving replica), which may collapse back to the node itself.
     fn pick_remote(&mut self, own: NodeId) -> NodeId {
         let n = self.cluster.num_nodes();
         if n <= 1 {
             return own;
         }
         let step = self.rng.random_range(0..n - 1);
-        NodeId((own.0 + 1 + step) % n)
+        let mut target = NodeId((own.0 + 1 + step) % n);
+        if self.dead[target.0] {
+            for off in 1..=n {
+                let cand = NodeId((target.0 + off) % n);
+                if !self.dead[cand.0] {
+                    target = cand;
+                    break;
+                }
+            }
+        }
+        target
     }
 
-    fn start_task(&mut self, idx: usize, node: NodeId, engine: &mut Engine<ExecWorld>) {
+    fn start_attempt(
+        &mut self,
+        idx: usize,
+        node: NodeId,
+        speculative: bool,
+        engine: &mut Engine<ExecWorld>,
+    ) {
         let now = engine.now();
         let remote = self.pick_remote(node);
         let (flows, compute_secs) = {
-            let tr = &mut self.st.tasks[idx];
-            debug_assert!(!tr.started);
-            tr.started = true;
-            tr.node = node;
-            tr.start = now;
-            (tr.spec.flows.clone(), tr.spec.compute_secs)
+            let t = &self.st.tasks[idx];
+            (t.spec.flows.clone(), t.spec.compute_secs)
         };
 
         // Compute component, with run-to-run jitter.
@@ -235,18 +475,80 @@ impl ExecWorld {
         } else {
             1.0
         };
-        let secs = (compute_secs * jitter).max(0.0);
-        self.st.tasks[idx].cpu_secs = secs;
+        let mut secs = (compute_secs * jitter).max(0.0);
+
+        // Straggler windows covering this launch slow the compute phase.
+        let mut slow_windows = Vec::new();
+        for (widx, w) in self.slow.iter_mut().enumerate() {
+            let in_window = w.node == node.0 && now.as_secs() >= w.from && now.as_secs() < w.until;
+            if in_window && w.slots.is_none_or(|s| w.active < s) {
+                w.active += 1;
+                slow_windows.push(widx);
+                secs *= w.factor;
+            }
+        }
+
+        let aidx = self.st.attempts.len();
+        let remaining_flows = flows.len();
+        self.st.attempts.push(Attempt {
+            task: idx,
+            node,
+            speculative,
+            start: now,
+            remaining: remaining_flows + 1,
+            remaining_flows,
+            io_secs: 0.0,
+            cpu_secs: secs,
+            dead: false,
+            flows: Vec::new(),
+            slow_windows,
+        });
+        self.st.tasks[idx].running.push(aidx);
+
+        let epoch = self.stage_epoch;
         engine.schedule_in(secs, move |w: &mut ExecWorld, e| {
-            w.component_done(idx, false, e);
-            w.pump(e);
+            if w.stage_epoch == epoch {
+                w.component_done(aidx, false, e);
+                w.pump(e);
+            }
         });
 
         // I/O components.
         for flow in flows {
-            self.submit_flow(now, node, remote, idx as u64, flow);
+            self.submit_flow(now, node, remote, aidx, flow);
         }
         // Zero-byte flows complete on the caller's pump sweep.
+
+        // Injected transient failure: the attempt dies partway through its
+        // expected (uncontended) duration. Scheduled strictly before the
+        // natural finish, since contention only stretches attempts.
+        if !speculative && !self.st.tasks[idx].injected.is_empty() {
+            let frac = self.st.tasks[idx]
+                .injected
+                .pop()
+                .expect("checked non-empty");
+            let est = {
+                let node_ref = self.cluster.node(node);
+                let spec = &self.st.tasks[idx].spec;
+                spec.uncontended_secs(|f| match f.channel.disk_role() {
+                    Some(role) => {
+                        let dir = if f.channel.is_read() {
+                            IoDir::Read
+                        } else {
+                            IoDir::Write
+                        };
+                        node_ref.disk(role).spec().bandwidth(dir, f.request_size)
+                    }
+                    None => node_ref.spec().nic(),
+                })
+            };
+            let delay = (est.max(secs) * frac).max(0.0);
+            engine.schedule_in(delay, move |w: &mut ExecWorld, e| {
+                if w.stage_epoch == epoch {
+                    w.fail_attempt(aidx, e);
+                }
+            });
+        }
     }
 
     fn submit_flow(
@@ -254,7 +556,7 @@ impl ExecWorld {
         now: SimTime,
         node: NodeId,
         remote: NodeId,
-        tag: u64,
+        aidx: usize,
         flow: FlowTemplate,
     ) {
         let target = match flow.loc {
@@ -262,22 +564,15 @@ impl ExecWorld {
             FlowLoc::RemoteRotating => remote,
             FlowLoc::Node(n) => n,
         };
-        // Metrics accounting at submission (planned request sizes).
-        let entry = self.st.channels.entry(flow.channel).or_default();
-        entry.bytes += flow.bytes;
-        if !flow.bytes.is_zero() {
-            entry.requests += flow
-                .bytes
-                .div_ceil_by(flow.request_size.max(doppio_events::Bytes::new(1)));
-        }
-        match flow.channel.disk_role() {
+        let tag = aidx as u64;
+        let id = match flow.channel.disk_role() {
             Some(role) => {
                 let dir = if flow.channel.is_read() {
                     IoDir::Read
                 } else {
                     IoDir::Write
                 };
-                self.cluster.node_mut(target).submit_io(
+                let id = self.cluster.node_mut(target).submit_io(
                     now,
                     role,
                     TransferSpec {
@@ -288,50 +583,66 @@ impl ExecWorld {
                         tag,
                     },
                 );
+                (target, Some(role), id)
             }
             None => {
-                self.cluster
+                let id = self
+                    .cluster
                     .node_mut(target)
                     .submit_net(now, flow.bytes, tag);
+                (target, None, id)
             }
-        }
+        };
+        self.st.attempts[aidx].flows.push(id);
     }
 
-    /// One component (a flow when `is_flow`, else the compute timer) of a
-    /// task finished.
-    fn component_done(&mut self, idx: usize, is_flow: bool, engine: &mut Engine<ExecWorld>) {
+    /// One component (a flow when `is_flow`, else the compute timer) of an
+    /// attempt finished.
+    fn component_done(&mut self, aidx: usize, is_flow: bool, engine: &mut Engine<ExecWorld>) {
         let now = engine.now();
         let finished = {
-            let tr = &mut self.st.tasks[idx];
+            let a = &mut self.st.attempts[aidx];
+            if a.dead {
+                // A stale timer of a killed attempt; its flows were
+                // cancelled but the compute event still fires.
+                return;
+            }
             if is_flow {
-                tr.remaining_flows -= 1;
-                if tr.remaining_flows == 0 {
-                    tr.io_secs = (now - tr.start).as_secs();
+                a.remaining_flows -= 1;
+                if a.remaining_flows == 0 {
+                    a.io_secs = (now - a.start).as_secs();
                 }
             }
-            tr.remaining -= 1;
-            tr.remaining == 0
+            a.remaining -= 1;
+            a.remaining == 0
         };
         if finished {
-            self.complete_task(idx, engine);
+            self.complete_attempt(aidx, engine);
         }
     }
 
-    fn complete_task(&mut self, idx: usize, engine: &mut Engine<ExecWorld>) {
+    /// The first attempt of a task to finish wins: it records the task's
+    /// metrics, and any other live attempt of the same task is killed
+    /// (Spark kills the loser of a speculative race).
+    fn complete_attempt(&mut self, aidx: usize, engine: &mut Engine<ExecWorld>) {
         let now = engine.now();
-        let (node, span) = {
-            let tr = &self.st.tasks[idx];
-            let dur = (now - tr.start).as_secs();
+        let idx = self.st.attempts[aidx].task;
+        debug_assert!(!self.st.tasks[idx].done, "two attempts completed");
+        self.release_slow_slots(aidx);
+        let (node, dur, span) = {
+            let a = &self.st.attempts[aidx];
+            let dur = (now - a.start).as_secs();
             self.st.sum_dur += dur;
             self.st.min_dur = self.st.min_dur.min(dur);
             self.st.max_dur = self.st.max_dur.max(dur);
-            self.st.sum_io += tr.io_secs;
-            self.st.sum_cpu += tr.cpu_secs;
+            self.st.sum_io += a.io_secs;
+            self.st.sum_cpu += a.cpu_secs;
             (
-                tr.node,
+                a.node,
+                dur,
                 crate::trace::TaskSpan {
-                    node: tr.node.0,
-                    start_secs: tr.start.as_secs(),
+                    node: a.node.0,
+                    start_secs: a.start.as_secs(),
                     end_secs: now.as_secs(),
                 },
             )
@@ -339,13 +650,232 @@ impl ExecWorld {
         if let Some(spans) = &mut self.st.spans {
             spans.push(span);
         }
+        // Channel volumes are logical, per completed task: retried and
+        // speculative duplicates never inflate them, so per-stage I/O
+        // volumes are invariant under any fault plan. (Physical device
+        // counters, including wasted transfers, live in the iostat layer.)
+        for flow in &self.st.tasks[idx].spec.flows {
+            let entry = self.st.channels.entry(flow.channel).or_default();
+            entry.bytes += flow.bytes;
+            if !flow.bytes.is_zero() {
+                entry.requests += flow
+                    .bytes
+                    .div_ceil_by(flow.request_size.max(doppio_events::Bytes::new(1)));
+            }
+        }
         self.st.completed += 1;
-        // The freed core immediately picks up the next task (Spark's
-        // executor behaviour).
+        self.st.completed_durs.push(dur);
+        if self.st.attempts[aidx].speculative {
+            self.st.faults.speculative_wins += 1;
+        }
+        self.st.tasks[idx].done = true;
+        // Kill the losers of the race; their freed cores pick new work.
+        let losers: Vec<usize> = self.st.tasks[idx]
+            .running
+            .iter()
+            .copied()
+            .filter(|&r| r != aidx)
+            .collect();
+        for loser in losers {
+            let lnode = self.st.attempts[loser].node;
+            self.kill_attempt(loser, engine);
+            self.after_core_freed(lnode, engine);
+        }
+        self.st.tasks[idx].running.clear();
+        // The winner's freed core immediately picks up the next task
+        // (Spark's executor behaviour).
+        self.after_core_freed(node, engine);
+    }
+
+    /// Marks an attempt dead: cancels its in-flight transfers, returns its
+    /// straggler slots, and books the wasted work. The caller decides what
+    /// happens to the attempt's core.
+    fn kill_attempt(&mut self, aidx: usize, engine: &mut Engine<ExecWorld>) {
+        let now = engine.now();
+        self.release_slow_slots(aidx);
+        let (idx, flows, span) = {
+            let a = &mut self.st.attempts[aidx];
+            debug_assert!(!a.dead && a.remaining > 0);
+            a.dead = true;
+            (
+                a.task,
+                std::mem::take(&mut a.flows),
+                crate::trace::TaskSpan {
+                    node: a.node.0,
+                    start_secs: a.start.as_secs(),
+                    end_secs: now.as_secs(),
+                },
+            )
+        };
+        self.st.faults.wasted_task_secs += span.end_secs - span.start_secs;
+        for (target, role, id) in flows {
+            match role {
+                Some(role) => {
+                    self.cluster.node_mut(target).cancel_io(now, role, id);
+                }
+                None => {
+                    self.cluster.node_mut(target).cancel_net(now, id);
+                }
+            }
+        }
+        // Killed attempts leave spans too: wasted work is visible on the
+        // timeline exactly where Spark's UI shows failed/killed attempts.
+        if let Some(spans) = &mut self.st.spans {
+            spans.push(span);
+        }
+        self.st.tasks[idx].running.retain(|&r| r != aidx);
+    }
+
+    /// An injected failure strikes a running attempt. The task retries up
+    /// to `spark.task.maxFailures`, after which the stage aborts.
+    fn fail_attempt(&mut self, aidx: usize, engine: &mut Engine<ExecWorld>) {
+        {
+            let a = &self.st.attempts[aidx];
+            if a.dead || a.remaining == 0 {
+                return;
+            }
+        }
+        let idx = self.st.attempts[aidx].task;
+        let node = self.st.attempts[aidx].node;
+        self.kill_attempt(aidx, engine);
+        let failures = {
+            let t = &mut self.st.tasks[idx];
+            t.fail_count += 1;
+            t.fail_count
+        };
+        if failures >= self.conf.task_max_failures {
+            self.st.aborted = Some(SimError::TaskAborted {
+                stage: self.st.name.clone(),
+                failures,
+            });
+            return;
+        }
+        self.st.faults.task_retries += 1;
+        self.requeue(idx);
+        self.after_core_freed(node, engine);
+        self.dispatch_free_cores(engine);
+        self.pump(engine);
+    }
+
+    /// A node dies: running attempts there are killed and retried
+    /// elsewhere, queued work migrates, and the loss is logged so the
+    /// simulation layer can drop the node's shuffle outputs and cached
+    /// partitions. Transfers already in flight *on* the dead node's devices
+    /// from other nodes' tasks keep going — the model's stand-in for
+    /// re-fetching from surviving HDFS replicas.
+    fn lose_node(&mut self, node: usize, engine: &mut Engine<ExecWorld>) {
+        if node >= self.dead.len() || self.dead[node] {
+            return;
+        }
+        if self.dead.iter().filter(|&&d| !d).count() <= 1 {
+            return; // Never kill the last node; a dead cluster simulates nothing.
+        }
+        self.dead[node] = true;
+        self.lost_log.push(NodeId(node));
+        let victims: Vec<usize> = self
+            .st
+            .attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.dead && a.remaining > 0 && a.node.0 == node)
+            .map(|(i, _)| i)
+            .collect();
+        for aidx in victims {
+            let idx = self.st.attempts[aidx].task;
+            self.kill_attempt(aidx, engine);
+            // Executor loss does not count toward spark.task.maxFailures
+            // (Spark treats ExecutorLostFailure as the executor's fault,
+            // not the task's). Requeue unless a sibling attempt survives.
+            let t = &self.st.tasks[idx];
+            if !t.done && t.running.is_empty() {
+                self.st.faults.task_retries += 1;
+                self.requeue(idx);
+            }
+            // The attempt's core went down with the node: neither reused
+            // nor released.
+        }
+        // Orphaned locality queue entries migrate to the global queue.
+        if let Some(q) = self.st.node_queues.get_mut(node) {
+            let orphans = std::mem::take(q);
+            self.st.global_queue.extend(orphans);
+        }
+        self.dispatch_free_cores(engine);
+        self.pump(engine);
+    }
+
+    /// Puts a task back on a queue after its attempt was lost.
+    fn requeue(&mut self, idx: usize) {
+        let n = self.st.node_queues.len();
+        self.st.tasks[idx].pending = true;
+        match self.st.tasks[idx].spec.preferred_node {
+            Some(node) if node.0 < n && !self.dead[node.0] => {
+                self.st.node_queues[node.0].push_back(idx)
+            }
+            _ => self.st.global_queue.push_back(idx),
+        }
+    }
+
+    /// A core on `node` just came free: give it queued work, else (with
+    /// `spark.speculation`) a backup copy of a slow task, else release it.
+    fn after_core_freed(&mut self, node: NodeId, engine: &mut Engine<ExecWorld>) {
+        if self.dead[node.0] {
+            return;
+        }
         if let Some(next) = self.pick_task(node) {
-            self.start_task(next, node, engine);
+            self.start_attempt(next, node, false, engine);
+        } else if let Some(victim) = self.pick_speculation_target(engine.now(), node) {
+            self.st.tasks[victim].speculated = true;
+            self.st.faults.speculative_launched += 1;
+            self.start_attempt(victim, node, true, engine);
         } else {
             self.cluster.node_mut(node).release_core();
+        }
+    }
+
+    /// Spark 1.6's speculation check: once `speculation_quantile` of the
+    /// stage has finished, a running task whose elapsed time exceeds
+    /// `speculation_multiplier ×` the median successful duration is
+    /// eligible for one backup copy — on any host except the one already
+    /// running it (`dequeueSpeculativeTask` excludes the attempt's host).
+    /// Ties break toward the lowest task index; the 100 ms floor matches
+    /// Spark's minimum threshold.
+    fn pick_speculation_target(&self, now: SimTime, host: NodeId) -> Option<usize> {
+        if !self.conf.speculation {
+            return None;
+        }
+        let total = self.st.tasks.len();
+        let done = self.st.completed;
+        if total == 0 || (done as f64) < self.conf.speculation_quantile * total as f64 {
+            return None;
+        }
+        let mut durs = self.st.completed_durs.clone();
+        if durs.is_empty() {
+            return None;
+        }
+        durs.sort_by(f64::total_cmp);
+        let median = durs[durs.len() / 2];
+        let threshold = (self.conf.speculation_multiplier * median).max(0.1);
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, t) in self.st.tasks.iter().enumerate() {
+            if t.done || t.speculated || t.running.len() != 1 {
+                continue;
+            }
+            let a = &self.st.attempts[t.running[0]];
+            if a.speculative || a.node == host {
+                continue;
+            }
+            let elapsed = (now - a.start).as_secs();
+            if elapsed > threshold && best.is_none_or(|(_, e)| elapsed > e) {
+                best = Some((idx, elapsed));
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    fn release_slow_slots(&mut self, aidx: usize) {
+        let windows = std::mem::take(&mut self.st.attempts[aidx].slow_windows);
+        for widx in windows {
+            self.slow[widx].active -= 1;
         }
     }
 
@@ -398,6 +928,7 @@ impl ExecWorld {
             duration,
             channels: st.channels,
             tasks,
+            faults: st.faults,
             spans: st.spans,
         }
     }
@@ -414,6 +945,11 @@ mod tests {
         let spec = ClusterSpec::paper_cluster(n, 36, HybridConfig::SsdSsd);
         let conf = SparkConf::paper().with_cores(p).without_noise();
         Executor::new(ClusterState::new(&spec, p), conf)
+    }
+
+    fn exec_faulty(n: usize, p: u32, conf: SparkConf, plan: FaultPlan) -> Executor {
+        let spec = ClusterSpec::paper_cluster(n, 36, HybridConfig::SsdSsd);
+        Executor::with_faults(ClusterState::new(&spec, p), conf, plan)
     }
 
     fn compute_task(secs: f64) -> TaskSpec {
@@ -443,6 +979,7 @@ mod tests {
             name: name.into(),
             kind: StageKind::Result,
             tasks,
+            recovered_bytes: Bytes::ZERO,
         }
     }
 
@@ -450,7 +987,7 @@ mod tests {
     fn compute_only_stage_is_wave_scheduled() {
         // 8 tasks of 1 s on 1 node x 4 cores = 2 waves = 2 s.
         let mut e = exec(1, 4);
-        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8]));
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8])).unwrap();
         assert!(
             (m.duration.as_secs() - 2.0).abs() < 1e-9,
             "duration = {}",
@@ -458,13 +995,14 @@ mod tests {
         );
         assert_eq!(m.tasks.count, 8);
         assert!((m.tasks.avg_secs - 1.0).abs() < 1e-9);
+        assert!(m.faults.is_clean());
     }
 
     #[test]
     fn partial_wave_rounds_up() {
         // 5 tasks of 1 s on 4 cores: 2 waves.
         let mut e = exec(1, 4);
-        let m = e.run_stage(stage("s", vec![compute_task(1.0); 5]));
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 5])).unwrap();
         assert!((m.duration.as_secs() - 2.0).abs() < 1e-9);
     }
 
@@ -472,7 +1010,7 @@ mod tests {
     fn tasks_spread_across_nodes() {
         // 4 tasks of 1 s on 2 nodes x 2 cores: one wave.
         let mut e = exec(2, 2);
-        let m = e.run_stage(stage("s", vec![compute_task(1.0); 4]));
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 4])).unwrap();
         assert!((m.duration.as_secs() - 1.0).abs() < 1e-9);
     }
 
@@ -480,7 +1018,9 @@ mod tests {
     fn io_overlaps_compute_within_task() {
         let mut e = exec(1, 1);
         // io: 60 MiB at 60 MiB/s cap = 1 s; compute 3 s, concurrent => 3 s.
-        let m = e.run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 3.0)]));
+        let m = e
+            .run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 3.0)]))
+            .unwrap();
         assert!(
             (m.duration.as_secs() - 3.0).abs() < 1e-6,
             "duration = {}",
@@ -497,7 +1037,9 @@ mod tests {
         let spec = ClusterSpec::paper_cluster(1, 36, HybridConfig::HddHdd);
         let conf = SparkConf::paper().with_cores(8).without_noise();
         let mut e = Executor::new(ClusterState::new(&spec, 8), conf);
-        let m = e.run_stage(stage("s", vec![shuffle_read_task(15, 60.0, 0.0); 8]));
+        let m = e
+            .run_stage(stage("s", vec![shuffle_read_task(15, 60.0, 0.0); 8]))
+            .unwrap();
         // 8 x 15 MiB / 15 MiB/s = 8 s.
         assert!(
             (m.duration.as_secs() - 8.0).abs() < 1e-6,
@@ -526,6 +1068,7 @@ mod tests {
         let run = |p: u32, m_tasks: usize| {
             mk_exec(p)
                 .run_stage(stage("s", vec![shuffle_read_task(60, 60.0, 4.0); m_tasks]))
+                .unwrap()
                 .duration
                 .as_secs()
         };
@@ -551,7 +1094,7 @@ mod tests {
             t.preferred_node = Some(NodeId(i % 2));
             tasks.push(t);
         }
-        let m = e.run_stage(stage("s", tasks));
+        let m = e.run_stage(stage("s", tasks)).unwrap();
         // 4 tasks, 2 nodes x 1 core, 1 s each = 2 waves.
         assert!((m.duration.as_secs() - 2.0).abs() < 1e-9);
     }
@@ -586,7 +1129,7 @@ mod tests {
             ],
             compute_secs: 0.1,
         };
-        let m = e.run_stage(stage("s", vec![t; 4]));
+        let m = e.run_stage(stage("s", vec![t; 4])).unwrap();
         assert_eq!(m.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(512));
         assert_eq!(
             m.channel_bytes(IoChannel::ShuffleWrite),
@@ -603,8 +1146,8 @@ mod tests {
     #[test]
     fn consecutive_stages_share_the_clock() {
         let mut e = exec(1, 1);
-        let m1 = e.run_stage(stage("a", vec![compute_task(1.0)]));
-        let m2 = e.run_stage(stage("b", vec![compute_task(2.0)]));
+        let m1 = e.run_stage(stage("a", vec![compute_task(1.0)])).unwrap();
+        let m2 = e.run_stage(stage("b", vec![compute_task(2.0)])).unwrap();
         assert!((m1.duration.as_secs() - 1.0).abs() < 1e-9);
         assert!((m2.duration.as_secs() - 2.0).abs() < 1e-9);
     }
@@ -616,6 +1159,7 @@ mod tests {
             let conf = SparkConf::paper().with_cores(4).with_seed(seed);
             let mut e = Executor::new(ClusterState::new(&spec, 4), conf);
             e.run_stage(stage("s", vec![compute_task(1.0); 32]))
+                .unwrap()
                 .duration
                 .as_secs()
         };
@@ -637,8 +1181,164 @@ mod tests {
             }],
             compute_secs: 0.0,
         };
-        let m = e.run_stage(stage("s", vec![t; 3]));
+        let m = e.run_stage(stage("s", vec![t; 3])).unwrap();
         assert_eq!(m.tasks.count, 3);
         assert!(m.duration.as_secs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_failures_retry_and_stretch_the_stage() {
+        let conf = SparkConf::paper().with_cores(4).without_noise();
+        let plan = FaultPlan::new(11).with_event(FaultEvent::TaskFailures {
+            stage: None,
+            tasks: 2,
+            attempts: 1,
+            at_fraction: 0.5,
+        });
+        let mut e = exec_faulty(1, 4, conf, plan);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8])).unwrap();
+        assert_eq!(m.tasks.count, 8, "every task still completes");
+        assert!(m.faults.task_retries >= 1, "{:?}", m.faults);
+        assert!(
+            m.faults.wasted_task_secs > 0.0,
+            "failed attempts waste work"
+        );
+        // Clean schedule is exactly 2 waves; retries push past it.
+        assert!(m.duration.as_secs() > 2.0, "duration = {}", m.duration);
+        // Logical I/O is unaffected by retries of compute-only tasks.
+        assert!(m.channels.is_empty());
+    }
+
+    #[test]
+    fn same_fault_seed_same_victims() {
+        // Tasks of distinct lengths, so which task the fault hits is
+        // visible in the wasted-work accounting.
+        let run = |fault_seed: u64| {
+            let conf = SparkConf::paper().with_cores(4).without_noise();
+            let plan = FaultPlan::new(fault_seed).with_event(FaultEvent::TaskFailures {
+                stage: None,
+                tasks: 2,
+                attempts: 1,
+                at_fraction: 0.3,
+            });
+            let mut e = exec_faulty(2, 4, conf, plan);
+            let tasks = (0..16)
+                .map(|i| compute_task(0.5 + 0.25 * i as f64))
+                .collect();
+            let m = e.run_stage(stage("s", tasks)).unwrap();
+            (
+                m.duration.as_secs().to_bits(),
+                m.faults.wasted_task_secs.to_bits(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "fault seed moves the victims");
+    }
+
+    #[test]
+    fn too_many_failures_abort_the_stage() {
+        // A direct plan can exceed maxFailures even though profile-driven
+        // injection clamps below it: maxFailures 1 means the first failure
+        // is fatal.
+        let conf = SparkConf::paper()
+            .with_cores(2)
+            .without_noise()
+            .with_max_failures(1);
+        let plan = FaultPlan::new(3).with_event(FaultEvent::TaskFailures {
+            stage: None,
+            tasks: 1,
+            attempts: 1,
+            at_fraction: 0.5,
+        });
+        let mut e = exec_faulty(1, 2, conf, plan);
+        let err = e
+            .run_stage(stage("s", vec![compute_task(1.0); 4]))
+            .unwrap_err();
+        assert!(matches!(err, SimError::TaskAborted { failures: 1, .. }));
+    }
+
+    #[test]
+    fn executor_loss_retries_its_tasks_elsewhere() {
+        let conf = SparkConf::paper().with_cores(2).without_noise();
+        let plan = FaultPlan::new(0).with_event(FaultEvent::ExecutorLoss {
+            node: 1,
+            at_secs: 0.5,
+        });
+        let mut e = exec_faulty(2, 2, conf, plan);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8])).unwrap();
+        assert_eq!(m.tasks.count, 8);
+        assert_eq!(m.faults.task_retries, 2, "both running tasks retried");
+        assert!((m.faults.wasted_task_secs - 1.0).abs() < 1e-9);
+        // 8 tasks: 4 run by t=1 without the loss; with node 1 gone at 0.5,
+        // the survivors' 2 cores must run 6 tasks => 3 waves + the partial.
+        assert!(m.duration.as_secs() > 3.0, "duration = {}", m.duration);
+    }
+
+    #[test]
+    fn speculation_races_stragglers_and_first_finisher_wins() {
+        let conf = SparkConf::paper()
+            .with_cores(2)
+            .without_noise()
+            .with_speculation();
+        let plan = FaultPlan::new(0).with_event(FaultEvent::Straggler {
+            node: 0,
+            slots: None,
+            factor: 10.0,
+            from_secs: 0.0,
+            until_secs: 100.0,
+        });
+        let mut e = exec_faulty(2, 2, conf, plan);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 8])).unwrap();
+        assert_eq!(m.tasks.count, 8);
+        assert!(
+            m.faults.speculative_launched >= 1,
+            "{:?} should speculate",
+            m.faults
+        );
+        assert_eq!(
+            m.faults.speculative_wins, m.faults.speculative_launched,
+            "copies on the healthy node always beat 10x stragglers"
+        );
+        // Without speculation node 0's last tasks run 10 s; with it the
+        // stage ends once healthy-node copies finish.
+        assert!(m.duration.as_secs() < 10.0, "duration = {}", m.duration);
+        assert!(m.faults.wasted_task_secs > 0.0, "killed originals waste");
+    }
+
+    #[test]
+    fn straggler_slots_cap_concurrent_slowdowns() {
+        let conf = SparkConf::paper().with_cores(4).without_noise();
+        let plan = FaultPlan::new(0).with_event(FaultEvent::Straggler {
+            node: 0,
+            slots: Some(2),
+            factor: 3.0,
+            from_secs: 0.0,
+            until_secs: 100.0,
+        });
+        let mut e = exec_faulty(1, 4, conf, plan);
+        let m = e.run_stage(stage("s", vec![compute_task(1.0); 4])).unwrap();
+        // One wave of 4: two tasks at 3 s, two at 1 s.
+        assert!((m.duration.as_secs() - 3.0).abs() < 1e-9);
+        assert!((m.tasks.avg_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_executor_bit_for_bit() {
+        let spec = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
+        let conf = SparkConf::paper().with_cores(4).with_seed(99);
+        let tasks = vec![shuffle_read_task(60, 60.0, 1.0); 24];
+        let mut clean = Executor::new(ClusterState::new(&spec, 4), conf.clone());
+        let mut planned = Executor::with_faults(
+            ClusterState::new(&spec, 4),
+            conf.clone(),
+            FaultPlan::empty(),
+        );
+        let a = clean.run_stage(stage("s", tasks.clone())).unwrap();
+        let b = planned.run_stage(stage("s", tasks)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.duration.as_secs().to_bits(),
+            b.duration.as_secs().to_bits()
+        );
     }
 }

@@ -34,6 +34,9 @@ pub struct CachedRdd {
     pub partitions: u64,
     /// Fraction of partitions resident in memory (by bytes).
     pub mem_fraction: f64,
+    /// Fraction of the RDD's bytes lost to executor failures (cached
+    /// partitions — memory *and* local-disk spills — die with their node).
+    pub lost_fraction: f64,
 }
 
 impl CachedRdd {
@@ -52,18 +55,19 @@ impl CachedRdd {
     pub fn disk_bytes(&self) -> Bytes {
         match self.level {
             StorageLevel::MemoryOnly => Bytes::ZERO,
-            StorageLevel::MemoryAndDisk | StorageLevel::DiskOnly => {
-                self.serialized.scale(1.0 - self.mem_fraction)
-            }
+            StorageLevel::MemoryAndDisk | StorageLevel::DiskOnly => self
+                .serialized
+                .scale((1.0 - self.mem_fraction - self.lost_fraction).max(0.0)),
         }
     }
 
     /// Fraction of this RDD's bytes that must be *recomputed from lineage*
-    /// on every use (only non-zero for `MEMORY_ONLY` overflow).
+    /// on every use: `MEMORY_ONLY` overflow, or partitions lost with a
+    /// failed executor (Spark recomputes lost cached blocks from lineage).
     pub fn recompute_fraction(&self) -> f64 {
         match self.level {
             StorageLevel::MemoryOnly => 1.0 - self.mem_fraction,
-            _ => 0.0,
+            _ => self.lost_fraction,
         }
     }
 }
@@ -144,6 +148,7 @@ impl MemoryManager {
             serialized,
             partitions,
             mem_fraction,
+            lost_fraction: 0.0,
         };
         self.cached.insert(rdd, rec);
         rec
@@ -164,6 +169,26 @@ impl MemoryManager {
         let rec = self.cached.remove(&rdd)?;
         self.used = self.used.saturating_sub(rec.mem_bytes());
         Some(rec)
+    }
+
+    /// An executor died holding `frac` of every cached RDD's partitions
+    /// (memory blocks and local-disk spills alike): shrink the resident
+    /// fractions, free the pool bytes, and record the loss so later stages
+    /// recompute it from lineage. Losses compose multiplicatively.
+    pub fn evict_fraction(&mut self, frac: f64) {
+        let frac = frac.clamp(0.0, 1.0);
+        if frac == 0.0 {
+            return;
+        }
+        let mut ids: Vec<RddId> = self.cached.keys().copied().collect();
+        ids.sort_by_key(|r| r.0);
+        for rdd in ids {
+            let rec = self.cached.get_mut(&rdd).expect("id collected above");
+            let freed = rec.mem_bytes().scale(frac);
+            rec.mem_fraction *= 1.0 - frac;
+            rec.lost_fraction = 1.0 - (1.0 - rec.lost_fraction) * (1.0 - frac);
+            self.used = self.used.saturating_sub(freed);
+        }
     }
 }
 
@@ -281,6 +306,40 @@ mod tests {
             8,
         );
         assert!((b.mem_fraction - 0.25).abs() < 1e-9, "only 2 GiB left");
+    }
+
+    #[test]
+    fn evict_fraction_models_executor_loss() {
+        let mut m = mgr(10, 1);
+        let rec = m.materialize(
+            RddId(0),
+            StorageLevel::MemoryAndDisk,
+            1.0,
+            Bytes::from_gib(20),
+            20,
+        );
+        // 10 GiB in memory, 10 GiB spilled.
+        assert!((rec.mem_fraction - 0.5).abs() < 1e-9);
+        m.evict_fraction(0.5);
+        let rec = *m.get(RddId(0)).unwrap();
+        assert!((rec.mem_fraction - 0.25).abs() < 1e-9);
+        assert!((rec.lost_fraction - 0.5).abs() < 1e-9);
+        // Disk spills on the dead node are gone too: (1-0.5)(1-0.5) = 0.25.
+        assert_eq!(rec.disk_bytes(), Bytes::from_gib(5));
+        assert!((rec.recompute_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(m.used(), Bytes::from_gib(5));
+        // MEMORY_ONLY: loss folds into the overflow fraction.
+        m.materialize(
+            RddId(1),
+            StorageLevel::MemoryOnly,
+            1.0,
+            Bytes::from_gib(4),
+            4,
+        );
+        m.evict_fraction(0.25);
+        let rec = *m.get(RddId(1)).unwrap();
+        assert_eq!(rec.disk_bytes(), Bytes::ZERO);
+        assert!(rec.recompute_fraction() > 0.0);
     }
 
     #[test]

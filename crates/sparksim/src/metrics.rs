@@ -57,6 +57,51 @@ impl TaskStats {
     }
 }
 
+/// Fault-recovery accounting for a stage (all zeros on a clean run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Task attempts relaunched after a failure or executor loss.
+    pub task_retries: u64,
+    /// Speculative backup copies launched (`spark.speculation`).
+    pub speculative_launched: u64,
+    /// Tasks whose speculative copy finished first.
+    pub speculative_wins: u64,
+    /// Shuffle bytes re-produced by lineage recomputation.
+    pub recomputed_bytes: Bytes,
+    /// Task-seconds burnt by attempts that were killed or failed.
+    pub wasted_task_secs: f64,
+}
+
+impl FaultStats {
+    /// True when no fault machinery fired (the clean-run invariant).
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Accumulates another stage's counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.task_retries += other.task_retries;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_wins += other.speculative_wins;
+        self.recomputed_bytes += other.recomputed_bytes;
+        self.wasted_task_secs += other.wasted_task_secs;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} speculative={}/{} recomputed={} wasted={:.2}s",
+            self.task_retries,
+            self.speculative_wins,
+            self.speculative_launched,
+            self.recomputed_bytes,
+            self.wasted_task_secs
+        )
+    }
+}
+
 /// Everything measured about one executed stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageMetrics {
@@ -70,6 +115,8 @@ pub struct StageMetrics {
     pub channels: HashMap<IoChannel, ChannelStats>,
     /// Task-time statistics.
     pub tasks: TaskStats,
+    /// Fault-recovery accounting (all zeros when nothing was injected).
+    pub faults: FaultStats,
     /// Per-task execution spans, recorded only when
     /// [`crate::SparkConf::record_task_spans`] is set (see [`crate::trace`]).
     pub spans: Option<Vec<crate::trace::TaskSpan>>,
@@ -104,7 +151,11 @@ impl fmt::Display for StageMetrics {
             self.duration.to_string(),
             self.tasks.count,
             self.tasks.avg_secs
-        )
+        )?;
+        if !self.faults.is_clean() {
+            write!(f, "  [{}]", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -165,6 +216,15 @@ impl AppRun {
     pub fn total_channel_bytes(&self, ch: IoChannel) -> Bytes {
         self.stages.iter().map(|s| s.channel_bytes(ch)).sum()
     }
+
+    /// Fault-recovery counters summed over all stages.
+    pub fn total_faults(&self) -> FaultStats {
+        let mut acc = FaultStats::default();
+        for s in &self.stages {
+            acc.merge(&s.faults);
+        }
+        acc
+    }
 }
 
 impl fmt::Display for AppRun {
@@ -208,6 +268,7 @@ mod tests {
                 avg_io_secs: 0.5,
                 avg_cpu_secs: 1.5,
             },
+            faults: FaultStats::default(),
             spans: None,
         }
     }

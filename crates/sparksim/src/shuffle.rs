@@ -88,6 +88,10 @@ impl RegisteredShuffle {
 #[derive(Debug, Default)]
 pub struct ShuffleRegistry {
     outputs: HashMap<RddId, RegisteredShuffle>,
+    /// Fraction of each shuffle's map outputs lost to executor failures and
+    /// not yet recomputed. Kept beside `outputs` so the registered geometry
+    /// stays immutable.
+    lost: HashMap<RddId, f64>,
 }
 
 impl ShuffleRegistry {
@@ -133,6 +137,43 @@ impl ShuffleRegistry {
     /// True when no shuffle has been registered.
     pub fn is_empty(&self) -> bool {
         self.outputs.is_empty()
+    }
+
+    /// Records that `frac` of every registered shuffle's map outputs went
+    /// down with an executor (a node held `1/N` of each output). Losses
+    /// compose: two losses of 1/3 leave `(1 - 1/3)²` of the files.
+    pub fn mark_loss(&mut self, frac: f64) {
+        let frac = frac.clamp(0.0, 1.0);
+        if frac == 0.0 {
+            return;
+        }
+        for rdd in self.outputs.keys() {
+            let lost = self.lost.entry(*rdd).or_insert(0.0);
+            *lost = 1.0 - (1.0 - *lost) * (1.0 - frac);
+        }
+    }
+
+    /// Fraction of a shuffle's map outputs currently missing.
+    pub fn lost_fraction(&self, rdd: RddId) -> f64 {
+        self.lost.get(&rdd).copied().unwrap_or(0.0)
+    }
+
+    /// Marks a shuffle's output whole again (after its lost map outputs
+    /// were recomputed from lineage).
+    pub fn clear_loss(&mut self, rdd: RddId) {
+        self.lost.remove(&rdd);
+    }
+
+    /// Shuffles with missing map outputs, in deterministic (id) order.
+    pub fn damaged(&self) -> Vec<RddId> {
+        let mut ids: Vec<RddId> = self
+            .lost
+            .iter()
+            .filter(|(_, f)| **f > 0.0)
+            .map(|(rdd, _)| *rdd)
+            .collect();
+        ids.sort_by_key(|r| r.0);
+        ids
     }
 }
 
@@ -232,6 +273,29 @@ mod tests {
         let uniform = RegisteredShuffle { skew: 0.0, ..s };
         assert_eq!(uniform.straggler_factor(), 1.0);
         assert_eq!(uniform.reducer_bytes(0), uniform.bytes_per_reducer());
+    }
+
+    #[test]
+    fn losses_compose_and_clear() {
+        let mut reg = ShuffleRegistry::new();
+        reg.register(RegisteredShuffle {
+            rdd: RddId(1),
+            maps: 9,
+            reducers: 9,
+            total_bytes: Bytes::from_gib(1),
+            skew: 0.0,
+        });
+        assert_eq!(reg.lost_fraction(RddId(1)), 0.0);
+        assert!(reg.damaged().is_empty());
+        reg.mark_loss(1.0 / 3.0);
+        reg.mark_loss(1.0 / 3.0);
+        let lost = reg.lost_fraction(RddId(1));
+        assert!((lost - (1.0 - 4.0 / 9.0)).abs() < 1e-12, "lost = {lost}");
+        assert_eq!(reg.damaged(), vec![RddId(1)]);
+        reg.clear_loss(RddId(1));
+        assert_eq!(reg.lost_fraction(RddId(1)), 0.0);
+        // Unregistered shuffles are never marked.
+        assert_eq!(reg.lost_fraction(RddId(7)), 0.0);
     }
 
     #[test]

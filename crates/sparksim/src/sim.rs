@@ -3,6 +3,8 @@
 use doppio_cluster::{ClusterSpec, ClusterState};
 use doppio_dfs::{DfsConfig, Namenode};
 
+use doppio_faults::FaultPlan;
+
 use crate::dag::{plan_job, PlanContext};
 use crate::executor::Executor;
 use crate::memory::MemoryManager;
@@ -40,6 +42,7 @@ pub struct Simulation {
     cluster: ClusterSpec,
     conf: SparkConf,
     dfs: DfsConfig,
+    faults: FaultPlan,
 }
 
 impl Simulation {
@@ -49,6 +52,7 @@ impl Simulation {
             cluster,
             conf: SparkConf::paper(),
             dfs: DfsConfig::paper(),
+            faults: FaultPlan::empty(),
         }
     }
 
@@ -58,6 +62,7 @@ impl Simulation {
             cluster,
             conf,
             dfs: DfsConfig::paper(),
+            faults: FaultPlan::empty(),
         }
     }
 
@@ -65,6 +70,18 @@ impl Simulation {
     pub fn with_dfs(mut self, dfs: DfsConfig) -> Self {
         self.dfs = dfs;
         self
+    }
+
+    /// Injects a deterministic fault plan into every run of this simulator.
+    /// An empty plan is bit-identical to a fault-free simulation.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan in effect (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The Spark configuration in effect.
@@ -99,9 +116,10 @@ impl Simulation {
         let mut namenode = Namenode::new(self.dfs, n);
         let mut shuffles = ShuffleRegistry::new();
         let mut memory = MemoryManager::new(self.conf.storage_pool(), n);
-        let mut executor = Executor::new(
+        let mut executor = Executor::with_faults(
             ClusterState::new(&self.cluster, self.conf.executor_cores),
             self.conf.clone(),
+            self.faults.clone(),
         );
 
         let mut stages = Vec::new();
@@ -118,7 +136,15 @@ impl Simulation {
                 plan_job(&mut ctx, job)?
             };
             for stage in planned {
-                stages.push(executor.run_stage(stage));
+                stages.push(executor.run_stage(stage)?);
+                // An executor lost mid-stage takes its shuffle files and
+                // cached partitions (1/N of each) down with it; later jobs
+                // recompute them from lineage.
+                for _node in executor.take_lost_nodes() {
+                    let frac = 1.0 / n as f64;
+                    shuffles.mark_loss(frac);
+                    memory.evict_fraction(frac);
+                }
             }
         }
         Ok((AppRun::new(app.name(), stages), executor.into_cluster()))

@@ -178,6 +178,10 @@ pub struct PlannedStage {
     pub kind: StageKind,
     /// The tasks; `tasks.len()` is the paper's `M`.
     pub tasks: Vec<TaskSpec>,
+    /// Shuffle bytes this stage re-produces for a lost map output
+    /// (zero for ordinary stages; set on lineage-recovery stages planned
+    /// after an executor loss).
+    pub recovered_bytes: Bytes,
 }
 
 impl doppio_engine::Fingerprintable for IoChannel {

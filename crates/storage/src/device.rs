@@ -153,6 +153,7 @@ pub struct Device {
     spec: DeviceSpec,
     server: PsServer,
     stats: IoStat,
+    speed_scale: f64,
 }
 
 impl Device {
@@ -162,6 +163,7 @@ impl Device {
             spec,
             server: PsServer::new(1.0),
             stats: IoStat::default(),
+            speed_scale: 1.0,
         }
     }
 
@@ -193,7 +195,7 @@ impl Device {
             assert!(t.request_size.as_u64() > 0, "request size must be positive");
         }
         let rs = t.request_size.min(t.bytes.max(Bytes::new(1)));
-        let bw = self.spec.bandwidth(t.dir, rs).as_bytes_per_sec();
+        let bw = self.spec.bandwidth(t.dir, rs).as_bytes_per_sec() * self.speed_scale;
         // Service demand in device-seconds.
         let demand = t.bytes.as_f64() / bw;
         // Per-flow cap in device-time rate: a byte-rate cap of T corresponds
@@ -248,6 +250,28 @@ impl Device {
         self.server.remove_flow(now, id).is_some()
     }
 
+    /// Multiplies the device's effective bandwidth by `factor` — the
+    /// degraded-disk window of a fault plan. Scales compose
+    /// multiplicatively, so a window ends by applying `1.0 / factor`.
+    /// Only transfers submitted while a scale is in force are affected;
+    /// in-flight transfers keep their original service demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale_speed(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed scale factor must be finite and positive, got {factor}"
+        );
+        self.speed_scale *= factor;
+    }
+
+    /// The current bandwidth multiplier (1.0 = healthy).
+    pub fn speed_scale(&self) -> f64 {
+        self.speed_scale
+    }
+
     /// Fraction of elapsed time the device was busy (like iostat `%util`).
     pub fn utilization(&self, elapsed: doppio_events::SimDuration) -> f64 {
         if elapsed.as_secs() == 0.0 {
@@ -300,6 +324,37 @@ mod tests {
         let done = drive_to_completion(&mut hdd);
         let expect = Bytes::from_mib(150).as_f64() / bw.as_bytes_per_sec();
         assert!((done.as_secs() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn speed_scale_stretches_new_transfers_and_windows_compose() {
+        let rs = Bytes::from_kib(30);
+        let spec = TransferSpec {
+            dir: IoDir::Read,
+            bytes: Bytes::from_mib(150),
+            request_size: rs,
+            stream_cap: None,
+            tag: 0,
+        };
+        let mut healthy = Device::new(presets::hdd_wd4000());
+        healthy.submit(SimTime::ZERO, spec);
+        let baseline = drive_to_completion(&mut healthy).as_secs();
+
+        let mut degraded = Device::new(presets::hdd_wd4000());
+        degraded.scale_speed(0.25);
+        assert!((degraded.speed_scale() - 0.25).abs() < 1e-12);
+        degraded.submit(SimTime::ZERO, spec);
+        let slow = drive_to_completion(&mut degraded).as_secs();
+        assert!((slow - 4.0 * baseline).abs() / baseline < 1e-9);
+
+        // Closing the window with the reciprocal restores full speed for
+        // transfers submitted afterwards.
+        degraded.scale_speed(1.0 / 0.25);
+        assert!((degraded.speed_scale() - 1.0).abs() < 1e-9);
+        let t0 = SimTime::ZERO + doppio_events::SimDuration::from_secs(slow);
+        degraded.submit(t0, spec);
+        let recovered = drive_to_completion(&mut degraded).as_secs() - slow;
+        assert!((recovered - baseline).abs() / baseline < 1e-9);
     }
 
     #[test]

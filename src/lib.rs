@@ -21,6 +21,9 @@
 //! * [`sparksim`] — the Spark-like in-memory computing framework simulator:
 //!   RDD lineage, DAG scheduler, sort-based shuffle, memory manager and
 //!   pipelined task executor.
+//! * [`faults`] — deterministic fault injection (task failures, executor
+//!   loss, disk degradation, stragglers) and the Spark-style recovery the
+//!   simulator performs: retries, lineage recomputation, speculation.
 //! * [`model`] — **the paper's contribution**: the I/O-aware analytical stage
 //!   model (Equation 1), the three-phase execution analysis, the four-sample-
 //!   run calibrator, and an Ernest-style baseline.
@@ -51,6 +54,7 @@ pub use doppio_cluster as cluster;
 pub use doppio_dfs as dfs;
 pub use doppio_engine as engine;
 pub use doppio_events as events;
+pub use doppio_faults as faults;
 pub use doppio_model as model;
 pub use doppio_sparksim as sparksim;
 pub use doppio_storage as storage;

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
-//! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--runs R] [--jobs J]
+//! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
+//!                 [--runs R] [--jobs J] [--inject <profile>] [--fault-seed S]
 //! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
 //! doppio optimize [--paper] [--jobs J]
-//! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--sweep] [--jobs J]
+//! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
 //! doppio list
 //! ```
 //!
@@ -22,7 +23,7 @@ use doppio::events::Bytes;
 use doppio::model::phases::{break_point, classify, turning_point};
 use doppio::model::{Calibrator, PredictEnv, SimPlatform};
 use doppio::scenario::ScenarioSet;
-use doppio::sparksim::{IoChannel, Simulation, SparkConf};
+use doppio::sparksim::{FaultPlan, FaultProfile, IoChannel, Simulation, SparkConf};
 use doppio::storage::fio::{run_analytic, FioJob};
 use doppio::workloads::Workload;
 
@@ -61,9 +62,11 @@ USAGE:
   doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
       print effective-bandwidth/IOPS lookup tables
   doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
-                  [--runs R] [--jobs J]
+                  [--runs R] [--jobs J] [--inject <profile>] [--fault-seed S]
       run a workload on the discrete-event simulator; --runs R fans R seeded
-      replicas (seeds S..S+R) out over the scenario engine
+      replicas (seeds S..S+R) out over the scenario engine; --inject draws a
+      deterministic fault plan (seeded by --fault-seed) from a named profile
+      and reports the clean run next to the faulty one
   doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
       calibrate the Doppio model (4 sample runs) and compare exp vs model
   doppio optimize [--paper] [--jobs J]
@@ -73,12 +76,13 @@ USAGE:
       break-point analysis: b = BW/T, B = λ·b, phase classification
       (--sweep classifies every core count 1..=P)
   doppio list
-      list workloads and disk configurations
+      list workloads, disk configurations and fault profiles
 
 --jobs J sets the scenario-engine worker count (0 or absent = one per core);
 results are identical at any J — the engine preserves input order.
 configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=HDD)
-workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort";
+workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort
+fault profiles: flaky-tasks, executor-loss, slow-disk, stragglers, chaos";
 
 /// Fetches `--key value` from the argument list.
 fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -126,6 +130,16 @@ fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Re
     }
 }
 
+/// Fetches `--inject <profile>` if present.
+fn parse_fault_profile(args: &[String]) -> Result<Option<FaultProfile>, String> {
+    match opt(args, "--inject") {
+        None => Ok(None),
+        Some(name) => FaultProfile::parse(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown fault profile '{name}' (try `doppio list`)")),
+    }
+}
+
 /// Builds the scenario engine from `--jobs N` (0 = one worker per core;
 /// absent defaults to all cores). Results are identical at any setting —
 /// the engine preserves input order — so parallel is the safe default.
@@ -163,6 +177,11 @@ fn cmd_list() -> Result<(), String> {
             c.hdfs_device().name(),
             c.local_device().name()
         );
+    }
+    println!();
+    println!("fault profiles (simulate --inject <profile>):");
+    for p in FaultProfile::ALL {
+        println!("  {:<14} {}", p.name(), p.describe());
     }
     Ok(())
 }
@@ -219,6 +238,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let nodes: usize = parse_num(args, "--nodes", 3)?;
     let cores: u32 = parse_num(args, "--cores", 36)?;
     let seed: u64 = parse_num(args, "--seed", 0xD0_99_10)?;
+    let fault_seed: u64 = parse_num(args, "--fault-seed", 7)?;
     let runs: u64 = parse_num(args, "--runs", 1)?;
     let engine = parse_engine(args)?;
     let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
@@ -229,15 +249,29 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     };
 
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
+    let conf = SparkConf::paper().with_cores(cores);
+
+    // `--inject` expands a named profile into a concrete plan. The profile
+    // places events relative to the run's length, so a clean run supplies
+    // the horizon first; the plan itself depends only on (profile,
+    // fault-seed, nodes, horizon) and replays identically at any --jobs.
+    let injected: Option<(FaultProfile, f64, FaultPlan)> = match parse_fault_profile(args)? {
+        None => None,
+        Some(profile) => {
+            let clean = Simulation::with_conf(cluster.clone(), conf.clone().with_seed(seed))
+                .run(&app)
+                .map_err(|e| e.to_string())?;
+            let horizon = clean.total_time().as_secs();
+            Some((profile, horizon, profile.plan(fault_seed, nodes, horizon)))
+        }
+    };
+
     if runs > 1 {
         let seeds: Vec<u64> = (0..runs).map(|i| seed.wrapping_add(i)).collect();
-        let set = ScenarioSet::seeded_replicas(
-            workload.name(),
-            app,
-            cluster,
-            SparkConf::paper().with_cores(cores),
-            &seeds,
-        );
+        let mut set = ScenarioSet::seeded_replicas(workload.name(), app, cluster, conf, &seeds);
+        if let Some((_, _, plan)) = &injected {
+            set = set.with_fault_plan(plan.clone());
+        }
         let results = set.run_all(&engine).map_err(|e| e.to_string())?;
         let mins: Vec<f64> = results
             .iter()
@@ -253,15 +287,28 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             mean,
             spread
         );
-        for (s, m) in seeds.iter().zip(&mins) {
-            println!("  seed {s:>8}: {m:>7.1} min");
+        for ((s, m), r) in seeds.iter().zip(&mins).zip(&results) {
+            let faults = r.total_faults();
+            if faults.is_clean() {
+                println!("  seed {s:>8}: {m:>7.1} min");
+            } else {
+                println!("  seed {s:>8}: {m:>7.1} min  [{faults}]");
+            }
+        }
+        if let Some((profile, _, _)) = &injected {
+            println!(
+                "fault profile '{}' (fault seed {fault_seed})",
+                profile.name()
+            );
         }
         return Ok(());
     }
-    let run = Simulation::with_conf(
-        cluster,
-        SparkConf::paper().with_cores(cores).with_seed(seed),
-    )
+
+    let sim = Simulation::with_conf(cluster, conf.with_seed(seed));
+    let run = match &injected {
+        Some((_, _, plan)) => sim.with_faults(plan.clone()),
+        None => sim,
+    }
     .run(&app)
     .map_err(|e| e.to_string())?;
     println!("{run}");
@@ -278,6 +325,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             print!("  λ={l:.1}");
         }
         println!();
+    }
+    if let Some((profile, clean_secs, _)) = injected {
+        let faulty_secs = run.total_time().as_secs();
+        println!(
+            "fault injection '{}' (fault seed {fault_seed}):",
+            profile.name()
+        );
+        println!(
+            "  clean {:.1} min -> faulty {:.1} min ({:+.1}%)",
+            clean_secs / 60.0,
+            faulty_secs / 60.0,
+            (faulty_secs / clean_secs - 1.0) * 100.0
+        );
+        println!("  {}", run.total_faults());
     }
     Ok(())
 }
@@ -478,6 +539,45 @@ mod tests {
         ))
         .is_ok());
         assert!(cmd_list().is_ok());
+    }
+
+    #[test]
+    fn fault_profile_parsing() {
+        assert_eq!(parse_fault_profile(&argv("")).unwrap(), None);
+        assert_eq!(
+            parse_fault_profile(&argv("--inject executor-loss")).unwrap(),
+            Some(FaultProfile::ExecutorLoss)
+        );
+        assert_eq!(
+            parse_fault_profile(&argv("--inject chaos --fault-seed 3")).unwrap(),
+            Some(FaultProfile::Chaos)
+        );
+        assert!(parse_fault_profile(&argv("--inject gremlins")).is_err());
+        // Every profile listed in USAGE round-trips through the parser.
+        for p in FaultProfile::ALL {
+            assert!(USAGE.contains(p.name()), "USAGE lists '{}'", p.name());
+            assert_eq!(FaultProfile::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn usage_strings_agree_on_simulate_flags() {
+        // The module header (line 5) and the USAGE const drifted once;
+        // keep every simulate flag present in both.
+        for flag in [
+            "--workload",
+            "--nodes",
+            "--cores",
+            "--config",
+            "--paper",
+            "--seed",
+            "--runs",
+            "--jobs",
+            "--inject",
+            "--fault-seed",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
     }
 
     #[test]

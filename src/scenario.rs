@@ -17,7 +17,7 @@
 
 use doppio_cluster::ClusterSpec;
 use doppio_engine::{Engine, Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache};
-use doppio_sparksim::{App, AppRun, SimError, Simulation, SparkConf};
+use doppio_sparksim::{App, AppRun, FaultPlan, SimError, Simulation, SparkConf};
 
 /// One fully specified simulator evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,9 @@ pub struct Scenario {
     pub cluster: ClusterSpec,
     /// Spark configuration, including the RNG seed.
     pub conf: SparkConf,
+    /// Faults to inject (empty for a clean run). Part of the fingerprint,
+    /// so a faulty run never aliases the clean run's cache entry.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -40,7 +43,9 @@ impl Scenario {
     ///
     /// Propagates simulator planning failures.
     pub fn run(&self) -> Result<AppRun, SimError> {
-        Simulation::with_conf(self.cluster.clone(), self.conf.clone()).run(&self.app)
+        Simulation::with_conf(self.cluster.clone(), self.conf.clone())
+            .with_faults(self.faults.clone())
+            .run(&self.app)
     }
 }
 
@@ -50,6 +55,7 @@ impl Fingerprintable for Scenario {
         self.app.fingerprint_into(fp);
         self.cluster.fingerprint_into(fp);
         self.conf.fingerprint_into(fp);
+        self.faults.fingerprint_into(fp);
     }
 }
 
@@ -95,9 +101,21 @@ impl ScenarioSet {
                     app: app.clone(),
                     cluster: cluster.clone(),
                     conf: conf.clone().with_seed(seed),
+                    faults: FaultPlan::empty(),
                 })
                 .collect(),
         )
+    }
+
+    /// Applies one fault plan to every scenario in the batch — the faulty
+    /// twin of a clean sweep. Fingerprints shift with the plan, so faulty
+    /// results never collide with cached clean ones.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        for s in &mut self.scenarios {
+            s.faults = plan.clone();
+        }
+        self
     }
 
     /// The scenarios, in run order.
@@ -180,6 +198,22 @@ mod tests {
         let second = s.run_all(&engine).unwrap();
         assert_eq!(s.cache_hits(), 3, "second pass served from cache");
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fault_plan_changes_the_fingerprint() {
+        use doppio_sparksim::FaultEvent;
+        let clean = set(&[1]);
+        let faulty =
+            set(&[1]).with_fault_plan(FaultPlan::new(9).with_event(FaultEvent::ExecutorLoss {
+                node: 1,
+                at_secs: 5.0,
+            }));
+        assert_ne!(
+            clean.scenarios()[0].fingerprint(),
+            faulty.scenarios()[0].fingerprint(),
+            "a faulty run must not alias the clean run's cache entry"
+        );
     }
 
     #[test]

@@ -37,14 +37,13 @@ const WRITE_CHANNELS: [IoChannel; 3] = [
 
 /// Renders the trace: one tab-separated line per stage with
 /// `(M, t_avg, bytes_read, bytes_written, request_size)`, plus the total.
-fn snapshot() -> String {
+/// The runner maps a workload to its finished run, so the same renderer can
+/// snapshot the direct path and the scenario-engine path.
+fn snapshot_with(run_workload: impl Fn(Workload) -> doppio::sparksim::AppRun) -> String {
     let mut out = String::new();
     out.push_str("# workload\tstage\tM\tt_avg_bits\tbytes_read\tbytes_written\trequest_size\n");
     for workload in [Workload::Gatk4, Workload::Terasort] {
-        let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
-        let run = Simulation::with_conf(cluster, SparkConf::paper().with_cores(12).with_seed(SEED))
-            .run(&workload.scaled_app())
-            .expect("golden workload simulates");
+        let run = run_workload(workload);
         for s in run.stages() {
             let read: u64 = READ_CHANNELS
                 .iter()
@@ -86,6 +85,15 @@ fn snapshot() -> String {
     out
 }
 
+fn snapshot() -> String {
+    snapshot_with(|workload| {
+        let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
+        Simulation::with_conf(cluster, SparkConf::paper().with_cores(12).with_seed(SEED))
+            .run(&workload.scaled_app())
+            .expect("golden workload simulates")
+    })
+}
+
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
 }
@@ -114,6 +122,39 @@ fn per_stage_metrics_match_the_checked_in_fixture() {
             golden.lines().count(),
             current.lines().count(),
             diffs.join("\n")
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_the_fixture_at_any_thread_count() {
+    // The fault-injection path must be invisible when the plan is empty:
+    // routing the golden workloads through the scenario engine with an
+    // explicit empty `FaultPlan` — at one worker and at several — must
+    // reproduce the checked-in fixture bit for bit.
+    use doppio::engine::Engine;
+    use doppio::scenario::ScenarioSet;
+    use doppio::sparksim::FaultPlan;
+
+    let golden = std::fs::read_to_string(fixture_path())
+        .expect("fixture exists — run with DOPPIO_BLESS=1 to create it");
+    for jobs in [1usize, 4] {
+        let current = snapshot_with(|workload| {
+            let set = ScenarioSet::seeded_replicas(
+                workload.name(),
+                workload.scaled_app(),
+                ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd),
+                SparkConf::paper().with_cores(12),
+                &[SEED],
+            )
+            .with_fault_plan(FaultPlan::empty());
+            set.run_all(&Engine::with_jobs(jobs))
+                .expect("golden workload simulates")
+                .remove(0)
+        });
+        assert_eq!(
+            current, golden,
+            "empty fault plan drifted off the golden path at jobs={jobs}"
         );
     }
 }
