@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the `PsServer` water-filling hot path at flow counts
+//! F ∈ {10, 100, 1k, 10k}.
+//!
+//! The scenarios pin the costs the incremental scheduler is meant to remove:
+//!
+//! * `join_leave_capped/F` — add then remove one flow on a server whose F
+//!   background flows are all rate-capped far below the water level. The
+//!   naive implementation re-sorts and refills every flow on each mutation
+//!   (O(F log F)); the incremental one only touches the churned flow's
+//!   suffix (empty here), so the cost must stop growing linearly in F.
+//! * `advance_same_time/F` — repeated `advance` at an unchanged timestamp.
+//!   Naive: a full completion scan per call; incremental: a dirty-flag skip.
+//! * `next_completion_repeat/F` — repeated `next_completion` with no
+//!   mutation in between. Naive: O(F) scan per call; incremental: served
+//!   from the cached projection.
+//!
+//! Background flows use enormous demands so nothing completes during the
+//! measurement and the flow population stays fixed at F.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doppio_events::{FlowSpec, PsServer, SimTime};
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [10, 100, 1_000, 10_000];
+
+/// A server whose F background flows are all capped at 1.0 against a huge
+/// capacity: the water level sits far above every cap, so churned flows
+/// never disturb the background rates.
+fn capped_server(flows: usize) -> PsServer {
+    let mut s = PsServer::new(1e9);
+    for i in 0..flows as u64 {
+        s.add_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand: 1e12,
+                cap: 1.0,
+                tag: i,
+            },
+        );
+    }
+    s
+}
+
+fn bench_join_leave(c: &mut Criterion) {
+    for &f in &SIZES {
+        let mut s = capped_server(f);
+        let t = SimTime::from_secs(1.0);
+        c.bench_function(&format!("psserver_join_leave_capped/{f}"), |b| {
+            b.iter(|| {
+                let id = s.add_flow(
+                    t,
+                    FlowSpec {
+                        demand: 1e12,
+                        cap: 2.0,
+                        tag: u64::MAX,
+                    },
+                );
+                black_box(s.remove_flow(t, id))
+            })
+        });
+    }
+}
+
+fn bench_advance_same_time(c: &mut Criterion) {
+    for &f in &SIZES {
+        let mut s = capped_server(f);
+        let t = SimTime::from_secs(1.0);
+        s.advance(t);
+        c.bench_function(&format!("psserver_advance_same_time/{f}"), |b| {
+            b.iter(|| {
+                s.advance(t);
+                black_box(s.active_flows())
+            })
+        });
+    }
+}
+
+fn bench_next_completion(c: &mut Criterion) {
+    for &f in &SIZES {
+        let mut s = capped_server(f);
+        s.advance(SimTime::from_secs(1.0));
+        c.bench_function(&format!("psserver_next_completion_repeat/{f}"), |b| {
+            b.iter(|| black_box(s.next_completion()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150));
+    targets = bench_join_leave, bench_advance_same_time, bench_next_completion
+}
+criterion_main!(benches);

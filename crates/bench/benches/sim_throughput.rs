@@ -1,0 +1,211 @@
+//! Whole-simulator throughput harness: wall-clock events/sec and runs/sec
+//! on a large terasort-class scenario (32 nodes x 36 cores, >= 1k concurrent
+//! flows), written to `BENCH_sim_throughput.json` so the perf trajectory has
+//! a comparable datapoint per PR.
+//!
+//! Usage (via the bench target, `harness = false`):
+//!
+//! ```text
+//! cargo bench -p doppio-bench --bench sim_throughput            # full run
+//! cargo bench -p doppio-bench --bench sim_throughput -- --smoke # CI smoke
+//! cargo bench -p doppio-bench --bench sim_throughput -- --out p.json
+//! ```
+//!
+//! The harness validates the JSON it wrote by parsing it back with a strict
+//! minimal parser and fails loudly on any mismatch, so a malformed file can
+//! never be committed silently.
+
+use std::time::Instant;
+
+use doppio_bench::{banner, footer, json};
+use doppio_cluster::{ClusterSpec, HybridConfig};
+use doppio_events::Bytes;
+use doppio_sparksim::{AppRun, Simulation, SparkConf};
+use doppio_workloads::terasort;
+
+/// Pre-change baseline, measured on the same machine at the seed commit
+/// (603b573, before the incremental water-filling rewrite) with the same
+/// large scenario and `--runs 3`. Recorded here so every future run of the
+/// harness reports its speedup against the original O(F log F) scheduler.
+const BASELINE_LABEL: &str = "seed 603b573 (pre-incremental water-filling)";
+const BASELINE_RUNS_PER_SEC: f64 = 1.5648;
+const BASELINE_WALL_SECS_PER_RUN: f64 = 0.639;
+
+struct Config {
+    smoke: bool,
+    runs: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        runs: 3,
+        out: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--runs" => {
+                cfg.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs takes a positive integer");
+            }
+            "--out" => cfg.out = args.next().expect("--out takes a path"),
+            // Criterion-style flags cargo may forward; ignore them.
+            "--bench" | "--quiet" => {}
+            other if other.starts_with("--") => {}
+            _ => {}
+        }
+    }
+    if cfg.out.is_empty() {
+        cfg.out = if cfg.smoke {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/BENCH_sim_throughput.smoke.json"
+            )
+            .into()
+        } else {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_sim_throughput.json"
+            )
+            .into()
+        };
+    }
+    cfg
+}
+
+/// The measured scenario: a terasort-class shuffle on 32 nodes x 36 cores.
+/// 930 GiB over 128 MiB splits is ~7440 map tasks (several waves over the
+/// 1152 cores) and 256 MiB reduce ranges are ~3720 reduce tasks, so both
+/// stages keep every core busy with concurrent disk + NIC flows (>= 2 per
+/// running task, i.e. >= 2300 concurrent flows cluster-wide at peak).
+fn scenario(smoke: bool) -> (terasort::Params, usize, u32) {
+    if smoke {
+        (terasort::Params::scaled_down(), 4, 8)
+    } else {
+        (
+            terasort::Params {
+                records_b: 10,
+                data_bytes: Bytes::from_gib(930),
+                reducer_bytes: Bytes::from_mib(256),
+            },
+            32,
+            36,
+        )
+    }
+}
+
+fn run_once(params: &terasort::Params, nodes: usize, cores: u32, seed: u64) -> AppRun {
+    let app = terasort::app(params);
+    let cluster = ClusterSpec::paper_cluster(nodes, 36, HybridConfig::SsdHdd);
+    Simulation::with_conf(
+        cluster,
+        SparkConf::paper().with_cores(cores).with_seed(seed),
+    )
+    .run(&app)
+    .expect("throughput scenario simulates")
+}
+
+fn main() {
+    let cfg = parse_args();
+    banner(
+        "sim_throughput",
+        "simulator throughput (events/sec, runs/sec)",
+    );
+    let (params, nodes, cores) = scenario(cfg.smoke);
+    println!(
+        "  scenario: terasort {} on {nodes} nodes x {cores} cores ({} runs)",
+        params.data_bytes, cfg.runs
+    );
+
+    // Warm-up run (untimed): faults page allocators and branch predictors in.
+    let warm = run_once(&params, nodes, cores, 1);
+    let mut total_tasks = 0usize;
+    let mut events_fired = 0u64;
+    let mut max_disk_flows = 0usize;
+    let mut max_nic_flows = 0usize;
+    for s in warm.stages() {
+        total_tasks += s.tasks.count;
+        events_fired += s.sched.events_fired;
+        max_disk_flows = max_disk_flows.max(s.sched.max_disk_flows);
+        max_nic_flows = max_nic_flows.max(s.sched.max_nic_flows);
+    }
+    println!(
+        "  simulated time {} | {} tasks | {} events | peak flows/device disk={} nic={}",
+        warm.total_time(),
+        total_tasks,
+        events_fired,
+        max_disk_flows,
+        max_nic_flows
+    );
+
+    let start = Instant::now();
+    for i in 0..cfg.runs {
+        let run = run_once(&params, nodes, cores, 2 + i as u64);
+        std::hint::black_box(run.total_time());
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let runs_per_sec = cfg.runs as f64 / wall;
+    let wall_per_run = wall / cfg.runs as f64;
+    let events_per_sec = events_fired as f64 / wall_per_run;
+    println!(
+        "  wall {wall:.3}s for {} runs => {runs_per_sec:.4} runs/sec, {:.3}s/run, {:.0} events/sec",
+        cfg.runs, wall_per_run, events_per_sec
+    );
+
+    let mut doc = json::Object::new();
+    doc.put_str("schema", "doppio-sim-throughput/v1");
+    doc.put_str(
+        "scenario",
+        &format!(
+            "terasort {} x {nodes} nodes x {cores} cores, SsdHdd{}",
+            params.data_bytes,
+            if cfg.smoke { " (smoke)" } else { "" }
+        ),
+    );
+    doc.put_bool("smoke", cfg.smoke);
+    doc.put_u64("runs", cfg.runs as u64);
+    doc.put_u64("tasks_per_run", total_tasks as u64);
+    doc.put_u64("events_per_run", events_fired);
+    doc.put_u64("peak_disk_flows_per_device", max_disk_flows as u64);
+    doc.put_u64("peak_nic_flows_per_device", max_nic_flows as u64);
+    doc.put_f64("wall_secs", wall);
+    doc.put_f64("wall_secs_per_run", wall_per_run);
+    doc.put_f64("runs_per_sec", runs_per_sec);
+    doc.put_f64("events_per_sec", events_per_sec);
+    if !cfg.smoke {
+        let mut base = json::Object::new();
+        base.put_str("label", BASELINE_LABEL);
+        base.put_f64("runs_per_sec", BASELINE_RUNS_PER_SEC);
+        base.put_f64("wall_secs_per_run", BASELINE_WALL_SECS_PER_RUN);
+        doc.put_obj("baseline", base);
+        doc.put_f64("speedup_vs_baseline", runs_per_sec / BASELINE_RUNS_PER_SEC);
+        println!(
+            "  speedup vs baseline ({BASELINE_LABEL}): {:.2}x",
+            runs_per_sec / BASELINE_RUNS_PER_SEC
+        );
+    }
+
+    let rendered = doc.render();
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        std::fs::create_dir_all(dir).expect("output directory is creatable");
+    }
+    std::fs::write(&cfg.out, &rendered).expect("benchmark JSON is writable");
+    // Strict parse-back: a malformed file must fail the harness (and CI).
+    let parsed = json::parse(&rendered).expect("written JSON parses");
+    for key in [
+        "schema",
+        "runs_per_sec",
+        "events_per_sec",
+        "wall_secs_per_run",
+    ] {
+        assert!(parsed.has_key(key), "BENCH JSON is missing key {key:?}");
+    }
+    println!("  wrote {}", cfg.out);
+    footer("sim_throughput");
+}

@@ -119,21 +119,55 @@ impl NodeState {
         self.nic.advance(now);
     }
 
-    fn next_completion(&self) -> Option<SimTime> {
+    /// Minimum next-completion entry over the node's three servers without
+    /// forcing deferred integration: `(t, true)` is exact, `(t, false)` a
+    /// conservative lower bound. Ties prefer the exact entry (a stale bound
+    /// equal to an exact time cannot undercut it).
+    fn next_completion_lb(&mut self) -> Option<(SimTime, bool)> {
         [
-            self.hdfs.next_completion(),
-            self.local.next_completion(),
-            self.nic.next_completion(),
+            self.hdfs.next_completion_lb(),
+            self.local.next_completion_lb(),
+            self.nic.next_completion_lb(),
         ]
         .into_iter()
         .flatten()
-        .min()
+        .reduce(|a, b| {
+            if b.0 < a.0 || (b.0 == a.0 && b.1 && !a.1) {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// Forces deferred integration on any of the node's servers whose
+    /// stale next-completion bound undercuts `m` (all of them when `m` is
+    /// `None`, i.e. no exact candidate exists yet).
+    fn sync_stale_below(&mut self, m: Option<SimTime>) {
+        match self.hdfs.next_completion_lb() {
+            Some((t, false)) if m.is_none_or(|m| t < m) => {
+                let _ = self.hdfs.next_completion();
+            }
+            _ => {}
+        }
+        match self.local.next_completion_lb() {
+            Some((t, false)) if m.is_none_or(|m| t < m) => {
+                let _ = self.local.next_completion();
+            }
+            _ => {}
+        }
+        match self.nic.next_completion_lb() {
+            Some((t, false)) if m.is_none_or(|m| t < m) => {
+                let _ = self.nic.next_completion();
+            }
+            _ => {}
+        }
     }
 
     fn drain_completed(&mut self, tags: &mut Vec<u64>) {
-        tags.extend(self.hdfs.take_completed().into_iter().map(|(_, t)| t));
-        tags.extend(self.local.take_completed().into_iter().map(|(_, t)| t));
-        tags.extend(self.nic.take_completed().into_iter().map(|(_, t)| t));
+        self.hdfs.drain_completed_tags(tags);
+        self.local.drain_completed_tags(tags);
+        self.nic.drain_completed_tags(tags);
     }
 }
 
@@ -189,22 +223,107 @@ impl ClusterState {
     }
 
     /// Earliest pending I/O or network completion across the cluster.
-    pub fn next_io_completion(&self) -> Option<SimTime> {
-        self.nodes
-            .iter()
-            .filter_map(NodeState::next_completion)
-            .min()
+    /// Per-server projections are cached, so only resources that changed
+    /// since the last query are re-scanned.
+    pub fn next_io_completion(&mut self) -> Option<SimTime> {
+        // Fold the per-node estimates; servers with deferred integration
+        // contribute stale lower bounds. When every stale bound is at or
+        // above the smallest exact entry `m`, `m` is the true minimum
+        // (every true value is >= its bound >= m). Otherwise batch-sync all
+        // nodes whose stale bound undercuts `m` — under symmetric load
+        // completion times bunch, so syncing them one at a time would
+        // re-fold the whole cluster once per tied node. Syncing only adds
+        // exact entries, so a couple of rounds settle it.
+        loop {
+            let mut best_exact: Option<SimTime> = None;
+            let mut best_stale: Option<SimTime> = None;
+            for n in self.nodes.iter_mut() {
+                if let Some((t, exact)) = n.next_completion_lb() {
+                    let slot = if exact {
+                        &mut best_exact
+                    } else {
+                        &mut best_stale
+                    };
+                    *slot = Some(match *slot {
+                        Some(b) if b <= t => b,
+                        _ => t,
+                    });
+                }
+            }
+            match (best_exact, best_stale) {
+                (m, None) => return m,
+                (Some(m), Some(s)) if s >= m => return Some(m),
+                (m, Some(_)) => {
+                    for n in self.nodes.iter_mut() {
+                        n.sync_stale_below(m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cheap conservative lower bound on [`ClusterState::next_io_completion`]:
+    /// folds the per-server estimates without forcing any stale projection
+    /// to refresh, so it is O(nodes) with no per-flow work. The true next
+    /// completion time is `>=` the returned value. `None` means no flow can
+    /// complete while the current rates hold.
+    ///
+    /// Intended for arming wake-ups: schedule at the bound, and only when
+    /// the wake-up actually fires resolve the exact minimum with
+    /// [`ClusterState::next_io_completion`] (re-arming if it fired early).
+    /// Wake-ups that get superseded before firing then never pay for
+    /// exactness — which matters under symmetric load, where many servers
+    /// sit bit-for-bit tied at the minimum and a per-pump exact fold would
+    /// re-project all of them on every event.
+    pub fn next_io_completion_lb(&mut self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for n in self.nodes.iter_mut() {
+            if let Some((t, _)) = n.next_completion_lb() {
+                best = Some(match best {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        }
+        best
     }
 
     /// Advances every resource to `now` and returns the owner tags of all
-    /// flows that completed.
+    /// flows that completed. Convenience wrapper around
+    /// [`ClusterState::drain_io_completions_into`].
     pub fn drain_io_completions(&mut self, now: SimTime) -> Vec<u64> {
         let mut tags = Vec::new();
+        self.drain_io_completions_into(now, &mut tags);
+        tags
+    }
+
+    /// Advances every resource to `now`, appending the owner tags of all
+    /// completed flows to `tags` (cleared first). The caller owns the
+    /// buffer, so pump loops reuse one allocation across iterations.
+    pub fn drain_io_completions_into(&mut self, now: SimTime, tags: &mut Vec<u64>) {
+        tags.clear();
         for n in &mut self.nodes {
             n.advance(now);
-            n.drain_completed(&mut tags);
+            n.drain_completed(tags);
         }
-        tags
+    }
+
+    /// Per-device-class high-water marks of concurrent flows —
+    /// `(disk, nic)` maxima across nodes — and restarts the marks, so the
+    /// report layer can expose peak scheduler pressure per stage.
+    pub fn take_peak_flow_stats(&mut self) -> (usize, usize) {
+        let mut disk = 0;
+        let mut nic = 0;
+        for n in &mut self.nodes {
+            disk = disk
+                .max(n.hdfs.peak_transfers())
+                .max(n.local.peak_transfers());
+            nic = nic.max(n.nic.peak_active_flows());
+            n.hdfs.reset_peak();
+            n.local.reset_peak();
+            n.nic.reset_peak();
+        }
+        (disk, nic)
     }
 
     /// Total free cores across the cluster.

@@ -3,12 +3,44 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+/// Multiply-mix hasher for the engine's `EventId`-keyed tables.
+///
+/// Event ids are sequential `u64`s under our own control, so SipHash's
+/// flood resistance buys nothing here while its per-lookup cost sits on
+/// the hottest scheduling path. A fixed odd multiplier with a high-bits
+/// finish (splitmix64-style) spreads sequential keys across buckets and
+/// is fully deterministic across processes — no per-process random state,
+/// so event-calendar behaviour can never vary between runs.
+#[derive(Default)]
+struct EventIdHasher(u64);
+
+impl Hasher for EventIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; tolerate other widths anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type EventIdMap<V> = std::collections::HashMap<EventId, V, BuildHasherDefault<EventIdHasher>>;
+type EventIdSet = HashSet<EventId, BuildHasherDefault<EventIdHasher>>;
 
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
@@ -35,8 +67,8 @@ pub struct Engine<W> {
     queue: BinaryHeap<Reverse<EntryKey>>,
     // Actions are stored separately from the heap key so the heap ordering
     // does not need to reason about the (non-Ord) closures.
-    actions: std::collections::HashMap<EventId, (SimTime, Action<W>)>,
-    cancelled: HashSet<EventId>,
+    actions: EventIdMap<(SimTime, Action<W>)>,
+    cancelled: EventIdSet,
     next_id: u64,
     fired: u64,
 }
@@ -54,8 +86,8 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            actions: std::collections::HashMap::new(),
-            cancelled: HashSet::new(),
+            actions: EventIdMap::default(),
+            cancelled: EventIdSet::default(),
             next_id: 0,
             fired: 0,
         }

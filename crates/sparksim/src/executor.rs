@@ -24,14 +24,14 @@
 use std::collections::{HashMap, VecDeque};
 
 use doppio_cluster::{ClusterState, DiskRole, NodeId};
-use doppio_events::{Engine, FlowId, SimDuration, SimTime};
+use doppio_events::{Engine, EventId, FlowId, SimDuration, SimTime};
 use doppio_faults::{FaultEvent, FaultPlan};
 use doppio_storage::{IoDir, TransferSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::error::SimError;
-use crate::metrics::{ChannelStats, FaultStats, StageMetrics, TaskStats};
+use crate::metrics::{ChannelStats, FaultStats, SchedStats, StageMetrics, TaskStats};
 use crate::task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, TaskSpec};
 use crate::SparkConf;
 
@@ -133,6 +133,11 @@ pub(crate) struct ExecWorld {
     stage_seen: HashMap<String, u64>,
     stage_epoch: u64,
     pump_gen: u64,
+    /// The scheduled I/O wake-up, cancelled when a newer pump supersedes
+    /// it so stale no-op events never sit in the engine's calendar.
+    wakeup: Option<EventId>,
+    /// Reused buffer for harvested completion tags (no per-pump alloc).
+    tags_scratch: Vec<u64>,
     st: StageState,
 }
 
@@ -248,6 +253,8 @@ impl Executor {
                 stage_seen: HashMap::new(),
                 stage_epoch: 0,
                 pump_gen: 0,
+                wakeup: None,
+                tags_scratch: Vec::new(),
                 st: StageState::default(),
             },
         }
@@ -264,6 +271,7 @@ impl Executor {
         let total = stage.tasks.len();
         assert!(total > 0, "stage '{name}' has no tasks");
 
+        let events_base = self.engine.events_fired();
         self.world.begin_stage(stage);
         self.world.dispatch_free_cores(&mut self.engine);
         self.world.pump(&mut self.engine);
@@ -281,7 +289,15 @@ impl Executor {
         }
 
         let duration = self.engine.now() - start;
-        Ok(self.world.finish_stage(name, kind, duration))
+        let mut sched = SchedStats {
+            events_fired: self.engine.events_fired() - events_base,
+            events_pending: self.engine.pending(),
+            ..SchedStats::default()
+        };
+        let (disk, nic) = self.world.cluster.take_peak_flow_stats();
+        sched.max_disk_flows = disk;
+        sched.max_nic_flows = nic;
+        Ok(self.world.finish_stage(name, kind, duration, sched))
     }
 
     /// Consumes the executor, returning the cluster for post-run
@@ -882,23 +898,63 @@ impl ExecWorld {
     /// Harvests I/O completions at the current time (repeating until the
     /// cascade settles) and schedules the next wake-up.
     pub(crate) fn pump(&mut self, engine: &mut Engine<ExecWorld>) {
+        // `component_done` needs `&mut self`, so lend the scratch buffer out
+        // for the duration of the drain loop (keeping its allocation).
+        let mut tags = std::mem::take(&mut self.tags_scratch);
         loop {
-            let tags = self.cluster.drain_io_completions(engine.now());
+            self.cluster
+                .drain_io_completions_into(engine.now(), &mut tags);
             if tags.is_empty() {
                 break;
             }
-            for tag in tags {
+            for &tag in &tags {
                 self.component_done(tag as usize, true, engine);
             }
         }
+        self.tags_scratch = tags;
         self.pump_gen += 1;
         let gen = self.pump_gen;
-        if let Some(t) = self.cluster.next_io_completion() {
-            engine.schedule_at(t, move |w: &mut ExecWorld, e| {
-                if w.pump_gen == gen {
-                    w.pump(e);
-                }
-            });
+        // The previous wake-up is now superseded; cancelling it keeps the
+        // calendar free of stale no-op events (it is a no-op if that event
+        // is the one firing right now).
+        if let Some(old) = self.wakeup.take() {
+            engine.cancel(old);
+        }
+        // Arm the wake-up at the *cheap lower bound* of the next I/O
+        // completion rather than the exact minimum: most wake-ups are
+        // superseded by a later pump before they fire, so computing the
+        // exact cluster-wide minimum here (which must re-project every
+        // server sitting near it — all of them, under symmetric load)
+        // would be wasted on almost every pump. The exact time is resolved
+        // lazily in `wakeup_fired`, only when a wake-up actually fires.
+        self.wakeup = self.cluster.next_io_completion_lb().map(|t| {
+            engine.schedule_at(t.max(engine.now()), move |w: &mut ExecWorld, e| {
+                w.wakeup_fired(gen, e);
+            })
+        });
+    }
+
+    /// A wake-up armed at the conservative lower bound fired. Resolve the
+    /// exact next completion time from the (untouched) device state: if it
+    /// lies in the future the bound fired early — nothing can have
+    /// completed yet, so re-arm at the exact time *without advancing
+    /// anything* (this handler is then invisible to device integration,
+    /// keeping the timestamp chain identical to an eagerly-exact
+    /// schedule). Otherwise completions are due now: pump.
+    fn wakeup_fired(&mut self, gen: u64, engine: &mut Engine<ExecWorld>) {
+        if self.pump_gen != gen {
+            return;
+        }
+        match self.cluster.next_io_completion() {
+            Some(m) if m > engine.now() => {
+                self.wakeup = Some(engine.schedule_at(m, move |w: &mut ExecWorld, e| {
+                    w.wakeup_fired(gen, e);
+                }));
+            }
+            Some(_) => self.pump(engine),
+            // Unreachable while `gen` is live (flows cannot vanish without
+            // a pump), but disarming is the safe response.
+            None => self.wakeup = None,
         }
     }
 
@@ -907,6 +963,7 @@ impl ExecWorld {
         name: String,
         kind: crate::task::StageKind,
         duration: SimDuration,
+        sched: SchedStats,
     ) -> StageMetrics {
         let st = std::mem::take(&mut self.st);
         let count = st.tasks.len();
@@ -929,6 +986,7 @@ impl ExecWorld {
             channels: st.channels,
             tasks,
             faults: st.faults,
+            sched,
             spans: st.spans,
         }
     }

@@ -67,7 +67,7 @@ pub mod trace;
 pub use config::SparkConf;
 pub use doppio_faults::{FaultEvent, FaultPlan, FaultProfile};
 pub use error::SimError;
-pub use metrics::{AppRun, ChannelStats, FaultStats, StageMetrics, TaskStats};
+pub use metrics::{AppRun, ChannelStats, FaultStats, SchedStats, StageMetrics, TaskStats};
 pub use rdd::{ActionKind, App, AppBuilder, Cost, Job, JobId, RddId, ShuffleSpec, StorageLevel};
 pub use sim::Simulation;
 pub use task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, StageKind, TaskSpec};

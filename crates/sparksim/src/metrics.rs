@@ -102,6 +102,34 @@ impl fmt::Display for FaultStats {
     }
 }
 
+/// Event-scheduler pressure observed during one stage: how many discrete
+/// events the engine fired on the stage's behalf and the per-device
+/// high-water marks of concurrent flows the water-filling servers carried.
+/// These are observability counters only — they never feed back into
+/// simulated time, so recording them cannot perturb a golden trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Engine events fired while the stage ran.
+    pub events_fired: u64,
+    /// Events still pending in the engine when the stage finished
+    /// (superseded I/O wake-ups are cancelled, so this stays small).
+    pub events_pending: usize,
+    /// Peak concurrent transfers on any one disk device during the stage.
+    pub max_disk_flows: usize,
+    /// Peak concurrent flows on any one NIC during the stage.
+    pub max_nic_flows: usize,
+}
+
+impl fmt::Display for SchedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} pending={} peak_disk_flows={} peak_nic_flows={}",
+            self.events_fired, self.events_pending, self.max_disk_flows, self.max_nic_flows
+        )
+    }
+}
+
 /// Everything measured about one executed stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageMetrics {
@@ -117,6 +145,8 @@ pub struct StageMetrics {
     pub tasks: TaskStats,
     /// Fault-recovery accounting (all zeros when nothing was injected).
     pub faults: FaultStats,
+    /// Event-scheduler pressure while the stage ran.
+    pub sched: SchedStats,
     /// Per-task execution spans, recorded only when
     /// [`crate::SparkConf::record_task_spans`] is set (see [`crate::trace`]).
     pub spans: Option<Vec<crate::trace::TaskSpan>>,
@@ -269,6 +299,7 @@ mod tests {
                 avg_cpu_secs: 1.5,
             },
             faults: FaultStats::default(),
+            sched: SchedStats::default(),
             spans: None,
         }
     }

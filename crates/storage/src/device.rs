@@ -217,13 +217,24 @@ impl Device {
     }
 
     /// Integrates progress up to `now` (see [`PsServer::advance`]).
+    #[inline]
     pub fn advance(&mut self, now: SimTime) {
         self.server.advance(now);
     }
 
-    /// Time of the next transfer completion, if any.
-    pub fn next_completion(&self) -> Option<SimTime> {
+    /// Time of the next transfer completion, if any. Cached between calls
+    /// on an unchanged device (see [`PsServer::next_completion`]).
+    #[inline]
+    pub fn next_completion(&mut self) -> Option<SimTime> {
         self.server.next_completion()
+    }
+
+    /// Cheap next-completion estimate that never forces deferred
+    /// integration — exact when synced, else a conservative lower bound
+    /// (see [`PsServer::next_completion_lb`]).
+    #[inline]
+    pub fn next_completion_lb(&mut self) -> Option<(SimTime, bool)> {
+        self.server.next_completion_lb()
     }
 
     /// Drains completed transfers as `(flow id, tag)` pairs.
@@ -231,9 +242,27 @@ impl Device {
         self.server.take_completed()
     }
 
+    /// Appends the tags of completed transfers to `out` without allocating
+    /// (the hot-path variant of [`Device::take_completed`]).
+    #[inline]
+    pub fn drain_completed_tags(&mut self, out: &mut Vec<u64>) {
+        self.server.drain_completed_tags(out);
+    }
+
     /// Number of in-flight transfers.
     pub fn active_transfers(&self) -> usize {
         self.server.active_flows()
+    }
+
+    /// High-water mark of concurrent transfers since the last
+    /// [`Device::reset_peak`].
+    pub fn peak_transfers(&self) -> usize {
+        self.server.peak_active_flows()
+    }
+
+    /// Restarts the concurrent-transfer high-water mark (between stages).
+    pub fn reset_peak(&mut self) {
+        self.server.reset_peak();
     }
 
     /// Instantaneous byte rate of a specific flow.
