@@ -12,9 +12,17 @@
 //!   bit-identical to serial results** whenever the mapped function is a
 //!   pure function of its item (each worker owns its own simulator state;
 //!   scenario RNGs are seeded per scenario, never shared).
-//! * [`MemoCache`] — a thread-safe memoization cache with hit/miss
-//!   accounting and an optional size bound, so repeated points in grid
-//!   searches, coordinate descent and nested sweeps are computed once.
+//! * [`MemoCache`] — a thread-safe sharded-LRU memoization cache with
+//!   hit/miss/eviction accounting and an optional size bound, so repeated
+//!   points in grid searches, coordinate descent and nested sweeps are
+//!   computed once.
+//! * [`TaskPool`] — a long-lived worker pool with a bounded admission
+//!   queue and graceful drain, the execution substrate for the
+//!   `doppio-serve` request loop (where `par_map`'s batch shape does not
+//!   fit).
+//! * [`json`] — a dependency-free strict JSON writer/parser whose float
+//!   round-trip is bit-exact, shared by the benchmark reports, the stable
+//!   `AppRun` schema and the serve wire protocol.
 //! * [`Fingerprint`] / [`Fingerprintable`] — a canonical 128-bit scenario
 //!   fingerprint (workload id, cluster preset, SparkConf, device curves,
 //!   seed) used as the memoization key. Floats are hashed by canonical
@@ -29,9 +37,12 @@
 #![warn(missing_docs)]
 
 mod fingerprint;
+pub mod json;
 mod memo;
 mod pool;
+mod taskpool;
 
 pub use fingerprint::{Fingerprint, FingerprintBuilder, Fingerprintable};
 pub use memo::MemoCache;
 pub use pool::Engine;
+pub use taskpool::{SubmitError, TaskPool};

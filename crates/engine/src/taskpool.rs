@@ -1,0 +1,256 @@
+//! A long-lived worker pool with bounded admission.
+//!
+//! [`Engine::par_map`](crate::Engine::par_map) fans a *batch* out and
+//! joins; a server needs the opposite shape: workers that outlive any one
+//! request, a queue that refuses work instead of growing without bound,
+//! and a graceful drain on shutdown. [`TaskPool`] provides exactly that
+//! and nothing more — admission control is a [`TaskPool::try_submit`]
+//! that either enqueues or reports the current depth, so the caller (the
+//! `doppio-serve` admission layer) can shed load with a structured reply
+//! rather than block or buffer.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its bound; the payload is the depth observed at
+    /// rejection time (== the bound).
+    Full {
+        /// Jobs queued (not yet running) when the submission was refused.
+        depth: usize,
+    },
+    /// The pool is draining; no new work is accepted.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full { depth } => write!(f, "queue full at depth {depth}"),
+            SubmitError::Closed => write!(f, "pool is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of long-lived workers fed by a bounded FIFO queue.
+///
+/// Dropping the pool drains it: the queue closes, queued jobs still run,
+/// and workers are joined. Use [`TaskPool::drain`] to do the same
+/// explicitly.
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_bound: usize,
+}
+
+impl fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers.len())
+            .field("queue_bound", &self.queue_bound)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawns `workers` threads (clamped to ≥ 1) pulling from a queue
+    /// bounded at `queue_bound` jobs (clamped to ≥ 1).
+    pub fn new(workers: usize, queue_bound: usize) -> Self {
+        let workers = workers.max(1);
+        let queue_bound = queue_bound.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        TaskPool {
+            shared,
+            workers: handles,
+            queue_bound,
+        }
+    }
+
+    /// Admits `job` if the queue has room, else reports why not. Never
+    /// blocks.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("task pool poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.queue_bound {
+            return Err(SubmitError::Full {
+                depth: state.jobs.len(),
+            });
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("task pool poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The admission bound.
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Graceful drain: refuses new submissions, lets workers finish every
+    /// queued job, and joins them.
+    pub fn drain(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("task pool poisoned");
+            state.closed = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("task pool poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.available.wait(state).expect("task pool poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = TaskPool::new(4, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            pool.try_submit(move || tx.send(i).unwrap()).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_refuses_with_depth() {
+        let pool = TaskPool::new(1, 2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker until released.
+        pool.try_submit(move || {
+            let _ = block_rx.recv();
+        })
+        .unwrap();
+        // Wait for the worker to pick the blocker up so the queue is empty.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(|| {}).unwrap();
+        pool.try_submit(|| {}).unwrap();
+        match pool.try_submit(|| {}) {
+            Err(SubmitError::Full { depth }) => assert_eq!(depth, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(pool.queue_depth(), 2);
+        block_tx.send(()).unwrap();
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_finishes_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(2, 128);
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 50, "drain ran every job");
+    }
+
+    #[test]
+    fn closed_pool_refuses() {
+        let pool = TaskPool::new(1, 4);
+        {
+            let mut state = pool.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn clamps_to_minimums() {
+        let pool = TaskPool::new(0, 0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.queue_bound(), 1);
+        pool.drain();
+    }
+}

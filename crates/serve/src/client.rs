@@ -1,0 +1,178 @@
+//! A small blocking client for the serve protocol, used by the load
+//! generator, the CLI and the integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use doppio_engine::json::{self, Value};
+
+use crate::protocol::{Envelope, Request, PROTOCOL_VERSION};
+
+/// One parsed reply line.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Echoed request id.
+    pub id: String,
+    /// Success flag.
+    pub ok: bool,
+    /// Result served from the cache without evaluation.
+    pub cached: bool,
+    /// Result shared with a concurrent identical request (singleflight).
+    pub coalesced: bool,
+    /// Parsed `result` payload (success replies).
+    pub result: Option<Value>,
+    /// Error code (failure replies).
+    pub error_code: Option<String>,
+    /// Error message (failure replies).
+    pub error_message: Option<String>,
+    /// Queue depth reported by an `overloaded` reply.
+    pub queue_depth: Option<u64>,
+    /// The raw reply line, for bit-exact comparisons.
+    pub raw: String,
+}
+
+impl Reply {
+    /// Parses a reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the line is not a valid reply object.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        let v = json::parse(line)?;
+        let version = v
+            .get("v")
+            .and_then(Value::as_u64)
+            .ok_or("reply missing 'v'")?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!("reply speaks protocol {version}"));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("reply missing 'id'")?
+            .to_string();
+        let ok = v
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or("reply missing 'ok'")?;
+        let flag = |key: &str| v.get(key).and_then(Value::as_bool).unwrap_or(false);
+        let (result, error_code, error_message, queue_depth) = if ok {
+            (v.get("result").cloned(), None, None, None)
+        } else {
+            let e = v.get("error").ok_or("error reply missing 'error'")?;
+            (
+                None,
+                e.get("code").and_then(Value::as_str).map(String::from),
+                e.get("message").and_then(Value::as_str).map(String::from),
+                e.get("queue_depth").and_then(Value::as_u64),
+            )
+        };
+        Ok(Reply {
+            id,
+            ok,
+            cached: flag("cached"),
+            coalesced: flag("coalesced"),
+            result,
+            error_code,
+            error_message,
+            queue_depth,
+            raw: line.to_string(),
+        })
+    }
+}
+
+/// A blocking connection to a serve endpoint.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one already-assembled envelope (pipelining-friendly: does
+    /// not wait for the reply). Returns the id used.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, env: &Envelope) -> io::Result<String> {
+        let mut line = env.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(env.id.clone())
+    }
+
+    /// Sends `request` under a fresh auto-generated id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_request(
+        &mut self,
+        request: Request,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<String> {
+        self.next_id += 1;
+        let env = Envelope {
+            id: format!("c{}", self.next_id),
+            deadline_ms,
+            request,
+        };
+        self.send(&env)
+    }
+
+    /// Reads the next reply line. `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures and malformed replies.
+    pub fn recv(&mut self) -> io::Result<Option<Reply>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        Reply::parse(line.trim())
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `request` and blocks for its reply. Replies to *other*
+    /// outstanding ids raised by earlier pipelined sends are skipped, so
+    /// prefer a dedicated connection for call-style use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; EOF before the reply is an error.
+    pub fn call(&mut self, request: Request, deadline_ms: Option<u64>) -> io::Result<Reply> {
+        let id = self.send_request(request, deadline_ms)?;
+        loop {
+            match self.recv()? {
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before replying",
+                    ))
+                }
+                Some(r) if r.id == id => return Ok(r),
+                Some(_) => continue,
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # `doppio-serve` — a long-lived model-serving front end
+//!
+//! Everything below the CLI in this stack is batch-shaped: build a
+//! scenario, evaluate it, print. This crate adds the serving shape on
+//! top: a multi-threaded TCP server speaking a versioned newline-delimited
+//! JSON protocol ([`protocol`]), so a dashboard or sweep driver can hold a
+//! connection open and ask many what-if questions against a warm cache.
+//!
+//! The serving pipeline (one request's life):
+//!
+//! ```text
+//! client line ──▶ decode ──▶ cache? ──hit──▶ reply ("cached": true)
+//!                              │miss
+//!                              ▼
+//!                        singleflight ──joined──▶ park reply ticket
+//!                              │created
+//!                              ▼
+//!                     bounded queue ──full──▶ reply "overloaded" + depth
+//!                              │admitted
+//!                              ▼
+//!                    TaskPool worker: evaluate (serial engine),
+//!                    cache the rendered payload, reply to every
+//!                    waiter (honoring per-request deadlines)
+//! ```
+//!
+//! Three properties are load-bearing and tested:
+//!
+//! * **Bit-identity** — a served `simulate` result is byte-for-byte the
+//!   same JSON the in-process `ScenarioSet::run_all` path would produce,
+//!   every `f64` included (`tests/serve_identity.rs`).
+//! * **Bounded admission** — overload sheds with a structured
+//!   `overloaded` reply carrying the queue depth; no request is ever
+//!   silently dropped or indefinitely buffered
+//!   (`tests/serve_overload.rs`).
+//! * **Graceful drain** — shutdown stops accepting, finishes every
+//!   admitted job, and delivers its replies before exiting.
+//!
+//! [`loadgen`] is the measurement harness: closed-loop cold/hot phases
+//! plus a singleflight burst, reporting latency percentiles and the
+//! hot-over-cold speedup to `BENCH_serve_throughput.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+mod server;
+mod singleflight;
+
+pub use client::{Client, Reply};
+pub use protocol::{
+    Envelope, ErrorCode, ErrorReply, PredictSpec, Request, SimulateSpec, PROTOCOL_VERSION,
+};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use singleflight::Singleflight;

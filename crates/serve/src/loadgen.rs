@@ -1,0 +1,380 @@
+//! A closed-loop load generator for a serve endpoint.
+//!
+//! Three phases, all against real sockets:
+//!
+//! 1. **cold** — every request is a distinct `simulate` (fresh seed), so
+//!    each one pays a full evaluation;
+//! 2. **hot** — the same seed set replayed `hot_repeats` times, so every
+//!    request should come back `"cached": true`;
+//! 3. **burst** — one *fresh* seed pipelined from every connection at
+//!    once, exercising singleflight coalescing.
+//!
+//! The report records per-phase latency percentiles and request rates,
+//! the hot-over-cold speedup (the served cache's whole point), and the
+//! server's own final counters. In `--smoke` mode any malformed reply or
+//! a non-zero shed count is an error — that is the CI contract.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use doppio_cluster::HybridConfig;
+use doppio_engine::json::{self, Object, Value};
+use doppio_workloads::Workload;
+
+use crate::client::Client;
+use crate::protocol::{Request, SimulateSpec};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Distinct cold requests (each a fresh simulate seed).
+    pub cold_requests: usize,
+    /// Replays of the cold seed set in the hot phase.
+    pub hot_repeats: usize,
+    /// Base seed the cold phase counts up from.
+    pub base_seed: u64,
+    /// Smoke mode: smaller defaults are the caller's job; this flag makes
+    /// sheds and malformed replies hard errors.
+    pub smoke: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            connections: 4,
+            cold_requests: 24,
+            hot_repeats: 3,
+            base_seed: 0x10AD,
+            smoke: false,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The small, CI-sized variant.
+    #[must_use]
+    pub fn smoke(mut self) -> Self {
+        self.smoke = true;
+        self.connections = 2;
+        self.cold_requests = 6;
+        self.hot_repeats = 2;
+        self
+    }
+}
+
+/// The simulate request the generator hammers: the scaled-down terasort
+/// on a tiny cluster — heavy enough that a cold evaluation dwarfs a cache
+/// hit, light enough for CI.
+fn probe(seed: u64) -> Request {
+    Request::Simulate(SimulateSpec {
+        workload: Workload::Terasort,
+        nodes: 2,
+        cores: 4,
+        config: HybridConfig::SsdSsd,
+        seed,
+        paper: false,
+        inject: None,
+        fault_seed: 7,
+    })
+}
+
+#[derive(Debug, Default, Clone)]
+struct Phase {
+    latencies_ms: Vec<f64>,
+    elapsed_secs: f64,
+    cached: usize,
+    errors: Vec<String>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn phase_report(name: &str, p: &Phase) -> Object {
+    let mut sorted = p.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let mut o = Object::new();
+    o.put_str("phase", name);
+    o.put_u64("requests", p.latencies_ms.len() as u64);
+    o.put_u64("cached", p.cached as u64);
+    o.put_f64("elapsed_secs", p.elapsed_secs);
+    o.put_f64(
+        "reqs_per_sec",
+        if p.elapsed_secs > 0.0 {
+            p.latencies_ms.len() as f64 / p.elapsed_secs
+        } else {
+            0.0
+        },
+    );
+    o.put_f64("mean_ms", mean);
+    o.put_f64("p50_ms", percentile(&sorted, 0.50));
+    o.put_f64("p90_ms", percentile(&sorted, 0.90));
+    o.put_f64("p99_ms", percentile(&sorted, 0.99));
+    o
+}
+
+/// Runs one closed-loop phase: `seeds` split round-robin over
+/// `connections` threads, each sending one request at a time.
+fn closed_loop(addr: &str, connections: usize, seeds: &[u64]) -> Result<Phase, String> {
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<Result<(f64, bool), String>>();
+    std::thread::scope(|scope| {
+        for c in 0..connections.max(1) {
+            let tx = tx.clone();
+            let mine: Vec<u64> = seeds
+                .iter()
+                .copied()
+                .skip(c)
+                .step_by(connections.max(1))
+                .collect();
+            let addr = addr.to_string();
+            scope.spawn(move || {
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let _ = tx.send(Err(format!("connect: {e}")));
+                        return;
+                    }
+                };
+                for seed in mine {
+                    let t0 = Instant::now();
+                    match client.call(probe(seed), None) {
+                        Ok(r) if r.ok => {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            let _ = tx.send(Ok((ms, r.cached)));
+                        }
+                        Ok(r) => {
+                            let _ = tx.send(Err(format!(
+                                "request failed: {} ({})",
+                                r.error_code.unwrap_or_default(),
+                                r.error_message.unwrap_or_default()
+                            )));
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(format!("call: {e}")));
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut phase = Phase::default();
+        for msg in rx {
+            match msg {
+                Ok((ms, cached)) => {
+                    phase.latencies_ms.push(ms);
+                    phase.cached += usize::from(cached);
+                }
+                Err(e) => phase.errors.push(e),
+            }
+        }
+        phase.elapsed_secs = started.elapsed().as_secs_f64();
+        if phase.errors.is_empty() {
+            Ok(phase)
+        } else {
+            Err(format!(
+                "{} request(s) failed; first: {}",
+                phase.errors.len(),
+                phase.errors[0]
+            ))
+        }
+    })
+}
+
+/// Pipeline one *fresh* request from every connection at once and count
+/// how many replies were coalesced onto a single evaluation.
+fn burst(addr: &str, connections: usize, seed: u64) -> Result<(usize, usize), String> {
+    let mut clients = Vec::new();
+    for _ in 0..connections.max(1) {
+        clients.push(Client::connect(addr).map_err(|e| format!("connect: {e}"))?);
+    }
+    for client in &mut clients {
+        client
+            .send_request(probe(seed), None)
+            .map_err(|e| format!("send: {e}"))?;
+    }
+    let mut coalesced = 0;
+    let mut cached = 0;
+    for client in &mut clients {
+        let reply = client
+            .recv()
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("server closed mid-burst")?;
+        if !reply.ok {
+            return Err(format!(
+                "burst request failed: {}",
+                reply.error_code.unwrap_or_default()
+            ));
+        }
+        coalesced += usize::from(reply.coalesced);
+        cached += usize::from(reply.cached);
+    }
+    Ok((coalesced, cached))
+}
+
+/// Runs the full load-generation schedule and returns the report object.
+///
+/// # Errors
+///
+/// Fails on connection errors, malformed replies, failed requests, and —
+/// in smoke mode — on a non-zero server shed count.
+pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
+    let cold_seeds: Vec<u64> = (0..cfg.cold_requests as u64)
+        .map(|i| cfg.base_seed.wrapping_add(i))
+        .collect();
+
+    let cold = closed_loop(&cfg.addr, cfg.connections, &cold_seeds)?;
+    let hot_seeds: Vec<u64> = std::iter::repeat_with(|| cold_seeds.iter().copied())
+        .take(cfg.hot_repeats)
+        .flatten()
+        .collect();
+    let hot = closed_loop(&cfg.addr, cfg.connections, &hot_seeds)?;
+    let (burst_coalesced, burst_cached) = burst(
+        &cfg.addr,
+        cfg.connections,
+        cfg.base_seed.wrapping_add(0xBEEF_0000),
+    )?;
+
+    // Final server-side truth.
+    let mut client = Client::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
+    let stats_reply = client
+        .call(Request::Stats, None)
+        .map_err(|e| format!("stats: {e}"))?;
+    let stats = stats_reply.result.ok_or("stats reply had no result")?;
+    let counter = |key: &str| stats.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let shed = counter("shed");
+    if cfg.smoke && shed > 0 {
+        return Err(format!("smoke run shed {shed} request(s)"));
+    }
+
+    let cold_mean = cold.latencies_ms.iter().sum::<f64>() / cold.latencies_ms.len().max(1) as f64;
+    let hot_mean = hot.latencies_ms.iter().sum::<f64>() / hot.latencies_ms.len().max(1) as f64;
+
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-serve-throughput/v1");
+    o.put_bool("smoke", cfg.smoke);
+    o.put_u64("connections", cfg.connections as u64);
+    o.put_obj_arr(
+        "phases",
+        vec![phase_report("cold", &cold), phase_report("hot", &hot)],
+    );
+    o.put_f64(
+        "speedup_hot_vs_cold",
+        if hot_mean > 0.0 {
+            cold_mean / hot_mean
+        } else {
+            0.0
+        },
+    );
+    o.put_u64("hot_cache_hits", hot.cached as u64);
+    let mut b = Object::new();
+    b.put_u64("requests", cfg.connections.max(1) as u64);
+    b.put_u64("coalesced", burst_coalesced as u64);
+    b.put_u64("cached", burst_cached as u64);
+    o.put_obj("burst", b);
+    let mut s = Object::new();
+    for key in [
+        "admitted",
+        "completed",
+        "shed",
+        "coalesced",
+        "deadline_exceeded",
+    ] {
+        s.put_u64(key, counter(key));
+    }
+    if let Some(cache) = stats.get("cache") {
+        s.put_u64(
+            "cache_hits",
+            cache.get("hits").and_then(Value::as_u64).unwrap_or(0),
+        );
+        s.put_u64(
+            "cache_misses",
+            cache.get("misses").and_then(Value::as_u64).unwrap_or(0),
+        );
+    }
+    o.put_obj("server", s);
+    Ok(o)
+}
+
+/// Writes the report, then re-reads and strictly parses it back,
+/// verifying the fields the experiment tables depend on — a truncated or
+/// hand-mangled artifact fails loudly here rather than downstream.
+///
+/// # Errors
+///
+/// Propagates I/O failures and parse-back violations.
+pub fn write_report(path: &std::path::Path, report: &Object) -> Result<(), String> {
+    std::fs::write(path, report.render()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let v = json::parse(&text).map_err(|e| format!("parse-back {}: {e}", path.display()))?;
+    if v.get("schema").and_then(Value::as_str) != Some("doppio-serve-throughput/v1") {
+        return Err("parse-back: wrong or missing schema".into());
+    }
+    let phases = v
+        .get("phases")
+        .and_then(Value::as_arr)
+        .ok_or("parse-back: missing phases")?;
+    if phases.len() != 2 {
+        return Err(format!(
+            "parse-back: expected 2 phases, got {}",
+            phases.len()
+        ));
+    }
+    for p in phases {
+        for key in [
+            "requests",
+            "reqs_per_sec",
+            "mean_ms",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+        ] {
+            if p.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("parse-back: phase missing '{key}'"));
+            }
+        }
+    }
+    if v.get("speedup_hot_vs_cold")
+        .and_then(Value::as_f64)
+        .is_none()
+    {
+        return Err("parse-back: missing speedup_hot_vs_cold".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_ranked_values() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 6.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_preset_shrinks_the_run() {
+        let cfg = LoadgenConfig::default().smoke();
+        assert!(cfg.smoke);
+        assert!(cfg.cold_requests < LoadgenConfig::default().cold_requests);
+    }
+}

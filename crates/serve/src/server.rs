@@ -1,0 +1,722 @@
+//! The serving loop: accept, admit, deduplicate, evaluate, reply.
+//!
+//! # Threading model
+//!
+//! One **accept thread** owns the listener and spawns one detached
+//! **connection thread** per client; connection threads parse request
+//! lines and run the admission decision inline (cache lookup, singleflight
+//! join, queue submit — all non-blocking). Heavy evaluation happens on the
+//! fixed [`TaskPool`] **workers** behind a bounded FIFO queue; a worker
+//! completing a flight writes the reply to *every* waiter directly, so
+//! connection threads never block on each other's work.
+//!
+//! # Admission, in order
+//!
+//! 1. **Cache hit** — reply immediately (`"cached": true`), bypassing the
+//!    queue entirely. This is the served hot path.
+//! 2. **Singleflight join** — an identical request is already being
+//!    evaluated; park a reply ticket on the flight (`"coalesced": true`
+//!    when it lands) and consume no worker.
+//! 3. **Queue submit** — first arrival creates the flight and tries to
+//!    enqueue. A full queue *sheds*: the request is answered right away
+//!    with an `overloaded` error carrying the observed queue depth, never
+//!    buffered and never blocked on.
+//!
+//! Deadlines are honored at two points: a job whose deadline passed while
+//! queued is answered `deadline_exceeded` without being evaluated, and a
+//! waiter whose own deadline passed while the flight ran gets
+//! `deadline_exceeded` instead of the (still cached) result.
+//!
+//! # Determinism
+//!
+//! Workers evaluate with [`Engine::serial`] and build inputs exactly as
+//! the CLI and [`Scenario::run`] do, so a served `simulate` payload is
+//! bit-identical (every `f64` bit pattern) to serializing an in-process
+//! `ScenarioSet::run_all` result — the property `tests/serve_identity.rs`
+//! locks down.
+//!
+//! [`Scenario::run`]: ../../doppio/scenario/struct.Scenario.html
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use doppio_cloud::optimize::{grid_search_with, r1_reference, r2_reference, SearchSpace};
+use doppio_cloud::{CostBreakdown, CostEvaluator, DiskChoice, EvaluateCost, MemoizedEvaluator};
+use doppio_cluster::{presets, ClusterSpec, HybridConfig};
+use doppio_engine::json::Object;
+use doppio_engine::{Engine, Fingerprint, Fingerprintable, MemoCache, SubmitError, TaskPool};
+use doppio_model::whatif::failure_inflation;
+use doppio_model::{Calibrator, PredictEnv, SimPlatform};
+use doppio_sparksim::{FaultPlan, Simulation, SparkConf};
+
+use crate::protocol::{
+    config_name, error_reply_line, ok_reply_line, workload_name, Envelope, ErrorCode, ErrorReply,
+    PredictSpec, Request, SimulateSpec,
+};
+use crate::singleflight::Singleflight;
+
+/// Server configuration knobs (all have serving-sized defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Evaluation worker threads.
+    pub workers: usize,
+    /// Bound on queued (admitted but not yet running) jobs; submissions
+    /// beyond it are shed with `overloaded`.
+    pub queue_bound: usize,
+    /// Result cache capacity in entries (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Whether a remote `shutdown` request may drain the server.
+    pub allow_shutdown: bool,
+    /// Maximum accepted request-line length in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_bound: 64,
+            cache_capacity: 4096,
+            default_deadline_ms: None,
+            allow_shutdown: false,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Monotonic serving counters, all exposed by the `stats` command.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// A cloneable, mutex-serialized line writer over one client socket.
+/// Replies from connection threads and pool workers interleave safely;
+/// each `send_line` writes exactly one `\n`-terminated line.
+#[derive(Debug, Clone)]
+struct ConnWriter(Arc<Mutex<TcpStream>>);
+
+impl ConnWriter {
+    fn send_line(&self, line: &str) {
+        // One write per reply (and TCP_NODELAY on the socket): replies
+        // must not sit in Nagle's buffer waiting for a delayed ACK —
+        // that would put a ~40 ms floor under every cache hit.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut s = self.0.lock().expect("writer poisoned");
+        // A vanished client is not a server error; drop the reply.
+        let _ = s.write_all(&buf);
+    }
+}
+
+/// A reply ticket parked on a singleflight evaluation. The flight's
+/// waiter list is creation-ordered, so the creator is always first and
+/// every later ticket is a coalesced rider.
+#[derive(Debug)]
+struct Waiter {
+    id: String,
+    writer: ConnWriter,
+    deadline: Option<Instant>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    /// The actually-bound address (port 0 resolved), the drain-poke target.
+    bound: SocketAddr,
+    // `Option` so drain can take ownership (TaskPool::drain consumes).
+    pool: Mutex<Option<TaskPool>>,
+    cache: MemoCache<Fingerprint, Arc<str>>,
+    flights: Singleflight<Waiter>,
+    counters: Counters,
+    draining: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("cfg", &self.cfg)
+            .field("draining", &self.draining.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Starts a server per `cfg` and returns its handle.
+///
+/// # Errors
+///
+/// Fails when the listen address cannot be bound.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = if cfg.cache_capacity == 0 {
+        MemoCache::unbounded()
+    } else {
+        MemoCache::with_capacity(cfg.cache_capacity)
+    };
+    let inner = Arc::new(Inner {
+        bound: addr,
+        pool: Mutex::new(Some(TaskPool::new(cfg.workers, cfg.queue_bound))),
+        cache,
+        flights: Singleflight::new(),
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        cfg,
+    });
+    let accept_inner = Arc::clone(&inner);
+    let accept = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+    Ok(ServerHandle {
+        addr,
+        inner,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain: no new connections or work; queued jobs
+    /// finish and their replies are delivered. Returns immediately; use
+    /// [`join`](Self::join) to wait for completion.
+    pub fn shutdown(&self) {
+        begin_drain(&self.inner);
+    }
+
+    /// Drains and waits until every queued job has completed.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server drains on its own — i.e. until a remote
+    /// `shutdown` request (requires `allow_shutdown`) completes. This is
+    /// what `doppio serve` parks on.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Flags the drain and pokes the blocking `accept` awake with a throwaway
+/// self-connection.
+fn begin_drain(inner: &Arc<Inner>) {
+    if !inner.draining.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(inner.bound);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        stream.set_nodelay(true).ok();
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_inner = Arc::clone(inner);
+        // Detached: a connection thread exits when its client hangs up,
+        // and holds only Arc state, so drain need not track it.
+        std::thread::spawn(move || connection_loop(stream, &conn_inner));
+    }
+    // Graceful drain: finish every admitted job (delivering replies
+    // through the writers captured in their waiters) before exiting.
+    let pool = inner.pool.lock().expect("pool poisoned").take();
+    if let Some(pool) = pool {
+        pool.drain();
+    }
+}
+
+fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => ConnWriter(Arc::new(Mutex::new(w))),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.len() > inner.cfg.max_line_bytes {
+            inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            writer.send_line(&error_reply_line(
+                "",
+                &ErrorReply::new(
+                    ErrorCode::BadRequest,
+                    format!("request line exceeds {} bytes", inner.cfg.max_line_bytes),
+                ),
+            ));
+            return;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Envelope::decode(trimmed) {
+            Err(e) => {
+                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                writer.send_line(&error_reply_line(&e.id, &e.error));
+            }
+            Ok(env) => handle_request(inner, &writer, env),
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<Inner>, writer: &ConnWriter, env: Envelope) {
+    let Envelope {
+        id,
+        deadline_ms,
+        request,
+    } = env;
+    match request {
+        Request::Stats => {
+            let payload = stats_payload(inner).render_line();
+            writer.send_line(&ok_reply_line(&id, false, false, &payload));
+        }
+        Request::Shutdown => {
+            if !inner.cfg.allow_shutdown {
+                writer.send_line(&error_reply_line(
+                    &id,
+                    &ErrorReply::new(
+                        ErrorCode::ShutdownDisabled,
+                        "server started without --allow-shutdown",
+                    ),
+                ));
+                return;
+            }
+            let mut o = Object::new();
+            o.put_str("schema", "doppio-serve-shutdown/v1");
+            o.put_bool("draining", true);
+            let payload = o.render_line();
+            writer.send_line(&ok_reply_line(&id, false, false, &payload));
+            begin_drain(inner);
+        }
+        work => admit_work(inner, writer, id, deadline_ms, work),
+    }
+}
+
+fn admit_work(
+    inner: &Arc<Inner>,
+    writer: &ConnWriter,
+    id: String,
+    deadline_ms: Option<u64>,
+    request: Request,
+) {
+    let deadline = deadline_ms
+        .or(inner.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let fp = request.fingerprint();
+
+    // 1. Cache hit: answer inline, no queueing, no worker.
+    if let Some(payload) = inner.cache.get(&fp) {
+        writer.send_line(&ok_reply_line(&id, true, false, &payload));
+        return;
+    }
+
+    if inner.draining.load(Ordering::SeqCst) {
+        writer.send_line(&error_reply_line(
+            &id,
+            &ErrorReply::new(ErrorCode::ShuttingDown, "server is draining"),
+        ));
+        return;
+    }
+
+    // 2./3. Singleflight: first arrival creates the flight and enqueues;
+    // later identical requests ride along as extra waiters.
+    let waiter = Waiter {
+        id: id.clone(),
+        writer: writer.clone(),
+        deadline,
+    };
+    let created = inner.flights.join(fp, waiter);
+    if !created {
+        inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    let job_inner = Arc::clone(inner);
+    let submitted = {
+        let guard = inner.pool.lock().expect("pool poisoned");
+        match guard.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(pool) => pool.try_submit(move || run_flight(&job_inner, fp, &request, deadline)),
+        }
+    };
+    match submitted {
+        Ok(()) => {
+            inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            // Shed: tear the flight down and answer everyone parked on it
+            // (normally just us — joiners between `join` and here ride the
+            // same rejection) with a structured reply, never silence.
+            let err = match e {
+                SubmitError::Full { depth } => {
+                    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    ErrorReply {
+                        code: ErrorCode::Overloaded,
+                        message: "admission queue full; retry later".into(),
+                        queue_depth: Some(depth as u64),
+                    }
+                }
+                SubmitError::Closed => {
+                    ErrorReply::new(ErrorCode::ShuttingDown, "server is draining")
+                }
+            };
+            for w in inner.flights.complete(&fp) {
+                w.writer.send_line(&error_reply_line(&w.id, &err));
+            }
+        }
+    }
+}
+
+/// Worker-side evaluation of one flight. Exactly one reply per waiter,
+/// whichever branch runs.
+fn run_flight(
+    inner: &Arc<Inner>,
+    fp: Fingerprint,
+    request: &Request,
+    creator_deadline: Option<Instant>,
+) {
+    // Re-check the cache first — a prior flight for this fingerprint may
+    // have completed between our cache miss and this job running.
+    if let Some(payload) = inner.cache.get(&fp) {
+        let waiters = inner.flights.complete(&fp);
+        reply_ok_to_all(inner, waiters, true, &payload);
+        return;
+    }
+
+    // Deadline check at dequeue: if the creator's deadline passed while
+    // the job sat in the queue, answer without evaluating. Joiners (who
+    // by definition arrived later, with deadlines at least as late) are
+    // answered on the same flight; none is left waiting.
+    if creator_deadline.is_some_and(|d| Instant::now() > d) {
+        let waiters = inner.flights.complete(&fp);
+        let n = waiters.len() as u64;
+        inner
+            .counters
+            .deadline_exceeded
+            .fetch_add(n, Ordering::Relaxed);
+        let err = ErrorReply::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline passed while the request was queued",
+        );
+        for w in waiters {
+            w.writer.send_line(&error_reply_line(&w.id, &err));
+        }
+        return;
+    }
+
+    match evaluate(request) {
+        Ok(payload) => {
+            let payload: Arc<str> = payload.into();
+            inner.cache.insert(fp, Arc::clone(&payload));
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let waiters = inner.flights.complete(&fp);
+            reply_ok_to_all(inner, waiters, false, &payload);
+        }
+        Err(err) => {
+            // Evaluation errors are not cached: a transient failure must
+            // not poison the fingerprint forever.
+            for w in inner.flights.complete(&fp) {
+                w.writer.send_line(&error_reply_line(&w.id, &err));
+            }
+        }
+    }
+}
+
+/// Replies `payload` to every waiter, honoring per-waiter deadlines. The
+/// first waiter is the flight's creator; the rest are coalesced riders.
+fn reply_ok_to_all(inner: &Arc<Inner>, waiters: Vec<Waiter>, cached: bool, payload: &str) {
+    let now = Instant::now();
+    for (i, w) in waiters.into_iter().enumerate() {
+        if w.deadline.is_some_and(|d| now > d) {
+            inner
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            w.writer.send_line(&error_reply_line(
+                &w.id,
+                &ErrorReply::new(
+                    ErrorCode::DeadlineExceeded,
+                    "result ready after the request deadline",
+                ),
+            ));
+        } else {
+            w.writer
+                .send_line(&ok_reply_line(&w.id, cached, i > 0, payload));
+        }
+    }
+}
+
+fn stats_payload(inner: &Arc<Inner>) -> Object {
+    let c = &inner.counters;
+    let (workers, queue_bound, queue_depth) = {
+        let guard = inner.pool.lock().expect("pool poisoned");
+        match guard.as_ref() {
+            Some(p) => (p.workers(), p.queue_bound(), p.queue_depth()),
+            None => (0, 0, 0),
+        }
+    };
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-serve-stats/v1");
+    o.put_u64("workers", workers as u64);
+    o.put_u64("queue_bound", queue_bound as u64);
+    o.put_u64("queue_depth", queue_depth as u64);
+    o.put_u64("in_flight", inner.flights.in_flight() as u64);
+    o.put_u64("connections", c.connections.load(Ordering::Relaxed));
+    o.put_u64("admitted", c.admitted.load(Ordering::Relaxed));
+    o.put_u64("completed", c.completed.load(Ordering::Relaxed));
+    o.put_u64("shed", c.shed.load(Ordering::Relaxed));
+    o.put_u64("coalesced", c.coalesced.load(Ordering::Relaxed));
+    o.put_u64(
+        "deadline_exceeded",
+        c.deadline_exceeded.load(Ordering::Relaxed),
+    );
+    o.put_u64("bad_requests", c.bad_requests.load(Ordering::Relaxed));
+    let mut cache = Object::new();
+    cache.put_u64("hits", inner.cache.hits());
+    cache.put_u64("misses", inner.cache.misses());
+    cache.put_u64("evictions", inner.cache.evictions());
+    cache.put_u64("len", inner.cache.len() as u64);
+    cache.put_u64("capacity", inner.cache.capacity() as u64);
+    o.put_obj("cache", cache);
+    o.put_bool("draining", inner.draining.load(Ordering::SeqCst));
+    o
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation: the same inputs the CLI builds, run with a serial engine.
+// ---------------------------------------------------------------------------
+
+fn eval_err(e: impl std::fmt::Display) -> ErrorReply {
+    ErrorReply::new(ErrorCode::EvalFailed, e.to_string())
+}
+
+/// Evaluates a work request to its rendered result payload.
+pub(crate) fn evaluate(request: &Request) -> Result<String, ErrorReply> {
+    match request {
+        Request::Simulate(s) => eval_simulate(s),
+        Request::Predict(p) => eval_predict(p),
+        Request::Optimize { paper } => eval_optimize(*paper),
+        Request::WhatIf {
+            rate,
+            at_fraction,
+            max_failures,
+        } => Ok(eval_whatif(*rate, *at_fraction, *max_failures)),
+        Request::Stats | Request::Shutdown => Err(ErrorReply::new(
+            ErrorCode::BadRequest,
+            "control commands are answered inline",
+        )),
+    }
+}
+
+/// Mirrors `doppio simulate` (and `Scenario::run`) input construction
+/// exactly — same cluster preset, same `SparkConf::paper()` base, same
+/// fault-plan horizon rule — so served results are bit-identical to
+/// in-process ones.
+fn eval_simulate(s: &SimulateSpec) -> Result<String, ErrorReply> {
+    let app = if s.paper {
+        s.workload.paper_app()
+    } else {
+        s.workload.scaled_app()
+    };
+    let cluster = ClusterSpec::paper_cluster(s.nodes, 36, s.config);
+    let conf = SparkConf::paper().with_cores(s.cores).with_seed(s.seed);
+    let faults = match s.inject {
+        None => FaultPlan::empty(),
+        Some(profile) => {
+            let clean = Simulation::with_conf(cluster.clone(), conf.clone())
+                .run(&app)
+                .map_err(eval_err)?;
+            let horizon = clean.total_time().as_secs();
+            profile.plan(s.fault_seed, s.nodes, horizon)
+        }
+    };
+    let run = Simulation::with_conf(cluster, conf)
+        .with_faults(faults)
+        .run(&app)
+        .map_err(eval_err)?;
+    Ok(doppio_sparksim::json::app_run(&run).render_line())
+}
+
+/// Mirrors `doppio predict`: calibrate on the profiling cluster, simulate
+/// the target for the "experiment" column, evaluate Eq. 1 per stage.
+fn eval_predict(p: &PredictSpec) -> Result<String, ErrorReply> {
+    let app = if p.paper {
+        p.workload.paper_app()
+    } else {
+        p.workload.scaled_app()
+    };
+    let engine = Engine::serial();
+    let platform = SimPlatform::new(
+        app.clone(),
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        p.profile_nodes,
+        SparkConf::paper(),
+    );
+    let report = Calibrator::default()
+        .calibrate_with(&platform, app.name(), &engine)
+        .map_err(eval_err)?;
+    let run = Simulation::with_conf(
+        ClusterSpec::paper_cluster(p.nodes, 36, p.config),
+        SparkConf::paper().with_cores(p.cores).without_noise(),
+    )
+    .run(&app)
+    .map_err(eval_err)?;
+    let env = PredictEnv::hybrid(p.nodes, p.cores, p.config);
+
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-predict/v1");
+    o.put_str("workload", workload_name(p.workload));
+    o.put_u64("nodes", p.nodes as u64);
+    o.put_u64("cores", u64::from(p.cores));
+    o.put_str("config", config_name(p.config));
+    o.put_obj_arr(
+        "stages",
+        run.stages()
+            .iter()
+            .map(|s| {
+                let pred = report
+                    .model
+                    .stages()
+                    .iter()
+                    .zip(run.stages())
+                    .filter(|(_, rs)| rs.name == s.name)
+                    .map(|(ms, _)| ms.predict(&env))
+                    .next()
+                    .unwrap_or(0.0);
+                let mut so = Object::new();
+                so.put_str("name", &s.name);
+                so.put_f64("exp_secs", s.duration.as_secs());
+                so.put_f64("model_secs", pred);
+                so
+            })
+            .collect(),
+    );
+    o.put_f64("total_exp_secs", run.total_time().as_secs());
+    o.put_f64("total_model_secs", report.model.predict(&env));
+    o.put_str_arr(
+        "warnings",
+        &report
+            .warnings
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    Ok(o.render_line())
+}
+
+fn disk_choice(dc: &DiskChoice) -> Object {
+    let mut o = Object::new();
+    o.put_str("type", &dc.disk_type.to_string());
+    o.put_f64("gb", dc.size.as_f64() / 1e9);
+    o
+}
+
+fn cost(c: &CostBreakdown) -> Object {
+    let mut o = Object::new();
+    o.put_f64("runtime_secs", c.runtime_secs);
+    o.put_f64("cpu_cost", c.cpu_cost);
+    o.put_f64("disk_cost", c.disk_cost);
+    o.put_f64("total", c.total());
+    o
+}
+
+/// Mirrors `doppio optimize`: calibrate GATK4, grid-search the paper's
+/// §VI space, price the R1/R2 reference configurations.
+fn eval_optimize(paper: bool) -> Result<String, ErrorReply> {
+    let app = if paper {
+        doppio_workloads::Workload::Gatk4.paper_app()
+    } else {
+        doppio_workloads::Workload::Gatk4.scaled_app()
+    };
+    let engine = Engine::serial();
+    let platform = SimPlatform::new(
+        app,
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        3,
+        SparkConf::paper(),
+    );
+    let model = Calibrator::default()
+        .calibrate_with(&platform, "GATK4", &engine)
+        .map_err(eval_err)?
+        .model;
+    let eval = MemoizedEvaluator::new(CostEvaluator::new(model));
+    let best = grid_search_with(&eval, &SearchSpace::paper(), &engine);
+    let r1 = eval.evaluate(&r1_reference(10, 16));
+    let r2 = eval.evaluate(&r2_reference(10, 16));
+
+    let mut cfg = Object::new();
+    cfg.put_u64("nodes", best.config.nodes as u64);
+    cfg.put_u64("vcpus", u64::from(best.config.vcpus));
+    cfg.put_obj("hdfs", disk_choice(&best.config.hdfs));
+    cfg.put_obj("local", disk_choice(&best.config.local));
+
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-optimize/v1");
+    o.put_bool("paper", paper);
+    o.put_obj("config", cfg);
+    o.put_obj("cost", cost(&best.cost));
+    o.put_u64("evaluations", best.evaluations as u64);
+    o.put_obj("r1", cost(&r1));
+    o.put_obj("r2", cost(&r2));
+    o.put_f64("savings_vs_r1", 1.0 - best.cost.total() / r1.total());
+    o.put_f64("savings_vs_r2", 1.0 - best.cost.total() / r2.total());
+    Ok(o.render_line())
+}
+
+fn eval_whatif(rate: f64, at_fraction: f64, max_failures: u32) -> String {
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-whatif/v1");
+    o.put_f64("rate", rate);
+    o.put_f64("at_fraction", at_fraction);
+    o.put_u64("max_failures", u64::from(max_failures));
+    o.put_f64(
+        "inflation",
+        failure_inflation(rate, at_fraction, max_failures),
+    );
+    o.render_line()
+}

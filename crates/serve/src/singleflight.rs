@@ -1,0 +1,91 @@
+//! Singleflight: collapse concurrent identical requests into one
+//! evaluation.
+//!
+//! The table maps a request [`Fingerprint`] to the list of waiters parked
+//! on the in-flight evaluation. The first arrival *creates* the flight
+//! (and goes on to evaluate); later arrivals *join* it and are answered
+//! when the creator completes. Waiters are plain values (reply tickets),
+//! not blocked threads — joining never occupies a worker.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use doppio_engine::Fingerprint;
+
+/// An in-flight deduplication table. `W` is the waiter ticket type.
+#[derive(Debug)]
+pub struct Singleflight<W> {
+    flights: Mutex<HashMap<Fingerprint, Vec<W>>>,
+}
+
+impl<W> Default for Singleflight<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Singleflight<W> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Singleflight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers `waiter` under `key`. Returns `true` when this call
+    /// created the flight — the caller must then evaluate and eventually
+    /// call [`complete`](Self::complete) — and `false` when it joined an
+    /// existing flight.
+    pub fn join(&self, key: Fingerprint, waiter: W) -> bool {
+        let mut flights = self.flights.lock().unwrap();
+        match flights.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                false
+            }
+            None => {
+                flights.insert(key, vec![waiter]);
+                true
+            }
+        }
+    }
+
+    /// Removes the flight and returns every waiter registered on it (the
+    /// creator's own ticket first). Safe to call for a key with no
+    /// flight — returns an empty list.
+    pub fn complete(&self, key: &Fingerprint) -> Vec<W> {
+        self.flights.lock().unwrap().remove(key).unwrap_or_default()
+    }
+
+    /// Number of flights currently in progress.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_engine::FingerprintBuilder;
+
+    fn key(n: u64) -> Fingerprint {
+        let mut fp = FingerprintBuilder::new();
+        fp.write_u64(n);
+        fp.finish()
+    }
+
+    #[test]
+    fn first_joiner_creates_later_joiners_pile_on() {
+        let sf: Singleflight<u32> = Singleflight::new();
+        assert!(sf.join(key(1), 10));
+        assert!(!sf.join(key(1), 11));
+        assert!(!sf.join(key(1), 12));
+        assert!(sf.join(key(2), 20), "distinct keys are distinct flights");
+        assert_eq!(sf.in_flight(), 2);
+
+        assert_eq!(sf.complete(&key(1)), vec![10, 11, 12]);
+        assert_eq!(sf.in_flight(), 1);
+        assert!(sf.complete(&key(1)).is_empty(), "idempotent");
+        assert!(sf.join(key(1), 13), "completed key starts a fresh flight");
+    }
+}

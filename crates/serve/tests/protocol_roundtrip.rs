@@ -1,0 +1,165 @@
+//! Property tests for the serve wire protocol: every representable
+//! request round-trips encode → decode unchanged, ids survive JSON
+//! escaping, and semantic fields always reach the fingerprint.
+
+use doppio_cluster::HybridConfig;
+use doppio_engine::Fingerprintable;
+use doppio_serve::protocol::{workload_name, PredictSpec, SimulateSpec};
+use doppio_serve::{Envelope, Request};
+use doppio_sparksim::FaultProfile;
+use doppio_workloads::Workload;
+use proptest::prelude::*;
+
+fn workload(idx: usize) -> Workload {
+    Workload::ALL[idx % Workload::ALL.len()]
+}
+
+fn config(idx: usize) -> HybridConfig {
+    HybridConfig::ALL[idx % HybridConfig::ALL.len()]
+}
+
+/// `0` = no injection; `1..` index into the profile list.
+fn inject(idx: usize) -> Option<FaultProfile> {
+    if idx == 0 {
+        None
+    } else {
+        Some(FaultProfile::ALL[(idx - 1) % FaultProfile::ALL.len()])
+    }
+}
+
+/// Ids exercise the escaper: quotes, backslashes, unicode, whitespace.
+fn id(n: u64) -> String {
+    const TEMPLATES: [&str; 5] = ["req", "a b", "q\"uote", "back\\slash", "λ-request"];
+    format!("{}-{n}", TEMPLATES[(n % TEMPLATES.len() as u64) as usize])
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    // Nested tuples: the vendored proptest implements Strategy for tuples
+    // up to arity 8.
+    (
+        (
+            0usize..64, // discriminates the variant and indexes enums
+            0usize..64, // workload / config selector
+            1usize..40, // nodes
+            1u32..64,   // cores
+        ),
+        (
+            // Integer wire fields travel as JSON numbers (f64), so only
+            // values up to 2^53 round-trip exactly (RFC 8259 interop note).
+            0u64..(1 << 53), // seed
+            any::<bool>(),   // paper
+            0usize..16,      // inject selector
+            0u64..(1 << 53), // fault seed
+        ),
+        (
+            0.0f64..1.0, // rate
+            0.0f64..1.0, // at_fraction
+            1u32..10,    // max failures
+        ),
+    )
+        .prop_map(
+            |((v, w, nodes, cores), (seed, paper, inj, fseed), (rate, at, maxf))| match v % 6 {
+                0 => {
+                    let inject = inject(inj);
+                    Request::Simulate(SimulateSpec {
+                        workload: workload(w),
+                        nodes,
+                        cores,
+                        config: config(w / 7),
+                        seed,
+                        paper,
+                        inject,
+                        // `fault_seed` only travels alongside `inject`; the
+                        // canonical form without injection is the default.
+                        fault_seed: if inject.is_some() { fseed } else { 7 },
+                    })
+                }
+                1 => Request::Predict(PredictSpec {
+                    workload: workload(w),
+                    nodes,
+                    cores,
+                    config: config(w / 7),
+                    paper,
+                    profile_nodes: 1 + nodes / 2,
+                }),
+                2 => Request::Optimize { paper },
+                3 => Request::WhatIf {
+                    rate,
+                    at_fraction: at,
+                    max_failures: maxf,
+                },
+                4 => Request::Stats,
+                _ => Request::Shutdown,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on every representable envelope.
+    #[test]
+    fn every_request_round_trips(
+        request in arb_request(),
+        id_n in any::<u64>(),
+        deadline in 0u64..100_000,
+        with_deadline in any::<bool>(),
+    ) {
+        let env = Envelope {
+            id: id(id_n),
+            deadline_ms: with_deadline.then_some(deadline),
+            request,
+        };
+        let line = env.encode();
+        prop_assert!(!line.contains('\n'), "NDJSON framing: {line}");
+        let back = Envelope::decode(&line);
+        prop_assert_eq!(back.as_ref().ok(), Some(&env), "line: {}", line);
+    }
+
+    /// The fingerprint ignores envelope metadata but never a semantic
+    /// field: same request under different ids/deadlines keys identically.
+    #[test]
+    fn fingerprint_is_envelope_independent(
+        request in arb_request(),
+        id_a in any::<u64>(),
+        id_b in any::<u64>(),
+        deadline in 0u64..100_000,
+    ) {
+        let a = Envelope { id: id(id_a), deadline_ms: None, request: request.clone() };
+        let b = Envelope { id: id(id_b), deadline_ms: Some(deadline), request };
+        let fa = Envelope::decode(&a.encode()).unwrap().request.fingerprint();
+        let fb = Envelope::decode(&b.encode()).unwrap().request.fingerprint();
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// Distinct simulate seeds never alias — the cache-key soundness the
+    /// serving layer's determinism rests on.
+    #[test]
+    fn seeds_separate_fingerprints(w in 0usize..7, seed in any::<u64>()) {
+        let spec = |s: u64| Request::Simulate(SimulateSpec {
+            workload: workload(w),
+            nodes: 3,
+            cores: 8,
+            config: HybridConfig::SsdSsd,
+            seed: s,
+            paper: false,
+            inject: None,
+            fault_seed: 7,
+        });
+        prop_assert_ne!(
+            spec(seed).fingerprint(),
+            spec(seed.wrapping_add(1)).fingerprint()
+        );
+    }
+}
+
+/// The wire names stay pinned: renaming a workload or config token is a
+/// protocol break and must be caught in review.
+#[test]
+fn wire_names_are_stable() {
+    let names: Vec<&str> = Workload::ALL.iter().map(|&w| workload_name(w)).collect();
+    assert_eq!(
+        names,
+        ["gatk4", "lr-small", "lr-large", "svm", "pagerank", "triangle", "terasort"]
+    );
+}

@@ -1,0 +1,190 @@
+//! Stable JSON serialization of run results.
+//!
+//! One schema — versioned via the `schema` field — is shared by the
+//! `doppio-serve` wire replies, the CLI's `simulate --json` report and any
+//! tooling that archives runs. The rules that make it *stable*:
+//!
+//! * Every field is always present (channels are emitted for all seven
+//!   [`IoChannel`]s in a fixed order, zeros included), so consumers never
+//!   branch on key existence.
+//! * Floats use shortest-round-trip rendering, so a serialized duration
+//!   parses back to **bit-identical** `f64`s — the property the serving
+//!   layer's determinism tests pin down.
+//! * Additive evolution only: new fields bump the minor semantics but any
+//!   breaking change bumps the version string
+//!   ([`APP_RUN_SCHEMA`], currently `doppio-app-run/v1`).
+//!
+//! Per-task spans ([`crate::trace::TaskSpan`]) are a debugging aid with
+//! `O(tasks)` volume and are deliberately **not** part of the schema.
+
+use doppio_engine::json::Object;
+
+use crate::metrics::{AppRun, StageMetrics};
+use crate::task::IoChannel;
+
+/// Schema identifier embedded in every serialized [`AppRun`].
+pub const APP_RUN_SCHEMA: &str = "doppio-app-run/v1";
+
+/// All I/O channels in canonical serialization order.
+const CHANNEL_ORDER: [IoChannel; 7] = [
+    IoChannel::HdfsRead,
+    IoChannel::HdfsWrite,
+    IoChannel::ShuffleRead,
+    IoChannel::ShuffleWrite,
+    IoChannel::PersistRead,
+    IoChannel::PersistWrite,
+    IoChannel::NetIn,
+];
+
+/// The stable wire name of a channel.
+pub fn channel_name(ch: IoChannel) -> &'static str {
+    match ch {
+        IoChannel::HdfsRead => "hdfs_read",
+        IoChannel::HdfsWrite => "hdfs_write",
+        IoChannel::ShuffleRead => "shuffle_read",
+        IoChannel::ShuffleWrite => "shuffle_write",
+        IoChannel::PersistRead => "persist_read",
+        IoChannel::PersistWrite => "persist_write",
+        IoChannel::NetIn => "net_in",
+    }
+}
+
+/// Serializes one stage.
+pub fn stage_metrics(s: &StageMetrics) -> Object {
+    let mut o = Object::new();
+    o.put_str("name", &s.name);
+    o.put_str("kind", &s.kind.to_string());
+    o.put_f64("duration_secs", s.duration.as_secs());
+
+    let mut channels = Object::new();
+    for ch in CHANNEL_ORDER {
+        let c = s.channel(ch);
+        let mut co = Object::new();
+        co.put_u64("bytes", c.bytes.as_u64());
+        co.put_u64("requests", c.requests);
+        channels.put_obj(channel_name(ch), co);
+    }
+    o.put_obj("channels", channels);
+
+    let mut tasks = Object::new();
+    tasks.put_u64("count", s.tasks.count as u64);
+    tasks.put_f64("avg_secs", s.tasks.avg_secs);
+    tasks.put_f64("min_secs", s.tasks.min_secs);
+    tasks.put_f64("max_secs", s.tasks.max_secs);
+    tasks.put_f64("avg_io_secs", s.tasks.avg_io_secs);
+    tasks.put_f64("avg_cpu_secs", s.tasks.avg_cpu_secs);
+    o.put_obj("tasks", tasks);
+
+    let mut faults = Object::new();
+    faults.put_u64("task_retries", s.faults.task_retries);
+    faults.put_u64("speculative_launched", s.faults.speculative_launched);
+    faults.put_u64("speculative_wins", s.faults.speculative_wins);
+    faults.put_u64("recomputed_bytes", s.faults.recomputed_bytes.as_u64());
+    faults.put_f64("wasted_task_secs", s.faults.wasted_task_secs);
+    o.put_obj("faults", faults);
+
+    let mut sched = Object::new();
+    sched.put_u64("events_fired", s.sched.events_fired);
+    sched.put_u64("events_pending", s.sched.events_pending as u64);
+    sched.put_u64("max_disk_flows", s.sched.max_disk_flows as u64);
+    sched.put_u64("max_nic_flows", s.sched.max_nic_flows as u64);
+    o.put_obj("sched", sched);
+
+    o
+}
+
+/// Serializes a whole run under [`APP_RUN_SCHEMA`].
+pub fn app_run(run: &AppRun) -> Object {
+    let mut o = Object::new();
+    o.put_str("schema", APP_RUN_SCHEMA);
+    o.put_str("app", run.app_name());
+    o.put_f64("total_secs", run.total_time().as_secs());
+    o.put_obj_arr("stages", run.stages().iter().map(stage_metrics).collect());
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulation, SparkConf};
+    use doppio_cluster::{ClusterSpec, HybridConfig};
+    use doppio_engine::json;
+
+    fn small_run() -> AppRun {
+        use crate::rdd::{AppBuilder, Cost, ShuffleSpec};
+        use doppio_events::Bytes;
+        let mut b = AppBuilder::new("wire");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(2));
+        let sh = b.group_by_key(
+            src,
+            "group",
+            ShuffleSpec::target_reducer_bytes(Bytes::from_mib(4)),
+            Cost::ZERO,
+            1.0,
+        );
+        b.count(sh, "reduce", Cost::ZERO);
+        Simulation::with_conf(
+            ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdSsd),
+            SparkConf::paper().with_cores(8),
+        )
+        .run(&b.build().unwrap())
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_and_shape_are_stable() {
+        let run = small_run();
+        let text = app_run(&run).render();
+        let v = json::parse(&text).expect("serialized run parses");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(APP_RUN_SCHEMA));
+        assert_eq!(v.get("app").unwrap().as_str(), Some("wire"));
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), run.stages().len());
+        for (sv, s) in stages.iter().zip(run.stages()) {
+            assert_eq!(sv.get("name").unwrap().as_str(), Some(s.name.as_str()));
+            // Every channel key is present in canonical order, zeros
+            // included.
+            for ch in CHANNEL_ORDER {
+                let c = sv.get("channels").unwrap().get(channel_name(ch)).unwrap();
+                assert_eq!(
+                    c.get("bytes").unwrap().as_u64(),
+                    Some(s.channel(ch).bytes.as_u64())
+                );
+            }
+            assert!(sv.get("faults").unwrap().has_key("task_retries"));
+            assert!(sv.get("sched").unwrap().has_key("events_fired"));
+        }
+    }
+
+    #[test]
+    fn durations_round_trip_bit_identically() {
+        let run = small_run();
+        let v = json::parse(&app_run(&run).render()).unwrap();
+        let total = v.get("total_secs").unwrap().as_f64().unwrap();
+        assert_eq!(
+            total.to_bits(),
+            run.total_time().as_secs().to_bits(),
+            "total duration survives serialization bit-exactly"
+        );
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        for (sv, s) in stages.iter().zip(run.stages()) {
+            let d = sv.get("duration_secs").unwrap().as_f64().unwrap();
+            assert_eq!(d.to_bits(), s.duration.as_secs().to_bits());
+            let avg = sv
+                .get("tasks")
+                .unwrap()
+                .get("avg_secs")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(avg.to_bits(), s.tasks.avg_secs.to_bits());
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = app_run(&small_run()).render();
+        let b = app_run(&small_run()).render();
+        assert_eq!(a, b, "same run serializes to the same bytes");
+    }
+}

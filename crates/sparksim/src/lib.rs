@@ -55,6 +55,7 @@ mod config;
 pub mod dag;
 mod error;
 mod executor;
+pub mod json;
 pub mod memory;
 mod metrics;
 mod rdd;

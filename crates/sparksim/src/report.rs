@@ -67,6 +67,35 @@ impl UtilizationReport {
     }
 }
 
+impl UtilizationReport {
+    /// Serializes the report under the stable `doppio-utilization/v1`
+    /// schema (see [`crate::json`] for the stability rules).
+    pub fn to_json(&self) -> doppio_engine::json::Object {
+        use doppio_engine::json::Object;
+        let mut o = Object::new();
+        o.put_str("schema", "doppio-utilization/v1");
+        o.put_f64("elapsed_secs", self.elapsed_secs);
+        o.put_f64("core_occupancy", self.core_occupancy);
+        o.put_str("verdict", self.verdict());
+        o.put_obj_arr(
+            "nodes",
+            self.nodes
+                .iter()
+                .map(|n| {
+                    let mut no = Object::new();
+                    no.put_u64("node", n.node as u64);
+                    no.put_f64("hdfs_util", n.hdfs_util);
+                    no.put_f64("local_util", n.local_util);
+                    no.put_f64("hdfs_gib", n.hdfs_gib);
+                    no.put_f64("local_gib", n.local_gib);
+                    no
+                })
+                .collect(),
+        );
+        o
+    }
+}
+
 impl fmt::Display for UtilizationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

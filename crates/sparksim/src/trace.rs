@@ -6,7 +6,7 @@
 //! [`to_chrome_trace`] serializes — nodes become processes, core slots
 //! become threads, stages colour the spans by name. JSON is emitted by
 //! hand; the format is flat enough that pulling in a serializer would be
-//! all cost (DESIGN.md §5).
+//! all cost (DESIGN.md §6).
 
 use std::fmt::Write as _;
 

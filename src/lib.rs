@@ -31,6 +31,9 @@
 //!   Count and Terasort workload definitions with the paper's parameters.
 //! * [`cloud`] — Google-Cloud-style pricing and size-dependent virtual-disk
 //!   bandwidth, plus the model-driven cost optimizer (Section VI).
+//! * [`serve`] — a long-lived model-serving front end: newline-delimited
+//!   JSON over TCP with a shared result cache, singleflight deduplication,
+//!   bounded admission with load shedding, and a load-generator harness.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub use doppio_engine as engine;
 pub use doppio_events as events;
 pub use doppio_faults as faults;
 pub use doppio_model as model;
+pub use doppio_serve as serve;
 pub use doppio_sparksim as sparksim;
 pub use doppio_storage as storage;
 pub use doppio_workloads as workloads;

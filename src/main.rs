@@ -7,11 +7,15 @@
 //! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
 //! doppio optimize [--paper] [--jobs J]
 //! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
+//! doppio serve   [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
+//!                [--port-file PATH] [--allow-shutdown]
+//! doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
+//!                [--out PATH] [--shutdown-after]
 //! doppio list
 //! ```
 //!
 //! Argument parsing is hand-rolled to keep the dependency set at the
-//! approved list (DESIGN.md §5).
+//! approved list (DESIGN.md §6).
 
 use std::process::ExitCode;
 
@@ -40,6 +44,8 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(rest),
         "optimize" => cmd_optimize(rest),
         "phases" => cmd_phases(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -75,6 +81,20 @@ USAGE:
   doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
       break-point analysis: b = BW/T, B = λ·b, phase classification
       (--sweep classifies every core count 1..=P)
+  doppio serve [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
+               [--port-file PATH] [--allow-shutdown]
+      run the model-serving front end: newline-delimited JSON over TCP with
+      a shared result cache, singleflight deduplication and a bounded
+      admission queue that sheds overload with structured 'overloaded'
+      replies; --port-file records the bound address for scripts and
+      --allow-shutdown lets a client drain the server remotely
+  doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
+                 [--out PATH] [--shutdown-after]
+      drive a serve endpoint through cold/hot closed-loop phases plus a
+      singleflight burst, recording latency percentiles and the
+      hot-over-cold speedup to BENCH_serve_throughput.json (strictly
+      parsed back); without --addr a throwaway in-process server is used;
+      --smoke shrinks the run for CI and fails on any shed request
   doppio list
       list workloads, disk configurations and fault profiles
 
@@ -494,6 +514,113 @@ fn cmd_phases(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let workers: usize = parse_num(args, "--workers", 2)?;
+    let queue_bound: usize = parse_num(args, "--queue-bound", 64)?;
+    let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0)?;
+    let cfg = doppio::serve::ServeConfig {
+        addr: opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string(),
+        workers,
+        queue_bound,
+        cache_capacity: parse_num(args, "--cache", 4096)?,
+        default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        allow_shutdown: flag(args, "--allow-shutdown"),
+        ..Default::default()
+    };
+    let handle = doppio::serve::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    let bound = handle.addr();
+    if let Some(path) = opt(args, "--port-file") {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    eprintln!("doppio-serve listening on {bound} ({workers} workers, queue bound {queue_bound})");
+    // Parks until a remote shutdown drains the server (or forever without
+    // --allow-shutdown; terminate the process to stop it).
+    handle.wait();
+    eprintln!("doppio-serve drained");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use doppio::serve::loadgen::{self, LoadgenConfig};
+
+    let smoke = flag(args, "--smoke");
+    let mut cfg = LoadgenConfig::default();
+    if smoke {
+        cfg = cfg.smoke();
+    }
+    cfg.connections = parse_num(args, "--connections", cfg.connections)?;
+    cfg.cold_requests = parse_num(args, "--requests", cfg.cold_requests)?;
+    cfg.hot_repeats = parse_num(args, "--repeats", cfg.hot_repeats)?;
+
+    // Without --addr, measure against a throwaway in-process server.
+    let (addr, local) = match opt(args, "--addr") {
+        Some(a) => (a.to_string(), None),
+        None => {
+            let handle = doppio::serve::start(doppio::serve::ServeConfig {
+                workers: 4,
+                ..Default::default()
+            })
+            .map_err(|e| format!("bind: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    cfg.addr = addr;
+
+    let report = loadgen::run(&cfg)?;
+    let out = std::path::PathBuf::from(opt(args, "--out").unwrap_or(if smoke {
+        "target/BENCH_serve_throughput.smoke.json"
+    } else {
+        "BENCH_serve_throughput.json"
+    }));
+    loadgen::write_report(&out, &report)?;
+
+    // The report is the artifact; echo the headline numbers.
+    let v = doppio::engine::json::parse(&report.render())
+        .map_err(|e| format!("report did not round-trip: {e}"))?;
+    let speedup = v
+        .get("speedup_hot_vs_cold")
+        .and_then(doppio::engine::json::Value::as_f64)
+        .unwrap_or(0.0);
+    if let Some(phases) = v
+        .get("phases")
+        .and_then(doppio::engine::json::Value::as_arr)
+    {
+        for p in phases {
+            let f = |k: &str| p.get(k).and_then(doppio::engine::json::Value::as_f64);
+            println!(
+                "{:<5} {:>4.0} reqs  {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms",
+                p.get("phase")
+                    .and_then(doppio::engine::json::Value::as_str)
+                    .unwrap_or("?"),
+                f("requests").unwrap_or(0.0),
+                f("reqs_per_sec").unwrap_or(0.0),
+                f("p50_ms").unwrap_or(0.0),
+                f("p99_ms").unwrap_or(0.0),
+            );
+        }
+    }
+    println!("hot-over-cold speedup: {speedup:.1}x");
+    println!("report: {}", out.display());
+
+    if flag(args, "--shutdown-after") {
+        let mut client = doppio::serve::Client::connect(&cfg.addr)
+            .map_err(|e| format!("shutdown connect: {e}"))?;
+        let reply = client
+            .call(doppio::serve::Request::Shutdown, None)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if !reply.ok {
+            return Err(format!(
+                "server refused shutdown: {}",
+                reply.error_code.unwrap_or_default()
+            ));
+        }
+    }
+    if let Some(handle) = local {
+        handle.join();
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +704,47 @@ mod tests {
             "--fault-seed",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_serve_and_loadgen_flag() {
+        for flag in [
+            "doppio serve",
+            "--addr",
+            "--workers",
+            "--queue-bound",
+            "--cache",
+            "--deadline-ms",
+            "--port-file",
+            "--allow-shutdown",
+            "doppio loadgen",
+            "--smoke",
+            "--connections",
+            "--requests",
+            "--repeats",
+            "--out",
+            "--shutdown-after",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_dispatched_command() {
+        // Every command the dispatcher in `main` accepts (except help
+        // aliases) must be documented.
+        for cmd in [
+            "doppio fio",
+            "doppio simulate",
+            "doppio predict",
+            "doppio optimize",
+            "doppio phases",
+            "doppio serve",
+            "doppio loadgen",
+            "doppio list",
+        ] {
+            assert!(USAGE.contains(cmd), "USAGE lists {cmd}");
         }
     }
 

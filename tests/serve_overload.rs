@@ -1,0 +1,111 @@
+//! Overload behavior: a saturated server sheds with structured
+//! `overloaded` replies instead of blocking, every request id gets
+//! exactly one reply, and the server keeps serving afterwards.
+
+use std::collections::HashMap;
+
+use doppio::cluster::HybridConfig;
+use doppio::serve::{start, Client, Envelope, Request, ServeConfig, SimulateSpec};
+use doppio::workloads::Workload;
+
+fn spec(seed: u64) -> SimulateSpec {
+    SimulateSpec {
+        workload: Workload::Terasort,
+        nodes: 2,
+        cores: 4,
+        config: HybridConfig::SsdSsd,
+        seed,
+        paper: false,
+        inject: None,
+        fault_seed: 7,
+    }
+}
+
+#[test]
+fn saturated_queue_sheds_and_recovers() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        queue_bound: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // Pipeline 30 distinct requests (distinct seeds → distinct cache
+    // keys, so nothing coalesces) far faster than one worker can drain.
+    const N: u64 = 30;
+    for i in 0..N {
+        client
+            .send(&Envelope {
+                id: format!("burst-{i}"),
+                deadline_ms: None,
+                request: Request::Simulate(spec(1000 + i)),
+            })
+            .expect("request sent");
+    }
+
+    // Exactly one reply per id, whatever the order they arrive in.
+    let mut replies = HashMap::new();
+    for _ in 0..N {
+        let r = client
+            .recv()
+            .expect("reply line parses")
+            .expect("no EOF before all replies");
+        assert!(
+            replies.insert(r.id.clone(), r).is_none(),
+            "an id replied twice"
+        );
+    }
+    for i in 0..N {
+        assert!(
+            replies.contains_key(&format!("burst-{i}")),
+            "burst-{i} never got a reply"
+        );
+    }
+
+    let ok = replies.values().filter(|r| r.ok).count();
+    let shed = replies
+        .values()
+        .filter(|r| !r.ok)
+        .inspect(|r| {
+            assert_eq!(
+                r.error_code.as_deref(),
+                Some("overloaded"),
+                "only load shedding may fail these requests: {:?}",
+                r.error_message
+            );
+            assert!(
+                r.queue_depth.is_some(),
+                "overloaded replies must report the observed queue depth"
+            );
+        })
+        .count();
+    assert!(
+        ok >= 1,
+        "the worker must complete at least the first request"
+    );
+    assert!(
+        shed >= 1,
+        "a bound-2 queue cannot absorb a 30-request burst without shedding"
+    );
+    assert_eq!(ok + shed, N as usize);
+
+    // The server is still healthy: stats answers inline and the shed
+    // counter agrees with what the client observed.
+    let stats = client.call(Request::Stats, None).expect("stats reply");
+    assert!(stats.ok, "stats failed after the burst");
+    let result = stats.result.expect("stats carries a result");
+    let shed_counter = result
+        .get("shed")
+        .and_then(|v| v.as_u64())
+        .expect("stats.shed");
+    assert_eq!(shed_counter, shed as u64, "server-side shed count agrees");
+
+    // And fresh work still evaluates.
+    let after = client
+        .call(Request::Simulate(spec(9_999)), None)
+        .expect("post-burst simulate");
+    assert!(after.ok, "server must keep serving after shedding");
+
+    handle.join();
+}

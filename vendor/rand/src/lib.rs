@@ -2,7 +2,7 @@
 //!
 //! The build environment for this repository has no access to crates.io,
 //! so the workspace vendors the small slice of the `rand` API it actually
-//! uses (DESIGN.md §5 keeps the approved dependency list at
+//! uses (DESIGN.md §6 keeps the approved dependency list at
 //! `rand`/`proptest`/`criterion`). The generator is xoshiro256** seeded
 //! via SplitMix64 — deterministic across platforms, which is exactly the
 //! property the simulator's per-seed reproducibility contract needs.
