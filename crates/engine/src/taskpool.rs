@@ -11,7 +11,9 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -48,6 +50,18 @@ struct PoolState {
 struct PoolShared {
     state: Mutex<PoolState>,
     available: Condvar,
+    /// Jobs that panicked; caught by the worker loop so the worker
+    /// survives to run the next job.
+    panics: AtomicU64,
+}
+
+/// Locks the pool state, recovering from poisoning. The queue's
+/// invariants hold between statements (jobs are pushed/popped whole), and
+/// job panics are already caught in `worker_loop`; a poisoned lock here
+/// could only come from a panic in `VecDeque` itself, where refusing all
+/// future work helps nobody.
+fn lock_state(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A fixed-size pool of long-lived workers fed by a bounded FIFO queue.
@@ -83,6 +97,7 @@ impl TaskPool {
                 closed: false,
             }),
             available: Condvar::new(),
+            panics: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -100,7 +115,7 @@ impl TaskPool {
     /// Admits `job` if the queue has room, else reports why not. Never
     /// blocks.
     pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
-        let mut state = self.shared.state.lock().expect("task pool poisoned");
+        let mut state = lock_state(&self.shared);
         if state.closed {
             return Err(SubmitError::Closed);
         }
@@ -117,12 +132,13 @@ impl TaskPool {
 
     /// Jobs queued but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("task pool poisoned")
-            .jobs
-            .len()
+        lock_state(&self.shared).jobs.len()
+    }
+
+    /// Jobs that panicked. Workers survive a panicking job — the panic is
+    /// caught, counted here, and the worker moves on to the next job.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
     }
 
     /// Worker thread count.
@@ -143,7 +159,7 @@ impl TaskPool {
 
     fn close_and_join(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("task pool poisoned");
+            let mut state = lock_state(&self.shared);
             state.closed = true;
         }
         self.shared.available.notify_all();
@@ -162,7 +178,7 @@ impl Drop for TaskPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("task pool poisoned");
+            let mut state = lock_state(shared);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -170,10 +186,19 @@ fn worker_loop(shared: &PoolShared) {
                 if state.closed {
                     return;
                 }
-                state = shared.available.wait(state).expect("task pool poisoned");
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job();
+        // A panicking job must not take the worker down with it — a pool
+        // whose workers die one panic at a time ends as a server that
+        // accepts work nobody will run. `AssertUnwindSafe` is the caller's
+        // contract: submitted jobs own their captures or guard them.
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -244,6 +269,40 @@ mod tests {
             state.closed = true;
         }
         assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = TaskPool::new(1, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        // Alternate panicking and normal jobs on the single worker: if a
+        // panic killed it, the later jobs would never run and drain would
+        // hang on an un-notified queue.
+        for i in 0..6 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} blows up");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 3, "non-panicking jobs all ran");
+    }
+
+    #[test]
+    fn panics_are_counted() {
+        let pool = TaskPool::new(2, 16);
+        for _ in 0..4 {
+            pool.try_submit(|| panic!("boom")).unwrap();
+        }
+        pool.try_submit(|| {}).unwrap();
+        // Drain joins the workers, so the count is final afterwards.
+        let shared = Arc::clone(&pool.shared);
+        pool.drain();
+        assert_eq!(shared.panics.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! A per-endpoint circuit breaker: closed / open / half-open.
+//!
+//! Retries alone make a dead endpoint *more* expensive — every call burns
+//! its full backoff schedule before failing. The breaker remembers: after
+//! `failure_threshold` consecutive failures it opens and callers fail in
+//! microseconds, after `cooldown` it admits a bounded budget of probes,
+//! and one probe success closes it again. The state machine is
+//! deliberately single-threaded (`&mut self`) — it lives inside a
+//! [`RetryingClient`](crate::retry::RetryingClient), which owns one
+//! connection, so there is no cross-thread state to share and nothing to
+//! lock.
+//!
+//! ```text
+//!            failure_threshold consecutive failures
+//!   Closed ────────────────────────────────────────▶ Open
+//!     ▲                                               │ cooldown elapsed
+//!     │ probe succeeds              probe fails       ▼
+//!     └───────────────── HalfOpen ◀─────┐────── HalfOpen (probe budget)
+//!                            │          │
+//!                            └──────────┘ (back to Open)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting probes.
+    pub cooldown: Duration,
+    /// Calls admitted in half-open state before re-opening is forced by
+    /// their outcomes (all must not fail; one success closes).
+    pub probe_budget: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(200),
+            probe_budget: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Healthy; counting consecutive failures.
+    Closed { failures: u32 },
+    /// Tripped; rejecting calls until the cooldown passes.
+    Open { until: Instant },
+    /// Testing the water with a bounded number of probes.
+    HalfOpen { permits: u32 },
+}
+
+/// The breaker itself. Drive it with [`try_acquire`](Self::try_acquire)
+/// before a call and [`record_success`](Self::record_success) /
+/// [`record_failure`](Self::record_failure) after; only *transport-level*
+/// outcomes should be recorded (a structured `eval_failed` reply proves
+/// the endpoint is alive and should count as success).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+    opened: u64,
+    closed: u64,
+    fast_failures: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: State::Closed { failures: 0 },
+            opened: 0,
+            closed: 0,
+            fast_failures: 0,
+        }
+    }
+
+    /// Asks permission to attempt a call at `now`. `false` means fail
+    /// fast without touching the network.
+    pub fn try_acquire(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed { .. } => true,
+            State::Open { until } if now >= until => {
+                self.state = State::HalfOpen {
+                    permits: self.cfg.probe_budget.max(1) - 1,
+                };
+                true
+            }
+            State::Open { .. } => {
+                self.fast_failures += 1;
+                false
+            }
+            State::HalfOpen { permits } => {
+                if permits == 0 {
+                    self.fast_failures += 1;
+                    false
+                } else {
+                    self.state = State::HalfOpen {
+                        permits: permits - 1,
+                    };
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a transport-level success for a call admitted by
+    /// [`try_acquire`](Self::try_acquire).
+    pub fn record_success(&mut self) {
+        match self.state {
+            State::Closed { .. } => self.state = State::Closed { failures: 0 },
+            State::HalfOpen { .. } | State::Open { .. } => {
+                // A probe (or a call that straddled the trip) reached the
+                // endpoint: it is back.
+                self.closed += 1;
+                self.state = State::Closed { failures: 0 };
+            }
+        }
+    }
+
+    /// Records a transport-level failure at `now`.
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.cfg.failure_threshold.max(1) {
+                    self.opened += 1;
+                    self.state = State::Open {
+                        until: now + self.cfg.cooldown,
+                    };
+                } else {
+                    self.state = State::Closed { failures };
+                }
+            }
+            State::HalfOpen { .. } => {
+                // The probe failed: straight back to open for another
+                // cooldown.
+                self.opened += 1;
+                self.state = State::Open {
+                    until: now + self.cfg.cooldown,
+                };
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Whether a call would currently be admitted (no state change).
+    pub fn would_admit(&self, now: Instant) -> bool {
+        match self.state {
+            State::Closed { .. } => true,
+            State::Open { until } => now >= until,
+            State::HalfOpen { permits } => permits > 0,
+        }
+    }
+
+    /// Times the breaker tripped open (closed/half-open → open).
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Times the breaker recovered (half-open probe success → closed).
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Calls rejected without touching the network.
+    pub fn fast_failures(&self) -> u64 {
+        self.fast_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            probe_budget: 2,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_fails_fast() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(b.try_acquire(t0));
+            b.record_failure(t0);
+        }
+        assert_eq!(b.opened(), 1);
+        assert!(!b.try_acquire(t0), "open breaker rejects");
+        assert!(!b.try_acquire(t0 + Duration::from_millis(50)));
+        assert_eq!(b.fast_failures(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            assert!(b.try_acquire(t0));
+            b.record_failure(t0);
+            assert!(b.try_acquire(t0), "2 failures never trip a threshold of 3");
+            b.record_failure(t0);
+            assert!(b.try_acquire(t0));
+            b.record_success();
+        }
+        assert_eq!(b.opened(), 0);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.try_acquire(t0);
+            b.record_failure(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.try_acquire(later), "cooldown elapsed: probe admitted");
+        b.record_success();
+        assert_eq!(b.closed(), 1);
+        assert!(b.try_acquire(later), "closed again");
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.try_acquire(t0);
+            b.record_failure(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.try_acquire(later));
+        b.record_failure(later);
+        assert_eq!(b.opened(), 2, "probe failure re-trips");
+        assert!(!b.try_acquire(later + Duration::from_millis(50)));
+        assert!(b.try_acquire(later + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn probe_budget_bounds_half_open_admissions() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.try_acquire(t0);
+            b.record_failure(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        // Budget of 2: two probes admitted without recording an outcome,
+        // the third fails fast.
+        assert!(b.try_acquire(later));
+        assert!(b.try_acquire(later));
+        assert!(!b.try_acquire(later));
+    }
+}

@@ -3,10 +3,25 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use doppio_engine::json::{self, Value};
 
 use crate::protocol::{Envelope, Request, PROTOCOL_VERSION};
+
+/// Socket timeouts for a [`Client`] connection. The defaults (`None`
+/// everywhere) preserve the original block-forever behavior for
+/// interactive use; servers you do not control deserve finite values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read (a stalled server surfaces as a
+    /// `WouldBlock`/`TimedOut` I/O error instead of hanging the caller).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
 
 /// One parsed reply line.
 #[derive(Debug, Clone)]
@@ -90,14 +105,50 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with no timeouts (blocks indefinitely on a
+    /// stalled peer; use [`Client::connect_with`] against servers you do
+    /// not control).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects to `addr` under the given socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures, address-resolution failures, and
+    /// a connect that exceeds `cfg.connect_timeout`.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: &ClientConfig) -> io::Result<Client> {
+        let stream = match cfg.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(t) => {
+                // `connect_timeout` takes one concrete SocketAddr; try each
+                // resolution in turn like `TcpStream::connect` does.
+                let mut last = None;
+                let mut stream = None;
+                for sa in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sa, t) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

@@ -38,19 +38,46 @@
 //! [`loadgen`] is the measurement harness: closed-loop cold/hot phases
 //! plus a singleflight burst, reporting latency percentiles and the
 //! hot-over-cold speedup to `BENCH_serve_throughput.json`.
+//!
+//! # Resilience
+//!
+//! The serving path is hardened against faults on both sides of the wire:
+//!
+//! * **Server** — evaluations run under `catch_unwind`, so a panic
+//!   becomes a structured `internal_error` reply and a `panics` counter
+//!   tick, never a dead worker; request lines are bounded and read under
+//!   a per-line deadline (oversized, non-UTF-8, and stalled lines get a
+//!   `bad_request` and a closed connection); idle sockets are reaped; the
+//!   `health` verb reports readiness for pollers.
+//! * **Client** — [`RetryingClient`] layers deadline-aware retries
+//!   (exponential backoff with decorrelated jitter, idempotent verbs
+//!   only) and a per-endpoint [`CircuitBreaker`] over [`Client`], which
+//!   itself gained connect/read/write timeouts ([`ClientConfig`]).
+//! * **Test harness** — [`chaosproxy`] sits between the two and injects
+//!   seeded connection faults (delay, truncation, garbage, drops);
+//!   `tests/serve_chaos.rs` proves every request id still resolves to
+//!   exactly one semantic outcome, and `loadgen --chaos` reports
+//!   retry/breaker metrics under the same profiles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaosproxy;
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
+mod readline;
+pub mod retry;
 mod server;
 mod singleflight;
 
-pub use client::{Client, Reply};
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use chaosproxy::{ChaosProfile, ChaosProxy};
+pub use client::{Client, ClientConfig, Reply};
 pub use protocol::{
     Envelope, ErrorCode, ErrorReply, PredictSpec, Request, SimulateSpec, PROTOCOL_VERSION,
 };
+pub use retry::{CallError, RetryPolicy, RetryingClient};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use singleflight::Singleflight;

@@ -14,15 +14,19 @@
 //! server's own final counters. In `--smoke` mode any malformed reply or
 //! a non-zero shed count is an error — that is the CI contract.
 
+use std::net::ToSocketAddrs;
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use doppio_cluster::HybridConfig;
 use doppio_engine::json::{self, Object, Value};
 use doppio_workloads::Workload;
 
-use crate::client::Client;
+use crate::breaker::BreakerConfig;
+use crate::chaosproxy::{ChaosProfile, ChaosProxy};
+use crate::client::{Client, ClientConfig};
 use crate::protocol::{Request, SimulateSpec};
+use crate::retry::{CallError, RetryPolicy, RetryingClient};
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -38,8 +42,19 @@ pub struct LoadgenConfig {
     /// Base seed the cold phase counts up from.
     pub base_seed: u64,
     /// Smoke mode: smaller defaults are the caller's job; this flag makes
-    /// sheds and malformed replies hard errors.
+    /// sheds and malformed replies hard errors (and, with `chaos`, lost
+    /// replies and server panics too).
     pub smoke: bool,
+    /// Run an extra chaos phase through a fault-injecting proxy with this
+    /// profile after the clean phases.
+    pub chaos: Option<ChaosProfile>,
+    /// Seed for the chaos proxy's per-connection fault draws and the
+    /// retrying client's jitter.
+    pub chaos_seed: u64,
+    /// Client connect timeout, in milliseconds (0 = none).
+    pub connect_timeout_ms: u64,
+    /// Client read timeout, in milliseconds (0 = none).
+    pub read_timeout_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -51,6 +66,10 @@ impl Default for LoadgenConfig {
             hot_repeats: 3,
             base_seed: 0x10AD,
             smoke: false,
+            chaos: None,
+            chaos_seed: 0xC4A0,
+            connect_timeout_ms: 1_000,
+            read_timeout_ms: 5_000,
         }
     }
 }
@@ -64,6 +83,16 @@ impl LoadgenConfig {
         self.cold_requests = 6;
         self.hot_repeats = 2;
         self
+    }
+
+    /// The socket timeouts every generator connection runs under.
+    fn client_cfg(&self) -> ClientConfig {
+        let ms = |v: u64| (v > 0).then(|| Duration::from_millis(v));
+        ClientConfig {
+            connect_timeout: ms(self.connect_timeout_ms),
+            read_timeout: ms(self.read_timeout_ms),
+            write_timeout: ms(self.read_timeout_ms),
+        }
     }
 }
 
@@ -129,7 +158,12 @@ fn phase_report(name: &str, p: &Phase) -> Object {
 
 /// Runs one closed-loop phase: `seeds` split round-robin over
 /// `connections` threads, each sending one request at a time.
-fn closed_loop(addr: &str, connections: usize, seeds: &[u64]) -> Result<Phase, String> {
+fn closed_loop(
+    addr: &str,
+    connections: usize,
+    seeds: &[u64],
+    ccfg: &ClientConfig,
+) -> Result<Phase, String> {
     let started = Instant::now();
     let (tx, rx) = mpsc::channel::<Result<(f64, bool), String>>();
     std::thread::scope(|scope| {
@@ -142,8 +176,9 @@ fn closed_loop(addr: &str, connections: usize, seeds: &[u64]) -> Result<Phase, S
                 .step_by(connections.max(1))
                 .collect();
             let addr = addr.to_string();
+            let ccfg = *ccfg;
             scope.spawn(move || {
-                let mut client = match Client::connect(&addr) {
+                let mut client = match Client::connect_with(&addr, &ccfg) {
                     Ok(c) => c,
                     Err(e) => {
                         let _ = tx.send(Err(format!("connect: {e}")));
@@ -197,10 +232,15 @@ fn closed_loop(addr: &str, connections: usize, seeds: &[u64]) -> Result<Phase, S
 
 /// Pipeline one *fresh* request from every connection at once and count
 /// how many replies were coalesced onto a single evaluation.
-fn burst(addr: &str, connections: usize, seed: u64) -> Result<(usize, usize), String> {
+fn burst(
+    addr: &str,
+    connections: usize,
+    seed: u64,
+    ccfg: &ClientConfig,
+) -> Result<(usize, usize), String> {
     let mut clients = Vec::new();
     for _ in 0..connections.max(1) {
-        clients.push(Client::connect(addr).map_err(|e| format!("connect: {e}"))?);
+        clients.push(Client::connect_with(addr, ccfg).map_err(|e| format!("connect: {e}"))?);
     }
     for client in &mut clients {
         client
@@ -226,31 +266,155 @@ fn burst(addr: &str, connections: usize, seed: u64) -> Result<(usize, usize), St
     Ok((coalesced, cached))
 }
 
+/// Outcome tally of one chaos phase: every request id must land in
+/// exactly one bucket; `lost` counts ids that somehow did not.
+#[derive(Debug, Default)]
+struct ChaosTally {
+    requests: u64,
+    succeeded: u64,
+    server_errors: u64,
+    client_errors: u64,
+    lost: u64,
+}
+
+/// Drives `requests` sequential calls through a [`ChaosProxy`] with a
+/// [`RetryingClient`], tallying semantic outcomes and collecting
+/// retry/breaker/proxy metrics into a report object.
+fn chaos_phase(cfg: &LoadgenConfig, profile: ChaosProfile) -> Result<(Object, ChaosTally), String> {
+    let upstream = cfg
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}: {e}", cfg.addr))?
+        .next()
+        .ok_or_else(|| format!("{} resolved to nothing", cfg.addr))?;
+    let mut proxy = ChaosProxy::start(upstream, profile, cfg.chaos_seed)
+        .map_err(|e| format!("chaos proxy: {e}"))?;
+
+    // Threshold 2: under a disconnect-heavy wire the interesting regime is
+    // the breaker actually cycling open → half-open → closed, not staying
+    // closed because every failure streak is one short of the trip point.
+    let breaker_cfg = BreakerConfig {
+        failure_threshold: 2,
+        cooldown: Duration::from_millis(50),
+        probe_budget: 2,
+    };
+    let mut rc = RetryingClient::new(
+        proxy.addr().to_string(),
+        cfg.client_cfg(),
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+        },
+        breaker_cfg,
+        cfg.chaos_seed,
+    );
+
+    // Twice the cold set, cycling over the cold seeds: every result is
+    // already cached by the clean phases, so the server side is cheap and
+    // the phase exercises the *wire*, which is where the faults are.
+    let mut tally = ChaosTally {
+        requests: (cfg.cold_requests.max(1) * 2) as u64,
+        ..ChaosTally::default()
+    };
+    let started = Instant::now();
+    for i in 0..tally.requests {
+        let seed = cfg
+            .base_seed
+            .wrapping_add(i % cfg.cold_requests.max(1) as u64);
+        // A well-behaved caller waits out an open breaker instead of
+        // abandoning the request: without the wait, a disconnect-heavy
+        // run would burn every remaining request as a fast failure inside
+        // one 50 ms cooldown and the breaker would never probe its way
+        // closed again.
+        let mut outcome = rc.call(probe(seed), None);
+        let mut waits = 0;
+        while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 20 {
+            std::thread::sleep(breaker_cfg.cooldown / 2 + Duration::from_millis(1));
+            waits += 1;
+            outcome = rc.call(probe(seed), None);
+        }
+        match outcome {
+            Ok(r) if r.ok => tally.succeeded += 1,
+            Ok(_) => tally.server_errors += 1,
+            Err(_) => tally.client_errors += 1,
+        }
+    }
+    tally.lost = tally
+        .requests
+        .saturating_sub(tally.succeeded + tally.server_errors + tally.client_errors);
+    proxy.stop();
+
+    let m = rc.metrics();
+    let b = rc.breaker();
+    let mut o = Object::new();
+    o.put_str("profile", profile.name());
+    o.put_u64("seed", cfg.chaos_seed);
+    o.put_u64("requests", tally.requests);
+    o.put_f64("elapsed_secs", started.elapsed().as_secs_f64());
+    o.put_u64("succeeded", tally.succeeded);
+    o.put_u64("server_errors", tally.server_errors);
+    o.put_u64("client_errors", tally.client_errors);
+    o.put_u64("lost_replies", tally.lost);
+    o.put_u64("attempts", m.attempts);
+    o.put_u64("retries", m.retries);
+    o.put_u64("reconnects", m.reconnects);
+    o.put_u64("breaker_opened", b.opened());
+    o.put_u64("breaker_closed", b.closed());
+    o.put_u64("breaker_fast_failures", b.fast_failures());
+    let ps = proxy.stats();
+    let mut p = Object::new();
+    p.put_u64(
+        "connections",
+        ps.connections.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    p.put_u64(
+        "refused",
+        ps.refused.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    p.put_u64("cut", ps.cut.load(std::sync::atomic::Ordering::Relaxed));
+    p.put_u64(
+        "garbage_injected",
+        ps.garbage_injected
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+    o.put_obj("proxy", p);
+    Ok((o, tally))
+}
+
 /// Runs the full load-generation schedule and returns the report object.
 ///
 /// # Errors
 ///
 /// Fails on connection errors, malformed replies, failed requests, and —
-/// in smoke mode — on a non-zero server shed count.
+/// in smoke mode — on a non-zero server shed count, a lost chaos reply,
+/// or a non-zero server panic count.
 pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
+    let ccfg = cfg.client_cfg();
     let cold_seeds: Vec<u64> = (0..cfg.cold_requests as u64)
         .map(|i| cfg.base_seed.wrapping_add(i))
         .collect();
 
-    let cold = closed_loop(&cfg.addr, cfg.connections, &cold_seeds)?;
+    let cold = closed_loop(&cfg.addr, cfg.connections, &cold_seeds, &ccfg)?;
     let hot_seeds: Vec<u64> = std::iter::repeat_with(|| cold_seeds.iter().copied())
         .take(cfg.hot_repeats)
         .flatten()
         .collect();
-    let hot = closed_loop(&cfg.addr, cfg.connections, &hot_seeds)?;
+    let hot = closed_loop(&cfg.addr, cfg.connections, &hot_seeds, &ccfg)?;
     let (burst_coalesced, burst_cached) = burst(
         &cfg.addr,
         cfg.connections,
         cfg.base_seed.wrapping_add(0xBEEF_0000),
+        &ccfg,
     )?;
 
-    // Final server-side truth.
-    let mut client = Client::connect(&cfg.addr).map_err(|e| format!("connect: {e}"))?;
+    let chaos = match cfg.chaos {
+        None => None,
+        Some(profile) => Some(chaos_phase(cfg, profile)?),
+    };
+
+    // Final server-side truth (asked directly, not through any proxy).
+    let mut client = Client::connect_with(&cfg.addr, &ccfg).map_err(|e| format!("connect: {e}"))?;
     let stats_reply = client
         .call(Request::Stats, None)
         .map_err(|e| format!("stats: {e}"))?;
@@ -259,6 +423,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
     let shed = counter("shed");
     if cfg.smoke && shed > 0 {
         return Err(format!("smoke run shed {shed} request(s)"));
+    }
+    if cfg.smoke {
+        let panics = counter("panics");
+        if panics > 0 {
+            return Err(format!("smoke run saw {panics} evaluation panic(s)"));
+        }
+        if let Some((_, tally)) = &chaos {
+            if tally.lost > 0 {
+                return Err(format!("chaos smoke lost {} reply(ies)", tally.lost));
+            }
+        }
     }
 
     let cold_mean = cold.latencies_ms.iter().sum::<f64>() / cold.latencies_ms.len().max(1) as f64;
@@ -286,6 +461,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
     b.put_u64("coalesced", burst_coalesced as u64);
     b.put_u64("cached", burst_cached as u64);
     o.put_obj("burst", b);
+    if let Some((chaos_obj, _)) = chaos {
+        o.put_obj("chaos", chaos_obj);
+    }
     let mut s = Object::new();
     for key in [
         "admitted",
@@ -293,6 +471,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
         "shed",
         "coalesced",
         "deadline_exceeded",
+        "panics",
+        "bad_requests",
     ] {
         s.put_u64(key, counter(key));
     }
@@ -354,6 +534,32 @@ pub fn write_report(path: &std::path::Path, report: &Object) -> Result<(), Strin
         .is_none()
     {
         return Err("parse-back: missing speedup_hot_vs_cold".into());
+    }
+    if let Some(chaos) = v.get("chaos") {
+        if chaos
+            .get("profile")
+            .and_then(Value::as_str)
+            .map(ChaosProfile::parse)
+            .is_none_or(|r| r.is_err())
+        {
+            return Err("parse-back: chaos.profile is not a known profile".into());
+        }
+        for key in [
+            "requests",
+            "succeeded",
+            "server_errors",
+            "client_errors",
+            "lost_replies",
+            "attempts",
+            "retries",
+            "reconnects",
+            "breaker_opened",
+            "breaker_closed",
+        ] {
+            if chaos.get(key).and_then(Value::as_u64).is_none() {
+                return Err(format!("parse-back: chaos missing '{key}'"));
+            }
+        }
     }
     Ok(())
 }

@@ -92,6 +92,10 @@ pub enum Request {
     },
     /// Server observability counters.
     Stats,
+    /// Readiness probe: queue depth, cache stats, panic count, uptime.
+    /// Answered inline without touching the worker pool, so it stays
+    /// responsive even when every worker is busy.
+    Health,
     /// Graceful drain (refused unless the server was started with
     /// `allow_shutdown`).
     Shutdown,
@@ -106,6 +110,7 @@ impl Request {
             Request::Optimize { .. } => "optimize",
             Request::WhatIf { .. } => "whatif",
             Request::Stats => "stats",
+            Request::Health => "health",
             Request::Shutdown => "shutdown",
         }
     }
@@ -113,7 +118,15 @@ impl Request {
     /// Whether the request describes cacheable, coalescable work (as
     /// opposed to a control-plane command answered inline).
     pub fn is_work(&self) -> bool {
-        !matches!(self, Request::Stats | Request::Shutdown)
+        !matches!(self, Request::Stats | Request::Health | Request::Shutdown)
+    }
+
+    /// Whether a client may safely resend the request after a transport
+    /// failure that leaves the first send's fate unknown. Every evaluation
+    /// and observability verb is a pure function of its fields; `shutdown`
+    /// is the one side-effecting command and must never be auto-retried.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Shutdown)
     }
 }
 
@@ -177,6 +190,7 @@ impl Fingerprintable for Request {
                 fp.write_u32(*max_failures);
             }
             Request::Stats => fp.write_str("stats"),
+            Request::Health => fp.write_str("health"),
             Request::Shutdown => fp.write_str("shutdown"),
         }
     }
@@ -197,6 +211,10 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The simulator/model reported an error for a well-formed request.
     EvalFailed,
+    /// The evaluation panicked; the worker was isolated and the server
+    /// keeps serving. The 500 of this protocol — unlike `eval_failed`
+    /// it signals a server-side bug, not a property of the request.
+    Internal,
     /// The server is draining and accepts no new work.
     ShuttingDown,
     /// `shutdown` was requested but the server does not allow remote
@@ -213,6 +231,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::EvalFailed => "eval_failed",
+            ErrorCode::Internal => "internal_error",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::ShutdownDisabled => "shutdown_disabled",
         }
@@ -350,7 +369,7 @@ impl Envelope {
                 o.put_f64("at_fraction", *at_fraction);
                 o.put_u64("max_failures", u64::from(*max_failures));
             }
-            Request::Stats | Request::Shutdown => {}
+            Request::Stats | Request::Health | Request::Shutdown => {}
         }
         o.render_line()
     }
@@ -495,6 +514,7 @@ impl Envelope {
                 max_failures: u64_field("max_failures", 4)? as u32,
             },
             "stats" => Request::Stats,
+            "health" => Request::Health,
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(DecodeError::bad(&id, format!("unknown cmd '{other}'")));
@@ -569,6 +589,7 @@ mod tests {
     fn control_and_whatif_round_trip() {
         for r in [
             Request::Stats,
+            Request::Health,
             Request::Shutdown,
             Request::Optimize { paper: false },
             Request::WhatIf {

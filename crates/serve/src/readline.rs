@@ -1,0 +1,219 @@
+//! Bounded, timeout-aware request-line reading.
+//!
+//! `BufRead::read_line` has two failure modes a public-facing server
+//! cannot afford: it buffers an arbitrarily long line entirely in memory
+//! before the caller can see its size, and on a non-UTF-8 byte it errors
+//! without saying how much it consumed. [`LineReader`] reads raw bytes
+//! instead and classifies every outcome the connection loop must react
+//! to — a complete line, end of stream, an oversized line (detected
+//! *while* reading, never after buffering it whole), invalid UTF-8, an
+//! idle socket, and a stalled half-written line (the slow-loris shape:
+//! bytes drip in but the line never completes).
+//!
+//! The reader itself never sleeps or arms timers; the caller sets the
+//! socket's `read_timeout`, and the reader turns `WouldBlock`/`TimedOut`
+//! plus a per-line deadline into the right [`LineEvent`].
+
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What one attempt to read a request line produced.
+#[derive(Debug)]
+pub(crate) enum LineEvent {
+    /// A complete line; the `\n` terminator (and a trailing `\r`) is
+    /// stripped.
+    Line(String),
+    /// Clean end of stream. Any unterminated trailing bytes are dropped:
+    /// a half-written request line never reaches the decoder.
+    Eof,
+    /// The line grew past the configured bound before its `\n` arrived.
+    TooLong,
+    /// The line completed but is not valid UTF-8.
+    NotUtf8,
+    /// The socket idled past the read timeout with no buffered bytes —
+    /// the idle-reaper case.
+    Idle,
+    /// Bytes of a line arrived but the line did not complete within the
+    /// timeout window measured from its first byte — the slow-loris case.
+    Stalled,
+    /// Any other I/O error.
+    Failed,
+}
+
+/// A line reader over a raw [`TcpStream`] with a hard per-line byte bound
+/// and a per-line completion deadline.
+#[derive(Debug)]
+pub(crate) struct LineReader {
+    stream: TcpStream,
+    max_line_bytes: usize,
+    /// Deadline for completing one line, measured from its first byte
+    /// (`None` = lines may take forever).
+    line_timeout: Option<Duration>,
+    /// Bytes received but not yet returned as lines.
+    buf: Vec<u8>,
+    /// `buf[..scanned]` is known to contain no `\n` — pipelined bursts
+    /// are scanned once, not once per refill.
+    scanned: usize,
+    /// When the first byte of the line currently being assembled arrived.
+    line_started: Option<Instant>,
+}
+
+impl LineReader {
+    pub(crate) fn new(
+        stream: TcpStream,
+        max_line_bytes: usize,
+        line_timeout: Option<Duration>,
+    ) -> Self {
+        LineReader {
+            stream,
+            max_line_bytes: max_line_bytes.max(1),
+            line_timeout,
+            buf: Vec::new(),
+            scanned: 0,
+            line_started: None,
+        }
+    }
+
+    /// Reads until one of the [`LineEvent`] outcomes occurs. After
+    /// anything but `Line`, the caller is expected to close the
+    /// connection (the reader makes no attempt to resynchronize).
+    pub(crate) fn read_line(&mut self) -> LineEvent {
+        let mut chunk = [0u8; 4096];
+        loop {
+            // A complete line already buffered?
+            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=self.scanned + nl).collect();
+                self.scanned = 0;
+                self.line_started = if self.buf.is_empty() {
+                    None
+                } else {
+                    // Pipelined bytes of the next line are already here;
+                    // its clock starts now.
+                    Some(Instant::now())
+                };
+                line.pop(); // the '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if line.len() > self.max_line_bytes {
+                    return LineEvent::TooLong;
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => LineEvent::Line(s),
+                    Err(_) => LineEvent::NotUtf8,
+                };
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_line_bytes {
+                return LineEvent::TooLong;
+            }
+            // A partial line must complete within the timeout window even
+            // if bytes keep trickling in (each drip resets the socket
+            // timeout, so the socket alone cannot catch a slow-loris).
+            if let (Some(t), Some(started)) = (self.line_timeout, self.line_started) {
+                if started.elapsed() > t {
+                    return LineEvent::Stalled;
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.line_started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return if self.buf.is_empty() {
+                        LineEvent::Idle
+                    } else {
+                        LineEvent::Stalled
+                    };
+                }
+                Err(_) => return LineEvent::Failed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// A connected (client, server) socket pair on localhost.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn splits_pipelined_lines_and_strips_terminators() {
+        let (mut client, server) = pair();
+        client.write_all(b"alpha\r\nbeta\ngamma\n").unwrap();
+        let mut r = LineReader::new(server, 1024, None);
+        for want in ["alpha", "beta", "gamma"] {
+            match r.read_line() {
+                LineEvent::Line(l) => assert_eq!(l, want),
+                other => panic!("expected line, got {other:?}"),
+            }
+        }
+        drop(client);
+        assert!(matches!(r.read_line(), LineEvent::Eof));
+    }
+
+    #[test]
+    fn oversized_line_detected_before_terminator() {
+        let (mut client, server) = pair();
+        // 64 KiB of line against an 1 KiB bound, no '\n' yet: the reader
+        // must bail while reading, not buffer the whole thing.
+        let junk = vec![b'x'; 64 * 1024];
+        client.write_all(&junk).unwrap();
+        client.flush().unwrap();
+        let mut r = LineReader::new(server, 1024, None);
+        assert!(matches!(r.read_line(), LineEvent::TooLong));
+        assert!(
+            r.buf.len() <= 1024 + 4096 + 1,
+            "never buffers far past the bound"
+        );
+    }
+
+    #[test]
+    fn non_utf8_line_is_classified() {
+        let (mut client, server) = pair();
+        client.write_all(b"\xff\xfe\x00half\n").unwrap();
+        let mut r = LineReader::new(server, 1024, None);
+        assert!(matches!(r.read_line(), LineEvent::NotUtf8));
+    }
+
+    #[test]
+    fn idle_and_stalled_are_distinguished() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let mut r = LineReader::new(server, 1024, Some(Duration::from_millis(30)));
+        // Nothing sent at all: idle.
+        assert!(matches!(r.read_line(), LineEvent::Idle));
+        // Half a line, then silence: stalled.
+        client.write_all(b"{\"v\": 1, \"id\": \"trunc").unwrap();
+        client.flush().unwrap();
+        assert!(matches!(r.read_line(), LineEvent::Stalled));
+    }
+
+    #[test]
+    fn half_written_trailing_line_is_dropped_at_eof() {
+        let (mut client, server) = pair();
+        client.write_all(b"whole\npartial-without-newline").unwrap();
+        drop(client);
+        let mut r = LineReader::new(server, 1024, None);
+        assert!(matches!(r.read_line(), LineEvent::Line(l) if l == "whole"));
+        assert!(matches!(r.read_line(), LineEvent::Eof));
+    }
+}

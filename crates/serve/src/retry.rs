@@ -1,0 +1,273 @@
+//! A resilient client: deadline-aware retries with decorrelated-jitter
+//! backoff, automatic reconnect, and a circuit breaker.
+//!
+//! [`RetryingClient`] wraps one [`Client`] connection and owns the whole
+//! failure policy, so call sites stay a single line. The rules:
+//!
+//! * **Retry only what is safe.** Transport errors before the request was
+//!   written are always retryable (the server never saw it). After the
+//!   write, only idempotent verbs retry ([`Request::is_idempotent`] —
+//!   everything except `shutdown`; re-evaluating a simulate is free by
+//!   construction, the result cache makes it a hit).
+//! * **Retry only what might succeed.** A structured `overloaded` reply
+//!   retries after backoff — the server is alive, just shedding. Any
+//!   other structured reply (`eval_failed`, `bad_request`, …) is a
+//!   *semantic* outcome: retrying would re-run a deterministic failure,
+//!   so it is returned as-is.
+//! * **Back off with decorrelated jitter** (`sleep = rand(base,
+//!   prev·3)`, capped): retries from many clients spread out instead of
+//!   stampeding in lockstep.
+//! * **Respect the deadline.** The request's `deadline_ms` bounds the
+//!   whole call including sleeps; a retry that could not complete in time
+//!   is not attempted.
+//! * **Trip the breaker.** Consecutive transport failures open the
+//!   [`CircuitBreaker`]; while it is open, calls fail in microseconds
+//!   with [`CallError::CircuitOpen`] instead of burning the backoff
+//!   schedule against a dead endpoint.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::client::{Client, ClientConfig, Reply};
+use crate::protocol::Request;
+
+/// Retry tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (1 = no retries).
+    pub max_attempts: u32,
+    /// Floor of every backoff sleep.
+    pub base_backoff: Duration,
+    /// Ceiling of every backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Counters accumulated across every call on one [`RetryingClient`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryMetrics {
+    /// Attempts that touched (or tried to touch) the network.
+    pub attempts: u64,
+    /// Attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Fresh TCP connections established after the first.
+    pub reconnects: u64,
+}
+
+/// Why a call ultimately failed client-side.
+#[derive(Debug)]
+pub enum CallError {
+    /// The circuit breaker is open; the endpoint was not contacted.
+    CircuitOpen,
+    /// Every permitted attempt failed at the transport level.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last transport error observed.
+        last: String,
+    },
+    /// The deadline left no room for another attempt.
+    DeadlineExhausted {
+        /// Attempts made before time ran out.
+        attempts: u32,
+        /// The last transport error observed.
+        last: String,
+    },
+    /// The verb is not idempotent and a transport error occurred after
+    /// the request may have reached the server; retrying could execute
+    /// it twice.
+    NotIdempotent {
+        /// The transport error observed.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::CircuitOpen => write!(f, "circuit breaker open; endpoint not contacted"),
+            CallError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+            CallError::DeadlineExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "deadline exhausted after {attempts} attempts; last error: {last}"
+                )
+            }
+            CallError::NotIdempotent { last } => {
+                write!(f, "non-idempotent request failed in flight: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// A [`Client`] wrapped in reconnect + retry + circuit-breaker logic.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    client_cfg: ClientConfig,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    conn: Option<Client>,
+    ever_connected: bool,
+    rng: StdRng,
+    metrics: RetryMetrics,
+}
+
+impl RetryingClient {
+    /// A client for `addr` (connects lazily on the first call) with a
+    /// deterministic jitter stream from `seed`.
+    pub fn new(
+        addr: impl Into<String>,
+        client_cfg: ClientConfig,
+        policy: RetryPolicy,
+        breaker_cfg: BreakerConfig,
+        seed: u64,
+    ) -> Self {
+        RetryingClient {
+            addr: addr.into(),
+            client_cfg,
+            policy,
+            breaker: CircuitBreaker::new(breaker_cfg),
+            conn: None,
+            ever_connected: false,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: RetryMetrics::default(),
+        }
+    }
+
+    /// Accumulated retry counters.
+    pub fn metrics(&self) -> RetryMetrics {
+        self.metrics
+    }
+
+    /// The breaker, for inspecting transition counters.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Sends `request` and returns its semantic outcome, retrying per the
+    /// policy. `deadline_ms` (when set) is both forwarded to the server
+    /// and used as the local bound on the whole call, sleeps included.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] when no attempt produced a reply.
+    pub fn call(&mut self, request: Request, deadline_ms: Option<u64>) -> Result<Reply, CallError> {
+        let idempotent = request.is_idempotent();
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut attempts: u32 = 0;
+        // Always assigned before read: every fall-through arm of the
+        // match below sets it.
+        let mut last: String;
+        let mut prev_backoff = self.policy.base_backoff;
+        loop {
+            if !self.breaker.try_acquire(Instant::now()) {
+                return Err(CallError::CircuitOpen);
+            }
+            attempts += 1;
+            self.metrics.attempts += 1;
+            match self.attempt(&request, deadline_ms) {
+                Ok(reply) => {
+                    // The endpoint answered: a transport success whatever
+                    // the semantic verdict.
+                    self.breaker.record_success();
+                    let shed = !reply.ok && reply.error_code.as_deref() == Some("overloaded");
+                    if !(shed && idempotent) {
+                        return Ok(reply);
+                    }
+                    last = "server overloaded; request shed".into();
+                }
+                Err((sent, e)) => {
+                    self.breaker.record_failure(Instant::now());
+                    self.conn = None;
+                    last = e.to_string();
+                    if sent && !idempotent {
+                        return Err(CallError::NotIdempotent { last });
+                    }
+                }
+            }
+            if attempts >= self.policy.max_attempts.max(1) {
+                return Err(CallError::RetriesExhausted { attempts, last });
+            }
+            let backoff = self.next_backoff(&mut prev_backoff);
+            if let Some(d) = deadline {
+                if Instant::now() + backoff >= d {
+                    return Err(CallError::DeadlineExhausted { attempts, last });
+                }
+            }
+            self.metrics.retries += 1;
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// Decorrelated jitter (the AWS architecture-blog variant):
+    /// `sleep = rand(base, prev * 3)`, clamped to `[base, cap]`.
+    fn next_backoff(&mut self, prev: &mut Duration) -> Duration {
+        let base = self.policy.base_backoff.max(Duration::from_micros(1));
+        let cap = self.policy.max_backoff.max(base);
+        let hi = prev.saturating_mul(3).clamp(base, cap);
+        let micros = self
+            .rng
+            .random_range(base.as_micros() as u64..=hi.as_micros() as u64);
+        let sleep = Duration::from_micros(micros);
+        *prev = sleep;
+        sleep
+    }
+
+    /// One network attempt: (re)connect if needed, send, await the
+    /// matching reply. The error carries whether the request had been
+    /// written when the failure happened — the idempotency guard's input.
+    fn attempt(
+        &mut self,
+        request: &Request,
+        deadline_ms: Option<u64>,
+    ) -> Result<Reply, (bool, io::Error)> {
+        if self.conn.is_none() {
+            let c = Client::connect_with(&*self.addr, &self.client_cfg).map_err(|e| (false, e))?;
+            if self.ever_connected {
+                self.metrics.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(c);
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let id = conn
+            .send_request(request.clone(), deadline_ms)
+            .map_err(|e| (false, e))?;
+        loop {
+            match conn.recv() {
+                Ok(Some(r)) if r.id == id => return Ok(r),
+                // A reply to an earlier, abandoned attempt on this
+                // connection: skip it.
+                Ok(Some(_)) => continue,
+                Ok(None) => {
+                    return Err((
+                        true,
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection before replying",
+                        ),
+                    ))
+                }
+                Err(e) => return Err((true, e)),
+            }
+        }
+    }
+}

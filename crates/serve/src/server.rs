@@ -37,10 +37,11 @@
 //!
 //! [`Scenario::run`]: ../../doppio/scenario/struct.Scenario.html
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,7 +58,17 @@ use crate::protocol::{
     config_name, error_reply_line, ok_reply_line, workload_name, Envelope, ErrorCode, ErrorReply,
     PredictSpec, Request, SimulateSpec,
 };
+use crate::readline::{LineEvent, LineReader};
 use crate::singleflight::Singleflight;
+
+/// Locks a mutex, recovering from poisoning. Every mutex in the server
+/// guards plain data whose invariants hold between statements, and
+/// evaluation panics are already isolated and reported — abandoning the
+/// lock would only turn one reported panic into a cascade of dead
+/// connection threads.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Server configuration knobs (all have serving-sized defaults).
 #[derive(Debug, Clone)]
@@ -77,8 +88,23 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Whether a remote `shutdown` request may drain the server.
     pub allow_shutdown: bool,
-    /// Maximum accepted request-line length in bytes.
+    /// Maximum accepted request-line length in bytes; enforced while
+    /// reading, so an abusive client cannot make the server buffer more
+    /// than this (plus one read chunk) per connection.
     pub max_line_bytes: usize,
+    /// Per-connection read timeout in milliseconds (0 = none). Doubles as
+    /// the idle-connection reaper interval *and* the per-line completion
+    /// deadline: a socket that sends nothing is reaped quietly, and a
+    /// slow-loris that drips a request line forever is cut off with a
+    /// `bad_request`.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (0 = none); bounds how
+    /// long a reply write may block on a client that stopped reading.
+    pub write_timeout_ms: u64,
+    /// Chaos hook for tests: a `simulate` request whose seed equals this
+    /// value panics inside the worker instead of evaluating, exercising
+    /// the `catch_unwind` isolation path end to end.
+    pub panic_seed: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -90,7 +116,10 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             default_deadline_ms: None,
             allow_shutdown: false,
-            max_line_bytes: 64 * 1024,
+            max_line_bytes: 4 * 1024 * 1024,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            panic_seed: None,
         }
     }
 }
@@ -105,6 +134,11 @@ struct Counters {
     coalesced: AtomicU64,
     deadline_exceeded: AtomicU64,
     bad_requests: AtomicU64,
+    /// Evaluations that panicked and were isolated by `catch_unwind`.
+    panics: AtomicU64,
+    /// Connections closed by the idle/slow-loris reaper rather than by
+    /// the client.
+    reaped: AtomicU64,
 }
 
 /// A cloneable, mutex-serialized line writer over one client socket.
@@ -121,7 +155,7 @@ impl ConnWriter {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        let mut s = self.0.lock().expect("writer poisoned");
+        let mut s = lock_recover(&self.0);
         // A vanished client is not a server error; drop the reply.
         let _ = s.write_all(&buf);
     }
@@ -147,6 +181,8 @@ struct Inner {
     flights: Singleflight<Waiter>,
     counters: Counters,
     draining: AtomicBool,
+    /// When the server started, for `health.uptime_secs`.
+    started: Instant,
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -186,6 +222,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         flights: Singleflight::new(),
         counters: Counters::default(),
         draining: AtomicBool::new(false),
+        started: Instant::now(),
         cfg,
     });
     let accept_inner = Arc::clone(&inner);
@@ -260,46 +297,87 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     }
     // Graceful drain: finish every admitted job (delivering replies
     // through the writers captured in their waiters) before exiting.
-    let pool = inner.pool.lock().expect("pool poisoned").take();
+    let pool = lock_recover(&inner.pool).take();
     if let Some(pool) = pool {
         pool.drain();
     }
 }
 
 fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
+    let cfg = &inner.cfg;
+    let read_timeout =
+        (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
+    // The socket timeout wakes a read blocked on a silent peer; the
+    // LineReader's own per-line deadline (same duration) catches a peer
+    // that defeats the socket timeout by trickling bytes.
+    let _ = stream.set_read_timeout(read_timeout);
+    if cfg.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
+    }
     let writer = match stream.try_clone() {
         Ok(w) => ConnWriter(Arc::new(Mutex::new(w))),
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = LineReader::new(stream, cfg.max_line_bytes, read_timeout);
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
-        }
-        if line.len() > inner.cfg.max_line_bytes {
-            inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            writer.send_line(&error_reply_line(
-                "",
-                &ErrorReply::new(
-                    ErrorCode::BadRequest,
-                    format!("request line exceeds {} bytes", inner.cfg.max_line_bytes),
-                ),
-            ));
-            return;
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        match Envelope::decode(trimmed) {
-            Err(e) => {
-                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                writer.send_line(&error_reply_line(&e.id, &e.error));
+        // Every exit path except `Line` closes the connection; malformed
+        // framing gets one structured `bad_request` first, pure silence
+        // (EOF, idle) gets none. Note: closing only stops *reading* — a
+        // reply for work already admitted is still delivered through the
+        // writer clone parked on its flight.
+        match reader.read_line() {
+            LineEvent::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match Envelope::decode(trimmed) {
+                    Err(e) => {
+                        inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        writer.send_line(&error_reply_line(&e.id, &e.error));
+                    }
+                    Ok(env) => handle_request(inner, &writer, env),
+                }
             }
-            Ok(env) => handle_request(inner, &writer, env),
+            LineEvent::Eof | LineEvent::Failed => return,
+            LineEvent::Idle => {
+                inner.counters.reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            LineEvent::Stalled => {
+                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                inner.counters.reaped.fetch_add(1, Ordering::Relaxed);
+                writer.send_line(&error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "request line did not complete within {} ms",
+                            cfg.read_timeout_ms
+                        ),
+                    ),
+                ));
+                return;
+            }
+            LineEvent::TooLong => {
+                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                writer.send_line(&error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {} bytes", cfg.max_line_bytes),
+                    ),
+                ));
+                return;
+            }
+            LineEvent::NotUtf8 => {
+                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                writer.send_line(&error_reply_line(
+                    "",
+                    &ErrorReply::new(ErrorCode::BadRequest, "request line is not valid UTF-8"),
+                ));
+                return;
+            }
         }
     }
 }
@@ -313,6 +391,10 @@ fn handle_request(inner: &Arc<Inner>, writer: &ConnWriter, env: Envelope) {
     match request {
         Request::Stats => {
             let payload = stats_payload(inner).render_line();
+            writer.send_line(&ok_reply_line(&id, false, false, &payload));
+        }
+        Request::Health => {
+            let payload = health_payload(inner).render_line();
             writer.send_line(&ok_reply_line(&id, false, false, &payload));
         }
         Request::Shutdown => {
@@ -378,7 +460,7 @@ fn admit_work(
 
     let job_inner = Arc::clone(inner);
     let submitted = {
-        let guard = inner.pool.lock().expect("pool poisoned");
+        let guard = lock_recover(&inner.pool);
         match guard.as_ref() {
             None => Err(SubmitError::Closed),
             Some(pool) => pool.try_submit(move || run_flight(&job_inner, fp, &request, deadline)),
@@ -449,7 +531,28 @@ fn run_flight(
         return;
     }
 
-    match evaluate(request) {
+    // Panic isolation: a panicking evaluation must cost exactly one
+    // structured `internal_error` reply, never a wedged flight or a dead
+    // worker. `AssertUnwindSafe` is sound here because `evaluate` only
+    // borrows the request — all shared state it could have left
+    // inconsistent is behind mutexes recovered by `lock_recover`.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let (Some(seed), Request::Simulate(s)) = (inner.cfg.panic_seed, request) {
+            if s.seed == seed {
+                panic!("injected worker panic (panic_seed = {seed})");
+            }
+        }
+        evaluate(request)
+    }))
+    .unwrap_or_else(|payload| {
+        inner.counters.panics.fetch_add(1, Ordering::Relaxed);
+        Err(ErrorReply::new(
+            ErrorCode::Internal,
+            format!("evaluation panicked: {}", panic_message(payload.as_ref())),
+        ))
+    });
+
+    match outcome {
         Ok(payload) => {
             let payload: Arc<str> = payload.into();
             inner.cache.insert(fp, Arc::clone(&payload));
@@ -494,7 +597,7 @@ fn reply_ok_to_all(inner: &Arc<Inner>, waiters: Vec<Waiter>, cached: bool, paylo
 fn stats_payload(inner: &Arc<Inner>) -> Object {
     let c = &inner.counters;
     let (workers, queue_bound, queue_depth) = {
-        let guard = inner.pool.lock().expect("pool poisoned");
+        let guard = lock_recover(&inner.pool);
         match guard.as_ref() {
             Some(p) => (p.workers(), p.queue_bound(), p.queue_depth()),
             None => (0, 0, 0),
@@ -516,6 +619,8 @@ fn stats_payload(inner: &Arc<Inner>) -> Object {
         c.deadline_exceeded.load(Ordering::Relaxed),
     );
     o.put_u64("bad_requests", c.bad_requests.load(Ordering::Relaxed));
+    o.put_u64("panics", c.panics.load(Ordering::Relaxed));
+    o.put_u64("reaped", c.reaped.load(Ordering::Relaxed));
     let mut cache = Object::new();
     cache.put_u64("hits", inner.cache.hits());
     cache.put_u64("misses", inner.cache.misses());
@@ -525,6 +630,47 @@ fn stats_payload(inner: &Arc<Inner>) -> Object {
     o.put_obj("cache", cache);
     o.put_bool("draining", inner.draining.load(Ordering::SeqCst));
     o
+}
+
+/// The `health` payload: a readiness probe cheap enough to poll. `ready`
+/// means the pool is alive and the server is not draining — the signal CI
+/// waits on instead of sleeping after `doppio serve` starts.
+fn health_payload(inner: &Arc<Inner>) -> Object {
+    let c = &inner.counters;
+    let (pool_alive, workers, queue_bound, queue_depth) = {
+        let guard = lock_recover(&inner.pool);
+        match guard.as_ref() {
+            Some(p) => (true, p.workers(), p.queue_bound(), p.queue_depth()),
+            None => (false, 0, 0, 0),
+        }
+    };
+    let draining = inner.draining.load(Ordering::SeqCst);
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-serve-health/v1");
+    o.put_bool("ready", pool_alive && !draining);
+    o.put_bool("draining", draining);
+    o.put_f64("uptime_secs", inner.started.elapsed().as_secs_f64());
+    o.put_u64("workers", workers as u64);
+    o.put_u64("queue_depth", queue_depth as u64);
+    o.put_u64("queue_bound", queue_bound as u64);
+    o.put_u64("in_flight", inner.flights.in_flight() as u64);
+    o.put_u64("panics", c.panics.load(Ordering::Relaxed));
+    let mut cache = Object::new();
+    cache.put_u64("hits", inner.cache.hits());
+    cache.put_u64("misses", inner.cache.misses());
+    cache.put_u64("len", inner.cache.len() as u64);
+    o.put_obj("cache", cache);
+    o
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 // ---------------------------------------------------------------------------
@@ -546,7 +692,7 @@ pub(crate) fn evaluate(request: &Request) -> Result<String, ErrorReply> {
             at_fraction,
             max_failures,
         } => Ok(eval_whatif(*rate, *at_fraction, *max_failures)),
-        Request::Stats | Request::Shutdown => Err(ErrorReply::new(
+        Request::Stats | Request::Health | Request::Shutdown => Err(ErrorReply::new(
             ErrorCode::BadRequest,
             "control commands are answered inline",
         )),

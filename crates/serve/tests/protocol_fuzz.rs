@@ -1,0 +1,251 @@
+//! Adversarial-input fuzzing for the wire layer: arbitrary bytes against
+//! the protocol decoder and against a *live* server socket.
+//!
+//! The decoder properties are pure (`Envelope::decode` / `Reply::parse`
+//! total over arbitrary input — an `Err`, never a panic). The live-socket
+//! properties pin the connection-level contract for hostile peers:
+//! at most one reply per line sent, every reply parseable, and the server
+//! still healthy afterwards — for truncated JSON, embedded NULs,
+//! non-UTF-8 bytes, and multi-MiB lines alike.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use doppio_serve::protocol::SimulateSpec;
+use doppio_serve::{start, Envelope, Reply, Request, ServeConfig};
+use proptest::prelude::*;
+
+/// Line bound for the fuzz server: small enough that the oversized-line
+/// path is cheap to hit, large enough that ordinary requests fit.
+const FUZZ_MAX_LINE: usize = 64 * 1024;
+
+/// One shared server for every live-socket case; leaked so the listener
+/// outlives each proptest case without per-case startup cost.
+fn fuzz_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let handle = start(ServeConfig {
+            workers: 1,
+            max_line_bytes: FUZZ_MAX_LINE,
+            read_timeout_ms: 2_000,
+            ..ServeConfig::default()
+        })
+        .expect("fuzz server starts");
+        let addr = handle.addr();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+fn connect() -> TcpStream {
+    let s = TcpStream::connect(fuzz_server_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s
+}
+
+/// Reads reply lines until EOF (the server closes every fuzz connection
+/// once our write side shuts down) or a read error.
+fn drain_replies(stream: TcpStream) -> Vec<String> {
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => out.push(line.trim().to_string()),
+        }
+    }
+    out.retain(|l| !l.is_empty());
+    out
+}
+
+fn stats_line() -> Vec<u8> {
+    let mut line = Envelope {
+        id: "probe".to_string(),
+        deadline_ms: None,
+        request: Request::Stats,
+    }
+    .encode()
+    .into_bytes();
+    line.push(b'\n');
+    line
+}
+
+/// The server is alive and sane: a fresh connection gets a stats reply.
+fn assert_server_healthy() {
+    let mut s = connect();
+    s.write_all(&stats_line()).expect("write stats");
+    let mut reader = BufReader::new(s.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read stats reply");
+    let reply = Reply::parse(line.trim()).expect("stats reply parses");
+    assert!(reply.ok, "stats must succeed on a healthy server: {line}");
+}
+
+/// A canonical valid envelope line, the seed material for truncation.
+fn valid_line(seed: u64) -> String {
+    Envelope {
+        id: format!("fuzz-{seed}"),
+        deadline_ms: Some(1_000),
+        request: Request::Simulate(SimulateSpec {
+            workload: doppio_workloads::Workload::Terasort,
+            nodes: 2,
+            cores: 4,
+            config: doppio_cluster::HybridConfig::SsdSsd,
+            seed,
+            paper: false,
+            inject: None,
+            fault_seed: 7,
+        }),
+    }
+    .encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The decoder is total: arbitrary bytes (lossily decoded — the
+    /// reader rejects non-UTF-8 before the decoder ever sees it) produce
+    /// `Ok` or `Err`, never a panic.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Envelope::decode(&text);
+        let _ = Reply::parse(&text);
+    }
+
+    /// Truncating a valid envelope at any byte yields a clean error.
+    #[test]
+    fn truncated_envelopes_never_panic(seed in any::<u64>(), cut in 0usize..512) {
+        let line = valid_line(seed);
+        let cut = cut.min(line.len());
+        // The envelope encoder escapes to ASCII-safe JSON, so every byte
+        // index is a char boundary; guard anyway.
+        if let Some(prefix) = line.get(..cut) {
+            prop_assert!(Envelope::decode(prefix).is_err() || cut == line.len());
+        }
+    }
+
+    /// Corrupting one byte of a valid envelope never panics the decoder.
+    #[test]
+    fn bitflipped_envelopes_never_panic(
+        seed in any::<u64>(),
+        pos in 0usize..512,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = valid_line(seed).into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Envelope::decode(&text);
+    }
+}
+
+proptest! {
+    // Each case opens a real connection; keep the count socket-friendly.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Live socket, arbitrary bytes (NULs and all): the server answers at
+    /// most one reply per line sent, every reply parses, and it keeps
+    /// serving afterwards.
+    #[test]
+    fn live_socket_tolerates_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+    ) {
+        let mut s = connect();
+        // The server may close mid-write on a hostile line; that is a
+        // legal outcome, not a test failure.
+        let _ = s.write_all(&bytes);
+        let _ = s.shutdown(Shutdown::Write);
+        let replies = drain_replies(s);
+        // An unterminated trailing segment is dropped at EOF without a
+        // reply, so terminated lines bound the reply count exactly.
+        let lines_sent = bytes.iter().filter(|&&b| b == b'\n').count();
+        prop_assert!(
+            replies.len() <= lines_sent,
+            "{} replies for {} lines",
+            replies.len(),
+            lines_sent
+        );
+        for r in &replies {
+            let parsed = Reply::parse(r);
+            prop_assert!(parsed.is_ok(), "unparseable reply: {r}");
+        }
+        assert_server_healthy();
+    }
+}
+
+/// A garbage UTF-8 line costs one `bad_request` and nothing else — the
+/// connection survives and the next valid request is served on it.
+#[test]
+fn utf8_garbage_line_gets_one_bad_request_and_connection_survives() {
+    let mut s = connect();
+    s.write_all(b"this is not a request\n")
+        .expect("write garbage");
+    let mut reader = BufReader::new(s.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error reply");
+    let reply = Reply::parse(line.trim()).expect("error reply parses");
+    assert!(!reply.ok);
+    assert_eq!(reply.error_code.as_deref(), Some("bad_request"));
+
+    s.write_all(&stats_line())
+        .expect("write stats after garbage");
+    line.clear();
+    reader.read_line(&mut line).expect("read stats reply");
+    assert!(Reply::parse(line.trim()).expect("parses").ok);
+}
+
+/// A non-UTF-8 line is answered with one structured `bad_request`, then
+/// the connection is closed (the stream cannot be re-synchronized).
+#[test]
+fn non_utf8_line_gets_bad_request_then_close() {
+    let mut s = connect();
+    s.write_all(b"\xff\xfe\x00garbage\n").expect("write bytes");
+    let _ = s.shutdown(Shutdown::Write);
+    let replies = drain_replies(s);
+    assert_eq!(replies.len(), 1, "exactly one reply: {replies:?}");
+    let reply = Reply::parse(&replies[0]).expect("reply parses");
+    assert_eq!(reply.error_code.as_deref(), Some("bad_request"));
+    assert!(
+        reply
+            .error_message
+            .as_deref()
+            .unwrap_or_default()
+            .contains("UTF-8"),
+        "message names the encoding problem: {:?}",
+        reply.error_message
+    );
+    assert_server_healthy();
+}
+
+/// An 8 MiB line against a 64 KiB bound is rejected while still being
+/// read — the server never buffers the whole thing, answers at most one
+/// `bad_request` (the reply can be lost to the RST from closing a socket
+/// with unread data), and stays healthy.
+#[test]
+fn eight_mib_line_is_rejected_without_buffering() {
+    let mut s = connect();
+    let chunk = vec![b'x'; 64 * 1024];
+    for _ in 0..128 {
+        // 8 MiB total; the server closes after ~the bound, so later
+        // writes legitimately fail.
+        if s.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let _ = s.write_all(b"\n");
+    let _ = s.shutdown(Shutdown::Write);
+    let lines = drain_replies(s);
+    assert!(lines.len() <= 1, "at most one reply: {lines:?}");
+    if let Some(line) = lines.first() {
+        let reply = Reply::parse(line).expect("reply parses");
+        assert_eq!(reply.error_code.as_deref(), Some("bad_request"));
+    }
+    assert_server_healthy();
+}

@@ -58,7 +58,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         ),
     )
         .prop_map(
-            |((v, w, nodes, cores), (seed, paper, inj, fseed), (rate, at, maxf))| match v % 6 {
+            |((v, w, nodes, cores), (seed, paper, inj, fseed), (rate, at, maxf))| match v % 7 {
                 0 => {
                     let inject = inject(inj);
                     Request::Simulate(SimulateSpec {
@@ -89,6 +89,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     max_failures: maxf,
                 },
                 4 => Request::Stats,
+                5 => Request::Health,
                 _ => Request::Shutdown,
             },
         )

@@ -8,9 +8,11 @@
 //! doppio optimize [--paper] [--jobs J]
 //! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
 //! doppio serve   [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
-//!                [--port-file PATH] [--allow-shutdown]
+//!                [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
+//! doppio health  [--addr H:P] [--wait-ms W]
 //! doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
-//!                [--out PATH] [--shutdown-after]
+//!                [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
+//!                [--connect-timeout-ms T] [--read-timeout-ms T]
 //! doppio list
 //! ```
 //!
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(rest),
         "phases" => cmd_phases(rest),
         "serve" => cmd_serve(rest),
+        "health" => cmd_health(rest),
         "loadgen" => cmd_loadgen(rest),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {
@@ -82,27 +85,37 @@ USAGE:
       break-point analysis: b = BW/T, B = λ·b, phase classification
       (--sweep classifies every core count 1..=P)
   doppio serve [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
-               [--port-file PATH] [--allow-shutdown]
+               [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
       run the model-serving front end: newline-delimited JSON over TCP with
       a shared result cache, singleflight deduplication and a bounded
       admission queue that sheds overload with structured 'overloaded'
-      replies; --port-file records the bound address for scripts and
-      --allow-shutdown lets a client drain the server remotely
+      replies; evaluations are panic-isolated, request lines are bounded at
+      --max-line-bytes, and idle or stalled connections are reaped after
+      --idle-timeout-ms; --port-file records the bound address for scripts
+      and --allow-shutdown lets a client drain the server remotely
+  doppio health [--addr H:P] [--wait-ms W]
+      ask a serve endpoint for its health payload (readiness, queue depth,
+      cache stats, panic count, uptime); with --wait-ms, poll until the
+      server reports ready or the wait expires — the CI startup gate
   doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
-                 [--out PATH] [--shutdown-after]
+                 [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
+                 [--connect-timeout-ms T] [--read-timeout-ms T]
       drive a serve endpoint through cold/hot closed-loop phases plus a
       singleflight burst, recording latency percentiles and the
       hot-over-cold speedup to BENCH_serve_throughput.json (strictly
       parsed back); without --addr a throwaway in-process server is used;
-      --smoke shrinks the run for CI and fails on any shed request
+      --smoke shrinks the run for CI and fails on any shed request, lost
+      reply or panic; --chaos adds a phase driven through a seeded
+      fault-injecting proxy and records retry/breaker metrics
   doppio list
-      list workloads, disk configurations and fault profiles
+      list workloads, disk configurations, fault profiles and chaos profiles
 
 --jobs J sets the scenario-engine worker count (0 or absent = one per core);
 results are identical at any J — the engine preserves input order.
 configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=HDD)
 workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort
-fault profiles: flaky-tasks, executor-loss, slow-disk, stragglers, chaos";
+fault profiles: flaky-tasks, executor-loss, slow-disk, stragglers, chaos
+chaos profiles: slow-wire, flaky-connect, truncate, garbage, disconnect-heavy";
 
 /// Fetches `--key value` from the argument list.
 fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -202,6 +215,11 @@ fn cmd_list() -> Result<(), String> {
     println!("fault profiles (simulate --inject <profile>):");
     for p in FaultProfile::ALL {
         println!("  {:<14} {}", p.name(), p.describe());
+    }
+    println!();
+    println!("chaos profiles (loadgen --chaos <profile>):");
+    for p in doppio::serve::ChaosProfile::ALL {
+        println!("  {:<18} {}", p.name(), p.describe());
     }
     Ok(())
 }
@@ -518,6 +536,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers: usize = parse_num(args, "--workers", 2)?;
     let queue_bound: usize = parse_num(args, "--queue-bound", 64)?;
     let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0)?;
+    let defaults = doppio::serve::ServeConfig::default();
     let cfg = doppio::serve::ServeConfig {
         addr: opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string(),
         workers,
@@ -525,6 +544,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_capacity: parse_num(args, "--cache", 4096)?,
         default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
         allow_shutdown: flag(args, "--allow-shutdown"),
+        max_line_bytes: parse_num(args, "--max-line-bytes", defaults.max_line_bytes)?,
+        read_timeout_ms: parse_num(args, "--idle-timeout-ms", defaults.read_timeout_ms)?,
         ..Default::default()
     };
     let handle = doppio::serve::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -540,6 +561,63 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Polls a serve endpoint's `health` verb. Without `--wait-ms` this is
+/// one shot: ask, print the reply, exit by readiness. With it, keep
+/// polling until the server reports ready or the wait expires — the CI
+/// startup gate that replaces sleeping.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+
+    let addr = opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string();
+    let wait_ms: u64 = parse_num(args, "--wait-ms", 0)?;
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    let ccfg = doppio::serve::ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_millis(2_000)),
+        write_timeout: Some(Duration::from_millis(2_000)),
+    };
+    loop {
+        let attempt = doppio::serve::Client::connect_with(&addr, &ccfg)
+            .map_err(|e| format!("connect {addr}: {e}"))
+            .and_then(|mut c| {
+                c.call(doppio::serve::Request::Health, None)
+                    .map_err(|e| format!("health call: {e}"))
+            });
+        match attempt {
+            Ok(reply) if reply.ok => {
+                let ready = reply
+                    .result
+                    .as_ref()
+                    .and_then(|r| r.get("ready"))
+                    .and_then(doppio::engine::json::Value::as_bool)
+                    .unwrap_or(false);
+                if ready {
+                    println!("{}", reply.raw);
+                    return Ok(());
+                }
+                if Instant::now() >= deadline {
+                    println!("{}", reply.raw);
+                    return Err("server answered but reports not ready".into());
+                }
+            }
+            Ok(reply) => {
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "health request failed: {}",
+                        reply.error_code.unwrap_or_default()
+                    ));
+                }
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     use doppio::serve::loadgen::{self, LoadgenConfig};
 
@@ -551,6 +629,13 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     cfg.connections = parse_num(args, "--connections", cfg.connections)?;
     cfg.cold_requests = parse_num(args, "--requests", cfg.cold_requests)?;
     cfg.hot_repeats = parse_num(args, "--repeats", cfg.hot_repeats)?;
+    cfg.chaos = match opt(args, "--chaos") {
+        None => None,
+        Some(token) => Some(doppio::serve::ChaosProfile::parse(token)?),
+    };
+    cfg.chaos_seed = parse_num(args, "--chaos-seed", cfg.chaos_seed)?;
+    cfg.connect_timeout_ms = parse_num(args, "--connect-timeout-ms", cfg.connect_timeout_ms)?;
+    cfg.read_timeout_ms = parse_num(args, "--read-timeout-ms", cfg.read_timeout_ms)?;
 
     // Without --addr, measure against a throwaway in-process server.
     let (addr, local) = match opt(args, "--addr") {
@@ -600,6 +685,30 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         }
     }
     println!("hot-over-cold speedup: {speedup:.1}x");
+    if let Some(chaos) = v.get("chaos") {
+        let n = |k: &str| {
+            chaos
+                .get(k)
+                .and_then(doppio::engine::json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "chaos [{}]: {}/{} ok, {} server err, {} client err, {} lost; {} retries, {} reconnects, breaker {}x open / {}x closed",
+            chaos
+                .get("profile")
+                .and_then(doppio::engine::json::Value::as_str)
+                .unwrap_or("?"),
+            n("succeeded"),
+            n("requests"),
+            n("server_errors"),
+            n("client_errors"),
+            n("lost_replies"),
+            n("retries"),
+            n("reconnects"),
+            n("breaker_opened"),
+            n("breaker_closed"),
+        );
+    }
     println!("report: {}", out.display());
 
     if flag(args, "--shutdown-after") {
@@ -718,6 +827,10 @@ mod tests {
             "--deadline-ms",
             "--port-file",
             "--allow-shutdown",
+            "--max-line-bytes",
+            "--idle-timeout-ms",
+            "doppio health",
+            "--wait-ms",
             "doppio loadgen",
             "--smoke",
             "--connections",
@@ -725,9 +838,22 @@ mod tests {
             "--repeats",
             "--out",
             "--shutdown-after",
+            "--chaos",
+            "--chaos-seed",
+            "--connect-timeout-ms",
+            "--read-timeout-ms",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
         }
+    }
+
+    #[test]
+    fn chaos_profiles_listed_in_usage() {
+        for p in doppio::serve::ChaosProfile::ALL {
+            assert!(USAGE.contains(p.name()), "USAGE lists '{}'", p.name());
+            assert_eq!(doppio::serve::ChaosProfile::parse(p.name()), Ok(p));
+        }
+        assert!(doppio::serve::ChaosProfile::parse("gremlins").is_err());
     }
 
     #[test]
@@ -741,6 +867,7 @@ mod tests {
             "doppio optimize",
             "doppio phases",
             "doppio serve",
+            "doppio health",
             "doppio loadgen",
             "doppio list",
         ] {

@@ -1,0 +1,294 @@
+//! Chaos harness: the serving path under injected wire faults.
+//!
+//! A seeded [`ChaosProxy`] sits between a [`RetryingClient`] and a real
+//! server and misbehaves per profile — refused connections, delayed
+//! chunks, truncated replies, garbage injection, mid-reply drops. The
+//! properties locked down here:
+//!
+//! * **Exactly one semantic outcome per request id**: bit-identical
+//!   success, a structured protocol error, or a client-side error — never
+//!   silence, never two answers.
+//! * **Bit-identity survives chaos**: every *successful* reply payload is
+//!   byte-identical to the in-process `Scenario::run` render, whatever
+//!   the proxy did to the wire.
+//! * **Panic isolation**: an injected worker panic costs one structured
+//!   `internal_error` reply, shows up in `stats` and `health`, and the
+//!   same worker keeps serving.
+//! * **Fail-fast on a dead endpoint**: the circuit breaker turns a dead
+//!   server into microsecond rejections instead of per-call timeouts.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::scenario::Scenario;
+use doppio::serve::protocol::workload_name;
+use doppio::serve::{
+    start, BreakerConfig, CallError, ChaosProfile, ChaosProxy, Client, ClientConfig, Request,
+    RetryPolicy, RetryingClient, ServeConfig, SimulateSpec,
+};
+use doppio::sparksim::{json, FaultPlan, SparkConf};
+use doppio::workloads::Workload;
+
+fn spec(seed: u64) -> SimulateSpec {
+    SimulateSpec {
+        workload: Workload::Terasort,
+        nodes: 2,
+        cores: 4,
+        config: HybridConfig::SsdSsd,
+        seed,
+        paper: false,
+        inject: None,
+        fault_seed: 7,
+    }
+}
+
+/// The in-process ground-truth payload for `spec(seed)`.
+fn expected_payload(seed: u64) -> String {
+    let s = spec(seed);
+    let run = Scenario {
+        workload: workload_name(s.workload).to_string(),
+        app: s.workload.scaled_app(),
+        cluster: ClusterSpec::paper_cluster(s.nodes, 36, s.config),
+        conf: SparkConf::paper().with_cores(s.cores).with_seed(s.seed),
+        faults: FaultPlan::empty(),
+    }
+    .run()
+    .expect("in-process run");
+    json::app_run(&run).render_line()
+}
+
+/// A retrying client tuned for test pace: short backoffs, short breaker
+/// cooldown, generous socket timeouts.
+fn retrying(addr: String, seed: u64) -> RetryingClient {
+    RetryingClient::new(
+        addr,
+        ClientConfig {
+            connect_timeout: Some(Duration::from_millis(1_000)),
+            read_timeout: Some(Duration::from_millis(3_000)),
+            write_timeout: Some(Duration::from_millis(3_000)),
+        },
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(30),
+            probe_budget: 2,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn every_profile_yields_exactly_one_outcome_per_request() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    let seeds = [31u64, 32, 33];
+    let expected: Vec<String> = seeds.iter().map(|&s| expected_payload(s)).collect();
+
+    for (p_idx, profile) in ChaosProfile::ALL.into_iter().enumerate() {
+        let mut proxy =
+            ChaosProxy::start(handle.addr(), profile, 0xC4A0_5000 + p_idx as u64).expect("proxy");
+        let mut rc = retrying(proxy.addr().to_string(), 0x5EED + p_idx as u64);
+
+        let mut successes = 0u32;
+        let mut server_errors = 0u32;
+        let mut client_errors = 0u32;
+        let requests = 4 * seeds.len() as u32;
+        for round in 0..4 {
+            for (i, &seed) in seeds.iter().enumerate() {
+                let mut outcome = rc.call(Request::Simulate(spec(seed)), None);
+                // A request that hit an open breaker is retried after the
+                // cooldown (bounded): the breaker shedding is the point,
+                // abandoning the semantic check is not.
+                let mut waits = 0;
+                while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 30 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    waits += 1;
+                    outcome = rc.call(Request::Simulate(spec(seed)), None);
+                }
+                match outcome {
+                    Ok(r) if r.ok => {
+                        successes += 1;
+                        assert!(
+                            r.raw.ends_with(&format!("\"result\": {}}}", expected[i])),
+                            "[{}] round {round} seed {seed}: successful reply bytes \
+                             diverge from the in-process render\n  raw: {}",
+                            profile.name(),
+                            r.raw
+                        );
+                    }
+                    Ok(r) => {
+                        server_errors += 1;
+                        assert!(
+                            r.error_code.is_some(),
+                            "[{}] error reply without a structured code: {}",
+                            profile.name(),
+                            r.raw
+                        );
+                    }
+                    Err(e) => {
+                        client_errors += 1;
+                        // Any client-side terminal error is a legitimate
+                        // single outcome; its Display must not be empty.
+                        assert!(!e.to_string().is_empty());
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            successes + server_errors + client_errors,
+            requests,
+            "[{}] every request id resolves to exactly one outcome",
+            profile.name()
+        );
+        assert!(
+            successes > 0,
+            "[{}] retries must get at least one request through",
+            profile.name()
+        );
+        proxy.stop();
+    }
+
+    // The server itself never wedged: a direct request still evaluates.
+    let mut direct = Client::connect(handle.addr()).expect("direct connect");
+    let after = direct
+        .call(Request::Simulate(spec(99)), None)
+        .expect("post-chaos request");
+    assert!(after.ok, "server must keep serving after every profile");
+    handle.join();
+}
+
+#[test]
+fn worker_panic_is_isolated_and_reported() {
+    let panic_seed = 0xDEAD;
+    let handle = start(ServeConfig {
+        workers: 1, // the panicking worker IS the only worker
+        panic_seed: Some(panic_seed),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let reply = client
+        .call(Request::Simulate(spec(panic_seed)), None)
+        .expect("panicking request still gets a reply");
+    assert!(!reply.ok, "a panicked evaluation cannot succeed");
+    assert_eq!(
+        reply.error_code.as_deref(),
+        Some("internal_error"),
+        "panic surfaces as the structured internal error: {:?}",
+        reply.error_message
+    );
+    assert!(
+        reply
+            .error_message
+            .as_deref()
+            .unwrap_or_default()
+            .contains("panicked"),
+        "message names the panic: {:?}",
+        reply.error_message
+    );
+
+    // The sole worker survived: fresh work still evaluates.
+    let after = client
+        .call(Request::Simulate(spec(77)), None)
+        .expect("post-panic request");
+    assert!(after.ok, "the worker must outlive the panic");
+
+    // Both observability surfaces report it.
+    for verb in [Request::Stats, Request::Health] {
+        let r = client.call(verb, None).expect("control reply");
+        assert!(r.ok);
+        let result = r.result.expect("control payload");
+        assert_eq!(
+            result
+                .get("panics")
+                .and_then(doppio::engine::json::Value::as_u64),
+            Some(1),
+            "panic counter visible in {}",
+            result
+                .get("schema")
+                .and_then(doppio::engine::json::Value::as_str)
+                .unwrap_or("?")
+        );
+    }
+    let health = client.call(Request::Health, None).expect("health reply");
+    assert_eq!(
+        health
+            .result
+            .expect("health payload")
+            .get("ready")
+            .and_then(doppio::engine::json::Value::as_bool),
+        Some(true),
+        "a survived panic does not flip readiness"
+    );
+    handle.join();
+}
+
+#[test]
+fn dead_endpoint_fails_fast_once_the_breaker_opens() {
+    // Bind then immediately free a port: connecting to it refuses fast.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let mut rc = RetryingClient::new(
+        addr.to_string(),
+        ClientConfig {
+            connect_timeout: Some(Duration::from_millis(250)),
+            read_timeout: Some(Duration::from_millis(250)),
+            write_timeout: Some(Duration::from_millis(250)),
+        },
+        RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        },
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(10), // stays open for the test
+            probe_budget: 1,
+        },
+        7,
+    );
+
+    // First call: both attempts fail at connect, tripping the breaker.
+    match rc.call(Request::Stats, None) {
+        Err(CallError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        rc.breaker().opened(),
+        1,
+        "two failures trip a threshold of 2"
+    );
+
+    // Open breaker: rejections must be microsecond-cheap, not
+    // per-call connect timeouts.
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        assert!(matches!(
+            rc.call(Request::Stats, None),
+            Err(CallError::CircuitOpen)
+        ));
+    }
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "100 fast-failures took {:?} — the breaker is not shedding",
+        t0.elapsed()
+    );
+    assert_eq!(rc.breaker().fast_failures(), 100);
+    assert_eq!(
+        rc.metrics().attempts,
+        2,
+        "no attempt touched the dead endpoint again"
+    );
+}
