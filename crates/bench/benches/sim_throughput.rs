@@ -8,8 +8,15 @@
 //! ```text
 //! cargo bench -p doppio-bench --bench sim_throughput            # full run
 //! cargo bench -p doppio-bench --bench sim_throughput -- --smoke # CI smoke
+//! cargo bench -p doppio-bench --bench sim_throughput -- --batch 8
 //! cargo bench -p doppio-bench --bench sim_throughput -- --out p.json
 //! ```
+//!
+//! `--batch W` times `ScenarioSet::run_batched` instead of per-run
+//! `Simulation::run` calls: the seeded replicas share one pre-built plan
+//! per batch of `W` lanes. The harness bit-compares the first batched
+//! lane against an interleaved run of the same seed before timing, so a
+//! batched-vs-serial divergence fails the bench (and CI) loudly.
 //!
 //! The harness validates the JSON it wrote by parsing it back with a strict
 //! minimal parser and fails loudly on any mismatch, so a malformed file can
@@ -17,8 +24,10 @@
 
 use std::time::Instant;
 
+use doppio::scenario::ScenarioSet;
 use doppio_bench::{banner, footer, json};
 use doppio_cluster::{ClusterSpec, HybridConfig};
+use doppio_engine::Engine;
 use doppio_events::Bytes;
 use doppio_sparksim::{AppRun, Simulation, SparkConf};
 use doppio_workloads::terasort;
@@ -34,6 +43,7 @@ const BASELINE_WALL_SECS_PER_RUN: f64 = 0.639;
 struct Config {
     smoke: bool,
     runs: usize,
+    batch: usize,
     out: String,
 }
 
@@ -41,6 +51,7 @@ fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
         runs: 3,
+        batch: 0,
         out: String::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -52,6 +63,12 @@ fn parse_args() -> Config {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--runs takes a positive integer");
+            }
+            "--batch" => {
+                cfg.batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batch takes a positive integer");
             }
             "--out" => cfg.out = args.next().expect("--out takes a path"),
             // Criterion-style flags cargo may forward; ignore them.
@@ -143,12 +160,49 @@ fn main() {
         max_nic_flows
     );
 
-    let start = Instant::now();
-    for i in 0..cfg.runs {
-        let run = run_once(&params, nodes, cores, 2 + i as u64);
-        std::hint::black_box(run.total_time());
-    }
-    let wall = start.elapsed().as_secs_f64();
+    let wall = if cfg.batch > 0 {
+        // Batched mode: the same seeds fan through `run_batched`, which
+        // plans the scenario family once per batch of `--batch` lanes and
+        // executes the shared plan per lane.
+        let seeds: Vec<u64> = (0..cfg.runs as u64).map(|i| 2 + i).collect();
+        let set = ScenarioSet::seeded_replicas(
+            "terasort",
+            terasort::app(&params),
+            ClusterSpec::paper_cluster(nodes, 36, HybridConfig::SsdHdd),
+            SparkConf::paper().with_cores(cores),
+            &seeds,
+        );
+        let engine = Engine::auto();
+        println!(
+            "  batched mode: width {} over {} lanes ({} jobs)",
+            cfg.batch,
+            cfg.runs,
+            engine.jobs()
+        );
+        let start = Instant::now();
+        let results = set
+            .run_batched(&engine, cfg.batch)
+            .expect("batch simulates");
+        let wall = start.elapsed().as_secs_f64();
+        // Identity tripwire: lane 0 must be bit-identical to the
+        // interleaved path on the same seed.
+        assert_eq!(
+            results[0],
+            run_once(&params, nodes, cores, 2),
+            "batched lane diverged from the serial run"
+        );
+        for run in &results {
+            std::hint::black_box(run.total_time());
+        }
+        wall
+    } else {
+        let start = Instant::now();
+        for i in 0..cfg.runs {
+            let run = run_once(&params, nodes, cores, 2 + i as u64);
+            std::hint::black_box(run.total_time());
+        }
+        start.elapsed().as_secs_f64()
+    };
 
     let runs_per_sec = cfg.runs as f64 / wall;
     let wall_per_run = wall / cfg.runs as f64;
@@ -170,6 +224,7 @@ fn main() {
     );
     doc.put_bool("smoke", cfg.smoke);
     doc.put_u64("runs", cfg.runs as u64);
+    doc.put_u64("batch_width", cfg.batch as u64);
     doc.put_u64("tasks_per_run", total_tasks as u64);
     doc.put_u64("events_per_run", events_fired);
     doc.put_u64("peak_disk_flows_per_device", max_disk_flows as u64);
@@ -203,6 +258,7 @@ fn main() {
         "runs_per_sec",
         "events_per_sec",
         "wall_secs_per_run",
+        "batch_width",
     ] {
         assert!(parsed.has_key(key), "BENCH JSON is missing key {key:?}");
     }

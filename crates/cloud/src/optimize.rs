@@ -108,7 +108,15 @@ pub fn grid_search(eval: &(impl EvaluateCost + Sync), space: &SearchSpace) -> Se
     grid_search_with(eval, space, &Engine::serial())
 }
 
-/// Exhaustive search with the evaluations fanned out over `engine`.
+/// Batch width for grid evaluations: each cost evaluation is a handful
+/// of closed-form model terms, so per-item dispatch overhead (cursor
+/// traffic, per-result locking) is comparable to the work itself.
+/// Handing workers 32 configurations at a time amortizes it away; the
+/// merged output is identical at any width.
+const GRID_BATCH: usize = 32;
+
+/// Exhaustive search with the evaluations fanned out over `engine` in
+/// batches of [`GRID_BATCH`].
 ///
 /// The argmin itself stays serial and first-wins over the engine's
 /// order-preserving results, so the winning configuration (ties included)
@@ -124,7 +132,9 @@ pub fn grid_search_with(
 ) -> SearchResult {
     assert!(!space.is_empty(), "search space must be non-empty");
     let configs: Vec<CloudConfig> = space.iter().collect();
-    let costs = engine.par_map(&configs, |config| eval.evaluate(config));
+    let costs = engine.par_map_batched(&configs, GRID_BATCH, |batch| {
+        batch.iter().map(|config| eval.evaluate(config)).collect()
+    });
     let evaluations = costs.len();
     let mut best: Option<(CloudConfig, CostBreakdown)> = None;
     for (config, cost) in configs.into_iter().zip(costs) {
@@ -330,13 +340,18 @@ pub fn sweep_local_sizes_with(
     sizes_gb: &[u64],
     engine: &Engine,
 ) -> Vec<(Bytes, CostBreakdown)> {
-    engine.par_map(sizes_gb, |&gb| {
-        let local = DiskChoice {
-            disk_type,
-            size: Bytes::new(gb * 1_000_000_000),
-        };
-        let cfg = CloudConfig { local, ..base };
-        (local.size, eval.evaluate(&cfg))
+    engine.par_map_batched(sizes_gb, GRID_BATCH, |batch| {
+        batch
+            .iter()
+            .map(|&gb| {
+                let local = DiskChoice {
+                    disk_type,
+                    size: Bytes::new(gb * 1_000_000_000),
+                };
+                let cfg = CloudConfig { local, ..base };
+                (local.size, eval.evaluate(&cfg))
+            })
+            .collect()
     })
 }
 

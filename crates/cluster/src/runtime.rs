@@ -119,6 +119,15 @@ impl NodeState {
         self.nic.advance(now);
     }
 
+    /// Applies a deferred sequence of pump timestamps to all three
+    /// servers — exactly the [`NodeState::advance`] calls an eager caller
+    /// would have made, so node state afterwards is bit-identical.
+    fn replay(&mut self, times: &[SimTime]) {
+        self.hdfs.replay(times);
+        self.local.replay(times);
+        self.nic.replay(times);
+    }
+
     /// Minimum next-completion entry over the node's three servers without
     /// forcing deferred integration: `(t, true)` is exact, `(t, false)` a
     /// conservative lower bound. Ties prefer the exact entry (a stale bound
@@ -138,6 +147,17 @@ impl NodeState {
                 a
             }
         })
+    }
+
+    /// Absolute time (seconds) strictly below which an advance cannot
+    /// complete any flow on this node — the minimum of the three
+    /// servers' safe-harvest horizons (see
+    /// [`PsServer::harvest_horizon`](doppio_events::PsServer::harvest_horizon)).
+    fn harvest_horizon(&self) -> f64 {
+        self.hdfs
+            .harvest_horizon()
+            .min(self.local.harvest_horizon())
+            .min(self.nic.harvest_horizon())
     }
 
     /// Forces deferred integration on any of the node's servers whose
@@ -171,26 +191,120 @@ impl NodeState {
     }
 }
 
+/// Cached per-node completion bound, the cluster-level analogue of the
+/// per-server `nc_cache`/`nc_stale` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NodeLb {
+    /// No usable cached bound — fold callers read the node live. The
+    /// deferral invariant guarantees a `Dirty` node's pump-log cursor is
+    /// current, so live reads see fully advanced state.
+    Dirty,
+    /// The node's completion entry as captured when it was last processed:
+    /// `Some((t, exact))` with the same meaning as
+    /// [`PsServer::next_completion_lb`](doppio_events::PsServer::next_completion_lb),
+    /// or `None` when nothing can complete under the node's current rates.
+    Known(Option<(SimTime, bool)>),
+}
+
 /// Runtime state of the whole cluster: per-node devices, NICs and cores.
 ///
 /// The executor simulation drives this via three calls: submit I/O or
 /// network flows, ask [`ClusterState::next_io_completion`] when something
 /// will finish, then [`ClusterState::drain_io_completions`] to learn which
 /// flow groups completed.
+///
+/// # Deferred per-node integration (the pump log)
+///
+/// Under symmetric load most pumps complete flows on one node while the
+/// rest merely integrate forward. Advancing every server on every pump is
+/// therefore mostly wasted motion: idle servers only move their clock, and
+/// busy-but-uninvolved servers run integration steps whose results nobody
+/// reads until their own completions come due.
+///
+/// Instead of advancing eagerly, the cluster records every pump timestamp
+/// in `pump_log` and tracks, per node, how much of the log has been
+/// applied (`cursors`). A node is brought up to date — *replaying* the
+/// logged timestamps in order — only when something actually observes it:
+/// a completion bound says it completes now, a caller takes `&mut` access,
+/// or an exact cross-cluster minimum needs its fresh projection. Because
+/// the replay performs the identical `advance` sequence the eager code
+/// would have, every f64 in the node (the chained `rem -= rate·dt`
+/// residuals above all) is bit-identical to eager execution; deferral
+/// changes *when* the arithmetic happens, never *what* it computes.
+///
+/// Skipping a node at a pump is justified by `hzn`: the node's cached
+/// safe-harvest horizon, below which no finish predicate can fire, proves
+/// the node can complete nothing at `now`. (The completion-bound cache
+/// `lbs` is deliberately *not* used for this: the finish predicate's
+/// relative-eps clause can complete a flow up to `eps·demand/rate`
+/// seconds before its projected completion time, so a pump under the
+/// projection may still harvest.) `lbs` serves the wake-up folds, where
+/// cached exact entries are degraded to stale bounds the first time a
+/// pump is deferred past them — mirroring the per-server exact→stale
+/// transition of the fast integration path, so the cluster-level fold
+/// makes exactly the serial fold's decisions.
 #[derive(Debug)]
 pub struct ClusterState {
     nodes: Vec<NodeState>,
+    /// Strictly increasing pump timestamps not yet applied to every node.
+    pump_log: Vec<SimTime>,
+    /// Per-node count of `pump_log` entries already applied.
+    cursors: Vec<usize>,
+    /// Per-node cached completion bounds (see [`NodeLb`]), consulted only
+    /// by the wake-up folds ([`ClusterState::next_io_completion`] and its
+    /// lower-bound variant).
+    lbs: Vec<NodeLb>,
+    /// Per-node cached safe-harvest horizons (seconds), captured from
+    /// [`NodeState::harvest_horizon`] whenever a node is brought up to
+    /// date and invalidated (to `NEG_INFINITY`) by mutable access. A pump
+    /// strictly below the horizon cannot complete anything on the node,
+    /// so the drain sweep defers its advance to the log. This is the
+    /// *harvest* gate; the completion-bound cache above is too loose for
+    /// it, because the finish predicate's relative-eps clause can fire up
+    /// to `eps·demand/rate` seconds before the projected completion time.
+    hzn: Vec<f64>,
 }
 
 impl ClusterState {
     /// Instantiates runtime state for a cluster, with `executor_cores`
     /// usable Spark cores per node (clamped to the node's physical cores).
     pub fn new(spec: &ClusterSpec, executor_cores: u32) -> Self {
+        let nodes: Vec<NodeState> = spec
+            .iter()
+            .map(|(_, n)| NodeState::new(n.clone(), executor_cores))
+            .collect();
+        let n = nodes.len();
         ClusterState {
-            nodes: spec
-                .iter()
-                .map(|(_, n)| NodeState::new(n.clone(), executor_cores))
-                .collect(),
+            nodes,
+            pump_log: Vec::new(),
+            cursors: vec![0; n],
+            lbs: vec![NodeLb::Dirty; n],
+            hzn: vec![f64::NEG_INFINITY; n],
+        }
+    }
+
+    /// Applies any logged pump timestamps node `i` has not seen yet and
+    /// re-captures its safe-harvest horizon (replayed scans may have
+    /// re-derived it).
+    fn replay_node(&mut self, i: usize) {
+        let applied = self.cursors[i];
+        if applied < self.pump_log.len() {
+            self.nodes[i].replay(&self.pump_log[applied..]);
+            self.cursors[i] = self.pump_log.len();
+            self.hzn[i] = self.nodes[i].harvest_horizon();
+        }
+    }
+
+    /// Brings every node up to date and restarts the pump log. Called at
+    /// observation points (stage boundaries, end-of-run reports) so `&self`
+    /// readers of busy-time/utilization state see fully advanced nodes.
+    fn sync_all(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.replay_node(i);
+        }
+        self.pump_log.clear();
+        for c in &mut self.cursors {
+            *c = 0;
         }
     }
 
@@ -208,12 +322,18 @@ impl ClusterState {
         &self.nodes[id.0]
     }
 
-    /// Mutable access to a node.
+    /// Mutable access to a node. The node's deferred pump prefix is
+    /// replayed first, so mutations (whose internal `advance` calls must
+    /// match eager execution exactly) always act on fully advanced state;
+    /// its cached completion bound is invalidated.
     ///
     /// # Panics
     ///
     /// Panics if the node id is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        self.replay_node(id.0);
+        self.lbs[id.0] = NodeLb::Dirty;
+        self.hzn[id.0] = f64::NEG_INFINITY;
         &mut self.nodes[id.0]
     }
 
@@ -223,22 +343,30 @@ impl ClusterState {
     }
 
     /// Earliest pending I/O or network completion across the cluster.
-    /// Per-server projections are cached, so only resources that changed
-    /// since the last query are re-scanned.
+    /// Per-node bounds are cached and per-server projections cached below
+    /// them, so only resources that changed since the last query are
+    /// re-scanned — and only nodes whose stale bound undercuts the best
+    /// exact candidate pay for their deferred pump replay.
     pub fn next_io_completion(&mut self) -> Option<SimTime> {
-        // Fold the per-node estimates; servers with deferred integration
-        // contribute stale lower bounds. When every stale bound is at or
-        // above the smallest exact entry `m`, `m` is the true minimum
-        // (every true value is >= its bound >= m). Otherwise batch-sync all
-        // nodes whose stale bound undercuts `m` — under symmetric load
-        // completion times bunch, so syncing them one at a time would
-        // re-fold the whole cluster once per tied node. Syncing only adds
-        // exact entries, so a couple of rounds settle it.
+        // Fold the per-node estimates; deferred or fast-path-integrating
+        // nodes contribute stale lower bounds. When every stale bound is at
+        // or above the smallest exact entry `m`, `m` is the true minimum
+        // (every true value is >= its bound >= m). Otherwise replay + sync
+        // every node whose stale bound undercuts `m` — under symmetric load
+        // completion times bunch, so resolving them one at a time would
+        // re-fold the whole cluster once per tied node. Resolution happens
+        // on fully replayed state, i.e. on exactly the state the eager fold
+        // would see, so the converged minimum is bit-identical; and it only
+        // adds exact entries, so a couple of rounds settle it.
         loop {
             let mut best_exact: Option<SimTime> = None;
             let mut best_stale: Option<SimTime> = None;
-            for n in self.nodes.iter_mut() {
-                if let Some((t, exact)) = n.next_completion_lb() {
+            for i in 0..self.nodes.len() {
+                let entry = match self.lbs[i] {
+                    NodeLb::Dirty => self.nodes[i].next_completion_lb(),
+                    NodeLb::Known(e) => e,
+                };
+                if let Some((t, exact)) = entry {
                     let slot = if exact {
                         &mut best_exact
                     } else {
@@ -254,8 +382,16 @@ impl ClusterState {
                 (m, None) => return m,
                 (Some(m), Some(s)) if s >= m => return Some(m),
                 (m, Some(_)) => {
-                    for n in self.nodes.iter_mut() {
-                        n.sync_stale_below(m);
+                    for i in 0..self.nodes.len() {
+                        match self.lbs[i] {
+                            NodeLb::Dirty => self.nodes[i].sync_stale_below(m),
+                            NodeLb::Known(Some((t, false))) if m.is_none_or(|m| t < m) => {
+                                self.replay_node(i);
+                                self.nodes[i].sync_stale_below(m);
+                                self.lbs[i] = NodeLb::Known(self.nodes[i].next_completion_lb());
+                            }
+                            _ => {}
+                        }
                     }
                 }
             }
@@ -277,8 +413,12 @@ impl ClusterState {
     /// re-project all of them on every event.
     pub fn next_io_completion_lb(&mut self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
-        for n in self.nodes.iter_mut() {
-            if let Some((t, _)) = n.next_completion_lb() {
+        for i in 0..self.nodes.len() {
+            let entry = match self.lbs[i] {
+                NodeLb::Dirty => self.nodes[i].next_completion_lb(),
+                NodeLb::Known(e) => e,
+            };
+            if let Some((t, _)) = entry {
                 best = Some(match best {
                     Some(b) if b <= t => b,
                     _ => t,
@@ -297,14 +437,72 @@ impl ClusterState {
         tags
     }
 
-    /// Advances every resource to `now`, appending the owner tags of all
-    /// completed flows to `tags` (cleared first). The caller owns the
-    /// buffer, so pump loops reuse one allocation across iterations.
+    /// Advances every resource to `now` (eagerly or via the deferred pump
+    /// log), appending the owner tags of all completed flows to `tags`
+    /// (cleared first). The caller owns the buffer, so pump loops reuse
+    /// one allocation across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier pump (time cannot flow
+    /// backwards).
     pub fn drain_io_completions_into(&mut self, now: SimTime, tags: &mut Vec<u64>) {
         tags.clear();
-        for n in &mut self.nodes {
-            n.advance(now);
-            n.drain_completed(tags);
+        // A pump at a new timestamp goes on the log; a same-time re-drain
+        // (the executor loops until a pump yields nothing) does not.
+        let appended = match self.pump_log.last() {
+            Some(&t) => {
+                assert!(t <= now, "cluster pump time went backwards: {t} -> {now}");
+                t < now
+            }
+            None => true,
+        };
+        if appended {
+            self.pump_log.push(now);
+        }
+        for i in 0..self.nodes.len() {
+            // Process a node only when an eager advance at `now` could
+            // move a flow to the completed list: its cached safe-harvest
+            // horizon is the time strictly below which the finish
+            // predicate (both the relative-eps and time-quantum clauses)
+            // cannot fire, so a pump below it is a pure integration step
+            // that can be deferred to the log.
+            if now.as_secs() >= self.hzn[i] {
+                if self.cursors[i] < self.pump_log.len() {
+                    // The log ends at `now`, so the replay's final step is
+                    // the advance-to-now an eager drain would perform.
+                    self.replay_node(i);
+                } else {
+                    // Same-timestamp re-drain on an already-current node:
+                    // the eager loop still advances (a dt = 0 harvest that
+                    // can complete flows whose rates a completion refill
+                    // just raised).
+                    self.nodes[i].advance(now);
+                }
+                let before = tags.len();
+                self.nodes[i].drain_completed(tags);
+                self.lbs[i] = if tags.len() > before {
+                    // Completions refilled the survivors' rates; the node
+                    // stays dirty so the executor's same-time re-drain
+                    // re-scans it, exactly like the eager sweep.
+                    NodeLb::Dirty
+                } else {
+                    NodeLb::Known(self.nodes[i].next_completion_lb())
+                };
+                self.hzn[i] = self.nodes[i].harvest_horizon();
+            } else if appended {
+                // First deferred pump past a cached *exact* entry: the
+                // entry decays to the same conservative stale bound the
+                // server itself would report after a fast-path integration
+                // step (see `PsServer::next_completion_lb`), keeping this
+                // cache bit-aligned with what an eager fold would read.
+                if let NodeLb::Known(Some((t, true))) = self.lbs[i] {
+                    self.lbs[i] = NodeLb::Known(Some((
+                        SimTime::from_secs(t.as_secs() * (1.0 - 1e-11)),
+                        false,
+                    )));
+                }
+            }
         }
     }
 
@@ -312,6 +510,9 @@ impl ClusterState {
     /// `(disk, nic)` maxima across nodes — and restarts the marks, so the
     /// report layer can expose peak scheduler pressure per stage.
     pub fn take_peak_flow_stats(&mut self) -> (usize, usize) {
+        // Stage boundary: flush the deferred pump log so `&self` readers
+        // (utilization, busy time) see fully advanced devices.
+        self.sync_all();
         let mut disk = 0;
         let mut nic = 0;
         for n in &mut self.nodes {
@@ -466,6 +667,37 @@ mod tests {
         let nid = c.node_mut(NodeId(0)).submit_net(mid, Bytes::from_gib(1), 4);
         assert!(c.node_mut(NodeId(0)).cancel_net(mid, nid));
         assert!(c.next_io_completion().is_none());
+    }
+
+    #[test]
+    fn eps_early_completion_is_harvested_at_a_skipped_pump_time() {
+        // The finish predicate's relative-eps clause can complete a flow
+        // up to `eps·demand/rate` seconds BEFORE its projected completion
+        // time. A pump landing in that window must still harvest the tag,
+        // even though the node's cached completion bound lies beyond the
+        // pump. The regression pinned here skipped the node (bound > now),
+        // leaving the completion to fire silently during a later deferred
+        // replay — deposited in the server but never drained, deadlocking
+        // the executor.
+        let mut c = cluster(1, 1);
+        let bytes = Bytes::from_gib(10);
+        c.node_mut(NodeId(0)).submit_net(SimTime::ZERO, bytes, 9);
+        // Cache a completion bound and harvest horizon at an early drain.
+        assert!(c
+            .drain_io_completions(SimTime::ZERO + doppio_events::SimDuration::from_secs(0.5))
+            .is_empty());
+        let t = c.next_io_completion().unwrap();
+        // Pump strictly inside the eps window: the residual at `now` is
+        // below `eps·demand`, so an eager advance completes the flow here.
+        let rate = Rate::gbit_per_sec(10.0).as_bytes_per_sec();
+        let eps_window = 1e-9 * bytes.as_f64() / rate;
+        let now = SimTime::from_secs(t.as_secs() - 0.25 * eps_window);
+        assert!(now < t, "pump must precede the projected completion");
+        assert_eq!(
+            c.drain_io_completions(now),
+            vec![9],
+            "eps-early completion missed at a deferred pump"
+        );
     }
 
     #[test]

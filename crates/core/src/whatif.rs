@@ -13,6 +13,12 @@
 use std::fmt;
 
 use doppio_engine::Engine;
+
+/// Batch width for sweep evaluations. A sweep point is one closed-form
+/// model evaluation — microseconds of work — so the `_with` variants hand
+/// workers [`SWEEP_BATCH`] points at a time rather than paying per-point
+/// dispatch. The series is identical at any width.
+const SWEEP_BATCH: usize = 16;
 use doppio_storage::DeviceSpec;
 
 use crate::{AppModel, PredictEnv};
@@ -100,9 +106,14 @@ pub fn cores_sweep_with(
 ) -> Sweep {
     Sweep {
         title: format!("runtime vs cores per node (N={})", base.nodes),
-        points: engine.par_map(cores, |&p| SweepPoint {
-            label: format!("P={p}"),
-            runtime_secs: model.predict(&base.clone().with_cores(p)),
+        points: engine.par_map_batched(cores, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|&p| SweepPoint {
+                    label: format!("P={p}"),
+                    runtime_secs: model.predict(&base.clone().with_cores(p)),
+                })
+                .collect()
         }),
     }
 }
@@ -121,9 +132,14 @@ pub fn nodes_sweep_with(
 ) -> Sweep {
     Sweep {
         title: format!("runtime vs worker count (P={})", base.cores),
-        points: engine.par_map(nodes, |&n| SweepPoint {
-            label: format!("N={n}"),
-            runtime_secs: model.predict(&base.clone().with_nodes(n)),
+        points: engine.par_map_batched(nodes, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|&n| SweepPoint {
+                    label: format!("N={n}"),
+                    runtime_secs: model.predict(&base.clone().with_nodes(n)),
+                })
+                .collect()
         }),
     }
 }
@@ -145,13 +161,18 @@ pub fn local_device_sweep_with(
             "runtime vs Spark-local device (N={}, P={})",
             base.nodes, base.cores
         ),
-        points: engine.par_map(devices, |d| {
-            let mut env = base.clone();
-            env.local = d.clone();
-            SweepPoint {
-                label: d.name().to_string(),
-                runtime_secs: model.predict(&env),
-            }
+        points: engine.par_map_batched(devices, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|d| {
+                    let mut env = base.clone();
+                    env.local = d.clone();
+                    SweepPoint {
+                        label: d.name().to_string(),
+                        runtime_secs: model.predict(&env),
+                    }
+                })
+                .collect()
         }),
     }
 }
@@ -219,9 +240,14 @@ pub fn failure_sweep_with(
             "runtime vs task failure rate (N={}, P={}, maxFailures={})",
             base.nodes, base.cores, max_failures
         ),
-        points: engine.par_map(rates, |&r| SweepPoint {
-            label: format!("f={:.0}%", r * 100.0),
-            runtime_secs: clean * failure_inflation(r, at_fraction, max_failures),
+        points: engine.par_map_batched(rates, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|&r| SweepPoint {
+                    label: format!("f={:.0}%", r * 100.0),
+                    runtime_secs: clean * failure_inflation(r, at_fraction, max_failures),
+                })
+                .collect()
         }),
     }
 }

@@ -345,6 +345,37 @@ impl PsServer {
         self.scan_flows(dt);
     }
 
+    /// Applies a deferred sequence of advance timestamps, performing for
+    /// each exactly what [`PsServer::advance`] at that time would have —
+    /// the whole point of deferral is that server state afterwards is
+    /// bit-identical to having advanced eagerly at every timestamp.
+    ///
+    /// The one shortcut taken is state-free: an idle *clean* server is
+    /// untouched by any advance except for its clock, so the loop
+    /// collapses to a single clock move. Batched callers
+    /// (`ClusterState`'s pump-log deferral) lean on this to erase the
+    /// empty-server advances that dominate a naive per-pump sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestamps are not non-decreasing from the server's
+    /// current clock (time cannot flow backwards).
+    pub fn replay(&mut self, times: &[SimTime]) {
+        let Some(&last) = times.last() else { return };
+        if !self.dirty && self.order.is_empty() {
+            assert!(
+                times[0] >= self.last_advance && last >= times[0],
+                "PsServer time went backwards: {} -> {last}",
+                self.last_advance
+            );
+            self.last_advance = last;
+            return;
+        }
+        for &t in times {
+            self.advance(t);
+        }
+    }
+
     fn harvest_completed(&mut self) {
         self.scan_flows(0.0);
     }
@@ -819,6 +850,29 @@ impl PsServer {
         }
         self.nc_cache
             .map(|t| (SimTime::from_secs(t.as_secs() * (1.0 - 1e-11)), false))
+    }
+
+    /// Absolute time (seconds) strictly below which [`PsServer::advance`]
+    /// cannot move any flow to the completed list — advances before it
+    /// are pure integration, so a caller may defer them without missing
+    /// a harvest. This is the safe-skip horizon established by the last
+    /// full scan: it bounds *both* finish clauses (the relative-eps one,
+    /// which can fire up to `eps·demand/rate` seconds before the
+    /// projected completion time, and the time-quantum one), which makes
+    /// it strictly stronger than the [`PsServer::next_completion_lb`]
+    /// bound for deciding whether an advance can be skipped.
+    ///
+    /// `NEG_INFINITY` when the answer is unknown (rates changed since
+    /// the last scan) or completions await draining; `INFINITY` when the
+    /// server is idle or nothing can finish under the current rates.
+    pub fn harvest_horizon(&self) -> f64 {
+        if self.dirty || !self.completed.is_empty() {
+            f64::NEG_INFINITY
+        } else if self.order.is_empty() {
+            f64::INFINITY
+        } else {
+            self.horizon
+        }
     }
 
     /// Current service rate of a flow, in units per second.

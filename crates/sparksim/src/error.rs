@@ -23,6 +23,13 @@ pub enum SimError {
         /// Failure count that hit the limit.
         failures: u32,
     },
+    /// The application cannot be planned up front for reuse across runs:
+    /// its fault plan can lose an executor, making later jobs' plans
+    /// depend on execution outcomes (lineage recovery stages).
+    PlanNotReusable {
+        /// The application whose plan was requested.
+        app: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +43,12 @@ impl fmt::Display for SimError {
                 f,
                 "task in stage '{stage}' failed {failures} times; aborting job \
                  (spark.task.maxFailures)"
+            ),
+            SimError::PlanNotReusable { app } => write!(
+                f,
+                "application '{app}' cannot be pre-planned: its fault plan \
+                 can lose an executor, so later jobs' plans depend on \
+                 execution outcomes"
             ),
         }
     }

@@ -70,5 +70,5 @@ pub use doppio_faults::{FaultEvent, FaultPlan, FaultProfile};
 pub use error::SimError;
 pub use metrics::{AppRun, ChannelStats, FaultStats, SchedStats, StageMetrics, TaskStats};
 pub use rdd::{ActionKind, App, AppBuilder, Cost, Job, JobId, RddId, ShuffleSpec, StorageLevel};
-pub use sim::Simulation;
+pub use sim::{AppPlan, Simulation};
 pub use task::{FlowLoc, FlowTemplate, IoChannel, PlannedStage, StageKind, TaskSpec};

@@ -149,6 +149,115 @@ impl Simulation {
         }
         Ok((AppRun::new(app.name(), stages), executor.into_cluster()))
     }
+
+    /// Plans every job of `app` up front, without executing anything, and
+    /// returns the reusable [`AppPlan`].
+    ///
+    /// Planning is independent of the configuration's RNG seed (noise is
+    /// applied at execution time) and of anything the executor does —
+    /// *except* when a fault plan can lose an executor, in which case the
+    /// plans of later jobs depend on the losses earlier stages suffered.
+    /// This method therefore refuses to pre-plan such simulations; callers
+    /// fall back to the interleaved [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when planning fails, or
+    /// [`SimError::PlanNotReusable`] when the fault plan can lose an
+    /// executor.
+    pub fn plan(&self, app: &App) -> Result<AppPlan, SimError> {
+        use doppio_faults::FaultEvent;
+        if self
+            .faults
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ExecutorLoss { .. }))
+        {
+            return Err(SimError::PlanNotReusable {
+                app: app.name().to_string(),
+            });
+        }
+        let n = self.cluster.num_nodes();
+        let mut namenode = Namenode::new(self.dfs, n);
+        let mut shuffles = ShuffleRegistry::new();
+        let mut memory = MemoryManager::new(self.conf.storage_pool(), n);
+        let mut jobs = Vec::with_capacity(app.jobs().len());
+        for job in app.jobs() {
+            let mut ctx = PlanContext {
+                app,
+                conf: &self.conf,
+                num_nodes: n,
+                namenode: &mut namenode,
+                shuffles: &mut shuffles,
+                memory: &mut memory,
+            };
+            jobs.push(plan_job(&mut ctx, job)?);
+        }
+        Ok(AppPlan {
+            name: app.name().to_string(),
+            jobs,
+        })
+    }
+
+    /// Executes a pre-built [`AppPlan`], bit-identical to
+    /// [`Simulation::run`] on the application it was planned from: the
+    /// executor receives the same stage sequence, and execution noise is
+    /// seeded from this simulation's configuration exactly as in the
+    /// interleaved path.
+    ///
+    /// The plan is shared, not consumed — each stage is cloned into the
+    /// executor — so one plan drives any number of seeds or fault
+    /// variations (the batched scenario path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    pub fn run_planned(&self, plan: &AppPlan) -> Result<AppRun, SimError> {
+        let mut executor = Executor::with_faults(
+            ClusterState::new(&self.cluster, self.conf.executor_cores),
+            self.conf.clone(),
+            self.faults.clone(),
+        );
+        let mut stages = Vec::new();
+        for job in &plan.jobs {
+            for stage in job {
+                stages.push(executor.run_stage(stage.clone())?);
+                let lost = executor.take_lost_nodes();
+                assert!(
+                    lost.is_empty(),
+                    "plan() refuses executor-loss fault plans, so a reusable \
+                     plan can never lose a node"
+                );
+            }
+        }
+        Ok(AppRun::new(&plan.name, stages))
+    }
+}
+
+/// The fully planned stage sequence of an application, detached from any
+/// executor state: what [`Simulation::plan`] produces once per scenario
+/// family and [`Simulation::run_planned`] executes once per batch lane.
+///
+/// The expensive per-run work the simulator used to repeat — DAG
+/// linearisation, partition math, HDFS block placement, shuffle and
+/// memory bookkeeping — happens once when the plan is built; executing a
+/// lane only clones the planned stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppPlan {
+    name: String,
+    jobs: Vec<Vec<crate::task::PlannedStage>>,
+}
+
+impl AppPlan {
+    /// The planned application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of planned stages across all jobs.
+    pub fn num_stages(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]

@@ -222,6 +222,13 @@ impl Device {
         self.server.advance(now);
     }
 
+    /// Applies a deferred sequence of advance timestamps, bit-identical to
+    /// having called [`Device::advance`] at each (see [`PsServer::replay`]).
+    #[inline]
+    pub fn replay(&mut self, times: &[SimTime]) {
+        self.server.replay(times);
+    }
+
     /// Time of the next transfer completion, if any. Cached between calls
     /// on an unchanged device (see [`PsServer::next_completion`]).
     #[inline]
@@ -240,6 +247,13 @@ impl Device {
     /// Drains completed transfers as `(flow id, tag)` pairs.
     pub fn take_completed(&mut self) -> Vec<(FlowId, u64)> {
         self.server.take_completed()
+    }
+
+    /// Absolute time (seconds) strictly below which an advance cannot
+    /// complete any transfer (see [`PsServer::harvest_horizon`]).
+    #[inline]
+    pub fn harvest_horizon(&self) -> f64 {
+        self.server.harvest_horizon()
     }
 
     /// Appends the tags of completed transfers to `out` without allocating

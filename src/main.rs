@@ -3,7 +3,7 @@
 //! ```text
 //! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
 //! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
-//!                 [--runs R] [--jobs J] [--inject <profile>] [--fault-seed S]
+//!                 [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
 //! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
 //! doppio optimize [--paper] [--jobs J]
 //! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
@@ -71,11 +71,13 @@ USAGE:
   doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
       print effective-bandwidth/IOPS lookup tables
   doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
-                  [--runs R] [--jobs J] [--inject <profile>] [--fault-seed S]
+                  [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
       run a workload on the discrete-event simulator; --runs R fans R seeded
-      replicas (seeds S..S+R) out over the scenario engine; --inject draws a
-      deterministic fault plan (seeded by --fault-seed) from a named profile
-      and reports the clean run next to the faulty one
+      replicas (seeds S..S+R) out over the scenario engine in batches of
+      --batch W lanes (default 8) that share one pre-built plan per batch;
+      results are bit-identical at any W; --inject draws a deterministic
+      fault plan (seeded by --fault-seed) from a named profile and reports
+      the clean run next to the faulty one
   doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
       calibrate the Doppio model (4 sample runs) and compare exp vs model
   doppio optimize [--paper] [--jobs J]
@@ -278,6 +280,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_num(args, "--seed", 0xD0_99_10)?;
     let fault_seed: u64 = parse_num(args, "--fault-seed", 7)?;
     let runs: u64 = parse_num(args, "--runs", 1)?;
+    let batch: usize = parse_num(args, "--batch", 8)?;
     let engine = parse_engine(args)?;
     let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
     let app = if flag(args, "--paper") {
@@ -310,7 +313,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         if let Some((_, _, plan)) = &injected {
             set = set.with_fault_plan(plan.clone());
         }
-        let results = set.run_all(&engine).map_err(|e| e.to_string())?;
+        let results = set.run_batched(&engine, batch).map_err(|e| e.to_string())?;
         let mins: Vec<f64> = results
             .iter()
             .map(|r| r.total_time().as_secs() / 60.0)
@@ -809,6 +812,7 @@ mod tests {
             "--seed",
             "--runs",
             "--jobs",
+            "--batch",
             "--inject",
             "--fault-seed",
         ] {

@@ -17,7 +17,9 @@
 
 use doppio_cluster::ClusterSpec;
 use doppio_engine::{Engine, Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache};
-use doppio_sparksim::{App, AppRun, FaultPlan, SimError, Simulation, SparkConf};
+use doppio_sparksim::{
+    App, AppPlan, AppRun, FaultEvent, FaultPlan, SimError, Simulation, SparkConf,
+};
 
 /// One fully specified simulator evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +58,33 @@ impl Fingerprintable for Scenario {
         self.cluster.fingerprint_into(fp);
         self.conf.fingerprint_into(fp);
         self.faults.fingerprint_into(fp);
+    }
+}
+
+impl Scenario {
+    /// Fingerprint of everything the *planner* consumes: app, cluster,
+    /// and configuration with the seed normalized away. Two scenarios
+    /// with equal plan families produce identical [`AppPlan`]s (planning
+    /// is seed-independent, and fault plans only matter at execution —
+    /// executor-loss plans are excluded from plan reuse separately), so
+    /// [`ScenarioSet::run_batched`] plans each family once per batch.
+    fn plan_family(&self) -> Fingerprint {
+        let mut fp = FingerprintBuilder::new();
+        self.app.fingerprint_into(&mut fp);
+        self.cluster.fingerprint_into(&mut fp);
+        self.conf.clone().with_seed(0).fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
+    /// Whether the fault plan can lose an executor, in which case later
+    /// jobs' plans depend on execution outcomes and a pre-built plan
+    /// must not be reused.
+    fn plan_reusable(&self) -> bool {
+        !self
+            .faults
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ExecutorLoss { .. }))
     }
 }
 
@@ -145,6 +174,63 @@ impl ScenarioSet {
                 let run = s.run()?;
                 self.cache.insert(key, run.clone());
                 Ok(run)
+            })
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs every scenario in contiguous batches of `width`, planning
+    /// each *plan family* (scenarios differing only in seed or in a
+    /// reusable fault plan) once per batch and executing the shared plan
+    /// per lane.
+    ///
+    /// Results are bit-identical to [`ScenarioSet::run_all`] at every
+    /// width: planning is seed-independent and ignores executor
+    /// feedback, so a pre-built [`AppPlan`] replayed through
+    /// `Simulation::run_planned` walks the exact same event sequence as
+    /// the interleaved `Scenario::run`. Scenarios whose fault plan can
+    /// lose an executor (where that independence breaks) fall back to
+    /// the interleaved path lane-by-lane.
+    ///
+    /// Lanes are processed in batch order against the shared memo cache:
+    /// a batch of `K` identical scenarios costs one simulation and `K-1`
+    /// cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in scenario order.
+    pub fn run_batched(&self, engine: &Engine, width: usize) -> Result<Vec<AppRun>, SimError> {
+        engine
+            .par_map_batched(&self.scenarios, width, |batch| {
+                // Plans built by earlier lanes of this batch, keyed by
+                // plan family; later lanes clone instead of re-planning.
+                let mut plans: Vec<(Fingerprint, AppPlan)> = Vec::new();
+                batch
+                    .iter()
+                    .map(|s| {
+                        let key = s.fingerprint();
+                        if let Some(hit) = self.cache.get(&key) {
+                            return Ok(hit);
+                        }
+                        let run = if s.plan_reusable() {
+                            let sim = Simulation::with_conf(s.cluster.clone(), s.conf.clone())
+                                .with_faults(s.faults.clone());
+                            let family = s.plan_family();
+                            let plan = match plans.iter().find(|(f, _)| *f == family) {
+                                Some((_, p)) => p,
+                                None => {
+                                    plans.push((family, sim.plan(&s.app)?));
+                                    &plans.last().expect("just pushed").1
+                                }
+                            };
+                            sim.run_planned(plan)?
+                        } else {
+                            s.run()?
+                        };
+                        self.cache.insert(key, run.clone());
+                        Ok(run)
+                    })
+                    .collect()
             })
             .into_iter()
             .collect()

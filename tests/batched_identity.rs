@@ -1,0 +1,233 @@
+//! Batched execution is a wall-clock optimization, never a semantic one:
+//! `ScenarioSet::run_batched` must produce f64-bit-identical `AppRun`s to
+//! the serial path and to `par_map` fan-out at every batch width — for
+//! clean plans, fault-injected plans, and degraded-disk windows alike —
+//! and a batch of identical scenarios must cost one simulation plus
+//! cache hits, not K simulations.
+
+use doppio::cluster::{ClusterSpec, HybridConfig};
+use doppio::engine::Engine;
+use doppio::scenario::{Scenario, ScenarioSet};
+use doppio::sparksim::{AppRun, FaultPlan, FaultProfile, IoChannel, SparkConf};
+use doppio::workloads::terasort;
+use proptest::prelude::*;
+
+/// Every batch width the harness exercises: degenerate (1), smaller than
+/// the set, equal to it, larger than it, and a prime that straddles the
+/// set boundary so the tail batch is short.
+const WIDTHS: [usize; 5] = [1, 2, 3, 8, 17];
+
+fn scenario_set(seeds: &[u64]) -> ScenarioSet {
+    ScenarioSet::seeded_replicas(
+        "terasort",
+        terasort::app(&terasort::Params::scaled_down()),
+        ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd),
+        SparkConf::paper().with_cores(8),
+        seeds,
+    )
+}
+
+/// Stage-by-stage comparison at f64 bit granularity: a last-ulp
+/// reduction-order difference between the batched and serial event loops
+/// fails loudly, not within an epsilon.
+fn assert_bit_identical(a: &[AppRun], b: &[AppRun], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: run count");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(
+            ra.total_time().as_secs().to_bits(),
+            rb.total_time().as_secs().to_bits(),
+            "{what}: total time bits"
+        );
+        for (sa, sb) in ra.stages().iter().zip(rb.stages()) {
+            assert_eq!(sa.name, sb.name, "{what}");
+            assert_eq!(
+                sa.duration.as_secs().to_bits(),
+                sb.duration.as_secs().to_bits(),
+                "{what}: stage '{}' duration bits",
+                sa.name
+            );
+            assert_eq!(
+                sa.tasks.avg_secs.to_bits(),
+                sb.tasks.avg_secs.to_bits(),
+                "{what}: stage '{}' t_avg bits",
+                sa.name
+            );
+            for ch in IoChannel::DISK_CHANNELS {
+                assert_eq!(sa.channel(ch), sb.channel(ch), "{what}: {} {ch}", sa.name);
+            }
+        }
+        assert_eq!(ra, rb, "{what}: full metric structs");
+    }
+}
+
+/// Serial `run_all`, threaded `par_map` fan-out, and `run_batched` at
+/// every width in [`WIDTHS`] agree to the bit on clean plans.
+#[test]
+fn clean_plans_are_batch_width_invariant() {
+    let seeds = [41u64, 42, 43, 44, 45];
+    let serial = scenario_set(&seeds)
+        .run_all(&Engine::serial())
+        .expect("serial batch runs");
+    let fanned = scenario_set(&seeds)
+        .run_all(&Engine::with_jobs(3))
+        .expect("par_map batch runs");
+    assert_bit_identical(&serial, &fanned, "par_map vs serial");
+    for width in WIDTHS {
+        for jobs in [1usize, 3] {
+            let batched = scenario_set(&seeds)
+                .run_batched(&Engine::with_jobs(jobs), width)
+                .expect("batched runs");
+            assert_bit_identical(&serial, &batched, &format!("width {width}, jobs {jobs}"));
+        }
+    }
+}
+
+/// Reusable fault plans (no executor loss) go through the shared-plan
+/// path; the injected faults must replay bit-identically at every width.
+#[test]
+fn fault_injected_plans_are_batch_width_invariant() {
+    let seeds = [7u64, 8, 9];
+    let plan = FaultProfile::FlakyTasks.plan(5, 3, 60.0);
+    let serial = scenario_set(&seeds)
+        .with_fault_plan(plan.clone())
+        .run_all(&Engine::serial())
+        .expect("serial faulty batch runs");
+    assert!(
+        !serial[0].total_faults().is_clean(),
+        "the plan actually injected something"
+    );
+    for width in WIDTHS {
+        let batched = scenario_set(&seeds)
+            .with_fault_plan(plan.clone())
+            .run_batched(&Engine::serial(), width)
+            .expect("batched faulty runs");
+        assert_bit_identical(&serial, &batched, &format!("flaky-tasks, width {width}"));
+    }
+}
+
+/// Degraded-disk windows (`DiskSlowdown` events) change device rates
+/// mid-run — exactly the state the deferred pump-log replays — so they
+/// get their own width sweep.
+#[test]
+fn degraded_disk_windows_are_batch_width_invariant() {
+    let seeds = [31u64, 32, 33];
+    let plan = FaultProfile::SlowDisk.plan(11, 3, 60.0);
+    let serial = scenario_set(&seeds)
+        .with_fault_plan(plan.clone())
+        .run_all(&Engine::serial())
+        .expect("serial degraded batch runs");
+    for width in WIDTHS {
+        let batched = scenario_set(&seeds)
+            .with_fault_plan(plan.clone())
+            .run_batched(&Engine::serial(), width)
+            .expect("batched degraded runs");
+        assert_bit_identical(&serial, &batched, &format!("slow-disk, width {width}"));
+    }
+}
+
+/// Executor-loss plans cannot share a pre-built plan (later jobs' plans
+/// depend on which lineage was lost); `run_batched` must fall back to
+/// the interleaved path lane-by-lane and still match serial to the bit.
+#[test]
+fn executor_loss_plans_fall_back_bit_identically() {
+    let seeds = [21u64, 22];
+    let plan = FaultProfile::ExecutorLoss.plan(3, 3, 60.0);
+    let serial = scenario_set(&seeds)
+        .with_fault_plan(plan.clone())
+        .run_all(&Engine::serial())
+        .expect("serial loss batch runs");
+    for width in WIDTHS {
+        let batched = scenario_set(&seeds)
+            .with_fault_plan(plan.clone())
+            .run_batched(&Engine::serial(), width)
+            .expect("batched loss runs");
+        assert_bit_identical(&serial, &batched, &format!("executor-loss, width {width}"));
+    }
+}
+
+/// One batch mixing clean, degraded-disk and executor-loss lanes: plan
+/// sharing must not bleed one lane's faults (or its plan-reuse decision)
+/// into a neighbour.
+#[test]
+fn mixed_fault_lanes_in_one_batch_do_not_bleed() {
+    let base = scenario_set(&[1]).scenarios()[0].clone();
+    let lanes: Vec<Scenario> = vec![
+        Scenario {
+            faults: FaultPlan::empty(),
+            ..base.clone()
+        },
+        Scenario {
+            faults: FaultProfile::SlowDisk.plan(11, 3, 60.0),
+            ..base.clone()
+        },
+        Scenario {
+            faults: FaultProfile::ExecutorLoss.plan(3, 3, 60.0),
+            ..base.clone()
+        },
+        Scenario {
+            faults: FaultPlan::empty(),
+            ..base
+        },
+    ];
+    let serial = ScenarioSet::new(lanes.clone())
+        .run_all(&Engine::serial())
+        .expect("serial mixed batch runs");
+    // One wide batch holds all four lanes at once.
+    let batched = ScenarioSet::new(lanes)
+        .run_batched(&Engine::serial(), 4)
+        .expect("batched mixed runs");
+    assert_bit_identical(&serial, &batched, "mixed fault lanes");
+    assert_eq!(serial[0], serial[3], "the two clean lanes agree");
+    assert_ne!(
+        serial[0].total_time(),
+        serial[2].total_time(),
+        "the executor-loss lane actually diverged from clean"
+    );
+}
+
+/// A batch of K identical scenarios costs one simulation: the first lane
+/// misses, the remaining K-1 are served from the memo cache with
+/// bit-identical payloads.
+#[test]
+fn identical_lanes_cost_one_miss_plus_hits() {
+    const K: usize = 6;
+    let one = scenario_set(&[77]).scenarios()[0].clone();
+    let set = ScenarioSet::new(vec![one; K]);
+    let results = set
+        .run_batched(&Engine::serial(), K)
+        .expect("identical batch runs");
+    assert_eq!(set.cache_misses(), 1, "first lane simulates");
+    assert_eq!(set.cache_hits(), (K - 1) as u64, "remaining lanes hit");
+    assert_eq!(set.cached(), 1);
+    for r in &results[1..] {
+        assert_bit_identical(&results[..1], std::slice::from_ref(r), "cache payload");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batch-width invariance over seeded scenario families: for any seed
+    /// set, width and thread count, `run_batched` returns exactly the
+    /// serial `run_all` results.
+    #[test]
+    fn run_batched_is_width_invariant_for_any_seed_family(
+        seeds in prop::collection::vec(0u64..1_000, 1..5),
+        width in 1usize..20,
+        jobs in 1usize..4,
+    ) {
+        let serial = scenario_set(&seeds)
+            .run_all(&Engine::serial())
+            .expect("serial batch runs");
+        let batched = scenario_set(&seeds)
+            .run_batched(&Engine::with_jobs(jobs), width)
+            .expect("batched runs");
+        prop_assert_eq!(&serial, &batched);
+        for (a, b) in serial.iter().zip(&batched) {
+            prop_assert_eq!(
+                a.total_time().as_secs().to_bits(),
+                b.total_time().as_secs().to_bits()
+            );
+        }
+    }
+}

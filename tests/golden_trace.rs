@@ -160,6 +160,88 @@ fn empty_fault_plan_is_bit_identical_to_the_fixture_at_any_thread_count() {
 }
 
 #[test]
+fn batched_execution_is_bit_identical_to_the_fixture() {
+    // The batched path (shared plan per batch, deferred per-node
+    // integration) must reproduce the checked-in fixture bit for bit at
+    // widths 1 and 4 — no re-bless allowed for a wall-clock optimization.
+    use doppio::engine::Engine;
+    use doppio::scenario::ScenarioSet;
+    use doppio::sparksim::FaultPlan;
+
+    let golden = std::fs::read_to_string(fixture_path())
+        .expect("fixture exists — run with DOPPIO_BLESS=1 to create it");
+    for width in [1usize, 4] {
+        let current = snapshot_with(|workload| {
+            let set = ScenarioSet::seeded_replicas(
+                workload.name(),
+                workload.scaled_app(),
+                ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd),
+                SparkConf::paper().with_cores(12),
+                &[SEED],
+            )
+            .with_fault_plan(FaultPlan::empty());
+            set.run_batched(&Engine::serial(), width)
+                .expect("golden workload simulates")
+                .remove(0)
+        });
+        assert_eq!(
+            current, golden,
+            "batched execution drifted off the golden path at width={width}"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_conf_batch_has_no_cross_run_state_bleed() {
+    // One batch mixing SparkConfs (different core counts and seeds around
+    // the golden lane): the golden lane's trace must still match the
+    // fixture exactly, and each neighbour must equal its own standalone
+    // run — proof that lanes share plans without sharing state.
+    use doppio::engine::Engine;
+    use doppio::scenario::{Scenario, ScenarioSet};
+    use doppio::sparksim::FaultPlan;
+
+    let golden = std::fs::read_to_string(fixture_path())
+        .expect("fixture exists — run with DOPPIO_BLESS=1 to create it");
+    let cluster = ClusterSpec::paper_cluster(3, 36, HybridConfig::SsdSsd);
+    let confs = [
+        SparkConf::paper().with_cores(8).with_seed(SEED + 1),
+        SparkConf::paper().with_cores(12).with_seed(SEED), // the golden lane
+        SparkConf::paper().with_cores(36).with_seed(SEED + 2),
+    ];
+    let current = snapshot_with(|workload| {
+        let lanes: Vec<Scenario> = confs
+            .iter()
+            .map(|conf| Scenario {
+                workload: workload.name().to_string(),
+                app: workload.scaled_app(),
+                cluster: cluster.clone(),
+                conf: conf.clone(),
+                faults: FaultPlan::empty(),
+            })
+            .collect();
+        let set = ScenarioSet::new(lanes.clone());
+        let mut runs = set
+            .run_batched(&Engine::serial(), lanes.len())
+            .expect("mixed batch simulates");
+        // Neighbour lanes equal their standalone runs to the bit.
+        for (i, lane) in lanes.iter().enumerate() {
+            assert_eq!(
+                runs[i],
+                lane.run().expect("standalone lane simulates"),
+                "lane {i} (cores={}) bled state from a neighbour",
+                lane.conf.executor_cores
+            );
+        }
+        runs.remove(1)
+    });
+    assert_eq!(
+        current, golden,
+        "golden lane drifted inside a heterogeneous batch"
+    );
+}
+
+#[test]
 fn golden_trace_is_seed_sensitive() {
     // The fixture pins one seed; make sure it is actually pinning
     // something — a different seed must change at least one timing bit.
