@@ -20,6 +20,8 @@
 //! * [`CloudPlatform`] — a [`doppio_model::ProfilePlatform`] over cloud
 //!   disks, so the §VI.1 calibration (with its disk-resizing resample
 //!   rules) runs exactly as in the paper.
+//! * [`tiered`] — $/GB-month + $/request pricing for disaggregated
+//!   storage profiles, pluggable into every search routine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +31,11 @@ pub mod disks;
 pub mod optimize;
 mod platform;
 pub mod pricing;
+pub mod tiered;
 
 pub use cost::{
     CloudConfig, CostBreakdown, CostEvaluator, DiskChoice, EvaluateCost, MemoizedEvaluator,
 };
 pub use disks::CloudDiskType;
 pub use platform::CloudPlatform;
+pub use tiered::{ObjectStorePricing, TieredEvaluator};

@@ -1,0 +1,284 @@
+//! Pricing disaggregated storage tiers (DESIGN.md §3.10).
+//!
+//! Object stores bill differently from provisioned disks: capacity is
+//! $/GB-month on the bytes *stored* (not provisioned), and every request
+//! costs money. A cluster reading its dataset from S3 therefore trades
+//! the per-node disk rate for a storage rent plus a per-request charge —
+//! and a slower effective bandwidth, which the calibrated model prices
+//! through the longer runtime.
+//!
+//! [`TieredEvaluator`] wraps the plain [`CostEvaluator`] and implements
+//! [`EvaluateCost`], so every search routine in [`crate::optimize`] (grid
+//! search, coordinate descent, multi-start) explores tiered
+//! configurations unchanged.
+
+use doppio_cluster::StorageProfile;
+use doppio_events::Bytes;
+use doppio_model::whatif::tier_effective_device;
+use doppio_model::PredictEnv;
+
+use crate::{CloudConfig, CostBreakdown, CostEvaluator, EvaluateCost};
+
+/// Object-store price card (AWS S3 Standard shape, 2018 list prices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectStorePricing {
+    /// Dollars per decimal gigabyte per month of data at rest.
+    pub per_gb_month: f64,
+    /// Dollars per million GET-class requests.
+    pub per_million_reads: f64,
+    /// Dollars per million PUT-class requests.
+    pub per_million_writes: f64,
+}
+
+impl ObjectStorePricing {
+    /// S3 Standard: $0.023/GB-month, $0.40/M GETs, $5.00/M PUTs.
+    pub fn s3_standard() -> Self {
+        ObjectStorePricing {
+            per_gb_month: 0.023,
+            per_million_reads: 0.40,
+            per_million_writes: 5.00,
+        }
+    }
+
+    /// Storage rent for keeping `data` at rest for `hours`
+    /// (billed pro-rata against a 730-hour month).
+    pub fn storage_cost(&self, data: Bytes, hours: f64) -> f64 {
+        self.per_gb_month * (data.as_f64() / 1e9) * (hours / crate::pricing::HOURS_PER_MONTH)
+    }
+
+    /// Request charge for `reads` GET-class and `writes` PUT-class calls.
+    pub fn request_cost(&self, reads: f64, writes: f64) -> f64 {
+        (reads * self.per_million_reads + writes * self.per_million_writes) / 1e6
+    }
+}
+
+/// Prices cloud configurations whose dataset lives on a disaggregated
+/// tier instead of node-local HDFS disks.
+///
+/// Runtime comes from the wrapped model evaluated against the blended
+/// effective device ([`tier_effective_device`]): hits run at the
+/// provisioned HDFS disk's speed, misses share the remote tier. The tier
+/// itself is billed as storage rent on the dataset plus per-request
+/// charges derived from the model's HDFS channel volumes.
+#[derive(Debug, Clone)]
+pub struct TieredEvaluator {
+    inner: CostEvaluator,
+    profile: StorageProfile,
+    pricing: ObjectStorePricing,
+    /// Bytes at rest in the store (the job's dataset).
+    dataset: Bytes,
+    /// Working set driving the cache hit ratio of `Cached` profiles.
+    working_set: Bytes,
+}
+
+impl TieredEvaluator {
+    /// Wraps `inner` to price runs against `profile`, billing `dataset`
+    /// bytes at rest under `pricing`. `working_set` feeds the hit-ratio
+    /// model of cached profiles (usually equal to `dataset`).
+    pub fn new(
+        inner: CostEvaluator,
+        profile: StorageProfile,
+        pricing: ObjectStorePricing,
+        dataset: Bytes,
+        working_set: Bytes,
+    ) -> Self {
+        TieredEvaluator {
+            inner,
+            profile,
+            pricing,
+            dataset,
+            working_set,
+        }
+    }
+
+    /// The storage profile being priced.
+    pub fn profile(&self) -> &StorageProfile {
+        &self.profile
+    }
+
+    /// Remote GET/PUT request counts implied by the model's HDFS channels:
+    /// only the miss fraction of reads goes to the store, every tiered
+    /// write does (DESIGN.md §3.10).
+    fn remote_requests(&self, hit_ratio: f64) -> (f64, f64) {
+        let mut reads = 0.0;
+        let mut writes = 0.0;
+        for stage in self.inner.model().stages() {
+            for ch in &stage.channels {
+                let requests =
+                    ch.total_bytes.as_f64() / ch.request_size.max(Bytes::new(1)).as_f64();
+                match ch.channel {
+                    doppio_sparksim::IoChannel::HdfsRead => {
+                        reads += requests * (1.0 - hit_ratio);
+                    }
+                    doppio_sparksim::IoChannel::HdfsWrite => writes += requests,
+                    _ => {}
+                }
+            }
+        }
+        (reads, writes)
+    }
+}
+
+impl EvaluateCost for TieredEvaluator {
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        if self.profile.is_local() {
+            return self.inner.evaluate(config);
+        }
+        let base: PredictEnv = config.env();
+        let h = self.profile.cache_hit_ratio(self.working_set, base.nodes);
+        let mut env = base.clone();
+        env.hdfs = tier_effective_device(&base.hdfs, &self.profile, base.nodes, h);
+        let runtime_secs = self.inner.model().predict(&env);
+        let hours = runtime_secs / 3600.0;
+        let cpu_cost = config.nodes as f64 * crate::pricing::vcpu_hourly(config.vcpus) * hours;
+        // The HDFS disk now only backs the cache: bill it only when the
+        // profile actually has one; diskless parallel-FS profiles shed it.
+        let hdfs_hourly = match self.profile {
+            StorageProfile::Cached(_) => config.hdfs.hourly(),
+            _ => 0.0,
+        };
+        let local_hourly = if self.profile.diskless() {
+            0.0
+        } else {
+            config.local.hourly()
+        };
+        let (reads, writes) = self.remote_requests(h);
+        let disk_cost = config.nodes as f64 * (hdfs_hourly + local_hourly) * hours
+            + self.pricing.storage_cost(self.dataset, hours)
+            + self.pricing.request_cost(reads, writes);
+        CostBreakdown {
+            runtime_secs,
+            cpu_cost,
+            disk_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskChoice;
+    use doppio_model::{AppModel, ChannelModel, StageModel};
+    use doppio_sparksim::IoChannel;
+
+    fn scan_model() -> AppModel {
+        AppModel::new(
+            "scan",
+            vec![StageModel {
+                name: "MD".into(),
+                m: 8192,
+                t_avg: 2.0,
+                delta_scale: 0.0,
+                channels: vec![ChannelModel::new(
+                    IoChannel::HdfsRead,
+                    Bytes::from_gib(1024),
+                    Bytes::from_mib(128),
+                    None,
+                )],
+            }],
+        )
+    }
+
+    fn config(nodes: usize) -> CloudConfig {
+        CloudConfig {
+            nodes,
+            vcpus: 16,
+            hdfs: DiskChoice::ssd_gb(500),
+            local: DiskChoice::ssd_gb(200),
+        }
+    }
+
+    #[test]
+    fn s3_pricing_arithmetic() {
+        let p = ObjectStorePricing::s3_standard();
+        // 1 TB for a whole month is $23; for an hour, 1/730 of that.
+        let month = p.storage_cost(Bytes::new(1_000_000_000_000), 730.0);
+        assert!((month - 23.0).abs() < 1e-9);
+        let hour = p.storage_cost(Bytes::new(1_000_000_000_000), 1.0);
+        assert!((hour - 23.0 / 730.0).abs() < 1e-12);
+        // 1M GETs = $0.40, 1M PUTs = $5.
+        assert!((p.request_cost(1e6, 0.0) - 0.40).abs() < 1e-12);
+        assert!((p.request_cost(0.0, 1e6) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_profile_defers_to_the_plain_evaluator() {
+        let eval = CostEvaluator::new(scan_model());
+        let tiered = TieredEvaluator::new(
+            eval.clone(),
+            StorageProfile::Local,
+            ObjectStorePricing::s3_standard(),
+            Bytes::from_gib(1024),
+            Bytes::from_gib(1024),
+        );
+        let c = config(16);
+        let a = eval.evaluate(&c);
+        let b = EvaluateCost::evaluate(&tiered, &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remote_tier_slows_large_clusters_and_bills_requests() {
+        let eval = CostEvaluator::new(scan_model());
+        let tiered = TieredEvaluator::new(
+            eval.clone(),
+            StorageProfile::s3(),
+            ObjectStorePricing::s3_standard(),
+            Bytes::from_gib(1024),
+            Bytes::from_gib(1024),
+        );
+        let c = config(64);
+        let local = eval.evaluate(&c);
+        let s3 = EvaluateCost::evaluate(&tiered, &c);
+        // 64 nodes share 10 GiB/s: far slower than 64 local SSDs.
+        assert!(s3.runtime_secs > 2.0 * local.runtime_secs);
+        // The request bill alone: 8192 GETs is well under a dollar, but
+        // present — the disk bucket carries rent + requests.
+        assert!(s3.disk_cost > 0.0);
+    }
+
+    #[test]
+    fn cached_tier_sits_between_s3_and_local_runtime() {
+        let eval = CostEvaluator::new(scan_model());
+        let mk = |profile| {
+            TieredEvaluator::new(
+                eval.clone(),
+                profile,
+                ObjectStorePricing::s3_standard(),
+                Bytes::from_gib(1024),
+                Bytes::from_gib(1024),
+            )
+        };
+        let c = config(64);
+        let local = eval.evaluate(&c).runtime_secs;
+        let s3 = EvaluateCost::evaluate(&mk(StorageProfile::s3()), &c).runtime_secs;
+        // 8 GiB/node x 64 = 512 GiB of 1 TiB working set: h = 0.5.
+        let half = StorageProfile::Cached(doppio_cluster::CacheSpec {
+            remote: doppio_cluster::ObjectStoreSpec::s3_standard(),
+            capacity_per_node: Bytes::from_gib(8),
+        });
+        let cached = EvaluateCost::evaluate(&mk(half), &c).runtime_secs;
+        assert!(local < cached && cached < s3, "{local} < {cached} < {s3}");
+    }
+
+    #[test]
+    fn grid_search_accepts_a_tiered_evaluator() {
+        use crate::optimize::{grid_search, SearchSpace};
+        let tiered = TieredEvaluator::new(
+            CostEvaluator::new(scan_model()),
+            StorageProfile::s3(),
+            ObjectStorePricing::s3_standard(),
+            Bytes::from_gib(1024),
+            Bytes::from_gib(1024),
+        );
+        let space = SearchSpace {
+            nodes: vec![8, 16],
+            vcpus: vec![8, 16],
+            hdfs: vec![DiskChoice::standard_gb(500), DiskChoice::ssd_gb(500)],
+            local: vec![DiskChoice::ssd_gb(200)],
+        };
+        let res = grid_search(&tiered, &space);
+        assert_eq!(res.evaluations, space.len());
+        assert!(res.cost.total() > 0.0);
+    }
+}

@@ -8,10 +8,13 @@
 //! and which device type (HDD or SSD) backs HDFS and Spark-local
 //! (Table III's four hybrid configurations).
 //!
-//! * [`NodeSpec`] / [`ClusterSpec`] — static descriptions.
+//! * [`NodeSpec`] / [`ClusterSpec`] — static descriptions, including the
+//!   cluster's [`StorageProfile`] (node-local HDFS, object store, cache
+//!   tier or parallel filesystem).
 //! * [`presets`] — the paper's hardware (Tables I–III).
 //! * [`ClusterState`] — runtime resource state: devices as processor-sharing
-//!   servers, NIC flow servers, and free-core accounting.
+//!   servers, NIC flow servers, free-core accounting, and the shared
+//!   remote storage tier when the profile has one.
 //!
 //! # Example
 //!
@@ -37,3 +40,7 @@ mod spec;
 pub use presets::HybridConfig;
 pub use runtime::{ClusterState, NodeState};
 pub use spec::{ClusterSpec, DiskRole, NodeId, NodeSpec};
+
+pub use doppio_tiered::{
+    hit_ratio, CacheSpec, ObjectStoreSpec, ParallelFsSpec, StorageProfile, PROFILE_NAMES,
+};

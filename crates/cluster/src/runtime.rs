@@ -1,7 +1,7 @@
 //! Runtime cluster state: devices, NICs and core accounting.
 
 use doppio_events::{Bytes, FlowId, FlowSpec, PsServer, SimTime};
-use doppio_storage::{Device, TransferSpec};
+use doppio_storage::{Device, DeviceSpec, StorageTier, TransferSpec};
 
 use crate::{ClusterSpec, DiskRole, NodeId, NodeSpec};
 
@@ -191,6 +191,18 @@ impl NodeState {
     }
 }
 
+/// Forces deferred integration on a single device whose stale
+/// next-completion bound undercuts `m` (the remote-tier analogue of
+/// [`NodeState::sync_stale_below`]).
+fn device_sync_stale_below(d: &mut Device, m: Option<SimTime>) {
+    match d.next_completion_lb() {
+        Some((t, false)) if m.is_none_or(|m| t < m) => {
+            let _ = d.next_completion();
+        }
+        _ => {}
+    }
+}
+
 /// Cached per-node completion bound, the cluster-level analogue of the
 /// per-server `nc_cache`/`nc_stale` pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,6 +258,20 @@ enum NodeLb {
 #[derive(Debug)]
 pub struct ClusterState {
     nodes: Vec<NodeState>,
+    /// The shared remote storage tier (object store or parallel FS), when
+    /// the cluster's [`StorageProfile`](doppio_tiered::StorageProfile) has
+    /// one. `None` for the local profile, which keeps every pump loop
+    /// branch below a no-op and default runs bit-identical to pre-tiered
+    /// golden traces. The tier is one extra rate domain shared by *all*
+    /// nodes, participating in the same pump-log / lb / horizon discipline
+    /// as a node — conceptually node index `N`.
+    remote: Option<StorageTier>,
+    /// Count of `pump_log` entries already applied to the remote tier.
+    remote_cursor: usize,
+    /// Cached completion bound for the remote tier (see [`NodeLb`]).
+    remote_lb: NodeLb,
+    /// Cached safe-harvest horizon for the remote tier.
+    remote_hzn: f64,
     /// Strictly increasing pump timestamps not yet applied to every node.
     pump_log: Vec<SimTime>,
     /// Per-node count of `pump_log` entries already applied.
@@ -276,6 +302,13 @@ impl ClusterState {
         let n = nodes.len();
         ClusterState {
             nodes,
+            remote: spec
+                .storage()
+                .remote_device()
+                .map(StorageTier::cluster_shared),
+            remote_cursor: 0,
+            remote_lb: NodeLb::Dirty,
+            remote_hzn: f64::NEG_INFINITY,
             pump_log: Vec::new(),
             cursors: vec![0; n],
             lbs: vec![NodeLb::Dirty; n],
@@ -295,6 +328,19 @@ impl ClusterState {
         }
     }
 
+    /// Applies any logged pump timestamps the remote tier has not seen yet
+    /// (the remote analogue of [`ClusterState::replay_node`]).
+    fn replay_remote(&mut self) {
+        if let Some(tier) = self.remote.as_mut() {
+            if self.remote_cursor < self.pump_log.len() {
+                tier.device_mut()
+                    .replay(&self.pump_log[self.remote_cursor..]);
+                self.remote_cursor = self.pump_log.len();
+                self.remote_hzn = tier.device().harvest_horizon();
+            }
+        }
+    }
+
     /// Brings every node up to date and restarts the pump log. Called at
     /// observation points (stage boundaries, end-of-run reports) so `&self`
     /// readers of busy-time/utilization state see fully advanced nodes.
@@ -302,10 +348,12 @@ impl ClusterState {
         for i in 0..self.nodes.len() {
             self.replay_node(i);
         }
+        self.replay_remote();
         self.pump_log.clear();
         for c in &mut self.cursors {
             *c = 0;
         }
+        self.remote_cursor = 0;
     }
 
     /// Number of worker nodes.
@@ -342,6 +390,53 @@ impl ClusterState {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
     }
 
+    /// The shared remote storage tier, if the cluster's storage profile has
+    /// one. `&self` readers see state as of the tier's last replay; use
+    /// only at observation points.
+    pub fn remote(&self) -> Option<&StorageTier> {
+        self.remote.as_ref()
+    }
+
+    /// Static device spec of the remote tier, if any (used for uncontended
+    /// bandwidth estimates).
+    pub fn remote_spec(&self) -> Option<&DeviceSpec> {
+        self.remote.as_ref().map(|t| t.spec())
+    }
+
+    /// Submits a transfer on the shared remote tier; returns the flow id
+    /// (usable with [`ClusterState::cancel_remote`]). Like
+    /// [`ClusterState::node_mut`], the tier's deferred pump prefix is
+    /// replayed first and its cached bounds are invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster's storage profile has no remote tier.
+    pub fn submit_remote(&mut self, now: SimTime, transfer: TransferSpec) -> FlowId {
+        self.replay_remote();
+        self.remote_lb = NodeLb::Dirty;
+        self.remote_hzn = f64::NEG_INFINITY;
+        self.remote
+            .as_mut()
+            .expect("cluster storage profile has no remote tier")
+            .submit(now, transfer)
+    }
+
+    /// Cancels an in-flight remote transfer. Returns `false` if the flow
+    /// already finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster's storage profile has no remote tier.
+    pub fn cancel_remote(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.replay_remote();
+        self.remote_lb = NodeLb::Dirty;
+        self.remote_hzn = f64::NEG_INFINITY;
+        self.remote
+            .as_mut()
+            .expect("cluster storage profile has no remote tier")
+            .cancel(now, id)
+    }
+
     /// Earliest pending I/O or network completion across the cluster.
     /// Per-node bounds are cached and per-server projections cached below
     /// them, so only resources that changed since the last query are
@@ -361,11 +456,7 @@ impl ClusterState {
         loop {
             let mut best_exact: Option<SimTime> = None;
             let mut best_stale: Option<SimTime> = None;
-            for i in 0..self.nodes.len() {
-                let entry = match self.lbs[i] {
-                    NodeLb::Dirty => self.nodes[i].next_completion_lb(),
-                    NodeLb::Known(e) => e,
-                };
+            let mut fold = |entry: Option<(SimTime, bool)>| {
                 if let Some((t, exact)) = entry {
                     let slot = if exact {
                         &mut best_exact
@@ -377,6 +468,21 @@ impl ClusterState {
                         _ => t,
                     });
                 }
+            };
+            for i in 0..self.nodes.len() {
+                fold(match self.lbs[i] {
+                    NodeLb::Dirty => self.nodes[i].next_completion_lb(),
+                    NodeLb::Known(e) => e,
+                });
+            }
+            if self.remote.is_some() {
+                fold(match self.remote_lb {
+                    NodeLb::Dirty => self
+                        .remote
+                        .as_mut()
+                        .and_then(|t| t.device_mut().next_completion_lb()),
+                    NodeLb::Known(e) => e,
+                });
             }
             match (best_exact, best_stale) {
                 (m, None) => return m,
@@ -392,6 +498,20 @@ impl ClusterState {
                             }
                             _ => {}
                         }
+                    }
+                    match self.remote_lb {
+                        NodeLb::Dirty => {
+                            if let Some(tier) = self.remote.as_mut() {
+                                device_sync_stale_below(tier.device_mut(), m);
+                            }
+                        }
+                        NodeLb::Known(Some((t, false))) if m.is_none_or(|m| t < m) => {
+                            self.replay_remote();
+                            let tier = self.remote.as_mut().expect("remote lb without tier");
+                            device_sync_stale_below(tier.device_mut(), m);
+                            self.remote_lb = NodeLb::Known(tier.device_mut().next_completion_lb());
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -416,6 +536,21 @@ impl ClusterState {
         for i in 0..self.nodes.len() {
             let entry = match self.lbs[i] {
                 NodeLb::Dirty => self.nodes[i].next_completion_lb(),
+                NodeLb::Known(e) => e,
+            };
+            if let Some((t, _)) = entry {
+                best = Some(match best {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        }
+        if self.remote.is_some() {
+            let entry = match self.remote_lb {
+                NodeLb::Dirty => self
+                    .remote
+                    .as_mut()
+                    .and_then(|t| t.device_mut().next_completion_lb()),
                 NodeLb::Known(e) => e,
             };
             if let Some((t, _)) = entry {
@@ -504,6 +639,34 @@ impl ClusterState {
                 }
             }
         }
+        // The shared remote tier is swept under the identical horizon /
+        // replay / decay discipline — it is simply one more rate domain.
+        if let Some(tier) = self.remote.as_mut() {
+            if now.as_secs() >= self.remote_hzn {
+                if self.remote_cursor < self.pump_log.len() {
+                    tier.device_mut()
+                        .replay(&self.pump_log[self.remote_cursor..]);
+                    self.remote_cursor = self.pump_log.len();
+                } else {
+                    tier.device_mut().advance(now);
+                }
+                let before = tags.len();
+                tier.device_mut().drain_completed_tags(tags);
+                self.remote_lb = if tags.len() > before {
+                    NodeLb::Dirty
+                } else {
+                    NodeLb::Known(tier.device_mut().next_completion_lb())
+                };
+                self.remote_hzn = tier.device().harvest_horizon();
+            } else if appended {
+                if let NodeLb::Known(Some((t, true))) = self.remote_lb {
+                    self.remote_lb = NodeLb::Known(Some((
+                        SimTime::from_secs(t.as_secs() * (1.0 - 1e-11)),
+                        false,
+                    )));
+                }
+            }
+        }
     }
 
     /// Per-device-class high-water marks of concurrent flows —
@@ -524,6 +687,12 @@ impl ClusterState {
             n.local.reset_peak();
             n.nic.reset_peak();
         }
+        // Remote-tier pressure is a storage bottleneck, so it folds into
+        // the disk high-water mark.
+        if let Some(tier) = self.remote.as_mut() {
+            disk = disk.max(tier.device().peak_transfers());
+            tier.device_mut().reset_peak();
+        }
         (disk, nic)
     }
 
@@ -541,11 +710,15 @@ impl ClusterState {
         acc
     }
 
-    /// Clears iostat counters on every disk (between stages).
+    /// Clears iostat counters on every disk and the remote tier (between
+    /// stages).
     pub fn reset_stats(&mut self) {
         for n in &mut self.nodes {
             n.hdfs.reset_stats();
             n.local.reset_stats();
+        }
+        if let Some(tier) = self.remote.as_mut() {
+            tier.device_mut().reset_stats();
         }
     }
 }
@@ -698,6 +871,75 @@ mod tests {
             vec![9],
             "eps-early completion missed at a deferred pump"
         );
+    }
+
+    #[test]
+    fn local_profile_has_no_remote_tier() {
+        let c = cluster(2, 4);
+        assert!(c.remote().is_none());
+        assert!(c.remote_spec().is_none());
+    }
+
+    #[test]
+    fn remote_tier_is_one_cluster_shared_rate_domain() {
+        let spec = ClusterSpec::paper_cluster(2, 36, HybridConfig::SsdHdd)
+            .with_storage(doppio_tiered::StorageProfile::s3());
+        let mut c = ClusterState::new(&spec, 4);
+        // Streams submitted on behalf of *different* nodes contend in the
+        // same fabric domain: two equal uncapped streams finish together at
+        // the aggregate effective bandwidth.
+        for tag in 0..2 {
+            c.submit_remote(
+                SimTime::ZERO,
+                TransferSpec {
+                    dir: IoDir::Read,
+                    bytes: Bytes::from_gib(1),
+                    request_size: Bytes::from_mib(128),
+                    stream_cap: None,
+                    tag,
+                },
+            );
+        }
+        let t = c.next_io_completion().unwrap();
+        let mut tags = c.drain_io_completions(t);
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1], "tied streams complete together");
+        let bw = c
+            .remote_spec()
+            .unwrap()
+            .bandwidth(IoDir::Read, Bytes::from_mib(128))
+            .as_bytes_per_sec();
+        let expect = 2.0 * Bytes::from_gib(1).as_f64() / bw;
+        assert!(
+            (t.as_secs() - expect).abs() / expect < 1e-6,
+            "makespan {} vs shared-domain expectation {}",
+            t.as_secs(),
+            expect
+        );
+        // Peak remote pressure folds into the disk high-water mark.
+        let (disk, _nic) = c.take_peak_flow_stats();
+        assert_eq!(disk, 2);
+    }
+
+    #[test]
+    fn cancelled_remote_transfers_never_complete() {
+        let spec = ClusterSpec::paper_cluster(1, 36, HybridConfig::SsdHdd)
+            .with_storage(doppio_tiered::StorageProfile::lustre());
+        let mut c = ClusterState::new(&spec, 4);
+        let id = c.submit_remote(
+            SimTime::ZERO,
+            TransferSpec {
+                dir: IoDir::Write,
+                bytes: Bytes::from_gib(1),
+                request_size: Bytes::from_mib(128),
+                stream_cap: Some(Rate::gib_per_sec(2.0)),
+                tag: 5,
+            },
+        );
+        let mid = SimTime::ZERO + doppio_events::SimDuration::from_secs(0.01);
+        assert!(c.cancel_remote(mid, id));
+        assert!(c.next_io_completion().is_none());
+        assert!(!c.cancel_remote(mid, id));
     }
 
     #[test]

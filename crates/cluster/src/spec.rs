@@ -4,6 +4,7 @@ use std::fmt;
 
 use doppio_events::{Bytes, Rate};
 use doppio_storage::DeviceSpec;
+use doppio_tiered::StorageProfile;
 
 /// Index of a worker node within a cluster.
 ///
@@ -124,6 +125,7 @@ impl NodeSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     nodes: Vec<NodeSpec>,
+    storage: StorageProfile,
 }
 
 impl ClusterSpec {
@@ -136,6 +138,7 @@ impl ClusterSpec {
         assert!(n > 0, "a cluster needs at least one worker node");
         ClusterSpec {
             nodes: vec![node; n],
+            storage: StorageProfile::Local,
         }
     }
 
@@ -149,7 +152,22 @@ impl ClusterSpec {
             !nodes.is_empty(),
             "a cluster needs at least one worker node"
         );
-        ClusterSpec { nodes }
+        ClusterSpec {
+            nodes,
+            storage: StorageProfile::Local,
+        }
+    }
+
+    /// Returns a copy with the given storage profile (where datasets live:
+    /// node-local HDFS, object store, cache tier or parallel FS).
+    pub fn with_storage(mut self, storage: StorageProfile) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// The cluster's storage profile.
+    pub fn storage(&self) -> &StorageProfile {
+        &self.storage
     }
 
     /// Number of worker nodes (the paper's `N`).
@@ -194,7 +212,11 @@ impl fmt::Display for ClusterSpec {
             first.cores(),
             first.disk(DiskRole::Hdfs).name(),
             first.disk(DiskRole::Local).name()
-        )
+        )?;
+        if !self.storage.is_local() {
+            write!(f, ", storage {}", self.storage)?;
+        }
+        Ok(())
     }
 }
 
@@ -211,6 +233,9 @@ impl doppio_engine::Fingerprintable for NodeSpec {
 impl doppio_engine::Fingerprintable for ClusterSpec {
     fn fingerprint_into(&self, fp: &mut doppio_engine::FingerprintBuilder) {
         self.nodes.fingerprint_into(fp);
+        // Tiered runs must never alias local ones in any memoization or
+        // plan-family key, so the storage profile is always hashed.
+        self.storage.fingerprint_into(fp);
     }
 }
 
@@ -263,6 +288,21 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn empty_cluster_rejected() {
         let _ = ClusterSpec::from_nodes(vec![]);
+    }
+
+    #[test]
+    fn storage_profile_defaults_local_and_fingerprints() {
+        use doppio_engine::Fingerprintable;
+        let c = ClusterSpec::homogeneous(3, node());
+        assert!(c.storage().is_local());
+        let tiered = c.clone().with_storage(StorageProfile::s3());
+        assert_eq!(tiered.storage().name(), "s3");
+        assert_ne!(
+            c.fingerprint(),
+            tiered.fingerprint(),
+            "tiered clusters must never alias local ones"
+        );
+        assert!(tiered.to_string().contains("s3"));
     }
 
     #[test]

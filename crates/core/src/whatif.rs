@@ -19,7 +19,9 @@ use doppio_engine::Engine;
 /// workers [`SWEEP_BATCH`] points at a time rather than paying per-point
 /// dispatch. The series is identical at any width.
 const SWEEP_BATCH: usize = 16;
-use doppio_storage::DeviceSpec;
+use doppio_cluster::StorageProfile;
+use doppio_events::Bytes;
+use doppio_storage::{BandwidthCurve, DeviceSpec, IoDir};
 
 use crate::{AppModel, PredictEnv};
 
@@ -252,6 +254,143 @@ pub fn failure_sweep_with(
     }
 }
 
+/// Per-node effective HDFS device under a storage profile at hit ratio
+/// `h`: hits run at the baseline node-local device's speed; misses share
+/// the remote tier's aggregate bandwidth with the other `nodes - 1`
+/// readers. At every request size the blend is harmonic,
+/// `1 / (h / BW_local + (1 - h) / BW_remote)`, which is exact when hit
+/// and miss bytes interleave proportionally (they do — the planner splits
+/// each block deterministically by `h`, DESIGN.md §3.10).
+pub fn tier_effective_device(
+    base: &DeviceSpec,
+    profile: &StorageProfile,
+    nodes: usize,
+    h: f64,
+) -> DeviceSpec {
+    let Some(remote) = profile.remote_device() else {
+        return base.clone();
+    };
+    let share = 1.0 / nodes.max(1) as f64;
+    let h = h.clamp(0.0, 1.0);
+    let blend = |dir: IoDir| {
+        let points: Vec<_> = base
+            .curve(dir)
+            .points()
+            .map(|(rs, local_bw)| {
+                let remote_bw = remote.bandwidth(dir, rs) * share;
+                let secs_per_byte =
+                    h / local_bw.as_bytes_per_sec() + (1.0 - h) / remote_bw.as_bytes_per_sec();
+                (rs, doppio_events::Rate::bytes_per_sec(1.0 / secs_per_byte))
+            })
+            .collect();
+        BandwidthCurve::from_points(&points)
+    };
+    DeviceSpec::new(
+        format!("{}@h={h:.2}", profile.name()),
+        blend(IoDir::Read),
+        blend(IoDir::Write),
+    )
+}
+
+/// Sweeps the per-node cache capacity in front of a remote tier: the
+/// paper-style knee curve answering "how much cache before diminishing
+/// returns?". Hit ratio is the working-set model of DESIGN.md §3.10
+/// (`min(1, capacity · N / working_set)`); each point re-evaluates the
+/// calibrated model against the blended effective device.
+pub fn cache_sweep(
+    model: &AppModel,
+    base: &PredictEnv,
+    profile: &StorageProfile,
+    working_set: Bytes,
+    capacities: &[Bytes],
+) -> Sweep {
+    cache_sweep_with(
+        model,
+        base,
+        profile,
+        working_set,
+        capacities,
+        &Engine::serial(),
+    )
+}
+
+/// [`cache_sweep`] with the points fanned out over `engine`.
+pub fn cache_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    profile: &StorageProfile,
+    working_set: Bytes,
+    capacities: &[Bytes],
+    engine: &Engine,
+) -> Sweep {
+    Sweep {
+        title: format!(
+            "runtime vs per-node cache in front of {} (N={}, P={}, ws={})",
+            profile.name(),
+            base.nodes,
+            base.cores,
+            working_set
+        ),
+        points: engine.par_map_batched(capacities, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|&cap| {
+                    let h = doppio_cluster::hit_ratio(working_set, cap * base.nodes as u64);
+                    let mut env = base.clone();
+                    env.hdfs = tier_effective_device(&base.hdfs, profile, base.nodes, h);
+                    SweepPoint {
+                        label: format!("C={cap}"),
+                        runtime_secs: model.predict(&env),
+                    }
+                })
+                .collect()
+        }),
+    }
+}
+
+/// Compares storage profiles (node-local vs object store vs cached vs
+/// parallel FS) at a fixed cluster shape. Cached profiles use their own
+/// capacity and the given working set for the hit ratio; the baseline
+/// `Local` point is the unmodified environment.
+pub fn storage_sweep(
+    model: &AppModel,
+    base: &PredictEnv,
+    profiles: &[StorageProfile],
+    working_set: Bytes,
+) -> Sweep {
+    storage_sweep_with(model, base, profiles, working_set, &Engine::serial())
+}
+
+/// [`storage_sweep`] with the points fanned out over `engine`.
+pub fn storage_sweep_with(
+    model: &AppModel,
+    base: &PredictEnv,
+    profiles: &[StorageProfile],
+    working_set: Bytes,
+    engine: &Engine,
+) -> Sweep {
+    Sweep {
+        title: format!(
+            "runtime vs storage tier (N={}, P={}, ws={})",
+            base.nodes, base.cores, working_set
+        ),
+        points: engine.par_map_batched(profiles, SWEEP_BATCH, |batch| {
+            batch
+                .iter()
+                .map(|profile| {
+                    let h = profile.cache_hit_ratio(working_set, base.nodes);
+                    let mut env = base.clone();
+                    env.hdfs = tier_effective_device(&base.hdfs, profile, base.nodes, h);
+                    SweepPoint {
+                        label: profile.name().to_string(),
+                        runtime_secs: model.predict(&env),
+                    }
+                })
+                .collect()
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +495,108 @@ mod tests {
         assert!((sweep.points[0].runtime_secs - clean).abs() < 1e-9);
         assert!(sweep.points[2].runtime_secs > sweep.points[1].runtime_secs);
         assert!(sweep.points[1].runtime_secs > clean);
+    }
+
+    fn hdfs_model() -> AppModel {
+        // An input-scan stage that is HDFS-read-bound at high parallelism.
+        AppModel::new(
+            "scan",
+            vec![StageModel {
+                name: "MD".into(),
+                m: 8192,
+                t_avg: 2.0,
+                delta_scale: 0.0,
+                channels: vec![ChannelModel::new(
+                    IoChannel::HdfsRead,
+                    Bytes::from_gib(1024),
+                    Bytes::from_mib(128),
+                    None,
+                )],
+            }],
+        )
+    }
+
+    #[test]
+    fn effective_device_matches_endpoints() {
+        let base = presets::ssd_mz7lm();
+        let profile = StorageProfile::s3();
+        let rs = Bytes::from_mib(128);
+        // All hits: the blend is the local device.
+        let dev = tier_effective_device(&base, &profile, 4, 1.0);
+        let b = dev.bandwidth(IoDir::Read, rs);
+        let l = base.bandwidth(IoDir::Read, rs);
+        assert!((b.as_mib_per_sec() - l.as_mib_per_sec()).abs() < 1.0);
+        // All misses: the blend is this node's share of the remote tier.
+        let dev = tier_effective_device(&base, &profile, 4, 0.0);
+        let b = dev.bandwidth(IoDir::Read, rs);
+        let r = profile.remote_device().unwrap().bandwidth(IoDir::Read, rs) / 4.0;
+        assert!((b.as_mib_per_sec() - r.as_mib_per_sec()).abs() < 1.0);
+        // Local profile: untouched.
+        let dev = tier_effective_device(&base, &StorageProfile::Local, 4, 0.3);
+        assert_eq!(dev.bandwidth(IoDir::Read, rs), l);
+    }
+
+    #[test]
+    fn cache_sweep_has_a_diminishing_returns_knee() {
+        // 64 nodes on one 10 GiB/s store: the per-node share (~47 MiB/s at
+        // 128 MiB requests) is far below the local SSD, so cache pays.
+        let m = hdfs_model();
+        let base = PredictEnv::hybrid(64, 32, HybridConfig::SsdSsd);
+        let ws = Bytes::from_gib(1024);
+        let caps: Vec<Bytes> = [0u64, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&g| Bytes::from_gib(g))
+            .collect();
+        let sweep = cache_sweep(&m, &base, &StorageProfile::s3(), ws, &caps);
+        assert_eq!(sweep.points.len(), caps.len());
+        // More cache never hurts.
+        for w in sweep.points.windows(2) {
+            assert!(
+                w[1].runtime_secs <= w[0].runtime_secs + 1e-9,
+                "{} -> {}",
+                w[0].runtime_secs,
+                w[1].runtime_secs
+            );
+        }
+        // Past ws/N = 16 GiB per node the hit ratio saturates at 1:
+        // further capacity buys nothing — the knee.
+        let knee = sweep.knee(1.01).expect("diminishing returns appear");
+        assert!(knee <= 5, "knee index = {knee}");
+        let last = sweep.points.last().unwrap().runtime_secs;
+        let full = &sweep.points[4]; // 16 GiB/node caches the working set
+        assert!((full.runtime_secs - last).abs() < 1e-6);
+        assert!(sweep.points[0].runtime_secs > 2.0 * last, "S3-only is slow");
+    }
+
+    #[test]
+    fn storage_sweep_orders_tiers_sensibly() {
+        // 256 nodes: every shared tier's per-node share sits below the
+        // local SSD, so the canonical ordering emerges.
+        let m = hdfs_model();
+        let base = PredictEnv::hybrid(256, 8, HybridConfig::SsdSsd);
+        let ws = Bytes::from_gib(1024);
+        let profiles = [
+            StorageProfile::Local,
+            StorageProfile::s3(),
+            StorageProfile::s3_cached(),
+            StorageProfile::lustre(),
+        ];
+        let sweep = storage_sweep(&m, &base, &profiles, ws);
+        let get = |name: &str| {
+            sweep
+                .points
+                .iter()
+                .find(|p| p.label == name)
+                .unwrap()
+                .runtime_secs
+        };
+        assert!(get("local") <= get("lustre") + 1e-9);
+        assert!(get("s3") > get("s3-cached"), "a cache in front of S3 pays");
+        assert!(get("s3") > get("lustre"), "parallel FS beats object store");
+        // 256 x 64 GiB of cache holds the 1 TiB working set entirely:
+        // the cached profile converges to local-device speed.
+        let local = get("local");
+        assert!((get("s3-cached") - local).abs() < 0.01 * local);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 
 use std::collections::HashSet;
 
-use doppio_cluster::NodeId;
+use doppio_cluster::{NodeId, StorageProfile};
 use doppio_dfs::Namenode;
-use doppio_events::Bytes;
+use doppio_events::{Bytes, Rate};
 
 use crate::memory::MemoryManager;
 use crate::rdd::{ActionKind, App, Cost, Job, Op, RddId};
@@ -38,6 +38,10 @@ pub struct PlanContext<'a> {
     pub conf: &'a SparkConf,
     /// Number of worker nodes (the paper's `N`).
     pub num_nodes: usize,
+    /// Where datasets live: node-local HDFS or a disaggregated tier
+    /// (DESIGN.md §3.10). Decides the placement of input, output, shuffle
+    /// and spill flows.
+    pub storage: &'a StorageProfile,
     /// The simulated DFS.
     pub namenode: &'a mut Namenode,
     /// Shuffle outputs materialized so far.
@@ -227,6 +231,53 @@ fn ensure_input_file(ctx: &mut PlanContext<'_>, path: &str, bytes: Bytes) -> Res
     Ok(())
 }
 
+/// Per-stream cap for a flow routed through the shared remote tier: the
+/// channel's per-core cap `T`, further clamped by the parallel-FS stripe
+/// cap when the profile has one.
+fn remote_cap(storage: &StorageProfile, base: Rate) -> Option<Rate> {
+    Some(match storage.remote_stream_cap() {
+        Some(stripe) => base.min(stripe),
+        None => base,
+    })
+}
+
+/// Emits a Spark-local disk flow — or, on a diskless profile (parallel
+/// filesystem, DESIGN.md §3.10), its remote-tier equivalent plus the NIC
+/// crossing the bytes pay on the way.
+fn push_local_disk_flow(
+    storage: &StorageProfile,
+    flows: &mut Vec<FlowTemplate>,
+    channel: IoChannel,
+    bytes: Bytes,
+    request_size: Bytes,
+    cap: Rate,
+) {
+    if storage.diskless() {
+        flows.push(FlowTemplate {
+            channel,
+            loc: FlowLoc::Remote,
+            bytes,
+            request_size,
+            cap: remote_cap(storage, cap),
+        });
+        flows.push(FlowTemplate {
+            channel: IoChannel::NetIn,
+            loc: FlowLoc::SelfNode,
+            bytes,
+            request_size,
+            cap: None,
+        });
+    } else {
+        flows.push(FlowTemplate {
+            channel,
+            loc: FlowLoc::SelfNode,
+            bytes,
+            request_size,
+            cap: Some(cap),
+        });
+    }
+}
+
 /// The lowered form of "compute partition `pidx` of RDD `rdd`".
 #[derive(Debug, Clone, Default)]
 struct Chain {
@@ -318,13 +369,14 @@ fn resolve_chain(
             chain.cpu += mem_per_part.as_f64() / ctx.conf.memory_bandwidth.as_bytes_per_sec();
             let disk_per_part = c.disk_bytes() / c.partitions;
             if !disk_per_part.is_zero() {
-                chain.flows.push(FlowTemplate {
-                    channel: IoChannel::PersistRead,
-                    loc: FlowLoc::SelfNode,
-                    bytes: disk_per_part,
-                    request_size: ctx.conf.persist_chunk.min(disk_per_part),
-                    cap: Some(ctx.conf.persist_cap),
-                });
+                push_local_disk_flow(
+                    ctx.storage,
+                    &mut chain.flows,
+                    IoChannel::PersistRead,
+                    disk_per_part,
+                    ctx.conf.persist_chunk.min(disk_per_part),
+                    ctx.conf.persist_cap,
+                );
             }
             let w = c.recompute_fraction();
             if w > 0.0 {
@@ -345,13 +397,14 @@ fn resolve_chain(
             .expect("materializing RDDs are registered during preparation");
         let disk_per_part = c.disk_bytes() / c.partitions;
         if !disk_per_part.is_zero() {
-            chain.persist_writes.push(FlowTemplate {
-                channel: IoChannel::PersistWrite,
-                loc: FlowLoc::SelfNode,
-                bytes: disk_per_part,
-                request_size: ctx.conf.persist_chunk.min(disk_per_part),
-                cap: Some(ctx.conf.persist_cap),
-            });
+            push_local_disk_flow(
+                ctx.storage,
+                &mut chain.persist_writes,
+                IoChannel::PersistWrite,
+                disk_per_part,
+                ctx.conf.persist_chunk.min(disk_per_part),
+                ctx.conf.persist_cap,
+            );
         }
     }
     Ok(chain)
@@ -374,15 +427,79 @@ fn resolve_op(
                 .get(pidx as usize)
                 .ok_or(SimError::UnknownRdd(rdd.0))?;
             let bytes = block.len;
-            let preferred = Some(block.replicas[0]);
+            let request_size = ctx.namenode.config().block_size.min(bytes);
+            let (flows, preferred) = match ctx.storage {
+                // The paper's model: the block is on a local HDFS disk and
+                // the task prefers the replica's node.
+                StorageProfile::Local => (
+                    vec![FlowTemplate {
+                        channel: IoChannel::HdfsRead,
+                        loc: FlowLoc::SelfNode,
+                        bytes,
+                        request_size,
+                        cap: Some(ctx.conf.hdfs_read_cap),
+                    }],
+                    Some(block.replicas[0]),
+                ),
+                // Disaggregated dataset: the whole block crosses the shared
+                // remote tier and the reader's NIC; no replica locality.
+                StorageProfile::ObjectStore(_) | StorageProfile::ParallelFs(_) => (
+                    vec![
+                        FlowTemplate {
+                            channel: IoChannel::HdfsRead,
+                            loc: FlowLoc::Remote,
+                            bytes,
+                            request_size,
+                            cap: remote_cap(ctx.storage, ctx.conf.hdfs_read_cap),
+                        },
+                        FlowTemplate {
+                            channel: IoChannel::NetIn,
+                            loc: FlowLoc::SelfNode,
+                            bytes,
+                            request_size,
+                            cap: None,
+                        },
+                    ],
+                    None,
+                ),
+                // Cache tier: the deterministic hit fraction of the source's
+                // working set reads at local-device speed; the miss fraction
+                // pays the remote path. Tasks keep cache-affinity hints.
+                StorageProfile::Cached(_) => {
+                    let h = ctx.storage.cache_hit_ratio(node.bytes, ctx.num_nodes);
+                    let hit = bytes.scale(h);
+                    let miss = bytes.saturating_sub(hit);
+                    let mut flows = Vec::new();
+                    if !hit.is_zero() {
+                        flows.push(FlowTemplate {
+                            channel: IoChannel::HdfsRead,
+                            loc: FlowLoc::SelfNode,
+                            bytes: hit,
+                            request_size: request_size.min(hit),
+                            cap: Some(ctx.conf.hdfs_read_cap),
+                        });
+                    }
+                    if !miss.is_zero() {
+                        flows.push(FlowTemplate {
+                            channel: IoChannel::HdfsRead,
+                            loc: FlowLoc::Remote,
+                            bytes: miss,
+                            request_size: request_size.min(miss),
+                            cap: remote_cap(ctx.storage, ctx.conf.hdfs_read_cap),
+                        });
+                        flows.push(FlowTemplate {
+                            channel: IoChannel::NetIn,
+                            loc: FlowLoc::SelfNode,
+                            bytes: miss,
+                            request_size: request_size.min(miss),
+                            cap: None,
+                        });
+                    }
+                    (flows, Some(block.replicas[0]))
+                }
+            };
             Ok(Chain {
-                flows: vec![FlowTemplate {
-                    channel: IoChannel::HdfsRead,
-                    loc: FlowLoc::SelfNode,
-                    bytes,
-                    request_size: ctx.namenode.config().block_size.min(bytes),
-                    cap: Some(ctx.conf.hdfs_read_cap),
-                }],
+                flows,
                 cpu: 0.0,
                 out_bytes: bytes,
                 preferred,
@@ -426,31 +543,45 @@ fn resolve_op(
             // Segment size scales with this reducer's share: its byte range
             // in every map output grows with its key's popularity.
             let seg = Bytes::new((per_reducer.as_u64() / reg.maps).max(1));
-            let n = ctx.num_nodes as u64;
-            let local = per_reducer / n;
-            let remote = per_reducer.saturating_sub(local);
-            let mut flows = vec![FlowTemplate {
-                channel: IoChannel::ShuffleRead,
-                loc: FlowLoc::SelfNode,
-                bytes: local,
-                request_size: seg,
-                cap: Some(ctx.conf.shuffle_read_cap),
-            }];
-            if !remote.is_zero() {
+            let mut flows = Vec::new();
+            if ctx.storage.diskless() {
+                // Shuffle files live in the shared parallel FS: every
+                // segment is a remote read and crosses the reducer's NIC.
+                push_local_disk_flow(
+                    ctx.storage,
+                    &mut flows,
+                    IoChannel::ShuffleRead,
+                    per_reducer,
+                    seg,
+                    ctx.conf.shuffle_read_cap,
+                );
+            } else {
+                let n = ctx.num_nodes as u64;
+                let local = per_reducer / n;
+                let remote = per_reducer.saturating_sub(local);
                 flows.push(FlowTemplate {
                     channel: IoChannel::ShuffleRead,
-                    loc: FlowLoc::RemoteRotating,
-                    bytes: remote,
+                    loc: FlowLoc::SelfNode,
+                    bytes: local,
                     request_size: seg,
                     cap: Some(ctx.conf.shuffle_read_cap),
                 });
-                flows.push(FlowTemplate {
-                    channel: IoChannel::NetIn,
-                    loc: FlowLoc::SelfNode,
-                    bytes: remote,
-                    request_size: seg,
-                    cap: None,
-                });
+                if !remote.is_zero() {
+                    flows.push(FlowTemplate {
+                        channel: IoChannel::ShuffleRead,
+                        loc: FlowLoc::RemoteRotating,
+                        bytes: remote,
+                        request_size: seg,
+                        cap: Some(ctx.conf.shuffle_read_cap),
+                    });
+                    flows.push(FlowTemplate {
+                        channel: IoChannel::NetIn,
+                        loc: FlowLoc::SelfNode,
+                        bytes: remote,
+                        request_size: seg,
+                        cap: None,
+                    });
+                }
             }
             Ok(Chain {
                 flows,
@@ -529,13 +660,14 @@ fn build_task(ctx: &PlanContext<'_>, chain: Chain, tail_cost: Cost, output: MapO
     match output {
         MapOutput::Shuffle { bytes } => {
             if !bytes.is_zero() {
-                out_flows.push(FlowTemplate {
-                    channel: IoChannel::ShuffleWrite,
-                    loc: FlowLoc::SelfNode,
+                push_local_disk_flow(
+                    ctx.storage,
+                    &mut out_flows,
+                    IoChannel::ShuffleWrite,
                     bytes,
-                    request_size: ctx.conf.shuffle_write_chunk.min(bytes),
-                    cap: Some(ctx.conf.shuffle_write_cap),
-                });
+                    ctx.conf.shuffle_write_chunk.min(bytes),
+                    ctx.conf.shuffle_write_cap,
+                );
             }
         }
         MapOutput::HdfsFile {
@@ -544,24 +676,44 @@ fn build_task(ctx: &PlanContext<'_>, chain: Chain, tail_cost: Cost, output: MapO
         } => {
             if !bytes.is_zero() {
                 let rs = ctx.namenode.config().block_size.min(bytes);
-                out_flows.push(FlowTemplate {
-                    channel: IoChannel::HdfsWrite,
-                    loc: FlowLoc::SelfNode,
-                    bytes,
-                    request_size: rs,
-                    cap: Some(ctx.conf.hdfs_write_cap),
-                });
-                for _ in 0..remote_replicas {
+                if ctx.storage.is_local() {
                     out_flows.push(FlowTemplate {
                         channel: IoChannel::HdfsWrite,
-                        loc: FlowLoc::RemoteRotating,
+                        loc: FlowLoc::SelfNode,
                         bytes,
                         request_size: rs,
                         cap: Some(ctx.conf.hdfs_write_cap),
                     });
+                    for _ in 0..remote_replicas {
+                        out_flows.push(FlowTemplate {
+                            channel: IoChannel::HdfsWrite,
+                            loc: FlowLoc::RemoteRotating,
+                            bytes,
+                            request_size: rs,
+                            cap: Some(ctx.conf.hdfs_write_cap),
+                        });
+                        out_flows.push(FlowTemplate {
+                            channel: IoChannel::NetIn,
+                            loc: FlowLoc::RemoteRotating,
+                            bytes,
+                            request_size: rs,
+                            cap: None,
+                        });
+                    }
+                } else {
+                    // Disaggregated output: one write to the shared tier
+                    // (it provides durability — replication is its problem,
+                    // not ours) crossing the writer's NIC.
+                    out_flows.push(FlowTemplate {
+                        channel: IoChannel::HdfsWrite,
+                        loc: FlowLoc::Remote,
+                        bytes,
+                        request_size: rs,
+                        cap: remote_cap(ctx.storage, ctx.conf.hdfs_write_cap),
+                    });
                     out_flows.push(FlowTemplate {
                         channel: IoChannel::NetIn,
-                        loc: FlowLoc::RemoteRotating,
+                        loc: FlowLoc::SelfNode,
                         bytes,
                         request_size: rs,
                         cap: None,
@@ -643,6 +795,7 @@ mod tests {
         shuffles: ShuffleRegistry,
         memory: MemoryManager,
         n: usize,
+        storage: StorageProfile,
     }
 
     impl Harness {
@@ -655,6 +808,14 @@ mod tests {
                 memory: MemoryManager::new(conf.storage_pool(), n),
                 conf,
                 n,
+                storage: StorageProfile::Local,
+            }
+        }
+
+        fn with_storage(app: App, n: usize, storage: StorageProfile) -> Self {
+            Harness {
+                storage,
+                ..Harness::new(app, n)
             }
         }
 
@@ -664,6 +825,7 @@ mod tests {
                 app: &self.app,
                 conf: &self.conf,
                 num_nodes: self.n,
+                storage: &self.storage,
                 namenode: &mut self.namenode,
                 shuffles: &mut self.shuffles,
                 memory: &mut self.memory,
@@ -807,6 +969,105 @@ mod tests {
     }
 
     #[test]
+    fn object_store_input_reads_remote_and_crosses_nic() {
+        let mut h = Harness::with_storage(shuffle_app(), 4, StorageProfile::s3());
+        let stages = h.plan(0);
+        let t = &stages[0].tasks[0];
+        assert_eq!(t.channel_bytes(IoChannel::HdfsRead), Bytes::from_mib(128));
+        assert_eq!(t.channel_bytes(IoChannel::NetIn), Bytes::from_mib(128));
+        assert!(
+            t.flows
+                .iter()
+                .filter(|f| f.channel == IoChannel::HdfsRead)
+                .all(|f| f.loc == FlowLoc::Remote),
+            "object-store input is a remote-tier read"
+        );
+        assert!(
+            t.preferred_node.is_none(),
+            "disaggregated blocks have no replica locality"
+        );
+    }
+
+    #[test]
+    fn diskless_parallel_fs_routes_all_disk_traffic_remote() {
+        let mut h = Harness::with_storage(shuffle_app(), 4, StorageProfile::lustre());
+        let stages = h.plan(0);
+        for stage in &stages {
+            for t in &stage.tasks {
+                for f in &t.flows {
+                    if f.channel.disk_role().is_some() {
+                        assert_eq!(
+                            f.loc,
+                            FlowLoc::Remote,
+                            "{} must hit the parallel FS, not a node disk",
+                            f.channel
+                        );
+                        // Stripe cap clamps every remote stream.
+                        let cap = f.cap.expect("remote flows carry a cap");
+                        assert!(cap.as_mib_per_sec() <= 2048.0 + 1e-9);
+                    }
+                }
+            }
+        }
+        // Reducers pull every shuffle byte over the NIC: nothing is local.
+        let t = &stages[1].tasks[0];
+        let per_reducer = Bytes::from_gib(4) / 64;
+        assert_eq!(t.channel_bytes(IoChannel::ShuffleRead), per_reducer);
+        assert_eq!(t.channel_bytes(IoChannel::NetIn), per_reducer);
+    }
+
+    #[test]
+    fn cached_profile_splits_reads_by_hit_ratio() {
+        use doppio_cluster::{CacheSpec, ObjectStoreSpec};
+        // 4 GiB working set, 4 nodes x 256 MiB cache = 1 GiB => h = 0.25.
+        let storage = StorageProfile::Cached(CacheSpec {
+            remote: ObjectStoreSpec::s3_standard(),
+            capacity_per_node: Bytes::from_mib(256),
+        });
+        let mut h = Harness::with_storage(shuffle_app(), 4, storage);
+        let stages = h.plan(0);
+        let t = &stages[0].tasks[0];
+        let local: Bytes = t
+            .flows
+            .iter()
+            .filter(|f| f.channel == IoChannel::HdfsRead && f.loc == FlowLoc::SelfNode)
+            .map(|f| f.bytes)
+            .sum();
+        let remote: Bytes = t
+            .flows
+            .iter()
+            .filter(|f| f.channel == IoChannel::HdfsRead && f.loc == FlowLoc::Remote)
+            .map(|f| f.bytes)
+            .sum();
+        assert_eq!(local + remote, Bytes::from_mib(128));
+        assert_eq!(local, Bytes::from_mib(32), "25% hit ratio");
+        assert_eq!(
+            t.channel_bytes(IoChannel::NetIn),
+            remote,
+            "only misses cross the NIC"
+        );
+        assert!(t.preferred_node.is_some(), "cache affinity is kept");
+    }
+
+    #[test]
+    fn tiered_save_writes_once_to_the_shared_tier() {
+        let mut b = AppBuilder::new("t");
+        let src = b.hdfs_source("in", "/in", Bytes::from_gib(1));
+        b.save_as_hadoop_file(src, "SF", "/out");
+        let app = b.build().unwrap();
+        let mut h = Harness::with_storage(app, 4, StorageProfile::s3());
+        let stages = h.plan(0);
+        let t = &stages[0].tasks[0];
+        // No replication: the store provides durability. One write, remote.
+        assert_eq!(t.channel_bytes(IoChannel::HdfsWrite), Bytes::from_mib(128));
+        assert!(t
+            .flows
+            .iter()
+            .filter(|f| f.channel == IoChannel::HdfsWrite)
+            .all(|f| f.loc == FlowLoc::Remote));
+    }
+
+    #[test]
     fn persisted_rdd_spills_then_reads_cache() {
         let mut b = AppBuilder::new("lr-ish");
         let src = b.hdfs_source("in", "/in", Bytes::from_gib(4));
@@ -875,6 +1136,7 @@ mod tests {
             app: &h.app,
             conf: &h.conf,
             num_nodes: h.n,
+            storage: &h.storage,
             namenode: &mut h.namenode,
             shuffles: &mut h.shuffles,
             memory: &mut h.memory,

@@ -53,6 +53,17 @@ struct TaskState {
     speculated: bool,
 }
 
+/// Handle to a live flow, for cancellation on kill.
+#[derive(Debug)]
+enum FlowHandle {
+    /// A transfer on a node's disk.
+    Disk(NodeId, DiskRole, FlowId),
+    /// A flow on a node's NIC.
+    Net(NodeId, FlowId),
+    /// A transfer on the cluster's shared remote storage tier.
+    Remote(FlowId),
+}
+
 /// One execution attempt of a task, pinned to a core on `node`.
 #[derive(Debug)]
 struct Attempt {
@@ -69,7 +80,7 @@ struct Attempt {
     /// Killed (failed, superseded by another attempt, or executor lost).
     dead: bool,
     /// Live flow handles, for cancellation on kill.
-    flows: Vec<(NodeId, Option<DiskRole>, FlowId)>,
+    flows: Vec<FlowHandle>,
     /// Straggler windows whose slot budget this attempt occupies.
     slow_windows: Vec<usize>,
 }
@@ -545,17 +556,23 @@ impl ExecWorld {
                 .expect("checked non-empty");
             let est = {
                 let node_ref = self.cluster.node(node);
+                let remote_spec = self.cluster.remote_spec();
                 let spec = &self.st.tasks[idx].spec;
-                spec.uncontended_secs(|f| match f.channel.disk_role() {
-                    Some(role) => {
-                        let dir = if f.channel.is_read() {
-                            IoDir::Read
-                        } else {
-                            IoDir::Write
-                        };
-                        node_ref.disk(role).spec().bandwidth(dir, f.request_size)
+                spec.uncontended_secs(|f| {
+                    let dir = if f.channel.is_read() {
+                        IoDir::Read
+                    } else {
+                        IoDir::Write
+                    };
+                    if matches!(f.loc, FlowLoc::Remote) {
+                        return remote_spec
+                            .expect("Remote flows are planned only with a remote tier")
+                            .bandwidth(dir, f.request_size);
                     }
-                    None => node_ref.spec().nic(),
+                    match f.channel.disk_role() {
+                        Some(role) => node_ref.disk(role).spec().bandwidth(dir, f.request_size),
+                        None => node_ref.spec().nic(),
+                    }
                 })
             };
             let delay = (est.max(secs) * frac).max(0.0);
@@ -575,22 +592,16 @@ impl ExecWorld {
         aidx: usize,
         flow: FlowTemplate,
     ) {
-        let target = match flow.loc {
-            FlowLoc::SelfNode => node,
-            FlowLoc::RemoteRotating => remote,
-            FlowLoc::Node(n) => n,
-        };
         let tag = aidx as u64;
-        let id = match flow.channel.disk_role() {
-            Some(role) => {
-                let dir = if flow.channel.is_read() {
-                    IoDir::Read
-                } else {
-                    IoDir::Write
-                };
-                let id = self.cluster.node_mut(target).submit_io(
+        let dir = if flow.channel.is_read() {
+            IoDir::Read
+        } else {
+            IoDir::Write
+        };
+        let handle = match flow.loc {
+            FlowLoc::Remote => {
+                let id = self.cluster.submit_remote(
                     now,
-                    role,
                     TransferSpec {
                         dir,
                         bytes: flow.bytes,
@@ -599,17 +610,41 @@ impl ExecWorld {
                         tag,
                     },
                 );
-                (target, Some(role), id)
+                FlowHandle::Remote(id)
             }
-            None => {
-                let id = self
-                    .cluster
-                    .node_mut(target)
-                    .submit_net(now, flow.bytes, tag);
-                (target, None, id)
+            loc => {
+                let target = match loc {
+                    FlowLoc::SelfNode => node,
+                    FlowLoc::RemoteRotating => remote,
+                    FlowLoc::Node(n) => n,
+                    FlowLoc::Remote => unreachable!("handled above"),
+                };
+                match flow.channel.disk_role() {
+                    Some(role) => {
+                        let id = self.cluster.node_mut(target).submit_io(
+                            now,
+                            role,
+                            TransferSpec {
+                                dir,
+                                bytes: flow.bytes,
+                                request_size: flow.request_size,
+                                stream_cap: flow.cap,
+                                tag,
+                            },
+                        );
+                        FlowHandle::Disk(target, role, id)
+                    }
+                    None => {
+                        let id = self
+                            .cluster
+                            .node_mut(target)
+                            .submit_net(now, flow.bytes, tag);
+                        FlowHandle::Net(target, id)
+                    }
+                }
             }
         };
-        self.st.attempts[aidx].flows.push(id);
+        self.st.attempts[aidx].flows.push(handle);
     }
 
     /// One component (a flow when `is_flow`, else the compute timer) of an
@@ -724,13 +759,16 @@ impl ExecWorld {
             )
         };
         self.st.faults.wasted_task_secs += span.end_secs - span.start_secs;
-        for (target, role, id) in flows {
-            match role {
-                Some(role) => {
+        for handle in flows {
+            match handle {
+                FlowHandle::Disk(target, role, id) => {
                     self.cluster.node_mut(target).cancel_io(now, role, id);
                 }
-                None => {
+                FlowHandle::Net(target, id) => {
                     self.cluster.node_mut(target).cancel_net(now, id);
+                }
+                FlowHandle::Remote(id) => {
+                    self.cluster.cancel_remote(now, id);
                 }
             }
         }

@@ -129,6 +129,7 @@ impl Simulation {
                     app,
                     conf: &self.conf,
                     num_nodes: n,
+                    storage: self.cluster.storage(),
                     namenode: &mut namenode,
                     shuffles: &mut shuffles,
                     memory: &mut memory,
@@ -187,6 +188,7 @@ impl Simulation {
                 app,
                 conf: &self.conf,
                 num_nodes: n,
+                storage: self.cluster.storage(),
                 namenode: &mut namenode,
                 shuffles: &mut shuffles,
                 memory: &mut memory,

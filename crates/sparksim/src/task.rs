@@ -92,6 +92,10 @@ pub enum FlowLoc {
     RemoteRotating,
     /// A specific node (e.g. the HDFS replica holding a block).
     Node(NodeId),
+    /// The cluster's shared remote storage tier (object store or parallel
+    /// filesystem, DESIGN.md §3.10). All nodes' `Remote` flows contend in
+    /// one rate domain.
+    Remote,
 }
 
 /// One I/O flow a task must complete.

@@ -401,6 +401,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_degradation_window_is_a_no_op() {
+        // A fault window that opens and closes at the same instant (scale
+        // then immediate reciprocal, no submissions in between) must leave
+        // transfer timing bit-identical to a device that never degraded.
+        let spec = TransferSpec {
+            dir: IoDir::Read,
+            bytes: Bytes::from_mib(150),
+            request_size: Bytes::from_kib(30),
+            stream_cap: None,
+            tag: 0,
+        };
+        let mut healthy = Device::new(presets::hdd_wd4000());
+        healthy.submit(SimTime::ZERO, spec);
+        let baseline = drive_to_completion(&mut healthy).as_secs();
+
+        let mut windowed = Device::new(presets::hdd_wd4000());
+        windowed.scale_speed(0.25);
+        windowed.scale_speed(1.0 / 0.25); // window closes before any I/O
+        assert_eq!(windowed.speed_scale(), 1.0, "0.25 * 4.0 is exact in f64");
+        windowed.submit(SimTime::ZERO, spec);
+        let after = drive_to_completion(&mut windowed).as_secs();
+        assert_eq!(after.to_bits(), baseline.to_bits());
+    }
+
+    #[test]
+    fn overlapping_degradation_windows_compose_multiplicatively() {
+        // Two overlapping windows (0.5 then 0.5) stack to 0.25; closing the
+        // first mid-overlap leaves the second's 0.5 in force.
+        let spec = TransferSpec {
+            dir: IoDir::Read,
+            bytes: Bytes::from_mib(150),
+            request_size: Bytes::from_kib(30),
+            stream_cap: None,
+            tag: 0,
+        };
+        let mut healthy = Device::new(presets::hdd_wd4000());
+        healthy.submit(SimTime::ZERO, spec);
+        let baseline = drive_to_completion(&mut healthy).as_secs();
+
+        let mut d = Device::new(presets::hdd_wd4000());
+        d.scale_speed(0.5); // window A opens
+        d.scale_speed(0.5); // window B opens (overlap)
+        assert_eq!(d.speed_scale(), 0.25);
+        d.submit(SimTime::ZERO, spec);
+        let both = drive_to_completion(&mut d).as_secs();
+        assert!((both - 4.0 * baseline).abs() / baseline < 1e-9);
+
+        d.scale_speed(1.0 / 0.5); // window A closes, B still open
+        assert_eq!(d.speed_scale(), 0.5);
+        let t0 = SimTime::ZERO + doppio_events::SimDuration::from_secs(both);
+        d.submit(t0, spec);
+        let second = drive_to_completion(&mut d).as_secs() - both;
+        assert!((second - 2.0 * baseline).abs() / baseline < 1e-9);
+    }
+
+    #[test]
     fn concurrent_streams_saturate_at_device_bandwidth() {
         // 8 uncapped streams reading at 30 KB on an HDD finish in the same
         // total time as the aggregate bytes at BW(30 KB): the device is the

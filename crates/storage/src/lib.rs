@@ -15,6 +15,9 @@
 //! * [`Device`] — a *runtime* device: a processor-sharing server in
 //!   device-time units, so concurrent streams with different request sizes
 //!   contend exactly the way the paper's break-point analysis assumes.
+//! * [`StorageTier`] — a device tagged with its contention scope
+//!   (per-node vs cluster-shared), the building block for disaggregated
+//!   storage profiles in `doppio-tiered`.
 //! * [`fio`] — a fio-like microbenchmark driver regenerating Figure 5.
 //! * [`IoStat`] — iostat-style request accounting (average request size in
 //!   512-byte sectors), used by the model calibrator.
@@ -39,9 +42,11 @@ mod device;
 pub mod fio;
 mod iostat;
 pub mod presets;
+mod tier;
 
 pub use curve::BandwidthCurve;
 pub use device::{Device, DeviceSpec, IoDir, TransferSpec};
 pub use iostat::IoStat;
+pub use tier::{StorageTier, TierScope};
 
 pub use doppio_events::{Bytes, Rate};

@@ -1,0 +1,133 @@
+//! Storage tiers: a runtime device plus its place in the storage hierarchy.
+
+use std::fmt;
+
+use doppio_events::{Bytes, FlowId, SimTime};
+
+use crate::{Device, DeviceSpec, IoDir, TransferSpec};
+
+/// Where a tier sits in the storage hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierScope {
+    /// One instance per node (the paper's HDD/SSD model): contention is
+    /// between the streams of a single node.
+    NodeLocal,
+    /// One instance per cluster (object store, parallel FS): every node's
+    /// streams contend in the same rate domain.
+    ClusterShared,
+}
+
+impl fmt::Display for TierScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierScope::NodeLocal => write!(f, "node-local"),
+            TierScope::ClusterShared => write!(f, "cluster-shared"),
+        }
+    }
+}
+
+/// A storage tier: a [`Device`] tagged with its contention scope.
+///
+/// The runtime behaviour is exactly the wrapped device's — processor
+/// sharing over device time, replay, harvest horizons — so a shared remote
+/// store obeys the same bit-identity discipline as a node's disk. The tier
+/// only adds the *scope*, which decides who shares the rate domain: a
+/// `NodeLocal` tier is instantiated once per node, a `ClusterShared` tier
+/// once per cluster.
+#[derive(Debug)]
+pub struct StorageTier {
+    scope: TierScope,
+    device: Device,
+}
+
+impl StorageTier {
+    /// A per-node tier (local HDD/SSD).
+    pub fn node_local(spec: DeviceSpec) -> Self {
+        StorageTier {
+            scope: TierScope::NodeLocal,
+            device: Device::new(spec),
+        }
+    }
+
+    /// A cluster-wide shared tier (object store, parallel filesystem).
+    pub fn cluster_shared(spec: DeviceSpec) -> Self {
+        StorageTier {
+            scope: TierScope::ClusterShared,
+            device: Device::new(spec),
+        }
+    }
+
+    /// This tier's contention scope.
+    pub fn scope(&self) -> TierScope {
+        self.scope
+    }
+
+    /// The tier's static device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.device.spec()
+    }
+
+    /// The wrapped runtime device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped runtime device.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Effective bandwidth for a direction and request size.
+    pub fn bandwidth(&self, dir: IoDir, request_size: Bytes) -> doppio_events::Rate {
+        self.device.spec().bandwidth(dir, request_size)
+    }
+
+    /// Submits a transfer (see [`Device::submit`]).
+    pub fn submit(&mut self, now: SimTime, t: TransferSpec) -> FlowId {
+        self.device.submit(now, t)
+    }
+
+    /// Cancels an in-flight transfer (see [`Device::cancel`]).
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.device.cancel(now, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use doppio_events::Rate;
+
+    #[test]
+    fn tier_forwards_to_wrapped_device() {
+        let mut tier = StorageTier::cluster_shared(presets::ssd_mz7lm());
+        assert_eq!(tier.scope(), TierScope::ClusterShared);
+        assert_eq!(tier.spec().name(), presets::ssd_mz7lm().name());
+        let id = tier.submit(
+            SimTime::ZERO,
+            TransferSpec {
+                dir: IoDir::Read,
+                bytes: Bytes::from_mib(30),
+                request_size: Bytes::from_kib(30),
+                stream_cap: Some(Rate::mib_per_sec(60.0)),
+                tag: 7,
+            },
+        );
+        assert_eq!(tier.device().active_transfers(), 1);
+        assert!(tier.cancel(SimTime::ZERO, id));
+        assert_eq!(tier.device().active_transfers(), 0);
+    }
+
+    #[test]
+    fn scopes_display_distinctly() {
+        assert_ne!(
+            StorageTier::node_local(presets::hdd_wd4000())
+                .scope()
+                .to_string(),
+            StorageTier::cluster_shared(presets::hdd_wd4000())
+                .scope()
+                .to_string()
+        );
+    }
+}

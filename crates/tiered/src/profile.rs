@@ -1,0 +1,406 @@
+//! Storage-tier profiles and the deterministic cache-hit model.
+
+use std::fmt;
+
+use doppio_engine::{FingerprintBuilder, Fingerprintable};
+use doppio_events::{Bytes, Rate};
+use doppio_storage::{BandwidthCurve, DeviceSpec};
+
+/// A shared object store (S3-like): every request pays a fixed first-byte
+/// latency, and all clients in the cluster share one aggregate bandwidth cap
+/// on the store fabric.
+///
+/// Lowered to a [`DeviceSpec`] via the parametric latency model, so small
+/// requests are latency-dominated exactly like a disk's Figure-5 curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectStoreSpec {
+    /// Human-readable store name (e.g. `"s3-standard"`).
+    pub name: String,
+    /// Cluster-wide aggregate bandwidth of the store fabric.
+    pub aggregate_bw: Rate,
+    /// Per-request first-byte latency in seconds.
+    pub request_latency_secs: f64,
+}
+
+impl ObjectStoreSpec {
+    /// An S3-standard-like store: 10 GiB/s aggregate, 30 ms first-byte
+    /// latency. At 128 MiB requests this is within 3% of peak; at 4 KiB it
+    /// collapses to ~133 KiB/s per stream — the latency wall the cache tier
+    /// exists to hide.
+    pub fn s3_standard() -> Self {
+        ObjectStoreSpec {
+            name: "s3-standard".to_string(),
+            aggregate_bw: Rate::gib_per_sec(10.0),
+            request_latency_secs: 30e-3,
+        }
+    }
+
+    /// The remote rate domain as an ordinary device spec (symmetric
+    /// read/write curves from the latency model).
+    pub fn device(&self) -> DeviceSpec {
+        let curve =
+            BandwidthCurve::from_latency_model(self.aggregate_bw, self.request_latency_secs);
+        DeviceSpec::new(self.name.clone(), curve.clone(), curve)
+    }
+}
+
+/// A cache tier (Alluxio-style) in front of an object store.
+///
+/// Hits are served by the node-local device path at local speed; misses pay
+/// the remote object-store path. The hit ratio is the deterministic
+/// [`hit_ratio`] of working-set size vs `nodes × capacity_per_node`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSpec {
+    /// The backing object store misses fall through to.
+    pub remote: ObjectStoreSpec,
+    /// Cache capacity contributed by each node.
+    pub capacity_per_node: Bytes,
+}
+
+/// A shared parallel filesystem (Lustre/burst-buffer shape): high aggregate
+/// bandwidth with a per-client stripe cap, as measured on large Spark-on-HPC
+/// deployments. `diskless` nodes route shuffle and spill traffic through the
+/// shared filesystem too, which is what unlocks 256–1024-node scenarios on
+/// machines without local disks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelFsSpec {
+    /// Filesystem name (e.g. `"lustre"`).
+    pub name: String,
+    /// Aggregate backend bandwidth across all OSTs.
+    pub aggregate_bw: Rate,
+    /// Per-request latency in seconds (metadata + network round trip).
+    pub request_latency_secs: f64,
+    /// Per-client stripe cap: one stream cannot exceed this rate.
+    pub stripe_cap: Rate,
+    /// Nodes have no local disks; shuffle/spill also use the shared FS.
+    pub diskless: bool,
+}
+
+impl ParallelFsSpec {
+    /// A Lustre-like burst buffer: 200 GiB/s aggregate, 2 GiB/s per-client
+    /// stripe cap, 1 ms request latency, diskless compute nodes.
+    pub fn lustre() -> Self {
+        ParallelFsSpec {
+            name: "lustre".to_string(),
+            aggregate_bw: Rate::gib_per_sec(200.0),
+            request_latency_secs: 1e-3,
+            stripe_cap: Rate::gib_per_sec(2.0),
+            diskless: true,
+        }
+    }
+
+    /// The shared filesystem as a device spec.
+    pub fn device(&self) -> DeviceSpec {
+        let curve =
+            BandwidthCurve::from_latency_model(self.aggregate_bw, self.request_latency_secs);
+        DeviceSpec::new(self.name.clone(), curve.clone(), curve)
+    }
+}
+
+/// Where a cluster's datasets live: the storage tier selected for a
+/// simulation. `Local` is the paper's original node-local HDD/SSD + HDFS
+/// model and leaves every code path bit-identical to the pre-tiered golden
+/// traces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StorageProfile {
+    /// Node-local disks + HDFS replication (the paper's model).
+    #[default]
+    Local,
+    /// All dataset I/O against a shared object store; no HDFS replication
+    /// (the store provides durability).
+    ObjectStore(ObjectStoreSpec),
+    /// Object store fronted by a node-local cache tier.
+    Cached(CacheSpec),
+    /// Shared parallel filesystem with per-client stripe caps.
+    ParallelFs(ParallelFsSpec),
+}
+
+/// Named profiles accepted by `simulate --storage <profile>` and listed by
+/// `doppio list`, as `(name, description)` pairs.
+pub const PROFILE_NAMES: &[(&str, &str)] = &[
+    ("local", "node-local HDD/SSD + HDFS (paper model, default)"),
+    (
+        "s3",
+        "shared object store: 10 GiB/s aggregate, 30 ms/request",
+    ),
+    (
+        "s3-cached",
+        "object store behind a 64 GiB/node cache tier (Alluxio-style)",
+    ),
+    (
+        "lustre",
+        "parallel FS: 200 GiB/s aggregate, 2 GiB/s stripe cap, diskless",
+    ),
+];
+
+impl StorageProfile {
+    /// The `s3` named profile.
+    pub fn s3() -> Self {
+        StorageProfile::ObjectStore(ObjectStoreSpec::s3_standard())
+    }
+
+    /// The `s3-cached` named profile (64 GiB of cache per node).
+    pub fn s3_cached() -> Self {
+        StorageProfile::Cached(CacheSpec {
+            remote: ObjectStoreSpec::s3_standard(),
+            capacity_per_node: Bytes::from_gib(64),
+        })
+    }
+
+    /// The `lustre` named profile.
+    pub fn lustre() -> Self {
+        StorageProfile::ParallelFs(ParallelFsSpec::lustre())
+    }
+
+    /// Parses a named profile as accepted by `simulate --storage`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "local" => Some(StorageProfile::Local),
+            "s3" => Some(StorageProfile::s3()),
+            "s3-cached" => Some(StorageProfile::s3_cached()),
+            "lustre" => Some(StorageProfile::lustre()),
+            _ => None,
+        }
+    }
+
+    /// Canonical profile name (the `simulate --storage` spelling).
+    pub fn name(&self) -> &str {
+        match self {
+            StorageProfile::Local => "local",
+            StorageProfile::ObjectStore(_) => "s3",
+            StorageProfile::Cached(_) => "s3-cached",
+            StorageProfile::ParallelFs(_) => "lustre",
+        }
+    }
+
+    /// True for the paper's node-local model.
+    pub fn is_local(&self) -> bool {
+        matches!(self, StorageProfile::Local)
+    }
+
+    /// The shared remote rate domain, if this profile has one. `None` for
+    /// `Local`, which is what keeps default runs bit-identical.
+    pub fn remote_device(&self) -> Option<DeviceSpec> {
+        match self {
+            StorageProfile::Local => None,
+            StorageProfile::ObjectStore(s) => Some(s.device()),
+            StorageProfile::Cached(c) => Some(c.remote.device()),
+            StorageProfile::ParallelFs(p) => Some(p.device()),
+        }
+    }
+
+    /// Per-stream cap on remote flows (the parallel-FS stripe cap). `None`
+    /// means a stream may use the store's full effective bandwidth.
+    pub fn remote_stream_cap(&self) -> Option<Rate> {
+        match self {
+            StorageProfile::ParallelFs(p) => Some(p.stripe_cap),
+            _ => None,
+        }
+    }
+
+    /// Deterministic dataset-read hit ratio against the cache tier for a
+    /// working set spread over `nodes` nodes. Profiles without a cache tier
+    /// hit never (remote tiers) or always (local disks hold everything).
+    pub fn cache_hit_ratio(&self, working_set: Bytes, nodes: usize) -> f64 {
+        match self {
+            StorageProfile::Local => 1.0,
+            StorageProfile::ObjectStore(_) | StorageProfile::ParallelFs(_) => 0.0,
+            StorageProfile::Cached(c) => {
+                hit_ratio(working_set, c.capacity_per_node * nodes.max(1) as u64)
+            }
+        }
+    }
+
+    /// True when shuffle and spill traffic also goes through the shared
+    /// filesystem (diskless parallel-FS nodes).
+    pub fn diskless(&self) -> bool {
+        matches!(self, StorageProfile::ParallelFs(p) if p.diskless)
+    }
+}
+
+impl fmt::Display for StorageProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageProfile::Local => write!(f, "local (node disks + HDFS)"),
+            StorageProfile::ObjectStore(s) => write!(
+                f,
+                "{} ({} aggregate, {:.0} ms/request)",
+                s.name,
+                s.aggregate_bw,
+                s.request_latency_secs * 1e3
+            ),
+            StorageProfile::Cached(c) => {
+                write!(f, "{} + {} cache/node", c.remote.name, c.capacity_per_node)
+            }
+            StorageProfile::ParallelFs(p) => write!(
+                f,
+                "{} ({} aggregate, {} stripe cap{})",
+                p.name,
+                p.aggregate_bw,
+                p.stripe_cap,
+                if p.diskless { ", diskless" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Fraction of a dataset working set resident in a cache of the given total
+/// capacity: `min(capacity / working_set, 1)`, with an empty working set
+/// defined as fully cached.
+///
+/// This is the deterministic stand-in for an LRU steady state under a
+/// uniform re-reference distribution — monotone and continuous in capacity,
+/// so cache-size sweeps produce the paper-style smooth knee curve.
+pub fn hit_ratio(working_set: Bytes, cache_capacity: Bytes) -> f64 {
+    if working_set.is_zero() {
+        1.0
+    } else {
+        (cache_capacity.as_f64() / working_set.as_f64()).min(1.0)
+    }
+}
+
+impl Fingerprintable for ObjectStoreSpec {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(&self.name);
+        self.aggregate_bw.fingerprint_into(fp);
+        fp.write_f64(self.request_latency_secs);
+    }
+}
+
+impl Fingerprintable for CacheSpec {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        self.remote.fingerprint_into(fp);
+        self.capacity_per_node.fingerprint_into(fp);
+    }
+}
+
+impl Fingerprintable for ParallelFsSpec {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(&self.name);
+        self.aggregate_bw.fingerprint_into(fp);
+        fp.write_f64(self.request_latency_secs);
+        self.stripe_cap.fingerprint_into(fp);
+        fp.write_bool(self.diskless);
+    }
+}
+
+impl Fingerprintable for StorageProfile {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        match self {
+            StorageProfile::Local => fp.write_u32(0),
+            StorageProfile::ObjectStore(s) => {
+                fp.write_u32(1);
+                s.fingerprint_into(fp);
+            }
+            StorageProfile::Cached(c) => {
+                fp.write_u32(2);
+                c.fingerprint_into(fp);
+            }
+            StorageProfile::ParallelFs(p) => {
+                fp.write_u32(3);
+                p.fingerprint_into(fp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_engine::Fingerprint;
+    use doppio_storage::IoDir;
+    use proptest::prelude::*;
+
+    fn fp_of(p: &StorageProfile) -> Fingerprint {
+        p.fingerprint()
+    }
+
+    #[test]
+    fn every_listed_profile_parses_and_round_trips() {
+        for &(name, _) in PROFILE_NAMES {
+            let p = StorageProfile::parse(name).expect("listed profile must parse");
+            assert_eq!(p.name(), name);
+        }
+        assert!(StorageProfile::parse("floppy").is_none());
+    }
+
+    #[test]
+    fn local_profile_has_no_remote_domain() {
+        assert!(StorageProfile::Local.remote_device().is_none());
+        assert!(StorageProfile::default().is_local());
+    }
+
+    #[test]
+    fn object_store_latency_dominates_small_requests() {
+        let dev = StorageProfile::s3().remote_device().unwrap();
+        let small = dev.bandwidth(IoDir::Read, Bytes::from_kib(4));
+        let big = dev.bandwidth(IoDir::Read, Bytes::from_mib(128));
+        // 4 KiB / 30 ms ≈ 133 KiB/s; 128 MiB requests amortize the latency
+        // (rs/peak = 12.5 ms vs the 30 ms round trip → ~29% of peak).
+        assert!(small.as_mib_per_sec() < 0.2, "got {small}");
+        assert!(big.as_mib_per_sec() > 2048.0, "got {big}");
+    }
+
+    #[test]
+    fn lustre_is_diskless_with_stripe_cap() {
+        let p = StorageProfile::lustre();
+        assert!(p.diskless());
+        assert_eq!(p.remote_stream_cap(), Some(Rate::gib_per_sec(2.0)));
+        assert!(StorageProfile::s3().remote_stream_cap().is_none());
+    }
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        assert_eq!(hit_ratio(Bytes::ZERO, Bytes::ZERO), 1.0);
+        assert_eq!(hit_ratio(Bytes::from_gib(1), Bytes::ZERO), 0.0);
+        assert_eq!(hit_ratio(Bytes::from_gib(1), Bytes::from_gib(2)), 1.0);
+        assert_eq!(hit_ratio(Bytes::from_gib(4), Bytes::from_gib(1)), 0.25);
+    }
+
+    #[test]
+    fn cached_profile_scales_hit_ratio_with_node_count() {
+        let p = StorageProfile::s3_cached();
+        let ws = Bytes::from_gib(256);
+        let h1 = p.cache_hit_ratio(ws, 1);
+        let h4 = p.cache_hit_ratio(ws, 4);
+        assert!((h1 - 0.25).abs() < 1e-12);
+        assert!((h4 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_fingerprint_distinctly() {
+        let fps: Vec<Fingerprint> = PROFILE_NAMES
+            .iter()
+            .map(|&(name, _)| fp_of(&StorageProfile::parse(name).unwrap()))
+            .collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "profiles {i} and {j} alias");
+            }
+        }
+        // Changing only the cache capacity changes the fingerprint.
+        let mut cached = StorageProfile::s3_cached();
+        if let StorageProfile::Cached(c) = &mut cached {
+            c.capacity_per_node = Bytes::from_gib(65);
+        }
+        assert_ne!(fp_of(&cached), fp_of(&StorageProfile::s3_cached()));
+    }
+
+    proptest! {
+        /// Satellite: hit-ratio math is monotone in cache size and bounded.
+        #[test]
+        fn hit_ratio_monotone_in_cache_size(
+            ws_mib in 1u64..=1_000_000,
+            cap_a in 0u64..=1_000_000,
+            cap_b in 0u64..=1_000_000,
+        ) {
+            let ws = Bytes::from_mib(ws_mib);
+            let (lo, hi) = (cap_a.min(cap_b), cap_a.max(cap_b));
+            let h_lo = hit_ratio(ws, Bytes::from_mib(lo));
+            let h_hi = hit_ratio(ws, Bytes::from_mib(hi));
+            prop_assert!((0.0..=1.0).contains(&h_lo));
+            prop_assert!((0.0..=1.0).contains(&h_hi));
+            prop_assert!(h_lo <= h_hi, "hit ratio must be monotone in capacity");
+        }
+    }
+}

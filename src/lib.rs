@@ -17,6 +17,9 @@
 //!   size curves, a fio-like profiler, and iostat-style accounting.
 //! * [`cluster`] — node and cluster descriptions, including the paper's
 //!   hardware presets (Tables I–III).
+//! * [`tiered`] — disaggregated storage profiles (object store, cache
+//!   tier, parallel filesystem) selectable per cluster via
+//!   [`cluster::ClusterSpec::with_storage`] (DESIGN.md §3.10).
 //! * [`dfs`] — an HDFS-like block-based distributed file system simulation.
 //! * [`sparksim`] — the Spark-like in-memory computing framework simulator:
 //!   RDD lineage, DAG scheduler, sort-based shuffle, memory manager and
@@ -62,6 +65,7 @@ pub use doppio_model as model;
 pub use doppio_serve as serve;
 pub use doppio_sparksim as sparksim;
 pub use doppio_storage as storage;
+pub use doppio_tiered as tiered;
 pub use doppio_workloads as workloads;
 
 pub mod scenario;

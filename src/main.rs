@@ -4,7 +4,11 @@
 //! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
 //! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
 //!                 [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
+//!                 [--storage <profile>]
 //! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
+//! doppio whatif cache-sweep [--workload <name>] [--nodes N] [--cores P] [--config C]
+//!                 [--storage <profile>] [--working-set-gib G] [--paper] [--jobs J]
+//!                 [--smoke] [--out PATH]
 //! doppio optimize [--paper] [--jobs J]
 //! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
 //! doppio serve   [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 
 use doppio::cloud::optimize::{grid_search_with, r1_reference, r2_reference, SearchSpace};
 use doppio::cloud::{disks, CloudDiskType, CostEvaluator, EvaluateCost, MemoizedEvaluator};
-use doppio::cluster::{presets, ClusterSpec, HybridConfig};
+use doppio::cluster::{presets, ClusterSpec, HybridConfig, StorageProfile};
 use doppio::engine::Engine;
 use doppio::events::Bytes;
 use doppio::model::phases::{break_point, classify, turning_point};
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "fio" => cmd_fio(rest),
         "simulate" => cmd_simulate(rest),
         "predict" => cmd_predict(rest),
+        "whatif" => cmd_whatif(rest),
         "optimize" => cmd_optimize(rest),
         "phases" => cmd_phases(rest),
         "serve" => cmd_serve(rest),
@@ -72,14 +77,25 @@ USAGE:
       print effective-bandwidth/IOPS lookup tables
   doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
                   [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
+                  [--storage <profile>]
       run a workload on the discrete-event simulator; --runs R fans R seeded
       replicas (seeds S..S+R) out over the scenario engine in batches of
       --batch W lanes (default 8) that share one pre-built plan per batch;
       results are bit-identical at any W; --inject draws a deterministic
       fault plan (seeded by --fault-seed) from a named profile and reports
-      the clean run next to the faulty one
+      the clean run next to the faulty one; --storage places the dataset on
+      a disaggregated tier (object store, cache tier or parallel FS)
+      instead of node-local HDFS disks
   doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
       calibrate the Doppio model (4 sample runs) and compare exp vs model
+  doppio whatif cache-sweep [--workload <name>] [--nodes N] [--cores P] [--config C]
+                  [--storage <profile>] [--working-set-gib G] [--paper] [--jobs J]
+                  [--smoke] [--out PATH]
+      calibrate the model, then sweep the per-node cache capacity in front
+      of a remote storage tier and emit the knee curve as JSON (strictly
+      parsed back before reporting success); --working-set-gib overrides
+      the dataset size driving the hit ratio; --smoke shrinks the sweep
+      for CI and additionally fails unless the curve is monotone
   doppio optimize [--paper] [--jobs J]
       find the cheapest cloud configuration for GATK4 (Section VI); the grid
       search fans out over J workers with memoized cost evaluations
@@ -115,6 +131,7 @@ USAGE:
 --jobs J sets the scenario-engine worker count (0 or absent = one per core);
 results are identical at any J — the engine preserves input order.
 configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=HDD)
+storage profiles: local (default), s3, s3-cached, lustre
 workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort
 fault profiles: flaky-tasks, executor-loss, slow-disk, stragglers, chaos
 chaos profiles: slow-wire, flaky-connect, truncate, garbage, disconnect-heavy";
@@ -165,6 +182,15 @@ fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Re
     }
 }
 
+/// Fetches `--storage <profile>` (absent = the paper's node-local model).
+fn parse_storage(args: &[String]) -> Result<StorageProfile, String> {
+    match opt(args, "--storage") {
+        None => Ok(StorageProfile::Local),
+        Some(name) => StorageProfile::parse(name)
+            .ok_or_else(|| format!("unknown storage profile '{name}' (try `doppio list`)")),
+    }
+}
+
 /// Fetches `--inject <profile>` if present.
 fn parse_fault_profile(args: &[String]) -> Result<Option<FaultProfile>, String> {
     match opt(args, "--inject") {
@@ -212,6 +238,11 @@ fn cmd_list() -> Result<(), String> {
             c.hdfs_device().name(),
             c.local_device().name()
         );
+    }
+    println!();
+    println!("storage profiles (simulate --storage <profile>):");
+    for &(name, describe) in doppio::cluster::PROFILE_NAMES {
+        println!("  {name:<14} {describe}");
     }
     println!();
     println!("fault profiles (simulate --inject <profile>):");
@@ -289,7 +320,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         workload.scaled_app()
     };
 
-    let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
+    let storage = parse_storage(args)?;
+    let cluster = ClusterSpec::paper_cluster(nodes, 36, config).with_storage(storage);
     let conf = SparkConf::paper().with_cores(cores);
 
     // `--inject` expands a named profile into a concrete plan. The profile
@@ -468,6 +500,179 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         total_pred / 60.0,
         (total_pred - total_exp).abs() / total_exp * 100.0
     );
+    Ok(())
+}
+
+fn cmd_whatif(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("cache-sweep") => cmd_cache_sweep(&args[1..]),
+        Some(other) => Err(format!("unknown whatif analysis '{other}' (cache-sweep)")),
+        None => Err("whatif expects an analysis (cache-sweep)".into()),
+    }
+}
+
+/// `whatif cache-sweep` — calibrate the model, sweep the per-node cache
+/// capacity in front of a remote storage tier, and emit the knee curve as
+/// JSON on stdout. The JSON is strictly parsed back before the command
+/// reports success, so a malformed artifact fails CI instead of landing
+/// silently (same contract as `loadgen`'s report).
+fn cmd_cache_sweep(args: &[String]) -> Result<(), String> {
+    use doppio::engine::json::{self, Value};
+    use std::fmt::Write as _;
+
+    let smoke = flag(args, "--smoke");
+    let workload = parse_workload(opt(args, "--workload").unwrap_or("terasort"))?;
+    let nodes: usize = parse_num(args, "--nodes", 64)?;
+    let cores: u32 = parse_num(args, "--cores", 32)?;
+    let config = parse_config(opt(args, "--config").unwrap_or("2ssd"))?;
+    let storage = match opt(args, "--storage") {
+        None => StorageProfile::s3(),
+        Some(_) => parse_storage(args)?,
+    };
+    if storage.is_local() {
+        return Err("cache-sweep needs a remote tier; pick --storage s3|s3-cached|lustre".into());
+    }
+    let app = if flag(args, "--paper") {
+        workload.paper_app()
+    } else {
+        workload.scaled_app()
+    };
+    let engine = parse_engine(args)?;
+
+    eprintln!(
+        "calibrating {} on 3 nodes (4 sample runs, {} jobs)...",
+        workload.name(),
+        engine.jobs()
+    );
+    let platform = SimPlatform::new(
+        app,
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        3,
+        SparkConf::paper(),
+    );
+    let model = Calibrator::default()
+        .calibrate_with(&platform, workload.name(), &engine)
+        .map_err(|e| e.to_string())?
+        .model;
+
+    // The working set driving the hit ratio defaults to the model's HDFS
+    // read volume — what the job actually re-reads from the tier.
+    let hdfs_read: f64 = model
+        .stages()
+        .iter()
+        .flat_map(|s| s.channels.iter())
+        .filter(|c| c.channel == IoChannel::HdfsRead)
+        .map(|c| c.total_bytes.as_f64())
+        .sum();
+    let working_set = match opt(args, "--working-set-gib") {
+        Some(_) => Bytes::from_gib(parse_num(args, "--working-set-gib", 0u64)?),
+        None if hdfs_read > 0.0 => Bytes::new(hdfs_read as u64),
+        None => return Err("model reads nothing from HDFS; pass --working-set-gib".into()),
+    };
+
+    // Capacity grid: fractions of full per-node coverage (ws / N), so the
+    // sweep brackets h = 0..1 regardless of the workload's dataset size.
+    let fractions: &[f64] = if smoke {
+        &[0.0, 0.25, 0.5, 1.0]
+    } else {
+        &[0.0, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0, 1.25]
+    };
+    let full = working_set.scale(1.0 / nodes as f64);
+    let caps: Vec<Bytes> = fractions.iter().map(|&f| full.scale(f)).collect();
+
+    let base = PredictEnv::hybrid(nodes, cores, config);
+    let sweep = doppio::model::whatif::cache_sweep_with(
+        &model,
+        &base,
+        &storage,
+        working_set,
+        &caps,
+        &engine,
+    );
+    eprintln!("{sweep}");
+
+    let knee = sweep.knee(1.05);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"workload\":\"{}\",\"profile\":\"{}\",\"nodes\":{nodes},\"cores\":{cores},\"working_set_bytes\":{},\"points\":[",
+        workload.name(),
+        storage.name(),
+        working_set.as_u64()
+    );
+    for (i, (cap, p)) in caps.iter().zip(&sweep.points).enumerate() {
+        let h = doppio::cluster::hit_ratio(working_set, *cap * nodes as u64);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"cap_bytes\":{},\"hit_ratio\":{h},\"runtime_secs\":{}}}",
+            cap.as_u64(),
+            p.runtime_secs
+        );
+    }
+    match knee {
+        // knee(t) indexes the first capacity *step* that gains < t; the
+        // knee capacity is the last one still worth buying.
+        Some(i) => {
+            let _ = write!(
+                out,
+                "],\"knee_index\":{i},\"knee_cap_bytes\":{}}}",
+                caps[i].as_u64()
+            );
+        }
+        None => out.push_str("],\"knee_index\":null,\"knee_cap_bytes\":null}"),
+    }
+
+    // Strict parse-back: the emitted artifact must round-trip and describe
+    // a sane curve before we report success.
+    let v = json::parse(&out).map_err(|e| format!("sweep JSON did not round-trip: {e}"))?;
+    let points = v
+        .get("points")
+        .and_then(Value::as_arr)
+        .ok_or("sweep JSON is missing its points array")?;
+    if points.len() != caps.len() {
+        return Err(format!(
+            "sweep JSON has {} points, expected {}",
+            points.len(),
+            caps.len()
+        ));
+    }
+    let mut prev_runtime = f64::INFINITY;
+    let mut prev_h = -1.0;
+    for p in points {
+        let runtime = p
+            .get("runtime_secs")
+            .and_then(Value::as_f64)
+            .ok_or("point is missing runtime_secs")?;
+        let h = p
+            .get("hit_ratio")
+            .and_then(Value::as_f64)
+            .ok_or("point is missing hit_ratio")?;
+        if !runtime.is_finite() || runtime <= 0.0 {
+            return Err(format!("non-positive runtime {runtime} in sweep"));
+        }
+        if !(0.0..=1.0).contains(&h) || h < prev_h {
+            return Err(format!("hit ratio {h} out of order in sweep"));
+        }
+        if smoke && runtime > prev_runtime * (1.0 + 1e-9) {
+            return Err(format!(
+                "cache sweep is not monotone: {runtime} s after {prev_runtime} s"
+            ));
+        }
+        prev_runtime = runtime;
+        prev_h = h;
+    }
+
+    println!("{out}");
+    if let Some(path) = opt(args, "--out") {
+        std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    match knee {
+        Some(i) => eprintln!("knee: {} per node (last step gaining >5%)", caps[i]),
+        None => eprintln!("no knee within the swept range (every step gains >5%)"),
+    }
     Ok(())
 }
 
@@ -815,6 +1020,36 @@ mod tests {
             "--batch",
             "--inject",
             "--fault-seed",
+            "--storage",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
+    }
+
+    #[test]
+    fn storage_profile_parsing() {
+        assert_eq!(parse_storage(&argv("")).unwrap(), StorageProfile::Local);
+        assert_eq!(
+            parse_storage(&argv("--storage lustre")).unwrap(),
+            StorageProfile::lustre()
+        );
+        assert!(parse_storage(&argv("--storage floppy")).is_err());
+        // Every profile listed by `doppio list` round-trips through the
+        // parser and appears in USAGE.
+        for &(name, _) in doppio::cluster::PROFILE_NAMES {
+            assert!(USAGE.contains(name), "USAGE lists '{name}'");
+            let p = StorageProfile::parse(name).expect("listed profile parses");
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_whatif_flag() {
+        for flag in [
+            "doppio whatif cache-sweep",
+            "--working-set-gib",
+            "--smoke",
+            "--out",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
         }
@@ -868,6 +1103,7 @@ mod tests {
             "doppio fio",
             "doppio simulate",
             "doppio predict",
+            "doppio whatif",
             "doppio optimize",
             "doppio phases",
             "doppio serve",

@@ -1,0 +1,172 @@
+//! Determinism contract of the disaggregated storage subsystem
+//! (DESIGN.md §3.10).
+//!
+//! Three guarantees: (1) the default `local` profile is a no-op — runs on
+//! an explicit `StorageProfile::Local` cluster are f64-bit-identical to
+//! runs on a cluster that never mentions storage, at any worker count, so
+//! the pre-tiered golden traces stand un-re-blessed; (2) tiered scenarios
+//! fingerprint apart from local ones and never alias their cache entries;
+//! (3) tiered runs ride the same replay discipline as everything else:
+//! `run_batched` matches serial `run_all` to the bit at every width, up
+//! to and including a 256-node diskless parallel-FS cluster.
+
+use doppio::cluster::{ClusterSpec, HybridConfig, StorageProfile};
+use doppio::engine::{Engine, Fingerprintable};
+use doppio::scenario::ScenarioSet;
+use doppio::sparksim::{AppRun, IoChannel, SparkConf};
+use doppio::workloads::terasort;
+
+fn cluster(nodes: usize, storage: StorageProfile) -> ClusterSpec {
+    ClusterSpec::paper_cluster(nodes, 8, HybridConfig::SsdSsd).with_storage(storage)
+}
+
+fn scenario_set(cluster: ClusterSpec, seeds: &[u64]) -> ScenarioSet {
+    ScenarioSet::seeded_replicas(
+        "terasort",
+        terasort::app(&terasort::Params::scaled_down()),
+        cluster,
+        SparkConf::paper().with_cores(8),
+        seeds,
+    )
+}
+
+fn assert_bit_identical(a: &[AppRun], b: &[AppRun], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: run count");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(
+            ra.total_time().as_secs().to_bits(),
+            rb.total_time().as_secs().to_bits(),
+            "{what}: total time bits"
+        );
+        for (sa, sb) in ra.stages().iter().zip(rb.stages()) {
+            assert_eq!(
+                sa.duration.as_secs().to_bits(),
+                sb.duration.as_secs().to_bits(),
+                "{what}: stage '{}' duration bits",
+                sa.name
+            );
+            for ch in IoChannel::DISK_CHANNELS {
+                assert_eq!(sa.channel(ch), sb.channel(ch), "{what}: {} {ch}", sa.name);
+            }
+        }
+        assert_eq!(ra, rb, "{what}: full metric structs");
+    }
+}
+
+/// Golden gate: an explicit `Local` profile is indistinguishable from a
+/// cluster built before storage profiles existed — same fingerprints,
+/// bit-identical runs at 1 and 4 workers.
+#[test]
+fn local_profile_is_bit_identical_to_default() {
+    let seeds = [1u64, 2, 3];
+    let plain = ClusterSpec::paper_cluster(3, 8, HybridConfig::SsdSsd);
+    let explicit = cluster(3, StorageProfile::Local);
+    assert_eq!(
+        plain.fingerprint(),
+        explicit.fingerprint(),
+        "Local must not shift the cache key of existing runs"
+    );
+    let baseline = scenario_set(plain, &seeds)
+        .run_all(&Engine::serial())
+        .expect("baseline runs");
+    for jobs in [1usize, 4] {
+        let tiered = scenario_set(explicit.clone(), &seeds)
+            .run_all(&Engine::with_jobs(jobs))
+            .expect("explicit-Local runs");
+        assert_bit_identical(
+            &baseline,
+            &tiered,
+            &format!("Local profile, {jobs} workers"),
+        );
+    }
+}
+
+/// A tiered scenario must never be served a local run from the memo
+/// cache (or vice versa): every non-local profile shifts the scenario
+/// fingerprint.
+#[test]
+fn tiered_scenarios_never_alias_local_cache_entries() {
+    let seeds = [9u64];
+    let local_fp =
+        scenario_set(cluster(3, StorageProfile::Local), &seeds).scenarios()[0].fingerprint();
+    for profile in [
+        StorageProfile::s3(),
+        StorageProfile::s3_cached(),
+        StorageProfile::lustre(),
+    ] {
+        let fp = scenario_set(cluster(3, profile.clone()), &seeds).scenarios()[0].fingerprint();
+        assert_ne!(
+            fp,
+            local_fp,
+            "profile '{}' aliases the local cache entry",
+            profile.name()
+        );
+    }
+}
+
+/// The remote tier actually participates: moving the dataset to the
+/// object store changes the simulated outcome.
+#[test]
+fn object_store_changes_the_simulated_runtime() {
+    let seeds = [5u64];
+    let local = scenario_set(cluster(3, StorageProfile::Local), &seeds)
+        .run_all(&Engine::serial())
+        .expect("local runs");
+    let s3 = scenario_set(cluster(3, StorageProfile::s3()), &seeds)
+        .run_all(&Engine::serial())
+        .expect("s3 runs");
+    assert_ne!(
+        local[0].total_time(),
+        s3[0].total_time(),
+        "the tier must not be a spectator"
+    );
+}
+
+/// Batched execution over tiered scenarios (object store and cache tier)
+/// matches the serial path to the bit at every width — the remote rate
+/// domain replays under the same deferred-pump discipline as local disks.
+#[test]
+fn tiered_batched_matches_serial_bit_identically() {
+    let seeds = [11u64, 12, 13];
+    for profile in [StorageProfile::s3(), StorageProfile::s3_cached()] {
+        let serial = scenario_set(cluster(4, profile.clone()), &seeds)
+            .run_all(&Engine::serial())
+            .expect("serial tiered runs");
+        for width in [1usize, 2, 8] {
+            let batched = scenario_set(cluster(4, profile.clone()), &seeds)
+                .run_batched(&Engine::with_jobs(3), width)
+                .expect("batched tiered runs");
+            assert_bit_identical(
+                &serial,
+                &batched,
+                &format!("profile '{}', width {width}", profile.name()),
+            );
+        }
+    }
+}
+
+/// The headline scenario the subsystem unlocks: 256 diskless nodes
+/// against a shared parallel filesystem. Must simulate deterministically
+/// (two serial passes agree) and stay bit-identical under batched
+/// multi-worker execution.
+#[test]
+fn parallel_fs_256_nodes_is_deterministic_and_width_invariant() {
+    let seeds = [21u64, 22];
+    let first = scenario_set(cluster(256, StorageProfile::lustre()), &seeds)
+        .run_all(&Engine::serial())
+        .expect("first 256-node pass");
+    let second = scenario_set(cluster(256, StorageProfile::lustre()), &seeds)
+        .run_all(&Engine::serial())
+        .expect("second 256-node pass");
+    assert_bit_identical(&first, &second, "256-node lustre, repeated serial");
+    for width in [1usize, 2, 4] {
+        let batched = scenario_set(cluster(256, StorageProfile::lustre()), &seeds)
+            .run_batched(&Engine::with_jobs(4), width)
+            .expect("batched 256-node runs");
+        assert_bit_identical(&first, &batched, &format!("256-node lustre, width {width}"));
+    }
+    assert!(
+        first[0].total_time().as_secs() > 0.0,
+        "the run actually did work"
+    );
+}
