@@ -13,8 +13,24 @@
 //! the hot-over-cold speedup (the served cache's whole point), and the
 //! server's own final counters. In `--smoke` mode any malformed reply or
 //! a non-zero shed count is an error — that is the CI contract.
+//!
+//! # Multi-process mode
+//!
+//! One generator process tops out well before a shard tier does — its
+//! own reply parsing becomes the bottleneck and the measurement caps at
+//! the *client's* ceiling, not the server's. `--procs N` re-runs the hot
+//! phase from N child processes ([`run_hot_multiproc`]): each child is a
+//! fresh `doppio loadgen --hot-worker` that replays the warmed seed set
+//! and emits one machine-readable summary line ([`hot_worker`]) carrying
+//! a log-bucketed latency histogram. The parent merges the histograms
+//! (exact counts, bucket-resolution percentiles) and reports aggregate
+//! throughput over the slowest child's wall clock — the conservative
+//! choice, since children that finish early leave the tier underloaded
+//! for the tail of the window.
 
 use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -535,6 +551,18 @@ pub fn write_report(path: &std::path::Path, report: &Object) -> Result<(), Strin
     {
         return Err("parse-back: missing speedup_hot_vs_cold".into());
     }
+    if let Some(mp) = v.get("hot_multiproc") {
+        for key in ["procs", "connections_per_proc", "requests", "errors"] {
+            if mp.get(key).and_then(Value::as_u64).is_none() {
+                return Err(format!("parse-back: hot_multiproc missing '{key}'"));
+            }
+        }
+        for key in ["elapsed_secs", "reqs_per_sec", "p50_ms", "p90_ms", "p99_ms"] {
+            if mp.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("parse-back: hot_multiproc missing '{key}'"));
+            }
+        }
+    }
     if let Some(chaos) = v.get("chaos") {
         if chaos
             .get("profile")
@@ -564,6 +592,278 @@ pub fn write_report(path: &std::path::Path, report: &Object) -> Result<(), Strin
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process hot phase: worker side and merging parent.
+// ---------------------------------------------------------------------------
+
+/// Latency histogram with power-of-two microsecond buckets: bucket `i`
+/// counts latencies in `(2^(i-1), 2^i]` µs. 40 buckets span 1 µs to
+/// 2^39 µs (~6 days, i.e. any latency a closed-loop run can produce);
+/// exact counts merge across processes by addition, and
+/// percentiles resolve to a bucket's upper bound — plenty for a
+/// throughput artifact, and the encoding is a short JSON array instead
+/// of a million raw samples.
+const LATENCY_BUCKETS: usize = 40;
+
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().max(1) as u64;
+    ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+fn bucket_upper_ms(idx: usize) -> f64 {
+    (1u64 << idx) as f64 / 1_000.0
+}
+
+fn bucket_percentile(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((total - 1) as f64 * q).round() as u64;
+    let mut seen = 0;
+    for (idx, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if count > 0 && seen > target {
+            return bucket_upper_ms(idx);
+        }
+    }
+    bucket_upper_ms(LATENCY_BUCKETS - 1)
+}
+
+/// Runs the hot phase standalone and returns the worker summary object
+/// (`doppio-loadgen-worker/v1`): request count, wall time, error count,
+/// and the latency histogram. This is what `doppio loadgen --hot-worker`
+/// prints as a single line for the parent to parse.
+///
+/// `distinct` and `repeats` mean what `--requests` and `--repeats` mean
+/// for the parent's hot phase: the seed set is `base_seed..+distinct`,
+/// replayed `repeats` times, split over `connections` closed loops.
+///
+/// # Errors
+///
+/// Fails when no connection can be established at all; per-request
+/// failures are *counted*, not fatal, so one flaky reply does not void
+/// the other workers' window.
+pub fn hot_worker(
+    addr: &str,
+    connections: usize,
+    distinct: usize,
+    repeats: usize,
+    base_seed: u64,
+    ccfg: &ClientConfig,
+) -> Result<Object, String> {
+    let seeds: Vec<u64> = (0..repeats.max(1))
+        .flat_map(|_| (0..distinct.max(1) as u64).map(|i| base_seed.wrapping_add(i)))
+        .collect();
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<Result<Duration, String>>();
+    std::thread::scope(|scope| {
+        for c in 0..connections.max(1) {
+            let tx = tx.clone();
+            let mine: Vec<u64> = seeds
+                .iter()
+                .copied()
+                .skip(c)
+                .step_by(connections.max(1))
+                .collect();
+            let addr = addr.to_string();
+            let ccfg = *ccfg;
+            scope.spawn(move || {
+                let mut client = match Client::connect_with(&addr, &ccfg) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let _ = tx.send(Err(format!("connect: {e}")));
+                        return;
+                    }
+                };
+                for seed in mine {
+                    let t0 = Instant::now();
+                    match client.call(probe(seed), None) {
+                        Ok(r) if r.ok => {
+                            let _ = tx.send(Ok(t0.elapsed()));
+                        }
+                        Ok(r) => {
+                            let _ = tx.send(Err(r.error_code.unwrap_or_default()));
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e.to_string()));
+                            return; // connection state unknown: stop this loop
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        let mut ok = 0u64;
+        let mut errors = 0u64;
+        let mut first_error = String::new();
+        for msg in rx {
+            match msg {
+                Ok(latency) => {
+                    buckets[bucket_of(latency)] += 1;
+                    ok += 1;
+                }
+                Err(e) => {
+                    if errors == 0 {
+                        first_error = e;
+                    }
+                    errors += 1;
+                }
+            }
+        }
+        if ok == 0 {
+            return Err(format!(
+                "hot worker completed no requests ({} error(s); first: {first_error})",
+                errors
+            ));
+        }
+        let mut o = Object::new();
+        o.put_str("schema", "doppio-loadgen-worker/v1");
+        o.put_u64("requests", ok);
+        o.put_u64("errors", errors);
+        o.put_f64("elapsed_secs", started.elapsed().as_secs_f64());
+        o.put_obj_arr(
+            "buckets",
+            buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(idx, &count)| {
+                    let mut b = Object::new();
+                    b.put_u64("bucket", idx as u64);
+                    b.put_u64("count", count);
+                    b
+                })
+                .collect(),
+        );
+        Ok(o)
+    })
+}
+
+/// What [`run_hot_multiproc`] launches.
+#[derive(Debug, Clone)]
+pub struct MultiProcSpec {
+    /// The `doppio` binary to run workers with.
+    pub exe: PathBuf,
+    /// Target address (normally the shard router).
+    pub addr: String,
+    /// Worker process count.
+    pub procs: usize,
+    /// Closed-loop connections per worker.
+    pub connections: usize,
+    /// Distinct (pre-warmed) seeds each worker replays.
+    pub distinct: usize,
+    /// Replays of the seed set per worker.
+    pub repeats: usize,
+    /// Worker client timeouts (milliseconds, 0 = none).
+    pub connect_timeout_ms: u64,
+    /// Worker read/write timeout (milliseconds, 0 = none).
+    pub read_timeout_ms: u64,
+}
+
+/// Fans the hot phase out over `spec.procs` child processes and merges
+/// their histograms into a `hot_multiproc` report object.
+///
+/// # Errors
+///
+/// Fails when a worker cannot be spawned, exits unsuccessfully, prints an
+/// unparsable summary, or reports zero requests.
+pub fn run_hot_multiproc(spec: &MultiProcSpec) -> Result<Object, String> {
+    let mut children = Vec::new();
+    for _ in 0..spec.procs.max(1) {
+        let child = Command::new(&spec.exe)
+            .args([
+                "loadgen",
+                "--hot-worker",
+                "--addr",
+                &spec.addr,
+                "--connections",
+                &spec.connections.to_string(),
+                "--requests",
+                &spec.distinct.to_string(),
+                "--repeats",
+                &spec.repeats.to_string(),
+                "--connect-timeout-ms",
+                &spec.connect_timeout_ms.to_string(),
+                "--read-timeout-ms",
+                &spec.read_timeout_ms.to_string(),
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn hot worker: {e}"))?;
+        children.push(child);
+    }
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut slowest_secs = 0f64;
+    let mut buckets = [0u64; LATENCY_BUCKETS];
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("wait hot worker {i}: {e}"))?;
+        if !out.status.success() {
+            return Err(format!("hot worker {i} failed ({})", out.status));
+        }
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.contains("doppio-loadgen-worker/v1"))
+            .ok_or_else(|| format!("hot worker {i} printed no summary line"))?;
+        let v = json::parse(line.trim()).map_err(|e| format!("hot worker {i} summary: {e}"))?;
+        let n = |key: &str| v.get(key).and_then(Value::as_u64);
+        requests += n("requests").ok_or("worker summary missing 'requests'")?;
+        errors += n("errors").unwrap_or(0);
+        slowest_secs = slowest_secs.max(
+            v.get("elapsed_secs")
+                .and_then(Value::as_f64)
+                .ok_or("worker summary missing 'elapsed_secs'")?,
+        );
+        for b in v
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or("worker summary missing 'buckets'")?
+        {
+            let idx = b
+                .get("bucket")
+                .and_then(Value::as_u64)
+                .ok_or("bucket missing index")? as usize;
+            let count = b
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or("bucket missing count")?;
+            if idx < LATENCY_BUCKETS {
+                buckets[idx] += count;
+            }
+        }
+    }
+    if requests == 0 {
+        return Err("multi-process hot phase completed no requests".into());
+    }
+    let mut o = Object::new();
+    o.put_u64("procs", spec.procs.max(1) as u64);
+    o.put_u64("connections_per_proc", spec.connections.max(1) as u64);
+    o.put_u64("requests", requests);
+    o.put_u64("errors", errors);
+    o.put_f64("elapsed_secs", slowest_secs);
+    o.put_f64(
+        "reqs_per_sec",
+        if slowest_secs > 0.0 {
+            requests as f64 / slowest_secs
+        } else {
+            0.0
+        },
+    );
+    // Bucket-resolution percentiles: each is the upper bound of the
+    // power-of-two bucket the quantile falls in (≤ 2x the true value).
+    o.put_f64("p50_ms", bucket_percentile(&buckets, 0.50));
+    o.put_f64("p90_ms", bucket_percentile(&buckets, 0.90));
+    o.put_f64("p99_ms", bucket_percentile(&buckets, 0.99));
+    Ok(o)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +882,32 @@ mod tests {
         let cfg = LoadgenConfig::default().smoke();
         assert!(cfg.smoke);
         assert!(cfg.cold_requests < LoadgenConfig::default().cold_requests);
+    }
+
+    #[test]
+    fn latency_buckets_are_powers_of_two_microseconds() {
+        assert_eq!(bucket_of(Duration::from_micros(1)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(2)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 2);
+        assert_eq!(bucket_of(Duration::from_micros(1000)), 10);
+        // 3600 s = 3.6e9 µs lands in bucket 32 (2^31 µs < 3.6e9 ≤ 2^32 µs)…
+        assert_eq!(bucket_of(Duration::from_secs(3600)), 32);
+        // …and anything past 2^38 µs saturates into the last bucket.
+        assert_eq!(
+            bucket_of(Duration::from_secs(1_000_000)),
+            LATENCY_BUCKETS - 1
+        );
+        // Upper bound of bucket 10 is 1024 µs.
+        assert!((bucket_upper_ms(10) - 1.024).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_percentiles_resolve_to_upper_bounds() {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        buckets[5] = 90; // fast majority
+        buckets[12] = 10; // slow tail
+        assert_eq!(bucket_percentile(&buckets, 0.50), bucket_upper_ms(5));
+        assert_eq!(bucket_percentile(&buckets, 0.99), bucket_upper_ms(12));
+        assert_eq!(bucket_percentile(&[0; LATENCY_BUCKETS], 0.5), 0.0);
     }
 }

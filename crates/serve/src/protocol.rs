@@ -236,6 +236,23 @@ impl ErrorCode {
             ErrorCode::ShutdownDisabled => "shutdown_disabled",
         }
     }
+
+    /// The inverse of [`name`](Self::name): parses a wire name back to
+    /// its code. The shard router uses this to re-emit an upstream
+    /// shard's error verbatim under the client's request id.
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        const ALL: [ErrorCode; 8] = [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::EvalFailed,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+            ErrorCode::ShutdownDisabled,
+        ];
+        ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 impl fmt::Display for ErrorCode {
@@ -540,6 +557,25 @@ pub fn ok_reply_line(id: &str, cached: bool, coalesced: bool, result_json: &str)
     o.render_line()
 }
 
+/// Extracts the *verbatim* `result` payload substring from a rendered
+/// success reply line — the router's bit-identity primitive: a shard's
+/// payload is spliced byte-for-byte into the reply re-rendered under the
+/// client's own id, so sharded replies stay bit-identical to
+/// single-process ones.
+///
+/// Sound because [`ok_reply_line`] renders `result` as the **final**
+/// field and every string field before it (`id`) is JSON-escaped — the
+/// encoder never emits a raw `"` inside a string, so the first
+/// `"result": ` match is always the envelope's own key, even for an id
+/// crafted to contain that text.
+pub fn extract_result_payload(line: &str) -> Option<&str> {
+    const KEY: &str = "\"result\": ";
+    let line = line.trim_end();
+    let start = line.find(KEY)? + KEY.len();
+    let rest = line.strip_suffix('}')?;
+    (start <= rest.len()).then(|| &rest[start..])
+}
+
 /// Renders a structured error reply line.
 pub fn error_reply_line(id: &str, err: &ErrorReply) -> String {
     let mut e = Object::new();
@@ -695,5 +731,47 @@ mod tests {
         let e = v.get("error").unwrap();
         assert_eq!(e.get("code").unwrap().as_str(), Some("overloaded"));
         assert_eq!(e.get("queue_depth").unwrap().as_u64(), Some(64));
+    }
+
+    #[test]
+    fn error_codes_round_trip_through_wire_names() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::EvalFailed,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+            ErrorCode::ShutdownDisabled,
+        ] {
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
+    }
+
+    #[test]
+    fn result_payload_extraction_is_verbatim() {
+        let payload = "{\"total\": 12.5, \"nested\": {\"result\": 1}}";
+        let line = ok_reply_line("req-1", true, false, payload);
+        assert_eq!(extract_result_payload(&line), Some(payload));
+
+        // Splicing it back under a different id reproduces the exact
+        // line the other server would have rendered — the router's
+        // bit-identity argument in one assertion.
+        let spliced = ok_reply_line("req-2", true, false, payload);
+        let roundtrip = ok_reply_line("req-2", true, false, extract_result_payload(&line).unwrap());
+        assert_eq!(spliced, roundtrip);
+    }
+
+    #[test]
+    fn result_payload_extraction_survives_adversarial_ids() {
+        // An id crafted to contain the search key: JSON escaping turns
+        // its quotes into \" so the first raw `"result": ` is still the
+        // envelope's own field.
+        let payload = "{\"x\": 1}";
+        let line = ok_reply_line("evil\", \"result\": {\"x\": 9}, \"z", false, false, payload);
+        assert_eq!(extract_result_payload(&line), Some(payload));
+        assert_eq!(extract_result_payload("not a reply"), None);
     }
 }

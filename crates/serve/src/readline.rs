@@ -1,139 +1,153 @@
-//! Bounded, timeout-aware request-line reading.
+//! Bounded request-line framing, sans I/O.
 //!
 //! `BufRead::read_line` has two failure modes a public-facing server
 //! cannot afford: it buffers an arbitrarily long line entirely in memory
 //! before the caller can see its size, and on a non-UTF-8 byte it errors
-//! without saying how much it consumed. [`LineReader`] reads raw bytes
-//! instead and classifies every outcome the connection loop must react
-//! to — a complete line, end of stream, an oversized line (detected
-//! *while* reading, never after buffering it whole), invalid UTF-8, an
-//! idle socket, and a stalled half-written line (the slow-loris shape:
-//! bytes drip in but the line never completes).
+//! without saying how much it consumed. [`LineBuffer`] frames raw bytes
+//! instead and classifies every outcome the connection state machine must
+//! react to — a complete line, an oversized line (detected *while*
+//! feeding, never after buffering it whole), and invalid UTF-8.
 //!
-//! The reader itself never sleeps or arms timers; the caller sets the
-//! socket's `read_timeout`, and the reader turns `WouldBlock`/`TimedOut`
-//! plus a per-line deadline into the right [`LineEvent`].
+//! The buffer itself never touches a socket, never sleeps and never arms
+//! timers; the reactor feeds it whatever `read` returned and turns "no
+//! complete line yet" plus wall-clock state into idle/stalled handling.
+//! Keeping the framing pure made it trivially reusable across the
+//! blocking and readiness-driven paths while they coexisted, and keeps
+//! these tests free of sockets.
+//!
+//! # Allocation discipline
+//!
+//! Both internal buffers are reused across lines: the byte accumulator
+//! compacts in place instead of reallocating, and completed lines are
+//! handed out as `&str` borrows of one scratch `String`. After warm-up a
+//! connection's steady state performs zero allocations per request line
+//! (`buffers_are_reused_across_lines` pins this).
 
-use std::io::{ErrorKind, Read};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
-
-/// What one attempt to read a request line produced.
-#[derive(Debug)]
-pub(crate) enum LineEvent {
+/// One framed outcome. Borrowed variants point into the buffer's scratch
+/// storage and are valid until the next call.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Frame<'a> {
     /// A complete line; the `\n` terminator (and a trailing `\r`) is
     /// stripped.
-    Line(String),
-    /// Clean end of stream. Any unterminated trailing bytes are dropped:
-    /// a half-written request line never reaches the decoder.
-    Eof,
-    /// The line grew past the configured bound before its `\n` arrived.
+    Line(&'a str),
+    /// The line grew past the configured bound (possibly before its `\n`
+    /// arrived). The buffer is poisoned: the stream cannot be
+    /// resynchronized and the caller is expected to close it.
     TooLong,
-    /// The line completed but is not valid UTF-8.
+    /// The line completed but is not valid UTF-8. Poisons the buffer for
+    /// the same reason.
     NotUtf8,
-    /// The socket idled past the read timeout with no buffered bytes —
-    /// the idle-reaper case.
-    Idle,
-    /// Bytes of a line arrived but the line did not complete within the
-    /// timeout window measured from its first byte — the slow-loris case.
-    Stalled,
-    /// Any other I/O error.
-    Failed,
 }
 
-/// A line reader over a raw [`TcpStream`] with a hard per-line byte bound
-/// and a per-line completion deadline.
+/// An incremental line framer with a hard per-line byte bound and
+/// reusable internal storage.
 #[derive(Debug)]
-pub(crate) struct LineReader {
-    stream: TcpStream,
+pub(crate) struct LineBuffer {
     max_line_bytes: usize,
-    /// Deadline for completing one line, measured from its first byte
-    /// (`None` = lines may take forever).
-    line_timeout: Option<Duration>,
-    /// Bytes received but not yet returned as lines.
+    /// Received-but-unframed bytes; `buf[..start]` is consumed garbage
+    /// awaiting compaction, `buf[start..]` is live.
     buf: Vec<u8>,
-    /// `buf[..scanned]` is known to contain no `\n` — pipelined bursts
-    /// are scanned once, not once per refill.
+    start: usize,
+    /// `buf[start..scanned]` is known to contain no `\n` — pipelined
+    /// bursts are scanned once, not once per feed.
     scanned: usize,
-    /// When the first byte of the line currently being assembled arrived.
-    line_started: Option<Instant>,
+    /// Reusable scratch that completed lines are copied into.
+    line: String,
+    /// Set after `TooLong`/`NotUtf8`: framing is unrecoverable.
+    poisoned: bool,
 }
 
-impl LineReader {
-    pub(crate) fn new(
-        stream: TcpStream,
-        max_line_bytes: usize,
-        line_timeout: Option<Duration>,
-    ) -> Self {
-        LineReader {
-            stream,
+impl LineBuffer {
+    pub(crate) fn new(max_line_bytes: usize) -> Self {
+        LineBuffer {
             max_line_bytes: max_line_bytes.max(1),
-            line_timeout,
             buf: Vec::new(),
+            start: 0,
             scanned: 0,
-            line_started: None,
+            line: String::new(),
+            poisoned: false,
         }
     }
 
-    /// Reads until one of the [`LineEvent`] outcomes occurs. After
-    /// anything but `Line`, the caller is expected to close the
-    /// connection (the reader makes no attempt to resynchronize).
-    pub(crate) fn read_line(&mut self) -> LineEvent {
-        let mut chunk = [0u8; 4096];
-        loop {
-            // A complete line already buffered?
-            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.buf.drain(..=self.scanned + nl).collect();
-                self.scanned = 0;
-                self.line_started = if self.buf.is_empty() {
-                    None
-                } else {
-                    // Pipelined bytes of the next line are already here;
-                    // its clock starts now.
-                    Some(Instant::now())
+    /// Appends bytes received from the wire.
+    pub(crate) fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether an incomplete line is pending — the state the reactor's
+    /// stall deadline applies to.
+    pub(crate) fn has_partial(&self) -> bool {
+        !self.poisoned && self.start < self.buf.len()
+    }
+
+    /// Whether framing hit an unrecoverable fault (`TooLong`/`NotUtf8`).
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes currently buffered (live, not yet framed).
+    #[cfg(test)]
+    pub(crate) fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Frames the next complete line out of the buffered bytes, or
+    /// `None` when more bytes are needed. Must be called to quiescence
+    /// after every [`feed`](Self::feed) — a single feed can complete many
+    /// pipelined lines.
+    pub(crate) fn next_frame(&mut self) -> Option<Frame<'_>> {
+        if self.poisoned {
+            return None;
+        }
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let nl = self.scanned + off;
+                let mut end = nl;
+                if end > self.start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let bytes = &self.buf[self.start..end];
+                if bytes.len() > self.max_line_bytes {
+                    self.poisoned = true;
+                    return Some(Frame::TooLong);
+                }
+                let Ok(s) = std::str::from_utf8(bytes) else {
+                    self.poisoned = true;
+                    return Some(Frame::NotUtf8);
                 };
-                line.pop(); // the '\n'
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                if line.len() > self.max_line_bytes {
-                    return LineEvent::TooLong;
-                }
-                return match String::from_utf8(line) {
-                    Ok(s) => LineEvent::Line(s),
-                    Err(_) => LineEvent::NotUtf8,
-                };
+                // Reuse the scratch String: clear keeps its capacity, so
+                // steady-state lines copy without allocating.
+                self.line.clear();
+                self.line.push_str(s);
+                self.consume_through(nl);
+                Some(Frame::Line(self.line.as_str()))
             }
-            self.scanned = self.buf.len();
-            if self.buf.len() > self.max_line_bytes {
-                return LineEvent::TooLong;
-            }
-            // A partial line must complete within the timeout window even
-            // if bytes keep trickling in (each drip resets the socket
-            // timeout, so the socket alone cannot catch a slow-loris).
-            if let (Some(t), Some(started)) = (self.line_timeout, self.line_started) {
-                if started.elapsed() > t {
-                    return LineEvent::Stalled;
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() - self.start > self.max_line_bytes {
+                    self.poisoned = true;
+                    return Some(Frame::TooLong);
                 }
+                None
             }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return LineEvent::Eof,
-                Ok(n) => {
-                    if self.buf.is_empty() {
-                        self.line_started = Some(Instant::now());
-                    }
-                    self.buf.extend_from_slice(&chunk[..n]);
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    return if self.buf.is_empty() {
-                        LineEvent::Idle
-                    } else {
-                        LineEvent::Stalled
-                    };
-                }
-                Err(_) => return LineEvent::Failed,
-            }
+        }
+    }
+
+    /// Marks everything through absolute index `nl` consumed and compacts
+    /// the accumulator in place when the dead prefix dominates — the
+    /// common whole-line-per-read case resets to empty for free.
+    fn consume_through(&mut self, nl: usize) {
+        self.start = nl + 1;
+        self.scanned = self.start;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scanned = 0;
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.scanned -= self.start;
+            self.start = 0;
         }
     }
 }
@@ -141,79 +155,123 @@ impl LineReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write;
-    use std::net::TcpListener;
 
-    /// A connected (client, server) socket pair on localhost.
-    fn pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = TcpStream::connect(addr).unwrap();
-        let (server, _) = listener.accept().unwrap();
-        (client, server)
+    /// Feeds everything, then collects owned frames for easy asserting.
+    fn frames(input: &[u8], max: usize) -> Vec<String> {
+        let mut lb = LineBuffer::new(max);
+        lb.feed(input);
+        let mut out = Vec::new();
+        while let Some(f) = lb.next_frame() {
+            out.push(match f {
+                Frame::Line(l) => l.to_string(),
+                Frame::TooLong => "<toolong>".to_string(),
+                Frame::NotUtf8 => "<notutf8>".to_string(),
+            });
+        }
+        out
     }
 
     #[test]
     fn splits_pipelined_lines_and_strips_terminators() {
-        let (mut client, server) = pair();
-        client.write_all(b"alpha\r\nbeta\ngamma\n").unwrap();
-        let mut r = LineReader::new(server, 1024, None);
-        for want in ["alpha", "beta", "gamma"] {
-            match r.read_line() {
-                LineEvent::Line(l) => assert_eq!(l, want),
-                other => panic!("expected line, got {other:?}"),
-            }
-        }
-        drop(client);
-        assert!(matches!(r.read_line(), LineEvent::Eof));
-    }
-
-    #[test]
-    fn oversized_line_detected_before_terminator() {
-        let (mut client, server) = pair();
-        // 64 KiB of line against an 1 KiB bound, no '\n' yet: the reader
-        // must bail while reading, not buffer the whole thing.
-        let junk = vec![b'x'; 64 * 1024];
-        client.write_all(&junk).unwrap();
-        client.flush().unwrap();
-        let mut r = LineReader::new(server, 1024, None);
-        assert!(matches!(r.read_line(), LineEvent::TooLong));
-        assert!(
-            r.buf.len() <= 1024 + 4096 + 1,
-            "never buffers far past the bound"
+        assert_eq!(
+            frames(b"alpha\r\nbeta\ngamma\n", 1024),
+            ["alpha", "beta", "gamma"]
         );
     }
 
     #[test]
-    fn non_utf8_line_is_classified() {
-        let (mut client, server) = pair();
-        client.write_all(b"\xff\xfe\x00half\n").unwrap();
-        let mut r = LineReader::new(server, 1024, None);
-        assert!(matches!(r.read_line(), LineEvent::NotUtf8));
+    fn partial_lines_wait_for_more_bytes() {
+        let mut lb = LineBuffer::new(1024);
+        lb.feed(b"hel");
+        assert_eq!(lb.next_frame(), None);
+        assert!(lb.has_partial());
+        lb.feed(b"lo\nwor");
+        assert!(matches!(lb.next_frame(), Some(Frame::Line("hello"))));
+        assert_eq!(lb.next_frame(), None);
+        assert!(lb.has_partial(), "the next line is half-assembled");
+        lb.feed(b"ld\n");
+        assert!(matches!(lb.next_frame(), Some(Frame::Line("world"))));
+        assert!(!lb.has_partial());
     }
 
     #[test]
-    fn idle_and_stalled_are_distinguished() {
-        let (mut client, server) = pair();
-        server
-            .set_read_timeout(Some(Duration::from_millis(30)))
-            .unwrap();
-        let mut r = LineReader::new(server, 1024, Some(Duration::from_millis(30)));
-        // Nothing sent at all: idle.
-        assert!(matches!(r.read_line(), LineEvent::Idle));
-        // Half a line, then silence: stalled.
-        client.write_all(b"{\"v\": 1, \"id\": \"trunc").unwrap();
-        client.flush().unwrap();
-        assert!(matches!(r.read_line(), LineEvent::Stalled));
+    fn oversized_line_detected_before_terminator() {
+        // 4 KiB against a 1 KiB bound, no '\n' yet: the framer must bail
+        // while feeding, not buffer the whole thing hoping for an end.
+        let mut lb = LineBuffer::new(1024);
+        lb.feed(&vec![b'x'; 4096]);
+        assert!(matches!(lb.next_frame(), Some(Frame::TooLong)));
+        assert!(lb.is_poisoned());
+        assert_eq!(lb.next_frame(), None, "poisoned framers stay silent");
     }
 
     #[test]
-    fn half_written_trailing_line_is_dropped_at_eof() {
-        let (mut client, server) = pair();
-        client.write_all(b"whole\npartial-without-newline").unwrap();
-        drop(client);
-        let mut r = LineReader::new(server, 1024, None);
-        assert!(matches!(r.read_line(), LineEvent::Line(l) if l == "whole"));
-        assert!(matches!(r.read_line(), LineEvent::Eof));
+    fn oversized_terminated_line_is_rejected() {
+        let mut input = vec![b'y'; 2000];
+        input.push(b'\n');
+        assert_eq!(frames(&input, 1024), ["<toolong>"]);
+    }
+
+    #[test]
+    fn non_utf8_line_is_classified_and_poisons() {
+        let mut lb = LineBuffer::new(1024);
+        lb.feed(b"\xff\xfe\x00half\nnext\n");
+        assert!(matches!(lb.next_frame(), Some(Frame::NotUtf8)));
+        assert_eq!(
+            lb.next_frame(),
+            None,
+            "bytes after a framing fault are never interpreted"
+        );
+    }
+
+    #[test]
+    fn crlf_only_strips_one_cr_and_empty_lines_frame() {
+        assert_eq!(frames(b"\n\r\na\r\r\n", 64), ["", "", "a\r"]);
+    }
+
+    #[test]
+    fn buffers_are_reused_across_lines() {
+        let mut lb = LineBuffer::new(1024);
+        // Warm up with one full-size line.
+        let mut warm = vec![b'w'; 512];
+        warm.push(b'\n');
+        lb.feed(&warm);
+        assert!(matches!(lb.next_frame(), Some(Frame::Line(_))));
+        let line_cap = lb.line.capacity();
+        let buf_cap = lb.buf.capacity();
+        assert!(line_cap >= 512 && buf_cap >= 512);
+
+        // 10k further lines of at most that size: zero capacity growth in
+        // either buffer — the satellite claim that per-line allocation is
+        // gone (the old reader collected a fresh Vec + String per line).
+        for i in 0..10_000u32 {
+            let body = format!("line-{i}-{}", "z".repeat((i % 400) as usize));
+            lb.feed(body.as_bytes());
+            lb.feed(b"\n");
+            match lb.next_frame() {
+                Some(Frame::Line(l)) => assert_eq!(l, body),
+                other => panic!("expected line, got {other:?}"),
+            }
+        }
+        assert_eq!(lb.line.capacity(), line_cap, "line scratch never regrew");
+        assert_eq!(lb.buf.capacity(), buf_cap, "byte accumulator never regrew");
+        assert_eq!(lb.buffered(), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_pipelined_tail_intact() {
+        let mut lb = LineBuffer::new(16 * 1024);
+        // A large consumed prefix followed by a live tail forces the
+        // copy_within path.
+        let big = "b".repeat(8 * 1024);
+        lb.feed(format!("{big}\nsmall\ntail-partial").as_bytes());
+        assert!(matches!(lb.next_frame(), Some(Frame::Line(l)) if l == big));
+        assert!(matches!(lb.next_frame(), Some(Frame::Line("small"))));
+        assert_eq!(lb.next_frame(), None);
+        lb.feed(b"-done\n");
+        assert!(matches!(
+            lb.next_frame(),
+            Some(Frame::Line("tail-partial-done"))
+        ));
     }
 }

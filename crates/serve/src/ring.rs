@@ -1,0 +1,275 @@
+//! Consistent-hash ring and hot-key tracking for the shard tier.
+//!
+//! The router places every work request on a shard by its 128-bit
+//! [`Fingerprint`] — the same canonical key the memo caches and
+//! singleflight already use, so "which shard owns this request" and
+//! "which cache entry would hold its result" are one question. A classic
+//! vnode ring gives the placement the two properties the tier depends
+//! on:
+//!
+//! * **Determinism** — the ring is a pure function of the shard id list
+//!   and the vnode count. Every router instance (and every test) computes
+//!   the same assignment; no coordination, no state.
+//! * **Minimal disruption** — removing a shard deletes only that shard's
+//!   vnodes; every key that hashed between two *surviving* vnodes keeps
+//!   its owner. Only the dead shard's keys remap (onto their ring
+//!   successors — exactly the failover order the router walks when a
+//!   breaker opens).
+//!
+//! Hashing reuses [`FingerprintBuilder`] (SipHash-flavored 128-bit) for
+//! both vnode points and keys, folded to 64 bits; no new hash code, no
+//! new dependency.
+//!
+//! # Hot keys
+//!
+//! Sweep-shaped clients hammer a handful of fingerprints (a Pareto front
+//! being polled, a dashboard refreshing one scenario). Pinning a viral
+//! key to one shard turns that shard into the tier's ceiling, so the
+//! router tracks per-key frequency in a fixed-size direct-mapped table
+//! ([`HotTracker`] — no allocation, no unbounded growth) and, past a
+//! threshold, fans a hot key out over its first `R` ring successors
+//! round-robin. Replicating *hot* keys is cheap precisely because they
+//! are hot: every replica's first miss warms its own memo cache and every
+//! later hit is served locally.
+
+use doppio_engine::{Fingerprint, FingerprintBuilder};
+
+/// Folds a 128-bit fingerprint to the ring's 64-bit point space.
+fn fold(fp: u128) -> u64 {
+    ((fp >> 64) ^ fp) as u64
+}
+
+/// The ring position of a key.
+fn key_point(fp: &Fingerprint) -> u64 {
+    fold(fp.as_u128())
+}
+
+/// A consistent-hash ring over shard ids with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; a key is owned by the first
+    /// point at or after it (wrapping).
+    points: Vec<(u64, u32)>,
+    shards: Vec<u32>,
+    vnodes: u32,
+}
+
+/// Default virtual nodes per shard: enough that load imbalance across a
+/// handful of shards stays within ~±20 % (`ring_props.rs` pins this).
+pub const DEFAULT_VNODES: u32 = 64;
+
+impl HashRing {
+    /// Builds the ring for `shards` (ids need not be contiguous) with
+    /// `vnodes` virtual nodes each.
+    pub fn new(shards: &[u32], vnodes: u32) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards.len() * vnodes as usize);
+        for &shard in shards {
+            for vnode in 0..vnodes {
+                let mut fb = FingerprintBuilder::new();
+                fb.write_str("doppio-ring-point");
+                fb.write_u64(u64::from(shard));
+                fb.write_u64(u64::from(vnode));
+                points.push((fold(fb.finish().as_u128()), shard));
+            }
+        }
+        // Ties (vanishingly rare in a 64-bit space) resolve to the lower
+        // shard id deterministically via the tuple order.
+        points.sort_unstable();
+        HashRing {
+            points,
+            shards: shards.to_vec(),
+            vnodes,
+        }
+    }
+
+    /// The shard ids this ring was built from.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// The shard owning `fp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty (a router is never built without
+    /// shards).
+    pub fn shard_for(&self, fp: &Fingerprint) -> u32 {
+        self.successor_points(key_point(fp))
+            .next()
+            .expect("ring has at least one shard")
+    }
+
+    /// The first `n` *distinct* shards at or after `fp`'s point, in ring
+    /// order. Index 0 is the owner; the rest are the replication and
+    /// failover candidates, in the order the router tries them.
+    pub fn successors(&self, fp: &Fingerprint, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n.min(self.shards.len()));
+        for shard in self.successor_points(key_point(fp)) {
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() >= n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// This ring minus one shard — the post-failure topology. Built from
+    /// the same vnode hashes, so surviving shards keep every point they
+    /// had (the minimal-disruption property `ring_props.rs` checks).
+    pub fn without(&self, shard: u32) -> HashRing {
+        let rest: Vec<u32> = self
+            .shards
+            .iter()
+            .copied()
+            .filter(|&s| s != shard)
+            .collect();
+        HashRing::new(&rest, self.vnodes)
+    }
+
+    /// Walks ring points starting at the first point `>= point`,
+    /// wrapping; yields each point's shard (with repeats).
+    fn successor_points(&self, point: u64) -> impl Iterator<Item = u32> + '_ {
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        self.points[start..]
+            .iter()
+            .chain(self.points[..start].iter())
+            .map(|&(_, shard)| shard)
+    }
+}
+
+/// A fixed-size, direct-mapped request-frequency sketch.
+///
+/// `slots` entries, each holding one key and a saturating count; a new
+/// key colliding into an occupied slot *replaces* it (count restarts at
+/// 1), so sustained heavy hitters dominate their slot while one-off keys
+/// wash through. Every `window` observations all counts halve, aging out
+/// yesterday's viral scenario. Deliberately deterministic — no clocks,
+/// no RNG — so tests can drive it exactly.
+#[derive(Debug)]
+pub struct HotTracker {
+    slots: Vec<(u128, u32)>,
+    /// Count at which a key is declared hot; 0 disables tracking.
+    threshold: u32,
+    /// Observations between decay passes.
+    window: u32,
+    seen: u32,
+}
+
+impl HotTracker {
+    /// A tracker declaring keys hot at `threshold` observations
+    /// (0 = never), over `slots` direct-mapped entries, halving counts
+    /// every `window` observations.
+    pub fn new(threshold: u32, slots: usize, window: u32) -> HotTracker {
+        HotTracker {
+            slots: vec![(0, 0); slots.max(1)],
+            threshold,
+            window: window.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Records one observation of `fp`; returns whether the key is now
+    /// considered hot.
+    pub fn observe(&mut self, fp: &Fingerprint) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        self.seen += 1;
+        if self.seen >= self.window {
+            self.seen = 0;
+            for (_, count) in &mut self.slots {
+                *count /= 2;
+            }
+        }
+        let key = fp.as_u128();
+        let idx = (fold(key) as usize) % self.slots.len();
+        let (slot_key, count) = &mut self.slots[idx];
+        if *slot_key == key {
+            *count = count.saturating_add(1);
+        } else {
+            *slot_key = key;
+            *count = 1;
+        }
+        *count >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppio_engine::Fingerprintable;
+
+    fn fp(n: u64) -> Fingerprint {
+        n.fingerprint()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let a = HashRing::new(&[0, 1, 2], 32);
+        let b = HashRing::new(&[0, 1, 2], 32);
+        for i in 0..500 {
+            let k = fp(i);
+            let owner = a.shard_for(&k);
+            assert_eq!(owner, b.shard_for(&k));
+            assert!(a.shards().contains(&owner));
+        }
+    }
+
+    #[test]
+    fn successors_are_distinct_and_start_at_owner() {
+        let ring = HashRing::new(&[0, 1, 2, 3], 16);
+        for i in 0..100 {
+            let k = fp(i);
+            let succ = ring.successors(&k, 3);
+            assert_eq!(succ.len(), 3);
+            assert_eq!(succ[0], ring.shard_for(&k));
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "successors are distinct: {succ:?}");
+        }
+    }
+
+    #[test]
+    fn asking_for_more_successors_than_shards_caps_at_shard_count() {
+        let ring = HashRing::new(&[7, 9], 8);
+        assert_eq!(ring.successors(&fp(1), 5).len(), 2);
+    }
+
+    #[test]
+    fn hot_tracker_declares_sustained_keys_hot() {
+        let mut t = HotTracker::new(3, 64, 1_000);
+        let k = fp(42);
+        assert!(!t.observe(&k));
+        assert!(!t.observe(&k));
+        assert!(t.observe(&k), "third observation crosses threshold 3");
+        // A different key maps to its own slot and starts cold.
+        assert!(!t.observe(&fp(43)));
+    }
+
+    #[test]
+    fn hot_tracker_decays_counts_over_the_window() {
+        let mut t = HotTracker::new(4, 64, 8);
+        let k = fp(1);
+        for _ in 0..3 {
+            t.observe(&k);
+        }
+        // Push unrelated keys through to trigger the decay pass.
+        for i in 10..20 {
+            t.observe(&fp(i));
+        }
+        // After halving, the key needs to re-earn its heat.
+        assert!(!t.observe(&k));
+    }
+
+    #[test]
+    fn disabled_tracker_never_marks_hot() {
+        let mut t = HotTracker::new(0, 8, 8);
+        for _ in 0..100 {
+            assert!(!t.observe(&fp(5)));
+        }
+    }
+}

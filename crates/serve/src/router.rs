@@ -1,0 +1,874 @@
+//! The shard router: one front door over N serve processes.
+//!
+//! The router is itself a reactor server ([`crate::reactor`]) speaking the
+//! same newline-delimited protocol as a shard, so clients cannot tell the
+//! difference — same envelope in, bit-identical reply line out. What it
+//! does per work request:
+//!
+//! 1. **Place** — fingerprint the request (the cache/singleflight key the
+//!    shards themselves use) and look its owner up on the consistent-hash
+//!    [`HashRing`]. Every identical request lands on the same shard, so
+//!    that shard's memo cache concentrates all the heat for its keys.
+//! 2. **Coalesce** — a router-side [`Singleflight`] collapses concurrent
+//!    identical requests into one upstream call; riders get the same
+//!    payload with `"coalesced": true`, exactly as a single process would
+//!    have answered them.
+//! 3. **Forward** — a pool worker walks the key's ring-successor list.
+//!    Each shard sits behind its own [`CircuitBreaker`] (PR 5's failure
+//!    containment, promoted from client-side policy to tier topology): an
+//!    open breaker is skipped in microseconds, a transport failure trips
+//!    failover to the next successor — which is precisely the shard that
+//!    *would own the key* if the dead one left the ring. Semantic replies
+//!    (`ok`, `eval_failed`, `deadline_exceeded`, …) never fail over: the
+//!    shard is alive and retrying elsewhere would just duplicate work.
+//! 4. **Splice** — the shard's reply carries the forwarding id; the
+//!    router re-addresses it per waiter by splicing the *verbatim*
+//!    `result` bytes ([`extract_result_payload`]) into a fresh reply
+//!    line. No JSON re-rendering touches the payload, which is how
+//!    `tests/serve_identity.rs` can demand bit-identity at every shard
+//!    count.
+//!
+//! **Hot keys**: a [`HotTracker`] watches request frequency; past the
+//! threshold a key fans out round-robin over its first `hot_replicas`
+//! ring successors. Each replica's first miss warms its own cache, after
+//! which the tier serves the key at replica-sum throughput instead of
+//! being capped by one shard.
+//!
+//! `stats`/`health` aggregate across shards on pool workers (they do
+//! blocking round-trips, so they must not run on the reactor thread) and
+//! keep the single-process schemas, adding a `router` sub-object.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use doppio_engine::json::{Object, Value};
+use doppio_engine::{Fingerprint, Fingerprintable, SubmitError, TaskPool};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::client::{Client, ClientConfig, Reply};
+use crate::protocol::{
+    error_reply_line, extract_result_payload, ok_reply_line, Envelope, ErrorCode, ErrorReply,
+    Request,
+};
+use crate::reactor::{self, ConnFault, ConnHandler, ReactorConfig, ReactorShared, ReplyHandle};
+use crate::ring::{HashRing, HotTracker};
+use crate::singleflight::Singleflight;
+
+/// See `server::lock_recover` — same reasoning: every guarded value holds
+/// its invariants between statements, and panics are already isolated.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Router configuration. Defaults mirror [`crate::ServeConfig`] where the
+/// knob means the same thing.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Shard endpoints, in shard-id order (ring id = index).
+    pub shards: Vec<SocketAddr>,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: u32,
+    /// Observations of one fingerprint before it is treated as hot
+    /// (0 disables hot-key replication).
+    pub hot_threshold: u32,
+    /// Distinct shards a hot key fans out over (round-robin). Clamped to
+    /// the shard count; 1 means tracking without fan-out.
+    pub hot_replicas: usize,
+    /// Forwarding worker threads (each does blocking shard round-trips).
+    pub workers: usize,
+    /// Bound on queued forwards; beyond it requests shed `overloaded`.
+    pub queue_bound: usize,
+    /// Deadline for requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Whether a remote `shutdown` drains the tier (fans out to shards).
+    pub allow_shutdown: bool,
+    /// Client-facing line-length bound.
+    pub max_line_bytes: usize,
+    /// Client-facing read/idle timeout (0 = none).
+    pub read_timeout_ms: u64,
+    /// Client-facing write timeout (0 = none).
+    pub write_timeout_ms: u64,
+    /// Connect/read/write timeout toward shards.
+    pub shard_timeout_ms: u64,
+    /// Per-shard circuit breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            vnodes: crate::ring::DEFAULT_VNODES,
+            hot_threshold: 0,
+            hot_replicas: 2,
+            workers: 4,
+            queue_bound: 256,
+            default_deadline_ms: None,
+            allow_shutdown: false,
+            max_line_bytes: 4 * 1024 * 1024,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            shard_timeout_ms: 10_000,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Router-side monotonic counters (the `router` stats sub-object).
+#[derive(Debug, Default)]
+struct RouterCounters {
+    connections: AtomicU64,
+    /// Requests answered via a successful shard round-trip.
+    forwarded: AtomicU64,
+    /// Transport failures that moved a request to the next ring successor.
+    failovers: AtomicU64,
+    /// Requests for which every candidate shard was down or tripped.
+    unroutable: AtomicU64,
+    /// Requests shed because the router's own forward queue was full.
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bad_requests: AtomicU64,
+    reaped: AtomicU64,
+    /// Requests routed through the hot-key fan-out path.
+    hot_routed: AtomicU64,
+}
+
+/// A reply ticket parked on a router flight (creator first).
+#[derive(Debug)]
+struct Waiter {
+    id: String,
+    writer: ReplyHandle,
+    deadline: Option<Instant>,
+}
+
+/// One upstream shard: endpoint, breaker, and a small idle-connection
+/// pool. Connections that saw a transport error are dropped, never
+/// returned, so the pool only ever holds streams with no bytes in flight.
+struct ShardPool {
+    addr: SocketAddr,
+    breaker: Mutex<CircuitBreaker>,
+    idle: Mutex<Vec<Client>>,
+}
+
+/// Idle connections kept per shard; enough to cover the forward workers
+/// without hoarding fds.
+const IDLE_POOL_CAP: usize = 4;
+
+impl ShardPool {
+    fn checkout(&self, cfg: &ClientConfig) -> std::io::Result<Client> {
+        if let Some(c) = lock_recover(&self.idle).pop() {
+            return Ok(c);
+        }
+        Client::connect_with(self.addr, cfg)
+    }
+
+    fn checkin(&self, client: Client) {
+        let mut idle = lock_recover(&self.idle);
+        if idle.len() < IDLE_POOL_CAP {
+            idle.push(client);
+        }
+    }
+}
+
+struct RouterInner {
+    cfg: RouterConfig,
+    shard_client_cfg: ClientConfig,
+    ring: HashRing,
+    pools: Vec<ShardPool>,
+    hot: Mutex<HotTracker>,
+    /// Round-robin cursor for hot-key fan-out.
+    rr: AtomicU64,
+    pool: Mutex<Option<TaskPool>>,
+    flights: Singleflight<Waiter>,
+    counters: RouterCounters,
+    shared: Arc<ReactorShared>,
+    started: Instant,
+}
+
+/// A running router. Dropping the handle drains it (shards are *not*
+/// shut down — only a remote `shutdown` request fans out).
+#[derive(Debug)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    inner: Arc<RouterInner>,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RouterInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterInner")
+            .field("cfg", &self.cfg)
+            .field("draining", &self.shared.is_draining())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Starts a router over `cfg.shards` and returns its handle.
+///
+/// # Errors
+///
+/// Fails when `cfg.shards` is empty, the listen address cannot be bound,
+/// or the reactor's kernel resources cannot be created.
+pub fn start_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+    if cfg.shards.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "router needs at least one shard",
+        ));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = ReactorShared::new()?;
+    let rcfg = ReactorConfig {
+        max_line_bytes: cfg.max_line_bytes,
+        read_timeout: (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms)),
+        write_timeout: (cfg.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(cfg.write_timeout_ms)),
+    };
+    let shard_timeout = Duration::from_millis(cfg.shard_timeout_ms.max(1));
+    let ids: Vec<u32> = (0..cfg.shards.len() as u32).collect();
+    let inner = Arc::new(RouterInner {
+        shard_client_cfg: ClientConfig {
+            connect_timeout: Some(shard_timeout),
+            read_timeout: Some(shard_timeout),
+            write_timeout: Some(shard_timeout),
+        },
+        ring: HashRing::new(&ids, cfg.vnodes),
+        pools: cfg
+            .shards
+            .iter()
+            .map(|&addr| ShardPool {
+                addr,
+                breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+                idle: Mutex::new(Vec::new()),
+            })
+            .collect(),
+        // 1024 slots is generous for "a handful of hot scenarios"; the
+        // window scales with threshold so heat must be sustained, not
+        // merely accumulated.
+        hot: Mutex::new(HotTracker::new(
+            cfg.hot_threshold,
+            1024,
+            cfg.hot_threshold.saturating_mul(64).max(256),
+        )),
+        rr: AtomicU64::new(0),
+        pool: Mutex::new(Some(TaskPool::new(cfg.workers, cfg.queue_bound))),
+        flights: Singleflight::new(),
+        counters: RouterCounters::default(),
+        shared: Arc::clone(&shared),
+        started: Instant::now(),
+        cfg,
+    });
+    let core = Arc::new(RouterCore {
+        inner: Arc::clone(&inner),
+    });
+    let reactor = reactor::spawn(listener, rcfg, shared, core)?;
+    Ok(RouterHandle {
+        addr,
+        inner,
+        reactor: Some(reactor),
+    })
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain of the router (shards keep running).
+    pub fn shutdown(&self) {
+        begin_drain(&self.inner);
+    }
+
+    /// Drains and waits for in-flight forwards to finish.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the router drains on its own (remote `shutdown`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn begin_drain(inner: &Arc<RouterInner>) {
+    if inner.shared.begin_drain() {
+        let drain_inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            let pool = lock_recover(&drain_inner.pool).take();
+            if let Some(pool) = pool {
+                pool.drain();
+            }
+            drain_inner.shared.finish_drain();
+        });
+    }
+}
+
+/// The reactor-facing face of the router.
+struct RouterCore {
+    inner: Arc<RouterInner>,
+}
+
+impl ConnHandler for RouterCore {
+    fn on_open(&self) {
+        self.inner
+            .counters
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_line(&self, reply: &ReplyHandle, line: &str) {
+        match Envelope::decode(line) {
+            Err(e) => {
+                self.inner
+                    .counters
+                    .bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                reply.send_line(&error_reply_line(&e.id, &e.error));
+            }
+            Ok(env) => handle_request(&self.inner, reply, env),
+        }
+    }
+
+    fn on_fault(&self, fault: ConnFault) -> Option<String> {
+        let c = &self.inner.counters;
+        let cfg = &self.inner.cfg;
+        match fault {
+            ConnFault::Idle => {
+                c.reaped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            ConnFault::Stalled => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                c.reaped.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "request line did not complete within {} ms",
+                            cfg.read_timeout_ms
+                        ),
+                    ),
+                ))
+            }
+            ConnFault::TooLong => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {} bytes", cfg.max_line_bytes),
+                    ),
+                ))
+            }
+            ConnFault::NotUtf8 => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(ErrorCode::BadRequest, "request line is not valid UTF-8"),
+                ))
+            }
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<RouterInner>, writer: &ReplyHandle, env: Envelope) {
+    let Envelope {
+        id,
+        deadline_ms,
+        request,
+    } = env;
+    match request {
+        // Aggregations do blocking shard round-trips: off the reactor.
+        Request::Stats => submit_control(inner, writer, id, stats_payload),
+        Request::Health => submit_control(inner, writer, id, health_payload),
+        Request::Shutdown => {
+            if !inner.cfg.allow_shutdown {
+                writer.send_line(&error_reply_line(
+                    &id,
+                    &ErrorReply::new(
+                        ErrorCode::ShutdownDisabled,
+                        "router started without --allow-shutdown",
+                    ),
+                ));
+                return;
+            }
+            let mut o = Object::new();
+            o.put_str("schema", "doppio-serve-shutdown/v1");
+            o.put_bool("draining", true);
+            o.put_u64("shards", inner.pools.len() as u64);
+            writer.send_line(&ok_reply_line(&id, false, false, &o.render_line()));
+            // Fan the shutdown out to every shard *before* draining the
+            // router's own pool, on a detached thread (blocking I/O).
+            let fan_inner = Arc::clone(inner);
+            std::thread::spawn(move || {
+                for pool in &fan_inner.pools {
+                    if let Ok(mut c) = Client::connect_with(pool.addr, &fan_inner.shard_client_cfg)
+                    {
+                        let _ = c.call(Request::Shutdown, Some(5_000));
+                    }
+                }
+                begin_drain(&fan_inner);
+            });
+        }
+        work => route_work(inner, writer, id, deadline_ms, work),
+    }
+}
+
+/// Queues a control-command aggregation on the forward pool.
+fn submit_control(
+    inner: &Arc<RouterInner>,
+    writer: &ReplyHandle,
+    id: String,
+    payload: fn(&Arc<RouterInner>) -> Object,
+) {
+    let job_inner = Arc::clone(inner);
+    let job_writer = writer.clone();
+    let job_id = id.clone();
+    let submitted = {
+        let guard = lock_recover(&inner.pool);
+        match guard.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(pool) => pool.try_submit(move || {
+                let line = payload(&job_inner).render_line();
+                job_writer.send_line(&ok_reply_line(&job_id, false, false, &line));
+            }),
+        }
+    };
+    if let Err(e) = submitted {
+        writer.send_line(&error_reply_line(&id, &submit_error_reply(inner, e)));
+    }
+}
+
+fn submit_error_reply(inner: &Arc<RouterInner>, e: SubmitError) -> ErrorReply {
+    match e {
+        SubmitError::Full { depth } => {
+            inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+            ErrorReply {
+                code: ErrorCode::Overloaded,
+                message: "router forward queue full; retry later".into(),
+                queue_depth: Some(depth as u64),
+            }
+        }
+        SubmitError::Closed => ErrorReply::new(ErrorCode::ShuttingDown, "router is draining"),
+    }
+}
+
+/// Admission for work requests: fingerprint, coalesce, queue a forward.
+fn route_work(
+    inner: &Arc<RouterInner>,
+    writer: &ReplyHandle,
+    id: String,
+    deadline_ms: Option<u64>,
+    request: Request,
+) {
+    let deadline = deadline_ms
+        .or(inner.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let fp = request.fingerprint();
+
+    if inner.shared.is_draining() {
+        writer.send_line(&error_reply_line(
+            &id,
+            &ErrorReply::new(ErrorCode::ShuttingDown, "router is draining"),
+        ));
+        return;
+    }
+
+    // The hot tracker runs on the reactor thread (every request passes
+    // through), so the route order is decided before coalescing: riders
+    // joining an in-flight hot key still heat the tracker.
+    let order = shard_order(inner, &fp);
+
+    let waiter = Waiter {
+        id,
+        writer: writer.clone(),
+        deadline,
+    };
+    let created = inner.flights.join(fp, waiter);
+    if !created {
+        inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    let job_inner = Arc::clone(inner);
+    let submitted = {
+        let guard = lock_recover(&inner.pool);
+        match guard.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(pool) => {
+                pool.try_submit(move || forward_flight(&job_inner, fp, &request, deadline, &order))
+            }
+        }
+    };
+    if let Err(e) = submitted {
+        let err = submit_error_reply(inner, e);
+        for w in inner.flights.complete(&fp) {
+            w.writer.send_line(&error_reply_line(&w.id, &err));
+        }
+    }
+}
+
+/// The shard order to try for `fp`: ring successors, with the head
+/// rotated round-robin over the first `hot_replicas` when the key is hot.
+/// Failover candidates (the tail) keep ring order either way.
+fn shard_order(inner: &Arc<RouterInner>, fp: &Fingerprint) -> Vec<u32> {
+    let mut order = inner.ring.successors(fp, inner.pools.len());
+    let hot = lock_recover(&inner.hot).observe(fp);
+    if hot {
+        let replicas = inner.cfg.hot_replicas.max(1).min(order.len());
+        let k = (inner.rr.fetch_add(1, Ordering::Relaxed) as usize) % replicas;
+        if k > 0 {
+            let chosen = order.remove(k);
+            order.insert(0, chosen);
+        }
+        inner.counters.hot_routed.fetch_add(1, Ordering::Relaxed);
+    }
+    order
+}
+
+/// Worker-side forwarding of one flight. Exactly one reply per waiter.
+fn forward_flight(
+    inner: &Arc<RouterInner>,
+    fp: Fingerprint,
+    request: &Request,
+    deadline: Option<Instant>,
+    order: &[u32],
+) {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        let waiters = inner.flights.complete(&fp);
+        inner
+            .counters
+            .deadline_exceeded
+            .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        let err = ErrorReply::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline passed while the request was queued",
+        );
+        for w in waiters {
+            w.writer.send_line(&error_reply_line(&w.id, &err));
+        }
+        return;
+    }
+
+    let outcome = try_shards(inner, request, deadline, order);
+    let waiters = inner.flights.complete(&fp);
+    match outcome {
+        Some(reply) if reply.ok => {
+            // Splice the verbatim result bytes under each waiter's id.
+            // `extract_result_payload` cannot fail on a reply our own
+            // shards rendered; the fallback covers a hand-rolled upstream.
+            match extract_result_payload(&reply.raw) {
+                Some(payload) => reply_ok_to_all(inner, waiters, reply.cached, payload),
+                None => {
+                    let err = ErrorReply::new(
+                        ErrorCode::Internal,
+                        "shard reply carried no extractable result",
+                    );
+                    for w in waiters {
+                        w.writer.send_line(&error_reply_line(&w.id, &err));
+                    }
+                }
+            }
+        }
+        Some(reply) => {
+            // Semantic failure from a live shard: relay it, never retry.
+            let err = ErrorReply {
+                code: reply
+                    .error_code
+                    .as_deref()
+                    .and_then(ErrorCode::parse)
+                    .unwrap_or(ErrorCode::Internal),
+                message: reply.error_message.unwrap_or_else(|| "shard error".into()),
+                queue_depth: reply.queue_depth,
+            };
+            for w in waiters {
+                w.writer.send_line(&error_reply_line(&w.id, &err));
+            }
+        }
+        None => {
+            inner.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+            let err = ErrorReply::new(ErrorCode::Overloaded, "no shard available; retry later");
+            for w in waiters {
+                w.writer.send_line(&error_reply_line(&w.id, &err));
+            }
+        }
+    }
+}
+
+/// Walks `order`, returning the first shard round-trip that completed at
+/// the transport level (its reply may still be a semantic error). `None`
+/// when every candidate was tripped, unreachable, or timed out.
+fn try_shards(
+    inner: &Arc<RouterInner>,
+    request: &Request,
+    deadline: Option<Instant>,
+    order: &[u32],
+) -> Option<Reply> {
+    for (attempt, &shard) in order.iter().enumerate() {
+        let pool = &inner.pools[shard as usize];
+        if !lock_recover(&pool.breaker).try_acquire(Instant::now()) {
+            continue;
+        }
+        let mut client = match pool.checkout(&inner.shard_client_cfg) {
+            Ok(c) => c,
+            Err(_) => {
+                lock_recover(&pool.breaker).record_failure(Instant::now());
+                inner.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        // Recompute what is left of the deadline per attempt, so a slow
+        // first shard cannot spend a rider's whole budget twice.
+        let remaining_ms = match deadline {
+            None => None,
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now()).as_millis() as u64;
+                if left == 0 {
+                    // Out of time mid-walk; the caller's dequeue check
+                    // replies deadline_exceeded on the next pass.
+                    Some(1)
+                } else {
+                    Some(left)
+                }
+            }
+        };
+        match client.call(request.clone(), remaining_ms) {
+            Ok(reply) => {
+                lock_recover(&pool.breaker).record_success();
+                pool.checkin(client);
+                inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                if attempt > 0 {
+                    inner.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(reply);
+            }
+            Err(_) => {
+                // Transport failure: the connection's state is unknown —
+                // drop it, debit the breaker, move to the next successor.
+                lock_recover(&pool.breaker).record_failure(Instant::now());
+                continue;
+            }
+        }
+    }
+    None
+}
+
+/// Replies `payload` to every waiter under its own id, honoring
+/// per-waiter deadlines; mirrors the single-process reply loop so the
+/// rendered lines are bit-identical to direct serving.
+fn reply_ok_to_all(inner: &Arc<RouterInner>, waiters: Vec<Waiter>, cached: bool, payload: &str) {
+    let now = Instant::now();
+    for (i, w) in waiters.into_iter().enumerate() {
+        if w.deadline.is_some_and(|d| now > d) {
+            inner
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            w.writer.send_line(&error_reply_line(
+                &w.id,
+                &ErrorReply::new(
+                    ErrorCode::DeadlineExceeded,
+                    "result ready after the request deadline",
+                ),
+            ));
+        } else {
+            w.writer
+                .send_line(&ok_reply_line(&w.id, cached, i > 0, payload));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated control commands (run on pool workers).
+// ---------------------------------------------------------------------------
+
+/// Fetches one shard's `stats`/`health` result over a fresh short-timeout
+/// connection. Deliberately bypasses the breaker: observability should
+/// report a sick shard, not mask it.
+fn probe(inner: &RouterInner, shard: usize, request: Request) -> Option<Value> {
+    let cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(1_000)),
+        read_timeout: Some(Duration::from_millis(2_000)),
+        write_timeout: Some(Duration::from_millis(2_000)),
+    };
+    let mut c = Client::connect_with(inner.pools[shard].addr, &cfg).ok()?;
+    let reply = c.call(request, Some(2_000)).ok()?;
+    if reply.ok {
+        reply.result
+    } else {
+        None
+    }
+}
+
+fn u64_of(v: Option<&Value>, key: &str) -> u64 {
+    v.and_then(|v| v.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Tier stats: the single-process `doppio-serve-stats/v1` fields summed
+/// across reachable shards, plus the router's own counters and per-shard
+/// reachability under `router`.
+fn stats_payload(inner: &Arc<RouterInner>) -> Object {
+    let snapshots: Vec<Option<Value>> = (0..inner.pools.len())
+        .map(|i| probe(inner, i, Request::Stats))
+        .collect();
+    let sum = |key: &str| -> u64 { snapshots.iter().map(|s| u64_of(s.as_ref(), key)).sum() };
+    let sum_cache = |key: &str| -> u64 {
+        snapshots
+            .iter()
+            .map(|s| u64_of(s.as_ref().and_then(|v| v.get("cache")), key))
+            .sum()
+    };
+    let c = &inner.counters;
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-serve-stats/v1");
+    o.put_u64("workers", sum("workers"));
+    o.put_u64("queue_bound", sum("queue_bound"));
+    o.put_u64("queue_depth", sum("queue_depth"));
+    o.put_u64("in_flight", sum("in_flight"));
+    o.put_u64("connections", c.connections.load(Ordering::Relaxed));
+    o.put_u64("admitted", sum("admitted"));
+    o.put_u64("completed", sum("completed"));
+    o.put_u64(
+        "shed",
+        sum("shed") + c.shed.load(Ordering::Relaxed) + c.unroutable.load(Ordering::Relaxed),
+    );
+    o.put_u64(
+        "coalesced",
+        sum("coalesced") + c.coalesced.load(Ordering::Relaxed),
+    );
+    o.put_u64(
+        "deadline_exceeded",
+        sum("deadline_exceeded") + c.deadline_exceeded.load(Ordering::Relaxed),
+    );
+    o.put_u64(
+        "bad_requests",
+        sum("bad_requests") + c.bad_requests.load(Ordering::Relaxed),
+    );
+    o.put_u64("panics", sum("panics"));
+    o.put_u64("reaped", sum("reaped") + c.reaped.load(Ordering::Relaxed));
+    let mut cache = Object::new();
+    cache.put_u64("hits", sum_cache("hits"));
+    cache.put_u64("misses", sum_cache("misses"));
+    cache.put_u64("evictions", sum_cache("evictions"));
+    cache.put_u64("len", sum_cache("len"));
+    cache.put_u64("capacity", sum_cache("capacity"));
+    o.put_obj("cache", cache);
+    o.put_bool("draining", inner.shared.is_draining());
+
+    let mut router = Object::new();
+    router.put_u64("shards", inner.pools.len() as u64);
+    router.put_u64(
+        "shards_ok",
+        snapshots.iter().filter(|s| s.is_some()).count() as u64,
+    );
+    router.put_u64("forwarded", c.forwarded.load(Ordering::Relaxed));
+    router.put_u64("failovers", c.failovers.load(Ordering::Relaxed));
+    router.put_u64("unroutable", c.unroutable.load(Ordering::Relaxed));
+    router.put_u64("shed", c.shed.load(Ordering::Relaxed));
+    router.put_u64("coalesced", c.coalesced.load(Ordering::Relaxed));
+    router.put_u64("hot_routed", c.hot_routed.load(Ordering::Relaxed));
+    let (mut opened, mut fast_failures) = (0, 0);
+    router.put_obj_arr(
+        "per_shard",
+        inner
+            .pools
+            .iter()
+            .zip(&snapshots)
+            .enumerate()
+            .map(|(i, (pool, snap))| {
+                let b = lock_recover(&pool.breaker);
+                opened += b.opened();
+                fast_failures += b.fast_failures();
+                let mut so = Object::new();
+                so.put_u64("shard", i as u64);
+                so.put_str("addr", &pool.addr.to_string());
+                so.put_bool("ok", snap.is_some());
+                so.put_u64("breaker_opened", b.opened());
+                so.put_u64("breaker_fast_failures", b.fast_failures());
+                so
+            })
+            .collect(),
+    );
+    router.put_u64("breaker_opened", opened);
+    router.put_u64("breaker_fast_failures", fast_failures);
+    o.put_obj("router", router);
+    o
+}
+
+/// Tier health: `ready` only when *every* shard answers ready — the
+/// startup gate `doppio health --wait-ms` polls. A degraded-but-serving
+/// tier is visible in `shards_ready` and the per-shard list.
+fn health_payload(inner: &Arc<RouterInner>) -> Object {
+    let snapshots: Vec<Option<Value>> = (0..inner.pools.len())
+        .map(|i| probe(inner, i, Request::Health))
+        .collect();
+    let ready_count = snapshots
+        .iter()
+        .filter(|s| {
+            s.as_ref()
+                .and_then(|v| v.get("ready"))
+                .and_then(Value::as_bool)
+                .unwrap_or(false)
+        })
+        .count();
+    let draining = inner.shared.is_draining();
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-serve-health/v1");
+    o.put_bool(
+        "ready",
+        ready_count == inner.pools.len() && !draining && ready_count > 0,
+    );
+    o.put_bool("draining", draining);
+    o.put_f64("uptime_secs", inner.started.elapsed().as_secs_f64());
+    o.put_u64("shards", inner.pools.len() as u64);
+    o.put_u64("shards_ready", ready_count as u64);
+    o.put_obj_arr(
+        "per_shard",
+        inner
+            .pools
+            .iter()
+            .zip(&snapshots)
+            .enumerate()
+            .map(|(i, (pool, snap))| {
+                let mut so = Object::new();
+                so.put_u64("shard", i as u64);
+                so.put_str("addr", &pool.addr.to_string());
+                so.put_bool(
+                    "ready",
+                    snap.as_ref()
+                        .and_then(|v| v.get("ready"))
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                );
+                so
+            })
+            .collect(),
+    );
+    o
+}

@@ -2,18 +2,22 @@
 //!
 //! # Threading model
 //!
-//! One **accept thread** owns the listener and spawns one detached
-//! **connection thread** per client; connection threads parse request
-//! lines and run the admission decision inline (cache lookup, singleflight
-//! join, queue submit — all non-blocking). Heavy evaluation happens on the
-//! fixed [`TaskPool`] **workers** behind a bounded FIFO queue; a worker
-//! completing a flight writes the reply to *every* waiter directly, so
-//! connection threads never block on each other's work.
+//! One **reactor thread** ([`crate::reactor`]) owns the listener and every
+//! client socket through nonblocking I/O behind `epoll`: it frames request
+//! lines, runs the admission decision inline (cache lookup, singleflight
+//! join, queue submit — all non-blocking), and flushes replies. Heavy
+//! evaluation happens on the fixed [`TaskPool`] **workers** behind a
+//! bounded FIFO queue; a worker completing a flight posts the reply to
+//! *every* waiter through its [`ReplyHandle`], which wakes the reactor to
+//! deliver. Connections therefore cost a file descriptor and a slab
+//! entry, not a thread — the property `tests/serve_reactor.rs` pins at
+//! ten thousand concurrent sockets.
 //!
 //! # Admission, in order
 //!
 //! 1. **Cache hit** — reply immediately (`"cached": true`), bypassing the
-//!    queue entirely. This is the served hot path.
+//!    queue entirely. This is the served hot path, and it runs on the
+//!    reactor thread itself: a hit costs a hash lookup and a buffer copy.
 //! 2. **Singleflight join** — an identical request is already being
 //!    evaluated; park a reply ticket on the flight (`"coalesced": true`
 //!    when it lands) and consume no worker.
@@ -37,10 +41,9 @@
 //!
 //! [`Scenario::run`]: ../../doppio/scenario/struct.Scenario.html
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,14 +61,14 @@ use crate::protocol::{
     config_name, error_reply_line, ok_reply_line, workload_name, Envelope, ErrorCode, ErrorReply,
     PredictSpec, Request, SimulateSpec,
 };
-use crate::readline::{LineEvent, LineReader};
+use crate::reactor::{self, ConnFault, ConnHandler, ReactorConfig, ReactorShared, ReplyHandle};
 use crate::singleflight::Singleflight;
 
 /// Locks a mutex, recovering from poisoning. Every mutex in the server
 /// guards plain data whose invariants hold between statements, and
 /// evaluation panics are already isolated and reported — abandoning the
-/// lock would only turn one reported panic into a cascade of dead
-/// connection threads.
+/// lock would only turn one reported panic into a cascade of failed
+/// requests.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -98,8 +101,9 @@ pub struct ServeConfig {
     /// slow-loris that drips a request line forever is cut off with a
     /// `bad_request`.
     pub read_timeout_ms: u64,
-    /// Per-connection write timeout in milliseconds (0 = none); bounds how
-    /// long a reply write may block on a client that stopped reading.
+    /// Per-connection write timeout in milliseconds (0 = none); bounds
+    /// how long queued reply bytes may stay undeliverable to a client
+    /// that stopped reading before the connection is dropped.
     pub write_timeout_ms: u64,
     /// Chaos hook for tests: a `simulate` request whose seed equals this
     /// value panics inside the worker instead of evaluating, exercising
@@ -141,46 +145,26 @@ struct Counters {
     reaped: AtomicU64,
 }
 
-/// A cloneable, mutex-serialized line writer over one client socket.
-/// Replies from connection threads and pool workers interleave safely;
-/// each `send_line` writes exactly one `\n`-terminated line.
-#[derive(Debug, Clone)]
-struct ConnWriter(Arc<Mutex<TcpStream>>);
-
-impl ConnWriter {
-    fn send_line(&self, line: &str) {
-        // One write per reply (and TCP_NODELAY on the socket): replies
-        // must not sit in Nagle's buffer waiting for a delayed ACK —
-        // that would put a ~40 ms floor under every cache hit.
-        let mut buf = Vec::with_capacity(line.len() + 1);
-        buf.extend_from_slice(line.as_bytes());
-        buf.push(b'\n');
-        let mut s = lock_recover(&self.0);
-        // A vanished client is not a server error; drop the reply.
-        let _ = s.write_all(&buf);
-    }
-}
-
 /// A reply ticket parked on a singleflight evaluation. The flight's
 /// waiter list is creation-ordered, so the creator is always first and
 /// every later ticket is a coalesced rider.
 #[derive(Debug)]
 struct Waiter {
     id: String,
-    writer: ConnWriter,
+    writer: ReplyHandle,
     deadline: Option<Instant>,
 }
 
 struct Inner {
     cfg: ServeConfig,
-    /// The actually-bound address (port 0 resolved), the drain-poke target.
-    bound: SocketAddr,
     // `Option` so drain can take ownership (TaskPool::drain consumes).
     pool: Mutex<Option<TaskPool>>,
     cache: MemoCache<Fingerprint, Arc<str>>,
     flights: Singleflight<Waiter>,
     counters: Counters,
-    draining: AtomicBool,
+    /// Reactor mailbox/waker plus the drain flags (single source of
+    /// truth for "draining").
+    shared: Arc<ReactorShared>,
     /// When the server started, for `health.uptime_secs`.
     started: Instant,
 }
@@ -190,15 +174,88 @@ struct Inner {
 pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Inner")
             .field("cfg", &self.cfg)
-            .field("draining", &self.draining.load(Ordering::SeqCst))
+            .field("draining", &self.shared.is_draining())
             .finish_non_exhaustive()
+    }
+}
+
+/// The reactor-facing face of the server: protocol dispatch for one line,
+/// fault accounting, nothing else.
+struct Core {
+    inner: Arc<Inner>,
+}
+
+impl ConnHandler for Core {
+    fn on_open(&self) {
+        self.inner
+            .counters
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_line(&self, reply: &ReplyHandle, line: &str) {
+        match Envelope::decode(line) {
+            Err(e) => {
+                // Malformed framing costs one structured reply; the
+                // connection survives (the line was well-delimited).
+                self.inner
+                    .counters
+                    .bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                reply.send_line(&error_reply_line(&e.id, &e.error));
+            }
+            Ok(env) => handle_request(&self.inner, reply, env),
+        }
+    }
+
+    fn on_fault(&self, fault: ConnFault) -> Option<String> {
+        let c = &self.inner.counters;
+        let cfg = &self.inner.cfg;
+        match fault {
+            // Pure silence gets none back: reap quietly.
+            ConnFault::Idle => {
+                c.reaped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            ConnFault::Stalled => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                c.reaped.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "request line did not complete within {} ms",
+                            cfg.read_timeout_ms
+                        ),
+                    ),
+                ))
+            }
+            ConnFault::TooLong => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(
+                        ErrorCode::BadRequest,
+                        format!("request line exceeds {} bytes", cfg.max_line_bytes),
+                    ),
+                ))
+            }
+            ConnFault::NotUtf8 => {
+                c.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Some(error_reply_line(
+                    "",
+                    &ErrorReply::new(ErrorCode::BadRequest, "request line is not valid UTF-8"),
+                ))
+            }
+        }
     }
 }
 
@@ -206,7 +263,8 @@ impl std::fmt::Debug for Inner {
 ///
 /// # Errors
 ///
-/// Fails when the listen address cannot be bound.
+/// Fails when the listen address cannot be bound or the reactor's kernel
+/// resources (epoll, eventfd) cannot be created.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -215,22 +273,30 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     } else {
         MemoCache::with_capacity(cfg.cache_capacity)
     };
+    let shared = ReactorShared::new()?;
+    let rcfg = ReactorConfig {
+        max_line_bytes: cfg.max_line_bytes,
+        read_timeout: (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms)),
+        write_timeout: (cfg.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(cfg.write_timeout_ms)),
+    };
     let inner = Arc::new(Inner {
-        bound: addr,
         pool: Mutex::new(Some(TaskPool::new(cfg.workers, cfg.queue_bound))),
         cache,
         flights: Singleflight::new(),
         counters: Counters::default(),
-        draining: AtomicBool::new(false),
+        shared: Arc::clone(&shared),
         started: Instant::now(),
         cfg,
     });
-    let accept_inner = Arc::clone(&inner);
-    let accept = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+    let core = Arc::new(Core {
+        inner: Arc::clone(&inner),
+    });
+    let reactor = reactor::spawn(listener, rcfg, shared, core)?;
     Ok(ServerHandle {
         addr,
         inner,
-        accept: Some(accept),
+        reactor: Some(reactor),
     })
 }
 
@@ -250,7 +316,7 @@ impl ServerHandle {
     /// Drains and waits until every queued job has completed.
     pub fn join(mut self) {
         self.shutdown();
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
@@ -259,7 +325,7 @@ impl ServerHandle {
     /// `shutdown` request (requires `allow_shutdown`) completes. This is
     /// what `doppio serve` parks on.
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
@@ -268,121 +334,30 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
 }
 
-/// Flags the drain and pokes the blocking `accept` awake with a throwaway
-/// self-connection.
+/// Flags the drain (stopping the reactor's accept path via its shared
+/// state) and finishes every admitted job on a detached drainer thread —
+/// replies are delivered through the handles parked on their flights —
+/// before letting the reactor flush and exit.
 fn begin_drain(inner: &Arc<Inner>) {
-    if !inner.draining.swap(true, Ordering::SeqCst) {
-        let _ = TcpStream::connect(inner.bound);
+    if inner.shared.begin_drain() {
+        let drain_inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            let pool = lock_recover(&drain_inner.pool).take();
+            if let Some(pool) = pool {
+                pool.drain();
+            }
+            drain_inner.shared.finish_drain();
+        });
     }
 }
 
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    for stream in listener.incoming() {
-        if inner.draining.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        stream.set_nodelay(true).ok();
-        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
-        let conn_inner = Arc::clone(inner);
-        // Detached: a connection thread exits when its client hangs up,
-        // and holds only Arc state, so drain need not track it.
-        std::thread::spawn(move || connection_loop(stream, &conn_inner));
-    }
-    // Graceful drain: finish every admitted job (delivering replies
-    // through the writers captured in their waiters) before exiting.
-    let pool = lock_recover(&inner.pool).take();
-    if let Some(pool) = pool {
-        pool.drain();
-    }
-}
-
-fn connection_loop(stream: TcpStream, inner: &Arc<Inner>) {
-    let cfg = &inner.cfg;
-    let read_timeout =
-        (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
-    // The socket timeout wakes a read blocked on a silent peer; the
-    // LineReader's own per-line deadline (same duration) catches a peer
-    // that defeats the socket timeout by trickling bytes.
-    let _ = stream.set_read_timeout(read_timeout);
-    if cfg.write_timeout_ms > 0 {
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => ConnWriter(Arc::new(Mutex::new(w))),
-        Err(_) => return,
-    };
-    let mut reader = LineReader::new(stream, cfg.max_line_bytes, read_timeout);
-    loop {
-        // Every exit path except `Line` closes the connection; malformed
-        // framing gets one structured `bad_request` first, pure silence
-        // (EOF, idle) gets none. Note: closing only stops *reading* — a
-        // reply for work already admitted is still delivered through the
-        // writer clone parked on its flight.
-        match reader.read_line() {
-            LineEvent::Line(line) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                match Envelope::decode(trimmed) {
-                    Err(e) => {
-                        inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                        writer.send_line(&error_reply_line(&e.id, &e.error));
-                    }
-                    Ok(env) => handle_request(inner, &writer, env),
-                }
-            }
-            LineEvent::Eof | LineEvent::Failed => return,
-            LineEvent::Idle => {
-                inner.counters.reaped.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            LineEvent::Stalled => {
-                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                inner.counters.reaped.fetch_add(1, Ordering::Relaxed);
-                writer.send_line(&error_reply_line(
-                    "",
-                    &ErrorReply::new(
-                        ErrorCode::BadRequest,
-                        format!(
-                            "request line did not complete within {} ms",
-                            cfg.read_timeout_ms
-                        ),
-                    ),
-                ));
-                return;
-            }
-            LineEvent::TooLong => {
-                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                writer.send_line(&error_reply_line(
-                    "",
-                    &ErrorReply::new(
-                        ErrorCode::BadRequest,
-                        format!("request line exceeds {} bytes", cfg.max_line_bytes),
-                    ),
-                ));
-                return;
-            }
-            LineEvent::NotUtf8 => {
-                inner.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-                writer.send_line(&error_reply_line(
-                    "",
-                    &ErrorReply::new(ErrorCode::BadRequest, "request line is not valid UTF-8"),
-                ));
-                return;
-            }
-        }
-    }
-}
-
-fn handle_request(inner: &Arc<Inner>, writer: &ConnWriter, env: Envelope) {
+fn handle_request(inner: &Arc<Inner>, writer: &ReplyHandle, env: Envelope) {
     let Envelope {
         id,
         deadline_ms,
@@ -421,7 +396,7 @@ fn handle_request(inner: &Arc<Inner>, writer: &ConnWriter, env: Envelope) {
 
 fn admit_work(
     inner: &Arc<Inner>,
-    writer: &ConnWriter,
+    writer: &ReplyHandle,
     id: String,
     deadline_ms: Option<u64>,
     request: Request,
@@ -437,7 +412,7 @@ fn admit_work(
         return;
     }
 
-    if inner.draining.load(Ordering::SeqCst) {
+    if inner.shared.is_draining() {
         writer.send_line(&error_reply_line(
             &id,
             &ErrorReply::new(ErrorCode::ShuttingDown, "server is draining"),
@@ -628,7 +603,7 @@ fn stats_payload(inner: &Arc<Inner>) -> Object {
     cache.put_u64("len", inner.cache.len() as u64);
     cache.put_u64("capacity", inner.cache.capacity() as u64);
     o.put_obj("cache", cache);
-    o.put_bool("draining", inner.draining.load(Ordering::SeqCst));
+    o.put_bool("draining", inner.shared.is_draining());
     o
 }
 
@@ -644,7 +619,7 @@ fn health_payload(inner: &Arc<Inner>) -> Object {
             None => (false, 0, 0, 0),
         }
     };
-    let draining = inner.draining.load(Ordering::SeqCst);
+    let draining = inner.shared.is_draining();
     let mut o = Object::new();
     o.put_str("schema", "doppio-serve-health/v1");
     o.put_bool("ready", pool_alive && !draining);

@@ -1,0 +1,214 @@
+//! Shard-tier supervision: launch N serve processes, wait until ready.
+//!
+//! Shards are separate *processes*, not threads, on purpose: the paper's
+//! serving story (and PR 5's hardening) is about failure containment, and
+//! a process boundary is the only one that contains everything — a
+//! heap-corrupting bug, an abort, an OOM kill take down one shard's cache
+//! and leave the tier serving through the router's breaker-driven
+//! failover. It is also what makes the chaos test's "kill one shard
+//! mid-load" scenario honest: `SIGKILL`, not a polite in-process flag.
+//!
+//! The handshake is file-based because it has to work for a CLI, a CI
+//! job, and a test harness identically: each child binds port 0 and
+//! writes its resolved port to a private file (`serve --port-file`), the
+//! supervisor polls for the files, then polls each shard's `health` verb
+//! until it reports ready. No signals, no stdout parsing.
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::client::{Client, ClientConfig};
+use crate::protocol::Request;
+
+/// What to launch and how long to wait for it.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// The `doppio` binary to re-exec (`std::env::current_exe()` for the
+    /// CLI; `env!("CARGO_BIN_EXE_doppio")` for integration tests).
+    pub exe: PathBuf,
+    /// Shard process count.
+    pub shards: usize,
+    /// Evaluation workers per shard.
+    pub workers_per_shard: usize,
+    /// Result-cache capacity per shard (entries, 0 = unbounded).
+    pub cache_capacity: usize,
+    /// Admission queue bound per shard.
+    pub queue_bound: usize,
+    /// Extra `serve` arguments appended verbatim to every shard.
+    pub extra_args: Vec<String>,
+    /// Bound on bind + ready handshake per shard.
+    pub startup_timeout: Duration,
+}
+
+impl Default for TierSpec {
+    fn default() -> Self {
+        TierSpec {
+            exe: PathBuf::new(),
+            shards: 2,
+            workers_per_shard: 2,
+            cache_capacity: 4096,
+            queue_bound: 64,
+            extra_args: Vec::new(),
+            startup_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running shard tier. Dropping the handle kills every still-running
+/// child (a drained child has already exited and is just reaped).
+#[derive(Debug)]
+pub struct TierHandle {
+    children: Vec<Child>,
+    addrs: Vec<SocketAddr>,
+    port_dir: PathBuf,
+}
+
+static TIER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl TierHandle {
+    /// The shards' resolved addresses, in shard-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Kills one shard with no warning (chaos harness hook). Idempotent;
+    /// out-of-range indices are ignored.
+    pub fn kill_shard(&mut self, shard: usize) {
+        if let Some(child) = self.children.get_mut(shard) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for TierHandle {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.port_dir);
+    }
+}
+
+/// Launches `spec.shards` serve processes and waits until every one
+/// answers `health` with `ready: true`.
+///
+/// Every shard is started with `--allow-shutdown` so the router's
+/// shutdown fan-out can drain the tier remotely.
+///
+/// # Errors
+///
+/// Fails when a child cannot be spawned or any shard misses the startup
+/// timeout; already-started children are killed before returning.
+pub fn spawn_tier(spec: &TierSpec) -> io::Result<TierHandle> {
+    let port_dir = std::env::temp_dir().join(format!(
+        "doppio-tier-{}-{}",
+        std::process::id(),
+        TIER_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&port_dir)?;
+    let mut tier = TierHandle {
+        children: Vec::with_capacity(spec.shards),
+        addrs: Vec::with_capacity(spec.shards),
+        port_dir,
+    };
+    for shard in 0..spec.shards {
+        let port_file = tier.port_dir.join(format!("shard-{shard}.port"));
+        let mut cmd = Command::new(&spec.exe);
+        cmd.arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--allow-shutdown")
+            .arg("--workers")
+            .arg(spec.workers_per_shard.to_string())
+            .arg("--cache")
+            .arg(spec.cache_capacity.to_string())
+            .arg("--queue-bound")
+            .arg(spec.queue_bound.to_string())
+            .args(&spec.extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        // Drop kills whatever came up so far if any spawn fails.
+        tier.children.push(cmd.spawn()?);
+    }
+    let deadline = Instant::now() + spec.startup_timeout;
+    for shard in 0..spec.shards {
+        let port_file = tier.port_dir.join(format!("shard-{shard}.port"));
+        let addr = wait_for_port(&port_file, deadline)
+            .ok_or_else(|| startup_error(&mut tier, shard, "did not write its port file"))?;
+        if !wait_for_ready(addr, deadline) {
+            return Err(startup_error(&mut tier, shard, "did not become ready"));
+        }
+        tier.addrs.push(addr);
+    }
+    Ok(tier)
+}
+
+fn startup_error(tier: &mut TierHandle, shard: usize, what: &str) -> io::Error {
+    // Surface a crashed child's exit status — "shard 1 exited with 101"
+    // debugs faster than a bare timeout.
+    let detail = match tier.children.get_mut(shard).and_then(|c| c.try_wait().ok()) {
+        Some(Some(status)) => format!("shard {shard} exited early ({status}) and {what}"),
+        _ => format!("shard {shard} {what} within the startup timeout"),
+    };
+    io::Error::new(io::ErrorKind::TimedOut, detail)
+}
+
+/// Polls `path` until it parses as the shard's address or `deadline`
+/// passes. `serve --port-file` writes the full resolved `host:port`; a
+/// bare port (older writers) is accepted too. The file is written in one
+/// small write, but an in-progress empty file fails the parse and is
+/// simply retried.
+fn wait_for_port(path: &std::path::Path, deadline: Instant) -> Option<SocketAddr> {
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim();
+            if let Ok(addr) = s.parse::<SocketAddr>() {
+                return Some(addr);
+            }
+            if let Ok(port) = s.parse::<u16>() {
+                return Some(SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port)));
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls `health` on `addr` until it reports ready or `deadline` passes.
+fn wait_for_ready(addr: SocketAddr, deadline: Instant) -> bool {
+    let cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_millis(2_000)),
+        write_timeout: Some(Duration::from_millis(2_000)),
+    };
+    loop {
+        if let Ok(mut c) = Client::connect_with(addr, &cfg) {
+            if let Ok(reply) = c.call(Request::Health, Some(2_000)) {
+                let ready = reply
+                    .result
+                    .as_ref()
+                    .and_then(|v| v.get("ready"))
+                    .and_then(doppio_engine::json::Value::as_bool)
+                    .unwrap_or(false);
+                if ready {
+                    return true;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

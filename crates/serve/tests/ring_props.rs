@@ -1,0 +1,133 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! Three properties carry the shard tier:
+//!
+//! * **Determinism** — placement is a pure function of (shard ids,
+//!   vnodes); any two routers agree on every key.
+//! * **Balance** — with the default vnode count, 10k fingerprints spread
+//!   across shards within a bounded tolerance of fair share, so no shard
+//!   becomes the tier's ceiling by construction.
+//! * **Minimal disruption** — removing one shard remaps only that
+//!   shard's keys, and each remapped key lands exactly on its ring
+//!   successor — the same shard the router's failover walk tries first.
+
+use doppio_engine::{Fingerprint, Fingerprintable};
+use doppio_serve::ring::DEFAULT_VNODES;
+use doppio_serve::HashRing;
+use proptest::prelude::*;
+
+fn fp(n: u64) -> Fingerprint {
+    n.fingerprint()
+}
+
+proptest! {
+    /// Two independently built rings agree on every key, and successor
+    /// lists are consistent prefixes of each other.
+    #[test]
+    fn placement_is_deterministic(
+        shard_count in 1usize..=8,
+        vnodes in 1u32..=128,
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let ids: Vec<u32> = (0..shard_count as u32).collect();
+        let a = HashRing::new(&ids, vnodes);
+        let b = HashRing::new(&ids, vnodes);
+        for key in keys {
+            let k = fp(key);
+            prop_assert_eq!(a.shard_for(&k), b.shard_for(&k));
+            prop_assert_eq!(a.successors(&k, shard_count), b.successors(&k, shard_count));
+        }
+    }
+
+    /// Successor lists start at the owner, contain no duplicates, and
+    /// never exceed the shard count.
+    #[test]
+    fn successors_are_distinct_shards_starting_at_the_owner(
+        shard_count in 1usize..=8,
+        vnodes in 1u32..=64,
+        key in any::<u64>(),
+        n in 1usize..=12,
+    ) {
+        let ids: Vec<u32> = (0..shard_count as u32).collect();
+        let ring = HashRing::new(&ids, vnodes);
+        let k = fp(key);
+        let succ = ring.successors(&k, n);
+        prop_assert_eq!(succ.len(), n.min(shard_count));
+        prop_assert_eq!(succ[0], ring.shard_for(&k));
+        let mut dedup = succ.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), succ.len(), "no duplicate shards");
+    }
+
+    /// Removing one shard never moves a key whose owner survives, and a
+    /// dead owner's keys land on their ring successor.
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(
+        shard_count in 2usize..=8,
+        vnodes in 8u32..=64,
+        removed_ix in 0usize..8,
+        keys in proptest::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let ids: Vec<u32> = (0..shard_count as u32).collect();
+        let removed = ids[removed_ix % shard_count];
+        let ring = HashRing::new(&ids, vnodes);
+        let shrunk = ring.without(removed);
+        prop_assert_eq!(shrunk.shards().len(), shard_count - 1);
+        for key in keys {
+            let k = fp(key);
+            let owner = ring.shard_for(&k);
+            let after = shrunk.shard_for(&k);
+            if owner == removed {
+                // The key moves to the next distinct shard in ring
+                // order — the router's first failover candidate.
+                let succ = ring.successors(&k, 2);
+                prop_assert_eq!(after, succ[1], "dead owner's key lands on its successor");
+            } else {
+                prop_assert_eq!(after, owner, "surviving owners keep their keys");
+            }
+        }
+    }
+}
+
+/// 10k distinct fingerprints over four shards at the default vnode count:
+/// every shard holds within ±40 % of fair share. (The bound is loose
+/// enough to be stable across hash tweaks but tight enough that a broken
+/// ring — all keys on one shard, or one shard starved — fails loudly.)
+#[test]
+fn ten_thousand_keys_balance_within_tolerance() {
+    let ids = [0u32, 1, 2, 3];
+    let ring = HashRing::new(&ids, DEFAULT_VNODES);
+    let mut counts = [0usize; 4];
+    for key in 0..10_000u64 {
+        counts[ring.shard_for(&fp(key)) as usize] += 1;
+    }
+    let fair = 10_000 / 4;
+    for (shard, &count) in counts.iter().enumerate() {
+        assert!(
+            count >= fair * 6 / 10 && count <= fair * 14 / 10,
+            "shard {shard} holds {count} of 10000 keys (fair share {fair}); all: {counts:?}"
+        );
+    }
+}
+
+/// The balance property holds at other shard counts too — the tier's CLI
+/// allows any `--shards`, not just the benchmarked four.
+#[test]
+fn balance_holds_for_two_and_eight_shards() {
+    for shard_count in [2usize, 8] {
+        let ids: Vec<u32> = (0..shard_count as u32).collect();
+        let ring = HashRing::new(&ids, DEFAULT_VNODES);
+        let mut counts = vec![0usize; shard_count];
+        for key in 0..10_000u64 {
+            counts[ring.shard_for(&fp(key)) as usize] += 1;
+        }
+        let fair = 10_000 / shard_count;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count >= fair * 6 / 10 && count <= fair * 14 / 10,
+                "{shard_count} shards: shard {shard} holds {count} (fair {fair}); all: {counts:?}"
+            );
+        }
+    }
+}

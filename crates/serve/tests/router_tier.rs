@@ -1,0 +1,355 @@
+//! The shard router's tier semantics, over in-process shard servers.
+//!
+//! Shards here are `doppio_serve::start` instances in this process —
+//! byte-for-byte the same serving stack as a shard child process, minus
+//! the fork — which keeps these tests fast and lets them reach into each
+//! shard's stats directly. Process-level failure (SIGKILL mid-load) is
+//! exercised by the repo-level chaos suite; here a "dead shard" is a
+//! drained handle whose listener is gone.
+
+use std::time::Duration;
+
+use doppio_engine::Fingerprintable;
+use doppio_serve::ring::DEFAULT_VNODES;
+use doppio_serve::{
+    start, start_router, BreakerConfig, Client, Envelope, HashRing, Request, RouterConfig,
+    ServeConfig, ServerHandle, SimulateSpec,
+};
+use doppio_workloads::Workload;
+
+fn shard_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        allow_shutdown: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn_shards(n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| start(shard_config()).expect("shard starts"))
+        .collect()
+}
+
+fn router_over(
+    shards: &[ServerHandle],
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> doppio_serve::RouterHandle {
+    let mut cfg = RouterConfig {
+        shards: shards.iter().map(ServerHandle::addr).collect(),
+        // Fast breaker so failover tests don't wait out default cooldowns.
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(200),
+            probe_budget: 1,
+        },
+        shard_timeout_ms: 5_000,
+        ..RouterConfig::default()
+    };
+    tweak(&mut cfg);
+    start_router(cfg).expect("router starts")
+}
+
+fn whatif(rate: f64) -> Request {
+    Request::WhatIf {
+        rate,
+        at_fraction: 0.5,
+        max_failures: 3,
+    }
+}
+
+fn simulate() -> Request {
+    Request::Simulate(SimulateSpec {
+        workload: Workload::Terasort,
+        nodes: 2,
+        cores: 4,
+        config: doppio_cluster::HybridConfig::SsdSsd,
+        seed: 42,
+        paper: false,
+        inject: None,
+        fault_seed: 7,
+    })
+}
+
+/// The raw reply line through the router must equal the raw line a
+/// single-process server produces for the same envelope — cold and
+/// cached alike.
+#[test]
+fn routed_replies_are_bit_identical_to_direct_serving() {
+    let control = start(shard_config()).expect("control server starts");
+    let shards = spawn_shards(2);
+    let router = router_over(&shards, |_| {});
+
+    let mut direct = Client::connect(control.addr()).expect("direct client");
+    let mut routed = Client::connect(router.addr()).expect("routed client");
+
+    for (i, request) in [whatif(0.25), simulate(), whatif(0.75)]
+        .into_iter()
+        .enumerate()
+    {
+        // Same id on both paths so the rendered lines are comparable in
+        // full, not just their payload suffix.
+        for pass in 0..2 {
+            let env = Envelope {
+                id: format!("ident-{i}-{pass}"),
+                deadline_ms: None,
+                request: request.clone(),
+            };
+            direct.send(&env).expect("direct send");
+            let want = direct.recv().expect("direct reply").expect("direct line");
+            routed.send(&env).expect("routed send");
+            let got = routed.recv().expect("routed reply").expect("routed line");
+            assert!(want.ok && got.ok, "both paths succeed");
+            assert_eq!(
+                got.raw, want.raw,
+                "routed reply diverges from direct serving (pass {pass})"
+            );
+            if pass == 1 {
+                assert!(got.cached, "second pass is a shard cache hit");
+            }
+        }
+    }
+}
+
+/// Two identical requests pipelined in one burst: the second joins the
+/// first's router flight and comes back `coalesced` with the same bytes.
+#[test]
+fn concurrent_identical_requests_coalesce_at_the_router() {
+    let shards = spawn_shards(1);
+    let router = router_over(&shards, |_| {});
+    let mut client = Client::connect(router.addr()).expect("client connects");
+
+    // One write carries both lines, so the reactor dispatches them in one
+    // batch — the second join lands while the forward round-trip (connect
+    // + simulate evaluation) is still in flight.
+    let a = Envelope {
+        id: "co-a".into(),
+        deadline_ms: None,
+        request: simulate(),
+    };
+    let b = Envelope {
+        id: "co-b".into(),
+        deadline_ms: None,
+        request: simulate(),
+    };
+    let mut burst = a.encode();
+    burst.push('\n');
+    burst.push_str(&b.encode());
+    burst.push('\n');
+    let raw = burst;
+    // `Client` has no raw-write surface; speak the socket directly.
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(router.addr()).expect("socket");
+    stream.write_all(raw.as_bytes()).expect("burst write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut replies = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply line");
+        replies.push(doppio_serve::Reply::parse(line.trim()).expect("parses"));
+    }
+    let coalesced = replies.iter().filter(|r| r.coalesced).count();
+    assert_eq!(coalesced, 1, "exactly one rider coalesces: {replies:?}");
+    assert!(replies.iter().all(|r| r.ok));
+
+    let stats = client
+        .call(Request::Stats, Some(5_000))
+        .expect("stats reply");
+    let router_stats = stats.result.as_ref().and_then(|v| v.get("router")).cloned();
+    let coalesced_count = router_stats
+        .as_ref()
+        .and_then(|v| v.get("coalesced"))
+        .and_then(doppio_engine::json::Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        coalesced_count >= 1,
+        "router stats record the coalesce: {router_stats:?}"
+    );
+}
+
+/// Past the hot threshold, one key is served by more than one shard:
+/// both replicas evaluate (and then cache) it.
+#[test]
+fn hot_keys_fan_out_across_replicas() {
+    let shards = spawn_shards(2);
+    let router = router_over(&shards, |cfg| {
+        cfg.hot_threshold = 3;
+        cfg.hot_replicas = 2;
+    });
+    let mut client = Client::connect(router.addr()).expect("client connects");
+
+    for _ in 0..16 {
+        let reply = client.call(whatif(0.33), Some(10_000)).expect("reply");
+        assert!(reply.ok, "hot request fails: {:?}", reply.error_message);
+    }
+
+    // Each replica's first miss evaluated the key once; afterwards both
+    // serve it from their own cache.
+    let mut completed = Vec::new();
+    for shard in &shards {
+        let mut c = Client::connect(shard.addr()).expect("shard client");
+        let stats = c.call(Request::Stats, Some(5_000)).expect("shard stats");
+        completed.push(
+            stats
+                .result
+                .as_ref()
+                .and_then(|v| v.get("completed"))
+                .and_then(doppio_engine::json::Value::as_u64)
+                .unwrap_or(0),
+        );
+    }
+    assert!(
+        completed.iter().all(|&c| c >= 1),
+        "both replicas served the hot key: completed per shard = {completed:?}"
+    );
+
+    let stats = client.call(Request::Stats, Some(5_000)).expect("stats");
+    let hot_routed = stats
+        .result
+        .as_ref()
+        .and_then(|v| v.get("router"))
+        .and_then(|v| v.get("hot_routed"))
+        .and_then(doppio_engine::json::Value::as_u64)
+        .unwrap_or(0);
+    assert!(hot_routed >= 1, "router counted hot routes: {hot_routed}");
+}
+
+/// Killing a key's owning shard re-routes its requests to the next ring
+/// successor — the breaker turns repeated connect failures into
+/// microsecond skips, and the tier keeps answering.
+#[test]
+fn failover_reroutes_when_the_owning_shard_dies() {
+    let mut shards = spawn_shards(3);
+    let router = router_over(&shards, |_| {});
+    let mut client = Client::connect(router.addr()).expect("client connects");
+
+    // Pick a request owned by a known shard (the router's ring is a pure
+    // function of shard count and vnodes, so we can predict placement).
+    let ring = HashRing::new(&[0, 1, 2], DEFAULT_VNODES);
+    let request = whatif(0.5);
+    let owner = ring.shard_for(&request.fingerprint()) as usize;
+
+    // Warm the key on its owner, then kill the owner.
+    let warm = client.call(request.clone(), Some(10_000)).expect("warm");
+    assert!(warm.ok);
+    let dead = shards.remove(owner);
+    drop(dead); // drains: listener closed, address refuses connections
+
+    // Every subsequent request must still get a semantic reply, served
+    // by a surviving successor (first as a fresh evaluation, then from
+    // that shard's cache).
+    for i in 0..6 {
+        let reply = client.call(request.clone(), Some(10_000)).expect("reply");
+        assert!(
+            reply.ok,
+            "request {i} failed after shard death: {:?}",
+            reply.error_message
+        );
+    }
+
+    let stats = client.call(Request::Stats, Some(5_000)).expect("stats");
+    let router_stats = stats
+        .result
+        .as_ref()
+        .and_then(|v| v.get("router"))
+        .cloned()
+        .expect("router sub-object");
+    let failovers = router_stats
+        .get("failovers")
+        .and_then(doppio_engine::json::Value::as_u64)
+        .unwrap_or(0);
+    let shards_ok = router_stats
+        .get("shards_ok")
+        .and_then(doppio_engine::json::Value::as_u64)
+        .unwrap_or(99);
+    assert!(failovers >= 1, "failovers recorded: {router_stats:?}");
+    assert_eq!(shards_ok, 2, "one shard is gone: {router_stats:?}");
+}
+
+/// Tier stats keep the single-process schema with shard sums, and the
+/// aggregate actually reflects work done on the shards.
+#[test]
+fn stats_aggregate_across_shards_under_the_same_schema() {
+    let shards = spawn_shards(2);
+    let router = router_over(&shards, |_| {});
+    let mut client = Client::connect(router.addr()).expect("client connects");
+
+    for i in 0..6 {
+        let reply = client
+            .call(whatif(0.1 + f64::from(i) * 0.07), Some(10_000))
+            .expect("reply");
+        assert!(reply.ok);
+    }
+
+    let stats = client.call(Request::Stats, Some(5_000)).expect("stats");
+    let v = stats.result.expect("stats payload");
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(doppio_engine::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {key}"))
+    };
+    assert_eq!(
+        v.get("schema").and_then(doppio_engine::json::Value::as_str),
+        Some("doppio-serve-stats/v1"),
+        "tier stats keep the single-process schema"
+    );
+    assert_eq!(u("completed"), 6, "every request evaluated exactly once");
+    assert_eq!(u("workers"), 2, "workers summed across shards");
+    let router_v = v.get("router").expect("router sub-object");
+    let ru = |key: &str| {
+        router_v
+            .get(key)
+            .and_then(doppio_engine::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("router stats missing {key}"))
+    };
+    assert_eq!(ru("shards"), 2);
+    assert_eq!(ru("shards_ok"), 2);
+    assert_eq!(ru("forwarded"), 6);
+
+    // Health aggregates the same way: all shards up means ready.
+    let health = client.call(Request::Health, Some(5_000)).expect("health");
+    let h = health.result.expect("health payload");
+    assert_eq!(
+        h.get("ready").and_then(doppio_engine::json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        h.get("shards_ready")
+            .and_then(doppio_engine::json::Value::as_u64),
+        Some(2)
+    );
+}
+
+/// A remote shutdown through the router drains the whole tier: router
+/// replies, fans out to every shard, and all listeners go away.
+#[test]
+fn shutdown_fans_out_to_every_shard() {
+    let shards = spawn_shards(2);
+    let shard_addrs: Vec<_> = shards.iter().map(ServerHandle::addr).collect();
+    let router = router_over(&shards, |cfg| {
+        cfg.allow_shutdown = true;
+    });
+    let router_addr = router.addr();
+
+    let mut client = Client::connect(router_addr).expect("client connects");
+    let reply = client
+        .call(Request::Shutdown, Some(10_000))
+        .expect("shutdown reply");
+    assert!(reply.ok, "shutdown acknowledged");
+
+    // The router's reactor exits once the fan-out finishes draining.
+    router.wait();
+    for handle in shards {
+        handle.wait(); // returns because the remote shutdown drained it
+    }
+    for addr in shard_addrs {
+        assert!(
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+            "shard listener must be gone after tier shutdown"
+        );
+    }
+    assert!(
+        std::net::TcpStream::connect_timeout(&router_addr, Duration::from_millis(500)).is_err(),
+        "router listener must be gone after shutdown"
+    );
+}

@@ -13,10 +13,12 @@
 //! doppio phases --bw <MiB/s> --t <MiB/s> --lambda <λ> [--cores P] [--sweep] [--jobs J]
 //! doppio serve   [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
 //!                [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
+//!                [--shards N] [--vnodes V] [--hot-threshold T] [--hot-replicas R]
 //! doppio health  [--addr H:P] [--wait-ms W]
 //! doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
 //!                [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
-//!                [--connect-timeout-ms T] [--read-timeout-ms T]
+//!                [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
+//!                [--hot-worker] [--hold N]
 //! doppio list
 //! ```
 //!
@@ -104,27 +106,39 @@ USAGE:
       (--sweep classifies every core count 1..=P)
   doppio serve [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
                [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
+               [--shards N] [--vnodes V] [--hot-threshold T] [--hot-replicas R]
       run the model-serving front end: newline-delimited JSON over TCP with
       a shared result cache, singleflight deduplication and a bounded
       admission queue that sheds overload with structured 'overloaded'
       replies; evaluations are panic-isolated, request lines are bounded at
       --max-line-bytes, and idle or stalled connections are reaped after
       --idle-timeout-ms; --port-file records the bound address for scripts
-      and --allow-shutdown lets a client drain the server remotely
+      and --allow-shutdown lets a client drain the server remotely;
+      --shards N launches N shard processes behind a consistent-hash
+      router on --addr instead of one server (replies stay bit-identical):
+      --vnodes sets ring granularity, and past --hot-threshold repeats a
+      hot key fans out over --hot-replicas shards; a dead shard's keys
+      fail over to their ring successor behind a per-shard circuit breaker
   doppio health [--addr H:P] [--wait-ms W]
       ask a serve endpoint for its health payload (readiness, queue depth,
       cache stats, panic count, uptime); with --wait-ms, poll until the
       server reports ready or the wait expires — the CI startup gate
   doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
                  [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
-                 [--connect-timeout-ms T] [--read-timeout-ms T]
+                 [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
+                 [--hot-worker] [--hold N]
       drive a serve endpoint through cold/hot closed-loop phases plus a
       singleflight burst, recording latency percentiles and the
       hot-over-cold speedup to BENCH_serve_throughput.json (strictly
       parsed back); without --addr a throwaway in-process server is used;
       --smoke shrinks the run for CI and fails on any shed request, lost
       reply or panic; --chaos adds a phase driven through a seeded
-      fault-injecting proxy and records retry/breaker metrics
+      fault-injecting proxy and records retry/breaker metrics; --procs N
+      re-runs the hot phase from N generator processes and merges their
+      latency histograms (the multi-process throughput measurement for a
+      shard tier); --hot-worker is the child mode --procs launches, and
+      --hold N opens N idle connections until stdin closes (reactor
+      capacity tests)
   doppio list
       list workloads, disk configurations, fault profiles and chaos profiles
 
@@ -744,6 +758,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers: usize = parse_num(args, "--workers", 2)?;
     let queue_bound: usize = parse_num(args, "--queue-bound", 64)?;
     let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0)?;
+    let shards: usize = parse_num(args, "--shards", 0)?;
+    if shards > 0 {
+        return cmd_serve_sharded(args, shards, workers, queue_bound, deadline_ms);
+    }
     let defaults = doppio::serve::ServeConfig::default();
     let cfg = doppio::serve::ServeConfig {
         addr: opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string(),
@@ -766,6 +784,62 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // --allow-shutdown; terminate the process to stop it).
     handle.wait();
     eprintln!("doppio-serve drained");
+    Ok(())
+}
+
+/// `serve --shards N`: launch N shard processes (each a plain
+/// single-process `doppio serve` child), put the consistent-hash router
+/// on the public address, and park until the tier drains.
+fn cmd_serve_sharded(
+    args: &[String],
+    shards: usize,
+    workers: usize,
+    queue_bound: usize,
+    deadline_ms: u64,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let tier = doppio::serve::spawn_tier(&doppio::serve::TierSpec {
+        exe,
+        shards,
+        workers_per_shard: workers,
+        cache_capacity: parse_num(args, "--cache", 4096)?,
+        queue_bound,
+        ..Default::default()
+    })
+    .map_err(|e| format!("spawn shard tier: {e}"))?;
+
+    let defaults = doppio::serve::RouterConfig::default();
+    let router = doppio::serve::start_router(doppio::serve::RouterConfig {
+        addr: opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string(),
+        shards: tier.addrs().to_vec(),
+        vnodes: parse_num(args, "--vnodes", defaults.vnodes)?,
+        hot_threshold: parse_num(args, "--hot-threshold", defaults.hot_threshold)?,
+        hot_replicas: parse_num(args, "--hot-replicas", defaults.hot_replicas)?,
+        // Forward workers do blocking shard round-trips; two per shard
+        // keeps every shard's worker pool saturable without a flag.
+        workers: (shards * 2).clamp(defaults.workers, 16),
+        queue_bound,
+        default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        allow_shutdown: flag(args, "--allow-shutdown"),
+        max_line_bytes: parse_num(args, "--max-line-bytes", defaults.max_line_bytes)?,
+        read_timeout_ms: parse_num(args, "--idle-timeout-ms", defaults.read_timeout_ms)?,
+        ..Default::default()
+    })
+    .map_err(|e| format!("bind router: {e}"))?;
+    let bound = router.addr();
+    if let Some(path) = opt(args, "--port-file") {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    eprintln!(
+        "doppio-serve router on {bound} over {shards} shard(s): {:?}",
+        tier.addrs()
+    );
+    // Parks until a remote shutdown fans out to the shards and drains the
+    // router; dropping the tier afterwards reaps the (already exited)
+    // children.
+    router.wait();
+    drop(tier);
+    eprintln!("doppio-serve tier drained");
     Ok(())
 }
 
@@ -829,6 +903,16 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     use doppio::serve::loadgen::{self, LoadgenConfig};
 
+    // Auxiliary modes first: both are plumbing other processes drive
+    // (`--procs` parents, reactor capacity tests), not measurements.
+    let hold: usize = parse_num(args, "--hold", 0)?;
+    if hold > 0 {
+        return loadgen_hold(args, hold);
+    }
+    if flag(args, "--hot-worker") {
+        return loadgen_hot_worker(args);
+    }
+
     let smoke = flag(args, "--smoke");
     let mut cfg = LoadgenConfig::default();
     if smoke {
@@ -859,7 +943,28 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     };
     cfg.addr = addr;
 
-    let report = loadgen::run(&cfg)?;
+    let mut report = loadgen::run(&cfg)?;
+
+    // `--procs N` (N > 1): rerun the hot phase fanned out over N worker
+    // processes, so one generator's thread ceiling cannot cap what the
+    // sharded tier can absorb. The single-process run above already
+    // warmed every seed the workers replay.
+    let procs: usize = parse_num(args, "--procs", 1)?;
+    if procs > 1 {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mp = loadgen::run_hot_multiproc(&loadgen::MultiProcSpec {
+            exe,
+            addr: cfg.addr.clone(),
+            procs,
+            connections: cfg.connections,
+            distinct: cfg.cold_requests,
+            repeats: cfg.hot_repeats,
+            connect_timeout_ms: cfg.connect_timeout_ms,
+            read_timeout_ms: cfg.read_timeout_ms,
+        })?;
+        report.put_obj("hot_multiproc", mp);
+    }
+
     let out = std::path::PathBuf::from(opt(args, "--out").unwrap_or(if smoke {
         "target/BENCH_serve_throughput.smoke.json"
     } else {
@@ -893,6 +998,23 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         }
     }
     println!("hot-over-cold speedup: {speedup:.1}x");
+    if let Some(mp) = v.get("hot_multiproc") {
+        let f = |k: &str| mp.get(k).and_then(doppio::engine::json::Value::as_f64);
+        let n = |k: &str| {
+            mp.get(k)
+                .and_then(doppio::engine::json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "hot x{} procs: {:>5} reqs  {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms  ({} errors)",
+            n("procs"),
+            n("requests"),
+            f("reqs_per_sec").unwrap_or(0.0),
+            f("p50_ms").unwrap_or(0.0),
+            f("p99_ms").unwrap_or(0.0),
+            n("errors"),
+        );
+    }
     if let Some(chaos) = v.get("chaos") {
         let n = |k: &str| {
             chaos
@@ -935,6 +1057,62 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     if let Some(handle) = local {
         handle.join();
     }
+    Ok(())
+}
+
+/// `loadgen --hold N`: opens N idle connections to `--addr`, prints
+/// `held N` once all are up, then parks until stdin closes. Capacity
+/// tests use a few of these as side-car processes so one process's fd
+/// limit does not cap how many connections the reactor must carry.
+fn loadgen_hold(args: &[String], hold: usize) -> Result<(), String> {
+    let addr = opt(args, "--addr").ok_or("--hold requires --addr")?;
+    let mut conns = Vec::with_capacity(hold);
+    for i in 0..hold {
+        conns.push(
+            std::net::TcpStream::connect(addr).map_err(|e| format!("hold connect {i}: {e}"))?,
+        );
+    }
+    println!("held {hold}");
+    use std::io::{Read as _, Write as _};
+    std::io::stdout().flush().ok();
+    let mut sink = Vec::new();
+    std::io::stdin()
+        .read_to_end(&mut sink)
+        .map_err(|e| format!("hold stdin: {e}"))?;
+    drop(conns);
+    Ok(())
+}
+
+/// `loadgen --hot-worker`: one child of the multi-process hot phase.
+/// Replays `--requests` distinct pre-warmed seeds `--repeats` times over
+/// `--connections` closed loops against `--addr`, then prints a single
+/// `doppio-loadgen-worker/v1` summary line for the parent to merge.
+fn loadgen_hot_worker(args: &[String]) -> Result<(), String> {
+    use doppio::serve::loadgen::{hot_worker, LoadgenConfig};
+    let defaults = LoadgenConfig::default();
+    let addr = opt(args, "--addr").ok_or("--hot-worker requires --addr")?;
+    let connections = parse_num(args, "--connections", defaults.connections)?;
+    let distinct = parse_num(args, "--requests", defaults.cold_requests)?;
+    let repeats = parse_num(args, "--repeats", defaults.hot_repeats)?;
+    let ms = |v: u64| (v > 0).then(|| std::time::Duration::from_millis(v));
+    let connect_ms = parse_num(args, "--connect-timeout-ms", defaults.connect_timeout_ms)?;
+    let read_ms = parse_num(args, "--read-timeout-ms", defaults.read_timeout_ms)?;
+    let ccfg = doppio::serve::ClientConfig {
+        connect_timeout: ms(connect_ms),
+        read_timeout: ms(read_ms),
+        write_timeout: ms(read_ms),
+    };
+    // The seed base is fixed at the loadgen default so every worker
+    // replays exactly the set the parent's cold phase warmed.
+    let summary = hot_worker(
+        addr,
+        connections,
+        distinct,
+        repeats,
+        defaults.base_seed,
+        &ccfg,
+    )?;
+    println!("{}", summary.render_line());
     Ok(())
 }
 
@@ -1081,6 +1259,13 @@ mod tests {
             "--chaos-seed",
             "--connect-timeout-ms",
             "--read-timeout-ms",
+            "--shards",
+            "--vnodes",
+            "--hot-threshold",
+            "--hot-replicas",
+            "--procs",
+            "--hot-worker",
+            "--hold",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
         }

@@ -233,6 +233,158 @@ fn worker_panic_is_isolated_and_reported() {
     handle.join();
 }
 
+/// Shard-tier chaos: `SIGKILL` one real shard process mid-load *while*
+/// the wire is already hostile — the load runs through a
+/// `disconnect-heavy` chaos proxy in front of the router. Two failure
+/// domains stack: the proxy refuses/cuts the client↔router leg (the
+/// retrying client's problem) and the kill removes a shard behind the
+/// router (the router's breaker-driven re-route). Every request id must
+/// still resolve to exactly one semantic outcome, every success to the
+/// in-process bytes, and the router must record the failover.
+#[test]
+fn killing_a_shard_mid_load_yields_exactly_one_outcome_per_request() {
+    use doppio::engine::Fingerprintable as _;
+    use doppio::serve::ring::DEFAULT_VNODES;
+    use doppio::serve::{spawn_tier, start_router, HashRing, RouterConfig, TierSpec};
+
+    let mut tier = spawn_tier(&TierSpec {
+        exe: env!("CARGO_BIN_EXE_doppio").into(),
+        shards: 3,
+        workers_per_shard: 2,
+        ..TierSpec::default()
+    })
+    .expect("tier starts");
+    let router = start_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: tier.addrs().to_vec(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(200),
+            probe_budget: 1,
+        },
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    let mut proxy = ChaosProxy::start(router.addr(), ChaosProfile::DisconnectHeavy, 0xC4A0_8000)
+        .expect("chaos proxy");
+
+    let seeds = [61u64, 62, 63, 64, 65, 66];
+    let expected: Vec<String> = seeds.iter().map(|&s| expected_payload(s)).collect();
+
+    // Ring placement is a pure function of (shard ids, vnodes), so the
+    // victim — the shard owning seeds[0] — is known before the kill.
+    let ring = HashRing::new(&[0, 1, 2], DEFAULT_VNODES);
+    let victim = ring.shard_for(&Request::Simulate(spec(seeds[0])).fingerprint()) as usize;
+
+    let rounds = 6usize;
+    let proxy_addr = proxy.addr().to_string();
+    let (warmed_tx, warmed_rx) = std::sync::mpsc::channel::<()>();
+    let outcomes: Vec<(usize, u64, Result<doppio::serve::Reply, CallError>)> =
+        std::thread::scope(|scope| {
+            let load = scope.spawn(move || {
+                let mut rc = retrying(proxy_addr, 0x5EED_8000);
+                let mut out = Vec::with_capacity(rounds * seeds.len());
+                for round in 0..rounds {
+                    for &seed in &seeds {
+                        let mut outcome = rc.call(Request::Simulate(spec(seed)), Some(10_000));
+                        // An open client-side breaker is shedding by
+                        // design; wait it out (bounded) so every id still
+                        // reaches a semantic outcome.
+                        let mut waits = 0;
+                        while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 50 {
+                            std::thread::sleep(Duration::from_millis(20));
+                            waits += 1;
+                            outcome = rc.call(Request::Simulate(spec(seed)), Some(10_000));
+                        }
+                        out.push((round, seed, outcome));
+                    }
+                    if round == 0 {
+                        // Every seed warm on its owner; time for the kill.
+                        warmed_tx.send(()).expect("signal main");
+                    }
+                }
+                out
+            });
+            warmed_rx.recv().expect("warm round finished");
+            tier.kill_shard(victim); // SIGKILL, no drain, mid-load
+            load.join().expect("load thread")
+        });
+
+    assert_eq!(
+        outcomes.len(),
+        rounds * seeds.len(),
+        "every request id resolves exactly once"
+    );
+    let mut successes = 0u32;
+    for (round, seed, outcome) in &outcomes {
+        match outcome {
+            Ok(reply) if reply.ok => {
+                successes += 1;
+                let want = &expected[seeds.iter().position(|s| s == seed).unwrap()];
+                assert!(
+                    reply.raw.ends_with(&format!("\"result\": {want}}}")),
+                    "round {round} seed {seed}: bytes diverge after failover\n  raw: {}",
+                    reply.raw
+                );
+            }
+            // The dead shard never surfaces as a semantic error (two ring
+            // successors survive); any error reply must be structured.
+            Ok(reply) => {
+                assert!(
+                    reply.error_code.is_some(),
+                    "round {round} seed {seed}: error reply without a code: {}",
+                    reply.raw
+                );
+            }
+            // Client-side terminal errors (the proxy's doing) are a
+            // legitimate single outcome with a non-empty description.
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+    assert!(
+        successes > 0,
+        "retries must get requests through the chaos proxy"
+    );
+
+    // The victim's keys stay owned by the successor: a fresh request on
+    // a clean wire (no proxy) evaluates there, a repeat is that shard's
+    // cache hit — and serving it at all required a breaker-driven
+    // re-route past the dead owner.
+    let mut client = Client::connect(router.addr()).expect("direct client");
+    let fresh = client
+        .call(Request::Simulate(spec(seeds[0])), Some(10_000))
+        .expect("post-kill request");
+    assert!(fresh.ok, "victim's key served by its successor");
+    let again = client
+        .call(Request::Simulate(spec(seeds[0])), Some(10_000))
+        .expect("post-kill repeat");
+    assert!(
+        again.ok && again.cached,
+        "successor's cache answers the repeat"
+    );
+
+    // The router saw the death: failovers counted, one shard unreachable.
+    let stats = client.call(Request::Stats, Some(5_000)).expect("stats");
+    let router_stats = stats
+        .result
+        .as_ref()
+        .and_then(|v| v.get("router"))
+        .cloned()
+        .expect("router sub-object");
+    let n = |k: &str| {
+        router_stats
+            .get(k)
+            .and_then(doppio::engine::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(n("failovers") >= 1, "failovers recorded: {router_stats:?}");
+    assert_eq!(n("shards_ok"), 2, "one shard is gone: {router_stats:?}");
+
+    proxy.stop();
+    router.shutdown();
+    router.join();
+}
+
 #[test]
 fn dead_endpoint_fails_fast_once_the_breaker_opens() {
     // Bind then immediately free a port: connecting to it refuses fast.

@@ -133,6 +133,71 @@ fn served_replies_are_bit_identical_to_in_process_runs() {
     assert_server_matches(4, &expected);
 }
 
+/// The shard tier keeps the same promise. Whatever the shard count, a
+/// reply routed through the consistent-hash router carries exactly the
+/// in-process bytes — placement, hot-key fan-out, and the router's
+/// verbatim payload splice are all invisible in the output.
+#[test]
+fn routed_replies_are_bit_identical_at_every_shard_count() {
+    use doppio::serve::{start_router, RouterConfig};
+    let expected = expected_payloads();
+    for shard_count in [1usize, 2, 4] {
+        let shards: Vec<_> = (0..shard_count)
+            .map(|_| {
+                start(ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                })
+                .expect("shard starts")
+            })
+            .collect();
+        let router = start_router(RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: shards.iter().map(|s| s.addr()).collect(),
+            ..RouterConfig::default()
+        })
+        .expect("router starts");
+        let mut client = Client::connect(router.addr()).expect("client connects");
+
+        for (spec, want) in specs().into_iter().zip(&expected) {
+            let reply = client
+                .call(Request::Simulate(spec.clone()), None)
+                .expect("routed reply");
+            assert!(
+                reply.ok,
+                "routed simulate failed: {:?}",
+                reply.error_message
+            );
+            assert!(
+                reply.raw.ends_with(&format!("\"result\": {want}}}")),
+                "routed bytes diverge from in-process render at {shard_count} shard(s)\n  spec: {spec:?}\n  raw: {}",
+                reply.raw
+            );
+            // The owning shard's cache answers the repeat with the very
+            // same bytes, and the router surfaces the cached flag.
+            let again = client
+                .call(Request::Simulate(spec), None)
+                .expect("cached routed reply");
+            assert!(
+                again.ok && again.cached,
+                "repeat must hit the owning shard's cache"
+            );
+            assert!(
+                again.raw.ends_with(&format!("\"result\": {want}}}")),
+                "cached routed bytes diverge at {shard_count} shard(s)"
+            );
+        }
+
+        drop(client);
+        router.shutdown();
+        router.join();
+        for shard in shards {
+            shard.shutdown();
+            shard.join();
+        }
+    }
+}
+
 #[test]
 fn concurrent_duplicate_requests_share_one_payload() {
     let handle = start(ServeConfig {

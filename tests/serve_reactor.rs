@@ -1,0 +1,144 @@
+//! Reactor capacity: one epoll thread carries ten thousand concurrent
+//! idle connections.
+//!
+//! This is the load shape the thread-per-connection server could not
+//! survive — 10k sockets meant 10k stacks. The reactor registers each
+//! accepted socket with epoll and spends zero resources on it until it
+//! becomes readable, so the process thread count must stay exactly where
+//! it was before the herd arrived, and a live request threaded through
+//! the idle mass must still be served promptly.
+//!
+//! Topology: the server runs in-process (so `/proc/self/status` counts
+//! its threads and this process's fd budget carries the ~10k accepted
+//! sockets), while the *initiating* sockets are spread over four child
+//! `doppio loadgen --hold` processes so no single process needs 20k fds.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use doppio::engine::json::Value;
+use doppio::serve::{start, Client, Request, ServeConfig};
+
+const HOLDERS: usize = 4;
+const CONNS_PER_HOLDER: usize = 2500;
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line present")
+        .trim()
+        .parse()
+        .expect("thread count parses")
+}
+
+/// Cumulative accepted-connection count from the server's own stats.
+fn accepted(client: &mut Client) -> u64 {
+    let reply = client
+        .call(Request::Stats, Some(5_000))
+        .expect("stats among idle herd");
+    assert!(reply.ok, "stats failed: {:?}", reply.error_message);
+    reply
+        .result
+        .as_ref()
+        .and_then(|v| v.get("connections"))
+        .and_then(Value::as_u64)
+        .expect("stats carries 'connections'")
+}
+
+#[test]
+fn reactor_holds_ten_thousand_idle_connections_without_growing_threads() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        // The idle reaper must be off: held connections are *supposed*
+        // to sit silent for the whole test.
+        read_timeout_ms: 0,
+        write_timeout_ms: 0,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Baseline after the server is fully up: reactor + workers.
+    let before = thread_count();
+
+    let mut holders: Vec<Child> = (0..HOLDERS)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_doppio"))
+                .args([
+                    "loadgen",
+                    "--hold",
+                    &CONNS_PER_HOLDER.to_string(),
+                    "--addr",
+                    &addr,
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn holder {i}: {e}"))
+        })
+        .collect();
+
+    // Each holder prints `held N` only once all its sockets are open.
+    for (i, holder) in holders.iter_mut().enumerate() {
+        let stdout = holder.stdout.as_mut().expect("holder stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("holder {i} handshake: {e}"));
+        assert_eq!(
+            line.trim(),
+            format!("held {CONNS_PER_HOLDER}"),
+            "holder {i} must report its full complement"
+        );
+    }
+
+    // A connect() returning in the holder proves the kernel completed the
+    // handshake, not that the reactor drained its accept queue; poll the
+    // server's accept counter until all 10k are registered.
+    let mut client = Client::connect(handle.addr()).expect("client connects among the herd");
+    let want = (HOLDERS * CONNS_PER_HOLDER) as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if accepted(&mut client) >= want {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reactor did not register {want} connections in time"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The whole herd is epoll state, not threads.
+    let during = thread_count();
+    assert_eq!(
+        during, before,
+        "{want} idle connections must not change the thread count ({before} -> {during})"
+    );
+
+    // And the reactor still *works*: a live request threaded through ten
+    // thousand idle registrations gets a prompt, correct reply.
+    let reply = client
+        .call(Request::Health, Some(5_000))
+        .expect("health served among the idle herd");
+    assert!(reply.ok, "health failed: {:?}", reply.error_message);
+
+    // Closing stdin is the release signal; every holder exits cleanly.
+    for holder in &mut holders {
+        drop(holder.stdin.take());
+    }
+    for (i, mut holder) in holders.into_iter().enumerate() {
+        let status = holder
+            .wait()
+            .unwrap_or_else(|e| panic!("wait holder {i}: {e}"));
+        assert!(status.success(), "holder {i} exited with {status}");
+    }
+
+    drop(client);
+    handle.shutdown();
+    handle.join();
+}
