@@ -166,29 +166,46 @@ impl Calibrator {
             (self.stress_cores, &self.ssd, &self.hdd),
             (self.stress_cores, &self.hdd, &self.ssd),
         ];
-        let mut runs = engine
-            .par_map(&specs, |&(cores, hdfs, local)| {
-                platform.run(cores, hdfs.clone(), local.clone())
-            })
-            .into_iter();
+        let results = engine.par_map(&specs, |&(cores, hdfs, local)| {
+            platform.run(cores, hdfs.clone(), local.clone())
+        });
+        let got = results.len();
         // Surface failures in the paper's run order regardless of which
-        // worker hit one first.
-        let run1 = runs.next().expect("four runs")?;
-        let run2 = runs.next().expect("four runs")?;
-        let run3 = runs.next().expect("four runs")?;
-        let run4 = runs.next().expect("four runs")?;
+        // worker hit one first, naming the offending run.
+        let mut runs = Vec::with_capacity(4);
+        for (i, r) in results.into_iter().enumerate() {
+            runs.push(r.map_err(|e| ModelError::SampleRunFailed {
+                run: self.run_label(i + 1),
+                source: e,
+            })?);
+        }
+        let mut it = runs.into_iter();
+        let (Some(run1), Some(run2), Some(run3), Some(run4)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(ModelError::NotEnoughSamples { got, need: 4 });
+        };
 
         let s = run1.stages().len();
         if s == 0 {
             return Err(ModelError::NoStages);
         }
-        for r in [&run2, &run3, &run4] {
+        for (i, r) in [&run2, &run3, &run4].into_iter().enumerate() {
             if r.stages().len() != s {
                 return Err(ModelError::StageMismatch {
+                    run: self.run_label(i + 2),
                     expected: s,
                     got: r.stages().len(),
                 });
             }
+        }
+        // Four identical runs mean the platform ignored the calibration
+        // knobs (cores, devices): there is no signal to fit from.
+        if run2 == run1 && run3 == run1 && run4 == run1 {
+            return Err(ModelError::DuplicateSampleRuns {
+                run_a: self.run_label(1),
+                run_b: self.run_label(2),
+            });
         }
 
         let n = platform.nodes();
@@ -204,7 +221,7 @@ impl Calibrator {
                 &run3.stages()[i],
                 &run4.stages()[i],
                 &mut warnings,
-            ));
+            )?);
         }
 
         Ok(CalibrationReport {
@@ -219,6 +236,22 @@ impl Calibrator {
         })
     }
 
+    /// Human identity of sample run `i` (1-based) in the §VI.1 recipe,
+    /// so error messages name the offending run instead of a bare index.
+    fn run_label(&self, i: usize) -> String {
+        let (cores, hdfs, local) = match i {
+            1 => (1, &self.ssd, &self.ssd),
+            2 => (2, &self.ssd, &self.ssd),
+            3 => (self.stress_cores, &self.ssd, &self.hdd),
+            _ => (self.stress_cores, &self.hdd, &self.ssd),
+        };
+        format!(
+            "sample run {i} of 4 (P={cores}, {} hdfs / {} local)",
+            hdfs.name(),
+            local.name()
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn calibrate_stage(
         &self,
@@ -229,8 +262,14 @@ impl Calibrator {
         s3: &StageMetrics,
         s4: &StageMetrics,
         warnings: &mut Vec<String>,
-    ) -> StageModel {
+    ) -> Result<StageModel, ModelError> {
         let m = s1.tasks.count as u64;
+        if m == 0 {
+            return Err(ModelError::EmptyStage {
+                stage: s1.name.clone(),
+                run: self.run_label(1),
+            });
+        }
         let t1 = s1.duration.as_secs();
         let t2 = s2.duration.as_secs();
 
@@ -261,9 +300,16 @@ impl Calibrator {
             if stats.bytes.is_zero() {
                 continue;
             }
-            let rs = stats
-                .avg_request_size()
-                .expect("non-zero channel has requests");
+            // A non-zero channel always carries requests in simulator
+            // output, but custom `ProfilePlatform`s answer here too —
+            // a structured error beats an `expect` panic.
+            let Some(rs) = stats.avg_request_size() else {
+                return Err(ModelError::NoRequests {
+                    stage: s1.name.clone(),
+                    channel: ch,
+                    run: self.run_label(1),
+                });
+            };
             channels.push(ChannelModel {
                 channel: ch,
                 total_bytes: stats.bytes,
@@ -348,13 +394,13 @@ impl Calibrator {
             }
         }
 
-        StageModel {
+        Ok(StageModel {
             name: s1.name.clone(),
             m,
             t_avg,
             delta_scale,
             channels,
-        }
+        })
     }
 }
 
@@ -479,6 +525,103 @@ mod tests {
             "predicted {predicted:.1}s vs measured {measured:.1}s ({:.1}%)",
             err * 100.0
         );
+    }
+
+    /// A platform that replays one pre-baked run regardless of the
+    /// requested cores or devices — degenerate profiling input.
+    struct ConstantPlatform {
+        run: AppRun,
+        conf: SparkConf,
+    }
+
+    impl ProfilePlatform for ConstantPlatform {
+        fn nodes(&self) -> usize {
+            3
+        }
+        fn conf(&self) -> &SparkConf {
+            &self.conf
+        }
+        fn run(
+            &self,
+            _cores: u32,
+            _hdfs: DeviceSpec,
+            _local: DeviceSpec,
+        ) -> Result<AppRun, SimError> {
+            Ok(self.run.clone())
+        }
+    }
+
+    #[test]
+    fn duplicate_sample_runs_are_a_structured_error() {
+        let p = platform(shuffle_heavy_app());
+        let baked = p
+            .run(
+                1,
+                doppio_storage::presets::ssd_mz7lm(),
+                doppio_storage::presets::ssd_mz7lm(),
+            )
+            .unwrap();
+        let cp = ConstantPlatform {
+            run: baked,
+            conf: SparkConf::paper(),
+        };
+        let err = Calibrator::default().calibrate(&cp, "t").unwrap_err();
+        assert!(
+            matches!(err, ModelError::DuplicateSampleRuns { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("sample run 1 of 4 (P=1,"),
+            "names the reference run: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_byte_source_fails_with_named_run_not_a_panic() {
+        let mut b = AppBuilder::new("empty");
+        let src = b.hdfs_source("in", "/in", Bytes::new(0));
+        b.count(src, "crunch", Cost::ZERO);
+        let p = platform(b.build().unwrap());
+        let err = Calibrator::default().calibrate(&p, "empty").unwrap_err();
+        let ModelError::SampleRunFailed { run, .. } = &err else {
+            panic!("expected SampleRunFailed, got {err:?}");
+        };
+        assert!(run.contains("sample run 1 of 4"), "run label: {run}");
+        assert!(
+            err.to_string().contains("P=1") && err.to_string().contains("hdfs"),
+            "message names the run, not a bare index: {err}"
+        );
+    }
+
+    #[test]
+    fn recalibration_reproduces_the_model_bitwise() {
+        // Same platform, serial vs 4-way parallel profiling: every fitted
+        // coefficient must come back bit-identical.
+        let p = platform(shuffle_heavy_app());
+        let a = Calibrator::default().calibrate(&p, "t").unwrap().model;
+        let b = Calibrator::default()
+            .calibrate_with(&p, "t", &Engine::with_jobs(4))
+            .unwrap()
+            .model;
+        assert_eq!(a.stages().len(), b.stages().len());
+        for (sa, sb) in a.stages().iter().zip(b.stages()) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.m, sb.m);
+            assert_eq!(sa.t_avg.to_bits(), sb.t_avg.to_bits(), "{}", sa.name);
+            assert_eq!(
+                sa.delta_scale.to_bits(),
+                sb.delta_scale.to_bits(),
+                "{}",
+                sa.name
+            );
+            assert_eq!(sa.channels.len(), sb.channels.len());
+            for (ca, cb) in sa.channels.iter().zip(&sb.channels) {
+                assert_eq!(ca.channel, cb.channel);
+                assert_eq!(ca.total_bytes, cb.total_bytes);
+                assert_eq!(ca.delta.to_bits(), cb.delta.to_bits());
+                assert_eq!(ca.derate.to_bits(), cb.derate.to_bits());
+            }
+        }
     }
 
     #[test]

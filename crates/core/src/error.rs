@@ -2,20 +2,57 @@
 
 use std::fmt;
 
-use doppio_sparksim::SimError;
+use doppio_sparksim::{IoChannel, SimError};
 
 /// Errors surfaced while calibrating or fitting models.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// A profiling run failed in the simulator.
     Sim(SimError),
+    /// A named sample run of the §VI.1 recipe failed — the label says
+    /// which of the four runs, at what core count, on which devices.
+    SampleRunFailed {
+        /// Identity of the failed run, e.g.
+        /// `sample run 3 of 4 (P=16, SSD hdfs / HDD local)`.
+        run: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
     /// Profiling runs disagreed on the stage list (they must execute the
     /// same application).
     StageMismatch {
+        /// Identity of the divergent run.
+        run: String,
         /// Stage count of the first run.
         expected: usize,
         /// Stage count of the divergent run.
         got: usize,
+    },
+    /// Every sample run returned an identical result — the platform
+    /// ignored the calibration knobs, so the runs carry no signal to fit
+    /// the model from.
+    DuplicateSampleRuns {
+        /// Identity of the reference run.
+        run_a: String,
+        /// Identity of one of its duplicates.
+        run_b: String,
+    },
+    /// A stage executed no tasks, leaving nothing to fit `t_avg` from.
+    EmptyStage {
+        /// Name of the task-less stage.
+        stage: String,
+        /// Identity of the run that produced it.
+        run: String,
+    },
+    /// A channel reported bytes but zero requests, so its mean request
+    /// size — which the δ lookup needs — is undefined.
+    NoRequests {
+        /// Name of the stage holding the channel.
+        stage: String,
+        /// The degenerate channel.
+        channel: IoChannel,
+        /// Identity of the run that produced it.
+        run: String,
     },
     /// The application produced no stages to model.
     NoStages,
@@ -34,8 +71,36 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::Sim(e) => write!(f, "profiling run failed: {e}"),
-            ModelError::StageMismatch { expected, got } => {
-                write!(f, "profiling runs disagree on stages: {expected} vs {got}")
+            ModelError::SampleRunFailed { run, source } => {
+                write!(f, "{run} failed: {source}")
+            }
+            ModelError::StageMismatch { run, expected, got } => {
+                write!(
+                    f,
+                    "{run} disagrees on the stage list: {got} stages where \
+                     the first run produced {expected}"
+                )
+            }
+            ModelError::DuplicateSampleRuns { run_a, run_b } => {
+                write!(
+                    f,
+                    "profiling carried no signal: {run_b} (and every other \
+                     sample run) returned a result identical to {run_a}"
+                )
+            }
+            ModelError::EmptyStage { stage, run } => {
+                write!(f, "stage '{stage}' in {run} executed no tasks")
+            }
+            ModelError::NoRequests {
+                stage,
+                channel,
+                run,
+            } => {
+                write!(
+                    f,
+                    "stage '{stage}' in {run} reports {channel} bytes but \
+                     zero requests; mean request size is undefined"
+                )
             }
             ModelError::NoStages => write!(f, "application produced no stages"),
             ModelError::NotEnoughSamples { got, need } => {
@@ -49,7 +114,7 @@ impl fmt::Display for ModelError {
 impl std::error::Error for ModelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ModelError::Sim(e) => Some(e),
+            ModelError::Sim(e) | ModelError::SampleRunFailed { source: e, .. } => Some(e),
             _ => None,
         }
     }
@@ -68,10 +133,36 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = ModelError::StageMismatch {
+            run: "sample run 3 of 4 (P=16, SSD hdfs / HDD local)".into(),
             expected: 3,
             got: 2,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(
+            e.to_string().contains("sample run 3 of 4"),
+            "names the offending run: {e}"
+        );
         assert!(ModelError::SingularFit.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn degenerate_input_errors_name_their_run() {
+        let run = "sample run 1 of 4 (P=1, SSD hdfs / SSD local)".to_string();
+        let empty = ModelError::EmptyStage {
+            stage: "map".into(),
+            run: run.clone(),
+        };
+        assert!(empty.to_string().contains("'map'") && empty.to_string().contains(&run));
+        let noreq = ModelError::NoRequests {
+            stage: "scan".into(),
+            channel: IoChannel::HdfsRead,
+            run: run.clone(),
+        };
+        assert!(noreq.to_string().contains("zero requests") && noreq.to_string().contains(&run));
+        let dup = ModelError::DuplicateSampleRuns {
+            run_a: run.clone(),
+            run_b: "sample run 2 of 4 (P=2, SSD hdfs / SSD local)".into(),
+        };
+        assert!(dup.to_string().contains("no signal") && dup.to_string().contains(&run));
     }
 }

@@ -113,6 +113,14 @@ impl FingerprintBuilder {
         self.write_bytes(s.as_bytes());
     }
 
+    /// Folds a finished [`Fingerprint`] into the stream — both 64-bit
+    /// halves, so layered keys (model ⊕ corrector ⊕ config) keep the full
+    /// 128-bit collision margin of their parts.
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u64((fp.0 >> 64) as u64);
+        self.write_u64(fp.0 as u64);
+    }
+
     /// Finishes and returns the fingerprint.
     pub fn finish(&self) -> Fingerprint {
         Fingerprint(((self.h1 as u128) << 64) | self.h2 as u128)
@@ -140,6 +148,12 @@ pub trait Fingerprintable {
         let mut fp = FingerprintBuilder::new();
         self.fingerprint_into(&mut fp);
         fp.finish()
+    }
+}
+
+impl Fingerprintable for Fingerprint {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_fingerprint(*self);
     }
 }
 
@@ -275,6 +289,32 @@ mod tests {
             b.write_u64(0xD0_99_10 ^ (1 << bit));
             assert_ne!(b.finish(), base, "bit {bit}");
         }
+    }
+
+    #[test]
+    fn folded_fingerprints_keep_both_halves() {
+        let inner = {
+            let mut b = FingerprintBuilder::new();
+            b.write_str("corrector");
+            b.finish()
+        };
+        let folded = {
+            let mut b = FingerprintBuilder::new();
+            b.write_fingerprint(inner);
+            b.finish()
+        };
+        // Folding is equivalent to writing both halves, high word first.
+        let manual = {
+            let mut b = FingerprintBuilder::new();
+            b.write_u64((inner.as_u128() >> 64) as u64);
+            b.write_u64(inner.as_u128() as u64);
+            b.finish()
+        };
+        assert_eq!(folded, manual);
+        assert_eq!(inner.fingerprint(), folded, "Fingerprintable impl folds");
+        // A flipped low-half bit must change the folded key.
+        let tweaked = Fingerprint(inner.as_u128() ^ 1);
+        assert_ne!(tweaked.fingerprint(), folded);
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! The residual corrector layered on the analytical model.
+//!
+//! A [`Corrector`] is a pure value fitted from a bounded window of
+//! [`RunObservation`]s. It corrects Equation-1 predictions in two layers:
+//!
+//! 1. **Equation-1 re-fit** — per stage, a least-squares line over
+//!    `(waves, observed secs)` points from runs where the model says the
+//!    stage is scale-dominated re-estimates `t_avg` and `δ_scale`. A
+//!    candidate is adopted only when it *strictly* reduces the squared
+//!    error over those points, so a window that already matches the model
+//!    leaves the coefficients untouched.
+//! 2. **Ridge residual model** — a regularized-least-squares fit of the
+//!    remaining residual over stage features: the base prediction itself,
+//!    input/shuffle bytes, parallelism `N·P`, the tier (encoded as the
+//!    log effective bandwidth of each disk role), and fault counters.
+//!
+//! Fitting is a pure function of `(model, window, λ)` — no RNG, no
+//! iteration cutoffs — so the same observation stream always produces a
+//! bit-identical corrector, which is what lets corrected predictions be
+//! served from shards and memo caches without aliasing (the corrector
+//! folds into the cache [`Fingerprint`](doppio_engine::Fingerprint)).
+
+use doppio_engine::{FingerprintBuilder, Fingerprintable};
+use doppio_events::Bytes;
+use doppio_model::{AppModel, PredictEnv, StageModel};
+use doppio_sparksim::IoChannel;
+
+use crate::observe::RunObservation;
+use crate::ridge::{fit_line, solve_ridge};
+
+/// Number of features the ridge layer fits.
+pub const NUM_FEATURES: usize = 10;
+
+/// Request size at which the tier features sample effective bandwidth.
+const TIER_PROBE: Bytes = Bytes::new(128 * 1024);
+
+/// A re-fitted pair of Equation-1 scale coefficients for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAdjust {
+    /// Stage the adjustment applies to.
+    pub stage: String,
+    /// Re-fitted mean task time `t_avg` (seconds).
+    pub t_avg: f64,
+    /// Re-fitted scale offset `δ_scale` (seconds).
+    pub delta_scale: f64,
+}
+
+/// A fitted correction over a calibrated [`AppModel`].
+///
+/// [`Corrector::identity`] (version 0) is the no-op: corrected
+/// predictions are bit-identical to the analytical ones. Every ingest
+/// bumps the version and re-fits from the full window, so corrector state
+/// is a pure function of the observation sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corrector {
+    version: u64,
+    lambda: f64,
+    window_len: usize,
+    weights: Vec<f64>,
+    fault_rates: [f64; 3],
+    adjusts: Vec<StageAdjust>,
+}
+
+impl Corrector {
+    /// The identity corrector: corrects nothing, version 0.
+    pub fn identity() -> Self {
+        Corrector {
+            version: 0,
+            lambda: 0.0,
+            window_len: 0,
+            weights: Vec::new(),
+            fault_rates: [0.0; 3],
+            adjusts: Vec::new(),
+        }
+    }
+
+    /// How many fits produced this corrector (0 = identity).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many observations the fitting window held.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// True when this corrector leaves predictions untouched.
+    pub fn is_identity(&self) -> bool {
+        self.version == 0
+    }
+
+    /// The corrector kind token `doppio list` prints: `none` before any
+    /// observation arrived, `ridge` afterwards.
+    pub fn kind(&self) -> &'static str {
+        if self.is_identity() {
+            "none"
+        } else {
+            "ridge"
+        }
+    }
+
+    /// The fitted ridge weights (empty for the identity).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The adopted Equation-1 re-fits, in model stage order.
+    pub fn adjusts(&self) -> &[StageAdjust] {
+        &self.adjusts
+    }
+
+    /// Fits a corrector from a calibrated model and an observation
+    /// window. `prev_version` is the version being superseded.
+    pub fn fit(
+        model: &AppModel,
+        window: &[RunObservation],
+        lambda: f64,
+        prev_version: u64,
+    ) -> Self {
+        let adjusts = fit_adjusts(model, window);
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut fault_sums = [0.0f64; 3];
+        for run in window {
+            let env = run.env();
+            for obs in &run.stages {
+                let Some(stage) = model.stages().iter().find(|s| s.name == obs.name) else {
+                    continue;
+                };
+                let base = predict_adjusted(stage, &adjusts, &env);
+                let faults = [
+                    obs.retries as f64,
+                    obs.speculative as f64,
+                    ln_1p_bytes(obs.recomputed_bytes),
+                ];
+                xs.push(features(base, obs.input_bytes, obs.shuffle_bytes, &env, faults).to_vec());
+                ys.push(obs.secs - base);
+                for (acc, f) in fault_sums.iter_mut().zip(faults) {
+                    *acc += f;
+                }
+            }
+        }
+        let rows = xs.len().max(1) as f64;
+        let fault_rates = fault_sums.map(|s| s / rows);
+        let weights = solve_ridge(&xs, &ys, lambda).unwrap_or_else(|| vec![0.0; NUM_FEATURES]);
+        Corrector {
+            version: prev_version + 1,
+            lambda,
+            window_len: window.len(),
+            weights,
+            fault_rates,
+            adjusts,
+        }
+    }
+
+    /// Corrected prediction for one stage in `env`, seconds.
+    ///
+    /// For the identity corrector this is bit-identical to
+    /// [`StageModel::predict`]; otherwise the adjusted Equation-1 value
+    /// plus the ridge residual, clamped non-negative.
+    pub fn correct_stage(&self, stage: &StageModel, env: &PredictEnv) -> f64 {
+        let base = predict_adjusted(stage, &self.adjusts, env);
+        if self.weights.is_empty() {
+            return base;
+        }
+        let (input, shuffle) = stage_bytes(stage);
+        let x = features(base, input, shuffle, env, self.fault_rates);
+        let residual: f64 = self.weights.iter().zip(x).map(|(w, f)| w * f).sum();
+        (base + residual).max(0.0)
+    }
+
+    /// Corrected prediction for the whole application in `env`, seconds.
+    pub fn correct_app(&self, model: &AppModel, env: &PredictEnv) -> f64 {
+        model
+            .stages()
+            .iter()
+            .map(|s| self.correct_stage(s, env))
+            .sum()
+    }
+}
+
+impl Fingerprintable for Corrector {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str("corrector/ridge");
+        fp.write_u64(self.version);
+        fp.write_f64(self.lambda);
+        fp.write_usize(self.window_len);
+        self.weights.fingerprint_into(fp);
+        for r in self.fault_rates {
+            fp.write_f64(r);
+        }
+        fp.write_u64(self.adjusts.len() as u64);
+        for a in &self.adjusts {
+            fp.write_str(&a.stage);
+            fp.write_f64(a.t_avg);
+            fp.write_f64(a.delta_scale);
+        }
+    }
+}
+
+fn ln_1p_bytes(bytes: u64) -> f64 {
+    (bytes as f64).ln_1p()
+}
+
+/// The ridge feature vector for one stage in one environment.
+///
+/// The same extractor runs at fit time (observation bytes, that run's
+/// fault counters) and at predict time (model bytes, the window's mean
+/// fault rates), over channels in fixed order — never a `HashMap` walk —
+/// so features are deterministic and the two sides agree.
+fn features(
+    base_secs: f64,
+    input_bytes: u64,
+    shuffle_bytes: u64,
+    env: &PredictEnv,
+    faults: [f64; 3],
+) -> [f64; NUM_FEATURES] {
+    let bw = |ch: IoChannel| {
+        env.bandwidth(ch, TIER_PROBE)
+            .map(|r| r.as_mib_per_sec().max(1.0).ln())
+            .unwrap_or(0.0)
+    };
+    [
+        1.0,
+        base_secs,
+        ln_1p_bytes(input_bytes),
+        ln_1p_bytes(shuffle_bytes),
+        ((env.nodes as f64) * f64::from(env.cores)).ln_1p(),
+        bw(IoChannel::HdfsRead),
+        bw(IoChannel::ShuffleRead),
+        faults[0],
+        faults[1],
+        faults[2],
+    ]
+}
+
+/// Input/shuffle byte totals of a model stage, channels in declaration
+/// order.
+fn stage_bytes(stage: &StageModel) -> (u64, u64) {
+    let mut input = 0u64;
+    let mut shuffle = 0u64;
+    for c in &stage.channels {
+        match c.channel {
+            IoChannel::HdfsRead | IoChannel::PersistRead => {
+                input = input.saturating_add(c.total_bytes.as_u64());
+            }
+            IoChannel::ShuffleRead | IoChannel::ShuffleWrite => {
+                shuffle = shuffle.saturating_add(c.total_bytes.as_u64());
+            }
+            _ => {}
+        }
+    }
+    (input, shuffle)
+}
+
+/// Equation-1 prediction with any adopted re-fit applied to the stage's
+/// scale coefficients. Without an adjustment this is exactly
+/// `stage.predict(env)`.
+fn predict_adjusted(stage: &StageModel, adjusts: &[StageAdjust], env: &PredictEnv) -> f64 {
+    match adjusts.iter().find(|a| a.stage == stage.name) {
+        None => stage.predict(env),
+        Some(a) => {
+            let mut adjusted = stage.clone();
+            adjusted.t_avg = a.t_avg;
+            adjusted.delta_scale = a.delta_scale;
+            adjusted.predict(env)
+        }
+    }
+}
+
+/// Per-stage Equation-1 scale re-fit over the window.
+///
+/// Only runs where the base model says the stage is scale-dominated
+/// contribute points (I/O-bound drift belongs to the ridge layer), and a
+/// candidate line is adopted only when it strictly reduces squared error
+/// — the guard that makes fitting on the model's own output a fixed
+/// point.
+fn fit_adjusts(model: &AppModel, window: &[RunObservation]) -> Vec<StageAdjust> {
+    let mut adjusts = Vec::new();
+    for stage in model.stages() {
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for run in window {
+            let env = run.env();
+            if stage.t_scale(&env) != stage.predict(&env) {
+                continue; // an I/O role limit dominates this env
+            }
+            for obs in run.stages.iter().filter(|o| o.name == stage.name) {
+                let slots = (run.nodes as u64 * u64::from(run.cores)).max(1);
+                let waves = obs.tasks.div_ceil(slots);
+                if waves > 0 {
+                    pts.push((waves as f64, obs.secs));
+                }
+            }
+        }
+        let Some((slope, intercept)) = fit_line(&pts) else {
+            continue;
+        };
+        if slope <= 0.0 {
+            continue;
+        }
+        let cand = StageAdjust {
+            stage: stage.name.clone(),
+            t_avg: slope,
+            delta_scale: intercept.max(0.0),
+        };
+        let sse = |t_avg: f64, delta: f64| -> f64 {
+            pts.iter()
+                .map(|&(w, t)| {
+                    let e = t_avg * w + delta - t;
+                    e * e
+                })
+                .sum()
+        };
+        if sse(cand.t_avg, cand.delta_scale) < sse(stage.t_avg, stage.delta_scale) {
+            adjusts.push(cand);
+        }
+    }
+    adjusts
+}
+
+/// Test-only model/observation builders shared across the crate's unit
+/// tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::observe::StageObservation;
+    use doppio_cluster::HybridConfig;
+    use doppio_events::Rate;
+    use doppio_model::ChannelModel;
+
+    /// A two-stage model: a compute stage plus an HDFS-read stage.
+    pub(crate) fn toy_model() -> AppModel {
+        AppModel::new(
+            "toy",
+            vec![
+                StageModel {
+                    name: "compute".into(),
+                    m: 640,
+                    t_avg: 2.0,
+                    delta_scale: 1.0,
+                    channels: vec![],
+                },
+                StageModel {
+                    name: "scan".into(),
+                    m: 640,
+                    t_avg: 0.5,
+                    delta_scale: 0.0,
+                    channels: vec![ChannelModel::new(
+                        IoChannel::HdfsRead,
+                        Bytes::from_gib(64),
+                        Bytes::new(4 << 20),
+                        Some(Rate::mib_per_sec(10_240.0)),
+                    )],
+                },
+            ],
+        )
+    }
+
+    /// An observation equal to the model's own prediction in `env`.
+    pub(crate) fn model_echo(model: &AppModel, nodes: usize, cores: u32) -> RunObservation {
+        let env = PredictEnv::hybrid(nodes, cores, HybridConfig::SsdSsd);
+        RunObservation {
+            workload: "toy".into(),
+            nodes,
+            cores,
+            config: HybridConfig::SsdSsd,
+            paper: false,
+            stages: model
+                .stages()
+                .iter()
+                .map(|s| StageObservation {
+                    name: s.name.clone(),
+                    secs: s.predict(&env),
+                    input_bytes: stage_bytes(s).0,
+                    shuffle_bytes: stage_bytes(s).1,
+                    tasks: s.m,
+                    retries: 0,
+                    speculative: 0,
+                    recomputed_bytes: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{model_echo, toy_model};
+    use super::*;
+    use doppio_cluster::HybridConfig;
+
+    #[test]
+    fn identity_corrector_is_bit_exact() {
+        let model = toy_model();
+        let id = Corrector::identity();
+        for nodes in [2usize, 4, 8] {
+            let env = PredictEnv::hybrid(nodes, 4, HybridConfig::HddHdd);
+            assert_eq!(
+                id.correct_app(&model, &env).to_bits(),
+                model.predict(&env).to_bits()
+            );
+        }
+        assert_eq!(id.kind(), "none");
+        assert_eq!(id.version(), 0);
+    }
+
+    #[test]
+    fn model_echo_window_is_a_fixed_point() {
+        let model = toy_model();
+        let window: Vec<RunObservation> = [(2usize, 4u32), (4, 4), (8, 8), (3, 2)]
+            .iter()
+            .map(|&(n, p)| model_echo(&model, n, p))
+            .collect();
+        let c = Corrector::fit(&model, &window, 1e-3, 0);
+        assert_eq!(c.version(), 1);
+        assert_eq!(c.kind(), "ridge");
+        // Zero residual: corrected predictions are bit-identical to the
+        // analytical ones, in the fitted envs and unseen ones.
+        for nodes in [2usize, 4, 5, 8, 16] {
+            let env = PredictEnv::hybrid(nodes, 4, HybridConfig::SsdSsd);
+            assert_eq!(
+                c.correct_app(&model, &env).to_bits(),
+                model.predict(&env).to_bits(),
+                "nodes={nodes}"
+            );
+        }
+    }
+
+    #[test]
+    fn inflated_observations_shift_predictions_toward_observed() {
+        let model = toy_model();
+        let window: Vec<RunObservation> = [(2usize, 4u32), (4, 4), (8, 8), (3, 2)]
+            .iter()
+            .map(|&(n, p)| {
+                let mut obs = model_echo(&model, n, p);
+                for s in &mut obs.stages {
+                    s.secs *= 1.4; // everything runs 40% slow
+                }
+                obs
+            })
+            .collect();
+        let c = Corrector::fit(&model, &window, 1e-3, 3);
+        assert_eq!(c.version(), 4);
+        let env = PredictEnv::hybrid(4, 4, HybridConfig::SsdSsd);
+        let base = model.predict(&env);
+        let corrected = c.correct_app(&model, &env);
+        let observed = base * 1.4;
+        assert!(
+            (corrected - observed).abs() < (base - observed).abs() * 0.25,
+            "corrected {corrected} should sit close to observed {observed} (base {base})"
+        );
+    }
+
+    #[test]
+    fn fit_is_deterministic_bit_for_bit() {
+        let model = toy_model();
+        let window: Vec<RunObservation> = (2..7)
+            .map(|n| {
+                let mut obs = model_echo(&model, n, 4);
+                for s in &mut obs.stages {
+                    s.secs *= 1.0 + n as f64 * 0.05;
+                    s.retries = n as u64;
+                }
+                obs
+            })
+            .collect();
+        let a = Corrector::fit(&model, &window, 1e-3, 0);
+        let b = Corrector::fit(&model, &window, 1e-3, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let env = PredictEnv::hybrid(6, 4, HybridConfig::SsdSsd);
+        assert_eq!(
+            a.correct_app(&model, &env).to_bits(),
+            b.correct_app(&model, &env).to_bits()
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_versions_and_weights() {
+        let model = toy_model();
+        let window = vec![model_echo(&model, 2, 4), model_echo(&model, 4, 4)];
+        let v1 = Corrector::fit(&model, &window, 1e-3, 0);
+        let v2 = Corrector::fit(&model, &window, 1e-3, v1.version());
+        assert_ne!(v1.fingerprint(), v2.fingerprint(), "version is hashed");
+        assert_ne!(
+            Corrector::identity().fingerprint(),
+            v1.fingerprint(),
+            "identity vs fitted"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Corrected cost evaluation over the cloud configuration space.
+//!
+//! [`CorrectedEvaluator`] is the corrected counterpart of
+//! [`doppio_cloud::CostEvaluator`] + [`doppio_cloud::MemoizedEvaluator`]:
+//! it predicts runtime through a [`Corrector`] and prices the result with
+//! the same Table-V rates, memoized under a key that folds **both** the
+//! model fingerprint and the corrector fingerprint ahead of the
+//! configuration. A corrected scenario therefore can never alias an
+//! uncorrected cache entry (or one fitted from a different observation
+//! window) — the same soundness rule the engine's memo contract states
+//! for every other evaluation-affecting field.
+
+use doppio_cloud::{pricing, CloudConfig, CostBreakdown, EvaluateCost};
+use doppio_engine::{Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache};
+use doppio_model::AppModel;
+
+use crate::corrector::Corrector;
+
+/// Prices cloud configurations from corrector-adjusted runtime
+/// predictions, with fingerprint-keyed memoization.
+#[derive(Debug)]
+pub struct CorrectedEvaluator {
+    model: AppModel,
+    corrector: Corrector,
+    /// model ⊕ corrector, pre-folded once.
+    state_fp: Fingerprint,
+    cache: MemoCache<Fingerprint, CostBreakdown>,
+}
+
+impl CorrectedEvaluator {
+    /// Wraps a calibrated model and a corrector snapshot with an
+    /// unbounded memo cache.
+    pub fn new(model: AppModel, corrector: Corrector) -> Self {
+        let state_fp = {
+            let mut fp = FingerprintBuilder::new();
+            fp.write_str("corrected-evaluator");
+            fp.write_fingerprint(model.fingerprint());
+            fp.write_fingerprint(corrector.fingerprint());
+            fp.finish()
+        };
+        CorrectedEvaluator {
+            model,
+            corrector,
+            state_fp,
+            cache: MemoCache::unbounded(),
+        }
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+
+    /// The corrector snapshot predictions route through.
+    pub fn corrector(&self) -> &Corrector {
+        &self.corrector
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Distinct evaluations computed so far.
+    pub fn misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// The memo key for a configuration: (model ⊕ corrector) ⊕ config.
+    pub fn key(&self, config: &CloudConfig) -> Fingerprint {
+        let mut fp = FingerprintBuilder::new();
+        fp.write_fingerprint(self.state_fp);
+        config.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
+    fn compute(&self, config: &CloudConfig) -> CostBreakdown {
+        let runtime_secs = self.corrector.correct_app(&self.model, &config.env());
+        let hours = runtime_secs / 3600.0;
+        let cpu_cost = config.nodes as f64 * pricing::vcpu_hourly(config.vcpus) * hours;
+        let disk_cost =
+            config.nodes as f64 * (config.hdfs.hourly() + config.local.hourly()) * hours;
+        CostBreakdown {
+            runtime_secs,
+            cpu_cost,
+            disk_cost,
+        }
+    }
+}
+
+impl EvaluateCost for CorrectedEvaluator {
+    fn evaluate(&self, config: &CloudConfig) -> CostBreakdown {
+        self.cache
+            .get_or_insert_with(&self.key(config), || self.compute(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrector::testutil::{model_echo, toy_model};
+    use doppio_cloud::{CostEvaluator, DiskChoice};
+
+    fn config() -> CloudConfig {
+        CloudConfig {
+            nodes: 8,
+            vcpus: 16,
+            hdfs: DiskChoice::standard_gb(1000),
+            local: DiskChoice::ssd_gb(200),
+        }
+    }
+
+    #[test]
+    fn identity_corrector_prices_like_the_plain_evaluator() {
+        let model = toy_model();
+        let corrected = CorrectedEvaluator::new(model.clone(), Corrector::identity());
+        let plain = CostEvaluator::new(model);
+        let a = corrected.evaluate(&config());
+        let b = plain.evaluate(&config());
+        assert_eq!(a.runtime_secs.to_bits(), b.runtime_secs.to_bits());
+        assert_eq!(a.total().to_bits(), b.total().to_bits());
+    }
+
+    #[test]
+    fn corrector_state_changes_the_memo_key() {
+        let model = toy_model();
+        let mut window = vec![model_echo(&model, 2, 4), model_echo(&model, 4, 4)];
+        for o in &mut window {
+            for s in &mut o.stages {
+                s.secs *= 1.3;
+            }
+        }
+        let fitted = Corrector::fit(&model, &window, 1e-3, 0);
+        let id_eval = CorrectedEvaluator::new(model.clone(), Corrector::identity());
+        let fit_eval = CorrectedEvaluator::new(model, fitted);
+        let cfg = config();
+        assert_ne!(
+            id_eval.key(&cfg),
+            fit_eval.key(&cfg),
+            "corrected scenarios must never alias uncorrected cache entries"
+        );
+        // And the corrected runtime actually moved.
+        assert_ne!(
+            id_eval.evaluate(&cfg).runtime_secs.to_bits(),
+            fit_eval.evaluate(&cfg).runtime_secs.to_bits()
+        );
+    }
+
+    #[test]
+    fn memoization_serves_repeats_from_cache() {
+        let eval = CorrectedEvaluator::new(toy_model(), Corrector::identity());
+        let cfg = config();
+        let first = eval.evaluate(&cfg);
+        let second = eval.evaluate(&cfg);
+        assert_eq!(first.total().to_bits(), second.total().to_bits());
+        assert_eq!(eval.misses(), 1);
+        assert_eq!(eval.hits(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-workload rolling calibration state.
+//!
+//! A [`Learner`] owns one workload's statically-calibrated [`AppModel`]
+//! plus a bounded FIFO window of [`RunObservation`]s. Every ingest
+//! re-fits the [`Corrector`] from the whole window, so the corrector is a
+//! pure function of the observation sequence — replaying the same stream
+//! into a fresh learner reproduces the state bit for bit, which is what
+//! the serve tier's 1-vs-N-worker and routed-vs-single identity tests
+//! pin.
+
+use std::collections::VecDeque;
+
+use doppio_engine::{Fingerprint, Fingerprintable};
+use doppio_model::{AppModel, PredictEnv};
+
+use crate::corrector::Corrector;
+use crate::observe::RunObservation;
+
+/// Default bounded-window capacity (observations retained per workload).
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Default ridge penalty λ (scaled to the normal matrix inside the
+/// solver).
+pub const DEFAULT_LAMBDA: f64 = 1e-3;
+
+/// One workload's online recalibration state.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    model: AppModel,
+    window: VecDeque<RunObservation>,
+    cap: usize,
+    lambda: f64,
+    corrector: Corrector,
+    observations: u64,
+}
+
+impl Learner {
+    /// A learner over a calibrated model with the default window and λ.
+    pub fn new(model: AppModel) -> Self {
+        Self::with_window(model, DEFAULT_WINDOW, DEFAULT_LAMBDA)
+    }
+
+    /// A learner with an explicit window capacity and ridge penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero or `lambda` is not positive and finite.
+    pub fn with_window(model: AppModel, cap: usize, lambda: f64) -> Self {
+        assert!(cap > 0, "window capacity must be at least 1");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "ridge penalty must be positive and finite, got {lambda}"
+        );
+        Learner {
+            model,
+            window: VecDeque::with_capacity(cap),
+            cap,
+            lambda,
+            corrector: Corrector::identity(),
+            observations: 0,
+        }
+    }
+
+    /// The statically-calibrated model the corrector layers on.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+
+    /// The current corrector (identity until the first ingest).
+    pub fn corrector(&self) -> &Corrector {
+        &self.corrector
+    }
+
+    /// Total observations ever ingested (the `observations` counter).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Observations currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The current corrector's fingerprint — folded into corrected
+    /// prediction cache keys so corrected scenarios never alias entries
+    /// fitted from a different window.
+    pub fn corrector_fingerprint(&self) -> Fingerprint {
+        self.corrector.fingerprint()
+    }
+
+    /// Ingests one observation: pushes it into the bounded window
+    /// (evicting the oldest beyond capacity) and re-fits the corrector
+    /// from the whole window. Returns the new corrector version.
+    pub fn ingest(&mut self, obs: RunObservation) -> u64 {
+        self.window.push_back(obs);
+        while self.window.len() > self.cap {
+            self.window.pop_front();
+        }
+        self.observations += 1;
+        let window = self.window.make_contiguous();
+        self.corrector = Corrector::fit(&self.model, window, self.lambda, self.corrector.version());
+        self.corrector.version()
+    }
+
+    /// The analytical (uncorrected) prediction, seconds.
+    pub fn predict(&self, env: &PredictEnv) -> f64 {
+        self.model.predict(env)
+    }
+
+    /// The corrected prediction, seconds. Bit-identical to
+    /// [`Learner::predict`] until the first observation arrives.
+    pub fn corrected_predict(&self, env: &PredictEnv) -> f64 {
+        self.corrector.correct_app(&self.model, env)
+    }
+}
+
+/// Mean absolute percentage error over `(predicted, observed)` pairs.
+/// Pairs with a non-positive observation are skipped; an empty input
+/// yields `0.0`.
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for &(pred, obs) in pairs {
+        if obs > 0.0 {
+            sum += ((pred - obs) / obs).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / f64::from(n) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrector::testutil::{model_echo, toy_model};
+    use doppio_cluster::HybridConfig;
+
+    #[test]
+    fn replaying_a_stream_reproduces_state_bit_for_bit() {
+        let model = toy_model();
+        let stream: Vec<RunObservation> = (2..10)
+            .map(|n| {
+                let mut o = model_echo(&model, n, 4);
+                for s in &mut o.stages {
+                    s.secs *= 1.0 + 0.03 * n as f64;
+                }
+                o
+            })
+            .collect();
+        let mut a = Learner::new(model.clone());
+        let mut b = Learner::new(model.clone());
+        for o in &stream {
+            a.ingest(o.clone());
+        }
+        for o in &stream {
+            b.ingest(o.clone());
+        }
+        assert_eq!(a.corrector_fingerprint(), b.corrector_fingerprint());
+        assert_eq!(a.observations(), stream.len() as u64);
+        let env = PredictEnv::hybrid(5, 4, HybridConfig::SsdSsd);
+        assert_eq!(
+            a.corrected_predict(&env).to_bits(),
+            b.corrected_predict(&env).to_bits()
+        );
+    }
+
+    #[test]
+    fn window_is_bounded_and_fifo() {
+        let model = toy_model();
+        let mut l = Learner::with_window(model.clone(), 3, 1e-3);
+        for n in 2..10usize {
+            l.ingest(model_echo(&model, n, 4));
+        }
+        assert_eq!(l.window_len(), 3);
+        assert_eq!(l.observations(), 8);
+        assert_eq!(l.corrector().version(), 8);
+    }
+
+    #[test]
+    fn untouched_learner_predicts_identically() {
+        let model = toy_model();
+        let l = Learner::new(model.clone());
+        let env = PredictEnv::hybrid(4, 8, HybridConfig::HddSsd);
+        assert_eq!(
+            l.corrected_predict(&env).to_bits(),
+            model.predict(&env).to_bits()
+        );
+        assert_eq!(l.corrector().kind(), "none");
+    }
+
+    #[test]
+    fn mape_skips_non_positive_observations() {
+        assert_eq!(mape(&[]), 0.0);
+        assert_eq!(mape(&[(2.0, 0.0)]), 0.0);
+        let m = mape(&[(110.0, 100.0), (90.0, 100.0)]);
+        assert!((m - 10.0).abs() < 1e-12, "{m}");
+    }
+}

@@ -1,0 +1,212 @@
+//! # Online recalibration for the Doppio model
+//!
+//! Equation 1 is calibrated once from four sample runs (DESIGN.md §3.3);
+//! production systems drift — disks age, datasets shift, faults inflate
+//! stage times. This crate closes the loop deterministically:
+//!
+//! * [`RunObservation`] — one observed run (per-stage wall time, I/O
+//!   volume, task and fault counters) as a `doppio-observe/v1` NDJSON
+//!   line, the payload of the serve tier's `observe` verb.
+//! * [`Learner`] — per-workload rolling state: a bounded FIFO window of
+//!   observations over a statically-calibrated
+//!   [`AppModel`](doppio_model::AppModel). Every ingest re-fits from the
+//!   whole window, so state is a pure function of the observation
+//!   sequence (replayable, worker-count independent).
+//! * [`Corrector`] — the fitted value: per-stage Equation-1 scale re-fits
+//!   plus a regularized-least-squares (ridge) residual model over stage
+//!   features. Version 0 is the identity — corrected predictions are
+//!   bit-identical to analytical ones until the first observation
+//!   arrives. Correctors are [`Fingerprintable`](doppio_engine::Fingerprintable),
+//!   and every corrected cache key folds the corrector fingerprint in, so
+//!   corrected scenarios never alias uncorrected memo entries.
+//! * [`CorrectedEvaluator`] — the corrected counterpart of the cloud cost
+//!   evaluator, pluggable anywhere
+//!   [`EvaluateCost`](doppio_cloud::EvaluateCost) is accepted.
+//!
+//! Everything is pure Rust and deterministic: the fit is closed-form
+//! (normal equations + Gaussian elimination with partial pivoting), not
+//! SGD, so there is no learning-rate schedule, no shuffle order and no
+//! iteration cutoff to perturb bit-identity (DESIGN.md §3.11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corrector;
+mod evaluator;
+mod learner;
+mod observe;
+pub mod ridge;
+
+pub use corrector::{Corrector, StageAdjust, NUM_FEATURES};
+pub use evaluator::CorrectedEvaluator;
+pub use learner::{mape, Learner, DEFAULT_LAMBDA, DEFAULT_WINDOW};
+pub use observe::{
+    config_token, parse_config_token, RunObservation, StageObservation, OBSERVE_SCHEMA,
+};
+
+/// The corrector kinds `doppio list` prints, with one-line descriptions.
+pub const CORRECTOR_NAMES: [(&str, &str); 2] = [
+    (
+        "none",
+        "identity: corrected predictions equal the analytical model",
+    ),
+    (
+        "ridge",
+        "Eq-1 scale re-fit + regularized-least-squares residual over stage features",
+    ),
+];
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use doppio_cluster::HybridConfig;
+    use doppio_engine::Fingerprintable;
+    use doppio_events::{Bytes, Rate};
+    use doppio_model::{AppModel, ChannelModel, PredictEnv, StageModel};
+    use doppio_sparksim::IoChannel;
+    use proptest::prelude::*;
+
+    /// Arbitrary small app models: 1–3 stages mixing compute-only and
+    /// I/O-carrying stages.
+    fn arb_model() -> impl Strategy<Value = AppModel> {
+        let stage = (
+            1u64..5_000,   // m
+            0.1f64..60.0,  // t_avg
+            0.0f64..20.0,  // delta_scale
+            any::<bool>(), // carries an HDFS-read channel?
+            1u64..400,     // channel GiB
+            any::<bool>(), // shuffle channel too?
+        )
+            .prop_map(|(m, t_avg, delta_scale, io, gib, shuffle)| {
+                let mut channels = Vec::new();
+                if io {
+                    channels.push(ChannelModel::new(
+                        IoChannel::HdfsRead,
+                        Bytes::from_gib(gib),
+                        Bytes::from_kib(512),
+                        Some(Rate::mib_per_sec(10_240.0)),
+                    ));
+                }
+                if shuffle {
+                    channels.push(ChannelModel::new(
+                        IoChannel::ShuffleWrite,
+                        Bytes::from_gib(gib / 2 + 1),
+                        Bytes::from_kib(512),
+                        None,
+                    ));
+                }
+                (m, t_avg, delta_scale, channels)
+            });
+        prop::collection::vec(stage, 1..4).prop_map(|stages| {
+            AppModel::new(
+                "prop",
+                stages
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (m, t_avg, delta_scale, channels))| StageModel {
+                        name: format!("stage{i}"),
+                        m,
+                        t_avg,
+                        delta_scale,
+                        channels,
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    /// An observation that echoes the model's own output in `env`.
+    fn echo(model: &AppModel, nodes: usize, cores: u32, config: HybridConfig) -> RunObservation {
+        let env = PredictEnv::hybrid(nodes, cores, config);
+        RunObservation {
+            workload: "prop".into(),
+            nodes,
+            cores,
+            config,
+            paper: false,
+            stages: model
+                .stages()
+                .iter()
+                .map(|s| StageObservation {
+                    name: s.name.clone(),
+                    secs: s.predict(&env),
+                    input_bytes: s
+                        .channels
+                        .iter()
+                        .filter(|c| c.channel == IoChannel::HdfsRead)
+                        .map(|c| c.total_bytes.as_u64())
+                        .sum(),
+                    shuffle_bytes: s
+                        .channels
+                        .iter()
+                        .filter(|c| c.channel == IoChannel::ShuffleWrite)
+                        .map(|c| c.total_bytes.as_u64())
+                        .sum(),
+                    tasks: s.m,
+                    retries: 0,
+                    speculative: 0,
+                    recomputed_bytes: 0,
+                })
+                .collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Re-fitting on the model's own output is a fixed point: the
+        /// residual is zero and corrected predictions stay bit-identical
+        /// to the analytical model, in the observed environments and in
+        /// unseen ones.
+        #[test]
+        fn refit_on_model_output_is_a_fixed_point(
+            model in arb_model(),
+            envs in prop::collection::vec((1usize..20, 1u32..48, 0usize..4), 1..8),
+            probe_nodes in 1usize..32,
+            probe_cores in 1u32..64,
+        ) {
+            let mut learner = Learner::new(model.clone());
+            for (nodes, cores, cfg_ix) in envs {
+                let config = HybridConfig::ALL[cfg_ix];
+                learner.ingest(echo(&model, nodes, cores, config));
+            }
+            prop_assert!(learner.corrector().version() > 0);
+            for config in HybridConfig::ALL {
+                let env = PredictEnv::hybrid(probe_nodes, probe_cores, config);
+                prop_assert_eq!(
+                    learner.corrected_predict(&env).to_bits(),
+                    model.predict(&env).to_bits(),
+                    "corrected drifted from analytical in {:?}", config
+                );
+            }
+        }
+
+        /// The same observation stream always fits the same corrector —
+        /// fingerprints are bit-identical across replays.
+        #[test]
+        fn replay_determinism(
+            model in arb_model(),
+            envs in prop::collection::vec((1usize..12, 1u32..32, 0usize..4), 1..6),
+            inflate in 1.0f64..2.0,
+        ) {
+            let stream: Vec<RunObservation> = envs
+                .iter()
+                .map(|&(nodes, cores, cfg_ix)| {
+                    let mut o = echo(&model, nodes, cores, HybridConfig::ALL[cfg_ix]);
+                    for s in &mut o.stages {
+                        s.secs *= inflate;
+                    }
+                    o
+                })
+                .collect();
+            let mut a = Learner::new(model.clone());
+            let mut b = Learner::new(model);
+            for o in &stream { a.ingest(o.clone()); }
+            for o in &stream { b.ingest(o.clone()); }
+            prop_assert_eq!(
+                a.corrector().fingerprint(),
+                b.corrector().fingerprint()
+            );
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Observed run telemetry — the input side of the recalibration loop.
+//!
+//! A [`RunObservation`] is one completed application run as a deployment
+//! would report it: the environment it ran in plus per-stage wall time,
+//! I/O volume, task count and fault counters. Observations travel as one
+//! NDJSON line (`doppio-observe/v1`), the same shape the serve tier's
+//! `observe` verb ingests and `doppio simulate --emit-observation` emits.
+
+use doppio_cluster::HybridConfig;
+use doppio_engine::json::{self, Object, Value};
+use doppio_engine::{FingerprintBuilder, Fingerprintable};
+use doppio_model::PredictEnv;
+use doppio_sparksim::{AppRun, IoChannel};
+
+/// Schema tag on every observation line.
+pub const OBSERVE_SCHEMA: &str = "doppio-observe/v1";
+
+/// One stage of an observed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageObservation {
+    /// Stage name, matched against the calibrated model's stage names.
+    pub name: String,
+    /// Observed stage wall time in seconds.
+    pub secs: f64,
+    /// Bytes read from the input side (HDFS + persisted partitions).
+    pub input_bytes: u64,
+    /// Bytes moved through the shuffle (read + write).
+    pub shuffle_bytes: u64,
+    /// Number of tasks the stage ran.
+    pub tasks: u64,
+    /// Task retries observed in the stage.
+    pub retries: u64,
+    /// Speculative task copies launched.
+    pub speculative: u64,
+    /// Bytes recomputed through lineage recovery.
+    pub recomputed_bytes: u64,
+}
+
+/// One observed application run: the environment plus per-stage telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunObservation {
+    /// Workload name (`doppio list` tokens, e.g. `terasort`).
+    pub workload: String,
+    /// Worker node count the run used.
+    pub nodes: usize,
+    /// Executor cores per node.
+    pub cores: u32,
+    /// Disk configuration (Table III hybrid).
+    pub config: HybridConfig,
+    /// Whether the run used the paper-scale application.
+    pub paper: bool,
+    /// Per-stage telemetry, in execution order.
+    pub stages: Vec<StageObservation>,
+}
+
+/// The CLI token for a hybrid configuration (`2ssd`, `hdd-ssd`, …) —
+/// kept identical to the serve protocol's config tokens.
+pub fn config_token(config: HybridConfig) -> &'static str {
+    match config {
+        HybridConfig::SsdSsd => "2ssd",
+        HybridConfig::HddSsd => "hdd-ssd",
+        HybridConfig::SsdHdd => "ssd-hdd",
+        HybridConfig::HddHdd => "2hdd",
+    }
+}
+
+/// Parses a hybrid-configuration token.
+pub fn parse_config_token(s: &str) -> Result<HybridConfig, String> {
+    match s {
+        "2ssd" | "ssd" => Ok(HybridConfig::SsdSsd),
+        "2hdd" | "hdd" => Ok(HybridConfig::HddHdd),
+        "hdd-ssd" => Ok(HybridConfig::HddSsd),
+        "ssd-hdd" => Ok(HybridConfig::SsdHdd),
+        other => Err(format!(
+            "unknown config '{other}' (2ssd|2hdd|hdd-ssd|ssd-hdd)"
+        )),
+    }
+}
+
+impl RunObservation {
+    /// The prediction environment this observation ran in.
+    pub fn env(&self) -> PredictEnv {
+        PredictEnv::hybrid(self.nodes, self.cores, self.config)
+    }
+
+    /// Observed total run time (sum of stage times), seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.secs).sum()
+    }
+
+    /// Builds an observation from a completed simulator run — the shape
+    /// `doppio simulate --emit-observation` prints and fixtures replay.
+    pub fn from_run(
+        workload: &str,
+        nodes: usize,
+        cores: u32,
+        config: HybridConfig,
+        paper: bool,
+        run: &AppRun,
+    ) -> Self {
+        let stages = run
+            .stages()
+            .iter()
+            .map(|s| StageObservation {
+                name: s.name.clone(),
+                secs: s.duration.as_secs(),
+                input_bytes: s.channel_bytes(IoChannel::HdfsRead).as_u64()
+                    + s.channel_bytes(IoChannel::PersistRead).as_u64(),
+                shuffle_bytes: s.channel_bytes(IoChannel::ShuffleRead).as_u64()
+                    + s.channel_bytes(IoChannel::ShuffleWrite).as_u64(),
+                tasks: s.tasks.count as u64,
+                retries: s.faults.task_retries,
+                speculative: s.faults.speculative_launched,
+                recomputed_bytes: s.faults.recomputed_bytes.as_u64(),
+            })
+            .collect();
+        RunObservation {
+            workload: workload.to_string(),
+            nodes,
+            cores,
+            config,
+            paper,
+            stages,
+        }
+    }
+
+    /// Renders the observation as one `doppio-observe/v1` NDJSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut obj = Object::new();
+        obj.put_str("schema", OBSERVE_SCHEMA);
+        self.put_fields(&mut obj);
+        obj.render_line()
+    }
+
+    /// Writes the observation's fields (everything but the schema tag)
+    /// into `obj` — shared by the NDJSON line and the serve envelope.
+    pub fn put_fields(&self, obj: &mut Object) {
+        obj.put_str("workload", &self.workload);
+        obj.put_u64("nodes", self.nodes as u64);
+        obj.put_u64("cores", u64::from(self.cores));
+        obj.put_str("config", config_token(self.config));
+        if self.paper {
+            obj.put_bool("paper", true);
+        }
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut o = Object::new();
+                o.put_str("name", &s.name);
+                o.put_f64("secs", s.secs);
+                o.put_u64("input_bytes", s.input_bytes);
+                o.put_u64("shuffle_bytes", s.shuffle_bytes);
+                o.put_u64("tasks", s.tasks);
+                if s.retries > 0 {
+                    o.put_u64("retries", s.retries);
+                }
+                if s.speculative > 0 {
+                    o.put_u64("speculative", s.speculative);
+                }
+                if s.recomputed_bytes > 0 {
+                    o.put_u64("recomputed_bytes", s.recomputed_bytes);
+                }
+                o
+            })
+            .collect();
+        obj.put_obj_arr("stages", stages);
+    }
+
+    /// Reads an observation out of a parsed JSON object — the decode side
+    /// of both the NDJSON line and the serve envelope.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<&str, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("observation is missing string field '{key}'"))
+        };
+        let workload = str_field("workload")?.to_string();
+        let nodes = v
+            .get("nodes")
+            .and_then(Value::as_u64)
+            .ok_or("observation is missing 'nodes'")? as usize;
+        let cores = v
+            .get("cores")
+            .and_then(Value::as_u64)
+            .ok_or("observation is missing 'cores'")? as u32;
+        if nodes == 0 || cores == 0 {
+            return Err("observation needs nodes >= 1 and cores >= 1".into());
+        }
+        let config = parse_config_token(str_field("config")?)?;
+        let paper = v.get("paper").and_then(Value::as_bool).unwrap_or(false);
+        let stage_vals = v
+            .get("stages")
+            .and_then(Value::as_arr)
+            .ok_or("observation is missing its stages array")?;
+        if stage_vals.is_empty() {
+            return Err("observation has no stages".into());
+        }
+        let mut stages = Vec::with_capacity(stage_vals.len());
+        for sv in stage_vals {
+            let name = sv
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("stage observation is missing 'name'")?
+                .to_string();
+            let secs = sv
+                .get("secs")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("stage '{name}' is missing 'secs'"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("stage '{name}' has invalid secs {secs}"));
+            }
+            let u = |key: &str| sv.get(key).and_then(Value::as_u64).unwrap_or(0);
+            stages.push(StageObservation {
+                name,
+                secs,
+                input_bytes: u("input_bytes"),
+                shuffle_bytes: u("shuffle_bytes"),
+                tasks: u("tasks"),
+                retries: u("retries"),
+                speculative: u("speculative"),
+                recomputed_bytes: u("recomputed_bytes"),
+            });
+        }
+        Ok(RunObservation {
+            workload,
+            nodes,
+            cores,
+            config,
+            paper,
+            stages,
+        })
+    }
+
+    /// Parses one `doppio-observe/v1` NDJSON line.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let v = json::parse(line)?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(OBSERVE_SCHEMA) => {}
+            Some(other) => return Err(format!("unexpected observation schema '{other}'")),
+            None => return Err("observation line is missing its schema tag".into()),
+        }
+        Self::from_value(&v)
+    }
+}
+
+impl Fingerprintable for StageObservation {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str(&self.name);
+        fp.write_f64(self.secs);
+        fp.write_u64(self.input_bytes);
+        fp.write_u64(self.shuffle_bytes);
+        fp.write_u64(self.tasks);
+        fp.write_u64(self.retries);
+        fp.write_u64(self.speculative);
+        fp.write_u64(self.recomputed_bytes);
+    }
+}
+
+impl Fingerprintable for RunObservation {
+    fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.write_str("observe");
+        fp.write_str(&self.workload);
+        fp.write_usize(self.nodes);
+        fp.write_u32(self.cores);
+        fp.write_str(config_token(self.config));
+        fp.write_bool(self.paper);
+        self.stages.fingerprint_into(fp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunObservation {
+        RunObservation {
+            workload: "terasort".into(),
+            nodes: 2,
+            cores: 4,
+            config: HybridConfig::SsdHdd,
+            paper: false,
+            stages: vec![
+                StageObservation {
+                    name: "map".into(),
+                    secs: 12.5,
+                    input_bytes: 1 << 30,
+                    shuffle_bytes: 1 << 28,
+                    tasks: 64,
+                    retries: 2,
+                    speculative: 1,
+                    recomputed_bytes: 4096,
+                },
+                StageObservation {
+                    name: "reduce".into(),
+                    secs: 8.0,
+                    input_bytes: 0,
+                    shuffle_bytes: 1 << 28,
+                    tasks: 32,
+                    retries: 0,
+                    speculative: 0,
+                    recomputed_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let obs = sample();
+        let line = obs.to_json_line();
+        let back = RunObservation::parse_line(&line).expect("parses");
+        assert_eq!(back, obs);
+        assert_eq!(back.total_secs(), 20.5);
+    }
+
+    #[test]
+    fn config_tokens_round_trip() {
+        for c in HybridConfig::ALL {
+            assert_eq!(parse_config_token(config_token(c)).unwrap(), c);
+        }
+        assert!(parse_config_token("floppy").is_err());
+    }
+
+    #[test]
+    fn zero_fault_counters_are_omitted_from_the_line() {
+        let mut obs = sample();
+        obs.stages.truncate(2);
+        obs.stages[1].retries = 0;
+        let line = obs.to_json_line();
+        // The clean stage writes no fault keys at all.
+        let reduce = line.split("reduce").nth(1).expect("reduce stage present");
+        assert!(!reduce.contains("retries"));
+        assert!(RunObservation::parse_line(&line).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(RunObservation::parse_line("{}").is_err());
+        assert!(RunObservation::parse_line("not json").is_err());
+        let mut obs = sample();
+        obs.stages.clear();
+        assert!(RunObservation::parse_line(&obs.to_json_line()).is_err());
+        let bad_schema = sample().to_json_line().replace("/v1", "/v9");
+        assert!(RunObservation::parse_line(&bad_schema).is_err());
+    }
+
+    #[test]
+    fn fingerprints_separate_observations() {
+        let a = sample();
+        let mut b = sample();
+        b.stages[0].secs += 0.1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), sample().fingerprint());
+    }
+}

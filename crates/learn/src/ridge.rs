@@ -1,0 +1,193 @@
+//! Deterministic regularized least squares.
+//!
+//! The corrector's fit is ridge regression solved in closed form:
+//! `(XᵀX + λ·s·I) w = Xᵀy` by Gaussian elimination with partial pivoting,
+//! where `s` scales the penalty to the mean diagonal magnitude of `XᵀX` so
+//! one λ works across feature scales. Everything is plain `f64` arithmetic
+//! over the rows in their given order — no randomness, no iteration-count
+//! cutoffs — so the same window always fits the same weights bit for bit.
+//! That closed-form determinism is why ridge was chosen over SGD here
+//! (DESIGN.md §3.11).
+
+/// Solves `(XᵀX + λ·s·I) w = Xᵀy`. Rows of `xs` are feature vectors, all
+/// of width `p`; `ys` are the targets. Returns `None` when the system is
+/// empty or (despite the penalty) numerically singular.
+///
+/// When every target is exactly `0.0` the result is exactly the zero
+/// vector — the fixed point the recalibration loop's identity guarantee
+/// rests on.
+pub fn solve_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let n = xs.len();
+    if n == 0 || n != ys.len() {
+        return None;
+    }
+    let p = xs[0].len();
+    if p == 0 || xs.iter().any(|row| row.len() != p) {
+        return None;
+    }
+    // Zero targets fit zero weights exactly, independent of the features.
+    if ys.iter().all(|&y| y == 0.0) {
+        return Some(vec![0.0; p]);
+    }
+
+    // Normal equations: a = XᵀX, b = Xᵀy. The matrix is symmetric, but at
+    // p ≈ 10 accumulating it densely costs nothing and needs no mirror pass.
+    let mut a = vec![vec![0.0f64; p]; p];
+    let mut b = vec![0.0f64; p];
+    for (row, &y) in xs.iter().zip(ys) {
+        for ((a_row, b_i), &xi) in a.iter_mut().zip(b.iter_mut()).zip(row) {
+            for (a_ij, &xj) in a_row.iter_mut().zip(row) {
+                *a_ij += xi * xj;
+            }
+            *b_i += xi * y;
+        }
+    }
+    // Scale-aware penalty: λ of the mean diagonal keeps the system
+    // well-posed even when columns are duplicated (e.g. a window whose
+    // runs all share one tier makes the tier feature a copy of the
+    // intercept).
+    let trace: f64 = (0..p).map(|i| a[i][i]).sum();
+    let penalty = lambda * (trace / p as f64).max(f64::MIN_POSITIVE);
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += penalty;
+    }
+
+    gauss_solve(&mut a, &mut b)
+}
+
+/// Fits `t = slope·x + intercept` by ordinary least squares. Returns
+/// `None` when fewer than two distinct abscissae are present.
+pub fn fit_line(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let first = points[0].0;
+    if points.iter().all(|&(x, _)| x == first) {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let det = n * sxx - sx * sx;
+    if det == 0.0 || !det.is_finite() {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / det;
+    let intercept = (sy - slope * sx) / n;
+    (slope.is_finite() && intercept.is_finite()).then_some((slope, intercept))
+}
+
+/// In-place Gaussian elimination with partial pivoting over `a·w = b`.
+fn gauss_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let p = b.len();
+    for col in 0..p {
+        // Partial pivot: the largest magnitude in this column.
+        let mut pivot = col;
+        for row in col + 1..p {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < f64::MIN_POSITIVE || !a[pivot][col].is_finite() {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..p {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // `row > col`, so splitting at `row` leaves the pivot row in
+            // the head and the row being eliminated at the tail's start.
+            let (head, tail) = a.split_at_mut(row);
+            let (pivot_row, cur) = (&head[col], &mut tail[0]);
+            for (ak, &pk) in cur[col..].iter_mut().zip(&pivot_row[col..]) {
+                *ak -= factor * pk;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0f64; p];
+    for col in (0..p).rev() {
+        let mut acc = b[col];
+        for k in col + 1..p {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = acc / a[col][col];
+    }
+    w.iter().all(|v| v.is_finite()).then_some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_weights() {
+        // y = 2·x0 + 3·x1, tiny penalty: weights come back within rounding.
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
+        let w = solve_ridge(&xs, &ys, 1e-12).expect("solvable");
+        assert!((w[0] - 2.0).abs() < 1e-6, "w0 = {}", w[0]);
+        assert!((w[1] - 3.0).abs() < 1e-6, "w1 = {}", w[1]);
+    }
+
+    #[test]
+    fn zero_targets_fit_exactly_zero() {
+        let xs = vec![vec![1.0, 5.0, 9.0]; 8];
+        let ys = vec![0.0; 8];
+        let w = solve_ridge(&xs, &ys, 1e-3).expect("solvable");
+        assert!(w.iter().all(|v| v.to_bits() == 0.0f64.to_bits()), "{w:?}");
+    }
+
+    #[test]
+    fn duplicated_columns_stay_solvable() {
+        // x1 is a copy of x0: OLS is singular, the penalty is not.
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let w = solve_ridge(&xs, &ys, 1e-6).expect("penalty regularizes");
+        let fit = w[0] + w[1];
+        assert!((fit - 2.0).abs() < 1e-3, "shared slope, got {fit}");
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(solve_ridge(&[], &[], 1e-3).is_none());
+        assert!(solve_ridge(&[vec![1.0]], &[1.0, 2.0], 1e-3).is_none());
+        assert!(solve_ridge(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 1e-3).is_none());
+    }
+
+    #[test]
+    fn same_rows_fit_identical_bits() {
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64 * 0.1])
+            .collect();
+        let ys: Vec<f64> = (0..12).map(|i| 3.0 + 0.7 * i as f64).collect();
+        let a = solve_ridge(&xs, &ys, 1e-3).unwrap();
+        let b = solve_ridge(&xs, &ys, 1e-3).unwrap();
+        let bits = |w: &[f64]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn line_fit_recovers_slope_and_intercept() {
+        let pts = [(1.0, 5.0), (2.0, 7.0), (4.0, 11.0)];
+        let (a, b) = fit_line(&pts).expect("fits");
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 3.0).abs() < 1e-9);
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(
+            fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(),
+            "one abscissa"
+        );
+    }
+}

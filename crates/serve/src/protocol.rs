@@ -20,6 +20,7 @@ use std::fmt;
 use doppio_cluster::HybridConfig;
 use doppio_engine::json::{self, Object, Value};
 use doppio_engine::{FingerprintBuilder, Fingerprintable};
+use doppio_learn::RunObservation;
 use doppio_sparksim::FaultProfile;
 use doppio_workloads::Workload;
 
@@ -66,6 +67,10 @@ pub struct PredictSpec {
     pub paper: bool,
     /// Nodes in the calibration (profiling) cluster.
     pub profile_nodes: usize,
+    /// Route the prediction through the workload's online corrector
+    /// (`doppio-learn`). Encoded on the wire only when `true`, so legacy
+    /// predict lines and their fingerprints are byte-for-byte unchanged.
+    pub corrected: bool,
 }
 
 /// One decoded request.
@@ -76,6 +81,10 @@ pub enum Request {
     Simulate(SimulateSpec),
     /// Calibrate and evaluate the analytic model.
     Predict(PredictSpec),
+    /// Ingest one observed run (`doppio-observe/v1`) into the owning
+    /// workload's online recalibration window. Stateful: not cached, not
+    /// coalesced, and never auto-retried.
+    Observe(RunObservation),
     /// Run the Section VI cloud cost optimization for GATK4.
     Optimize {
         /// Paper-scale app instead of the scaled-down one.
@@ -107,6 +116,7 @@ impl Request {
         match self {
             Request::Simulate(_) => "simulate",
             Request::Predict(_) => "predict",
+            Request::Observe(_) => "observe",
             Request::Optimize { .. } => "optimize",
             Request::WhatIf { .. } => "whatif",
             Request::Stats => "stats",
@@ -124,9 +134,17 @@ impl Request {
     /// Whether a client may safely resend the request after a transport
     /// failure that leaves the first send's fate unknown. Every evaluation
     /// and observability verb is a pure function of its fields; `shutdown`
-    /// is the one side-effecting command and must never be auto-retried.
+    /// and `observe` are the side-effecting commands and must never be
+    /// auto-retried (a resent observation would be ingested twice).
     pub fn is_idempotent(&self) -> bool {
-        !matches!(self, Request::Shutdown)
+        !matches!(self, Request::Shutdown | Request::Observe(_))
+    }
+
+    /// Whether the request mutates per-workload learner state. Stateful
+    /// requests bypass the result cache and singleflight entirely — two
+    /// identical observations are two ingests, not one.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Request::Observe(_))
     }
 }
 
@@ -174,7 +192,14 @@ impl Fingerprintable for Request {
                 fp.write_str(config_name(p.config));
                 fp.write_bool(p.paper);
                 fp.write_usize(p.profile_nodes);
+                // Written only when set so every pre-existing predict
+                // fingerprint (and its cache entries) stays unchanged.
+                if p.corrected {
+                    fp.write_str("corrected");
+                }
             }
+            // RunObservation's own impl writes the "observe" marker.
+            Request::Observe(o) => o.fingerprint_into(fp),
             Request::Optimize { paper } => {
                 fp.write_str("optimize");
                 fp.write_bool(*paper);
@@ -373,7 +398,11 @@ impl Envelope {
                 o.put_str("config", config_name(p.config));
                 o.put_bool("paper", p.paper);
                 o.put_u64("profile_nodes", p.profile_nodes as u64);
+                if p.corrected {
+                    o.put_bool("corrected", true);
+                }
             }
+            Request::Observe(obs) => obs.put_fields(&mut o),
             Request::Optimize { paper } => {
                 o.put_bool("paper", *paper);
             }
@@ -520,8 +549,12 @@ impl Envelope {
                     config: config_field(HybridConfig::SsdSsd)?,
                     paper: bool_field("paper", false)?,
                     profile_nodes: profile_nodes as usize,
+                    corrected: bool_field("corrected", false)?,
                 })
             }
+            "observe" => Request::Observe(
+                RunObservation::from_value(&v).map_err(|e| DecodeError::bad(&id, e))?,
+            ),
             "optimize" => Request::Optimize {
                 paper: bool_field("paper", false)?,
             },
@@ -640,11 +673,100 @@ mod tests {
                 config: HybridConfig::SsdSsd,
                 paper: false,
                 profile_nodes: 3,
+                corrected: false,
             }),
+            Request::Predict(PredictSpec {
+                workload: Workload::Terasort,
+                nodes: 8,
+                cores: 16,
+                config: HybridConfig::HddSsd,
+                paper: true,
+                profile_nodes: 2,
+                corrected: true,
+            }),
+            Request::Observe(sample_observation()),
         ] {
             let e = env(r);
             assert_eq!(Envelope::decode(&e.encode()).unwrap(), e, "{}", e.encode());
         }
+    }
+
+    fn sample_observation() -> doppio_learn::RunObservation {
+        use doppio_learn::{RunObservation, StageObservation};
+        RunObservation {
+            workload: "terasort".into(),
+            nodes: 3,
+            cores: 8,
+            config: HybridConfig::SsdHdd,
+            paper: false,
+            stages: vec![StageObservation {
+                name: "map".into(),
+                secs: 14.25,
+                input_bytes: 1 << 30,
+                shuffle_bytes: 1 << 27,
+                tasks: 96,
+                retries: 3,
+                speculative: 0,
+                recomputed_bytes: 0,
+            }],
+        }
+    }
+
+    fn predict(corrected: bool) -> PredictSpec {
+        PredictSpec {
+            workload: Workload::Terasort,
+            nodes: 5,
+            cores: 36,
+            config: HybridConfig::SsdSsd,
+            paper: false,
+            profile_nodes: 3,
+            corrected,
+        }
+    }
+
+    #[test]
+    fn uncorrected_predict_wire_bytes_and_fingerprint_are_legacy() {
+        // `corrected: false` must encode to the exact bytes (and hash to
+        // the exact fingerprint) the field-less protocol produced, so old
+        // clients, golden replies and warm cache entries are untouched.
+        let line = env(Request::Predict(predict(false))).encode();
+        assert!(
+            !line.contains("corrected"),
+            "corrected=false must be omitted from the wire: {line}"
+        );
+        assert_ne!(
+            Request::Predict(predict(false)).fingerprint(),
+            Request::Predict(predict(true)).fingerprint(),
+            "corrected predictions must never alias uncorrected cache entries"
+        );
+    }
+
+    #[test]
+    fn observe_is_stateful_and_not_idempotent() {
+        let obs = Request::Observe(sample_observation());
+        assert!(obs.is_work());
+        assert!(obs.is_stateful());
+        assert!(!obs.is_idempotent());
+        let p = Request::Predict(predict(true));
+        assert!(p.is_idempotent());
+        assert!(!p.is_stateful());
+        // Two identical observations fingerprint identically — dedup is
+        // the admission path's job to *not* do, not the fingerprint's.
+        assert_eq!(
+            obs.fingerprint(),
+            Request::Observe(sample_observation()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn observe_decode_reports_payload_errors_with_the_request_id() {
+        let err = Envelope::decode(
+            "{\"v\": 1, \"id\": \"ob-1\", \"cmd\": \"observe\", \"workload\": \"terasort\"}",
+        )
+        .unwrap_err();
+        assert_eq!(err.id, "ob-1");
+        assert_eq!(err.error.code, ErrorCode::BadRequest);
+        assert!(err.error.message.contains("nodes"), "{}", err.error.message);
     }
 
     #[test]

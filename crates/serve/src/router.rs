@@ -45,13 +45,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use doppio_engine::json::{Object, Value};
-use doppio_engine::{Fingerprint, Fingerprintable, SubmitError, TaskPool};
+use doppio_engine::{Fingerprint, FingerprintBuilder, Fingerprintable, SubmitError, TaskPool};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::client::{Client, ClientConfig, Reply};
 use crate::protocol::{
-    error_reply_line, extract_result_payload, ok_reply_line, Envelope, ErrorCode, ErrorReply,
-    Request,
+    error_reply_line, extract_result_payload, ok_reply_line, workload_name, Envelope, ErrorCode,
+    ErrorReply, Request,
 };
 use crate::reactor::{self, ConnFault, ConnHandler, ReactorConfig, ReactorShared, ReplyHandle};
 use crate::ring::{HashRing, HotTracker};
@@ -498,6 +498,15 @@ fn route_work(
         return;
     }
 
+    // Learner-state requests are pinned to the workload's owner shard:
+    // no failover (another shard holds no — or different — corrector
+    // state), no hot fan-out, and no router-side coalescing (two
+    // identical observations are two ingests).
+    if let Some(owner_fp) = learn_owner_fingerprint(&request) {
+        route_owned(inner, writer, id, deadline, request, owner_fp);
+        return;
+    }
+
     // The hot tracker runs on the reactor thread (every request passes
     // through), so the route order is decided before coalescing: riders
     // joining an in-flight hot key still heat the tracker.
@@ -528,6 +537,116 @@ fn route_work(
         let err = submit_error_reply(inner, e);
         for w in inner.flights.complete(&fp) {
             w.writer.send_line(&error_reply_line(&w.id, &err));
+        }
+    }
+}
+
+/// The placement key for requests that touch per-workload learner state.
+/// Every observation of a workload and every corrected predict against it
+/// hash to the *same* owner fingerprint — the ring then concentrates that
+/// workload's corrector on one shard, which is what makes a routed
+/// corrected predict bit-identical to a single-process one.
+fn learn_owner_fingerprint(request: &Request) -> Option<Fingerprint> {
+    let (workload, paper) = match request {
+        Request::Observe(o) => (o.workload.as_str(), o.paper),
+        Request::Predict(p) if p.corrected => (workload_name(p.workload), p.paper),
+        _ => return None,
+    };
+    let mut fp = FingerprintBuilder::new();
+    fp.write_str("learn-owner");
+    fp.write_str(workload);
+    fp.write_bool(paper);
+    Some(fp.finish())
+}
+
+/// Queues a forward pinned to the owner shard of `owner_fp`, bypassing
+/// singleflight (observes must not coalesce) and failover (learner state
+/// lives on exactly one shard).
+fn route_owned(
+    inner: &Arc<RouterInner>,
+    writer: &ReplyHandle,
+    id: String,
+    deadline: Option<Instant>,
+    request: Request,
+    owner_fp: Fingerprint,
+) {
+    let order = inner.ring.successors(&owner_fp, 1);
+    let job_inner = Arc::clone(inner);
+    let job_writer = writer.clone();
+    let job_id = id.clone();
+    let submitted = {
+        let guard = lock_recover(&inner.pool);
+        match guard.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(pool) => pool.try_submit(move || {
+                forward_single(&job_inner, &job_writer, &job_id, &request, deadline, &order)
+            }),
+        }
+    };
+    if let Err(e) = submitted {
+        writer.send_line(&error_reply_line(&id, &submit_error_reply(inner, e)));
+    }
+}
+
+/// Worker-side forwarding of one owner-pinned request. Exactly one reply.
+fn forward_single(
+    inner: &Arc<RouterInner>,
+    writer: &ReplyHandle,
+    id: &str,
+    request: &Request,
+    deadline: Option<Instant>,
+    order: &[u32],
+) {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        inner
+            .counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        writer.send_line(&error_reply_line(
+            id,
+            &ErrorReply::new(
+                ErrorCode::DeadlineExceeded,
+                "deadline passed while the request was queued",
+            ),
+        ));
+        return;
+    }
+    match try_shards(inner, request, deadline, order) {
+        Some(reply) if reply.ok => match extract_result_payload(&reply.raw) {
+            Some(payload) => {
+                writer.send_line(&ok_reply_line(id, reply.cached, false, payload));
+            }
+            None => {
+                writer.send_line(&error_reply_line(
+                    id,
+                    &ErrorReply::new(
+                        ErrorCode::Internal,
+                        "shard reply carried no extractable result",
+                    ),
+                ));
+            }
+        },
+        Some(reply) => {
+            let err = ErrorReply {
+                code: reply
+                    .error_code
+                    .as_deref()
+                    .and_then(ErrorCode::parse)
+                    .unwrap_or(ErrorCode::Internal),
+                message: reply.error_message.unwrap_or_else(|| "shard error".into()),
+                queue_depth: reply.queue_depth,
+            };
+            writer.send_line(&error_reply_line(id, &err));
+        }
+        None => {
+            inner.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+            writer.send_line(&error_reply_line(
+                id,
+                &ErrorReply::new(
+                    ErrorCode::Overloaded,
+                    "owner shard unavailable; retry later",
+                ),
+            ));
         }
     }
 }
@@ -772,6 +891,8 @@ fn stats_payload(inner: &Arc<RouterInner>) -> Object {
     );
     o.put_u64("panics", sum("panics"));
     o.put_u64("reaped", sum("reaped") + c.reaped.load(Ordering::Relaxed));
+    o.put_u64("observations", sum("observations"));
+    o.put_u64("corrector_version", sum("corrector_version"));
     let mut cache = Object::new();
     cache.put_u64("hits", sum_cache("hits"));
     cache.put_u64("misses", sum_cache("misses"));
@@ -848,6 +969,19 @@ fn health_payload(inner: &Arc<RouterInner>) -> Object {
     o.put_f64("uptime_secs", inner.started.elapsed().as_secs_f64());
     o.put_u64("shards", inner.pools.len() as u64);
     o.put_u64("shards_ready", ready_count as u64);
+    let sum = |key: &str| -> u64 {
+        snapshots
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .and_then(|v| v.get(key))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    o.put_u64("observations", sum("observations"));
+    o.put_u64("corrector_version", sum("corrector_version"));
     o.put_obj_arr(
         "per_shard",
         inner

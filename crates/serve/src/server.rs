@@ -41,6 +41,7 @@
 //!
 //! [`Scenario::run`]: ../../doppio/scenario/struct.Scenario.html
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,14 +53,18 @@ use doppio_cloud::optimize::{grid_search_with, r1_reference, r2_reference, Searc
 use doppio_cloud::{CostBreakdown, CostEvaluator, DiskChoice, EvaluateCost, MemoizedEvaluator};
 use doppio_cluster::{presets, ClusterSpec, HybridConfig};
 use doppio_engine::json::Object;
-use doppio_engine::{Engine, Fingerprint, Fingerprintable, MemoCache, SubmitError, TaskPool};
+use doppio_engine::{
+    Engine, Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache, SubmitError, TaskPool,
+};
+use doppio_learn::{Corrector, Learner, RunObservation};
 use doppio_model::whatif::failure_inflation;
-use doppio_model::{Calibrator, PredictEnv, SimPlatform};
+use doppio_model::{AppModel, Calibrator, PredictEnv, SimPlatform};
 use doppio_sparksim::{FaultPlan, Simulation, SparkConf};
+use doppio_workloads::Workload;
 
 use crate::protocol::{
-    config_name, error_reply_line, ok_reply_line, workload_name, Envelope, ErrorCode, ErrorReply,
-    PredictSpec, Request, SimulateSpec,
+    config_name, error_reply_line, ok_reply_line, parse_workload, workload_name, Envelope,
+    ErrorCode, ErrorReply, PredictSpec, Request, SimulateSpec,
 };
 use crate::reactor::{self, ConnFault, ConnHandler, ReactorConfig, ReactorShared, ReplyHandle};
 use crate::singleflight::Singleflight;
@@ -143,6 +148,8 @@ struct Counters {
     /// Connections closed by the idle/slow-loris reaper rather than by
     /// the client.
     reaped: AtomicU64,
+    /// Observed runs ingested into per-workload recalibration windows.
+    observations: AtomicU64,
 }
 
 /// A reply ticket parked on a singleflight evaluation. The flight's
@@ -162,6 +169,11 @@ struct Inner {
     cache: MemoCache<Fingerprint, Arc<str>>,
     flights: Singleflight<Waiter>,
     counters: Counters,
+    /// Per-workload online recalibration state, keyed
+    /// `"{workload}|{paper}"`. The outer lock only guards map shape (fast
+    /// lookups/inserts); ingesting and snapshotting go through each
+    /// learner's own mutex, so a slow calibration never blocks admission.
+    learners: Mutex<HashMap<String, Arc<Mutex<Learner>>>>,
     /// Reactor mailbox/waker plus the drain flags (single source of
     /// truth for "draining").
     shared: Arc<ReactorShared>,
@@ -285,6 +297,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cache,
         flights: Singleflight::new(),
         counters: Counters::default(),
+        learners: Mutex::new(HashMap::new()),
         shared: Arc::clone(&shared),
         started: Instant::now(),
         cfg,
@@ -390,8 +403,208 @@ fn handle_request(inner: &Arc<Inner>, writer: &ReplyHandle, env: Envelope) {
             writer.send_line(&ok_reply_line(&id, false, false, &payload));
             begin_drain(inner);
         }
+        // Stateful: every observation is an ingest, so the cache and
+        // singleflight layers must not see it.
+        Request::Observe(obs) => admit_observe(inner, writer, id, deadline_ms, obs),
         work => admit_work(inner, writer, id, deadline_ms, work),
     }
+}
+
+/// The per-workload learner registry key. `paper` is part of the key
+/// because the paper-scale and scaled-down apps calibrate to different
+/// models — their observations must never mix.
+fn learner_key(workload: &str, paper: bool) -> String {
+    format!("{workload}|{paper}")
+}
+
+/// The current corrector snapshot for a workload — identity until that
+/// workload's first observation arrives. Cheap enough for the reactor
+/// thread: two short lock holds and a small clone.
+fn corrector_snapshot(inner: &Inner, workload: &str, paper: bool) -> Corrector {
+    let slot = lock_recover(&inner.learners)
+        .get(&learner_key(workload, paper))
+        .cloned();
+    match slot {
+        Some(learner) => lock_recover(&learner).corrector().clone(),
+        None => Corrector::identity(),
+    }
+}
+
+/// The admission key for a request, plus the corrector snapshot a
+/// corrected predict must be evaluated with.
+///
+/// For a corrected predict the key folds the corrector fingerprint in
+/// *and* the same snapshot rides into the evaluation closure — key and
+/// result are captured atomically at admission, so an observation landing
+/// mid-flight can never pair a new corrector's result with an old
+/// corrector's cache key (or vice versa). Every other request keys on its
+/// own fingerprint alone, leaving pre-existing cache entries untouched.
+fn admission_key(inner: &Inner, request: &Request) -> (Fingerprint, Option<Corrector>) {
+    match request {
+        Request::Predict(p) if p.corrected => {
+            let corrector = corrector_snapshot(inner, workload_name(p.workload), p.paper);
+            let mut fp = FingerprintBuilder::new();
+            request.fingerprint_into(&mut fp);
+            fp.write_fingerprint(corrector.fingerprint());
+            (fp.finish(), Some(corrector))
+        }
+        _ => (request.fingerprint(), None),
+    }
+}
+
+fn admit_observe(
+    inner: &Arc<Inner>,
+    writer: &ReplyHandle,
+    id: String,
+    deadline_ms: Option<u64>,
+    obs: RunObservation,
+) {
+    let deadline = deadline_ms
+        .or(inner.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    if inner.shared.is_draining() {
+        writer.send_line(&error_reply_line(
+            &id,
+            &ErrorReply::new(ErrorCode::ShuttingDown, "server is draining"),
+        ));
+        return;
+    }
+    let job_inner = Arc::clone(inner);
+    let job_writer = writer.clone();
+    let job_id = id.clone();
+    let submitted = {
+        let guard = lock_recover(&inner.pool);
+        match guard.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(pool) => pool
+                .try_submit(move || run_observe(&job_inner, &job_writer, &job_id, deadline, &obs)),
+        }
+    };
+    match submitted {
+        Ok(()) => {
+            inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            let err = match e {
+                SubmitError::Full { depth } => {
+                    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    ErrorReply {
+                        code: ErrorCode::Overloaded,
+                        message: "admission queue full; retry later".into(),
+                        queue_depth: Some(depth as u64),
+                    }
+                }
+                SubmitError::Closed => {
+                    ErrorReply::new(ErrorCode::ShuttingDown, "server is draining")
+                }
+            };
+            writer.send_line(&error_reply_line(&id, &err));
+        }
+    }
+}
+
+/// Worker-side ingest of one observation. Exactly one reply, whichever
+/// branch runs; results are never cached (an ingest is not replayable
+/// from a cache entry).
+fn run_observe(
+    inner: &Arc<Inner>,
+    writer: &ReplyHandle,
+    id: &str,
+    deadline: Option<Instant>,
+    obs: &RunObservation,
+) {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        inner
+            .counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        writer.send_line(&error_reply_line(
+            id,
+            &ErrorReply::new(
+                ErrorCode::DeadlineExceeded,
+                "deadline passed while the observation was queued",
+            ),
+        ));
+        return;
+    }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| ingest_observation(inner, obs)))
+        .unwrap_or_else(|payload| {
+            inner.counters.panics.fetch_add(1, Ordering::Relaxed);
+            Err(ErrorReply::new(
+                ErrorCode::Internal,
+                format!("ingest panicked: {}", panic_message(payload.as_ref())),
+            ))
+        });
+    match outcome {
+        Ok(payload) => {
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            writer.send_line(&ok_reply_line(id, false, false, &payload));
+        }
+        Err(err) => writer.send_line(&error_reply_line(id, &err)),
+    }
+}
+
+/// Ingests one observation into its workload's learner, creating (and
+/// calibrating) the learner on first contact. Calibration runs *outside*
+/// both locks; racing first observations may calibrate twice, but the
+/// recipe is deterministic (serial engine, fixed profiling cluster), so
+/// whichever insert wins carries the identical model.
+fn ingest_observation(inner: &Arc<Inner>, obs: &RunObservation) -> Result<String, ErrorReply> {
+    let workload = parse_workload(&obs.workload).ok_or_else(|| {
+        ErrorReply::new(
+            ErrorCode::EvalFailed,
+            format!("observation names unknown workload '{}'", obs.workload),
+        )
+    })?;
+    let key = learner_key(&obs.workload, obs.paper);
+    let slot = lock_recover(&inner.learners).get(&key).cloned();
+    let slot = match slot {
+        Some(s) => s,
+        None => {
+            let model = calibrate_base_model(workload, obs.paper)?;
+            let mut map = lock_recover(&inner.learners);
+            Arc::clone(
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(Mutex::new(Learner::new(model)))),
+            )
+        }
+    };
+    let (version, observations, window) = {
+        let mut learner = lock_recover(&slot);
+        let version = learner.ingest(obs.clone());
+        (version, learner.observations(), learner.window_len())
+    };
+    inner.counters.observations.fetch_add(1, Ordering::Relaxed);
+    let mut o = Object::new();
+    o.put_str("schema", "doppio-observe-ack/v1");
+    o.put_str("workload", &obs.workload);
+    o.put_u64("observations", observations);
+    o.put_u64("corrector_version", version);
+    o.put_u64("window", window as u64);
+    Ok(o.render_line())
+}
+
+/// Calibrates the analytical model a workload's learner corrects — the
+/// exact `eval_predict` recipe (serial engine, 3-node profiling cluster,
+/// paper node preset), so a corrected predict's base model and the model
+/// the corrector was fitted against are bit-identical.
+fn calibrate_base_model(workload: Workload, paper: bool) -> Result<AppModel, ErrorReply> {
+    let app = if paper {
+        workload.paper_app()
+    } else {
+        workload.scaled_app()
+    };
+    let engine = Engine::serial();
+    let platform = SimPlatform::new(
+        app.clone(),
+        presets::paper_node(36, HybridConfig::SsdSsd),
+        3,
+        SparkConf::paper(),
+    );
+    let report = Calibrator::default()
+        .calibrate_with(&platform, app.name(), &engine)
+        .map_err(eval_err)?;
+    Ok(report.model)
 }
 
 fn admit_work(
@@ -404,7 +617,7 @@ fn admit_work(
     let deadline = deadline_ms
         .or(inner.cfg.default_deadline_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let fp = request.fingerprint();
+    let (fp, corrector) = admission_key(inner, &request);
 
     // 1. Cache hit: answer inline, no queueing, no worker.
     if let Some(payload) = inner.cache.get(&fp) {
@@ -438,7 +651,9 @@ fn admit_work(
         let guard = lock_recover(&inner.pool);
         match guard.as_ref() {
             None => Err(SubmitError::Closed),
-            Some(pool) => pool.try_submit(move || run_flight(&job_inner, fp, &request, deadline)),
+            Some(pool) => pool.try_submit(move || {
+                run_flight(&job_inner, fp, &request, deadline, corrector.as_ref())
+            }),
         }
     };
     match submitted {
@@ -476,6 +691,7 @@ fn run_flight(
     fp: Fingerprint,
     request: &Request,
     creator_deadline: Option<Instant>,
+    corrector: Option<&Corrector>,
 ) {
     // Re-check the cache first — a prior flight for this fingerprint may
     // have completed between our cache miss and this job running.
@@ -517,7 +733,7 @@ fn run_flight(
                 panic!("injected worker panic (panic_seed = {seed})");
             }
         }
-        evaluate(request)
+        evaluate_with(request, corrector)
     }))
     .unwrap_or_else(|payload| {
         inner.counters.panics.fetch_add(1, Ordering::Relaxed);
@@ -596,6 +812,9 @@ fn stats_payload(inner: &Arc<Inner>) -> Object {
     o.put_u64("bad_requests", c.bad_requests.load(Ordering::Relaxed));
     o.put_u64("panics", c.panics.load(Ordering::Relaxed));
     o.put_u64("reaped", c.reaped.load(Ordering::Relaxed));
+    let (observations, corrector_version) = learn_counters(inner);
+    o.put_u64("observations", observations);
+    o.put_u64("corrector_version", corrector_version);
     let mut cache = Object::new();
     cache.put_u64("hits", inner.cache.hits());
     cache.put_u64("misses", inner.cache.misses());
@@ -630,12 +849,30 @@ fn health_payload(inner: &Arc<Inner>) -> Object {
     o.put_u64("queue_bound", queue_bound as u64);
     o.put_u64("in_flight", inner.flights.in_flight() as u64);
     o.put_u64("panics", c.panics.load(Ordering::Relaxed));
+    let (observations, corrector_version) = learn_counters(inner);
+    o.put_u64("observations", observations);
+    o.put_u64("corrector_version", corrector_version);
     let mut cache = Object::new();
     cache.put_u64("hits", inner.cache.hits());
     cache.put_u64("misses", inner.cache.misses());
     cache.put_u64("len", inner.cache.len() as u64);
     o.put_obj("cache", cache);
     o
+}
+
+/// The learn-tier observability pair: total observations ingested and the
+/// sum of current corrector versions across workload learners. Both are
+/// monotonic, so the router can aggregate them across shards the same way
+/// it sums every other counter.
+fn learn_counters(inner: &Arc<Inner>) -> (u64, u64) {
+    let observations = inner.counters.observations.load(Ordering::Relaxed);
+    let learners: Vec<Arc<Mutex<Learner>>> =
+        lock_recover(&inner.learners).values().cloned().collect();
+    let corrector_version = learners
+        .iter()
+        .map(|l| lock_recover(l).corrector().version())
+        .sum();
+    (observations, corrector_version)
 }
 
 /// Best-effort extraction of a panic payload's message (panics carry
@@ -656,17 +893,23 @@ fn eval_err(e: impl std::fmt::Display) -> ErrorReply {
     ErrorReply::new(ErrorCode::EvalFailed, e.to_string())
 }
 
-/// Evaluates a work request to its rendered result payload.
-pub(crate) fn evaluate(request: &Request) -> Result<String, ErrorReply> {
+/// Evaluates a work request to its rendered result payload, with the
+/// corrector snapshot its admission captured (only corrected predicts
+/// carry one; `None` means the identity corrector for them).
+fn evaluate_with(request: &Request, corrector: Option<&Corrector>) -> Result<String, ErrorReply> {
     match request {
         Request::Simulate(s) => eval_simulate(s),
-        Request::Predict(p) => eval_predict(p),
+        Request::Predict(p) => eval_predict(p, corrector),
         Request::Optimize { paper } => eval_optimize(*paper),
         Request::WhatIf {
             rate,
             at_fraction,
             max_failures,
         } => Ok(eval_whatif(*rate, *at_fraction, *max_failures)),
+        Request::Observe(_) => Err(ErrorReply::new(
+            ErrorCode::BadRequest,
+            "observe is stateful and answered by its own admission path",
+        )),
         Request::Stats | Request::Health | Request::Shutdown => Err(ErrorReply::new(
             ErrorCode::BadRequest,
             "control commands are answered inline",
@@ -705,7 +948,21 @@ fn eval_simulate(s: &SimulateSpec) -> Result<String, ErrorReply> {
 
 /// Mirrors `doppio predict`: calibrate on the profiling cluster, simulate
 /// the target for the "experiment" column, evaluate Eq. 1 per stage.
-fn eval_predict(p: &PredictSpec) -> Result<String, ErrorReply> {
+///
+/// When `p.corrected` is set the payload *adds* per-stage and total
+/// corrected fields next to the analytical ones; the uncorrected payload
+/// is rendered by exactly the code that rendered it before correctors
+/// existed, byte for byte.
+fn eval_predict(p: &PredictSpec, corrector: Option<&Corrector>) -> Result<String, ErrorReply> {
+    let identity;
+    let corrector = match (p.corrected, corrector) {
+        (false, _) => None,
+        (true, Some(c)) => Some(c),
+        (true, None) => {
+            identity = Corrector::identity();
+            Some(&identity)
+        }
+    };
     let app = if p.paper {
         p.workload.paper_app()
     } else {
@@ -740,25 +997,36 @@ fn eval_predict(p: &PredictSpec) -> Result<String, ErrorReply> {
         run.stages()
             .iter()
             .map(|s| {
-                let pred = report
+                let model_stage = report
                     .model
                     .stages()
                     .iter()
                     .zip(run.stages())
                     .filter(|(_, rs)| rs.name == s.name)
-                    .map(|(ms, _)| ms.predict(&env))
-                    .next()
-                    .unwrap_or(0.0);
+                    .map(|(ms, _)| ms)
+                    .next();
+                let pred = model_stage.map_or(0.0, |ms| ms.predict(&env));
                 let mut so = Object::new();
                 so.put_str("name", &s.name);
                 so.put_f64("exp_secs", s.duration.as_secs());
                 so.put_f64("model_secs", pred);
+                if let Some(c) = corrector {
+                    so.put_f64(
+                        "corrected_secs",
+                        model_stage.map_or(0.0, |ms| c.correct_stage(ms, &env)),
+                    );
+                }
                 so
             })
             .collect(),
     );
     o.put_f64("total_exp_secs", run.total_time().as_secs());
     o.put_f64("total_model_secs", report.model.predict(&env));
+    if let Some(c) = corrector {
+        o.put_f64("total_corrected_secs", c.correct_app(&report.model, &env));
+        o.put_str("corrector", c.kind());
+        o.put_u64("corrector_version", c.version());
+    }
     o.put_str_arr(
         "warnings",
         &report

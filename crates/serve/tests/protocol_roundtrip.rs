@@ -4,6 +4,7 @@
 
 use doppio_cluster::HybridConfig;
 use doppio_engine::Fingerprintable;
+use doppio_learn::{RunObservation, StageObservation};
 use doppio_serve::protocol::{workload_name, PredictSpec, SimulateSpec};
 use doppio_serve::{Envelope, Request};
 use doppio_sparksim::FaultProfile;
@@ -58,7 +59,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         ),
     )
         .prop_map(
-            |((v, w, nodes, cores), (seed, paper, inj, fseed), (rate, at, maxf))| match v % 7 {
+            |((v, w, nodes, cores), (seed, paper, inj, fseed), (rate, at, maxf))| match v % 8 {
                 0 => {
                     let inject = inject(inj);
                     Request::Simulate(SimulateSpec {
@@ -81,6 +82,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     config: config(w / 7),
                     paper,
                     profile_nodes: 1 + nodes / 2,
+                    corrected: w % 2 == 0,
                 }),
                 2 => Request::Optimize { paper },
                 3 => Request::WhatIf {
@@ -90,6 +92,25 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 },
                 4 => Request::Stats,
                 5 => Request::Health,
+                6 => Request::Observe(RunObservation {
+                    workload: workload_name(workload(w)).to_string(),
+                    nodes,
+                    cores,
+                    config: config(w / 7),
+                    paper,
+                    stages: (0..1 + w % 3)
+                        .map(|i| StageObservation {
+                            name: format!("stage{i}"),
+                            secs: rate * 100.0 + i as f64,
+                            input_bytes: seed,
+                            shuffle_bytes: fseed,
+                            tasks: 1 + w as u64,
+                            retries: inj as u64,
+                            speculative: (inj / 2) as u64,
+                            recomputed_bytes: seed / 2,
+                        })
+                        .collect(),
+                }),
                 _ => Request::Shutdown,
             },
         )

@@ -34,6 +34,10 @@
 //!   Count and Terasort workload definitions with the paper's parameters.
 //! * [`cloud`] — Google-Cloud-style pricing and size-dependent virtual-disk
 //!   bandwidth, plus the model-driven cost optimizer (Section VI).
+//! * [`learn`] — deterministic online recalibration: bounded observation
+//!   windows per workload, Equation-1 re-fits and a ridge residual
+//!   corrector whose state folds into prediction cache keys
+//!   (DESIGN.md §3.11).
 //! * [`serve`] — a long-lived model-serving front end: newline-delimited
 //!   JSON over TCP with a shared result cache, singleflight deduplication,
 //!   bounded admission with load shedding, and a load-generator harness.
@@ -61,6 +65,7 @@ pub use doppio_dfs as dfs;
 pub use doppio_engine as engine;
 pub use doppio_events as events;
 pub use doppio_faults as faults;
+pub use doppio_learn as learn;
 pub use doppio_model as model;
 pub use doppio_serve as serve;
 pub use doppio_sparksim as sparksim;

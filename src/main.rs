@@ -4,8 +4,9 @@
 //! doppio fio [hdd] [ssd] [std-pd:<GB>] [ssd-pd:<GB>]
 //! doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
 //!                 [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
-//!                 [--storage <profile>]
+//!                 [--storage <profile>] [--emit-observation]
 //! doppio predict  --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
+//!                 [--profile-nodes N] [--corrected] [--observe-log FILE]
 //! doppio whatif cache-sweep [--workload <name>] [--nodes N] [--cores P] [--config C]
 //!                 [--storage <profile>] [--working-set-gib G] [--paper] [--jobs J]
 //!                 [--smoke] [--out PATH]
@@ -18,7 +19,7 @@
 //! doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
 //!                [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
 //!                [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
-//!                [--hot-worker] [--hold N]
+//!                [--hot-worker] [--hold N] [--observe-log FILE]
 //! doppio list
 //! ```
 //!
@@ -79,7 +80,7 @@ USAGE:
       print effective-bandwidth/IOPS lookup tables
   doppio simulate --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--seed S]
                   [--runs R] [--jobs J] [--batch W] [--inject <profile>] [--fault-seed S]
-                  [--storage <profile>]
+                  [--storage <profile>] [--emit-observation]
       run a workload on the discrete-event simulator; --runs R fans R seeded
       replicas (seeds S..S+R) out over the scenario engine in batches of
       --batch W lanes (default 8) that share one pre-built plan per batch;
@@ -87,9 +88,15 @@ USAGE:
       fault plan (seeded by --fault-seed) from a named profile and reports
       the clean run next to the faulty one; --storage places the dataset on
       a disaggregated tier (object store, cache tier or parallel FS)
-      instead of node-local HDFS disks
+      instead of node-local HDFS disks; --emit-observation prints the
+      single run as one doppio-observe/v1 NDJSON line (the shape `serve`
+      ingests and `predict --observe-log` replays) instead of the report
   doppio predict --workload <name> [--nodes N] [--cores P] [--config C] [--paper] [--jobs J]
-      calibrate the Doppio model (4 sample runs) and compare exp vs model
+                 [--profile-nodes N] [--corrected] [--observe-log FILE]
+      calibrate the Doppio model (4 sample runs) and compare exp vs model;
+      --observe-log replays a doppio-observe/v1 NDJSON file into an online
+      learner first and --corrected adds the residual-corrected column
+      next to the analytical one, with both MAPEs on the last line
   doppio whatif cache-sweep [--workload <name>] [--nodes N] [--cores P] [--config C]
                   [--storage <profile>] [--working-set-gib G] [--paper] [--jobs J]
                   [--smoke] [--out PATH]
@@ -126,7 +133,7 @@ USAGE:
   doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
                  [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
                  [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
-                 [--hot-worker] [--hold N]
+                 [--hot-worker] [--hold N] [--observe-log FILE]
       drive a serve endpoint through cold/hot closed-loop phases plus a
       singleflight burst, recording latency percentiles and the
       hot-over-cold speedup to BENCH_serve_throughput.json (strictly
@@ -138,9 +145,15 @@ USAGE:
       latency histograms (the multi-process throughput measurement for a
       shard tier); --hot-worker is the child mode --procs launches, and
       --hold N opens N idle connections until stdin closes (reactor
-      capacity tests)
+      capacity tests); --observe-log FILE switches to the recalibration
+      replay: every observation in the doppio-observe/v1 NDJSON file is
+      predicted analytically, fed to the server's `observe` verb, then
+      re-predicted with the corrector, and the analytic-vs-corrected MAPE
+      comparison lands in LEARN_replay.json (strictly parsed back);
+      --smoke additionally fails unless the corrected error is lower
   doppio list
-      list workloads, disk configurations, fault profiles and chaos profiles
+      list workloads, disk configurations, fault profiles, chaos profiles
+      and correctors
 
 --jobs J sets the scenario-engine worker count (0 or absent = one per core);
 results are identical at any J — the engine preserves input order.
@@ -148,7 +161,8 @@ configs: 2ssd | 2hdd | hdd-ssd (HDFS=HDD, local=SSD) | ssd-hdd (HDFS=SSD, local=
 storage profiles: local (default), s3, s3-cached, lustre
 workloads: gatk4, lr-small, lr-large, svm, pagerank, triangle, terasort
 fault profiles: flaky-tasks, executor-loss, slow-disk, stragglers, chaos
-chaos profiles: slow-wire, flaky-connect, truncate, garbage, disconnect-heavy";
+chaos profiles: slow-wire, flaky-connect, truncate, garbage, disconnect-heavy
+correctors: none, ridge";
 
 /// Fetches `--key value` from the argument list.
 fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -268,6 +282,11 @@ fn cmd_list() -> Result<(), String> {
     for p in doppio::serve::ChaosProfile::ALL {
         println!("  {:<18} {}", p.name(), p.describe());
     }
+    println!();
+    println!("correctors (predict --corrected / serve observe):");
+    for (name, describe) in doppio::learn::CORRECTOR_NAMES {
+        println!("  {name:<14} {describe}");
+    }
     Ok(())
 }
 
@@ -334,6 +353,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         workload.scaled_app()
     };
 
+    let emit_observation = flag(args, "--emit-observation");
+    if emit_observation && runs > 1 {
+        return Err("--emit-observation records a single run; drop --runs".into());
+    }
+
     let storage = parse_storage(args)?;
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config).with_storage(storage);
     let conf = SparkConf::paper().with_cores(cores);
@@ -398,6 +422,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     .run(&app)
     .map_err(|e| e.to_string())?;
+    // `--emit-observation` replaces the human report with the one NDJSON
+    // line the serve tier ingests — pipe it straight into a fixture file.
+    if emit_observation {
+        let obs = doppio::learn::RunObservation::from_run(
+            doppio::serve::protocol::workload_name(workload),
+            nodes,
+            cores,
+            config,
+            flag(args, "--paper"),
+            &run,
+        );
+        println!("{}", obs.to_json_line());
+        return Ok(());
+    }
     println!("{run}");
     println!("per-stage I/O:");
     for s in run.stages() {
@@ -460,6 +498,34 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         eprintln!("note: {w}");
     }
 
+    // `--observe-log` replays recorded runs into an online learner before
+    // predicting; `--corrected` (implied by a log) adds its column.
+    let corrected = flag(args, "--corrected") || opt(args, "--observe-log").is_some();
+    let mut learner = corrected.then(|| doppio::learn::Learner::new(report.model.clone()));
+    if let (Some(path), Some(learner)) = (opt(args, "--observe-log"), learner.as_mut()) {
+        let wire = doppio::serve::protocol::workload_name(workload);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let mut ingested = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obs = doppio::learn::RunObservation::parse_line(line)
+                .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            // Foreign workloads are skipped, not rejected: one log can
+            // hold a whole cluster's history.
+            if obs.workload == wire {
+                learner.ingest(obs);
+                ingested += 1;
+            }
+        }
+        eprintln!(
+            "ingested {ingested} observation(s) from {path} (corrector: {} v{})",
+            learner.corrector().kind(),
+            learner.corrector().version()
+        );
+    }
+
     let cluster = ClusterSpec::paper_cluster(nodes, 36, config);
     let run = Simulation::with_conf(
         cluster,
@@ -475,45 +541,95 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         cores,
         config.label()
     );
-    println!(
-        "  {:<24} {:>10} {:>12} {:>8}",
-        "stage", "exp (min)", "model (min)", "err %"
-    );
-    let mut errs = Vec::new();
+    match &learner {
+        Some(_) => println!(
+            "  {:<24} {:>10} {:>12} {:>8} {:>11} {:>8}",
+            "stage", "exp (min)", "model (min)", "err %", "corr (min)", "err %"
+        ),
+        None => println!(
+            "  {:<24} {:>10} {:>12} {:>8}",
+            "stage", "exp (min)", "model (min)", "err %"
+        ),
+    }
+    let mut analytic_pairs = Vec::new();
+    let mut corrected_pairs = Vec::new();
     for s in run.stages() {
         let exp = s.duration.as_secs();
-        let pred = report
+        let model_stage = report
             .model
             .stages()
             .iter()
             .zip(run.stages())
             .filter(|(_, rs)| rs.name == s.name)
-            .map(|(ms, _)| ms.predict(&env))
-            .next()
-            .unwrap_or(0.0);
+            .map(|(ms, _)| ms)
+            .next();
+        let pred = model_stage.map_or(0.0, |ms| ms.predict(&env));
         let err = if exp > 0.0 {
             (pred - exp).abs() / exp * 100.0
         } else {
             0.0
         };
-        errs.push(err);
-        println!(
-            "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
-            s.name,
-            exp / 60.0,
-            pred / 60.0,
-            err
-        );
+        analytic_pairs.push((pred, exp));
+        match &learner {
+            Some(learner) => {
+                let corr =
+                    model_stage.map_or(0.0, |ms| learner.corrector().correct_stage(ms, &env));
+                let cerr = if exp > 0.0 {
+                    (corr - exp).abs() / exp * 100.0
+                } else {
+                    0.0
+                };
+                corrected_pairs.push((corr, exp));
+                println!(
+                    "  {:<24} {:>10.1} {:>12.1} {:>8.1} {:>11.1} {:>8.1}",
+                    s.name,
+                    exp / 60.0,
+                    pred / 60.0,
+                    err,
+                    corr / 60.0,
+                    cerr
+                );
+            }
+            None => println!(
+                "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
+                s.name,
+                exp / 60.0,
+                pred / 60.0,
+                err
+            ),
+        }
     }
     let total_exp = run.total_time().as_secs();
     let total_pred = report.model.predict(&env);
-    println!(
-        "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
-        "TOTAL",
-        total_exp / 60.0,
-        total_pred / 60.0,
-        (total_pred - total_exp).abs() / total_exp * 100.0
-    );
+    match &learner {
+        Some(learner) => {
+            let total_corr = learner.corrected_predict(&env);
+            println!(
+                "  {:<24} {:>10.1} {:>12.1} {:>8.1} {:>11.1} {:>8.1}",
+                "TOTAL",
+                total_exp / 60.0,
+                total_pred / 60.0,
+                (total_pred - total_exp).abs() / total_exp * 100.0,
+                total_corr / 60.0,
+                (total_corr - total_exp).abs() / total_exp * 100.0
+            );
+            println!(
+                "per-stage MAPE: analytic {:.1}% | corrected {:.1}% ({} v{}, window {})",
+                doppio::learn::mape(&analytic_pairs),
+                doppio::learn::mape(&corrected_pairs),
+                learner.corrector().kind(),
+                learner.corrector().version(),
+                learner.window_len()
+            );
+        }
+        None => println!(
+            "  {:<24} {:>10.1} {:>12.1} {:>8.1}",
+            "TOTAL",
+            total_exp / 60.0,
+            total_pred / 60.0,
+            (total_pred - total_exp).abs() / total_exp * 100.0
+        ),
+    }
     Ok(())
 }
 
@@ -912,6 +1028,9 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     if flag(args, "--hot-worker") {
         return loadgen_hot_worker(args);
     }
+    if let Some(path) = opt(args, "--observe-log") {
+        return loadgen_observe_replay(args, path);
+    }
 
     let smoke = flag(args, "--smoke");
     let mut cfg = LoadgenConfig::default();
@@ -1046,6 +1165,184 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("shutdown connect: {e}"))?;
         let reply = client
             .call(doppio::serve::Request::Shutdown, None)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if !reply.ok {
+            return Err(format!(
+                "server refused shutdown: {}",
+                reply.error_code.unwrap_or_default()
+            ));
+        }
+    }
+    if let Some(handle) = local {
+        handle.join();
+    }
+    Ok(())
+}
+
+/// `loadgen --observe-log FILE`: the recalibration replay. Every
+/// observation in the `doppio-observe/v1` NDJSON file is predicted
+/// analytically, fed to the server's `observe` verb, then re-predicted
+/// with the corrector; the analytic-vs-corrected MAPE comparison is
+/// written to a strictly parsed-back report. With `--smoke` the replay
+/// additionally fails unless the corrected error beats the analytic one
+/// — the CI gate that keeps the corrector earning its keep.
+fn loadgen_observe_replay(args: &[String], path: &str) -> Result<(), String> {
+    use doppio::engine::json::{self, Object, Value};
+    use doppio::learn::{mape, RunObservation};
+    use doppio::serve::protocol::{parse_workload as wire_workload, PredictSpec};
+    use doppio::serve::{Client, ClientConfig, Reply, Request};
+
+    let smoke = flag(args, "--smoke");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut observations: Vec<RunObservation> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        observations
+            .push(RunObservation::parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    if observations.is_empty() {
+        return Err(format!("{path} holds no observations"));
+    }
+
+    // Without --addr, replay against a throwaway in-process server.
+    let (addr, local) = match opt(args, "--addr") {
+        Some(a) => (a.to_string(), None),
+        None => {
+            let handle = doppio::serve::start(doppio::serve::ServeConfig {
+                workers: 4,
+                ..Default::default()
+            })
+            .map_err(|e| format!("bind: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    // First predict per environment calibrates the base model server-side,
+    // so the read timeout defaults far beyond the interactive ones.
+    let ms = |v: u64| (v > 0).then(|| std::time::Duration::from_millis(v));
+    let ccfg = ClientConfig {
+        connect_timeout: ms(parse_num(args, "--connect-timeout-ms", 2_000)?),
+        read_timeout: ms(parse_num(args, "--read-timeout-ms", 300_000)?),
+        write_timeout: ms(parse_num(args, "--read-timeout-ms", 300_000)?),
+    };
+    let mut client =
+        Client::connect_with(&addr, &ccfg).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let spec = |o: &RunObservation, corrected: bool| -> Result<Request, String> {
+        let workload = wire_workload(&o.workload)
+            .ok_or_else(|| format!("observation names unknown workload '{}'", o.workload))?;
+        Ok(Request::Predict(PredictSpec {
+            workload,
+            nodes: o.nodes,
+            cores: o.cores,
+            config: o.config,
+            paper: o.paper,
+            profile_nodes: 3,
+            corrected,
+        }))
+    };
+    let call = |client: &mut Client, req: Request, what: &str| -> Result<Reply, String> {
+        let reply = client.call(req, None).map_err(|e| format!("{what}: {e}"))?;
+        if !reply.ok {
+            return Err(format!(
+                "{what} failed: {}",
+                reply.error_code.unwrap_or_default()
+            ));
+        }
+        Ok(reply)
+    };
+    let num = |reply: &Reply, key: &str, what: &str| -> Result<f64, String> {
+        reply
+            .result
+            .as_ref()
+            .and_then(|r| r.get(key))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{what} reply is missing {key}"))
+    };
+
+    // Phase 1: the static model's view of every observed run.
+    let mut analytic = Vec::new();
+    for o in &observations {
+        let reply = call(&mut client, spec(o, false)?, "analytic predict")?;
+        analytic.push(num(&reply, "total_model_secs", "analytic predict")?);
+    }
+    // Phase 2: replay the log through the observe verb.
+    let mut corrector_version = 0u64;
+    for o in &observations {
+        let reply = call(&mut client, Request::Observe(o.clone()), "observe")?;
+        corrector_version = num(&reply, "corrector_version", "observe")? as u64;
+    }
+    // Phase 3: re-predict with the fitted corrector.
+    let mut corrected = Vec::new();
+    for o in &observations {
+        let reply = call(&mut client, spec(o, true)?, "corrected predict")?;
+        corrected.push(num(&reply, "total_corrected_secs", "corrected predict")?);
+    }
+
+    let observed: Vec<f64> = observations
+        .iter()
+        .map(RunObservation::total_secs)
+        .collect();
+    let pairs = |preds: &[f64]| -> Vec<(f64, f64)> {
+        preds
+            .iter()
+            .copied()
+            .zip(observed.iter().copied())
+            .collect()
+    };
+    let analytic_mape = mape(&pairs(&analytic));
+    let corrected_mape = mape(&pairs(&corrected));
+
+    let mut report = Object::new();
+    report.put_str("schema", "doppio-learn-replay/v1");
+    report.put_str("log", path);
+    report.put_u64("observations", observations.len() as u64);
+    report.put_u64("corrector_version", corrector_version);
+    report.put_f64("analytic_mape_pct", analytic_mape);
+    report.put_f64("corrected_mape_pct", corrected_mape);
+    let out = std::path::PathBuf::from(opt(args, "--out").unwrap_or(if smoke {
+        "target/LEARN_replay.smoke.json"
+    } else {
+        "LEARN_replay.json"
+    }));
+    std::fs::write(&out, report.render()).map_err(|e| format!("write {}: {e}", out.display()))?;
+
+    // Strict parse-back: the artifact must round-trip with sane numbers
+    // before the replay reports success.
+    let back = std::fs::read_to_string(&out).map_err(|e| format!("read {}: {e}", out.display()))?;
+    let v = json::parse(&back).map_err(|e| format!("parse-back {}: {e}", out.display()))?;
+    if v.get("schema").and_then(Value::as_str) != Some("doppio-learn-replay/v1") {
+        return Err("parse-back: wrong or missing schema".into());
+    }
+    for key in ["analytic_mape_pct", "corrected_mape_pct"] {
+        let m = v
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("parse-back: missing {key}"))?;
+        if !m.is_finite() || m < 0.0 {
+            return Err(format!("parse-back: {key} = {m} is not a sane error"));
+        }
+    }
+
+    println!(
+        "observe replay: {} observation(s), analytic MAPE {:.1}% -> corrected {:.1}% (corrector v{})",
+        observations.len(),
+        analytic_mape,
+        corrected_mape,
+        corrector_version
+    );
+    println!("report: {}", out.display());
+    if smoke && corrected_mape >= analytic_mape {
+        return Err(format!(
+            "corrected MAPE {corrected_mape:.2}% did not beat analytic {analytic_mape:.2}%"
+        ));
+    }
+
+    if flag(args, "--shutdown-after") {
+        let reply = client
+            .call(Request::Shutdown, None)
             .map_err(|e| format!("shutdown: {e}"))?;
         if !reply.ok {
             return Err(format!(
@@ -1199,8 +1496,28 @@ mod tests {
             "--inject",
             "--fault-seed",
             "--storage",
+            "--emit-observation",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_recalibration_flag() {
+        // The online-recalibration surface: predict's corrected columns,
+        // the observation emitter, the loadgen replay, and the corrector
+        // names `doppio list` prints.
+        for flag in [
+            "--corrected",
+            "--observe-log",
+            "--emit-observation",
+            "--profile-nodes",
+            "correctors",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE lists {flag}");
+        }
+        for (name, _) in doppio::learn::CORRECTOR_NAMES {
+            assert!(USAGE.contains(name), "USAGE lists corrector '{name}'");
         }
     }
 
@@ -1266,6 +1583,7 @@ mod tests {
             "--procs",
             "--hot-worker",
             "--hold",
+            "--observe-log",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
         }

@@ -1,0 +1,208 @@
+//! Online recalibration must not cost the serve tier its determinism.
+//!
+//! Three promises, checked across topologies (one worker, four workers,
+//! and a two-shard router):
+//!
+//! 1. The same observation stream produces the same corrector — corrected
+//!    predict payloads are byte-identical everywhere.
+//! 2. Uncorrected predictions are byte-unchanged by ingestion: the legacy
+//!    surface never notices the learner exists.
+//! 3. `stats` agrees on `observations` and `corrector_version` whatever
+//!    the topology (the router sums its shards).
+
+use doppio::cluster::HybridConfig;
+use doppio::learn::RunObservation;
+use doppio::serve::{start, start_router, Client, PredictSpec, Request, RouterConfig, ServeConfig};
+use doppio::workloads::Workload;
+
+/// The committed slow-disk observation log (same file CI replays).
+fn observations() -> Vec<RunObservation> {
+    include_str!("fixtures/observations_slowdisk.ndjson")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| RunObservation::parse_line(l).expect("fixture line parses"))
+        .collect()
+}
+
+/// The prediction environments the fixture exercises.
+fn predict_specs(corrected: bool) -> Vec<PredictSpec> {
+    [2usize, 3]
+        .into_iter()
+        .map(|nodes| PredictSpec {
+            workload: Workload::Terasort,
+            nodes,
+            cores: 8,
+            config: HybridConfig::HddHdd,
+            paper: false,
+            profile_nodes: 3,
+            corrected,
+        })
+        .collect()
+}
+
+/// The reply's rendered result payload — the server's final field, so the
+/// bytes after `"result": ` (minus the envelope's closing brace) are the
+/// evaluation verbatim.
+fn payload(raw: &str) -> &str {
+    let (_, after) = raw
+        .split_once("\"result\": ")
+        .expect("ok reply carries a result");
+    &after[..after.len() - 1]
+}
+
+/// What one topology produced: payload bytes and learner counters.
+struct Outcome {
+    uncorrected: Vec<String>,
+    corrected: Vec<String>,
+    observations: u64,
+    corrector_version: u64,
+}
+
+/// Runs the full script against one endpoint: predict, ingest the stream,
+/// re-predict uncorrected (must be byte-unchanged), predict corrected,
+/// read stats.
+fn drive(addr: std::net::SocketAddr, label: &str) -> Outcome {
+    let mut client = Client::connect(addr).expect("client connects");
+
+    let uncorrected: Vec<String> = predict_specs(false)
+        .into_iter()
+        .map(|spec| {
+            let reply = client
+                .call(Request::Predict(spec), None)
+                .expect("uncorrected predict");
+            assert!(
+                reply.ok,
+                "{label}: predict failed: {:?}",
+                reply.error_message
+            );
+            payload(&reply.raw).to_string()
+        })
+        .collect();
+
+    for obs in observations() {
+        let reply = client
+            .call(Request::Observe(obs), None)
+            .expect("observe reply");
+        assert!(
+            reply.ok,
+            "{label}: observe failed: {:?}",
+            reply.error_message
+        );
+    }
+
+    // Ingestion must not move a single byte of the uncorrected surface.
+    for (spec, before) in predict_specs(false).into_iter().zip(&uncorrected) {
+        let reply = client
+            .call(Request::Predict(spec), None)
+            .expect("uncorrected predict after ingest");
+        assert!(reply.ok);
+        assert_eq!(
+            payload(&reply.raw),
+            before,
+            "{label}: uncorrected prediction changed after ingestion"
+        );
+    }
+
+    let corrected: Vec<String> = predict_specs(true)
+        .into_iter()
+        .map(|spec| {
+            let reply = client
+                .call(Request::Predict(spec), None)
+                .expect("corrected predict");
+            assert!(
+                reply.ok,
+                "{label}: corrected predict failed: {:?}",
+                reply.error_message
+            );
+            let p = payload(&reply.raw);
+            assert!(
+                p.contains("\"total_corrected_secs\""),
+                "{label}: corrected payload carries the corrected total: {p}"
+            );
+            p.to_string()
+        })
+        .collect();
+
+    let stats = client.call(Request::Stats, None).expect("stats reply");
+    assert!(stats.ok);
+    let counter = |key: &str| {
+        stats
+            .result
+            .as_ref()
+            .and_then(|r| r.get(key))
+            .and_then(doppio::engine::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("{label}: stats is missing {key}"))
+    };
+    Outcome {
+        uncorrected,
+        corrected,
+        observations: counter("observations"),
+        corrector_version: counter("corrector_version"),
+    }
+}
+
+#[test]
+fn corrected_predictions_are_identical_across_topologies() {
+    let n_obs = observations().len() as u64;
+
+    // Topology A: one worker, fully serialized.
+    let one = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let a = drive(one.addr(), "1-worker");
+    one.join();
+
+    // Topology B: four workers racing over queue, cache and singleflight.
+    let four = start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let b = drive(four.addr(), "4-worker");
+    four.join();
+
+    // Topology C: two shards behind the consistent-hash router; observes
+    // and corrected predicts pin to the workload's owner shard.
+    let shards: Vec<_> = (0..2)
+        .map(|_| {
+            start(ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            })
+            .expect("shard starts")
+        })
+        .collect();
+    let router = start_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: shards.iter().map(|s| s.addr()).collect(),
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    let c = drive(router.addr(), "2-shard router");
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+
+    for (label, other) in [("4-worker", &b), ("2-shard router", &c)] {
+        assert_eq!(
+            a.uncorrected, other.uncorrected,
+            "uncorrected payload bytes diverge between 1-worker and {label}"
+        );
+        assert_eq!(
+            a.corrected, other.corrected,
+            "corrected payload bytes diverge between 1-worker and {label}"
+        );
+    }
+    for (label, o) in [("1-worker", &a), ("4-worker", &b), ("2-shard router", &c)] {
+        assert_eq!(o.observations, n_obs, "{label}: every observation counted");
+        assert_eq!(
+            o.corrector_version, n_obs,
+            "{label}: one corrector fit per sequential ingest"
+        );
+    }
+}
