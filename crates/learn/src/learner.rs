@@ -61,6 +61,53 @@ impl Learner {
         }
     }
 
+    /// Rebuilds a learner from persisted state: the retained window plus
+    /// the total-ingest counter a snapshot carried. The corrector is
+    /// re-fitted once from the window with its version seeded to
+    /// `observations`, so the restored corrector — version included — is
+    /// bit-identical to the one the snapshotted learner held (every
+    /// ingest bumps the version exactly once, so version always equals
+    /// total observations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same `cap`/`lambda` invariants as
+    /// [`Learner::with_window`], when the window exceeds `cap`, or when
+    /// `observations` is inconsistent with the window (fewer total
+    /// ingests than retained observations, or a non-empty window with
+    /// zero ingests).
+    pub fn resume(
+        model: AppModel,
+        cap: usize,
+        lambda: f64,
+        window: Vec<RunObservation>,
+        observations: u64,
+    ) -> Self {
+        assert!(
+            window.len() <= cap,
+            "restored window ({}) exceeds capacity ({cap})",
+            window.len()
+        );
+        assert!(
+            observations >= window.len() as u64,
+            "total ingests ({observations}) below retained window ({})",
+            window.len()
+        );
+        assert!(
+            observations == 0 || !window.is_empty(),
+            "non-zero ingest counter with an empty window"
+        );
+        let mut learner = Self::with_window(model, cap, lambda);
+        learner.window.extend(window);
+        learner.observations = observations;
+        if observations > 0 {
+            let window = learner.window.make_contiguous();
+            learner.corrector =
+                Corrector::fit(&learner.model, window, learner.lambda, observations - 1);
+        }
+        learner
+    }
+
     /// The statically-calibrated model the corrector layers on.
     pub fn model(&self) -> &AppModel {
         &self.model
@@ -79,6 +126,21 @@ impl Learner {
     /// Observations currently retained in the window.
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+
+    /// The retained observations, oldest first.
+    pub fn window(&self) -> impl Iterator<Item = &RunObservation> {
+        self.window.iter()
+    }
+
+    /// The bounded window's capacity.
+    pub fn window_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The ridge penalty the corrector is fitted with.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
     }
 
     /// The current corrector's fingerprint — folded into corrected
@@ -178,6 +240,40 @@ mod tests {
         assert_eq!(l.window_len(), 3);
         assert_eq!(l.observations(), 8);
         assert_eq!(l.corrector().version(), 8);
+    }
+
+    #[test]
+    fn resume_reproduces_corrector_after_evictions() {
+        let model = toy_model();
+        let mut live = Learner::with_window(model.clone(), 3, 1e-3);
+        for n in 2..10usize {
+            let mut o = model_echo(&model, n, 4);
+            for s in &mut o.stages {
+                s.secs *= 1.1;
+            }
+            live.ingest(o);
+        }
+        // Eight ingests through a window of three: version (8) has
+        // outrun the retained window (3), the case a naive
+        // replay-the-window restore gets wrong.
+        assert_eq!(live.corrector().version(), 8);
+        let restored = Learner::resume(
+            model,
+            live.window_cap(),
+            live.lambda(),
+            live.window().cloned().collect(),
+            live.observations(),
+        );
+        assert_eq!(restored.corrector().version(), 8);
+        assert_eq!(
+            restored.corrector_fingerprint(),
+            live.corrector_fingerprint()
+        );
+        let env = PredictEnv::hybrid(5, 4, HybridConfig::SsdSsd);
+        assert_eq!(
+            restored.corrected_predict(&env).to_bits(),
+            live.corrected_predict(&env).to_bits()
+        );
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * [`CorrectedEvaluator`] — the corrected counterpart of the cloud cost
 //!   evaluator, pluggable anywhere
 //!   [`EvaluateCost`](doppio_cloud::EvaluateCost) is accepted.
+//! * [`Snapshot`] — durable learner state (`doppio-learn-snapshot/v1`
+//!   NDJSON): the retained window plus the total-ingest counter,
+//!   stamped with the corrector fingerprint. Restore re-fits and
+//!   verifies the stamp, so learner state survives a shard restart with
+//!   a bit-identical corrector (DESIGN.md §4.3).
 //!
 //! Everything is pure Rust and deterministic: the fit is closed-form
 //! (normal equations + Gaussian elimination with partial pivoting), not
@@ -36,6 +41,7 @@ mod evaluator;
 mod learner;
 mod observe;
 pub mod ridge;
+mod snapshot;
 
 pub use corrector::{Corrector, StageAdjust, NUM_FEATURES};
 pub use evaluator::CorrectedEvaluator;
@@ -43,6 +49,7 @@ pub use learner::{mape, Learner, DEFAULT_LAMBDA, DEFAULT_WINDOW};
 pub use observe::{
     config_token, parse_config_token, RunObservation, StageObservation, OBSERVE_SCHEMA,
 };
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_SCHEMA};
 
 /// The corrector kinds `doppio list` prints, with one-line descriptions.
 pub const CORRECTOR_NAMES: [(&str, &str); 2] = [
@@ -177,6 +184,52 @@ mod proptests {
                     learner.corrected_predict(&env).to_bits(),
                     model.predict(&env).to_bits(),
                     "corrected drifted from analytical in {:?}", config
+                );
+            }
+        }
+
+        /// Snapshot → NDJSON → parse → restore is a fixed point: the
+        /// restored corrector — version and fingerprint included — and
+        /// its corrected predictions are bit-identical to the live
+        /// learner's. Covers evictions (caps shorter than the stream, so
+        /// the version has outrun the window), the empty-window case
+        /// (zero observations restore the identity) and
+        /// rejected-corrector windows (`inflate == 1.0` echoes the
+        /// model, so every Eq-1 re-fit candidate is rejected).
+        #[test]
+        fn snapshot_round_trip_is_a_fixed_point(
+            model in arb_model(),
+            envs in prop::collection::vec((1usize..12, 1u32..32, 0usize..4), 0..8),
+            cap in 1usize..5,
+            inflate in prop::sample::select(vec![1.0f64, 1.17, 1.62]),
+            probe_nodes in 1usize..32,
+            probe_cores in 1u32..64,
+        ) {
+            let mut live = Learner::with_window(model.clone(), cap, DEFAULT_LAMBDA);
+            for (nodes, cores, cfg_ix) in envs {
+                let mut o = echo(&model, nodes, cores, HybridConfig::ALL[cfg_ix]);
+                for s in &mut o.stages {
+                    s.secs *= inflate;
+                }
+                live.ingest(o);
+            }
+            let text = Snapshot::capture(&live, "prop", false).to_ndjson();
+            let restored = Snapshot::parse(&text)
+                .expect("round-tripped snapshot parses")
+                .restore(model)
+                .expect("same-model restore verifies");
+            prop_assert_eq!(restored.observations(), live.observations());
+            prop_assert_eq!(restored.corrector().version(), live.corrector().version());
+            prop_assert_eq!(
+                restored.corrector_fingerprint(),
+                live.corrector_fingerprint()
+            );
+            for config in HybridConfig::ALL {
+                let env = PredictEnv::hybrid(probe_nodes, probe_cores, config);
+                prop_assert_eq!(
+                    restored.corrected_predict(&env).to_bits(),
+                    live.corrected_predict(&env).to_bits(),
+                    "restored corrected prediction drifted in {:?}", config
                 );
             }
         }

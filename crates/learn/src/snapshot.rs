@@ -1,0 +1,310 @@
+//! Durable learner state — the `doppio-learn-snapshot/v1` format.
+//!
+//! A [`Snapshot`] captures everything a [`Learner`] needs to survive a
+//! process restart: the bounded observation window, the total-ingest
+//! counter (which seeds the restored corrector's version so evicted
+//! history still counts), the window/λ parameters, and the corrector
+//! fingerprint the snapshotted learner held. The wire form is NDJSON —
+//! one header line followed by one `doppio-observe/v1` line per retained
+//! observation — so a snapshot is greppable, append-diffable and parsed
+//! by the same decoder the serve tier's `observe` verb already uses.
+//!
+//! Restoring re-fits the corrector from the window (the fit is a pure
+//! function of `(model, window, λ, version)`) and then verifies the
+//! recomputed fingerprint against the stamp; a mismatch means the
+//! snapshot was fitted against a *different* calibrated model (or the
+//! file was corrupted), and restoring it would silently serve corrected
+//! predictions under stale cache keys — so it is refused instead.
+
+use doppio_engine::json::{self, Value};
+use doppio_model::AppModel;
+
+use crate::learner::Learner;
+use crate::observe::RunObservation;
+
+/// Schema tag on the snapshot header line.
+pub const SNAPSHOT_SCHEMA: &str = "doppio-learn-snapshot/v1";
+
+/// A point-in-time capture of one workload's learner state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Workload the learner corrects (`doppio list` token).
+    pub workload: String,
+    /// Whether the learner models the paper-scale application.
+    pub paper: bool,
+    /// Bounded-window capacity of the snapshotted learner.
+    pub window_cap: usize,
+    /// Ridge penalty λ of the snapshotted learner.
+    pub lambda: f64,
+    /// Total observations ever ingested (not just retained) — restored
+    /// as the corrector version base.
+    pub observations: u64,
+    /// Fingerprint of the snapshotted corrector, `{:032x}`-rendered.
+    /// Restore recomputes and verifies it.
+    pub corrector_fingerprint: String,
+    /// The retained observation window, oldest first.
+    pub window: Vec<RunObservation>,
+}
+
+/// Why a snapshot could not be decoded or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The text was not a well-formed snapshot.
+    Parse(String),
+    /// The header carried the wrong schema tag.
+    SchemaMismatch(String),
+    /// The re-fitted corrector's fingerprint does not match the stamp —
+    /// the model differs from the one the snapshot was fitted against.
+    FingerprintMismatch {
+        /// The stamp the header carried.
+        expected: String,
+        /// The fingerprint the re-fit produced.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Parse(msg) => write!(f, "malformed learner snapshot: {msg}"),
+            SnapshotError::SchemaMismatch(got) => {
+                write!(
+                    f,
+                    "unexpected snapshot schema '{got}' (want {SNAPSHOT_SCHEMA})"
+                )
+            }
+            SnapshotError::FingerprintMismatch { expected, got } => write!(
+                f,
+                "snapshot corrector fingerprint {expected} does not match re-fit {got}; \
+                 refusing to restore against a different model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Captures a learner's state. `workload`/`paper` name the learner
+    /// key the serve tier files the snapshot under.
+    pub fn capture(learner: &Learner, workload: &str, paper: bool) -> Self {
+        Snapshot {
+            workload: workload.to_string(),
+            paper,
+            window_cap: learner.window_cap(),
+            lambda: learner.lambda(),
+            observations: learner.observations(),
+            corrector_fingerprint: format!("{}", learner.corrector_fingerprint()),
+            window: learner.window().cloned().collect(),
+        }
+    }
+
+    /// Renders the snapshot as NDJSON: a header line, then one
+    /// `doppio-observe/v1` line per retained observation.
+    pub fn to_ndjson(&self) -> String {
+        let mut obj = json::Object::new();
+        obj.put_str("schema", SNAPSHOT_SCHEMA);
+        obj.put_str("workload", &self.workload);
+        obj.put_bool("paper", self.paper);
+        obj.put_u64("window_cap", self.window_cap as u64);
+        obj.put_f64("lambda", self.lambda);
+        obj.put_u64("observations", self.observations);
+        obj.put_u64("window_len", self.window.len() as u64);
+        obj.put_str("corrector_fingerprint", &self.corrector_fingerprint);
+        let mut out = obj.render_line();
+        out.push('\n');
+        for obs in &self.window {
+            out.push_str(&obs.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a snapshot back out of its NDJSON form. Structural
+    /// validation only — fingerprint verification happens in
+    /// [`Snapshot::restore`], where the model is available.
+    pub fn parse(text: &str) -> Result<Self, SnapshotError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines
+            .next()
+            .ok_or_else(|| SnapshotError::Parse("empty snapshot".into()))?;
+        let header = json::parse(header_line).map_err(SnapshotError::Parse)?;
+        match header.get("schema").and_then(Value::as_str) {
+            Some(SNAPSHOT_SCHEMA) => {}
+            Some(other) => return Err(SnapshotError::SchemaMismatch(other.to_string())),
+            None => {
+                return Err(SnapshotError::Parse(
+                    "snapshot header is missing its schema tag".into(),
+                ))
+            }
+        }
+        let str_field = |key: &str| -> Result<&str, SnapshotError> {
+            header.get(key).and_then(Value::as_str).ok_or_else(|| {
+                SnapshotError::Parse(format!("snapshot header is missing string field '{key}'"))
+            })
+        };
+        let u64_field = |key: &str| -> Result<u64, SnapshotError> {
+            header.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                SnapshotError::Parse(format!("snapshot header is missing integer field '{key}'"))
+            })
+        };
+        let workload = str_field("workload")?.to_string();
+        let corrector_fingerprint = str_field("corrector_fingerprint")?.to_string();
+        let paper = header
+            .get("paper")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let window_cap = u64_field("window_cap")? as usize;
+        let lambda = header
+            .get("lambda")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| SnapshotError::Parse("snapshot header is missing 'lambda'".into()))?;
+        let observations = u64_field("observations")?;
+        let window_len = u64_field("window_len")? as usize;
+        let mut window = Vec::with_capacity(window_len);
+        for line in lines {
+            window.push(RunObservation::parse_line(line).map_err(SnapshotError::Parse)?);
+        }
+        if window.len() != window_len {
+            return Err(SnapshotError::Parse(format!(
+                "snapshot declares {window_len} window lines but carries {}",
+                window.len()
+            )));
+        }
+        if window.len() > window_cap {
+            return Err(SnapshotError::Parse(format!(
+                "snapshot window ({}) exceeds its own capacity ({window_cap})",
+                window.len()
+            )));
+        }
+        if observations < window.len() as u64 || (observations > 0 && window.is_empty()) {
+            return Err(SnapshotError::Parse(format!(
+                "snapshot ingest counter ({observations}) inconsistent with window ({})",
+                window.len()
+            )));
+        }
+        if !(lambda.is_finite() && lambda > 0.0) || window_cap == 0 {
+            return Err(SnapshotError::Parse(format!(
+                "snapshot carries invalid learner parameters (cap {window_cap}, lambda {lambda})"
+            )));
+        }
+        Ok(Snapshot {
+            workload,
+            paper,
+            window_cap,
+            lambda,
+            observations,
+            corrector_fingerprint,
+            window,
+        })
+    }
+
+    /// Rebuilds the learner over `model` and verifies the re-fitted
+    /// corrector's fingerprint against the header stamp. The fit is
+    /// deterministic, so with the same calibrated model the restored
+    /// state — corrector version and fingerprint included — is
+    /// bit-identical to the snapshotted one, which is what keeps
+    /// corrected-prediction cache keys valid across a restart.
+    pub fn restore(&self, model: AppModel) -> Result<Learner, SnapshotError> {
+        let learner = Learner::resume(
+            model,
+            self.window_cap,
+            self.lambda,
+            self.window.clone(),
+            self.observations,
+        );
+        let got = format!("{}", learner.corrector_fingerprint());
+        if got != self.corrector_fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected: self.corrector_fingerprint.clone(),
+                got,
+            });
+        }
+        Ok(learner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrector::testutil::{model_echo, toy_model};
+
+    fn snapshot_after(n: usize, cap: usize) -> (Learner, Snapshot) {
+        let model = toy_model();
+        let mut learner = Learner::with_window(model.clone(), cap, 1e-3);
+        for nodes in 0..n {
+            let mut o = model_echo(&model, nodes + 2, 4);
+            for s in &mut o.stages {
+                s.secs *= 1.25;
+            }
+            learner.ingest(o);
+        }
+        let snap = Snapshot::capture(&learner, "toy", false);
+        (learner, snap)
+    }
+
+    #[test]
+    fn ndjson_round_trip_preserves_every_field() {
+        let (_, snap) = snapshot_after(5, 3);
+        let text = snap.to_ndjson();
+        assert_eq!(text.lines().count(), 1 + 3);
+        let back = Snapshot::parse(&text).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restore_is_a_fixed_point_including_the_version() {
+        let (live, snap) = snapshot_after(7, 3);
+        let restored = snap.restore(toy_model()).expect("restores");
+        assert_eq!(restored.observations(), 7);
+        assert_eq!(restored.corrector().version(), 7);
+        assert_eq!(
+            restored.corrector_fingerprint(),
+            live.corrector_fingerprint()
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_restores_the_identity() {
+        let (_, snap) = snapshot_after(0, 4);
+        let text = snap.to_ndjson();
+        assert_eq!(text.lines().count(), 1);
+        let restored = Snapshot::parse(&text)
+            .unwrap()
+            .restore(toy_model())
+            .unwrap();
+        assert!(restored.corrector().is_identity());
+        assert_eq!(restored.observations(), 0);
+    }
+
+    #[test]
+    fn wrong_model_is_refused() {
+        let (_, snap) = snapshot_after(4, 4);
+        // Rename a stage so the window no longer matches the model and
+        // the re-fit lands somewhere else entirely.
+        let mut stages = toy_model().stages().to_vec();
+        stages[0].name = "renamed".into();
+        let other = doppio_model::AppModel::new("toy", stages);
+        let err = snap.restore(other).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(Snapshot::parse("").is_err());
+        assert!(Snapshot::parse("not json").is_err());
+        let (_, snap) = snapshot_after(3, 3);
+        let good = snap.to_ndjson();
+        let bad_schema = good.replace("learn-snapshot/v1", "learn-snapshot/v9");
+        assert!(matches!(
+            Snapshot::parse(&bad_schema),
+            Err(SnapshotError::SchemaMismatch(_))
+        ));
+        // Drop one window line: declared length no longer matches.
+        let truncated: Vec<&str> = good.lines().take(3).collect();
+        assert!(Snapshot::parse(&truncated.join("\n")).is_err());
+        // Counter below the retained window is inconsistent.
+        let bad_count = good.replace("\"observations\": 3", "\"observations\": 2");
+        assert!(Snapshot::parse(&bad_count).is_err());
+    }
+}

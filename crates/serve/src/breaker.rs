@@ -158,6 +158,30 @@ impl CircuitBreaker {
         }
     }
 
+    /// The wire name of the current state (`closed` / `open` /
+    /// `half-open`), reported per shard on the router's `stats` and
+    /// `health` payloads.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// How long an open breaker keeps rejecting as of `now` — the
+    /// fast-fail hint surfaced through
+    /// [`CallError::CircuitOpen`](crate::retry::CallError) so callers
+    /// sleep out the cooldown instead of busy-polling a known-open
+    /// endpoint. `None` when the breaker would admit a call (closed,
+    /// half-open with budget, or an open whose cooldown has elapsed).
+    pub fn retry_after(&self, now: Instant) -> Option<Duration> {
+        match self.state {
+            State::Open { until } if until > now => Some(until - now),
+            _ => None,
+        }
+    }
+
     /// Times the breaker tripped open (closed/half-open → open).
     pub fn opened(&self) -> u64 {
         self.opened
@@ -244,6 +268,28 @@ mod tests {
         assert_eq!(b.opened(), 2, "probe failure re-trips");
         assert!(!b.try_acquire(later + Duration::from_millis(50)));
         assert!(b.try_acquire(later + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn retry_after_tracks_the_open_cooldown() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.retry_after(t0), None);
+        for _ in 0..3 {
+            b.try_acquire(t0);
+            b.record_failure(t0);
+        }
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(
+            b.retry_after(t0 + Duration::from_millis(30)),
+            Some(Duration::from_millis(70))
+        );
+        let later = t0 + Duration::from_millis(150);
+        assert_eq!(b.retry_after(later), None, "elapsed cooldown admits");
+        assert!(b.try_acquire(later));
+        assert_eq!(b.state_name(), "half-open");
+        assert_eq!(b.retry_after(later), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use doppio_engine::json::{self, Value};
 
@@ -102,6 +102,11 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Partial reply line carried across a timed-out
+    /// [`recv_until`](Client::recv_until) — a read that gives up at a
+    /// hedge deadline must not lose the bytes already received, or the
+    /// connection's framing is corrupt for whoever reads next.
+    pending: String,
 }
 
 impl Client {
@@ -154,6 +159,7 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 0,
+            pending: String::new(),
         })
     }
 
@@ -195,13 +201,90 @@ impl Client {
     ///
     /// Propagates socket read failures and malformed replies.
     pub fn recv(&mut self) -> io::Result<Option<Reply>> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Ok(None);
+        if self.reader.read_line(&mut self.pending)? == 0 {
+            if self.pending.is_empty() {
+                return Ok(None);
+            }
+            self.pending.clear();
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            ));
         }
-        Reply::parse(line.trim())
+        let parsed = Reply::parse(self.pending.trim())
             .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        self.pending.clear();
+        parsed
+    }
+
+    /// Reads the next reply line, giving up (without losing any partial
+    /// bytes) at `deadline`. `Ok(None)` means the deadline passed with
+    /// the reply still in flight — the connection stays valid and a later
+    /// `recv`/`recv_until` resumes exactly where this one stopped. This
+    /// is the primitive the router's hedge race is built on: the primary
+    /// read is bounded by the hedge delay, and after the hedge fires both
+    /// connections are polled in short slices until one completes.
+    ///
+    /// Leaves the socket read timeout set from the deadline; callers that
+    /// reuse the connection afterwards should restore their own via
+    /// [`set_read_timeout`](Client::set_read_timeout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures (EOF mid-race included) and
+    /// malformed replies.
+    pub fn recv_until(&mut self, deadline: Instant) -> io::Result<Option<Reply>> {
+        loop {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Ok(None);
+            };
+            self.reader.get_ref().set_read_timeout(Some(remaining))?;
+            match self.reader.read_line(&mut self.pending) {
+                Ok(0) => {
+                    let mid_reply = !self.pending.is_empty();
+                    self.pending.clear();
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        if mid_reply {
+                            "connection closed mid-reply"
+                        } else {
+                            "server closed the connection before replying"
+                        },
+                    ));
+                }
+                Ok(_) => {
+                    let parsed = Reply::parse(self.pending.trim())
+                        .map(Some)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                    self.pending.clear();
+                    return parsed;
+                }
+                // A timeout mid-line: the bytes read so far stay in
+                // `pending`; retry until the deadline genuinely passes.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// (Re)sets the socket read timeout — pairs with
+    /// [`recv_until`](Client::recv_until), which overrides it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket option failure.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends `request` and blocks for its reply. Replies to *other*

@@ -89,7 +89,7 @@ pub use protocol::{
 };
 pub use retry::{CallError, RetryPolicy, RetryingClient};
 pub use ring::{HashRing, HotTracker};
-pub use router::{start_router, RouterConfig, RouterHandle};
+pub use router::{start_router, RouterConfig, RouterController, RouterHandle};
 pub use server::{start, ServeConfig, ServerHandle};
-pub use shard::{spawn_tier, TierHandle, TierSpec};
+pub use shard::{spawn_tier, ShardEvent, SupervisorConfig, TierHandle, TierSpec};
 pub use singleflight::Singleflight;

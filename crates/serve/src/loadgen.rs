@@ -71,6 +71,18 @@ pub struct LoadgenConfig {
     pub connect_timeout_ms: u64,
     /// Client read timeout, in milliseconds (0 = none).
     pub read_timeout_ms: u64,
+    /// Restart-leg chaos: after this many cold requests, SIGKILL the pid
+    /// named by [`kill_pid_file`](Self::kill_pid_file) and finish the
+    /// phase against the degraded tier (0 = disabled).
+    pub kill_after: usize,
+    /// File holding the victim pid (one line) — `doppio serve --shards
+    /// --pid-dir` writes one per shard.
+    pub kill_pid_file: Option<PathBuf>,
+    /// After the measured phases, poll the endpoint until its router
+    /// reports at least this many supervisor restarts *and* health goes
+    /// ready again (0 = don't wait). The report gains a `restart` object
+    /// either way when a kill was performed.
+    pub expect_restarts: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -86,6 +98,9 @@ impl Default for LoadgenConfig {
             chaos_seed: 0xC4A0,
             connect_timeout_ms: 1_000,
             read_timeout_ms: 5_000,
+            kill_after: 0,
+            kill_pid_file: None,
+            expect_restarts: 0,
         }
     }
 }
@@ -173,13 +188,31 @@ fn phase_report(name: &str, p: &Phase) -> Object {
 }
 
 /// Runs one closed-loop phase: `seeds` split round-robin over
-/// `connections` threads, each sending one request at a time.
+/// `connections` threads, each sending one request at a time. Any failed
+/// request fails the phase.
 fn closed_loop(
     addr: &str,
     connections: usize,
     seeds: &[u64],
     ccfg: &ClientConfig,
 ) -> Result<Phase, String> {
+    let phase = closed_loop_lossy(addr, connections, seeds, ccfg);
+    if phase.errors.is_empty() {
+        Ok(phase)
+    } else {
+        Err(format!(
+            "{} request(s) failed; first: {}",
+            phase.errors.len(),
+            phase.errors[0]
+        ))
+    }
+}
+
+/// The tolerant closed loop: failed requests are *recorded*, not fatal.
+/// The restart leg runs on this — requests racing a shard SIGKILL are
+/// expected to be answered anyway (router failover), and every one that
+/// is not shows up in `errors` as a lost reply.
+fn closed_loop_lossy(addr: &str, connections: usize, seeds: &[u64], ccfg: &ClientConfig) -> Phase {
     let started = Instant::now();
     let (tx, rx) = mpsc::channel::<Result<(f64, bool), String>>();
     std::thread::scope(|scope| {
@@ -234,16 +267,107 @@ fn closed_loop(
             }
         }
         phase.elapsed_secs = started.elapsed().as_secs_f64();
-        if phase.errors.is_empty() {
-            Ok(phase)
-        } else {
-            Err(format!(
-                "{} request(s) failed; first: {}",
-                phase.errors.len(),
-                phase.errors[0]
-            ))
-        }
+        phase
     })
+}
+
+/// Outcome of the restart leg, reported under `restart` in the BENCH
+/// artifact.
+struct RestartLeg {
+    /// Requests the router failed to answer after the kill (the leg's
+    /// headline claim is that this stays 0: failover covers the gap).
+    lost: usize,
+    /// Supervisor restarts the router reported once recovery was awaited.
+    restarts: u64,
+    /// Whether the tier's health went ready again — i.e. the killed
+    /// shard finished warm-up and rejoined the ring.
+    readmitted: bool,
+}
+
+/// Concatenates two runs of the same phase (the pre-kill and post-kill
+/// halves of a restart-leg cold phase).
+fn merge_phases(mut a: Phase, b: Phase) -> Phase {
+    a.latencies_ms.extend(b.latencies_ms);
+    a.cached += b.cached;
+    a.elapsed_secs += b.elapsed_secs;
+    a.errors.extend(b.errors);
+    a
+}
+
+/// SIGKILLs the process named by a pid file — the crash the restart leg
+/// injects. A kill is used (not a drain) precisely because the shard
+/// must get no chance to say goodbye: the supervisor has to notice on
+/// its own and the learner state has to come back from its snapshot.
+fn kill_pid(path: &std::path::Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let pid = text.trim().to_string();
+    if pid.is_empty() || !pid.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!(
+            "{} does not hold a pid (got '{pid}')",
+            path.display()
+        ));
+    }
+    let status = Command::new("kill")
+        .args(["-9", &pid])
+        .status()
+        .map_err(|e| format!("kill: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("kill -9 {pid} exited with {status}"))
+    }
+}
+
+/// Polls the endpoint until its router reports at least `expect`
+/// supervisor restarts, then until tier health goes ready again (the
+/// restarted shard re-admitted through warm-up). Fails after a fixed
+/// budget — a restart that never lands should turn the leg red, not
+/// hang it.
+fn await_recovery(addr: &str, ccfg: &ClientConfig, expect: u64) -> Result<(u64, bool), String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut restarts = 0;
+    loop {
+        if let Ok(mut c) = Client::connect_with(addr, ccfg) {
+            if let Ok(reply) = c.call(Request::Stats, None) {
+                restarts = reply
+                    .result
+                    .as_ref()
+                    .and_then(|r| r.get("router"))
+                    .and_then(|r| r.get("restarts"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                if restarts >= expect {
+                    break;
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "router reported {restarts} restart(s); expected {expect} within the budget"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    loop {
+        if let Ok(mut c) = Client::connect_with(addr, ccfg) {
+            if let Ok(reply) = c.call(Request::Health, None) {
+                let ready = reply
+                    .result
+                    .as_ref()
+                    .and_then(|r| r.get("ready"))
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false);
+                if ready {
+                    return Ok((restarts, true));
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err("tier did not re-admit the restarted shard within the budget".into());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
 }
 
 /// Pipeline one *fresh* request from every connection at once and count
@@ -342,11 +466,17 @@ fn chaos_phase(cfg: &LoadgenConfig, profile: ChaosProfile) -> Result<(Object, Ch
         // abandoning the request: without the wait, a disconnect-heavy
         // run would burn every remaining request as a fast failure inside
         // one 50 ms cooldown and the breaker would never probe its way
-        // closed again.
+        // closed again. The breaker says how long it stays open, so the
+        // wait sleeps exactly that out instead of guessing at the
+        // cooldown and re-polling a known-open endpoint.
         let mut outcome = rc.call(probe(seed), None);
         let mut waits = 0;
-        while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 20 {
-            std::thread::sleep(breaker_cfg.cooldown / 2 + Duration::from_millis(1));
+        while let Err(CallError::CircuitOpen { retry_after }) = outcome {
+            if waits >= 20 {
+                break;
+            }
+            let wait = retry_after.unwrap_or(breaker_cfg.cooldown / 2) + Duration::from_millis(1);
+            std::thread::sleep(wait);
             waits += 1;
             outcome = rc.call(probe(seed), None);
         }
@@ -411,7 +541,30 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
         .map(|i| cfg.base_seed.wrapping_add(i))
         .collect();
 
-    let cold = closed_loop(&cfg.addr, cfg.connections, &cold_seeds, &ccfg)?;
+    // Restart leg: run the first `kill_after` cold requests normally,
+    // SIGKILL the victim, then finish the phase *lossy* against the
+    // degraded tier — every request the router fails to answer through
+    // failover is counted as lost rather than aborting the measurement.
+    let mut restart_leg = None;
+    let cold = if cfg.kill_after > 0 {
+        let pid_file = cfg
+            .kill_pid_file
+            .as_deref()
+            .ok_or("kill_after needs kill_pid_file (--kill-pid-file)")?;
+        let split = cfg.kill_after.min(cold_seeds.len());
+        let (before_seeds, after_seeds) = cold_seeds.split_at(split);
+        let before = closed_loop(&cfg.addr, cfg.connections, before_seeds, &ccfg)?;
+        kill_pid(pid_file)?;
+        let after = closed_loop_lossy(&cfg.addr, cfg.connections, after_seeds, &ccfg);
+        restart_leg = Some(RestartLeg {
+            lost: after.errors.len(),
+            restarts: 0,
+            readmitted: false,
+        });
+        merge_phases(before, after)
+    } else {
+        closed_loop(&cfg.addr, cfg.connections, &cold_seeds, &ccfg)?
+    };
     let hot_seeds: Vec<u64> = std::iter::repeat_with(|| cold_seeds.iter().copied())
         .take(cfg.hot_repeats)
         .flatten()
@@ -428,6 +581,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
         None => None,
         Some(profile) => Some(chaos_phase(cfg, profile)?),
     };
+
+    // Before reading the final stats, wait out the supervisor's
+    // kill → restart → warm-up → re-admission cycle, so the report
+    // records the healed tier, not a mid-recovery snapshot.
+    if let Some(leg) = restart_leg.as_mut() {
+        if cfg.expect_restarts > 0 {
+            let (restarts, readmitted) = await_recovery(&cfg.addr, &ccfg, cfg.expect_restarts)?;
+            leg.restarts = restarts;
+            leg.readmitted = readmitted;
+        }
+    }
 
     // Final server-side truth (asked directly, not through any proxy).
     let mut client = Client::connect_with(&cfg.addr, &ccfg).map_err(|e| format!("connect: {e}"))?;
@@ -448,6 +612,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
         if let Some((_, tally)) = &chaos {
             if tally.lost > 0 {
                 return Err(format!("chaos smoke lost {} reply(ies)", tally.lost));
+            }
+        }
+        if let Some(leg) = &restart_leg {
+            if leg.lost > 0 {
+                return Err(format!("restart smoke lost {} reply(ies)", leg.lost));
             }
         }
     }
@@ -479,6 +648,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Object, String> {
     o.put_obj("burst", b);
     if let Some((chaos_obj, _)) = chaos {
         o.put_obj("chaos", chaos_obj);
+    }
+    if let Some(leg) = &restart_leg {
+        let mut r = Object::new();
+        r.put_u64("kill_after", cfg.kill_after as u64);
+        r.put_u64("lost", leg.lost as u64);
+        r.put_u64("restarts", leg.restarts);
+        r.put_bool("readmitted", leg.readmitted);
+        o.put_obj("restart", r);
     }
     let mut s = Object::new();
     for key in [

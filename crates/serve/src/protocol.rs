@@ -146,6 +146,20 @@ impl Request {
     pub fn is_stateful(&self) -> bool {
         matches!(self, Request::Observe(_))
     }
+
+    /// Whether the router may race a duplicate of this request against a
+    /// second shard to cut tail latency (request hedging). Hedging
+    /// *executes the request twice* and keeps the first answer, so it is
+    /// only sound for verbs that are pure functions of their fields.
+    /// `observe` must never be hedged: a duplicated ingest would bump
+    /// the learner's window and corrector version twice, silently
+    /// diverging corrected predictions from the observation stream. The
+    /// non-idempotent set covers it (and `shutdown`); the guard is
+    /// spelled out so the exclusion survives any future loosening of
+    /// [`is_idempotent`](Self::is_idempotent).
+    pub fn is_hedgeable(&self) -> bool {
+        self.is_idempotent() && !matches!(self, Request::Observe(_))
+    }
 }
 
 /// A request plus its delivery metadata.
@@ -747,8 +761,11 @@ mod tests {
         assert!(obs.is_work());
         assert!(obs.is_stateful());
         assert!(!obs.is_idempotent());
+        assert!(!obs.is_hedgeable(), "a hedged observe would ingest twice");
+        assert!(!Request::Shutdown.is_hedgeable());
         let p = Request::Predict(predict(true));
         assert!(p.is_idempotent());
+        assert!(p.is_hedgeable());
         assert!(!p.is_stateful());
         // Two identical observations fingerprint identically — dedup is
         // the admission path's job to *not* do, not the fingerprint's.

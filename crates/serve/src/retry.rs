@@ -71,7 +71,12 @@ pub struct RetryMetrics {
 #[derive(Debug)]
 pub enum CallError {
     /// The circuit breaker is open; the endpoint was not contacted.
-    CircuitOpen,
+    CircuitOpen {
+        /// How long the breaker keeps rejecting, when known — callers
+        /// should sleep this out instead of busy-polling the fast-fail
+        /// path (the loadgen chaos loop does exactly that).
+        retry_after: Option<Duration>,
+    },
     /// Every permitted attempt failed at the transport level.
     RetriesExhausted {
         /// Attempts made.
@@ -98,7 +103,13 @@ pub enum CallError {
 impl std::fmt::Display for CallError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CallError::CircuitOpen => write!(f, "circuit breaker open; endpoint not contacted"),
+            CallError::CircuitOpen { retry_after } => {
+                write!(f, "circuit breaker open; endpoint not contacted")?;
+                if let Some(d) = retry_after {
+                    write!(f, " (retry in ~{}ms)", d.as_millis())?;
+                }
+                Ok(())
+            }
             CallError::RetriesExhausted { attempts, last } => {
                 write!(f, "all {attempts} attempts failed; last error: {last}")
             }
@@ -178,8 +189,11 @@ impl RetryingClient {
         let mut last: String;
         let mut prev_backoff = self.policy.base_backoff;
         loop {
-            if !self.breaker.try_acquire(Instant::now()) {
-                return Err(CallError::CircuitOpen);
+            let now = Instant::now();
+            if !self.breaker.try_acquire(now) {
+                return Err(CallError::CircuitOpen {
+                    retry_after: self.breaker.retry_after(now),
+                });
             }
             attempts += 1;
             self.metrics.attempts += 1;

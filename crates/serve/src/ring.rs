@@ -129,6 +129,25 @@ impl HashRing {
         HashRing::new(&rest, self.vnodes)
     }
 
+    /// This ring plus one shard — the inverse of
+    /// [`without`](Self::without), used when a supervised shard restarts
+    /// and is re-admitted. The shard's vnode points hash exactly as they
+    /// did before removal, so it lands back on the same ring positions
+    /// and *reclaims precisely the keys it owned* — every key that never
+    /// remapped keeps its owner untouched. `ring.without(s).with(s)`
+    /// reproduces the original assignment bit for bit (the id list is
+    /// kept in ascending order, and points are order-independent).
+    /// Re-adding a present shard is a no-op.
+    pub fn with(&self, shard: u32) -> HashRing {
+        if self.shards.contains(&shard) {
+            return self.clone();
+        }
+        let mut ids = self.shards.clone();
+        let at = ids.partition_point(|&s| s < shard);
+        ids.insert(at, shard);
+        HashRing::new(&ids, self.vnodes)
+    }
+
     /// Walks ring points starting at the first point `>= point`,
     /// wrapping; yields each point's shard (with repeats).
     fn successor_points(&self, point: u64) -> impl Iterator<Item = u32> + '_ {
@@ -237,6 +256,49 @@ mod tests {
     fn asking_for_more_successors_than_shards_caps_at_shard_count() {
         let ring = HashRing::new(&[7, 9], 8);
         assert_eq!(ring.successors(&fp(1), 5).len(), 2);
+    }
+
+    #[test]
+    fn readmission_restores_the_original_assignment_exactly() {
+        let ring = HashRing::new(&[0, 1, 2, 3], 16);
+        for victim in 0..4u32 {
+            let healed = ring.without(victim).with(victim);
+            assert_eq!(healed.shards(), ring.shards());
+            for i in 0..300 {
+                let k = fp(i);
+                assert_eq!(healed.shard_for(&k), ring.shard_for(&k));
+                assert_eq!(healed.successors(&k, 3), ring.successors(&k, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn readmitting_a_present_shard_is_a_no_op() {
+        let ring = HashRing::new(&[0, 1, 2], 16);
+        let same = ring.with(1);
+        assert_eq!(same.shards(), ring.shards());
+        for i in 0..100 {
+            assert_eq!(same.shard_for(&fp(i)), ring.shard_for(&fp(i)));
+        }
+    }
+
+    #[test]
+    fn readmission_only_moves_keys_back_to_the_recovered_shard() {
+        // Keys that survived the outage on another shard either stay
+        // put or return to the recovered shard — nobody else's keys
+        // move (minimal disruption, both directions).
+        let ring = HashRing::new(&[0, 1, 2, 3], 16);
+        let degraded = ring.without(2);
+        let healed = degraded.with(2);
+        for i in 0..300 {
+            let k = fp(i);
+            let before = degraded.shard_for(&k);
+            let after = healed.shard_for(&k);
+            assert!(
+                after == before || after == 2,
+                "key {i} moved {before} -> {after} without involving the recovered shard"
+            );
+        }
     }
 
     #[test]

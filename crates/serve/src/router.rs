@@ -34,9 +34,32 @@
 //! which the tier serves the key at replica-sum throughput instead of
 //! being capped by one shard.
 //!
+//! **Self-healing**: the router keeps *two* rings. The full-membership
+//! ring never changes and pins learner-state requests to their owner
+//! shard — an owner must not move just because its process is briefly
+//! dead, or interim observations would land on a shard holding different
+//! corrector state. The active ring tracks live membership: a
+//! [`RouterController`] (handed to the shard supervisor's event callback)
+//! removes a crashed shard with [`HashRing::without`] and, after the
+//! restarted process passes a half-open warm-up — `warmup_successes`
+//! consecutive health probes, probe traffic only — re-admits it with
+//! [`HashRing::with`], restoring its exact original vnodes. Router-side
+//! singleflight is keyed by fingerprint, independent of ring state, so a
+//! flight in progress across the ownership flip still resolves to exactly
+//! one semantic outcome for every waiter.
+//!
+//! **Hedging**: when a hedgeable request's primary shard has not replied
+//! within its own observed `hedge_quantile` latency, a second copy goes
+//! to the ring successor and the first complete reply wins; the loser's
+//! connection is dropped unpooled (the cancellation). Only idempotent
+//! verbs hedge — never `observe`, whose duplicate would double-ingest —
+//! so a hedge can at worst waste one evaluation, never change state.
+//!
 //! `stats`/`health` aggregate across shards on pool workers (they do
 //! blocking round-trips, so they must not run on the reactor thread) and
-//! keep the single-process schemas, adding a `router` sub-object.
+//! keep the single-process schemas, adding a `router` sub-object. Shards
+//! currently down are skipped, not probed, so a mid-restart shard cannot
+//! hang the poll.
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +78,7 @@ use crate::protocol::{
 };
 use crate::reactor::{self, ConnFault, ConnHandler, ReactorConfig, ReactorShared, ReplyHandle};
 use crate::ring::{HashRing, HotTracker};
+use crate::shard::ShardEvent;
 use crate::singleflight::Singleflight;
 
 /// See `server::lock_recover` — same reasoning: every guarded value holds
@@ -97,6 +121,24 @@ pub struct RouterConfig {
     pub shard_timeout_ms: u64,
     /// Per-shard circuit breaker tuning.
     pub breaker: BreakerConfig,
+    /// Enables request hedging for idempotent verbs.
+    pub hedging: bool,
+    /// Latency quantile of the primary shard that arms the hedge timer.
+    pub hedge_quantile: f64,
+    /// Round trips a shard must have served before its latency quantile
+    /// is trusted enough to hedge against.
+    pub hedge_min_samples: u64,
+    /// Lower bound on the hedge delay, so a history of microsecond
+    /// cache hits cannot trigger a hedge storm.
+    pub hedge_floor_ms: u64,
+    /// Consecutive successful health probes a restarted shard needs
+    /// before it rejoins the active ring.
+    pub warmup_successes: u32,
+    /// Pause between warm-up probes.
+    pub warmup_interval_ms: u64,
+    /// Budget for the whole warm-up; exhausting it parks the shard down
+    /// until the supervisor reports another restart.
+    pub warmup_budget_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -116,6 +158,13 @@ impl Default for RouterConfig {
             write_timeout_ms: 10_000,
             shard_timeout_ms: 10_000,
             breaker: BreakerConfig::default(),
+            hedging: true,
+            hedge_quantile: 0.95,
+            hedge_min_samples: 64,
+            hedge_floor_ms: 1,
+            warmup_successes: 3,
+            warmup_interval_ms: 50,
+            warmup_budget_ms: 30_000,
         }
     }
 }
@@ -138,6 +187,82 @@ struct RouterCounters {
     reaped: AtomicU64,
     /// Requests routed through the hot-key fan-out path.
     hot_routed: AtomicU64,
+    /// Hedge races launched (a second copy actually sent).
+    hedged: AtomicU64,
+    /// Hedge races the hedge leg won.
+    hedge_wins: AtomicU64,
+}
+
+/// Re-admission state of one shard — the router's half-open door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// On the active ring, taking forwards.
+    Active,
+    /// Crashed, gave up, or failed warm-up: skipped entirely — no
+    /// forwards, and no stats/health probes (which keeps tier polls
+    /// bounded while a shard is mid-restart).
+    Down,
+    /// Restarted and serving probe traffic only; tracks the consecutive
+    /// health-probe success streak.
+    WarmUp {
+        /// Consecutive successful probes so far.
+        successes: u32,
+    },
+}
+
+impl Admission {
+    fn name(self) -> &'static str {
+        match self {
+            Admission::Active => "active",
+            Admission::Down => "down",
+            Admission::WarmUp { .. } => "warm-up",
+        }
+    }
+}
+
+/// Lock-free power-of-two histogram of shard round-trip latencies in
+/// microseconds: bucket `i` counts round trips in `[2^i, 2^(i+1))` µs.
+/// Forty buckets cover ~12 days, far past any socket timeout. This is
+/// what turns "hedge after the p95" into a constant-time lookup on the
+/// forward path.
+struct LatencyHistogram {
+    buckets: [AtomicU64; 40],
+    total: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let us = (d.as_micros() as u64).max(1);
+        let idx = (63 - us.leading_zeros() as usize).min(39);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper edge of the bucket holding the `q`-quantile, or `None`
+    /// below `min_samples` — too little history has no tail worth
+    /// hedging against.
+    fn quantile(&self, q: f64, min_samples: u64) -> Option<Duration> {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 || total < min_samples {
+            return None;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(Duration::from_micros(1u64 << (i as u32 + 1).min(63)));
+            }
+        }
+        None
+    }
 }
 
 /// A reply ticket parked on a router flight (creator first).
@@ -152,9 +277,22 @@ struct Waiter {
 /// pool. Connections that saw a transport error are dropped, never
 /// returned, so the pool only ever holds streams with no bytes in flight.
 struct ShardPool {
-    addr: SocketAddr,
+    /// Current endpoint — rewritten when the supervisor respawns the
+    /// shard on a fresh ephemeral port.
+    addr: Mutex<SocketAddr>,
     breaker: Mutex<CircuitBreaker>,
     idle: Mutex<Vec<Client>>,
+    admission: Mutex<Admission>,
+    /// Bumped on every lifecycle event; a warm-up prober from a previous
+    /// incarnation sees the epoch move and quits instead of re-admitting
+    /// a shard that has since died again.
+    epoch: AtomicU64,
+    /// Supervisor restart count, as reported by the latest event.
+    restarts: AtomicU64,
+    /// Observed round-trip latencies, feeding the hedge delay.
+    latency: LatencyHistogram,
+    hedged: AtomicU64,
+    hedge_wins: AtomicU64,
 }
 
 /// Idle connections kept per shard; enough to cover the forward workers
@@ -162,11 +300,39 @@ struct ShardPool {
 const IDLE_POOL_CAP: usize = 4;
 
 impl ShardPool {
+    fn new(addr: SocketAddr, breaker: BreakerConfig) -> Self {
+        ShardPool {
+            addr: Mutex::new(addr),
+            breaker: Mutex::new(CircuitBreaker::new(breaker)),
+            idle: Mutex::new(Vec::new()),
+            admission: Mutex::new(Admission::Active),
+            epoch: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            hedged: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        *lock_recover(&self.addr)
+    }
+
+    fn admission(&self) -> Admission {
+        *lock_recover(&self.admission)
+    }
+
+    /// Whether forwards may land here. Warm-up shards take probe traffic
+    /// only; down shards take nothing.
+    fn is_routable(&self) -> bool {
+        matches!(self.admission(), Admission::Active)
+    }
+
     fn checkout(&self, cfg: &ClientConfig) -> std::io::Result<Client> {
         if let Some(c) = lock_recover(&self.idle).pop() {
             return Ok(c);
         }
-        Client::connect_with(self.addr, cfg)
+        Client::connect_with(self.addr(), cfg)
     }
 
     fn checkin(&self, client: Client) {
@@ -175,12 +341,27 @@ impl ShardPool {
             idle.push(client);
         }
     }
+
+    /// Drops pooled connections — they point at a dead (or previous)
+    /// incarnation of the shard.
+    fn drop_idle(&self) {
+        lock_recover(&self.idle).clear();
+    }
 }
 
 struct RouterInner {
     cfg: RouterConfig,
     shard_client_cfg: ClientConfig,
-    ring: HashRing,
+    /// Full-membership ring: owner placement for learner-state requests.
+    /// Never mutated — a workload's owner must not move while its shard
+    /// restarts, or interim observations would land on a shard holding
+    /// different corrector state and break bit-identity.
+    full_ring: HashRing,
+    /// Live-membership ring for everything else: shards leave on death
+    /// ([`HashRing::without`]) and return after warm-up
+    /// ([`HashRing::with`], same vnodes). Locked only for the microseconds
+    /// of a successor lookup or a membership flip.
+    active_ring: Mutex<HashRing>,
     pools: Vec<ShardPool>,
     hot: Mutex<HotTracker>,
     /// Round-robin cursor for hot-key fan-out.
@@ -234,21 +415,19 @@ pub fn start_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
     };
     let shard_timeout = Duration::from_millis(cfg.shard_timeout_ms.max(1));
     let ids: Vec<u32> = (0..cfg.shards.len() as u32).collect();
+    let ring = HashRing::new(&ids, cfg.vnodes);
     let inner = Arc::new(RouterInner {
         shard_client_cfg: ClientConfig {
             connect_timeout: Some(shard_timeout),
             read_timeout: Some(shard_timeout),
             write_timeout: Some(shard_timeout),
         },
-        ring: HashRing::new(&ids, cfg.vnodes),
+        full_ring: ring.clone(),
+        active_ring: Mutex::new(ring),
         pools: cfg
             .shards
             .iter()
-            .map(|&addr| ShardPool {
-                addr,
-                breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
-                idle: Mutex::new(Vec::new()),
-            })
+            .map(|&addr| ShardPool::new(addr, cfg.breaker))
             .collect(),
         // 1024 slots is generous for "a handful of hot scenarios"; the
         // window scales with threshold so heat must be sustained, not
@@ -283,6 +462,15 @@ impl RouterHandle {
         self.addr
     }
 
+    /// A handle for feeding shard lifecycle events into the router —
+    /// hand its [`RouterController::on_shard_event`] to
+    /// [`TierHandle::supervise`](crate::shard::TierHandle::supervise).
+    pub fn controller(&self) -> RouterController {
+        RouterController {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
     /// Begins a graceful drain of the router (shards keep running).
     pub fn shutdown(&self) {
         begin_drain(&self.inner);
@@ -310,6 +498,124 @@ impl Drop for RouterHandle {
         if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// The supervisor-facing face of the router: translates shard lifecycle
+/// events ([`ShardEvent`]) into admission changes and active-ring
+/// membership flips. Cheap to clone; safe to call from the supervisor
+/// thread while the router serves.
+#[derive(Clone)]
+pub struct RouterController {
+    inner: Arc<RouterInner>,
+}
+
+impl std::fmt::Debug for RouterController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterController").finish_non_exhaustive()
+    }
+}
+
+impl RouterController {
+    /// Applies one shard lifecycle event.
+    ///
+    /// * `Down`/`GaveUp` — the shard leaves the active ring immediately
+    ///   and its pooled connections are dropped. Its breaker state is
+    ///   left alone: requests already in flight will debit it naturally.
+    /// * `Restarted` — the pool adopts the new address, gets a fresh
+    ///   breaker, and enters warm-up: a prober thread sends probe traffic
+    ///   until [`RouterConfig::warmup_successes`] consecutive health
+    ///   probes pass, then the shard rejoins the active ring with its
+    ///   original vnodes.
+    pub fn on_shard_event(&self, event: &ShardEvent) {
+        match *event {
+            ShardEvent::Down { shard, .. } | ShardEvent::GaveUp { shard, .. } => {
+                self.mark_down(shard)
+            }
+            ShardEvent::Restarted {
+                shard,
+                addr,
+                restarts,
+            } => self.begin_warmup(shard, addr, restarts),
+        }
+    }
+
+    fn mark_down(&self, shard: u32) {
+        let Some(pool) = self.inner.pools.get(shard as usize) else {
+            return;
+        };
+        pool.epoch.fetch_add(1, Ordering::Relaxed);
+        // Admission and ring membership flip under the admission lock so
+        // a concurrent warm-up completion cannot interleave between them
+        // (lock order is admission → active_ring everywhere).
+        let mut adm = lock_recover(&pool.admission);
+        *adm = Admission::Down;
+        let mut ring = lock_recover(&self.inner.active_ring);
+        *ring = ring.without(shard);
+        drop(ring);
+        drop(adm);
+        pool.drop_idle();
+    }
+
+    fn begin_warmup(&self, shard: u32, addr: SocketAddr, restarts: u64) {
+        let Some(pool) = self.inner.pools.get(shard as usize) else {
+            return;
+        };
+        let epoch = pool.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        *lock_recover(&pool.addr) = addr;
+        pool.restarts.store(restarts, Ordering::Relaxed);
+        pool.drop_idle();
+        // The old breaker remembers the crash; the new process deserves a
+        // closed one.
+        *lock_recover(&pool.breaker) = CircuitBreaker::new(self.inner.cfg.breaker);
+        *lock_recover(&pool.admission) = Admission::WarmUp { successes: 0 };
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("doppio-warmup-{shard}"))
+            .spawn(move || warmup_probe_loop(&inner, shard, epoch))
+            .ok();
+    }
+}
+
+/// Half-open re-admission: the restarted shard serves probe traffic only
+/// until `warmup_successes` *consecutive* health probes report ready,
+/// then rejoins the active ring. A probe failure resets the streak;
+/// exhausting `warmup_budget_ms` parks the shard down until the
+/// supervisor reports another restart.
+fn warmup_probe_loop(inner: &Arc<RouterInner>, shard: u32, epoch: u64) {
+    let pool = &inner.pools[shard as usize];
+    let need = inner.cfg.warmup_successes.max(1);
+    let deadline = Instant::now() + Duration::from_millis(inner.cfg.warmup_budget_ms.max(1));
+    let mut streak = 0u32;
+    loop {
+        if inner.shared.is_draining() || pool.epoch.load(Ordering::Relaxed) != epoch {
+            return;
+        }
+        if Instant::now() > deadline {
+            let mut adm = lock_recover(&pool.admission);
+            if pool.epoch.load(Ordering::Relaxed) == epoch {
+                *adm = Admission::Down;
+            }
+            return;
+        }
+        let ready = probe(inner, shard as usize, Request::Health)
+            .and_then(|v| v.get("ready").and_then(Value::as_bool))
+            .unwrap_or(false);
+        streak = if ready { streak + 1 } else { 0 };
+        {
+            let mut adm = lock_recover(&pool.admission);
+            if pool.epoch.load(Ordering::Relaxed) != epoch {
+                return;
+            }
+            if streak >= need {
+                *adm = Admission::Active;
+                let mut ring = lock_recover(&inner.active_ring);
+                *ring = ring.with(shard);
+                return;
+            }
+            *adm = Admission::WarmUp { successes: streak };
+        }
+        std::thread::sleep(Duration::from_millis(inner.cfg.warmup_interval_ms.max(1)));
     }
 }
 
@@ -426,7 +732,8 @@ fn handle_request(inner: &Arc<RouterInner>, writer: &ReplyHandle, env: Envelope)
             let fan_inner = Arc::clone(inner);
             std::thread::spawn(move || {
                 for pool in &fan_inner.pools {
-                    if let Ok(mut c) = Client::connect_with(pool.addr, &fan_inner.shard_client_cfg)
+                    if let Ok(mut c) =
+                        Client::connect_with(pool.addr(), &fan_inner.shard_client_cfg)
                     {
                         let _ = c.call(Request::Shutdown, Some(5_000));
                     }
@@ -570,7 +877,10 @@ fn route_owned(
     request: Request,
     owner_fp: Fingerprint,
 ) {
-    let order = inner.ring.successors(&owner_fp, 1);
+    // Owner placement uses the *full* ring: while the owner is down or
+    // warming up these requests fail fast rather than fail over, because
+    // the learner state they touch lives on exactly that shard.
+    let order = inner.full_ring.successors(&owner_fp, 1);
     let job_inner = Arc::clone(inner);
     let job_writer = writer.clone();
     let job_id = id.clone();
@@ -655,7 +965,7 @@ fn forward_single(
 /// rotated round-robin over the first `hot_replicas` when the key is hot.
 /// Failover candidates (the tail) keep ring order either way.
 fn shard_order(inner: &Arc<RouterInner>, fp: &Fingerprint) -> Vec<u32> {
-    let mut order = inner.ring.successors(fp, inner.pools.len());
+    let mut order = lock_recover(&inner.active_ring).successors(fp, inner.pools.len());
     let hot = lock_recover(&inner.hot).observe(fp);
     if hot {
         let replicas = inner.cfg.hot_replicas.max(1).min(order.len());
@@ -738,17 +1048,38 @@ fn forward_flight(
     }
 }
 
+/// What remains of `deadline` in whole milliseconds, for the forwarded
+/// envelope. Recomputed per attempt, so a slow first shard cannot spend
+/// a rider's whole budget twice.
+fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| {
+        let left = d.saturating_duration_since(Instant::now()).as_millis() as u64;
+        // Out of time mid-walk: forward a token 1 ms; the caller's
+        // dequeue check replies deadline_exceeded on the next pass.
+        left.max(1)
+    })
+}
+
 /// Walks `order`, returning the first shard round-trip that completed at
 /// the transport level (its reply may still be a semantic error). `None`
-/// when every candidate was tripped, unreachable, or timed out.
+/// when every candidate was down, tripped, unreachable, or timed out.
+/// The first attempt of a hedgeable request runs as a hedge race when
+/// the primary's latency history justifies one.
 fn try_shards(
     inner: &Arc<RouterInner>,
     request: &Request,
     deadline: Option<Instant>,
     order: &[u32],
 ) -> Option<Reply> {
+    let hedge = hedge_delay(inner, request, order);
     for (attempt, &shard) in order.iter().enumerate() {
         let pool = &inner.pools[shard as usize];
+        // Admission gate. The active ring already excludes down shards
+        // for general traffic; this also covers owner-pinned orders
+        // (full ring) and forwards racing a membership flip.
+        if !pool.is_routable() {
+            continue;
+        }
         if !lock_recover(&pool.breaker).try_acquire(Instant::now()) {
             continue;
         }
@@ -760,23 +1091,24 @@ fn try_shards(
                 continue;
             }
         };
-        // Recompute what is left of the deadline per attempt, so a slow
-        // first shard cannot spend a rider's whole budget twice.
-        let remaining_ms = match deadline {
-            None => None,
-            Some(d) => {
-                let left = d.saturating_duration_since(Instant::now()).as_millis() as u64;
-                if left == 0 {
-                    // Out of time mid-walk; the caller's dequeue check
-                    // replies deadline_exceeded on the next pass.
-                    Some(1)
-                } else {
-                    Some(left)
+        if attempt == 0 {
+            if let Some(delay) = hedge {
+                match hedged_call(inner, shard, client, request, deadline, delay, order) {
+                    Some(reply) => {
+                        inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                        return Some(reply);
+                    }
+                    // Every leg failed at the transport level (breakers
+                    // already debited inside); fall through to the plain
+                    // sequential walk over the remaining successors.
+                    None => continue,
                 }
             }
-        };
-        match client.call(request.clone(), remaining_ms) {
+        }
+        let started = Instant::now();
+        match client.call(request.clone(), remaining_ms(deadline)) {
             Ok(reply) => {
+                pool.latency.record(started.elapsed());
                 lock_recover(&pool.breaker).record_success();
                 pool.checkin(client);
                 inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -792,6 +1124,184 @@ fn try_shards(
                 continue;
             }
         }
+    }
+    None
+}
+
+/// The delay after which a slow primary triggers a hedge: the primary
+/// shard's observed `hedge_quantile` round-trip latency, floored at
+/// `hedge_floor_ms`. `None` — no hedging — for non-idempotent verbs
+/// (`observe` must never run twice), single-candidate orders (owner-
+/// pinned requests always are), disabled config, or a primary whose
+/// histogram is still below `hedge_min_samples`.
+fn hedge_delay(inner: &Arc<RouterInner>, request: &Request, order: &[u32]) -> Option<Duration> {
+    if !inner.cfg.hedging || order.len() < 2 || !request.is_hedgeable() {
+        return None;
+    }
+    let pool = inner.pools.get(*order.first()? as usize)?;
+    let q = pool
+        .latency
+        .quantile(inner.cfg.hedge_quantile, inner.cfg.hedge_min_samples)?;
+    Some(q.max(Duration::from_millis(inner.cfg.hedge_floor_ms.max(1))))
+}
+
+/// One poll step of a hedge leg.
+enum LegPoll {
+    /// The matching reply arrived.
+    Got(Reply),
+    /// Deadline passed with the reply still in flight; the leg stays
+    /// valid (partial bytes are retained inside the client).
+    Pending,
+    /// Transport failure — the leg is gone.
+    Dead,
+}
+
+fn poll_leg(client: &mut Client, id: &str, deadline: Instant) -> LegPoll {
+    loop {
+        match client.recv_until(deadline) {
+            Ok(Some(r)) if r.id == id => return LegPoll::Got(r),
+            // A stray id on a pooled connection; skip it like `call` does.
+            Ok(Some(_)) => continue,
+            Ok(None) => return LegPoll::Pending,
+            Err(_) => return LegPoll::Dead,
+        }
+    }
+}
+
+/// Success bookkeeping for a race winner: close the breaker, restore the
+/// pooled read timeout (`recv_until` overrode it) and check the
+/// connection back in.
+fn finish_winner(pool: &ShardPool, mut client: Client, cfg: &ClientConfig) {
+    lock_recover(&pool.breaker).record_success();
+    if client.set_read_timeout(cfg.read_timeout).is_ok() {
+        pool.checkin(client);
+    }
+}
+
+/// One hedged round trip. The primary's reply is awaited for `delay`
+/// alone; past that a second copy of the request goes to the first
+/// routable, breaker-admitted ring successor, and the two connections
+/// are polled in short alternating slices — the first complete reply
+/// wins. The loser's connection is dropped unpooled, which closes it and
+/// discards whatever it would have said: that drop *is* the
+/// cancellation, and because only idempotent verbs reach here, the
+/// losing shard finishing the work anyway wastes one evaluation but can
+/// never change state. `None` means every leg failed at the transport
+/// level (breakers debited here).
+fn hedged_call(
+    inner: &Arc<RouterInner>,
+    primary_shard: u32,
+    mut primary: Client,
+    request: &Request,
+    deadline: Option<Instant>,
+    delay: Duration,
+    order: &[u32],
+) -> Option<Reply> {
+    let shard_timeout = inner
+        .shard_client_cfg
+        .read_timeout
+        .unwrap_or(Duration::from_secs(10));
+    let started = Instant::now();
+    let hard_stop = match deadline {
+        Some(d) => d.min(started + shard_timeout),
+        None => started + shard_timeout,
+    };
+    let ppool = &inner.pools[primary_shard as usize];
+    let pid = match primary.send_request(request.clone(), remaining_ms(deadline)) {
+        Ok(id) => id,
+        Err(_) => {
+            lock_recover(&ppool.breaker).record_failure(Instant::now());
+            return None;
+        }
+    };
+    // Phase 1: the primary gets its usual-latency budget to itself.
+    match poll_leg(&mut primary, &pid, (started + delay).min(hard_stop)) {
+        LegPoll::Got(reply) => {
+            ppool.latency.record(started.elapsed());
+            finish_winner(ppool, primary, &inner.shard_client_cfg);
+            return Some(reply);
+        }
+        LegPoll::Dead => {
+            lock_recover(&ppool.breaker).record_failure(Instant::now());
+            return None;
+        }
+        LegPoll::Pending => {}
+    }
+    // Phase 2: the primary blew its quantile — launch the hedge.
+    let mut hedge_leg: Option<(u32, Client, String, Instant)> = None;
+    let target = order[1..].iter().copied().find(|&s| {
+        let p = &inner.pools[s as usize];
+        p.is_routable() && lock_recover(&p.breaker).try_acquire(Instant::now())
+    });
+    if let Some(hs) = target {
+        let hpool = &inner.pools[hs as usize];
+        match hpool.checkout(&inner.shard_client_cfg) {
+            Err(_) => {
+                lock_recover(&hpool.breaker).record_failure(Instant::now());
+            }
+            Ok(mut hc) => {
+                let hstart = Instant::now();
+                match hc.send_request(request.clone(), remaining_ms(deadline)) {
+                    Ok(hid) => {
+                        hpool.hedged.fetch_add(1, Ordering::Relaxed);
+                        inner.counters.hedged.fetch_add(1, Ordering::Relaxed);
+                        hedge_leg = Some((hs, hc, hid, hstart));
+                    }
+                    Err(_) => {
+                        lock_recover(&hpool.breaker).record_failure(Instant::now());
+                    }
+                }
+            }
+        }
+    }
+    // Phase 3: alternate short polls across the live legs until one
+    // completes or the overall budget runs out.
+    const SLICE: Duration = Duration::from_millis(2);
+    let mut primary_alive = true;
+    while Instant::now() < hard_stop {
+        if primary_alive {
+            let slice_end = (Instant::now() + SLICE).min(hard_stop);
+            match poll_leg(&mut primary, &pid, slice_end) {
+                LegPoll::Got(reply) => {
+                    ppool.latency.record(started.elapsed());
+                    finish_winner(ppool, primary, &inner.shard_client_cfg);
+                    // `hedge_leg` drops here: the loser is cancelled.
+                    return Some(reply);
+                }
+                LegPoll::Dead => {
+                    lock_recover(&ppool.breaker).record_failure(Instant::now());
+                    primary_alive = false;
+                }
+                LegPoll::Pending => {}
+            }
+        }
+        if let Some((hs, mut hc, hid, hstart)) = hedge_leg.take() {
+            let hpool = &inner.pools[hs as usize];
+            let slice_end = (Instant::now() + SLICE).min(hard_stop);
+            match poll_leg(&mut hc, &hid, slice_end) {
+                LegPoll::Got(reply) => {
+                    hpool.latency.record(hstart.elapsed());
+                    hpool.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    finish_winner(hpool, hc, &inner.shard_client_cfg);
+                    // `primary` drops here: the loser is cancelled.
+                    return Some(reply);
+                }
+                LegPoll::Dead => {
+                    lock_recover(&hpool.breaker).record_failure(Instant::now());
+                }
+                LegPoll::Pending => hedge_leg = Some((hs, hc, hid, hstart)),
+            }
+        }
+        if !primary_alive && hedge_leg.is_none() {
+            return None;
+        }
+    }
+    // No winner inside the budget. The primary consumed a full shard
+    // timeout — debit it like the plain path's timeout; the hedge leg
+    // started late, so it is dropped without a verdict.
+    if primary_alive {
+        lock_recover(&ppool.breaker).record_failure(Instant::now());
     }
     None
 }
@@ -825,6 +1335,21 @@ fn reply_ok_to_all(inner: &Arc<RouterInner>, waiters: Vec<Waiter>, cached: bool,
 // Aggregated control commands (run on pool workers).
 // ---------------------------------------------------------------------------
 
+/// Probes every shard for a control command, skipping — not probing —
+/// shards currently marked down, so a tier poll stays bounded while a
+/// shard is mid-restart.
+fn snapshot_shards(inner: &Arc<RouterInner>, request: Request) -> Vec<Option<Value>> {
+    (0..inner.pools.len())
+        .map(|i| {
+            if matches!(inner.pools[i].admission(), Admission::Down) {
+                None
+            } else {
+                probe(inner, i, request.clone())
+            }
+        })
+        .collect()
+}
+
 /// Fetches one shard's `stats`/`health` result over a fresh short-timeout
 /// connection. Deliberately bypasses the breaker: observability should
 /// report a sick shard, not mask it.
@@ -834,7 +1359,7 @@ fn probe(inner: &RouterInner, shard: usize, request: Request) -> Option<Value> {
         read_timeout: Some(Duration::from_millis(2_000)),
         write_timeout: Some(Duration::from_millis(2_000)),
     };
-    let mut c = Client::connect_with(inner.pools[shard].addr, &cfg).ok()?;
+    let mut c = Client::connect_with(inner.pools[shard].addr(), &cfg).ok()?;
     let reply = c.call(request, Some(2_000)).ok()?;
     if reply.ok {
         reply.result
@@ -853,9 +1378,7 @@ fn u64_of(v: Option<&Value>, key: &str) -> u64 {
 /// across reachable shards, plus the router's own counters and per-shard
 /// reachability under `router`.
 fn stats_payload(inner: &Arc<RouterInner>) -> Object {
-    let snapshots: Vec<Option<Value>> = (0..inner.pools.len())
-        .map(|i| probe(inner, i, Request::Stats))
-        .collect();
+    let snapshots: Vec<Option<Value>> = snapshot_shards(inner, Request::Stats);
     let sum = |key: &str| -> u64 { snapshots.iter().map(|s| u64_of(s.as_ref(), key)).sum() };
     let sum_cache = |key: &str| -> u64 {
         snapshots
@@ -914,6 +1437,20 @@ fn stats_payload(inner: &Arc<RouterInner>) -> Object {
     router.put_u64("shed", c.shed.load(Ordering::Relaxed));
     router.put_u64("coalesced", c.coalesced.load(Ordering::Relaxed));
     router.put_u64("hot_routed", c.hot_routed.load(Ordering::Relaxed));
+    router.put_u64("hedged", c.hedged.load(Ordering::Relaxed));
+    router.put_u64("hedge_wins", c.hedge_wins.load(Ordering::Relaxed));
+    router.put_u64(
+        "restarts",
+        inner
+            .pools
+            .iter()
+            .map(|p| p.restarts.load(Ordering::Relaxed))
+            .sum(),
+    );
+    router.put_u64(
+        "active_shards",
+        inner.pools.iter().filter(|p| p.is_routable()).count() as u64,
+    );
     let (mut opened, mut fast_failures) = (0, 0);
     router.put_obj_arr(
         "per_shard",
@@ -928,10 +1465,15 @@ fn stats_payload(inner: &Arc<RouterInner>) -> Object {
                 fast_failures += b.fast_failures();
                 let mut so = Object::new();
                 so.put_u64("shard", i as u64);
-                so.put_str("addr", &pool.addr.to_string());
+                so.put_str("addr", &pool.addr().to_string());
                 so.put_bool("ok", snap.is_some());
+                so.put_str("admission", pool.admission().name());
+                so.put_str("breaker", b.state_name());
                 so.put_u64("breaker_opened", b.opened());
                 so.put_u64("breaker_fast_failures", b.fast_failures());
+                so.put_u64("restarts", pool.restarts.load(Ordering::Relaxed));
+                so.put_u64("hedged", pool.hedged.load(Ordering::Relaxed));
+                so.put_u64("hedge_wins", pool.hedge_wins.load(Ordering::Relaxed));
                 so
             })
             .collect(),
@@ -946,9 +1488,7 @@ fn stats_payload(inner: &Arc<RouterInner>) -> Object {
 /// startup gate `doppio health --wait-ms` polls. A degraded-but-serving
 /// tier is visible in `shards_ready` and the per-shard list.
 fn health_payload(inner: &Arc<RouterInner>) -> Object {
-    let snapshots: Vec<Option<Value>> = (0..inner.pools.len())
-        .map(|i| probe(inner, i, Request::Health))
-        .collect();
+    let snapshots: Vec<Option<Value>> = snapshot_shards(inner, Request::Health);
     let ready_count = snapshots
         .iter()
         .filter(|s| {
@@ -958,17 +1498,30 @@ fn health_payload(inner: &Arc<RouterInner>) -> Object {
                 .unwrap_or(false)
         })
         .count();
+    // A warming shard can answer its own health probe ready while still
+    // outside the active ring; the tier is only ready once everyone is
+    // re-admitted — which is exactly what a restart-leg health poll
+    // should wait for.
+    let all_active = inner.pools.iter().all(ShardPool::is_routable);
     let draining = inner.shared.is_draining();
     let mut o = Object::new();
     o.put_str("schema", "doppio-serve-health/v1");
     o.put_bool(
         "ready",
-        ready_count == inner.pools.len() && !draining && ready_count > 0,
+        ready_count == inner.pools.len() && all_active && !draining && ready_count > 0,
     );
     o.put_bool("draining", draining);
     o.put_f64("uptime_secs", inner.started.elapsed().as_secs_f64());
     o.put_u64("shards", inner.pools.len() as u64);
     o.put_u64("shards_ready", ready_count as u64);
+    o.put_u64(
+        "restarts",
+        inner
+            .pools
+            .iter()
+            .map(|p| p.restarts.load(Ordering::Relaxed))
+            .sum(),
+    );
     let sum = |key: &str| -> u64 {
         snapshots
             .iter()
@@ -992,7 +1545,7 @@ fn health_payload(inner: &Arc<RouterInner>) -> Object {
             .map(|(i, (pool, snap))| {
                 let mut so = Object::new();
                 so.put_u64("shard", i as u64);
-                so.put_str("addr", &pool.addr.to_string());
+                so.put_str("addr", &pool.addr().to_string());
                 so.put_bool(
                     "ready",
                     snap.as_ref()
@@ -1000,9 +1553,41 @@ fn health_payload(inner: &Arc<RouterInner>) -> Object {
                         .and_then(Value::as_bool)
                         .unwrap_or(false),
                 );
+                so.put_str("admission", pool.admission().name());
+                so.put_u64("restarts", pool.restarts.load(Ordering::Relaxed));
                 so
             })
             .collect(),
     );
     o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_quantile_tracks_the_tail() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.95, 1), None);
+        for _ in 0..95 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        for _ in 0..5 {
+            h.record(Duration::from_millis(80)); // bucket [65536, 131072) µs
+        }
+        // p50 sits in the fast bucket; its reported edge is 128 µs.
+        assert_eq!(h.quantile(0.5, 1), Some(Duration::from_micros(128)));
+        // p99 lands in the slow bucket's edge.
+        assert_eq!(h.quantile(0.99, 1), Some(Duration::from_micros(131_072)));
+        // Below the sample floor the histogram declines to advise.
+        assert_eq!(h.quantile(0.99, 1_000), None);
+    }
+
+    #[test]
+    fn admission_names_are_stable() {
+        assert_eq!(Admission::Active.name(), "active");
+        assert_eq!(Admission::Down.name(), "down");
+        assert_eq!(Admission::WarmUp { successes: 2 }.name(), "warm-up");
+    }
 }

@@ -44,6 +44,7 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -56,7 +57,7 @@ use doppio_engine::json::Object;
 use doppio_engine::{
     Engine, Fingerprint, FingerprintBuilder, Fingerprintable, MemoCache, SubmitError, TaskPool,
 };
-use doppio_learn::{Corrector, Learner, RunObservation};
+use doppio_learn::{Corrector, Learner, RunObservation, Snapshot};
 use doppio_model::whatif::failure_inflation;
 use doppio_model::{AppModel, Calibrator, PredictEnv, SimPlatform};
 use doppio_sparksim::{FaultPlan, Simulation, SparkConf};
@@ -114,6 +115,14 @@ pub struct ServeConfig {
     /// value panics inside the worker instead of evaluating, exercising
     /// the `catch_unwind` isolation path end to end.
     pub panic_seed: Option<u64>,
+    /// Directory for durable learner snapshots (`None` = learner state
+    /// dies with the process). When set, every ingest persists its
+    /// workload's `doppio-learn-snapshot/v1` file (write-to-temp +
+    /// rename) before the ack, drain flushes all learners, and startup
+    /// restores whatever the directory holds — so a supervised shard
+    /// that re-execs with the same arguments resumes its correctors
+    /// bit-identically.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +138,7 @@ impl Default for ServeConfig {
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             panic_seed: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -292,12 +302,23 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         write_timeout: (cfg.write_timeout_ms > 0)
             .then(|| Duration::from_millis(cfg.write_timeout_ms)),
     };
+    // Restore durable learner state *before* the listener starts taking
+    // requests: a corrected predict racing the restore would otherwise
+    // serve an identity-corrector answer from a server that is about to
+    // know better.
+    let learners = match cfg.snapshot_dir.as_deref() {
+        None => HashMap::new(),
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            restore_learners(dir)
+        }
+    };
     let inner = Arc::new(Inner {
         pool: Mutex::new(Some(TaskPool::new(cfg.workers, cfg.queue_bound))),
         cache,
         flights: Singleflight::new(),
         counters: Counters::default(),
-        learners: Mutex::new(HashMap::new()),
+        learners: Mutex::new(learners),
         shared: Arc::clone(&shared),
         started: Instant::now(),
         cfg,
@@ -365,9 +386,121 @@ fn begin_drain(inner: &Arc<Inner>) {
             if let Some(pool) = pool {
                 pool.drain();
             }
+            // Flush every learner after the last queued ingest has run,
+            // so the snapshots on disk include the whole drained window.
+            if let Some(dir) = drain_inner.cfg.snapshot_dir.as_deref() {
+                flush_learners(&drain_inner, dir);
+            }
             drain_inner.shared.finish_drain();
         });
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable learner state (the self-healing tier's persistence half).
+// ---------------------------------------------------------------------------
+
+/// Where a workload's snapshot lives: one file per learner key, named so
+/// `wordcount|true` and `wordcount|false` never collide.
+fn snapshot_path(dir: &Path, workload: &str, paper: bool) -> PathBuf {
+    let scale = if paper { "paper" } else { "scaled" };
+    dir.join(format!("{workload}-{scale}.snapshot.ndjson"))
+}
+
+/// Persists one learner snapshot via write-to-temp + rename, so a crash
+/// mid-write leaves the previous complete snapshot in place, never a
+/// torn file. Best-effort: an unwritable disk costs durability, not
+/// serving.
+fn write_snapshot(dir: &Path, snap: &Snapshot) {
+    let path = snapshot_path(dir, &snap.workload, snap.paper);
+    let tmp = path.with_extension("ndjson.tmp");
+    let outcome =
+        std::fs::write(&tmp, snap.to_ndjson()).and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(e) = outcome {
+        eprintln!(
+            "doppio-serve: could not persist learner snapshot {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Captures and persists every live learner (drain path).
+fn flush_learners(inner: &Arc<Inner>, dir: &Path) {
+    let slots: Vec<(String, Arc<Mutex<Learner>>)> = lock_recover(&inner.learners)
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    for (key, slot) in slots {
+        let Some((workload, paper)) = key.rsplit_once('|') else {
+            continue;
+        };
+        let snap = {
+            let learner = lock_recover(&slot);
+            Snapshot::capture(&learner, workload, paper == "true")
+        };
+        write_snapshot(dir, &snap);
+    }
+}
+
+/// Rebuilds the learner registry from whatever snapshots `dir` holds.
+/// Each snapshot is restored against a freshly calibrated base model —
+/// the same deterministic recipe the ingest path uses — and its corrector
+/// fingerprint is verified in [`Snapshot::restore`]; files that fail to
+/// parse, name unknown workloads, or verify against a different model
+/// are skipped with a note on stderr rather than wedging startup.
+fn restore_learners(dir: &Path) -> HashMap<String, Arc<Mutex<Learner>>> {
+    let mut out = HashMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".snapshot.ndjson"))
+        {
+            continue;
+        }
+        let skip = |why: String| {
+            eprintln!(
+                "doppio-serve: skipping learner snapshot {}: {why}",
+                path.display()
+            );
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            skip("unreadable".into());
+            continue;
+        };
+        let snap = match Snapshot::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                skip(e.to_string());
+                continue;
+            }
+        };
+        let Some(workload) = parse_workload(&snap.workload) else {
+            skip(format!("unknown workload '{}'", snap.workload));
+            continue;
+        };
+        let model = match calibrate_base_model(workload, snap.paper) {
+            Ok(m) => m,
+            Err(e) => {
+                skip(e.message);
+                continue;
+            }
+        };
+        match snap.restore(model) {
+            Ok(learner) => {
+                out.insert(
+                    learner_key(&snap.workload, snap.paper),
+                    Arc::new(Mutex::new(learner)),
+                );
+            }
+            Err(e) => skip(e.to_string()),
+        }
+    }
+    out
 }
 
 fn handle_request(inner: &Arc<Inner>, writer: &ReplyHandle, env: Envelope) {
@@ -569,11 +702,23 @@ fn ingest_observation(inner: &Arc<Inner>, obs: &RunObservation) -> Result<String
             )
         }
     };
-    let (version, observations, window) = {
+    let (version, observations, window, snap) = {
         let mut learner = lock_recover(&slot);
         let version = learner.ingest(obs.clone());
-        (version, learner.observations(), learner.window_len())
+        // Capture under the learner lock (cheap: clones the bounded
+        // window) so the persisted state is exactly the adopted one.
+        let snap = inner
+            .cfg
+            .snapshot_dir
+            .is_some()
+            .then(|| Snapshot::capture(&learner, &obs.workload, obs.paper));
+        (version, learner.observations(), learner.window_len(), snap)
     };
+    // Persist before the ack: once the client hears "ingested", the
+    // observation must survive a SIGKILL.
+    if let (Some(dir), Some(snap)) = (inner.cfg.snapshot_dir.as_deref(), snap) {
+        write_snapshot(dir, &snap);
+    }
     inner.counters.observations.fetch_add(1, Ordering::Relaxed);
     let mut o = Object::new();
     o.put_str("schema", "doppio-observe-ack/v1");

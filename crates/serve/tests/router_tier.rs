@@ -320,6 +320,176 @@ fn stats_aggregate_across_shards_under_the_same_schema() {
     );
 }
 
+/// A transparent TCP gate in front of one shard whose reply-side delay
+/// can be changed mid-test: 0 while the router's latency histogram warms
+/// up with honest fast samples, then cranked up to fake a shard that
+/// suddenly develops a latency tail — the scenario hedging exists for.
+struct SlowGate {
+    addr: std::net::SocketAddr,
+    delay_ms: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+fn slow_gate(target: std::net::SocketAddr) -> SlowGate {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("gate binds");
+    let addr = listener.local_addr().expect("gate addr");
+    let delay_ms = Arc::new(AtomicU64::new(0));
+    let delay = Arc::clone(&delay_ms);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = std::net::TcpStream::connect(target) else {
+                continue;
+            };
+            // Request side: transparent byte pump.
+            let (c_in, s_out) = (
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+            );
+            std::thread::spawn(move || {
+                let (mut r, mut w) = (&c_in, &s_out);
+                let _ = std::io::copy(&mut r, &mut w);
+                let _ = s_out.shutdown(std::net::Shutdown::Write);
+            });
+            // Reply side: each chunk stalled by the *current* delay, so a
+            // connection pooled while the gate was fast still turns slow.
+            let delay = Arc::clone(&delay);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                loop {
+                    match (&server).read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            let ms = delay.load(Ordering::Relaxed);
+                            if ms > 0 {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                            if (&client).write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let _ = client.shutdown(std::net::Shutdown::Write);
+            });
+        }
+    });
+    SlowGate { addr, delay_ms }
+}
+
+/// Hedging cuts the tail a suddenly-slow shard inflicts: once the owning
+/// shard's replies stall past its learned latency quantile, the router
+/// races the ring successor and the fast answer wins — while a control
+/// router with hedging disabled eats the full stall on every request.
+/// Every request id still resolves to exactly one reply.
+#[test]
+fn hedging_cuts_the_tail_of_a_suddenly_slow_shard() {
+    use std::sync::atomic::Ordering;
+
+    let shards = spawn_shards(2);
+    let request = whatif(0.5);
+    let owner = HashRing::new(&[0, 1], DEFAULT_VNODES).shard_for(&request.fingerprint()) as usize;
+    let gate = slow_gate(shards[owner].addr());
+    let gated_addrs = |shards: &[ServerHandle]| -> Vec<std::net::SocketAddr> {
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i == owner { gate.addr } else { s.addr() })
+            .collect()
+    };
+
+    let hedged = start_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: gated_addrs(&shards),
+        hedge_min_samples: 8,
+        shard_timeout_ms: 5_000,
+        ..RouterConfig::default()
+    })
+    .expect("hedged router starts");
+    let control = start_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: gated_addrs(&shards),
+        hedging: false,
+        shard_timeout_ms: 5_000,
+        ..RouterConfig::default()
+    })
+    .expect("control router starts");
+
+    let mut hedged_client = Client::connect(hedged.addr()).expect("hedged client");
+    let mut control_client = Client::connect(control.addr()).expect("control client");
+
+    // Warm both routers' histograms past the sample floor while the gate
+    // is transparent: the owner's learned quantile reflects a fast shard.
+    for _ in 0..12 {
+        for c in [&mut hedged_client, &mut control_client] {
+            let r = c.call(request.clone(), Some(10_000)).expect("warm reply");
+            assert!(r.ok, "warm-up request failed: {:?}", r.error_message);
+        }
+    }
+
+    // The owner develops a 150 ms stall on every reply chunk.
+    gate.delay_ms.store(150, Ordering::Relaxed);
+
+    let measure = |client: &mut Client| -> Vec<Duration> {
+        (0..10)
+            .map(|i| {
+                let t0 = std::time::Instant::now();
+                let r = client.call(request.clone(), Some(10_000)).expect("reply");
+                assert!(r.ok, "request {i} failed: {:?}", r.error_message);
+                t0.elapsed()
+            })
+            .collect()
+    };
+    let mut slow = measure(&mut control_client);
+    let mut fast = measure(&mut hedged_client);
+    slow.sort();
+    fast.sort();
+    let (p99_slow, p99_fast) = (slow[slow.len() - 1], fast[fast.len() - 1]);
+
+    assert!(
+        p99_slow >= Duration::from_millis(100),
+        "control must eat the stall, took only {p99_slow:?}"
+    );
+    assert!(
+        p99_fast < p99_slow / 2,
+        "hedging must cut the tail: hedged {p99_fast:?} vs control {p99_slow:?}"
+    );
+
+    // The router accounted for the race, and the successor's wins are
+    // visible per shard.
+    let stats = hedged_client
+        .call(Request::Stats, Some(5_000))
+        .expect("stats");
+    let router_stats = stats
+        .result
+        .as_ref()
+        .and_then(|v| v.get("router"))
+        .cloned()
+        .expect("router sub-object");
+    let n = |k: &str| {
+        router_stats
+            .get(k)
+            .and_then(doppio_engine::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(n("hedged") >= 1, "hedges launched: {router_stats:?}");
+    assert!(n("hedge_wins") >= 1, "hedges won: {router_stats:?}");
+    let control_stats = control_client
+        .call(Request::Stats, Some(5_000))
+        .expect("control stats");
+    let control_hedged = control_stats
+        .result
+        .as_ref()
+        .and_then(|v| v.get("router"))
+        .and_then(|v| v.get("hedged"))
+        .and_then(doppio_engine::json::Value::as_u64)
+        .unwrap_or(99);
+    assert_eq!(control_hedged, 0, "hedging off means zero hedges");
+}
+
 /// A remote shutdown through the router drains the whole tier: router
 /// replies, fans out to every shard, and all listeners go away.
 #[test]

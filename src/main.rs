@@ -15,11 +15,13 @@
 //! doppio serve   [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
 //!                [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
 //!                [--shards N] [--vnodes V] [--hot-threshold T] [--hot-replicas R]
+//!                [--snapshot-dir DIR] [--pid-dir DIR]
 //! doppio health  [--addr H:P] [--wait-ms W]
 //! doppio loadgen [--addr H:P] [--smoke] [--connections N] [--requests N] [--repeats R]
 //!                [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
 //!                [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
 //!                [--hot-worker] [--hold N] [--observe-log FILE]
+//!                [--kill-after N] [--kill-pid-file PATH] [--expect-restarts N]
 //! doppio list
 //! ```
 //!
@@ -114,6 +116,7 @@ USAGE:
   doppio serve [--addr H:P] [--workers N] [--queue-bound Q] [--cache C] [--deadline-ms D]
                [--port-file PATH] [--allow-shutdown] [--max-line-bytes B] [--idle-timeout-ms T]
                [--shards N] [--vnodes V] [--hot-threshold T] [--hot-replicas R]
+               [--snapshot-dir DIR] [--pid-dir DIR]
       run the model-serving front end: newline-delimited JSON over TCP with
       a shared result cache, singleflight deduplication and a bounded
       admission queue that sheds overload with structured 'overloaded'
@@ -121,11 +124,17 @@ USAGE:
       --max-line-bytes, and idle or stalled connections are reaped after
       --idle-timeout-ms; --port-file records the bound address for scripts
       and --allow-shutdown lets a client drain the server remotely;
+      --snapshot-dir persists each workload's learner snapshot on every
+      ingest (and restores it at startup), so correctors survive restarts;
       --shards N launches N shard processes behind a consistent-hash
       router on --addr instead of one server (replies stay bit-identical):
       --vnodes sets ring granularity, and past --hot-threshold repeats a
       hot key fans out over --hot-replicas shards; a dead shard's keys
-      fail over to their ring successor behind a per-shard circuit breaker
+      fail over to their ring successor behind a per-shard circuit
+      breaker, a supervisor restarts crashed shards (seeded backoff,
+      crash-loop budget) and the router re-admits them through a warm-up
+      probe gate; --pid-dir writes one shard-<i>.pid per shard for chaos
+      drivers; slow idempotent requests are hedged to the ring successor
   doppio health [--addr H:P] [--wait-ms W]
       ask a serve endpoint for its health payload (readiness, queue depth,
       cache stats, panic count, uptime); with --wait-ms, poll until the
@@ -134,6 +143,7 @@ USAGE:
                  [--out PATH] [--shutdown-after] [--chaos <profile>] [--chaos-seed S]
                  [--connect-timeout-ms T] [--read-timeout-ms T] [--procs N]
                  [--hot-worker] [--hold N] [--observe-log FILE]
+                 [--kill-after N] [--kill-pid-file PATH] [--expect-restarts N]
       drive a serve endpoint through cold/hot closed-loop phases plus a
       singleflight burst, recording latency percentiles and the
       hot-over-cold speedup to BENCH_serve_throughput.json (strictly
@@ -150,7 +160,11 @@ USAGE:
       predicted analytically, fed to the server's `observe` verb, then
       re-predicted with the corrector, and the analytic-vs-corrected MAPE
       comparison lands in LEARN_replay.json (strictly parsed back);
-      --smoke additionally fails unless the corrected error is lower
+      --smoke additionally fails unless the corrected error is lower;
+      --kill-after N SIGKILLs the pid in --kill-pid-file after N cold
+      requests (the shard-restart chaos leg: lost replies are counted,
+      not fatal) and --expect-restarts N waits until the router reports N
+      supervisor restarts and health goes ready before the final stats
   doppio list
       list workloads, disk configurations, fault profiles, chaos profiles
       and correctors
@@ -888,6 +902,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         allow_shutdown: flag(args, "--allow-shutdown"),
         max_line_bytes: parse_num(args, "--max-line-bytes", defaults.max_line_bytes)?,
         read_timeout_ms: parse_num(args, "--idle-timeout-ms", defaults.read_timeout_ms)?,
+        snapshot_dir: opt(args, "--snapshot-dir").map(std::path::PathBuf::from),
         ..Default::default()
     };
     let handle = doppio::serve::start(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -914,12 +929,14 @@ fn cmd_serve_sharded(
     deadline_ms: u64,
 ) -> Result<(), String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    let tier = doppio::serve::spawn_tier(&doppio::serve::TierSpec {
+    let mut tier = doppio::serve::spawn_tier(&doppio::serve::TierSpec {
         exe,
         shards,
         workers_per_shard: workers,
         cache_capacity: parse_num(args, "--cache", 4096)?,
         queue_bound,
+        snapshot_dir: opt(args, "--snapshot-dir").map(std::path::PathBuf::from),
+        pid_dir: opt(args, "--pid-dir").map(std::path::PathBuf::from),
         ..Default::default()
     })
     .map_err(|e| format!("spawn shard tier: {e}"))?;
@@ -927,7 +944,7 @@ fn cmd_serve_sharded(
     let defaults = doppio::serve::RouterConfig::default();
     let router = doppio::serve::start_router(doppio::serve::RouterConfig {
         addr: opt(args, "--addr").unwrap_or("127.0.0.1:7099").to_string(),
-        shards: tier.addrs().to_vec(),
+        shards: tier.addrs(),
         vnodes: parse_num(args, "--vnodes", defaults.vnodes)?,
         hot_threshold: parse_num(args, "--hot-threshold", defaults.hot_threshold)?,
         hot_replicas: parse_num(args, "--hot-replicas", defaults.hot_replicas)?,
@@ -942,6 +959,13 @@ fn cmd_serve_sharded(
         ..Default::default()
     })
     .map_err(|e| format!("bind router: {e}"))?;
+    // Self-healing: the supervisor restarts crashed shards and feeds
+    // lifecycle events to the router, which drops a dead shard from the
+    // active ring and re-admits it through the warm-up probe gate.
+    let controller = router.controller();
+    tier.supervise(doppio::serve::SupervisorConfig::default(), move |ev| {
+        controller.on_shard_event(&ev)
+    });
     let bound = router.addr();
     if let Some(path) = opt(args, "--port-file") {
         std::fs::write(path, bound.to_string()).map_err(|e| format!("write {path}: {e}"))?;
@@ -1047,6 +1071,9 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     cfg.chaos_seed = parse_num(args, "--chaos-seed", cfg.chaos_seed)?;
     cfg.connect_timeout_ms = parse_num(args, "--connect-timeout-ms", cfg.connect_timeout_ms)?;
     cfg.read_timeout_ms = parse_num(args, "--read-timeout-ms", cfg.read_timeout_ms)?;
+    cfg.kill_after = parse_num(args, "--kill-after", cfg.kill_after)?;
+    cfg.kill_pid_file = opt(args, "--kill-pid-file").map(std::path::PathBuf::from);
+    cfg.expect_restarts = parse_num(args, "--expect-restarts", cfg.expect_restarts)?;
 
     // Without --addr, measure against a throwaway in-process server.
     let (addr, local) = match opt(args, "--addr") {
@@ -1584,6 +1611,11 @@ mod tests {
             "--hot-worker",
             "--hold",
             "--observe-log",
+            "--snapshot-dir",
+            "--pid-dir",
+            "--kill-after",
+            "--kill-pid-file",
+            "--expect-restarts",
         ] {
             assert!(USAGE.contains(flag), "USAGE lists {flag}");
         }

@@ -109,7 +109,7 @@ fn every_profile_yields_exactly_one_outcome_per_request() {
                 // cooldown (bounded): the breaker shedding is the point,
                 // abandoning the semantic check is not.
                 let mut waits = 0;
-                while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 30 {
+                while matches!(outcome, Err(CallError::CircuitOpen { .. })) && waits < 30 {
                     std::thread::sleep(Duration::from_millis(20));
                     waits += 1;
                     outcome = rc.call(Request::Simulate(spec(seed)), None);
@@ -247,7 +247,7 @@ fn killing_a_shard_mid_load_yields_exactly_one_outcome_per_request() {
     use doppio::serve::ring::DEFAULT_VNODES;
     use doppio::serve::{spawn_tier, start_router, HashRing, RouterConfig, TierSpec};
 
-    let mut tier = spawn_tier(&TierSpec {
+    let tier = spawn_tier(&TierSpec {
         exe: env!("CARGO_BIN_EXE_doppio").into(),
         shards: 3,
         workers_per_shard: 2,
@@ -291,7 +291,7 @@ fn killing_a_shard_mid_load_yields_exactly_one_outcome_per_request() {
                         // design; wait it out (bounded) so every id still
                         // reaches a semantic outcome.
                         let mut waits = 0;
-                        while matches!(outcome, Err(CallError::CircuitOpen)) && waits < 50 {
+                        while matches!(outcome, Err(CallError::CircuitOpen { .. })) && waits < 50 {
                             std::thread::sleep(Duration::from_millis(20));
                             waits += 1;
                             outcome = rc.call(Request::Simulate(spec(seed)), Some(10_000));
@@ -385,6 +385,257 @@ fn killing_a_shard_mid_load_yields_exactly_one_outcome_per_request() {
     router.join();
 }
 
+/// The self-healing loop end to end: `SIGKILL` the shard that owns the
+/// `terasort` learner, let the supervisor restart it and the router warm
+/// it back into the ring, and demand that post-restart corrected
+/// predictions are byte-identical to the pre-kill ones. That identity is
+/// only possible if three things all held: the learner snapshot survived
+/// the kill (written before every ack), the restarted process restored it
+/// before reporting ready, and re-admission handed the workload back to
+/// its *original* owner (same vnodes, same placement).
+#[test]
+fn killed_learn_owner_restarts_readmits_and_stays_byte_identical() {
+    use doppio::engine::FingerprintBuilder;
+    use doppio::learn::RunObservation;
+    use doppio::serve::ring::DEFAULT_VNODES;
+    use doppio::serve::{
+        spawn_tier, start_router, HashRing, PredictSpec, RouterConfig, SupervisorConfig, TierSpec,
+    };
+
+    let observations: Vec<RunObservation> = include_str!("fixtures/observations_slowdisk.ndjson")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| RunObservation::parse_line(l).expect("fixture line parses"))
+        .collect();
+    let n_obs = observations.len() as u64;
+
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("doppio-restart-chaos-{}", std::process::id()));
+    let mut tier = spawn_tier(&TierSpec {
+        exe: env!("CARGO_BIN_EXE_doppio").into(),
+        shards: 4,
+        workers_per_shard: 1,
+        snapshot_dir: Some(snapshot_dir.clone()),
+        ..TierSpec::default()
+    })
+    .expect("tier starts");
+    let router = start_router(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: tier.addrs(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(100),
+            probe_budget: 1,
+        },
+        // Test-paced warm-up: two consecutive ready probes, 10 ms apart.
+        warmup_successes: 2,
+        warmup_interval_ms: 10,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    let controller = router.controller();
+    tier.supervise(
+        SupervisorConfig {
+            poll_interval: Duration::from_millis(10),
+            // The jittered floor (base/2 = 100 ms) keeps the down-window
+            // probe below honest: the restart cannot beat it.
+            backoff_base: Duration::from_millis(200),
+            backoff_max: Duration::from_millis(400),
+            ..SupervisorConfig::default()
+        },
+        move |ev| controller.on_shard_event(&ev),
+    );
+
+    // Owner placement is a pure function of the ring, so the victim — the
+    // shard holding the terasort learner — is known up front.
+    let owner_fp = {
+        let mut fp = FingerprintBuilder::new();
+        fp.write_str("learn-owner");
+        fp.write_str("terasort");
+        fp.write_bool(false);
+        fp.finish()
+    };
+    let victim = HashRing::new(&[0, 1, 2, 3], DEFAULT_VNODES).shard_for(&owner_fp) as usize;
+
+    let corrected_spec = || PredictSpec {
+        workload: Workload::Terasort,
+        nodes: 3,
+        cores: 8,
+        config: HybridConfig::HddHdd,
+        paper: false,
+        profile_nodes: 3,
+        corrected: true,
+    };
+    // The reply's rendered result payload: everything after `"result": `
+    // minus the envelope's closing brace is the evaluation verbatim.
+    let payload = |raw: &str| -> String {
+        let (_, after) = raw
+            .split_once("\"result\": ")
+            .expect("ok reply carries a result");
+        after[..after.len() - 1].to_string()
+    };
+
+    let mut client = Client::connect(router.addr()).expect("client connects");
+    for obs in observations {
+        let reply = client
+            .call(Request::Observe(obs), Some(10_000))
+            .expect("observe reply");
+        assert!(reply.ok, "observe failed: {:?}", reply.error_message);
+    }
+    let before = client
+        .call(Request::Predict(corrected_spec()), Some(10_000))
+        .expect("pre-kill corrected predict");
+    assert!(before.ok, "pre-kill predict: {:?}", before.error_message);
+    let before_payload = payload(&before.raw);
+
+    // The whole kill → restart → re-admit cycle runs under hostile wire
+    // load: a disconnect-heavy proxy between a retrying client and the
+    // router, driving idempotent simulates across the ownership flips.
+    let mut proxy = ChaosProxy::start(router.addr(), ChaosProfile::DisconnectHeavy, 0xC4A0_9000)
+        .expect("chaos proxy");
+    let chaos_seeds = [71u64, 72, 73, 74];
+    let chaos_expected: Vec<String> = chaos_seeds.iter().map(|&s| expected_payload(s)).collect();
+    let proxy_addr = proxy.addr().to_string();
+    let rounds = 8usize;
+
+    let outcomes: Vec<(u64, Result<doppio::serve::Reply, CallError>)> =
+        std::thread::scope(|scope| {
+            let load = scope.spawn(move || {
+                let mut rc = retrying(proxy_addr, 0x5EED_9000);
+                let mut out = Vec::with_capacity(rounds * chaos_seeds.len());
+                for _ in 0..rounds {
+                    for &seed in &chaos_seeds {
+                        let mut outcome = rc.call(Request::Simulate(spec(seed)), Some(10_000));
+                        let mut waits = 0;
+                        while matches!(outcome, Err(CallError::CircuitOpen { .. })) && waits < 50 {
+                            std::thread::sleep(Duration::from_millis(20));
+                            waits += 1;
+                            outcome = rc.call(Request::Simulate(spec(seed)), Some(10_000));
+                        }
+                        out.push((seed, outcome));
+                    }
+                }
+                out
+            });
+
+            tier.kill_shard(victim); // SIGKILL, no drain, mid-load
+
+            // While the owner is down its learner is unreachable *by
+            // design*: owner-pinned requests fail fast rather than fail
+            // over, because a failover would fork the corrector state
+            // onto a second shard.
+            // (A connection-level error is an equally terminal outcome.)
+            if let Ok(r) = client.call(Request::Predict(corrected_spec()), Some(2_000)) {
+                assert!(
+                    !r.ok,
+                    "corrected predict cannot succeed against a dead owner: {}",
+                    r.raw
+                );
+            }
+
+            // Tier health flips ready only when every shard is back in
+            // the active ring, so one bounded poll loop covers restart +
+            // warm-up.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                let h = client
+                    .call(Request::Health, Some(5_000))
+                    .expect("health reply");
+                let result = h.result.as_ref().expect("health payload");
+                let b = |k: &str| {
+                    result
+                        .get(k)
+                        .and_then(doppio::engine::json::Value::as_bool)
+                        .unwrap_or(false)
+                };
+                let u = |k: &str| {
+                    result
+                        .get(k)
+                        .and_then(doppio::engine::json::Value::as_u64)
+                        .unwrap_or(0)
+                };
+                if b("ready") && u("restarts") >= 1 {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "shard was not re-admitted within the budget: {result:?}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            load.join().expect("load thread")
+        });
+    assert_eq!(tier.restarts()[victim], 1, "exactly one restart, no flap");
+
+    // Every chaos-load request id resolved to exactly one semantic
+    // outcome across the kill, the downtime and the ownership flip back —
+    // and every *success* carries the in-process bytes.
+    assert_eq!(outcomes.len(), rounds * chaos_seeds.len());
+    let mut successes = 0u32;
+    for (seed, outcome) in &outcomes {
+        match outcome {
+            Ok(reply) if reply.ok => {
+                successes += 1;
+                let want = &chaos_expected[chaos_seeds.iter().position(|s| s == seed).unwrap()];
+                assert!(
+                    reply.raw.ends_with(&format!("\"result\": {want}}}")),
+                    "seed {seed}: bytes diverge across the restart cycle\n  raw: {}",
+                    reply.raw
+                );
+            }
+            Ok(reply) => assert!(
+                reply.error_code.is_some(),
+                "seed {seed}: error reply without a code: {}",
+                reply.raw
+            ),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+    assert!(
+        successes > 0,
+        "retries must get requests through the chaos proxy"
+    );
+    proxy.stop();
+
+    // The restored corrector serves byte-identical corrected predictions.
+    let after = client
+        .call(Request::Predict(corrected_spec()), Some(10_000))
+        .expect("post-restart corrected predict");
+    assert!(after.ok, "post-restart predict: {:?}", after.error_message);
+    assert_eq!(
+        payload(&after.raw),
+        before_payload,
+        "corrected prediction bytes diverged across the restart — \
+         learner state did not survive"
+    );
+
+    // Counters agree: the version invariant (one fit per ingest) survived
+    // the snapshot round trip, and the tier is whole again.
+    let stats = client.call(Request::Stats, Some(5_000)).expect("stats");
+    let result = stats.result.expect("stats payload");
+    assert_eq!(
+        result
+            .get("corrector_version")
+            .and_then(doppio::engine::json::Value::as_u64),
+        Some(n_obs),
+        "restored corrector version equals total ingests"
+    );
+    let router_stats = result.get("router").expect("router sub-object");
+    let ru = |k: &str| {
+        router_stats
+            .get(k)
+            .and_then(doppio::engine::json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(ru("restarts") >= 1, "router counted the restart");
+    assert_eq!(ru("active_shards"), 4, "all four shards active again");
+
+    router.shutdown();
+    router.join();
+    drop(tier);
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+}
+
 #[test]
 fn dead_endpoint_fails_fast_once_the_breaker_opens() {
     // Bind then immediately free a port: connecting to it refuses fast.
@@ -429,7 +680,7 @@ fn dead_endpoint_fails_fast_once_the_breaker_opens() {
     for _ in 0..100 {
         assert!(matches!(
             rc.call(Request::Stats, None),
-            Err(CallError::CircuitOpen)
+            Err(CallError::CircuitOpen { .. })
         ));
     }
     assert!(
